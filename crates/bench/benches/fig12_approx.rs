@@ -1,0 +1,39 @@
+//! Criterion micro-bench for Fig. 12: probe cost vs surface-sample
+//! fraction (the approximation's speedup source).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use octopus_bench::workload::QueryGen;
+use octopus_core::{ApproxOctopus, SurfaceIndex};
+use octopus_meshgen::{neuron, NeuroLevel};
+
+fn benches(c: &mut Criterion) {
+    let mesh = neuron(NeuroLevel::L3, 0.6).expect("neuron");
+    let surface = SurfaceIndex::build(&mesh).expect("surface");
+    let mut gen = QueryGen::new(&mesh, 11);
+    let queries = gen.batch_with_selectivity(15, 0.001);
+
+    for fraction in [1.0f64, 0.1, 0.01, 0.001] {
+        let mut approx =
+            ApproxOctopus::from_surface_index(&surface, mesh.num_vertices(), fraction, 3);
+        c.bench_function(&format!("fig12/approx_{:.3}pct", fraction * 100.0), |b| {
+            let mut out = Vec::new();
+            b.iter(|| {
+                for q in &queries {
+                    out.clear();
+                    approx.query(&mesh, q, &mut out);
+                }
+                out.len()
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = fig12;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = benches
+}
+criterion_main!(fig12);

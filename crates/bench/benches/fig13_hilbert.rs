@@ -1,0 +1,49 @@
+//! Criterion micro-bench for Fig. 13: crawl cost under three vertex
+//! layouts — scrambled (worst case), Morton, Hilbert (paper's choice).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use octopus_bench::workload::QueryGen;
+use octopus_core::layout::{hilbert_layout, morton_layout};
+use octopus_core::Octopus;
+use octopus_geom::VertexId;
+use octopus_meshgen::{neuron, NeuroLevel};
+
+fn benches(c: &mut Criterion) {
+    let base = neuron(NeuroLevel::L4, 0.8).expect("neuron");
+    // Scramble to simulate an arbitrary application layout.
+    let mut perm: Vec<VertexId> = (0..base.num_vertices() as u32).collect();
+    octopus_geom::rng::SplitMix64::new(13).shuffle(&mut perm);
+    let scrambled = base.permute_vertices(&perm);
+    let (hilbert, _) = hilbert_layout(&scrambled);
+    let (morton, _) = morton_layout(&scrambled);
+
+    // Larger queries so the crawl dominates (the layout's beneficiary).
+    let mut gen = QueryGen::new(&scrambled, 5);
+    let queries = gen.batch_with_selectivity(10, 0.01);
+
+    for (name, mesh) in
+        [("scrambled", &scrambled), ("morton", &morton), ("hilbert", &hilbert)]
+    {
+        let mut octopus = Octopus::new(mesh).expect("surface");
+        c.bench_function(&format!("fig13/crawl_{name}"), |b| {
+            let mut out = Vec::new();
+            b.iter(|| {
+                for q in &queries {
+                    out.clear();
+                    octopus.query(mesh, q, &mut out);
+                }
+                out.len()
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = fig13;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(2000));
+    targets = benches
+}
+criterion_main!(fig13);

@@ -1,0 +1,97 @@
+//! Criterion micro-bench for Fig. 6: per-time-step cost (maintenance +
+//! one standard query batch) of every approach on a neuroscience mesh.
+//!
+//! The full table comes from `--bin experiments fig6`; this bench gives
+//! statistically robust per-approach numbers at a fixed small scale.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use octopus_bench::workload::QueryGen;
+use octopus_core::Octopus;
+use octopus_geom::Aabb;
+use octopus_index::{DynamicIndex, LinearScan, LurTree, Octree, QuTrade};
+use octopus_mesh::Mesh;
+use octopus_meshgen::{neuron, NeuroLevel};
+use octopus_sim::{Deformation, SmoothRandomField};
+
+const SCALE: f32 = 0.6;
+const QUERIES: usize = 15;
+const SELECTIVITY: f64 = 0.001;
+
+struct Setup {
+    mesh: Mesh,
+    queries: Vec<Aabb>,
+}
+
+fn setup() -> Setup {
+    let mut mesh = neuron(NeuroLevel::L3, SCALE).expect("neuron");
+    let rest = mesh.positions().to_vec();
+    SmoothRandomField::new(0.004, 4, 1).apply_step(1, &rest, mesh.positions_mut());
+    let mut gen = QueryGen::new(&mesh, 42);
+    let queries = gen.batch_with_selectivity(QUERIES, SELECTIVITY);
+    Setup { mesh, queries }
+}
+
+fn bench_octopus(c: &mut Criterion, s: &Setup) {
+    let mut octopus = Octopus::new(&s.mesh).expect("surface");
+    c.bench_function("fig6/octopus_step", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            // No maintenance; just the query batch.
+            for q in &s.queries {
+                out.clear();
+                octopus.query(&s.mesh, q, &mut out);
+            }
+            out.len()
+        })
+    });
+}
+
+fn bench_index(c: &mut Criterion, s: &Setup, name: &str, make: impl Fn() -> Box<dyn DynamicIndex>) {
+    // Per-step cost = maintenance (on_step) + query batch.
+    c.bench_function(&format!("fig6/{name}_step"), |b| {
+        b.iter_batched(
+            || {
+                let mut idx = make();
+                idx.on_step(s.mesh.positions());
+                idx
+            },
+            |mut idx| {
+                idx.on_step(s.mesh.positions());
+                let mut out = Vec::new();
+                for q in &s.queries {
+                    out.clear();
+                    idx.query(q, s.mesh.positions(), &mut out);
+                }
+                out.len()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn benches(c: &mut Criterion) {
+    let s = setup();
+    bench_octopus(c, &s);
+    bench_index(c, &s, "linear_scan", || Box::new(LinearScan::new()));
+    bench_index(c, &s, "octree", || Box::new(Octree::new()));
+    bench_index(c, &s, "lur_tree", || {
+        let mut t = LurTree::new();
+        t.build(s.mesh.positions());
+        Box::new(t)
+    });
+    bench_index(c, &s, "qu_trade", || {
+        let mut t = QuTrade::new(0.008);
+        t.build(s.mesh.positions());
+        Box::new(t)
+    });
+}
+
+criterion_group! {
+    name = fig6;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = benches
+}
+criterion_main!(fig6);

@@ -1,0 +1,85 @@
+//! Criterion micro-bench for Fig. 9: query execution on a convex basin —
+//! OCTOPUS-CON (no probe) vs OCTOPUS (probe) vs linear scan, plus the
+//! grid-resolution effect on the directed walk.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use octopus_bench::workload::QueryGen;
+use octopus_core::{Octopus, OctopusCon};
+use octopus_geom::Aabb;
+use octopus_index::{DynamicIndex, LinearScan};
+use octopus_mesh::Mesh;
+use octopus_meshgen::{basin, BasinResolution};
+
+const SCALE: f32 = 0.6;
+
+fn setup() -> (Mesh, Vec<Aabb>) {
+    let mesh = basin(BasinResolution::Sf2, SCALE).expect("basin");
+    let mut gen = QueryGen::new(&mesh, 7);
+    let queries = gen.batch_with_selectivity(15, 0.001);
+    (mesh, queries)
+}
+
+fn benches(c: &mut Criterion) {
+    let (mesh, queries) = setup();
+
+    let mut con = OctopusCon::new(&mesh);
+    c.bench_function("fig9/octopus_con", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            for q in &queries {
+                out.clear();
+                con.query(&mesh, q, &mut out);
+            }
+            out.len()
+        })
+    });
+
+    let mut octopus = Octopus::new(&mesh).expect("surface");
+    c.bench_function("fig9/octopus_full", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            for q in &queries {
+                out.clear();
+                octopus.query(&mesh, q, &mut out);
+            }
+            out.len()
+        })
+    });
+
+    let scan = LinearScan::new();
+    c.bench_function("fig9/linear_scan", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            for q in &queries {
+                out.clear();
+                scan.query(q, mesh.positions(), &mut out);
+            }
+            out.len()
+        })
+    });
+
+    // Fig. 9(c): grid resolution → directed-walk length → query time.
+    for res in [2usize, 10, 18] {
+        let mut con = OctopusCon::with_resolution(&mesh, res);
+        c.bench_function(&format!("fig9/con_grid_{}cells", res * res * res), |b| {
+            let mut out = Vec::new();
+            b.iter(|| {
+                for q in &queries {
+                    out.clear();
+                    con.query(&mesh, q, &mut out);
+                }
+                out.len()
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = fig9;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = benches
+}
+criterion_main!(fig9);

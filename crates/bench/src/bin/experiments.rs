@@ -1,0 +1,107 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! experiments                    # every figure, default scale
+//! experiments fig6 fig9          # a subset
+//! experiments --scale 0.5 fig7   # smaller datasets
+//! experiments --steps 0.2 --out results/    # fewer steps, save files
+//! experiments --quick            # smoke-test configuration
+//! ```
+
+use octopus_bench::figures::{run_figure, ALL_FIGURES};
+use octopus_bench::Config;
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = Config::default();
+    let mut figures: Vec<String> = Vec::new();
+    let mut out_dir: Option<std::path::PathBuf> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                config.scale = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--scale needs a positive number"));
+            }
+            "--steps" => {
+                i += 1;
+                config.steps_factor = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--steps needs a positive factor"));
+            }
+            "--seed" => {
+                i += 1;
+                config.seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "--out" => {
+                i += 1;
+                out_dir = Some(
+                    args.get(i).map(std::path::PathBuf::from).unwrap_or_else(|| {
+                        die("--out needs a directory")
+                    }),
+                );
+            }
+            "--quick" => config = Config::quick(),
+            "--help" | "-h" => {
+                println!(
+                    "usage: experiments [--quick] [--scale F] [--steps F] [--seed N] \
+                     [--out DIR] [figN ...]\nfigures: {}",
+                    ALL_FIGURES.join(" ")
+                );
+                return;
+            }
+            other if other.starts_with("fig") => figures.push(other.to_string()),
+            other => die(&format!("unknown argument '{other}' (try --help)")),
+        }
+        i += 1;
+    }
+    if figures.is_empty() {
+        figures = ALL_FIGURES.iter().map(|s| s.to_string()).collect();
+    }
+
+    eprintln!(
+        "# OCTOPUS experiments — scale {}, steps factor {}, seed {:#x}",
+        config.scale, config.steps_factor, config.seed
+    );
+    if cfg!(debug_assertions) {
+        eprintln!("# WARNING: debug build — run with --release for meaningful timings");
+    }
+
+    for id in &figures {
+        let t0 = std::time::Instant::now();
+        match run_figure(id, &config) {
+            Some(output) => {
+                let text = output.render();
+                println!("{text}");
+                eprintln!("# {id} completed in {:.1?}", t0.elapsed());
+                if let Some(dir) = &out_dir {
+                    std::fs::create_dir_all(dir).expect("create output directory");
+                    let mut f = std::fs::File::create(dir.join(format!("{id}.txt")))
+                        .expect("create figure file");
+                    f.write_all(text.as_bytes()).expect("write figure file");
+                    for (i, table) in output.tables.iter().enumerate() {
+                        let mut c =
+                            std::fs::File::create(dir.join(format!("{id}_{i}.csv")))
+                                .expect("create csv file");
+                        c.write_all(table.to_csv().as_bytes()).expect("write csv");
+                    }
+                }
+            }
+            None => die(&format!("unknown figure '{id}' (known: {})", ALL_FIGURES.join(" "))),
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2)
+}

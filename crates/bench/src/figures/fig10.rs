@@ -1,0 +1,122 @@
+//! Fig. 10 — OCTOPUS overhead analysis.
+//!
+//! (a) per-phase execution-time breakdown across dataset sizes;
+//! (b) memory footprint vs number of query results (with the
+//! result-proportional `HashSet` visited strategy, matching the paper's
+//! accounting), plus the one-time surface-index build cost (§VI-A text).
+
+use super::FigureOutput;
+use crate::runner::{fixed_selectivity_supplier, run_scenario, Approach};
+use crate::table::{ms, Table};
+use crate::workload::QueryGen;
+use crate::Config;
+use octopus_core::{Octopus, SurfaceIndex, VisitedStrategy};
+use octopus_meshgen::{neuron, NeuroLevel};
+use octopus_sim::{Simulation, SmoothRandomField};
+use std::time::Instant;
+
+/// Runs both panels.
+pub fn run(config: &Config) -> FigureOutput {
+    let steps = config.steps(60);
+
+    // ---- (a): phase breakdown vs dataset size.
+    let mut phase_table = Table::new(
+        format!("Fig. 10(a): performance breakdown [ms] ({steps} steps, fixed queries)"),
+        &["Level", "Surface probe", "Directed walk", "Crawling", "Build time [ms]"],
+    );
+    for level in NeuroLevel::ALL {
+        let mesh = neuron(level, config.scale).expect("neuron generation");
+        let b0 = Instant::now();
+        let surface = SurfaceIndex::build(&mesh).expect("surface build");
+        let build_ms = b0.elapsed().as_secs_f64() * 1e3;
+        let octopus = Octopus::from_surface_index(surface, &mesh);
+        let gen = QueryGen::new(&mesh, config.seed ^ 10);
+        let mut approaches = vec![Approach::Octopus(octopus)];
+        let mut sim = Simulation::new(
+            mesh,
+            Box::new(SmoothRandomField::new(0.004, 4, config.seed ^ 0xA0)),
+        );
+        let mut supplier = fixed_selectivity_supplier(gen, 15, 0.001);
+        let result =
+            run_scenario(&mut sim, steps, &mut supplier, &mut approaches).expect("scenario");
+        let p = result.get("OCTOPUS").unwrap().phases;
+        phase_table.push_row(vec![
+            level.label().into(),
+            ms(p.surface_probe),
+            ms(p.directed_walk),
+            ms(p.crawling),
+            format!("{build_ms:.2}"),
+        ]);
+    }
+
+    // ---- (b): memory footprint vs result count.
+    let mut mem_table = Table::new(
+        "Fig. 10(b): memory footprint vs number of query results",
+        &["Results", "Footprint [KiB]", "of which surface index [KiB]"],
+    );
+    {
+        let mesh = neuron(NeuroLevel::L5, config.scale).expect("neuron generation");
+        let n = mesh.num_vertices() as f64;
+        let mut gen = QueryGen::new(&mesh, config.seed ^ 0xAB);
+        for fraction in [0.002f64, 0.01, 0.05, 0.15, 0.3] {
+            // Fresh executor per point: footprint reflects this workload
+            // only (HashSet strategy: memory tracks touched vertices).
+            let mut octopus =
+                Octopus::with_strategy(&mesh, VisitedStrategy::HashSet).expect("surface");
+            let mut out = Vec::new();
+            let mut results = 0usize;
+            for _ in 0..15 {
+                let q = gen.query_with_count(fraction * n);
+                out.clear();
+                octopus.query(&mesh, &q, &mut out);
+                results += out.len();
+            }
+            mem_table.push_row(vec![
+                results.to_string(),
+                format!("{:.1}", octopus.memory_bytes() as f64 / 1024.0),
+                format!("{:.1}", octopus.surface_index().memory_bytes() as f64 / 1024.0),
+            ]);
+        }
+    }
+
+    FigureOutput {
+        id: "fig10",
+        title: "Overhead analysis: phase breakdown (a), memory footprint (b)".into(),
+        tables: vec![phase_table, mem_table],
+        notes: vec![
+            "Paper: probe + crawl dominate; the directed walk barely contributes; probe \
+             time grows sub-proportionally with size (S falls); crawl grows with the \
+             result count. Surface-index build: one-time 62 s for the 33 GB mesh."
+                .into(),
+            "Paper Fig. 10(b): footprint ∝ results (1.9 MB traversal state + 27 MB \
+             surface index for 480 k results on 208 M vertices). The HashSet visited \
+             strategy reproduces the proportionality; the default EpochArray strategy \
+             trades O(V) memory for faster crawls (ablation_visited bench)."
+                .into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig10_walk_is_negligible_and_memory_grows_with_results() {
+        let out = run(&Config::quick());
+        // (a): walk time does not dominate probe + crawl summed over
+        // levels. (At full scale it is negligible — see EXPERIMENTS.md;
+        // quick-config meshes are tiny, so allow slack.)
+        let (mut walk, mut rest) = (0.0f64, 0.0f64);
+        for row in &out.tables[0].rows {
+            walk += row[2].parse::<f64>().unwrap();
+            rest += row[1].parse::<f64>().unwrap() + row[3].parse::<f64>().unwrap();
+        }
+        assert!(walk < 2.0 * rest, "directed walk must not dominate: {walk} vs {rest}");
+        // (b): footprint increases with result count.
+        let rows = &out.tables[1].rows;
+        let first: f64 = rows.first().unwrap()[1].parse().unwrap();
+        let last: f64 = rows.last().unwrap()[1].parse().unwrap();
+        assert!(last > first, "footprint must grow with results: {first} -> {last}");
+    }
+}

@@ -1,0 +1,150 @@
+//! Fig. 11 — validation of the analytical model (§IV-G / §VI-B).
+//!
+//! Measured OCTOPUS response time vs Eq.-3 prediction across the five
+//! neuro datasets × selectivities {0.01 %, 0.1 %, 0.2 %}, plus the linear
+//! scan vs Eq. 4. `C_S`/`C_R` are calibrated on the smallest dataset,
+//! exactly like the paper.
+
+use super::FigureOutput;
+use crate::runner::{fixed_selectivity_supplier, run_scenario, Approach};
+use crate::table::Table;
+use crate::workload::QueryGen;
+use crate::Config;
+use octopus_core::{CostModel, Octopus};
+use octopus_index::LinearScan;
+use octopus_mesh::MeshStats;
+use octopus_meshgen::{neuron, NeuroLevel};
+use octopus_sim::{Simulation, SmoothRandomField};
+
+const QUERIES_PER_STEP: usize = 15;
+
+/// Runs the model-validation experiment.
+pub fn run(config: &Config) -> FigureOutput {
+    let steps = config.steps(60);
+    // Calibrate on the smallest dataset (the paper's procedure).
+    let small = neuron(NeuroLevel::L1, config.scale).expect("neuron generation");
+    let model = CostModel::calibrate(&small, 3);
+
+    let mut table = Table::new(
+        format!(
+            "Fig. 11: analytical model validation ({steps} steps; C_S = {:.2} ns, C_R = {:.2} ns, C_P = {:.2} ns, C_R/C_S = {:.2})",
+            model.cs * 1e9,
+            model.cr * 1e9,
+            model.cp * 1e9,
+            model.cr / model.cs
+        ),
+        &[
+            "Level",
+            "Sel [%]",
+            "Scan measured [ms]",
+            "Scan model [ms]",
+            "OCTOPUS measured [ms]",
+            "OCTOPUS model [ms]",
+            "Model error [%]",
+        ],
+    );
+
+    for level in NeuroLevel::ALL {
+        let mesh = neuron(level, config.scale).expect("neuron generation");
+        let stats = MeshStats::compute(&mesh).expect("stats");
+        for sel in [0.0001f64, 0.001, 0.002] {
+            let mut approaches = vec![
+                Approach::Octopus(Octopus::new(&mesh).expect("surface")),
+                Approach::Index(Box::new(LinearScan::new())),
+            ];
+            let gen = QueryGen::new(&mesh, config.seed ^ 11);
+            let mut sim = Simulation::new(
+                mesh.clone(),
+                Box::new(SmoothRandomField::new(0.004, 4, config.seed ^ 0xB0)),
+            );
+            let mut supplier = fixed_selectivity_supplier(gen, QUERIES_PER_STEP, sel);
+            let result = run_scenario(&mut sim, steps, &mut supplier, &mut approaches)
+                .expect("scenario");
+
+            // Predictions for the executed workload: per-query cost ×
+            // number of queries, using the *measured* mean selectivity
+            // (the paper uses histogram estimates; ours is equivalent
+            // input to Eq. 3).
+            let q = result.total_queries as f64;
+            let scan_model =
+                model.scan_seconds(stats.num_vertices) * q * 1e3;
+            let octo_model = model.octopus_seconds(
+                stats.num_vertices,
+                stats.surface_ratio,
+                stats.mesh_degree,
+                result.mean_selectivity,
+            ) * q
+                * 1e3;
+            let scan_measured =
+                result.get("LinearScan").unwrap().total_response().as_secs_f64() * 1e3;
+            let octo_measured =
+                result.get("OCTOPUS").unwrap().total_response().as_secs_f64() * 1e3;
+            let err = (octo_model - octo_measured).abs() / octo_measured.max(1e-12) * 100.0;
+            table.push_row(vec![
+                level.label().into(),
+                format!("{:.2}", sel * 100.0),
+                format!("{scan_measured:.2}"),
+                format!("{scan_model:.2}"),
+                format!("{octo_measured:.2}"),
+                format!("{octo_model:.2}"),
+                format!("{err:.1}"),
+            ]);
+        }
+    }
+
+    // Eq. 6 corollary, as in §VI-B.
+    let l5 = neuron(NeuroLevel::L5, config.scale).expect("neuron");
+    let l5_stats = MeshStats::compute(&l5).expect("stats");
+    let crossover =
+        model.crossover_selectivity(l5_stats.surface_ratio, l5_stats.mesh_degree);
+
+    FigureOutput {
+        id: "fig11",
+        title: "Analytical model validation".into(),
+        tables: vec![table],
+        notes: vec![
+            "Paper: model predictions within 2 % of measurements; scan ∝ V; OCTOPUS grows \
+             with S·V + M·sel·V."
+                .into(),
+            "Model refinement (DESIGN.md): the probe is charged at the calibrated gather \
+             constant C_P instead of the paper's C_S — on modern vectorising CPUs the \
+             sequential scan is ~3× cheaper per vertex than a gather, which the paper's \
+             2011 hardware (and S ≤ 0.07) hid."
+                .into(),
+            format!(
+                "Eq. 6 on our largest dataset (S = {:.3}, M = {:.2}): OCTOPUS wins below \
+                 {:.2} % selectivity (paper: 1.61 % at S = 0.03, M = 14.51).",
+                l5_stats.surface_ratio,
+                l5_stats.mesh_degree,
+                crossover * 100.0
+            ),
+            "Calibration-time constants drift a few percent run-to-run; expect errors in \
+             the tens of percent in debug/quick runs and small errors in release runs."
+                .into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig11_model_is_in_the_right_ballpark() {
+        let out = run(&Config::quick());
+        let t = &out.tables[0];
+        assert_eq!(t.rows.len(), 15);
+        // The model must capture the scan's scale within an order of
+        // magnitude even on quick/debug runs.
+        for row in &t.rows {
+            let measured: f64 = row[2].parse().unwrap();
+            let predicted: f64 = row[3].parse().unwrap();
+            assert!(measured > 0.0 && predicted > 0.0);
+            let ratio = predicted / measured;
+            assert!(
+                (0.05..20.0).contains(&ratio),
+                "scan model ratio {ratio} out of range (row {row:?})"
+            );
+        }
+    }
+}

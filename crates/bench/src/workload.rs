@@ -1,0 +1,252 @@
+//! Monitoring-query workloads.
+//!
+//! The paper places range queries "uniform randomly in the mesh" at a
+//! target selectivity (§V-C) — fractions of the vertex count between
+//! 0.01 % and 0.2 %. [`QueryGen`] reproduces that: query centres are
+//! drawn from the mesh's vertex distribution (so queries hit the mesh,
+//! not empty space around a non-convex arbor) and the cube half-extent is
+//! calibrated against a spatial histogram to meet the requested
+//! selectivity or result count.
+//!
+//! [`NeuroBenchmark`] encodes the Fig. 5 microbenchmark suite (A–D).
+
+use octopus_geom::rng::SplitMix64;
+use octopus_geom::{Aabb, Point3};
+use octopus_index::SelectivityHistogram;
+use octopus_mesh::Mesh;
+
+/// Histogram resolution for selectivity calibration.
+const HIST_RES: usize = 16;
+
+/// Generates monitoring queries over a mesh.
+pub struct QueryGen {
+    histogram: SelectivityHistogram,
+    positions: Vec<Point3>,
+    bounds: Aabb,
+    /// Minimum half-extent: queries narrower than ~2 local edge lengths
+    /// fall outside the validity envelope of the crawl's completeness
+    /// argument (§IV-C assumes sub-meshes large enough to expose surface
+    /// vertices; the paper's own queries return thousands of results).
+    min_half: f32,
+    rng: SplitMix64,
+}
+
+impl QueryGen {
+    /// Builds a generator from the mesh's *current* positions.
+    pub fn new(mesh: &Mesh, seed: u64) -> QueryGen {
+        let bounds = mesh.bounding_box();
+        // Typical edge length ≈ cube root of the bounding volume per
+        // vertex (exact for lattice meshes, close enough for any).
+        let typical_edge = (bounds.volume() / mesh.num_vertices().max(1) as f64)
+            .cbrt()
+            .max(f64::MIN_POSITIVE) as f32;
+        QueryGen {
+            histogram: SelectivityHistogram::build(mesh.positions(), &bounds, HIST_RES),
+            positions: mesh.positions().to_vec(),
+            bounds,
+            min_half: 1.25 * typical_edge,
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    /// A cube query with (approximately) the given selectivity
+    /// (fraction of all vertices, e.g. `0.001` = 0.1 %).
+    pub fn query_with_selectivity(&mut self, selectivity: f64) -> Aabb {
+        assert!(selectivity > 0.0 && selectivity <= 1.0);
+        let center = self.random_center();
+        let half = self.calibrate_half(center, |hist, q| hist.estimate_selectivity(q), selectivity);
+        Aabb::cube(center, half)
+    }
+
+    /// A cube query with (approximately) the given result count.
+    pub fn query_with_count(&mut self, count: f64) -> Aabb {
+        assert!(count > 0.0);
+        let center = self.random_center();
+        let half = self.calibrate_half(center, |hist, q| hist.estimate_count(q), count);
+        Aabb::cube(center, half)
+    }
+
+    /// `n` queries at a fixed selectivity.
+    pub fn batch_with_selectivity(&mut self, n: usize, selectivity: f64) -> Vec<Aabb> {
+        (0..n).map(|_| self.query_with_selectivity(selectivity)).collect()
+    }
+
+    /// Query centre: a uniformly chosen mesh vertex, slightly jittered so
+    /// queries are "uniform randomly in the mesh".
+    fn random_center(&mut self) -> Point3 {
+        let v = self.positions[self.rng.index(self.positions.len())];
+        let jitter = self.bounds.extent().length() * 0.01;
+        Point3::new(
+            v.x + self.rng.range_f32(-jitter, jitter),
+            v.y + self.rng.range_f32(-jitter, jitter),
+            v.z + self.rng.range_f32(-jitter, jitter),
+        )
+    }
+
+    /// Binary-searches the cube half-extent so `metric(cube)` ≈ `target`.
+    fn calibrate_half(
+        &self,
+        center: Point3,
+        metric: impl Fn(&SelectivityHistogram, &Aabb) -> f64,
+        target: f64,
+    ) -> f32 {
+        let mut lo = 0.0f32;
+        let mut hi = self.bounds.extent().length(); // covers everything
+        for _ in 0..40 {
+            let mid = 0.5 * (lo + hi);
+            let value = metric(&self.histogram, &Aabb::cube(center, mid));
+            if value < target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        (0.5 * (lo + hi)).max(self.min_half)
+    }
+
+    /// True selectivity of `q` against the generator's position snapshot
+    /// (reported in result tables).
+    pub fn actual_selectivity(&self, q: &Aabb) -> f64 {
+        let hits = self.positions.iter().filter(|p| q.contains(**p)).count();
+        hits as f64 / self.positions.len().max(1) as f64
+    }
+}
+
+/// One of the paper's Fig. 5 neuroscience microbenchmarks.
+#[derive(Clone, Copy, Debug)]
+pub struct NeuroBenchmark {
+    /// Benchmark label (A–D).
+    pub name: &'static str,
+    /// Use case description from Fig. 5.
+    pub use_case: &'static str,
+    /// Queries per time step: inclusive range.
+    pub queries_per_step: (usize, usize),
+    /// Query selectivity: inclusive range (fractions).
+    pub selectivity: (f64, f64),
+}
+
+impl NeuroBenchmark {
+    /// The Fig. 5 suite.
+    pub const ALL: [NeuroBenchmark; 4] = [
+        NeuroBenchmark {
+            name: "A",
+            use_case: "Structural Validation",
+            queries_per_step: (13, 17),
+            selectivity: (0.0011, 0.0016),
+        },
+        NeuroBenchmark {
+            name: "B",
+            use_case: "Mesh Quality",
+            queries_per_step: (7, 9),
+            selectivity: (0.0002, 0.0014),
+        },
+        NeuroBenchmark {
+            name: "C",
+            use_case: "Visualization (Low Quality)",
+            queries_per_step: (22, 22),
+            selectivity: (0.0018, 0.0018),
+        },
+        NeuroBenchmark {
+            name: "D",
+            use_case: "Visualization (High Quality)",
+            queries_per_step: (22, 22),
+            selectivity: (0.0012, 0.0012),
+        },
+    ];
+
+    /// Draws this benchmark's queries for one time step.
+    pub fn step_queries(&self, gen: &mut QueryGen, rng: &mut SplitMix64) -> Vec<Aabb> {
+        let (lo, hi) = self.queries_per_step;
+        let n = lo + rng.index(hi - lo + 1);
+        (0..n)
+            .map(|_| {
+                let sel = rng.range_f64(self.selectivity.0, self.selectivity.1);
+                gen.query_with_selectivity(sel)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octopus_geom::Point3;
+    use octopus_meshgen::voxel::VoxelRegion;
+
+    fn box_mesh(n: usize) -> Mesh {
+        let bounds = Aabb::new(Point3::ORIGIN, Point3::splat(1.0));
+        octopus_meshgen::tet::tetrahedralize(&VoxelRegion::solid_box(&bounds, n, n, n)).unwrap()
+    }
+
+    #[test]
+    fn selectivity_calibration_is_close() {
+        // Mesh fine enough that the targets stay above the minimum query
+        // width (see `min_half`).
+        let mesh = box_mesh(20);
+        let mut g = QueryGen::new(&mesh, 1);
+        for target in [0.005, 0.01, 0.05] {
+            let mut total = 0.0;
+            let n = 20;
+            for _ in 0..n {
+                let q = g.query_with_selectivity(target);
+                total += g.actual_selectivity(&q);
+            }
+            let avg = total / f64::from(n);
+            assert!(
+                (avg - target).abs() < target * 0.8 + 0.002,
+                "target {target} vs avg {avg}"
+            );
+        }
+    }
+
+    #[test]
+    fn count_calibration_is_close() {
+        let mesh = box_mesh(12);
+        let mut g = QueryGen::new(&mesh, 2);
+        let v = mesh.num_vertices() as f64;
+        let mut total = 0.0;
+        for _ in 0..20 {
+            let q = g.query_with_count(50.0);
+            total += g.actual_selectivity(&q) * v;
+        }
+        let avg = total / 20.0;
+        assert!((avg - 50.0).abs() < 45.0, "≈50 results expected, got {avg}");
+    }
+
+    #[test]
+    fn queries_always_intersect_the_mesh() {
+        // Centres are drawn from vertices, so even thin meshes get hit.
+        let mesh = octopus_meshgen::neuron(octopus_meshgen::NeuroLevel::L1, 0.4).unwrap();
+        let mut g = QueryGen::new(&mesh, 3);
+        let mut nonempty = 0;
+        for _ in 0..20 {
+            let q = g.query_with_selectivity(0.005);
+            if g.actual_selectivity(&q) > 0.0 {
+                nonempty += 1;
+            }
+        }
+        assert!(nonempty >= 18, "queries must hit the mesh: {nonempty}/20");
+    }
+
+    #[test]
+    fn benchmark_suite_matches_fig5() {
+        assert_eq!(NeuroBenchmark::ALL.len(), 4);
+        let a = NeuroBenchmark::ALL[0];
+        assert_eq!(a.queries_per_step, (13, 17));
+        assert!((a.selectivity.0 - 0.0011).abs() < 1e-9);
+        let mut g = QueryGen::new(&box_mesh(6), 4);
+        let mut rng = SplitMix64::new(5);
+        for b in NeuroBenchmark::ALL {
+            let qs = b.step_queries(&mut g, &mut rng);
+            assert!(qs.len() >= b.queries_per_step.0 && qs.len() <= b.queries_per_step.1);
+        }
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let mesh = box_mesh(6);
+        let q1 = QueryGen::new(&mesh, 9).query_with_selectivity(0.01);
+        let q2 = QueryGen::new(&mesh, 9).query_with_selectivity(0.01);
+        assert_eq!(q1, q2);
+    }
+}

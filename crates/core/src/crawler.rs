@@ -1,0 +1,353 @@
+//! Shared traversal machinery: the crawl (BFS) and the directed walk.
+//!
+//! Both [`crate::Octopus`] and [`crate::OctopusCon`] execute queries by
+//! walking mesh edges; this module owns the scratch state (visited set,
+//! BFS queue) so repeated queries reuse allocations — the "data
+//! structures used during crawling" whose footprint Fig. 10(b) reports.
+
+use octopus_geom::{Aabb, VertexId};
+use octopus_mesh::Mesh;
+use std::collections::{HashSet, VecDeque};
+
+/// How the crawl remembers visited vertices.
+///
+/// The paper's C++ implementation keeps memory proportional to the query
+/// result (Fig. 10b), which corresponds to a hash set. An epoch-stamped
+/// dense array trades O(V) memory for faster lookups; `DESIGN.md` lists
+/// this as an ablation (`ablation_visited` bench).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum VisitedStrategy {
+    /// Dense `Vec<u32>` of epoch stamps — O(V) memory, O(1) reset, fastest.
+    #[default]
+    EpochArray,
+    /// `HashSet<VertexId>` — memory proportional to vertices touched by
+    /// the query (the paper's reported footprint behaviour).
+    HashSet,
+}
+
+/// Order in which the crawl expands the frontier.
+///
+/// The paper chose breadth-first; depth-first visits the same vertex set
+/// (the stop criterion only depends on membership), differing only in
+/// memory-access pattern. The `ablation_crawl_order` bench compares them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum CrawlOrder {
+    /// Breadth-first (paper's choice, §IV-B).
+    #[default]
+    Bfs,
+    /// Depth-first (ablation).
+    Dfs,
+}
+
+/// Reusable traversal scratch state.
+#[derive(Debug)]
+pub(crate) struct Crawler {
+    strategy: VisitedStrategy,
+    pub(crate) order: CrawlOrder,
+    epoch: u32,
+    stamps: Vec<u32>,
+    set: HashSet<VertexId>,
+    queue: VecDeque<VertexId>,
+    /// Vertices examined by the last crawl (inside + frontier outside).
+    pub crawl_visited: usize,
+    /// Vertices stepped through by the last directed walk.
+    pub walk_visited: usize,
+    /// Squared distance to the query at the last walk's termination
+    /// (0 on success, ∞ before any walk). Gates walk-retry heuristics.
+    pub last_walk_end_dist_sq: f32,
+}
+
+impl Crawler {
+    pub(crate) fn new(num_vertices: usize, strategy: VisitedStrategy) -> Crawler {
+        let stamps = match strategy {
+            VisitedStrategy::EpochArray => vec![0u32; num_vertices],
+            VisitedStrategy::HashSet => Vec::new(),
+        };
+        Crawler {
+            strategy,
+            order: CrawlOrder::Bfs,
+            epoch: 0,
+            stamps,
+            set: HashSet::new(),
+            queue: VecDeque::new(),
+            crawl_visited: 0,
+            walk_visited: 0,
+            last_walk_end_dist_sq: f32::INFINITY,
+        }
+    }
+
+    /// Prepares for a new query: O(1) for the epoch array, O(touched) for
+    /// the hash set.
+    pub(crate) fn begin_query(&mut self, num_vertices: usize) {
+        match self.strategy {
+            VisitedStrategy::EpochArray => {
+                if self.stamps.len() != num_vertices {
+                    // Restructuring may have added vertices.
+                    self.stamps.resize(num_vertices, self.epoch);
+                }
+                if self.epoch == u32::MAX {
+                    self.stamps.fill(0);
+                    self.epoch = 0;
+                }
+                self.epoch += 1;
+            }
+            VisitedStrategy::HashSet => self.set.clear(),
+        }
+        self.queue.clear();
+        self.crawl_visited = 0;
+        self.walk_visited = 0;
+    }
+
+    #[inline]
+    fn mark(&mut self, v: VertexId) -> bool {
+        match self.strategy {
+            VisitedStrategy::EpochArray => {
+                let slot = &mut self.stamps[v as usize];
+                if *slot == self.epoch {
+                    false
+                } else {
+                    *slot = self.epoch;
+                    true
+                }
+            }
+            VisitedStrategy::HashSet => self.set.insert(v),
+        }
+    }
+
+    /// Seeds the BFS with a start vertex known to lie inside the query.
+    /// Returns `true` when the vertex was fresh (not yet part of this
+    /// query's result) — in that case it is also appended to `out`.
+    #[inline]
+    pub(crate) fn seed(&mut self, v: VertexId, out: &mut Vec<VertexId>) -> bool {
+        if self.mark(v) {
+            out.push(v);
+            self.queue.push_back(v);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The crawling phase (§IV-B): breadth-first traversal along mesh
+    /// edges from all seeded vertices. An edge is never followed past a
+    /// vertex outside the query region, so the work done is proportional
+    /// to the result size times the mesh degree — not the dataset size.
+    pub(crate) fn crawl(&mut self, mesh: &Mesh, q: &Aabb, out: &mut Vec<VertexId>) {
+        let positions = mesh.positions();
+        while let Some(v) = match self.order {
+            CrawlOrder::Bfs => self.queue.pop_front(),
+            CrawlOrder::Dfs => self.queue.pop_back(),
+        } {
+            self.crawl_visited += 1;
+            let neighbors = mesh.neighbors(v);
+            // Neighbour positions are random accesses; hint them all
+            // before testing (lists are short — the mesh degree).
+            for &w in neighbors {
+                octopus_geom::mem::prefetch_read(positions, w as usize);
+            }
+            for &w in neighbors {
+                if self.mark(w) {
+                    if q.contains(positions[w as usize]) {
+                        out.push(w);
+                        self.queue.push_back(w);
+                    } else {
+                        self.crawl_visited += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The directed walk (§IV-D): from `start`, repeatedly move to the
+    /// neighbour strictly closest to the query region until a vertex
+    /// inside the region is found. Returns that vertex, or `None` when no
+    /// neighbour improves the distance (then the query region does not
+    /// intersect this part of the mesh).
+    ///
+    /// Termination: the distance to `q` strictly decreases every step, so
+    /// the walk can never revisit a vertex.
+    pub(crate) fn directed_walk(
+        &mut self,
+        mesh: &Mesh,
+        q: &Aabb,
+        start: VertexId,
+    ) -> Option<VertexId> {
+        let positions = mesh.positions();
+        let mut cur = start;
+        let mut cur_dist = q.dist_sq(positions[cur as usize]);
+        loop {
+            self.walk_visited += 1;
+            if cur_dist == 0.0 {
+                self.last_walk_end_dist_sq = 0.0;
+                return Some(cur);
+            }
+            let mut best = cur;
+            let mut best_dist = cur_dist;
+            for &w in mesh.neighbors(cur) {
+                let d = q.dist_sq(positions[w as usize]);
+                if d < best_dist {
+                    best = w;
+                    best_dist = d;
+                }
+            }
+            if best == cur {
+                // Local minimum: no neighbour is closer (Algorithm 1's
+                // `minDistance = oldMinDistance` break).
+                self.last_walk_end_dist_sq = cur_dist;
+                return None;
+            }
+            cur = best;
+            cur_dist = best_dist;
+        }
+    }
+
+    /// Heap bytes of the scratch structures.
+    pub(crate) fn memory_bytes(&self) -> usize {
+        let visited = match self.strategy {
+            VisitedStrategy::EpochArray => {
+                self.stamps.capacity() * std::mem::size_of::<u32>()
+            }
+            VisitedStrategy::HashSet => {
+                self.set.capacity() * (std::mem::size_of::<VertexId>() + 1)
+            }
+        };
+        visited + self.queue.capacity() * std::mem::size_of::<VertexId>()
+    }
+
+    /// The configured visited-set strategy.
+    pub(crate) fn strategy(&self) -> VisitedStrategy {
+        self.strategy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octopus_geom::Point3;
+    use octopus_meshgen::voxel::VoxelRegion;
+
+    fn box_mesh(n: usize) -> Mesh {
+        let bounds = Aabb::new(Point3::ORIGIN, Point3::splat(1.0));
+        octopus_meshgen::tet::tetrahedralize(&VoxelRegion::solid_box(&bounds, n, n, n)).unwrap()
+    }
+
+    fn scan(mesh: &Mesh, q: &Aabb) -> Vec<VertexId> {
+        mesh.positions()
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| q.contains(**p))
+            .map(|(i, _)| i as VertexId)
+            .collect()
+    }
+
+    fn crawl_from_all_inside(
+        crawler: &mut Crawler,
+        mesh: &Mesh,
+        q: &Aabb,
+    ) -> Vec<VertexId> {
+        crawler.begin_query(mesh.num_vertices());
+        let mut out = Vec::new();
+        for (i, p) in mesh.positions().iter().enumerate() {
+            if q.contains(*p) {
+                crawler.seed(i as VertexId, &mut out);
+                break; // single seed: box meshes are connected inside q
+            }
+        }
+        crawler.crawl(mesh, q, &mut out);
+        out
+    }
+
+    #[test]
+    fn crawl_collects_exactly_the_contained_vertices_both_strategies() {
+        let mesh = box_mesh(5);
+        let q = Aabb::new(Point3::splat(0.15), Point3::splat(0.75));
+        for strategy in [VisitedStrategy::EpochArray, VisitedStrategy::HashSet] {
+            let mut c = Crawler::new(mesh.num_vertices(), strategy);
+            let mut got = crawl_from_all_inside(&mut c, &mesh, &q);
+            got.sort_unstable();
+            assert_eq!(got, scan(&mesh, &q), "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn consecutive_queries_reuse_scratch_state_correctly() {
+        let mesh = box_mesh(4);
+        let mut c = Crawler::new(mesh.num_vertices(), VisitedStrategy::EpochArray);
+        for step in 0..5 {
+            let lo = 0.1 + 0.05 * step as f32;
+            let q = Aabb::new(Point3::splat(lo), Point3::splat(lo + 0.5));
+            let mut got = crawl_from_all_inside(&mut c, &mesh, &q);
+            got.sort_unstable();
+            assert_eq!(got, scan(&mesh, &q), "query {step}");
+        }
+    }
+
+    #[test]
+    fn directed_walk_reaches_query_on_convex_mesh() {
+        let mesh = box_mesh(6);
+        let q = Aabb::new(Point3::splat(0.4), Point3::splat(0.6));
+        let mut c = Crawler::new(mesh.num_vertices(), VisitedStrategy::EpochArray);
+        c.begin_query(mesh.num_vertices());
+        // Start from the far corner (vertex at (0,0,0) exists in lattice).
+        let start = 0;
+        let found = c.directed_walk(&mesh, &q, start).expect("walk must reach the query");
+        assert!(q.contains(mesh.position(found)));
+        assert!(c.walk_visited > 1);
+    }
+
+    #[test]
+    fn directed_walk_returns_none_for_disjoint_query() {
+        let mesh = box_mesh(4);
+        let q = Aabb::new(Point3::splat(5.0), Point3::splat(6.0));
+        let mut c = Crawler::new(mesh.num_vertices(), VisitedStrategy::EpochArray);
+        c.begin_query(mesh.num_vertices());
+        assert_eq!(c.directed_walk(&mesh, &q, 0), None);
+    }
+
+    #[test]
+    fn walk_starting_inside_returns_immediately() {
+        let mesh = box_mesh(4);
+        let q = Aabb::new(Point3::ORIGIN, Point3::splat(1.0));
+        let mut c = Crawler::new(mesh.num_vertices(), VisitedStrategy::EpochArray);
+        c.begin_query(mesh.num_vertices());
+        assert_eq!(c.directed_walk(&mesh, &q, 3), Some(3));
+        assert_eq!(c.walk_visited, 1);
+    }
+
+    #[test]
+    fn seed_deduplicates() {
+        let mesh = box_mesh(2);
+        let mut c = Crawler::new(mesh.num_vertices(), VisitedStrategy::HashSet);
+        c.begin_query(mesh.num_vertices());
+        let mut out = Vec::new();
+        assert!(c.seed(5, &mut out));
+        assert!(!c.seed(5, &mut out));
+        assert_eq!(out, vec![5]);
+    }
+
+    #[test]
+    fn epoch_array_grows_after_restructuring_adds_vertices() {
+        let mut mesh = box_mesh(2);
+        let mut c = Crawler::new(mesh.num_vertices(), VisitedStrategy::EpochArray);
+        let q = Aabb::new(Point3::ORIGIN, Point3::splat(1.0));
+        let _ = crawl_from_all_inside(&mut c, &mesh, &q);
+        mesh.enable_restructuring().unwrap();
+        mesh.refine_tet(0).unwrap(); // adds a vertex
+        let mut got = crawl_from_all_inside(&mut c, &mesh, &q);
+        got.sort_unstable();
+        assert_eq!(got, scan(&mesh, &q));
+    }
+
+    #[test]
+    fn memory_accounting_differs_between_strategies() {
+        let mesh = box_mesh(6);
+        let q = Aabb::new(Point3::splat(0.45), Point3::splat(0.55));
+        let mut dense = Crawler::new(mesh.num_vertices(), VisitedStrategy::EpochArray);
+        let mut sparse = Crawler::new(mesh.num_vertices(), VisitedStrategy::HashSet);
+        let _ = crawl_from_all_inside(&mut dense, &mesh, &q);
+        let _ = crawl_from_all_inside(&mut sparse, &mesh, &q);
+        // Dense pays for all vertices; sparse only for touched ones.
+        assert!(dense.memory_bytes() >= mesh.num_vertices() * 4);
+        assert!(sparse.memory_bytes() < dense.memory_bytes());
+    }
+}

@@ -1,0 +1,548 @@
+//! The OCTOPUS query executor (Algorithm 1).
+
+use crate::crawler::{Crawler, VisitedStrategy};
+use crate::surface_index::SurfaceIndex;
+use octopus_geom::{Aabb, VertexId};
+use octopus_mesh::{Mesh, MeshError, SurfaceDelta};
+use std::time::{Duration, Instant};
+
+/// Per-phase timing and work counters for one query execution — the raw
+/// material of the paper's Fig. 9(b) and Fig. 10(a) breakdowns.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTimings {
+    /// Time spent scanning the surface index.
+    pub surface_probe: Duration,
+    /// Time spent in the directed walk (zero when start vertices were
+    /// found on the surface — the common case the paper reports).
+    pub directed_walk: Duration,
+    /// Time spent crawling (BFS).
+    pub crawling: Duration,
+    /// Surface vertices found inside the query (crawl seeds).
+    pub start_vertices: usize,
+    /// Vertices stepped through by the directed walk.
+    pub walk_visited: usize,
+    /// Vertices examined during the crawl (result + frontier).
+    pub crawl_visited: usize,
+    /// Result size.
+    pub results: usize,
+}
+
+impl PhaseTimings {
+    /// Total execution time of the query.
+    pub fn total(&self) -> Duration {
+        self.surface_probe + self.directed_walk + self.crawling
+    }
+
+    /// Accumulates another query's timings (for per-benchmark totals).
+    pub fn accumulate(&mut self, other: &PhaseTimings) {
+        self.surface_probe += other.surface_probe;
+        self.directed_walk += other.directed_walk;
+        self.crawling += other.crawling;
+        self.start_vertices += other.start_vertices;
+        self.walk_visited += other.walk_visited;
+        self.crawl_visited += other.crawl_visited;
+        self.results += other.results;
+    }
+}
+
+/// The OCTOPUS query execution strategy (§IV).
+///
+/// Owns the [`SurfaceIndex`] plus reusable traversal scratch. Queries
+/// take the mesh by reference: OCTOPUS reads the *live* positions
+/// directly from memory and therefore needs no notification of
+/// deformation steps — the paper's central claim. Only restructuring
+/// events require [`Octopus::on_restructure`].
+///
+/// ```
+/// use octopus_core::Octopus;
+/// use octopus_geom::{Aabb, Point3};
+/// use octopus_meshgen::{tet::tetrahedralize, VoxelRegion};
+///
+/// let bounds = Aabb::new(Point3::ORIGIN, Point3::splat(1.0));
+/// let mut mesh = tetrahedralize(&VoxelRegion::solid_box(&bounds, 6, 6, 6))?;
+/// let mut engine = Octopus::new(&mesh)?;
+///
+/// // The simulation rewrites positions in place — no maintenance call.
+/// for p in mesh.positions_mut() {
+///     p.x *= 1.01;
+/// }
+///
+/// let mut result = Vec::new();
+/// let stats = engine.query(&mesh, &Aabb::cube(Point3::splat(0.5), 0.2), &mut result);
+/// assert_eq!(stats.results, result.len());
+/// assert!(result.iter().all(|&v| {
+///     let p = mesh.position(v);
+///     (0.3..=0.7).contains(&(p.x / 1.01)) || (0.3..=0.7).contains(&p.x)
+/// }));
+/// # Ok::<(), octopus_mesh::MeshError>(())
+/// ```
+#[derive(Debug)]
+pub struct Octopus {
+    surface: SurfaceIndex,
+    crawler: Crawler,
+    components: ComponentInfo,
+}
+
+/// Connected-component bookkeeping for the component-aware directed walk.
+///
+/// **Reproduction finding.** The paper's §IV-C argues that "each disjoint
+/// sub-mesh obtained by the intersection of the query and a non-convex
+/// mesh contains at least one surface vertex inside the query range",
+/// and Algorithm 1 therefore only walks when *no* surface vertex at all
+/// is inside the query. That claim fails when the query simultaneously
+/// (a) contains surface vertices of one region and (b) fully encloses
+/// interior material elsewhere — e.g. a box clipping neuron A's membrane
+/// while sitting inside neuron B's trunk: B's sub-mesh has no surface
+/// vertex in the box and Algorithm 1 silently returns only A's vertices.
+///
+/// Component ids depend only on connectivity, so they are — like the
+/// surface — invariant under deformation and maintainable at zero cost
+/// per time step. Tracking which components contributed probe seeds and
+/// walking each seedless component separately closes the gap whenever
+/// the interior material belongs to a different connected component. The
+/// residual single-component case (query enclosed in a concave feature
+/// of the *same* component that it also clips elsewhere, or in-query
+/// vertices whose graph neighbours all lie outside a sub-cell-sized
+/// query) remains a documented limitation inherited from the paper.
+#[derive(Debug, Default)]
+struct ComponentInfo {
+    /// Component id per vertex.
+    component_of: Vec<u32>,
+    /// Number of components.
+    count: usize,
+    /// Surface vertex ids grouped by component.
+    surface_by_component: Vec<Vec<VertexId>>,
+    /// Per-component "has a seed" stamp for the current query.
+    seeded_stamp: Vec<u32>,
+    epoch: u32,
+    /// Typical edge length (sampled at build time) — the scale against
+    /// which a failed walk's stall distance is judged. Deformation
+    /// drifts it, which is fine: it only gates a retry heuristic.
+    edge_scale: f32,
+}
+
+impl ComponentInfo {
+    fn build(mesh: &Mesh, surface: &SurfaceIndex) -> ComponentInfo {
+        let (component_of, count) = mesh.adjacency().connected_components();
+        let mut surface_by_component = vec![Vec::new(); count];
+        for &v in surface.ids() {
+            surface_by_component[component_of[v as usize] as usize].push(v);
+        }
+        // Sample ~1000 vertices' first edges for the edge-length scale.
+        let n = mesh.num_vertices();
+        let stride = (n / 1000).max(1);
+        let mut total = 0.0f64;
+        let mut edges = 0usize;
+        for v in (0..n).step_by(stride) {
+            if let Some(&w) = mesh.neighbors(v as u32).first() {
+                total += f64::from(mesh.position(v as u32).dist(mesh.position(w)));
+                edges += 1;
+            }
+        }
+        let edge_scale = if edges == 0 { 0.0 } else { (total / edges as f64) as f32 };
+        ComponentInfo {
+            component_of,
+            count,
+            surface_by_component,
+            seeded_stamp: vec![0; count],
+            epoch: 0,
+            edge_scale,
+        }
+    }
+
+    #[inline]
+    fn begin_query(&mut self) {
+        if self.epoch == u32::MAX {
+            self.seeded_stamp.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+
+    /// Marks `v`'s component as seeded; returns `true` when it was not
+    /// yet seeded in this query.
+    #[inline]
+    fn mark_seeded(&mut self, v: VertexId) -> bool {
+        let c = self.component_of[v as usize] as usize;
+        let fresh = self.seeded_stamp[c] != self.epoch;
+        self.seeded_stamp[c] = self.epoch;
+        fresh
+    }
+
+    #[inline]
+    fn is_seeded(&self, c: usize) -> bool {
+        self.seeded_stamp[c] == self.epoch
+    }
+}
+
+impl Octopus {
+    /// Builds the executor for `mesh` (extracts the surface once).
+    pub fn new(mesh: &Mesh) -> Result<Octopus, MeshError> {
+        Octopus::with_strategy(mesh, VisitedStrategy::default())
+    }
+
+    /// Builds with an explicit visited-set strategy (see
+    /// [`VisitedStrategy`]).
+    pub fn with_strategy(mesh: &Mesh, strategy: VisitedStrategy) -> Result<Octopus, MeshError> {
+        let surface = SurfaceIndex::build(mesh)?;
+        let components = ComponentInfo::build(mesh, &surface);
+        Ok(Octopus { surface, crawler: Crawler::new(mesh.num_vertices(), strategy), components })
+    }
+
+    /// Switches the crawl expansion order (BFS default; DFS for the
+    /// `ablation_crawl_order` bench). Both visit the same vertex set.
+    pub fn set_crawl_order(&mut self, order: crate::crawler::CrawlOrder) {
+        self.crawler.order = order;
+    }
+
+    /// Builds from a pre-extracted surface index (avoids re-extraction
+    /// when the caller already has one, e.g. when sweeping approximation
+    /// fractions).
+    pub fn from_surface_index(surface: SurfaceIndex, mesh: &Mesh) -> Octopus {
+        let components = ComponentInfo::build(mesh, &surface);
+        Octopus {
+            surface,
+            crawler: Crawler::new(mesh.num_vertices(), VisitedStrategy::default()),
+            components,
+        }
+    }
+
+    /// The surface index (inspection / tests).
+    pub fn surface_index(&self) -> &SurfaceIndex {
+        &self.surface
+    }
+
+    /// Applies a restructuring delta to the surface index and recomputes
+    /// the component map (§IV-E2; connectivity changed, positions are
+    /// irrelevant). Not needed for deformation.
+    pub fn on_restructure(&mut self, mesh: &Mesh, delta: &SurfaceDelta) {
+        self.surface.apply_delta(delta);
+        self.components = ComponentInfo::build(mesh, &self.surface);
+    }
+
+    /// Executes a range query, appending all vertices of `mesh` whose
+    /// current position lies in `q` to `out`. Returns per-phase timings.
+    ///
+    /// Implements Algorithm 1: **surface probe** (scan all surface
+    /// vertices; those inside `q` seed the crawl; track the closest one
+    /// otherwise) → **directed walk** (only when no surface vertex is
+    /// inside `q`) → **crawling** (BFS bounded by the query region).
+    ///
+    /// # Accuracy
+    /// Extends Algorithm 1 with a **component-aware** directed walk (see
+    /// [`ComponentInfo`]): the walk runs for every connected component
+    /// that produced no probe seed, not only when no seed exists at all.
+    /// Exact whenever each query-intersecting piece of each component
+    /// either supplies a surface vertex inside `q` or is reachable by a
+    /// greedy walk — the residual gap (a concave same-component pocket
+    /// fully inside `q`-free space, or queries smaller than the local
+    /// cell size) is inherited from the paper and documented in
+    /// `DESIGN.md`.
+    pub fn query(&mut self, mesh: &Mesh, q: &Aabb, out: &mut Vec<VertexId>) -> PhaseTimings {
+        let mut stats = PhaseTimings::default();
+        let positions = mesh.positions();
+        self.crawler.begin_query(mesh.num_vertices());
+        self.components.begin_query();
+
+        // Phase 1: surface probe. The hot pass is a pure membership test:
+        // the id list is known in advance so the gathered position loads
+        // are prefetched ahead, and the branchless containment keeps the
+        // loop pipeline-friendly. The closest-vertex bookkeeping of
+        // Algorithm 1 is only needed when *no* surface vertex is inside
+        // the query (the rare directed-walk case), so it runs as a
+        // separate second pass instead of burdening every probe.
+        let t0 = Instant::now();
+        let mut seeds = 0usize;
+        let mut seeded_components = 0usize;
+        let ids = self.surface.ids();
+        for (i, &v) in ids.iter().enumerate() {
+            if i + octopus_geom::mem::PREFETCH_DISTANCE < ids.len() {
+                let ahead = ids[i + octopus_geom::mem::PREFETCH_DISTANCE] as usize;
+                octopus_geom::mem::prefetch_read(positions, ahead);
+            }
+            if q.contains(positions[v as usize]) && self.crawler.seed(v, out) {
+                seeds += 1;
+                seeded_components += usize::from(self.components.mark_seeded(v));
+            }
+        }
+        stats.start_vertices = seeds;
+        stats.surface_probe = t0.elapsed();
+
+        // Phase 2: component-aware directed walks. Every component whose
+        // surface produced no seed may still intersect the query with
+        // fully interior material (or not at all — the walk decides). A
+        // *strided* scan picks a near-closest surface vertex of that
+        // component as the walk start: any start yields the correct
+        // result (exactness comes from walk + crawl, §IV-D); the closest
+        // is only a walk-shortening heuristic, so sampling every k-th
+        // candidate trades a slightly longer walk for a cheaper start
+        // search. A failed walk retries once from the exact closest
+        // vertex before concluding this component contributes nothing.
+        if seeded_components < self.components.count {
+            let t1 = Instant::now();
+            for c in 0..self.components.count {
+                if self.components.is_seeded(c) {
+                    continue;
+                }
+                let comp_ids = &self.components.surface_by_component[c];
+                if comp_ids.is_empty() {
+                    continue;
+                }
+                // Sparse-sample start + walk; a failed walk retries once
+                // from a denser sample, but only when the stall happened
+                // *near* the query (within a few edge lengths) — a stall
+                // far away means this component simply does not reach the
+                // query, the overwhelmingly common case on
+                // multi-component meshes, and a denser start would walk
+                // to the same frontier. A full O(S·V) scan per unseeded
+                // component would dominate such workloads.
+                let mut found = None;
+                let near = 4.0 * self.components.edge_scale;
+                let near_sq = near * near;
+                for sample_target in [512usize, 4096] {
+                    let stride = (comp_ids.len() / sample_target).max(1);
+                    if let Some(sv) =
+                        closest_of(comp_ids.iter().step_by(stride), positions, q)
+                    {
+                        found = self.crawler.directed_walk(mesh, q, sv);
+                    }
+                    if found.is_some()
+                        || stride == 1
+                        || self.crawler.last_walk_end_dist_sq > near_sq
+                    {
+                        break;
+                    }
+                }
+                if let Some(inside) = found {
+                    if self.crawler.seed(inside, out) {
+                        stats.start_vertices += 1;
+                    }
+                }
+            }
+            stats.walk_visited = self.crawler.walk_visited;
+            stats.directed_walk = t1.elapsed();
+        }
+
+        // Phase 3: crawling.
+        let t2 = Instant::now();
+        self.crawler.crawl(mesh, q, out);
+        stats.crawling = t2.elapsed();
+        stats.crawl_visited = self.crawler.crawl_visited;
+        stats.results = out.len();
+        stats
+    }
+
+    /// Heap bytes: surface index + traversal scratch (the two components
+    /// of the paper's OCTOPUS footprint, Fig. 10(b)).
+    pub fn memory_bytes(&self) -> usize {
+        self.surface.memory_bytes() + self.crawler.memory_bytes()
+    }
+
+    /// The configured visited-set strategy.
+    pub fn visited_strategy(&self) -> VisitedStrategy {
+        self.crawler.strategy()
+    }
+}
+
+/// Surface vertex among `ids` closest to `q` (squared Euclidean
+/// box distance), or `None` for an empty iterator.
+fn closest_of<'a>(
+    ids: impl Iterator<Item = &'a VertexId>,
+    positions: &[octopus_geom::Point3],
+    q: &Aabb,
+) -> Option<VertexId> {
+    let mut best = None;
+    let mut best_dist = f32::INFINITY;
+    for &v in ids {
+        let d = q.dist_sq(positions[v as usize]);
+        if d < best_dist {
+            best_dist = d;
+            best = Some(v);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octopus_geom::rng::SplitMix64;
+    use octopus_geom::Point3;
+    use octopus_meshgen::voxel::VoxelRegion;
+    use octopus_meshgen::{neuron, NeuroLevel};
+
+    fn box_mesh(n: usize) -> Mesh {
+        let bounds = Aabb::new(Point3::ORIGIN, Point3::splat(1.0));
+        octopus_meshgen::tet::tetrahedralize(&VoxelRegion::solid_box(&bounds, n, n, n)).unwrap()
+    }
+
+    fn scan(mesh: &Mesh, q: &Aabb) -> Vec<VertexId> {
+        mesh.positions()
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| q.contains(**p))
+            .map(|(i, _)| i as VertexId)
+            .collect()
+    }
+
+    fn assert_exact(octopus: &mut Octopus, mesh: &Mesh, q: &Aabb, ctx: &str) {
+        let mut out = Vec::new();
+        let stats = octopus.query(mesh, q, &mut out);
+        out.sort_unstable();
+        let expected = scan(mesh, q);
+        assert_eq!(out, expected, "{ctx}");
+        assert_eq!(stats.results, expected.len(), "{ctx}: stats.results");
+    }
+
+    #[test]
+    fn exact_on_box_mesh_queries_touching_surface() {
+        let mesh = box_mesh(6);
+        let mut o = Octopus::new(&mesh).unwrap();
+        // Query overlapping a corner — surface vertices inside.
+        assert_exact(&mut o, &mesh, &Aabb::new(Point3::ORIGIN, Point3::splat(0.4)), "corner");
+        // Query covering everything.
+        assert_exact(
+            &mut o,
+            &mesh,
+            &Aabb::new(Point3::splat(-1.0), Point3::splat(2.0)),
+            "universe",
+        );
+    }
+
+    #[test]
+    fn interior_query_uses_directed_walk() {
+        let mesh = box_mesh(8);
+        let mut o = Octopus::new(&mesh).unwrap();
+        // Strictly interior query: no surface vertex inside.
+        let q = Aabb::new(Point3::splat(0.4), Point3::splat(0.6));
+        let mut out = Vec::new();
+        let stats = o.query(&mesh, &q, &mut out);
+        assert_eq!(stats.start_vertices, 1, "one walk-found seed");
+        assert!(stats.walk_visited > 0, "walk must have run");
+        out.sort_unstable();
+        assert_eq!(out, scan(&mesh, &q));
+    }
+
+    #[test]
+    fn empty_query_returns_empty_without_false_positives() {
+        let mesh = box_mesh(4);
+        let mut o = Octopus::new(&mesh).unwrap();
+        let q = Aabb::new(Point3::splat(3.0), Point3::splat(4.0));
+        let mut out = Vec::new();
+        let stats = o.query(&mesh, &q, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(stats.results, 0);
+        assert!(stats.walk_visited > 0, "walk ran and gave up");
+    }
+
+    #[test]
+    fn exact_on_nonconvex_two_component_neuron_mesh() {
+        let mesh = neuron(NeuroLevel::L1, 0.5).unwrap();
+        let mut o = Octopus::new(&mesh).unwrap();
+        let mut rng = SplitMix64::new(13);
+        let bounds = mesh.bounding_box();
+        for i in 0..30 {
+            let c = Point3::new(
+                rng.range_f32(bounds.min.x, bounds.max.x),
+                rng.range_f32(bounds.min.y, bounds.max.y),
+                rng.range_f32(bounds.min.z, bounds.max.z),
+            );
+            let q = Aabb::cube(c, rng.range_f32(0.02, 0.2));
+            assert_exact(&mut o, &mesh, &q, &format!("neuron query {i}"));
+        }
+    }
+
+    #[test]
+    fn query_spanning_both_neuron_cells_finds_both_submeshes() {
+        let mesh = neuron(NeuroLevel::L1, 0.5).unwrap();
+        let mut o = Octopus::new(&mesh).unwrap();
+        // A slab across the middle of the domain usually intersects both
+        // cells (they are confined to x < 0.49 and x > 0.51).
+        let q = Aabb::new(Point3::new(0.0, 0.3, 0.0), Point3::new(1.0, 0.7, 1.0));
+        let mut out = Vec::new();
+        o.query(&mesh, &q, &mut out);
+        let expected = scan(&mesh, &q);
+        let mut got = out.clone();
+        got.sort_unstable();
+        assert_eq!(got, expected);
+        let left = expected.iter().any(|&v| mesh.position(v).x < 0.49);
+        let right = expected.iter().any(|&v| mesh.position(v).x > 0.51);
+        assert!(left && right, "slab must hit both disjoint cells for this to be a real test");
+    }
+
+    #[test]
+    fn stays_exact_under_deformation_without_any_maintenance() {
+        let mesh = box_mesh(5);
+        let mut o = Octopus::new(&mesh).unwrap();
+        let mut mesh = mesh;
+        let mut rng = SplitMix64::new(17);
+        for step in 0..5 {
+            // Massive in-place update (bounded so the box stays box-ish).
+            for p in mesh.positions_mut() {
+                p.x += rng.range_f32(-0.01, 0.01);
+                p.y += rng.range_f32(-0.01, 0.01);
+                p.z += rng.range_f32(-0.01, 0.01);
+            }
+            let q = Aabb::cube(
+                Point3::new(rng.next_f32(), rng.next_f32(), rng.next_f32()),
+                0.25,
+            );
+            assert_exact(&mut o, &mesh, &q, &format!("step {step}"));
+        }
+    }
+
+    #[test]
+    fn restructuring_is_handled_via_deltas() {
+        let mut mesh = box_mesh(3);
+        mesh.enable_restructuring().unwrap();
+        let mut o = Octopus::new(&mesh).unwrap();
+        for c in [0u32, 5, 9] {
+            let delta = mesh.remove_cell(c).unwrap();
+            o.on_restructure(&mesh, &delta);
+        }
+        let (_, delta) = mesh.refine_tet(20).unwrap();
+        o.on_restructure(&mesh, &delta);
+        let q = Aabb::new(Point3::ORIGIN, Point3::splat(0.8));
+        assert_exact(&mut o, &mesh, &q, "after restructuring");
+        // Surface index must equal a fresh build.
+        let fresh = SurfaceIndex::build(&mesh).unwrap();
+        assert_eq!(o.surface_index().len(), fresh.len());
+    }
+
+    #[test]
+    fn probe_dominates_for_small_queries_crawl_for_large() {
+        let mesh = box_mesh(10);
+        let mut o = Octopus::new(&mesh).unwrap();
+        let mut out = Vec::new();
+        let small = o.query(&mesh, &Aabb::cube(Point3::splat(0.2), 0.05), &mut out);
+        out.clear();
+        let large = o.query(&mesh, &Aabb::new(Point3::splat(0.05), Point3::splat(0.95)), &mut out);
+        assert!(large.crawl_visited > small.crawl_visited * 5);
+        assert!(large.results > small.results);
+    }
+
+    #[test]
+    fn timings_accumulate() {
+        let mut total = PhaseTimings::default();
+        let a = PhaseTimings {
+            surface_probe: Duration::from_micros(5),
+            directed_walk: Duration::from_micros(1),
+            crawling: Duration::from_micros(10),
+            start_vertices: 2,
+            walk_visited: 3,
+            crawl_visited: 20,
+            results: 15,
+        };
+        total.accumulate(&a);
+        total.accumulate(&a);
+        assert_eq!(total.results, 30);
+        assert_eq!(total.total(), Duration::from_micros(32));
+    }
+
+    #[test]
+    fn memory_includes_surface_and_scratch() {
+        let mesh = box_mesh(6);
+        let o = Octopus::new(&mesh).unwrap();
+        assert!(o.memory_bytes() > o.surface_index().memory_bytes());
+    }
+}

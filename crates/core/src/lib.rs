@@ -1,0 +1,47 @@
+//! OCTOPUS: range-query execution on dynamic mesh datasets.
+//!
+//! The paper's contribution (§IV): execute 3-D range queries on a mesh
+//! whose vertex positions are massively and unpredictably rewritten at
+//! every simulation time step, *without* maintaining a spatial index over
+//! the moving vertices. Only two position-invariant assets are used:
+//!
+//! * the **mesh surface** — maintained in a [`SurfaceIndex`] hash table
+//!   that only changes on (rare) connectivity restructuring, and
+//! * the **mesh connectivity** — the adjacency list that the crawl
+//!   traverses to collect the result.
+//!
+//! Query execution ([`Octopus::query`]) runs the three phases of
+//! Algorithm 1: **surface probe** → **directed walk** (only when no
+//! surface vertex falls inside the query) → **crawling** (bounded BFS).
+//!
+//! Variants and tooling:
+//!
+//! * [`OctopusCon`] — the convex-mesh variant (§IV-F): no surface index;
+//!   a *stale* uniform grid seeds the directed walk near the query.
+//! * [`ApproxOctopus`] — the surface-approximation optimisation (§IV-H2):
+//!   probes a sample of the surface, trading accuracy for probe time.
+//! * [`layout`] — the Hilbert data-layout optimisation (§IV-H1).
+//! * [`CostModel`] — the analytical model (Eq. 1–6) with on-machine
+//!   calibration of the `C_S`/`C_R` constants.
+//! * [`Planner`] — the Eq.-6 decision rule (OCTOPUS vs. linear scan)
+//!   driven by histogram selectivity estimates.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod approx;
+pub mod con;
+pub mod cost_model;
+mod crawler;
+pub mod executor;
+pub mod layout;
+pub mod planner;
+pub mod surface_index;
+
+pub use approx::ApproxOctopus;
+pub use con::OctopusCon;
+pub use cost_model::CostModel;
+pub use crawler::{CrawlOrder, VisitedStrategy};
+pub use executor::{Octopus, PhaseTimings};
+pub use planner::{Planner, Strategy};
+pub use surface_index::SurfaceIndex;

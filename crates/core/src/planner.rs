@@ -1,0 +1,153 @@
+//! The Eq.-6 execution-strategy planner.
+//!
+//! "Equations 5 and 6 thus help us to decide when to use OCTOPUS given
+//! that we know workload characteristics (M and S) and also the runtime
+//! constants on the particular hardware used (C_S/C_R)" (§IV-G). The
+//! planner packages that decision: per query it estimates selectivity
+//! with the spatial histogram ([2]) and picks OCTOPUS or the linear scan.
+
+use crate::cost_model::CostModel;
+use octopus_geom::Aabb;
+use octopus_index::SelectivityHistogram;
+use octopus_mesh::{Mesh, MeshError, MeshStats};
+
+/// The strategy chosen for a query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// Surface probe + crawl (low selectivity).
+    Octopus,
+    /// Full scan (selectivity beyond the Eq.-6 crossover).
+    LinearScan,
+}
+
+/// A per-query decision with its inputs, for explainability.
+#[derive(Clone, Copy, Debug)]
+pub struct Decision {
+    /// The chosen strategy.
+    pub strategy: Strategy,
+    /// Histogram-estimated selectivity of the query (fraction).
+    pub estimated_selectivity: f64,
+    /// The Eq.-6 crossover for this dataset.
+    pub crossover_selectivity: f64,
+    /// Eq.-5 predicted speedup at the estimated selectivity.
+    pub predicted_speedup: f64,
+}
+
+/// Chooses between OCTOPUS and the linear scan per query.
+#[derive(Clone, Debug)]
+pub struct Planner {
+    model: CostModel,
+    histogram: SelectivityHistogram,
+    surface_ratio: f64,
+    mesh_degree: f64,
+}
+
+impl Planner {
+    /// Builds a planner for `mesh`: computes S and M, builds the
+    /// selectivity histogram (resolution `hist_res³` buckets) over the
+    /// current positions.
+    pub fn new(mesh: &Mesh, model: CostModel, hist_res: usize) -> Result<Planner, MeshError> {
+        let stats = MeshStats::compute(mesh)?;
+        let histogram =
+            SelectivityHistogram::build(mesh.positions(), &mesh.bounding_box(), hist_res);
+        Ok(Planner {
+            model,
+            histogram,
+            surface_ratio: stats.surface_ratio,
+            mesh_degree: stats.mesh_degree,
+        })
+    }
+
+    /// Builds from explicit workload characteristics (no mesh pass).
+    pub fn from_parts(
+        model: CostModel,
+        histogram: SelectivityHistogram,
+        surface_ratio: f64,
+        mesh_degree: f64,
+    ) -> Planner {
+        Planner { model, histogram, surface_ratio, mesh_degree }
+    }
+
+    /// Decides the strategy for query `q` (Eq. 6).
+    pub fn decide(&self, q: &Aabb) -> Decision {
+        let sel = self.histogram.estimate_selectivity(q);
+        let crossover = self.model.crossover_selectivity(self.surface_ratio, self.mesh_degree);
+        Decision {
+            strategy: if sel < crossover { Strategy::Octopus } else { Strategy::LinearScan },
+            estimated_selectivity: sel,
+            crossover_selectivity: crossover,
+            predicted_speedup: self.model.speedup(self.surface_ratio, self.mesh_degree, sel),
+        }
+    }
+
+    /// The dataset's surface-to-volume ratio `S`.
+    pub fn surface_ratio(&self) -> f64 {
+        self.surface_ratio
+    }
+
+    /// The dataset's mesh degree `M`.
+    pub fn mesh_degree(&self) -> f64 {
+        self.mesh_degree
+    }
+
+    /// The underlying cost model.
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octopus_geom::Point3;
+    use octopus_meshgen::voxel::VoxelRegion;
+
+    fn box_mesh(n: usize) -> octopus_mesh::Mesh {
+        let bounds = Aabb::new(Point3::ORIGIN, Point3::splat(1.0));
+        octopus_meshgen::tet::tetrahedralize(&VoxelRegion::solid_box(&bounds, n, n, n)).unwrap()
+    }
+
+    #[test]
+    fn tiny_queries_choose_octopus_huge_choose_scan() {
+        let mesh = box_mesh(10);
+        let planner = Planner::new(&mesh, CostModel::paper_constants(), 8).unwrap();
+        let tiny = planner.decide(&Aabb::cube(Point3::splat(0.5), 0.01));
+        assert_eq!(tiny.strategy, Strategy::Octopus);
+        assert!(tiny.predicted_speedup > 1.0);
+        let huge = planner.decide(&Aabb::new(Point3::ORIGIN, Point3::splat(1.0)));
+        assert_eq!(huge.strategy, Strategy::LinearScan);
+        assert!(huge.estimated_selectivity > huge.crossover_selectivity);
+    }
+
+    #[test]
+    fn decision_is_consistent_with_the_model() {
+        let mesh = box_mesh(8);
+        let planner = Planner::new(&mesh, CostModel::paper_constants(), 6).unwrap();
+        let d = planner.decide(&Aabb::cube(Point3::splat(0.4), 0.1));
+        let expected = planner
+            .model()
+            .crossover_selectivity(planner.surface_ratio(), planner.mesh_degree());
+        assert_eq!(d.crossover_selectivity, expected);
+        assert_eq!(
+            d.strategy,
+            if d.estimated_selectivity < expected {
+                Strategy::Octopus
+            } else {
+                Strategy::LinearScan
+            }
+        );
+    }
+
+    #[test]
+    fn from_parts_respects_given_characteristics() {
+        let hist = SelectivityHistogram::build(
+            &[Point3::splat(0.5)],
+            &Aabb::new(Point3::ORIGIN, Point3::splat(1.0)),
+            2,
+        );
+        // S = 1 → crossover = 0 → always scan.
+        let p = Planner::from_parts(CostModel::paper_constants(), hist, 1.0, 14.0);
+        let d = p.decide(&Aabb::cube(Point3::splat(0.1), 0.01));
+        assert_eq!(d.strategy, Strategy::LinearScan);
+    }
+}

@@ -1,0 +1,238 @@
+//! 3-D Hilbert space-filling curve.
+//!
+//! The paper's graph-data-organisation optimisation (§IV-H1) sorts mesh
+//! vertices by their Hilbert value so that spatially close vertices are
+//! close in memory, improving L1/L2 hit rates during the crawl.
+//!
+//! The implementation is John Skilling's *transpose* algorithm
+//! ("Programming the Hilbert curve", AIP 2004): coordinates are converted
+//! to/from a transposed bit matrix with a Gray-code pass, giving an O(bits)
+//! bijection between `[0, 2^b)^3` and `[0, 2^(3b))` without lookup tables.
+
+use crate::{Aabb, Point3};
+
+/// Number of bits per axis used by [`hilbert_index_for_point`];
+/// 2^(3·21) = 2^63 fits in `u64`.
+pub const MAX_BITS: u32 = 21;
+
+/// Converts 3-D grid coordinates to a Hilbert index with `bits` bits/axis.
+///
+/// Coordinates must be `< 2^bits`. The result is in `[0, 2^(3·bits))`.
+///
+/// # Panics
+/// Panics when `bits` is 0 or exceeds [`MAX_BITS`], or a coordinate is out
+/// of range.
+pub fn hilbert_d(coords: [u32; 3], bits: u32) -> u64 {
+    assert!((1..=MAX_BITS).contains(&bits), "bits must be in 1..={MAX_BITS}");
+    for &c in &coords {
+        assert!(u64::from(c) < (1u64 << bits), "coordinate {c} out of range for {bits} bits");
+    }
+    let x = axes_to_transpose(coords, bits);
+    transpose_to_index(x, bits)
+}
+
+/// Inverse of [`hilbert_d`]: recovers grid coordinates from a Hilbert
+/// index.
+pub fn hilbert_point(d: u64, bits: u32) -> [u32; 3] {
+    assert!((1..=MAX_BITS).contains(&bits), "bits must be in 1..={MAX_BITS}");
+    if bits < MAX_BITS {
+        assert!(d < (1u64 << (3 * bits)), "index {d} out of range for {bits} bits");
+    }
+    let x = index_to_transpose(d, bits);
+    transpose_to_axes(x, bits)
+}
+
+/// Skilling's AxestoTranspose: in-place Gray-code untangling.
+fn axes_to_transpose(mut x: [u32; 3], bits: u32) -> [u32; 3] {
+    let m = 1u32 << (bits - 1);
+    // Inverse undo.
+    let mut q = m;
+    while q > 1 {
+        let p = q.wrapping_sub(1);
+        for i in 0..3 {
+            if x[i] & q != 0 {
+                x[0] ^= p; // invert
+            } else {
+                let t = (x[0] ^ x[i]) & p;
+                x[0] ^= t;
+                x[i] ^= t;
+            }
+        }
+        q >>= 1;
+    }
+    // Gray encode.
+    for i in 1..3 {
+        x[i] ^= x[i - 1];
+    }
+    let mut t = 0u32;
+    let mut q = m;
+    while q > 1 {
+        if x[2] & q != 0 {
+            t ^= q - 1;
+        }
+        q >>= 1;
+    }
+    for xi in &mut x {
+        *xi ^= t;
+    }
+    x
+}
+
+/// Skilling's TransposetoAxes (inverse of [`axes_to_transpose`]).
+fn transpose_to_axes(mut x: [u32; 3], bits: u32) -> [u32; 3] {
+    let m = 2u32.wrapping_shl(bits - 1);
+    // Gray decode by H ^ (H/2).
+    let mut t = x[2] >> 1;
+    for i in (1..3).rev() {
+        x[i] ^= x[i - 1];
+    }
+    x[0] ^= t;
+    // Undo excess work.
+    let mut q = 2u32;
+    while q != m {
+        let p = q.wrapping_sub(1);
+        for i in (0..3).rev() {
+            if x[i] & q != 0 {
+                x[0] ^= p;
+            } else {
+                t = (x[0] ^ x[i]) & p;
+                x[0] ^= t;
+                x[i] ^= t;
+            }
+        }
+        q <<= 1;
+    }
+    x
+}
+
+/// Interleaves the transposed representation into a single index:
+/// bit `b` of axis `i` becomes bit `3·b + (2 - i)` of the result.
+fn transpose_to_index(x: [u32; 3], bits: u32) -> u64 {
+    let mut d = 0u64;
+    for b in (0..bits).rev() {
+        for (i, xi) in x.iter().enumerate() {
+            let bit = u64::from((xi >> b) & 1);
+            d = (d << 1) | bit;
+            let _ = i;
+        }
+    }
+    d
+}
+
+/// Inverse of [`transpose_to_index`].
+fn index_to_transpose(d: u64, bits: u32) -> [u32; 3] {
+    let mut x = [0u32; 3];
+    let mut pos = 3 * bits;
+    for b in (0..bits).rev() {
+        for xi in &mut x {
+            pos -= 1;
+            let bit = ((d >> pos) & 1) as u32;
+            *xi |= bit << b;
+        }
+    }
+    x
+}
+
+/// Quantises `p` into `bounds` on a `2^bits` lattice and returns its
+/// Hilbert index. Points outside `bounds` are clamped.
+///
+/// This is the key the layout optimisation sorts vertices by.
+pub fn hilbert_index_for_point(p: Point3, bounds: &Aabb, bits: u32) -> u64 {
+    let coords = quantize(p, bounds, bits);
+    hilbert_d(coords, bits)
+}
+
+/// Quantises a point into lattice coordinates within `bounds` (clamped).
+pub fn quantize(p: Point3, bounds: &Aabb, bits: u32) -> [u32; 3] {
+    assert!((1..=MAX_BITS).contains(&bits));
+    let n = (1u64 << bits) as f64;
+    let e = bounds.extent();
+    let mut out = [0u32; 3];
+    for axis in 0..3 {
+        let lo = f64::from(bounds.min[axis]);
+        let len = f64::from(e[axis]).max(f64::MIN_POSITIVE);
+        let t = ((f64::from(p[axis]) - lo) / len * n).floor();
+        out[axis] = t.clamp(0.0, n - 1.0) as u32;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_bit_curve_is_a_permutation_visiting_neighbors() {
+        // For bits = 2 the curve visits all 64 lattice cells exactly once,
+        // and consecutive indices differ by exactly one unit step.
+        let bits = 2;
+        let n = 1u64 << (3 * bits);
+        let mut seen = vec![false; n as usize];
+        let mut prev: Option<[u32; 3]> = None;
+        for d in 0..n {
+            let c = hilbert_point(d, bits);
+            let flat = (c[0] + 4 * c[1] + 16 * c[2]) as usize;
+            assert!(!seen[flat], "cell visited twice");
+            seen[flat] = true;
+            if let Some(p) = prev {
+                let manhattan: u32 =
+                    (0..3).map(|i| p[i].abs_diff(c[i])).sum();
+                assert_eq!(manhattan, 1, "curve must move one step at a time");
+            }
+            prev = Some(c);
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn roundtrip_various_bit_widths() {
+        for bits in [1u32, 2, 3, 5, 8, 13, 21] {
+            let max = 1u64 << bits;
+            let probe = [0, 1, max / 2, max - 1];
+            for &x in &probe {
+                for &y in &probe {
+                    for &z in &probe {
+                        let c = [x as u32, y as u32, z as u32];
+                        let d = hilbert_d(c, bits);
+                        assert_eq!(hilbert_point(d, bits), c, "bits={bits} c={c:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn index_zero_is_origin() {
+        for bits in [1u32, 4, 10, 21] {
+            assert_eq!(hilbert_point(0, bits), [0, 0, 0]);
+            assert_eq!(hilbert_d([0, 0, 0], bits), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_coordinate_panics() {
+        let _ = hilbert_d([4, 0, 0], 2);
+    }
+
+    #[test]
+    fn quantize_clamps_and_spreads() {
+        let b = Aabb::new(Point3::ORIGIN, Point3::splat(1.0));
+        assert_eq!(quantize(Point3::ORIGIN, &b, 4), [0, 0, 0]);
+        assert_eq!(quantize(Point3::splat(1.0), &b, 4), [15, 15, 15]);
+        assert_eq!(quantize(Point3::splat(5.0), &b, 4), [15, 15, 15]);
+        assert_eq!(quantize(Point3::splat(-5.0), &b, 4), [0, 0, 0]);
+        assert_eq!(quantize(Point3::splat(0.5), &b, 4), [8, 8, 8]);
+    }
+
+    #[test]
+    fn point_keys_order_spatially_close_points_together() {
+        // Locality sanity check: keys of points inside a small region span a
+        // narrower index range than keys of far-apart points, on average.
+        let b = Aabb::new(Point3::ORIGIN, Point3::splat(1.0));
+        let near1 = hilbert_index_for_point(Point3::new(0.10, 0.10, 0.10), &b, 10);
+        let near2 = hilbert_index_for_point(Point3::new(0.11, 0.10, 0.10), &b, 10);
+        let far = hilbert_index_for_point(Point3::new(0.9, 0.9, 0.9), &b, 10);
+        assert!(near1.abs_diff(near2) < near1.abs_diff(far));
+    }
+}

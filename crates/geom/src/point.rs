@@ -1,0 +1,339 @@
+//! 3-D points and vectors.
+
+use std::ops::{Add, AddAssign, Div, Index, Mul, Neg, Sub, SubAssign};
+
+/// A point in 3-D space.
+///
+/// Components are `f32`: mesh vertex positions dominate the memory
+/// footprint of simulation datasets, and single precision matches the
+/// storage budget implied by the paper (33 GB for 1.32 G tetrahedra).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Point3 {
+    /// X coordinate.
+    pub x: f32,
+    /// Y coordinate.
+    pub y: f32,
+    /// Z coordinate.
+    pub z: f32,
+}
+
+/// A displacement / direction in 3-D space.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Vec3 {
+    /// X component.
+    pub x: f32,
+    /// Y component.
+    pub y: f32,
+    /// Z component.
+    pub z: f32,
+}
+
+impl Point3 {
+    /// The origin `(0, 0, 0)`.
+    pub const ORIGIN: Point3 = Point3 { x: 0.0, y: 0.0, z: 0.0 };
+
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(x: f32, y: f32, z: f32) -> Self {
+        Point3 { x, y, z }
+    }
+
+    /// Creates a point with all coordinates equal to `v`.
+    #[inline]
+    pub const fn splat(v: f32) -> Self {
+        Point3 { x: v, y: v, z: v }
+    }
+
+    /// Squared Euclidean distance to `other`.
+    ///
+    /// Distances inside the directed walk are only *compared*, never
+    /// reported, so the square root is skipped on the hot path.
+    #[inline]
+    pub fn dist_sq(&self, other: Point3) -> f32 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        let dz = self.z - other.z;
+        dx * dx + dy * dy + dz * dz
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn dist(&self, other: Point3) -> f32 {
+        self.dist_sq(other).sqrt()
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(&self, other: Point3) -> Point3 {
+        Point3::new(self.x.min(other.x), self.y.min(other.y), self.z.min(other.z))
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(&self, other: Point3) -> Point3 {
+        Point3::new(self.x.max(other.x), self.y.max(other.y), self.z.max(other.z))
+    }
+
+    /// Linear interpolation towards `other` (`t = 0` → `self`).
+    #[inline]
+    pub fn lerp(&self, other: Point3, t: f32) -> Point3 {
+        *self + (other - *self) * t
+    }
+
+    /// Interprets the point as a vector from the origin.
+    #[inline]
+    pub fn to_vec(self) -> Vec3 {
+        Vec3 { x: self.x, y: self.y, z: self.z }
+    }
+
+    /// True when every coordinate is finite.
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+
+    /// Creates a vector from its components.
+    #[inline]
+    pub const fn new(x: f32, y: f32, z: f32) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// Squared length.
+    #[inline]
+    pub fn length_sq(&self) -> f32 {
+        self.x * self.x + self.y * self.y + self.z * self.z
+    }
+
+    /// Length.
+    #[inline]
+    pub fn length(&self) -> f32 {
+        self.length_sq().sqrt()
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(&self, other: Vec3) -> f32 {
+        self.x * other.x + self.y * other.y + self.z * other.z
+    }
+
+    /// Cross product.
+    #[inline]
+    pub fn cross(&self, other: Vec3) -> Vec3 {
+        Vec3::new(
+            self.y * other.z - self.z * other.y,
+            self.z * other.x - self.x * other.z,
+            self.x * other.y - self.y * other.x,
+        )
+    }
+
+    /// Returns the vector scaled to unit length, or `None` for (near-)zero
+    /// vectors.
+    #[inline]
+    pub fn normalized(&self) -> Option<Vec3> {
+        let len = self.length();
+        if len > f32::EPSILON {
+            Some(*self / len)
+        } else {
+            None
+        }
+    }
+}
+
+impl Add<Vec3> for Point3 {
+    type Output = Point3;
+    #[inline]
+    fn add(self, rhs: Vec3) -> Point3 {
+        Point3::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl AddAssign<Vec3> for Point3 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vec3) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+        self.z += rhs.z;
+    }
+}
+
+impl Sub<Vec3> for Point3 {
+    type Output = Point3;
+    #[inline]
+    fn sub(self, rhs: Vec3) -> Point3 {
+        Point3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl SubAssign<Vec3> for Point3 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Vec3) {
+        self.x -= rhs.x;
+        self.y -= rhs.y;
+        self.z -= rhs.z;
+    }
+}
+
+impl Sub for Point3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, rhs: Point3) -> Vec3 {
+        Vec3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vec3) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+        self.z += rhs.z;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl Mul<f32> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, rhs: f32) -> Vec3 {
+        Vec3::new(self.x * rhs, self.y * rhs, self.z * rhs)
+    }
+}
+
+impl Div<f32> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn div(self, rhs: f32) -> Vec3 {
+        Vec3::new(self.x / rhs, self.y / rhs, self.z / rhs)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+impl Index<usize> for Point3 {
+    type Output = f32;
+    #[inline]
+    fn index(&self, axis: usize) -> &f32 {
+        match axis {
+            0 => &self.x,
+            1 => &self.y,
+            2 => &self.z,
+            _ => panic!("axis out of range: {axis}"),
+        }
+    }
+}
+
+impl Index<usize> for Vec3 {
+    type Output = f32;
+    #[inline]
+    fn index(&self, axis: usize) -> &f32 {
+        match axis {
+            0 => &self.x,
+            1 => &self.y,
+            2 => &self.z,
+            _ => panic!("axis out of range: {axis}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_arithmetic_roundtrip() {
+        let p = Point3::new(1.0, 2.0, 3.0);
+        let v = Vec3::new(0.5, -1.0, 2.0);
+        let q = p + v;
+        assert_eq!(q - p, v);
+        assert_eq!(q - v, p);
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_self() {
+        let a = Point3::new(1.0, 2.0, 3.0);
+        let b = Point3::new(-4.0, 0.0, 9.5);
+        assert_eq!(a.dist_sq(b), b.dist_sq(a));
+        assert_eq!(a.dist_sq(a), 0.0);
+        assert!((a.dist(b) - a.dist_sq(b).sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn min_max_are_componentwise() {
+        let a = Point3::new(1.0, 5.0, -2.0);
+        let b = Point3::new(3.0, 0.0, -1.0);
+        assert_eq!(a.min(b), Point3::new(1.0, 0.0, -2.0));
+        assert_eq!(a.max(b), Point3::new(3.0, 5.0, -1.0));
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = Point3::new(0.0, 0.0, 0.0);
+        let b = Point3::new(2.0, 4.0, 6.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Point3::new(1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn cross_product_is_orthogonal() {
+        let a = Vec3::new(1.0, 0.5, -0.25);
+        let b = Vec3::new(-2.0, 1.0, 3.0);
+        let c = a.cross(b);
+        assert!(c.dot(a).abs() < 1e-5);
+        assert!(c.dot(b).abs() < 1e-5);
+    }
+
+    #[test]
+    fn normalized_unit_length_or_none() {
+        assert!(Vec3::ZERO.normalized().is_none());
+        let n = Vec3::new(3.0, 4.0, 0.0).normalized().unwrap();
+        assert!((n.length() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn indexing_matches_fields() {
+        let p = Point3::new(7.0, 8.0, 9.0);
+        assert_eq!(p[0], 7.0);
+        assert_eq!(p[1], 8.0);
+        assert_eq!(p[2], 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "axis out of range")]
+    fn indexing_out_of_range_panics() {
+        let _ = Point3::ORIGIN[3];
+    }
+
+    #[test]
+    fn is_finite_detects_nan() {
+        assert!(Point3::new(1.0, 2.0, 3.0).is_finite());
+        assert!(!Point3::new(f32::NAN, 2.0, 3.0).is_finite());
+        assert!(!Point3::new(1.0, f32::INFINITY, 3.0).is_finite());
+    }
+}

@@ -1,0 +1,241 @@
+//! The stale uniform grid used by OCTOPUS-CON (§IV-F).
+//!
+//! "OCTOPUS-CON uses a simple three dimensional uniform grid as spatial
+//! index. Before the simulation, the index is built by mapping each
+//! vertex of the mesh to the grid cell enclosing the vertex. To find the
+//! closest vertex OCTOPUS-CON finds the cell that encloses the center of
+//! the query region and then uses any of the mesh vertices assigned to
+//! this cell … If no vertex exists the neighboring cells are recursively
+//! checked until a vertex is found."
+//!
+//! The grid is **built once and never updated** — it goes stale as the
+//! simulation moves vertices, which is tolerable because it only seeds
+//! the directed walk; correctness comes from the walk + crawl.
+
+use crate::DynamicIndex;
+use octopus_geom::{Aabb, Point3, VertexId};
+
+/// A uniform `r × r × r` grid of vertex buckets (CSR layout).
+#[derive(Clone, Debug)]
+pub struct UniformGrid {
+    res: usize,
+    bounds: Aabb,
+    /// CSR: bucket `b` holds `ids[offsets[b]..offsets[b+1]]`.
+    offsets: Vec<u32>,
+    ids: Vec<VertexId>,
+}
+
+impl UniformGrid {
+    /// Builds the grid over `bounds` with `res³` cells from the given
+    /// positions. Positions outside `bounds` are clamped into border
+    /// cells.
+    pub fn build(positions: &[Point3], bounds: &Aabb, res: usize) -> UniformGrid {
+        assert!(res >= 1, "grid resolution must be at least 1");
+        let cells = res * res * res;
+        let mut counts = vec![0u32; cells + 1];
+        let cell_of = |p: &Point3| -> usize { Self::cell_index(p, bounds, res) };
+        for p in positions {
+            counts[cell_of(p) + 1] += 1;
+        }
+        for i in 0..cells {
+            counts[i + 1] += counts[i];
+        }
+        let mut ids = vec![0 as VertexId; positions.len()];
+        let mut cursor = counts.clone();
+        for (i, p) in positions.iter().enumerate() {
+            let c = cell_of(p);
+            ids[cursor[c] as usize] = i as VertexId;
+            cursor[c] += 1;
+        }
+        UniformGrid { res, bounds: *bounds, offsets: counts, ids }
+    }
+
+    /// Grid resolution per axis.
+    #[inline]
+    pub fn resolution(&self) -> usize {
+        self.res
+    }
+
+    /// Total number of grid cells (`res³`) — the paper's Fig. 9(c/d)
+    /// x-axis.
+    #[inline]
+    pub fn num_cells(&self) -> usize {
+        self.res * self.res * self.res
+    }
+
+    fn cell_index(p: &Point3, bounds: &Aabb, res: usize) -> usize {
+        let e = bounds.extent();
+        let mut idx = [0usize; 3];
+        for axis in 0..3 {
+            let len = e[axis].max(f32::MIN_POSITIVE);
+            let t = ((p[axis] - bounds.min[axis]) / len * res as f32).floor();
+            idx[axis] = (t.max(0.0) as usize).min(res - 1);
+        }
+        idx[0] + res * (idx[1] + res * idx[2])
+    }
+
+    fn bucket(&self, cell: usize) -> &[VertexId] {
+        let lo = self.offsets[cell] as usize;
+        let hi = self.offsets[cell + 1] as usize;
+        &self.ids[lo..hi]
+    }
+
+    /// Any vertex whose *build-time* position fell in the cell containing
+    /// `target`; when that cell is empty, rings of neighbouring cells are
+    /// searched outward until a non-empty cell is found.
+    ///
+    /// Returns `None` only when the whole grid is empty.
+    pub fn stale_start_vertex(&self, target: Point3) -> Option<VertexId> {
+        if self.ids.is_empty() {
+            return None;
+        }
+        let center = Self::cell_index(&target, &self.bounds, self.res);
+        let r = self.res;
+        let (cx, cy, cz) = (center % r, (center / r) % r, center / (r * r));
+        for radius in 0..r {
+            // Scan the cube shell at Chebyshev distance `radius`.
+            let lo = |c: usize| c.saturating_sub(radius);
+            let hi = |c: usize| (c + radius).min(r - 1);
+            for z in lo(cz)..=hi(cz) {
+                for y in lo(cy)..=hi(cy) {
+                    for x in lo(cx)..=hi(cx) {
+                        // Only the shell, not the interior (already seen).
+                        let on_shell = x == lo(cx)
+                            || x == hi(cx)
+                            || y == lo(cy)
+                            || y == hi(cy)
+                            || z == lo(cz)
+                            || z == hi(cz);
+                        if radius > 0 && !on_shell {
+                            continue;
+                        }
+                        let b = self.bucket(x + r * (y + r * z));
+                        if let Some(&id) = b.first() {
+                            return Some(id);
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+impl DynamicIndex for UniformGrid {
+    fn name(&self) -> &'static str {
+        "UniformGrid(stale)"
+    }
+
+    /// Never updated — the defining property of the stale grid.
+    fn on_step(&mut self, _positions: &[Point3]) {}
+
+    /// Queries verify candidates against live positions: the grid buckets
+    /// are stale, so a candidate's *current* position decides membership.
+    /// NOTE: stale buckets make this a *heuristic* pre-filter, not an
+    /// exact index — vertices that moved across cells since build time
+    /// can be missed. OCTOPUS-CON therefore never uses `query`; it uses
+    /// [`UniformGrid::stale_start_vertex`]. The implementation exists for
+    /// the grid-staleness ablation.
+    fn query(&self, q: &Aabb, positions: &[Point3], out: &mut Vec<VertexId>) {
+        let r = self.res;
+        let e = self.bounds.extent();
+        let mut lo = [0usize; 3];
+        let mut hi = [0usize; 3];
+        for axis in 0..3 {
+            let len = e[axis].max(f32::MIN_POSITIVE);
+            let t0 = ((q.min[axis] - self.bounds.min[axis]) / len * r as f32).floor();
+            let t1 = ((q.max[axis] - self.bounds.min[axis]) / len * r as f32).floor();
+            lo[axis] = (t0.max(0.0) as usize).min(r - 1);
+            hi[axis] = (t1.max(0.0) as usize).min(r - 1);
+        }
+        for z in lo[2]..=hi[2] {
+            for y in lo[1]..=hi[1] {
+                for x in lo[0]..=hi[0] {
+                    for &id in self.bucket(x + r * (y + r * z)) {
+                        if q.contains(positions[id as usize]) {
+                            out.push(id);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fig. 9(d)'s "memory overhead of grid hash".
+    fn memory_bytes(&self) -> usize {
+        self.offsets.capacity() * std::mem::size_of::<u32>()
+            + self.ids.capacity() * std::mem::size_of::<VertexId>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::*;
+
+    fn unit_bounds() -> Aabb {
+        Aabb::new(Point3::ORIGIN, Point3::splat(1.0))
+    }
+
+    #[test]
+    fn start_vertex_comes_from_the_right_cell() {
+        let pts =
+            vec![Point3::new(0.1, 0.1, 0.1), Point3::new(0.9, 0.9, 0.9), Point3::new(0.5, 0.5, 0.5)];
+        let g = UniformGrid::build(&pts, &unit_bounds(), 4);
+        assert_eq!(g.stale_start_vertex(Point3::new(0.12, 0.1, 0.08)), Some(0));
+        assert_eq!(g.stale_start_vertex(Point3::new(0.88, 0.9, 0.93)), Some(1));
+    }
+
+    #[test]
+    fn ring_search_reaches_distant_cells() {
+        // One point in a corner; target in the opposite corner.
+        let pts = vec![Point3::new(0.05, 0.05, 0.05)];
+        let g = UniformGrid::build(&pts, &unit_bounds(), 8);
+        assert_eq!(g.stale_start_vertex(Point3::new(0.95, 0.95, 0.95)), Some(0));
+    }
+
+    #[test]
+    fn empty_grid_returns_none() {
+        let g = UniformGrid::build(&[], &unit_bounds(), 4);
+        assert_eq!(g.stale_start_vertex(Point3::splat(0.5)), None);
+    }
+
+    #[test]
+    fn out_of_bounds_points_are_clamped_not_lost() {
+        let pts = vec![Point3::new(-5.0, 0.5, 0.5), Point3::new(5.0, 0.5, 0.5)];
+        let g = UniformGrid::build(&pts, &unit_bounds(), 4);
+        assert_eq!(g.num_cells(), 64);
+        assert!(g.stale_start_vertex(Point3::new(0.0, 0.5, 0.5)).is_some());
+        // Both points are in the grid somewhere.
+        let mut out = Vec::new();
+        let everywhere = Aabb::new(Point3::splat(-10.0), Point3::splat(10.0));
+        g.query(&everywhere, &pts, &mut out);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn fresh_grid_query_matches_scan() {
+        // Immediately after build (no movement) the grid is exact.
+        let pts = random_points(400, 9);
+        let g = UniformGrid::build(&pts, &unit_bounds(), 5);
+        let q = Aabb::cube(Point3::splat(0.4), 0.22);
+        let mut out = Vec::new();
+        g.query(&q, &pts, &mut out);
+        assert_same_ids(out, &scan(&q, &pts), "fresh grid");
+    }
+
+    #[test]
+    fn memory_grows_with_resolution() {
+        let pts = random_points(100, 4);
+        let small = UniformGrid::build(&pts, &unit_bounds(), 2);
+        let large = UniformGrid::build(&pts, &unit_bounds(), 18);
+        assert!(large.memory_bytes() > small.memory_bytes(), "Fig. 9(d) trend");
+    }
+
+    #[test]
+    fn single_cell_grid_works() {
+        let pts = random_points(10, 5);
+        let g = UniformGrid::build(&pts, &unit_bounds(), 1);
+        assert!(g.stale_start_vertex(Point3::splat(0.5)).is_some());
+    }
+}

@@ -1,0 +1,74 @@
+//! The linear-scan baseline.
+
+use crate::DynamicIndex;
+use octopus_geom::{Aabb, Point3, VertexId};
+
+/// Brute-force range execution: test every vertex against the query.
+///
+/// "While the linear scan has no memory overhead, query execution time
+/// will not scale as it directly depends on the dataset size" (§II). It
+/// is nonetheless the strongest competitor in the paper's massive-update
+/// regime, and the denominator of every speedup figure.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LinearScan;
+
+impl LinearScan {
+    /// Creates the (stateless) scan "index".
+    pub fn new() -> LinearScan {
+        LinearScan
+    }
+}
+
+impl DynamicIndex for LinearScan {
+    fn name(&self) -> &'static str {
+        "LinearScan"
+    }
+
+    fn on_step(&mut self, _positions: &[Point3]) {}
+
+    fn query(&self, q: &Aabb, positions: &[Point3], out: &mut Vec<VertexId>) {
+        for (i, p) in positions.iter().enumerate() {
+            if q.contains(*p) {
+                out.push(i as VertexId);
+            }
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::*;
+
+    #[test]
+    fn scan_finds_exactly_contained_points() {
+        let pts = random_points(500, 1);
+        let q = Aabb::cube(Point3::splat(0.5), 0.2);
+        let mut out = Vec::new();
+        LinearScan::new().query(&q, &pts, &mut out);
+        assert_same_ids(out, &scan(&q, &pts), "linear scan vs ground truth");
+    }
+
+    #[test]
+    fn scan_has_no_memory_and_no_maintenance() {
+        let mut s = LinearScan::new();
+        let mut pts = random_points(100, 2);
+        s.on_step(&pts);
+        jitter_all(&mut pts, 0.1, 3);
+        s.on_step(&pts);
+        assert_eq!(s.memory_bytes(), 0);
+    }
+
+    #[test]
+    fn query_appends_without_clearing() {
+        let pts = vec![Point3::splat(0.5)];
+        let q = Aabb::cube(Point3::splat(0.5), 0.1);
+        let mut out = vec![99];
+        LinearScan::new().query(&q, &pts, &mut out);
+        assert_eq!(out, vec![99, 0]);
+    }
+}

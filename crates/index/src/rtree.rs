@@ -1,0 +1,959 @@
+//! In-memory R-tree (Guttman) with STR bulk loading.
+//!
+//! Substrate for the spatio-temporal competitors: the paper implements
+//! both LUR-Tree and QU-Trade "based on the same in-memory R-Tree
+//! implementation with a fanout of 110" (§V-A). Leaf entries are
+//! `(object id, Aabb)`; point objects use degenerate boxes, QU-Trade uses
+//! grace-window boxes.
+//!
+//! Supported operations: STR bulk load, insert with quadratic split,
+//! delete with condense + reinsert, in-place entry updates (for the
+//! LUR-Tree's lazy path), and range queries. An `object → leaf` back
+//! pointer map makes deletes and lazy updates O(1) to locate, mirroring
+//! the "hash index for quick lookups" the paper attributes to the
+//! R-tree-based competitors in its memory accounting.
+
+use crate::DynamicIndex;
+use octopus_geom::{Aabb, Point3, VertexId};
+use std::collections::HashMap;
+
+/// The paper's R-tree fanout (§V-A).
+pub const DEFAULT_FANOUT: usize = 110;
+
+const NO_NODE: u32 = u32::MAX;
+
+/// A leaf entry: an object id and its indexed box.
+#[derive(Clone, Copy, Debug)]
+pub struct LeafEntry {
+    /// Object (vertex) id.
+    pub id: VertexId,
+    /// Indexed key (point = degenerate box; QU-Trade = grace window).
+    pub key: Aabb,
+}
+
+#[derive(Clone, Debug)]
+enum NodeKind {
+    Leaf(Vec<LeafEntry>),
+    Inner(Vec<u32>),
+}
+
+#[derive(Clone, Debug)]
+struct Node {
+    mbr: Aabb,
+    parent: u32,
+    kind: NodeKind,
+}
+
+/// An in-memory R-tree over `(id, Aabb)` entries.
+///
+/// ```
+/// use octopus_geom::{Aabb, Point3};
+/// use octopus_index::rtree::{point_key, RTree};
+///
+/// let mut tree = RTree::with_fanout(8);
+/// for i in 0..100u32 {
+///     tree.insert(i, point_key(Point3::new(i as f32, 0.0, 0.0)));
+/// }
+/// let mut hits = Vec::new();
+/// tree.query_keys(&Aabb::cube(Point3::new(10.0, 0.0, 0.0), 2.5), &mut hits);
+/// hits.sort_unstable();
+/// assert_eq!(hits, vec![8, 9, 10, 11, 12]);
+/// tree.check_invariants();
+/// ```
+#[derive(Clone, Debug)]
+pub struct RTree {
+    max_entries: usize,
+    min_entries: usize,
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+    root: u32,
+    len: usize,
+    /// object id → leaf node index.
+    object_leaf: HashMap<VertexId, u32>,
+}
+
+impl RTree {
+    /// Creates an empty tree with the paper's fanout of 110.
+    pub fn new() -> RTree {
+        RTree::with_fanout(DEFAULT_FANOUT)
+    }
+
+    /// Creates an empty tree with a custom fanout (≥ 4). Minimum fill is
+    /// 40 % of the fanout, Guttman's recommended setting.
+    pub fn with_fanout(fanout: usize) -> RTree {
+        assert!(fanout >= 4, "fanout must be at least 4");
+        RTree {
+            max_entries: fanout,
+            min_entries: (fanout * 2 / 5).max(1),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            root: NO_NODE,
+            len: 0,
+            object_leaf: HashMap::new(),
+        }
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The configured fanout.
+    pub fn fanout(&self) -> usize {
+        self.max_entries
+    }
+
+    fn alloc(&mut self, node: Node) -> u32 {
+        if let Some(i) = self.free.pop() {
+            self.nodes[i as usize] = node;
+            i
+        } else {
+            self.nodes.push(node);
+            (self.nodes.len() - 1) as u32
+        }
+    }
+
+    fn release(&mut self, i: u32) {
+        self.free.push(i);
+    }
+
+    // ------------------------------------------------------------------
+    // Bulk loading (Sort-Tile-Recursive)
+    // ------------------------------------------------------------------
+
+    /// Replaces the tree contents with an STR bulk load of `entries`.
+    ///
+    /// This is the "bulkloading a new index" the paper considers the best
+    /// case for R-tree-style competitors under massive updates (§II-A).
+    pub fn bulk_load(&mut self, entries: Vec<LeafEntry>) {
+        self.nodes.clear();
+        self.free.clear();
+        self.object_leaf.clear();
+        self.root = NO_NODE;
+        self.len = entries.len();
+        if entries.is_empty() {
+            return;
+        }
+
+        // Tile leaf level.
+        let leaf_ids = self.str_pack_leaves(entries);
+        // Build upper levels until a single root remains.
+        let mut level = leaf_ids;
+        while level.len() > 1 {
+            level = self.str_pack_inner(level);
+        }
+        self.root = level[0];
+        self.nodes[self.root as usize].parent = NO_NODE;
+    }
+
+    /// Packs entries into leaf nodes with STR tiling; returns node ids.
+    fn str_pack_leaves(&mut self, mut entries: Vec<LeafEntry>) -> Vec<u32> {
+        let cap = self.max_entries;
+        let n = entries.len();
+        let n_pages = n.div_ceil(cap);
+        let s = (n_pages as f64).cbrt().ceil() as usize; // slabs per axis
+        entries.sort_unstable_by(|a, b| a.key.center().x.total_cmp(&b.key.center().x));
+        let slab_size = n.div_ceil(s);
+        let mut leaves = Vec::with_capacity(n_pages);
+        for slab in entries.chunks_mut(slab_size.max(1)) {
+            slab.sort_unstable_by(|a, b| a.key.center().y.total_cmp(&b.key.center().y));
+            let run_size = slab.len().div_ceil(s);
+            for run in slab.chunks_mut(run_size.max(1)) {
+                run.sort_unstable_by(|a, b| a.key.center().z.total_cmp(&b.key.center().z));
+                for page in run.chunks(cap) {
+                    let mbr = page.iter().fold(Aabb::EMPTY, |m, e| m.union(&e.key));
+                    let node =
+                        self.alloc(Node { mbr, parent: NO_NODE, kind: NodeKind::Leaf(page.to_vec()) });
+                    for e in page {
+                        self.object_leaf.insert(e.id, node);
+                    }
+                    leaves.push(node);
+                }
+            }
+        }
+        leaves
+    }
+
+    /// Packs child nodes into parent nodes with STR tiling on centres.
+    fn str_pack_inner(&mut self, mut children: Vec<u32>) -> Vec<u32> {
+        let cap = self.max_entries;
+        let n = children.len();
+        let n_pages = n.div_ceil(cap);
+        let s = (n_pages as f64).cbrt().ceil() as usize;
+        let center = |this: &RTree, i: &u32| this.nodes[*i as usize].mbr.center();
+        children.sort_unstable_by(|a, b| center(self, a).x.total_cmp(&center(self, b).x));
+        let slab_size = n.div_ceil(s);
+        let mut parents = Vec::with_capacity(n_pages);
+        let mut chunks: Vec<Vec<u32>> = Vec::new();
+        for slab in children.chunks_mut(slab_size.max(1)) {
+            slab.sort_unstable_by(|a, b| center(self, a).y.total_cmp(&center(self, b).y));
+            let run_size = slab.len().div_ceil(s);
+            for run in slab.chunks_mut(run_size.max(1)) {
+                run.sort_unstable_by(|a, b| center(self, a).z.total_cmp(&center(self, b).z));
+                for page in run.chunks(cap) {
+                    chunks.push(page.to_vec());
+                }
+            }
+        }
+        for page in chunks {
+            let mbr = page.iter().fold(Aabb::EMPTY, |m, &c| m.union(&self.nodes[c as usize].mbr));
+            let parent = self.alloc(Node { mbr, parent: NO_NODE, kind: NodeKind::Inner(page.clone()) });
+            for &c in &page {
+                self.nodes[c as usize].parent = parent;
+            }
+            parents.push(parent);
+        }
+        parents
+    }
+
+    // ------------------------------------------------------------------
+    // Insert
+    // ------------------------------------------------------------------
+
+    /// Inserts an entry (classic Guttman insert with quadratic split).
+    pub fn insert(&mut self, id: VertexId, key: Aabb) {
+        debug_assert!(
+            !self.object_leaf.contains_key(&id),
+            "duplicate insert of object {id}; remove it first"
+        );
+        self.len += 1;
+        if self.root == NO_NODE {
+            let root = self.alloc(Node {
+                mbr: key,
+                parent: NO_NODE,
+                kind: NodeKind::Leaf(vec![LeafEntry { id, key }]),
+            });
+            self.root = root;
+            self.object_leaf.insert(id, root);
+            return;
+        }
+        let leaf = self.choose_leaf(key);
+        match &mut self.nodes[leaf as usize].kind {
+            NodeKind::Leaf(entries) => entries.push(LeafEntry { id, key }),
+            NodeKind::Inner(_) => unreachable!("choose_leaf returns leaves"),
+        }
+        self.object_leaf.insert(id, leaf);
+        self.grow_mbr_upward(leaf, key);
+        if self.node_len(leaf) > self.max_entries {
+            self.split(leaf);
+        }
+    }
+
+    fn node_len(&self, n: u32) -> usize {
+        match &self.nodes[n as usize].kind {
+            NodeKind::Leaf(e) => e.len(),
+            NodeKind::Inner(c) => c.len(),
+        }
+    }
+
+    /// Descends from the root picking the child needing least volume
+    /// enlargement (ties: smaller volume).
+    fn choose_leaf(&self, key: Aabb) -> u32 {
+        let mut cur = self.root;
+        loop {
+            match &self.nodes[cur as usize].kind {
+                NodeKind::Leaf(_) => return cur,
+                NodeKind::Inner(children) => {
+                    let mut best = children[0];
+                    let mut best_growth = f64::INFINITY;
+                    let mut best_vol = f64::INFINITY;
+                    for &c in children {
+                        let mbr = self.nodes[c as usize].mbr;
+                        let vol = mbr.volume();
+                        let growth = mbr.union(&key).volume() - vol;
+                        if growth < best_growth || (growth == best_growth && vol < best_vol) {
+                            best = c;
+                            best_growth = growth;
+                            best_vol = vol;
+                        }
+                    }
+                    cur = best;
+                }
+            }
+        }
+    }
+
+    /// Extends ancestors' MBRs to cover `key`.
+    fn grow_mbr_upward(&mut self, mut node: u32, key: Aabb) {
+        loop {
+            let n = &mut self.nodes[node as usize];
+            n.mbr = n.mbr.union(&key);
+            if n.parent == NO_NODE {
+                break;
+            }
+            node = n.parent;
+        }
+    }
+
+    /// Recomputes the MBR of `node` and ancestors exactly (after removal
+    /// or redistribution).
+    fn tighten_mbr_upward(&mut self, mut node: u32) {
+        loop {
+            let mbr = self.compute_mbr(node);
+            let n = &mut self.nodes[node as usize];
+            n.mbr = mbr;
+            if n.parent == NO_NODE {
+                break;
+            }
+            node = n.parent;
+        }
+    }
+
+    fn compute_mbr(&self, node: u32) -> Aabb {
+        match &self.nodes[node as usize].kind {
+            NodeKind::Leaf(entries) => entries.iter().fold(Aabb::EMPTY, |m, e| m.union(&e.key)),
+            NodeKind::Inner(children) => children
+                .iter()
+                .fold(Aabb::EMPTY, |m, &c| m.union(&self.nodes[c as usize].mbr)),
+        }
+    }
+
+    /// Quadratic split of an over-full node (Guttman). The new sibling is
+    /// linked into the parent, splitting recursively; a root split grows
+    /// the tree.
+    fn split(&mut self, node: u32) {
+        let parent = self.nodes[node as usize].parent;
+        // Move contents out first so the arena can be borrowed immutably
+        // by the partition key function.
+        enum Taken {
+            Leaf(Vec<LeafEntry>),
+            Inner(Vec<u32>),
+        }
+        let taken = match &mut self.nodes[node as usize].kind {
+            NodeKind::Leaf(entries) => Taken::Leaf(std::mem::take(entries)),
+            NodeKind::Inner(children) => Taken::Inner(std::mem::take(children)),
+        };
+        let (kind_a, kind_b) = match taken {
+            Taken::Leaf(items) => {
+                let (a, b) = quadratic_partition(items, |e| e.key, self.min_entries);
+                (NodeKind::Leaf(a), NodeKind::Leaf(b))
+            }
+            Taken::Inner(items) => {
+                let nodes = &self.nodes;
+                let (a, b) =
+                    quadratic_partition(items, |&c| nodes[c as usize].mbr, self.min_entries);
+                (NodeKind::Inner(a), NodeKind::Inner(b))
+            }
+        };
+        self.nodes[node as usize].kind = kind_a;
+        let sibling = self.alloc(Node { mbr: Aabb::EMPTY, parent: NO_NODE, kind: kind_b });
+        // Fix back pointers of everything that moved into the sibling.
+        self.fix_children_links(sibling);
+        self.fix_children_links(node);
+        self.nodes[node as usize].mbr = self.compute_mbr(node);
+        self.nodes[sibling as usize].mbr = self.compute_mbr(sibling);
+
+        if parent == NO_NODE {
+            let new_root = self.alloc(Node {
+                mbr: self.nodes[node as usize].mbr.union(&self.nodes[sibling as usize].mbr),
+                parent: NO_NODE,
+                kind: NodeKind::Inner(vec![node, sibling]),
+            });
+            self.nodes[node as usize].parent = new_root;
+            self.nodes[sibling as usize].parent = new_root;
+            self.root = new_root;
+        } else {
+            self.nodes[sibling as usize].parent = parent;
+            match &mut self.nodes[parent as usize].kind {
+                NodeKind::Inner(children) => children.push(sibling),
+                NodeKind::Leaf(_) => unreachable!("parent of a split node is inner"),
+            }
+            self.tighten_mbr_upward(parent);
+            if self.node_len(parent) > self.max_entries {
+                self.split(parent);
+            }
+        }
+    }
+
+    /// Repoints children's `parent` (inner) or `object_leaf` (leaf) links
+    /// at `node`.
+    fn fix_children_links(&mut self, node: u32) {
+        match &self.nodes[node as usize].kind {
+            NodeKind::Leaf(entries) => {
+                let ids: Vec<VertexId> = entries.iter().map(|e| e.id).collect();
+                for id in ids {
+                    self.object_leaf.insert(id, node);
+                }
+            }
+            NodeKind::Inner(children) => {
+                let children = children.clone();
+                for c in children {
+                    self.nodes[c as usize].parent = node;
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Delete
+    // ------------------------------------------------------------------
+
+    /// Removes the entry for `id`; returns its key, or `None` when the
+    /// object is not stored. Underflowing leaves are condensed: the leaf
+    /// is detached and its surviving entries reinserted.
+    pub fn remove(&mut self, id: VertexId) -> Option<Aabb> {
+        let leaf = self.object_leaf.remove(&id)?;
+        let removed_key;
+        let remaining_len;
+        match &mut self.nodes[leaf as usize].kind {
+            NodeKind::Leaf(entries) => {
+                let pos = entries.iter().position(|e| e.id == id).expect("object_leaf in sync");
+                removed_key = entries.swap_remove(pos).key;
+                remaining_len = entries.len();
+            }
+            NodeKind::Inner(_) => unreachable!("object_leaf maps to leaves"),
+        }
+        self.len -= 1;
+
+        if leaf == self.root {
+            if remaining_len == 0 {
+                self.release(leaf);
+                self.root = NO_NODE;
+            } else {
+                self.tighten_mbr_upward(leaf);
+            }
+            return Some(removed_key);
+        }
+
+        if remaining_len < self.min_entries {
+            // Condense: detach the leaf and reinsert survivors.
+            let survivors = match &mut self.nodes[leaf as usize].kind {
+                NodeKind::Leaf(entries) => std::mem::take(entries),
+                NodeKind::Inner(_) => unreachable!(),
+            };
+            self.detach_node(leaf);
+            for e in survivors {
+                self.object_leaf.remove(&e.id);
+                self.len -= 1;
+                self.insert(e.id, e.key);
+            }
+        } else {
+            self.tighten_mbr_upward(leaf);
+        }
+        Some(removed_key)
+    }
+
+    /// Unlinks `node` from its parent, releasing it; propagates underflow
+    /// upward by dissolving ancestors whose fan-out drops below minimum
+    /// and reinserting the leaf entries beneath them.
+    fn detach_node(&mut self, node: u32) {
+        let parent = self.nodes[node as usize].parent;
+        self.release(node);
+        if parent == NO_NODE {
+            // node was the root.
+            self.root = NO_NODE;
+            return;
+        }
+        match &mut self.nodes[parent as usize].kind {
+            NodeKind::Inner(children) => {
+                let pos = children.iter().position(|&c| c == node).expect("child link in sync");
+                children.swap_remove(pos);
+            }
+            NodeKind::Leaf(_) => unreachable!(),
+        }
+        let parent_len = self.node_len(parent);
+        if parent == self.root {
+            if parent_len == 1 {
+                // Shrink: single child becomes the root.
+                let only = match &self.nodes[parent as usize].kind {
+                    NodeKind::Inner(children) => children[0],
+                    NodeKind::Leaf(_) => unreachable!(),
+                };
+                self.release(parent);
+                self.nodes[only as usize].parent = NO_NODE;
+                self.root = only;
+            } else if parent_len == 0 {
+                self.release(parent);
+                self.root = NO_NODE;
+            } else {
+                self.tighten_mbr_upward(parent);
+            }
+        } else if parent_len < self.min_entries {
+            // Dissolve the parent: reinsert all leaf entries beneath it.
+            let mut orphaned = Vec::new();
+            self.collect_leaf_entries(parent, &mut orphaned);
+            self.detach_node(parent);
+            for e in orphaned {
+                self.object_leaf.remove(&e.id);
+                self.len -= 1;
+                self.insert(e.id, e.key);
+            }
+        } else {
+            self.tighten_mbr_upward(parent);
+        }
+    }
+
+    /// Gathers all leaf entries in the subtree of `node`, releasing
+    /// interior nodes as it goes (the caller already owns the subtree).
+    fn collect_leaf_entries(&mut self, node: u32, out: &mut Vec<LeafEntry>) {
+        match std::mem::replace(&mut self.nodes[node as usize].kind, NodeKind::Inner(Vec::new())) {
+            NodeKind::Leaf(entries) => out.extend(entries),
+            NodeKind::Inner(children) => {
+                for c in children {
+                    self.collect_leaf_entries(c, out);
+                    self.release(c);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Lazy update support (LUR-Tree)
+    // ------------------------------------------------------------------
+
+    /// MBR of the leaf currently holding `id`.
+    pub fn leaf_mbr(&self, id: VertexId) -> Option<Aabb> {
+        let leaf = *self.object_leaf.get(&id)?;
+        Some(self.nodes[leaf as usize].mbr)
+    }
+
+    /// LUR-Tree fast path: overwrite the key of `id` *without touching
+    /// any MBR*, valid only when `new_key` stays inside the holding
+    /// leaf's MBR. Returns `false` (doing nothing) otherwise, in which
+    /// case the caller must `remove` + `insert`.
+    pub fn update_in_place(&mut self, id: VertexId, new_key: Aabb) -> bool {
+        let Some(&leaf) = self.object_leaf.get(&id) else { return false };
+        if !self.nodes[leaf as usize].mbr.contains_box(&new_key) {
+            return false;
+        }
+        match &mut self.nodes[leaf as usize].kind {
+            NodeKind::Leaf(entries) => {
+                let e = entries.iter_mut().find(|e| e.id == id).expect("object_leaf in sync");
+                e.key = new_key;
+                true
+            }
+            NodeKind::Inner(_) => unreachable!(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Query
+    // ------------------------------------------------------------------
+
+    /// Appends the ids of all entries whose key intersects `q`.
+    pub fn query_keys(&self, q: &Aabb, out: &mut Vec<VertexId>) {
+        if self.root == NO_NODE {
+            return;
+        }
+        let mut stack = vec![self.root];
+        while let Some(ni) = stack.pop() {
+            let node = &self.nodes[ni as usize];
+            if !q.intersects(&node.mbr) {
+                continue;
+            }
+            match &node.kind {
+                NodeKind::Leaf(entries) => {
+                    out.extend(entries.iter().filter(|e| q.intersects(&e.key)).map(|e| e.id));
+                }
+                NodeKind::Inner(children) => stack.extend_from_slice(children),
+            }
+        }
+    }
+
+    /// Total heap bytes: node arena + entry vectors + the object→leaf
+    /// hash map (the competitors' "R-Tree along with a hash index",
+    /// §V-B).
+    pub fn heap_bytes(&self) -> usize {
+        let mut total = self.nodes.capacity() * std::mem::size_of::<Node>();
+        for n in &self.nodes {
+            total += match &n.kind {
+                NodeKind::Leaf(e) => e.capacity() * std::mem::size_of::<LeafEntry>(),
+                NodeKind::Inner(c) => c.capacity() * std::mem::size_of::<u32>(),
+            };
+        }
+        total += self.object_leaf.capacity()
+            * (std::mem::size_of::<(VertexId, u32)>() + std::mem::size_of::<u64>() / 8);
+        total += self.free.capacity() * std::mem::size_of::<u32>();
+        total
+    }
+
+    // ------------------------------------------------------------------
+    // Invariant checking (tests)
+    // ------------------------------------------------------------------
+
+    /// Exhaustively checks structural invariants; panics on violation.
+    /// O(tree) — tests only.
+    pub fn check_invariants(&self) {
+        if self.root == NO_NODE {
+            assert_eq!(self.len, 0, "empty tree must have len 0");
+            return;
+        }
+        assert_eq!(self.nodes[self.root as usize].parent, NO_NODE);
+        let mut seen_entries = 0usize;
+        let mut stack = vec![(self.root, None::<u32>, 0usize)];
+        let mut leaf_depths = Vec::new();
+        while let Some((ni, parent, depth)) = stack.pop() {
+            let node = &self.nodes[ni as usize];
+            if let Some(p) = parent {
+                assert_eq!(node.parent, p, "parent link of node {ni}");
+                assert!(
+                    self.nodes[p as usize].mbr.contains_box(&node.mbr),
+                    "child mbr escapes parent"
+                );
+            }
+            let exact = self.compute_mbr(ni);
+            assert!(
+                node.mbr.contains_box(&exact) || exact.is_empty(),
+                "stored mbr must cover contents"
+            );
+            match &node.kind {
+                NodeKind::Leaf(entries) => {
+                    leaf_depths.push(depth);
+                    seen_entries += entries.len();
+                    // NOTE: STR bulk loading may leave remainder pages
+                    // below the Guttman minimum; deletes condense them
+                    // lazily, so only emptiness/overflow are invariant.
+                    if ni != self.root {
+                        assert!(!entries.is_empty(), "empty non-root leaf");
+                    }
+                    assert!(entries.len() <= self.max_entries, "leaf overflow");
+                    for e in entries {
+                        assert_eq!(
+                            self.object_leaf.get(&e.id),
+                            Some(&ni),
+                            "object_leaf out of sync for {}",
+                            e.id
+                        );
+                    }
+                }
+                NodeKind::Inner(children) => {
+                    assert!(children.len() <= self.max_entries, "inner overflow");
+                    assert!(!children.is_empty());
+                    for &c in children {
+                        stack.push((c, Some(ni), depth + 1));
+                    }
+                }
+            }
+        }
+        assert_eq!(seen_entries, self.len, "entry count");
+        assert_eq!(self.object_leaf.len(), self.len, "back-pointer count");
+        let first = leaf_depths[0];
+        assert!(leaf_depths.iter().all(|&d| d == first), "leaves at uniform depth");
+    }
+}
+
+impl Default for RTree {
+    fn default() -> Self {
+        RTree::new()
+    }
+}
+
+/// Guttman's quadratic split: seed with the pair wasting the most area,
+/// then greedily assign by enlargement preference while honouring the
+/// minimum fill.
+fn quadratic_partition<T: Clone>(
+    items: Vec<T>,
+    key: impl Fn(&T) -> Aabb,
+    min_entries: usize,
+) -> (Vec<T>, Vec<T>) {
+    debug_assert!(items.len() >= 2);
+    // Pick seeds.
+    let (mut seed_a, mut seed_b, mut worst) = (0, 1, f64::NEG_INFINITY);
+    for i in 0..items.len() {
+        for j in (i + 1)..items.len() {
+            let (ka, kb) = (key(&items[i]), key(&items[j]));
+            let dead = ka.union(&kb).volume() - ka.volume() - kb.volume();
+            if dead > worst {
+                worst = dead;
+                seed_a = i;
+                seed_b = j;
+            }
+        }
+    }
+    let mut group_a = vec![items[seed_a].clone()];
+    let mut group_b = vec![items[seed_b].clone()];
+    let mut mbr_a = key(&items[seed_a]);
+    let mut mbr_b = key(&items[seed_b]);
+    let mut rest: Vec<T> = items
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| *i != seed_a && *i != seed_b)
+        .map(|(_, t)| t)
+        .collect();
+
+    while let Some(next) = pick_next(&rest, &key, &mbr_a, &mbr_b) {
+        let item = rest.swap_remove(next);
+        let k = key(&item);
+        let remaining = rest.len();
+        // Force-assign when a group must take everything left to reach
+        // the minimum.
+        let must_a = group_a.len() + remaining < min_entries;
+        let must_b = group_b.len() + remaining < min_entries;
+        let grow_a = mbr_a.union(&k).volume() - mbr_a.volume();
+        let grow_b = mbr_b.union(&k).volume() - mbr_b.volume();
+        let to_a = if must_a {
+            true
+        } else if must_b {
+            false
+        } else if grow_a != grow_b {
+            grow_a < grow_b
+        } else {
+            mbr_a.volume() <= mbr_b.volume()
+        };
+        if to_a {
+            mbr_a = mbr_a.union(&k);
+            group_a.push(item);
+        } else {
+            mbr_b = mbr_b.union(&k);
+            group_b.push(item);
+        }
+    }
+    (group_a, group_b)
+}
+
+/// Guttman's PickNext: the item with the largest |d₁ − d₂| preference.
+fn pick_next<T>(
+    rest: &[T],
+    key: &impl Fn(&T) -> Aabb,
+    mbr_a: &Aabb,
+    mbr_b: &Aabb,
+) -> Option<usize> {
+    if rest.is_empty() {
+        return None;
+    }
+    let mut best = 0;
+    let mut best_diff = f64::NEG_INFINITY;
+    for (i, item) in rest.iter().enumerate() {
+        let k = key(item);
+        let d1 = mbr_a.union(&k).volume() - mbr_a.volume();
+        let d2 = mbr_b.union(&k).volume() - mbr_b.volume();
+        let diff = (d1 - d2).abs();
+        if diff > best_diff {
+            best_diff = diff;
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+/// Convenience: a degenerate box for a point key.
+#[inline]
+pub fn point_key(p: Point3) -> Aabb {
+    Aabb::new(p, p)
+}
+
+impl DynamicIndex for RTree {
+    fn name(&self) -> &'static str {
+        "RTree(bulk-rebuild)"
+    }
+
+    /// As a standalone competitor the R-tree uses the best strategy
+    /// available to it under full-dataset updates: STR bulk rebuild
+    /// (§II-A: "it is often cheaper to rebuild the index from scratch").
+    fn on_step(&mut self, positions: &[Point3]) {
+        let entries = positions
+            .iter()
+            .enumerate()
+            .map(|(i, p)| LeafEntry { id: i as VertexId, key: point_key(*p) })
+            .collect();
+        self.bulk_load(entries);
+    }
+
+    fn query(&self, q: &Aabb, _positions: &[Point3], out: &mut Vec<VertexId>) {
+        self.query_keys(q, out);
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::*;
+    use octopus_geom::rng::SplitMix64;
+
+    fn entries_from(pts: &[Point3]) -> Vec<LeafEntry> {
+        pts.iter()
+            .enumerate()
+            .map(|(i, p)| LeafEntry { id: i as VertexId, key: point_key(*p) })
+            .collect()
+    }
+
+    #[test]
+    fn bulk_load_queries_match_scan() {
+        let pts = random_points(5_000, 21);
+        let mut t = RTree::with_fanout(16);
+        t.bulk_load(entries_from(&pts));
+        t.check_invariants();
+        let mut rng = SplitMix64::new(3);
+        for _ in 0..20 {
+            let q = random_query(&mut rng, 0.1);
+            let mut out = Vec::new();
+            t.query_keys(&q, &mut out);
+            assert_same_ids(out, &scan(&q, &pts), "bulk-loaded rtree");
+        }
+    }
+
+    #[test]
+    fn incremental_inserts_match_scan() {
+        let pts = random_points(2_000, 22);
+        let mut t = RTree::with_fanout(8);
+        for (i, p) in pts.iter().enumerate() {
+            t.insert(i as VertexId, point_key(*p));
+        }
+        t.check_invariants();
+        assert_eq!(t.len(), 2_000);
+        let mut rng = SplitMix64::new(4);
+        for _ in 0..20 {
+            let q = random_query(&mut rng, 0.12);
+            let mut out = Vec::new();
+            t.query_keys(&q, &mut out);
+            assert_same_ids(out, &scan(&q, &pts), "insert-built rtree");
+        }
+    }
+
+    #[test]
+    fn removals_keep_tree_consistent() {
+        let pts = random_points(1_000, 23);
+        let mut t = RTree::with_fanout(8);
+        for (i, p) in pts.iter().enumerate() {
+            t.insert(i as VertexId, point_key(*p));
+        }
+        // Remove every third point.
+        let mut alive: Vec<bool> = vec![true; pts.len()];
+        for i in (0..pts.len()).step_by(3) {
+            assert!(t.remove(i as VertexId).is_some());
+            alive[i] = false;
+        }
+        t.check_invariants();
+        assert_eq!(t.len(), alive.iter().filter(|&&a| a).count());
+        let q = Aabb::cube(Point3::splat(0.5), 0.3);
+        let mut out = Vec::new();
+        t.query_keys(&q, &mut out);
+        out.sort_unstable();
+        let expected: Vec<VertexId> = pts
+            .iter()
+            .enumerate()
+            .filter(|(i, p)| alive[*i] && q.contains(**p))
+            .map(|(i, _)| i as VertexId)
+            .collect();
+        assert_eq!(out, expected);
+        // Removing a missing id is a no-op.
+        assert!(t.remove(0).is_none());
+    }
+
+    #[test]
+    fn remove_everything_empties_the_tree() {
+        let pts = random_points(300, 24);
+        let mut t = RTree::with_fanout(6);
+        for (i, p) in pts.iter().enumerate() {
+            t.insert(i as VertexId, point_key(*p));
+        }
+        for i in 0..pts.len() {
+            t.remove(i as VertexId);
+            t.check_invariants();
+        }
+        assert!(t.is_empty());
+        // And the tree is reusable.
+        t.insert(7, point_key(Point3::splat(0.5)));
+        t.check_invariants();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn update_in_place_only_inside_leaf_mbr() {
+        let pts = random_points(500, 25);
+        let mut t = RTree::with_fanout(8);
+        t.bulk_load(entries_from(&pts));
+        let mbr = t.leaf_mbr(0).unwrap();
+        // A key inside the leaf MBR updates in place.
+        let inside = point_key(mbr.center());
+        assert!(t.update_in_place(0, inside));
+        t.check_invariants();
+        // A key far outside is refused.
+        let outside = point_key(Point3::splat(99.0));
+        assert!(!t.update_in_place(0, outside));
+        // Unknown ids are refused.
+        assert!(!t.update_in_place(9_999, inside));
+        // Verify the in-place update is visible to queries.
+        let mut out = Vec::new();
+        t.query_keys(&Aabb::cube(mbr.center(), 1e-4), &mut out);
+        assert!(out.contains(&0));
+    }
+
+    #[test]
+    fn mixed_insert_remove_stress_preserves_scan_equivalence() {
+        let mut rng = SplitMix64::new(77);
+        let mut t = RTree::with_fanout(8);
+        let mut live: std::collections::HashMap<VertexId, Point3> = Default::default();
+        let mut next_id: VertexId = 0;
+        for round in 0..2_000 {
+            if rng.chance(0.6) || live.is_empty() {
+                let p = Point3::new(rng.next_f32(), rng.next_f32(), rng.next_f32());
+                t.insert(next_id, point_key(p));
+                live.insert(next_id, p);
+                next_id += 1;
+            } else {
+                let ids: Vec<VertexId> = live.keys().copied().collect();
+                let id = ids[rng.index(ids.len())];
+                assert!(t.remove(id).is_some(), "round {round}");
+                live.remove(&id);
+            }
+            if round % 250 == 0 {
+                t.check_invariants();
+                let q = random_query(&mut rng, 0.2);
+                let mut out = Vec::new();
+                t.query_keys(&q, &mut out);
+                out.sort_unstable();
+                let mut expected: Vec<VertexId> = live
+                    .iter()
+                    .filter(|(_, p)| q.contains(**p))
+                    .map(|(id, _)| *id)
+                    .collect();
+                expected.sort_unstable();
+                assert_eq!(out, expected, "round {round}");
+            }
+        }
+        t.check_invariants();
+    }
+
+    #[test]
+    fn box_keys_are_supported() {
+        // QU-Trade indexes windows, not points.
+        let mut t = RTree::with_fanout(8);
+        for i in 0..100u32 {
+            let c = Point3::new((i % 10) as f32, (i / 10) as f32, 0.0);
+            t.insert(i, Aabb::cube(c, 0.4));
+        }
+        t.check_invariants();
+        let q = Aabb::cube(Point3::new(5.0, 5.0, 0.0), 0.05);
+        let mut out = Vec::new();
+        t.query_keys(&q, &mut out);
+        assert!(out.contains(&55), "window overlapping the query must be reported");
+    }
+
+    #[test]
+    fn dynamic_index_impl_rebuilds() {
+        let mut pts = random_points(800, 26);
+        let mut t = RTree::with_fanout(32);
+        t.on_step(&pts);
+        jitter_all(&mut pts, 0.2, 1);
+        t.on_step(&pts);
+        let q = Aabb::cube(Point3::splat(0.5), 0.25);
+        let mut out = Vec::new();
+        t.query(&q, &pts, &mut out);
+        assert_same_ids(out, &scan(&q, &pts), "rebuilt rtree");
+        assert!(t.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn empty_and_tiny_trees() {
+        let mut t = RTree::new();
+        t.check_invariants();
+        let mut out = Vec::new();
+        t.query_keys(&Aabb::cube(Point3::splat(0.0), 1.0), &mut out);
+        assert!(out.is_empty());
+        t.bulk_load(Vec::new());
+        t.check_invariants();
+        t.insert(0, point_key(Point3::splat(0.1)));
+        t.check_invariants();
+        assert_eq!(t.len(), 1);
+    }
+}

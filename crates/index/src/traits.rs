@@ -1,0 +1,67 @@
+//! The common contract for all competitor indexes.
+
+use octopus_geom::{Aabb, Point3, VertexId};
+
+/// A spatial index over the mesh's vertex positions that survives
+/// per-time-step position rewrites.
+///
+/// The monitoring loop drives implementations as:
+///
+/// ```text
+/// loop over time steps {
+///     simulation overwrites positions;        // black box
+///     index.on_step(&positions);              // maintenance cost
+///     for q in monitoring queries {
+///         index.query(&q, &positions, &mut out);  // query cost
+///     }
+/// }
+/// ```
+///
+/// `on_step` and `query` are deliberately separate so the harness can
+/// attribute time the way the paper does (e.g. "99.5 % of the Octree's
+/// response time is spent rebuilding", §V-B).
+pub trait DynamicIndex {
+    /// Short display name used in result tables.
+    fn name(&self) -> &'static str;
+
+    /// Absorbs the latest in-place position update. Depending on the
+    /// strategy this rebuilds from scratch (throwaway indexes), applies
+    /// lazy/grace-window updates (LUR-Tree, QU-Trade), or does nothing
+    /// (linear scan, stale grid).
+    fn on_step(&mut self, positions: &[Point3]);
+
+    /// Executes a range query, appending the ids of all vertices whose
+    /// *current* position (per the latest `on_step`) lies in `q` to
+    /// `out`. `positions` is the live position array; filter-based
+    /// indexes use it to discard false positives. `out` is not cleared.
+    fn query(&self, q: &Aabb, positions: &[Point3], out: &mut Vec<VertexId>);
+
+    /// Bytes of heap memory held by index structures (the paper's
+    /// Fig. 6(b) memory-overhead metric). Excludes the position array
+    /// itself, which belongs to the dataset.
+    fn memory_bytes(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The trait must be object-safe: the bench harness stores
+    /// `Box<dyn DynamicIndex>` competitors.
+    #[test]
+    fn trait_is_object_safe() {
+        struct Dummy;
+        impl DynamicIndex for Dummy {
+            fn name(&self) -> &'static str {
+                "dummy"
+            }
+            fn on_step(&mut self, _positions: &[Point3]) {}
+            fn query(&self, _q: &Aabb, _positions: &[Point3], _out: &mut Vec<VertexId>) {}
+            fn memory_bytes(&self) -> usize {
+                0
+            }
+        }
+        let b: Box<dyn DynamicIndex> = Box::new(Dummy);
+        assert_eq!(b.name(), "dummy");
+    }
+}

@@ -1,0 +1,227 @@
+//! Compressed sparse row (CSR) adjacency.
+//!
+//! The crawl phase (§IV-B) is a breadth-first traversal over vertex
+//! neighbours; CSR keeps each vertex's neighbour list contiguous so a BFS
+//! expansion is one range lookup plus a linear scan — the memory-access
+//! pattern the Hilbert layout optimisation (§IV-H1) is designed around.
+
+use octopus_geom::VertexId;
+
+/// Immutable CSR graph over `n` vertices.
+#[derive(Clone, Debug, Default)]
+pub struct Csr {
+    /// `offsets[v]..offsets[v+1]` indexes `targets` for vertex `v`.
+    offsets: Vec<u32>,
+    /// Concatenated neighbour lists, each sorted ascending.
+    targets: Vec<VertexId>,
+}
+
+impl Csr {
+    /// Builds a CSR from undirected edges. Duplicate and self edges are
+    /// removed; each surviving edge appears in both endpoint lists.
+    ///
+    /// `n` is the vertex count; every edge endpoint must be `< n`.
+    pub fn from_undirected_edges(n: usize, edges: impl Iterator<Item = (VertexId, VertexId)>) -> Csr {
+        // Materialise both directions, then sort + dedup. Sorting a flat
+        // Vec<u64> (packed pair) is cache-friendlier than sorting tuples.
+        let mut packed: Vec<u64> = Vec::new();
+        for (a, b) in edges {
+            debug_assert!((a as usize) < n && (b as usize) < n, "edge endpoint out of range");
+            if a == b {
+                continue;
+            }
+            packed.push((u64::from(a) << 32) | u64::from(b));
+            packed.push((u64::from(b) << 32) | u64::from(a));
+        }
+        packed.sort_unstable();
+        packed.dedup();
+
+        let mut offsets = vec![0u32; n + 1];
+        for &p in &packed {
+            offsets[(p >> 32) as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let targets: Vec<VertexId> = packed.iter().map(|&p| p as u32).collect();
+        Csr { offsets, targets }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Number of directed neighbour entries (2 × undirected edge count).
+    #[inline]
+    pub fn num_directed_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Sorted neighbour list of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+    }
+
+    /// Average degree over all vertices (0 for the empty graph).
+    pub fn average_degree(&self) -> f64 {
+        let n = self.num_vertices();
+        if n == 0 {
+            0.0
+        } else {
+            self.targets.len() as f64 / n as f64
+        }
+    }
+
+    /// Maximum degree.
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_vertices()).map(|v| self.degree(v as u32)).max().unwrap_or(0)
+    }
+
+    /// True when `b` is a neighbour of `a` (binary search).
+    #[inline]
+    pub fn has_edge(&self, a: VertexId, b: VertexId) -> bool {
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Heap memory used by the structure, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.capacity() * std::mem::size_of::<u32>()
+            + self.targets.capacity() * std::mem::size_of::<VertexId>()
+    }
+
+    /// Applies a vertex relabelling: vertex `old` becomes `perm[old]`.
+    ///
+    /// `perm` must be a bijection over `0..n`. Used by the Hilbert layout
+    /// optimisation to co-locate spatially close vertices.
+    pub fn permuted(&self, perm: &[VertexId]) -> Csr {
+        let n = self.num_vertices();
+        assert_eq!(perm.len(), n, "permutation length mismatch");
+        let edges = (0..n).flat_map(|old| {
+            let new_src = perm[old];
+            self.neighbors(old as u32)
+                .iter()
+                .filter(move |&&t| (t as usize) > old) // each undirected edge once
+                .map(move |&t| (new_src, perm[t as usize]))
+        });
+        Csr::from_undirected_edges(n, edges)
+    }
+
+    /// Connected components; returns `(component_id_per_vertex, count)`.
+    pub fn connected_components(&self) -> (Vec<u32>, usize) {
+        let n = self.num_vertices();
+        let mut comp = vec![u32::MAX; n];
+        let mut count = 0u32;
+        let mut stack: Vec<VertexId> = Vec::new();
+        for start in 0..n {
+            if comp[start] != u32::MAX {
+                continue;
+            }
+            comp[start] = count;
+            stack.push(start as u32);
+            while let Some(v) = stack.pop() {
+                for &w in self.neighbors(v) {
+                    if comp[w as usize] == u32::MAX {
+                        comp[w as usize] = count;
+                        stack.push(w);
+                    }
+                }
+            }
+            count += 1;
+        }
+        (comp, count as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_plus_isolated() -> Csr {
+        // 0-1-2 triangle, vertex 3 isolated.
+        Csr::from_undirected_edges(4, [(0u32, 1u32), (1, 2), (2, 0)].into_iter())
+    }
+
+    #[test]
+    fn neighbors_are_sorted_and_symmetric() {
+        let g = triangle_plus_isolated();
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.neighbors(2), &[0, 1]);
+        assert_eq!(g.neighbors(3), &[] as &[u32]);
+        for v in 0..4u32 {
+            for &w in g.neighbors(v) {
+                assert!(g.has_edge(w, v), "asymmetric edge {v}->{w}");
+            }
+        }
+    }
+
+    #[test]
+    fn duplicates_and_self_loops_are_dropped() {
+        let g = Csr::from_undirected_edges(
+            3,
+            [(0u32, 1u32), (1, 0), (0, 1), (2, 2)].into_iter(),
+        );
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0]);
+        assert_eq!(g.degree(2), 0);
+        assert_eq!(g.num_directed_edges(), 2);
+    }
+
+    #[test]
+    fn degree_statistics() {
+        let g = triangle_plus_isolated();
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.max_degree(), 2);
+        assert!((g.average_degree() - 6.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::from_undirected_edges(0, std::iter::empty());
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.average_degree(), 0.0);
+        assert_eq!(g.max_degree(), 0);
+        let (_, count) = g.connected_components();
+        assert_eq!(count, 0);
+    }
+
+    #[test]
+    fn connected_components_counts_isolated_vertices() {
+        let g = triangle_plus_isolated();
+        let (comp, count) = g.connected_components();
+        assert_eq!(count, 2);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[1], comp[2]);
+        assert_ne!(comp[0], comp[3]);
+    }
+
+    #[test]
+    fn permutation_preserves_structure() {
+        let g = triangle_plus_isolated();
+        // Swap 0 <-> 3: the isolated vertex becomes 0.
+        let perm = [3u32, 1, 2, 0];
+        let p = g.permuted(&perm);
+        assert_eq!(p.degree(0), 0);
+        assert_eq!(p.neighbors(3), &[1, 2]);
+        assert_eq!(p.neighbors(1), &[2, 3]);
+        assert!(p.has_edge(2, 1));
+        assert_eq!(p.num_directed_edges(), g.num_directed_edges());
+    }
+
+    #[test]
+    fn memory_accounting_is_positive_for_nonempty() {
+        let g = triangle_plus_isolated();
+        assert!(g.memory_bytes() >= (5 * 4) + (6 * 4));
+    }
+}

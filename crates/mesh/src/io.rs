@@ -1,0 +1,327 @@
+//! Mesh import/export.
+//!
+//! Two formats, both motivated by the paper's monitoring use cases:
+//!
+//! * **Wavefront OBJ** surface export ([`write_surface_obj`]) — the
+//!   visualization monitors (§III-B) hand retrieved geometry to
+//!   renderers; OBJ is the lingua franca for that.
+//! * A compact **binary snapshot** ([`write_snapshot`] /
+//!   [`read_snapshot`]) that round-trips a whole [`Mesh`] (positions +
+//!   cells), so expensive generated datasets can be cached between
+//!   experiment runs.
+
+use crate::{CellKind, Mesh, MeshError};
+use octopus_geom::Point3;
+use std::io::{self, BufRead, Read, Write};
+
+/// Magic bytes of the snapshot format ("OCT1").
+const MAGIC: [u8; 4] = *b"OCT1";
+
+/// Writes the mesh's *surface triangles/quads* as Wavefront OBJ.
+///
+/// Vertices are written 1-based in id order (OBJ requirement); interior
+/// vertices are written too (keeping ids stable) but only boundary faces
+/// are emitted. Output reflects the mesh's **current** deformed
+/// positions.
+pub fn write_surface_obj(mesh: &Mesh, w: &mut impl Write) -> Result<(), ObjError> {
+    let surface_faces = boundary_faces(mesh)?;
+    writeln!(w, "# OCTOPUS surface export: {} vertices, {} boundary faces", mesh.num_vertices(), surface_faces.len())?;
+    for p in mesh.positions() {
+        writeln!(w, "v {} {} {}", p.x, p.y, p.z)?;
+    }
+    for face in &surface_faces {
+        write!(w, "f")?;
+        for &v in face {
+            write!(w, " {}", v + 1)?;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Collects each boundary face's vertex ids (canonical order).
+fn boundary_faces(mesh: &Mesh) -> Result<Vec<Vec<u32>>, ObjError> {
+    use std::collections::HashMap;
+    let kind = mesh.kind();
+    let mut counts: HashMap<crate::FaceKey, u32> = HashMap::new();
+    for (_, cell) in mesh.live_cells() {
+        for key in kind.face_keys(cell) {
+            *counts.entry(key).or_insert(0) += 1;
+        }
+    }
+    Ok(counts
+        .into_iter()
+        .filter(|(_, c)| *c == 1)
+        .map(|(k, _)| k.vertices().to_vec())
+        .collect())
+}
+
+/// OBJ export errors.
+#[derive(Debug)]
+pub enum ObjError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+}
+
+impl From<io::Error> for ObjError {
+    fn from(e: io::Error) -> Self {
+        ObjError::Io(e)
+    }
+}
+
+impl std::fmt::Display for ObjError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ObjError::Io(e) => write!(f, "obj export I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ObjError {}
+
+/// Snapshot errors.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Not a snapshot / wrong version.
+    BadMagic,
+    /// Structurally invalid payload.
+    Corrupt(&'static str),
+    /// The decoded mesh failed validation.
+    Mesh(MeshError),
+}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+impl From<MeshError> for SnapshotError {
+    fn from(e: MeshError) -> Self {
+        SnapshotError::Mesh(e)
+    }
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+            SnapshotError::BadMagic => write!(f, "not an OCT1 snapshot"),
+            SnapshotError::Corrupt(what) => write!(f, "corrupt snapshot: {what}"),
+            SnapshotError::Mesh(e) => write!(f, "snapshot decodes to an invalid mesh: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Writes a binary snapshot: magic, cell kind, counts, little-endian
+/// positions and cell ids. Tombstoned cells are compacted away.
+pub fn write_snapshot(mesh: &Mesh, w: &mut impl Write) -> Result<(), SnapshotError> {
+    w.write_all(&MAGIC)?;
+    w.write_all(&[match mesh.kind() {
+        CellKind::Tet4 => 0u8,
+        CellKind::Hex8 => 1,
+    }])?;
+    w.write_all(&(mesh.num_vertices() as u64).to_le_bytes())?;
+    w.write_all(&(mesh.num_cells() as u64).to_le_bytes())?;
+    for p in mesh.positions() {
+        w.write_all(&p.x.to_le_bytes())?;
+        w.write_all(&p.y.to_le_bytes())?;
+        w.write_all(&p.z.to_le_bytes())?;
+    }
+    for (_, cell) in mesh.live_cells() {
+        for &v in cell {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a snapshot produced by [`write_snapshot`] and rebuilds the mesh
+/// (including adjacency; full construction-time validation applies).
+pub fn read_snapshot(r: &mut impl Read) -> Result<Mesh, SnapshotError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let mut kind_byte = [0u8; 1];
+    r.read_exact(&mut kind_byte)?;
+    let kind = match kind_byte[0] {
+        0 => CellKind::Tet4,
+        1 => CellKind::Hex8,
+        _ => return Err(SnapshotError::Corrupt("unknown cell kind")),
+    };
+    let mut n8 = [0u8; 8];
+    r.read_exact(&mut n8)?;
+    let num_vertices = u64::from_le_bytes(n8) as usize;
+    r.read_exact(&mut n8)?;
+    let num_cells = u64::from_le_bytes(n8) as usize;
+    // Bound sanity before allocating (a corrupt header must not OOM us).
+    if num_vertices > (1 << 33) || num_cells > (1 << 33) {
+        return Err(SnapshotError::Corrupt("implausible counts"));
+    }
+    let mut positions = Vec::with_capacity(num_vertices);
+    let mut f4 = [0u8; 4];
+    for _ in 0..num_vertices {
+        r.read_exact(&mut f4)?;
+        let x = f32::from_le_bytes(f4);
+        r.read_exact(&mut f4)?;
+        let y = f32::from_le_bytes(f4);
+        r.read_exact(&mut f4)?;
+        let z = f32::from_le_bytes(f4);
+        positions.push(Point3::new(x, y, z));
+    }
+    let arity = kind.arity();
+    let mut cells = Vec::with_capacity(num_cells * arity);
+    for _ in 0..num_cells * arity {
+        r.read_exact(&mut f4)?;
+        cells.push(u32::from_le_bytes(f4));
+    }
+    // Trailing garbage is tolerated (streams may be padded); the payload
+    // itself is fully consumed above.
+    Ok(Mesh::from_flat(kind, positions, cells)?)
+}
+
+/// Parses vertex lines back out of an OBJ stream (testing / round-trip
+/// support; faces are not reimported — OBJ only carries the surface).
+pub fn read_obj_vertices(r: &mut impl BufRead) -> Result<Vec<Point3>, ObjError> {
+    let mut out = Vec::new();
+    let mut line = String::new();
+    while r.read_line(&mut line)? != 0 {
+        let mut parts = line.split_whitespace();
+        if parts.next() == Some("v") {
+            let mut coords = [0.0f32; 3];
+            for c in &mut coords {
+                *c = parts
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .unwrap_or(f32::NAN);
+            }
+            out.push(Point3::new(coords[0], coords[1], coords[2]));
+        }
+        line.clear();
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octopus_geom::Aabb;
+
+    fn tet_mesh() -> Mesh {
+        let positions = vec![
+            Point3::new(0.0, 0.0, 0.0),
+            Point3::new(1.0, 0.0, 0.0),
+            Point3::new(0.0, 1.0, 0.0),
+            Point3::new(0.0, 0.0, 1.0),
+            Point3::new(1.0, 1.0, 1.0),
+        ];
+        Mesh::from_tets(positions, vec![[0, 1, 2, 3], [4, 1, 2, 3]]).unwrap()
+    }
+
+    #[test]
+    fn obj_export_contains_all_vertices_and_boundary_faces_only() {
+        let mesh = tet_mesh();
+        let mut buf = Vec::new();
+        write_surface_obj(&mesh, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().filter(|l| l.starts_with("v ")).count(), 5);
+        // Two glued tets share one face: 8 - 2 = 6 boundary triangles.
+        assert_eq!(text.lines().filter(|l| l.starts_with("f ")).count(), 6);
+        // OBJ is 1-based: no face may reference index 0.
+        for l in text.lines().filter(|l| l.starts_with("f ")) {
+            assert!(!l.split_whitespace().skip(1).any(|t| t == "0"), "{l}");
+        }
+    }
+
+    #[test]
+    fn obj_vertices_roundtrip() {
+        let mesh = tet_mesh();
+        let mut buf = Vec::new();
+        write_surface_obj(&mesh, &mut buf).unwrap();
+        let parsed = read_obj_vertices(&mut &buf[..]).unwrap();
+        assert_eq!(parsed.len(), mesh.num_vertices());
+        for (a, b) in parsed.iter().zip(mesh.positions()) {
+            assert!(a.dist_sq(*b) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_everything() {
+        let mesh = tet_mesh();
+        let mut buf = Vec::new();
+        write_snapshot(&mesh, &mut buf).unwrap();
+        let back = read_snapshot(&mut &buf[..]).unwrap();
+        assert_eq!(back.kind(), mesh.kind());
+        assert_eq!(back.num_vertices(), mesh.num_vertices());
+        assert_eq!(back.num_cells(), mesh.num_cells());
+        assert_eq!(back.positions(), mesh.positions());
+        for v in 0..mesh.num_vertices() as u32 {
+            assert_eq!(back.neighbors(v), mesh.neighbors(v));
+        }
+        let (sa, sb) = (mesh.surface().unwrap(), back.surface().unwrap());
+        assert_eq!(sa.vertices(), sb.vertices());
+    }
+
+    #[test]
+    fn snapshot_compacts_tombstones() {
+        let mut mesh = tet_mesh();
+        mesh.enable_restructuring().unwrap();
+        mesh.remove_cell(0).unwrap();
+        let mut buf = Vec::new();
+        write_snapshot(&mesh, &mut buf).unwrap();
+        let back = read_snapshot(&mut &buf[..]).unwrap();
+        assert_eq!(back.num_cells(), 1);
+        assert_eq!(back.cell_capacity(), 1, "tombstones are compacted away");
+    }
+
+    #[test]
+    fn snapshot_rejects_garbage() {
+        assert!(matches!(
+            read_snapshot(&mut &b"NOPE"[..]),
+            Err(SnapshotError::BadMagic)
+        ));
+        // Truncated payload.
+        let mesh = tet_mesh();
+        let mut buf = Vec::new();
+        write_snapshot(&mesh, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(matches!(read_snapshot(&mut &buf[..]), Err(SnapshotError::Io(_))));
+        // Corrupt kind byte.
+        let mut bad = buf.clone();
+        bad[4] = 9;
+        assert!(read_snapshot(&mut &bad[..]).is_err());
+    }
+
+    #[test]
+    fn snapshot_of_deformed_mesh_keeps_current_positions() {
+        let mut mesh = tet_mesh();
+        for p in mesh.positions_mut() {
+            p.x += 3.5;
+        }
+        let mut buf = Vec::new();
+        write_snapshot(&mesh, &mut buf).unwrap();
+        let back = read_snapshot(&mut &buf[..]).unwrap();
+        let bb = back.bounding_box();
+        assert!(Aabb::new(Point3::new(3.5, 0.0, 0.0), Point3::new(4.5, 1.0, 1.0))
+            .contains_box(&bb));
+    }
+
+    #[test]
+    fn hex_snapshot_roundtrip() {
+        let positions = (0..8)
+            .map(|i| Point3::new((i & 1) as f32, ((i >> 1) & 1) as f32, ((i >> 2) & 1) as f32))
+            .collect();
+        let mesh = Mesh::from_hexes(positions, vec![[0, 1, 3, 2, 4, 5, 7, 6]]).unwrap();
+        let mut buf = Vec::new();
+        write_snapshot(&mesh, &mut buf).unwrap();
+        let back = read_snapshot(&mut &buf[..]).unwrap();
+        assert_eq!(back.kind(), CellKind::Hex8);
+        assert_eq!(back.num_cells(), 1);
+    }
+}

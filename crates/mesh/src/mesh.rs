@@ -1,0 +1,702 @@
+//! The in-memory dynamic mesh.
+
+use crate::surface::FaceTable;
+use crate::{CellKind, Csr, FaceKey, MeshError, Surface};
+use octopus_geom::{Aabb, CellId, Point3, VertexId};
+use std::collections::HashMap;
+
+/// Change to the surface vertex set caused by a restructuring operation.
+///
+/// The paper (§IV-E2): "the surface index is updated with insert or
+/// delete operations on the hash table used in the index" — this struct
+/// carries exactly those operations.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SurfaceDelta {
+    /// Vertices that joined the surface.
+    pub added: Vec<VertexId>,
+    /// Vertices that left the surface.
+    pub removed: Vec<VertexId>,
+}
+
+impl SurfaceDelta {
+    /// True when the operation did not change the surface.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+}
+
+/// A polyhedral mesh: positions (mutated in place by simulations), cells,
+/// and CSR vertex adjacency.
+///
+/// Two mutation regimes exist, mirroring §IV-E2:
+///
+/// * **Deformation** — [`Mesh::positions_mut`] rewrites coordinates;
+///   connectivity, surface and adjacency stay untouched. This is the
+///   per-time-step massive update.
+/// * **Restructuring** — [`Mesh::remove_cell`] / [`Mesh::refine_tet`]
+///   change connectivity. These require [`Mesh::enable_restructuring`]
+///   (which builds the persistent global face list) and return a
+///   [`SurfaceDelta`] for incremental surface-index maintenance.
+#[derive(Clone, Debug)]
+pub struct Mesh {
+    kind: CellKind,
+    positions: Vec<Point3>,
+    /// Flat cell array, `kind.arity()` ids per cell. Removed cells stay as
+    /// tombstones so `CellId`s remain stable across restructuring.
+    cells: Vec<VertexId>,
+    alive: Vec<bool>,
+    num_live: usize,
+    adjacency: Csr,
+    /// Restructuring mode state: global face list + per-vertex count of
+    /// boundary faces (surface membership ⇔ count > 0).
+    restructure: Option<RestructureState>,
+}
+
+#[derive(Clone, Debug)]
+struct RestructureState {
+    faces: FaceTable,
+    boundary_face_count: Vec<u32>,
+}
+
+impl Mesh {
+    /// Builds a mesh from a flat cell array (`kind.arity()` vertex ids per
+    /// cell). Validates id ranges and per-cell degeneracy and constructs
+    /// the adjacency.
+    pub fn from_flat(
+        kind: CellKind,
+        positions: Vec<Point3>,
+        cells: Vec<VertexId>,
+    ) -> Result<Mesh, MeshError> {
+        let arity = kind.arity();
+        if !cells.len().is_multiple_of(arity) {
+            return Err(MeshError::RaggedCellArray { len: cells.len(), arity });
+        }
+        if positions.len() >= VertexId::MAX as usize {
+            return Err(MeshError::TooManyVertices);
+        }
+        let n = positions.len();
+        for (ci, cell) in cells.chunks_exact(arity).enumerate() {
+            for (li, &v) in cell.iter().enumerate() {
+                if v as usize >= n {
+                    return Err(MeshError::VertexOutOfRange {
+                        cell: ci as CellId,
+                        vertex: v,
+                        num_vertices: n,
+                    });
+                }
+                if cell[..li].contains(&v) {
+                    return Err(MeshError::DegenerateCell { cell: ci as CellId, vertex: v });
+                }
+            }
+        }
+        let num_cells = cells.len() / arity;
+        let adjacency = build_adjacency(kind, n, &cells, None);
+        Ok(Mesh {
+            kind,
+            positions,
+            cells,
+            alive: vec![true; num_cells],
+            num_live: num_cells,
+            adjacency,
+            restructure: None,
+        })
+    }
+
+    /// Convenience constructor for tetrahedral meshes.
+    pub fn from_tets(positions: Vec<Point3>, tets: Vec<[VertexId; 4]>) -> Result<Mesh, MeshError> {
+        let flat = tets.into_iter().flatten().collect();
+        Mesh::from_flat(CellKind::Tet4, positions, flat)
+    }
+
+    /// Convenience constructor for hexahedral meshes.
+    pub fn from_hexes(positions: Vec<Point3>, hexes: Vec<[VertexId; 8]>) -> Result<Mesh, MeshError> {
+        let flat = hexes.into_iter().flatten().collect();
+        Mesh::from_flat(CellKind::Hex8, positions, flat)
+    }
+
+    /// The polyhedral primitive this mesh is built from.
+    #[inline]
+    pub fn kind(&self) -> CellKind {
+        self.kind
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Number of live (non-removed) cells.
+    #[inline]
+    pub fn num_cells(&self) -> usize {
+        self.num_live
+    }
+
+    /// Total cell slots including tombstones (exclusive upper bound on
+    /// valid [`CellId`]s).
+    #[inline]
+    pub fn cell_capacity(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// True when cell `c` exists and has not been removed.
+    #[inline]
+    pub fn is_cell_alive(&self, c: CellId) -> bool {
+        (c as usize) < self.alive.len() && self.alive[c as usize]
+    }
+
+    /// Vertex ids of cell `c`.
+    ///
+    /// # Panics
+    /// Panics when `c` is out of range (use [`Mesh::is_cell_alive`] to
+    /// check liveness; tombstoned cells still return their last vertices).
+    #[inline]
+    pub fn cell(&self, c: CellId) -> &[VertexId] {
+        let a = self.kind.arity();
+        &self.cells[c as usize * a..(c as usize + 1) * a]
+    }
+
+    /// Iterates `(id, vertices)` over live cells.
+    pub fn live_cells(&self) -> impl Iterator<Item = (CellId, &[VertexId])> {
+        let a = self.kind.arity();
+        self.cells
+            .chunks_exact(a)
+            .enumerate()
+            .filter(move |(i, _)| self.alive[*i])
+            .map(|(i, c)| (i as CellId, c))
+    }
+
+    /// Current vertex positions.
+    #[inline]
+    pub fn positions(&self) -> &[Point3] {
+        &self.positions
+    }
+
+    /// Mutable vertex positions — the simulation's in-place update target.
+    /// Writing here is the "mesh deformation" transformation: surface and
+    /// adjacency remain valid by construction.
+    #[inline]
+    pub fn positions_mut(&mut self) -> &mut [Point3] {
+        &mut self.positions
+    }
+
+    /// Position of vertex `v`.
+    #[inline]
+    pub fn position(&self, v: VertexId) -> Point3 {
+        self.positions[v as usize]
+    }
+
+    /// Sorted neighbour ids of `v` (the adjacency-list pointers of §III-A).
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        self.adjacency.neighbors(v)
+    }
+
+    /// The underlying CSR adjacency.
+    #[inline]
+    pub fn adjacency(&self) -> &Csr {
+        &self.adjacency
+    }
+
+    /// Axis-aligned bounds of the current positions.
+    pub fn bounding_box(&self) -> Aabb {
+        Aabb::from_points(self.positions.iter().copied())
+    }
+
+    /// True when `v` belongs to at least one live cell.
+    ///
+    /// Restructuring can orphan vertices (a removed cell may have been
+    /// the last one referencing a vertex); their position slots remain
+    /// allocated but they are no longer part of the mesh. Range-query
+    /// semantics are defined over *active* vertices — OCTOPUS naturally
+    /// never returns orphans (they are unreachable and off the surface),
+    /// and ground-truth scans must filter them explicitly.
+    ///
+    /// Every vertex of a live cell has at least `arity − 1 ≥ 3` adjacency
+    /// edges, so zero degree is equivalent to "in no live cell".
+    #[inline]
+    pub fn is_vertex_active(&self, v: VertexId) -> bool {
+        self.adjacency.degree(v) > 0
+    }
+
+    /// Extracts the current surface.
+    ///
+    /// In restructuring mode this reads the maintained per-vertex boundary
+    /// counts (O(V)); otherwise it runs the global-face-list extraction
+    /// (§IV-E1, O(cells)).
+    pub fn surface(&self) -> Result<Surface, MeshError> {
+        if let Some(rs) = &self.restructure {
+            Ok(Surface::from_membership_with_faces(
+                rs.boundary_face_count.iter().map(|&c| c > 0).collect(),
+                rs.faces.boundary_faces().count(),
+            ))
+        } else {
+            Surface::extract(self.kind, self.positions.len(), self.live_cells().map(|(_, c)| c))
+        }
+    }
+
+    /// Enables restructuring mode: builds the persistent global face list
+    /// and per-vertex boundary-face counts. Idempotent.
+    pub fn enable_restructuring(&mut self) -> Result<(), MeshError> {
+        if self.restructure.is_some() {
+            return Ok(());
+        }
+        let faces = FaceTable::build(self.kind, self.live_cells())?;
+        let mut boundary_face_count = vec![0u32; self.positions.len()];
+        for key in faces.boundary_faces() {
+            for &v in key.vertices() {
+                boundary_face_count[v as usize] += 1;
+            }
+        }
+        self.restructure = Some(RestructureState { faces, boundary_face_count });
+        Ok(())
+    }
+
+    /// True when restructuring mode is active.
+    pub fn restructuring_enabled(&self) -> bool {
+        self.restructure.is_some()
+    }
+
+    /// Removes cell `c` (mesh restructuring: "merged" polyhedra reduce the
+    /// cell count). Interior faces of the removed cell become boundary;
+    /// its boundary faces disappear. Returns the exact surface delta.
+    pub fn remove_cell(&mut self, c: CellId) -> Result<SurfaceDelta, MeshError> {
+        if !self.is_cell_alive(c) {
+            return Err(MeshError::NoSuchCell { cell: c });
+        }
+        self.apply_restructure(&[c], &[])
+    }
+
+    /// Splits tetrahedron `c` into four tetrahedra around its centroid
+    /// (mesh restructuring: "split" polyhedra increase the cell count).
+    /// Returns the new centroid vertex id and the surface delta (always
+    /// empty for this refinement: the centroid is interior and the four
+    /// outer faces survive).
+    pub fn refine_tet(&mut self, c: CellId) -> Result<(VertexId, SurfaceDelta), MeshError> {
+        if self.kind != CellKind::Tet4 {
+            return Err(MeshError::WrongCellKind { expected: CellKind::Tet4, actual: self.kind });
+        }
+        if !self.is_cell_alive(c) {
+            return Err(MeshError::NoSuchCell { cell: c });
+        }
+        if self.restructure.is_none() {
+            return Err(MeshError::RestructuringDisabled);
+        }
+        let cell: [VertexId; 4] = self.cell(c).try_into().expect("tet arity");
+        let centroid = {
+            let p: [Point3; 4] = cell.map(|v| self.position(v));
+            Point3::new(
+                0.25 * (p[0].x + p[1].x + p[2].x + p[3].x),
+                0.25 * (p[0].y + p[1].y + p[2].y + p[3].y),
+                0.25 * (p[0].z + p[1].z + p[2].z + p[3].z),
+            )
+        };
+        if self.positions.len() + 1 >= VertexId::MAX as usize {
+            return Err(MeshError::TooManyVertices);
+        }
+        let e = self.positions.len() as VertexId;
+        self.positions.push(centroid);
+        if let Some(rs) = &mut self.restructure {
+            rs.boundary_face_count.push(0);
+        }
+        let [a, b, cc, d] = cell;
+        let new_cells = [[a, b, cc, e], [a, b, d, e], [a, cc, d, e], [b, cc, d, e]];
+        let delta = self.apply_restructure(&[c], &new_cells.map(|t| t.to_vec()))?;
+        Ok((e, delta))
+    }
+
+    /// Transactionally removes `remove` cells and appends `add` cells,
+    /// maintaining the face table and boundary counts, and returning the
+    /// net surface delta. Rebuilds the adjacency (restructuring is rare;
+    /// the paper amortises this cost the same way).
+    fn apply_restructure(
+        &mut self,
+        remove: &[CellId],
+        add: &[Vec<VertexId>],
+    ) -> Result<SurfaceDelta, MeshError> {
+        let rs = self.restructure.as_mut().ok_or(MeshError::RestructuringDisabled)?;
+        let arity = self.kind.arity();
+
+        // Validate additions before mutating anything.
+        for cell in add {
+            if cell.len() != arity {
+                return Err(MeshError::RaggedCellArray { len: cell.len(), arity });
+            }
+            for (li, &v) in cell.iter().enumerate() {
+                if v as usize >= self.positions.len() {
+                    return Err(MeshError::VertexOutOfRange {
+                        cell: self.alive.len() as CellId,
+                        vertex: v,
+                        num_vertices: self.positions.len(),
+                    });
+                }
+                if cell[..li].contains(&v) {
+                    return Err(MeshError::DegenerateCell {
+                        cell: self.alive.len() as CellId,
+                        vertex: v,
+                    });
+                }
+            }
+        }
+
+        // Record the boundary status of every affected face up front.
+        let mut affected: HashMap<FaceKey, bool> = HashMap::new();
+        for &c in remove {
+            for key in self.kind.face_keys(&self.cells[c as usize * arity..(c as usize + 1) * arity])
+            {
+                affected.entry(key).or_insert_with(|| rs.faces.is_boundary(&key));
+            }
+        }
+        for cell in add {
+            for key in self.kind.face_keys(cell) {
+                affected.entry(key).or_insert_with(|| rs.faces.is_boundary(&key));
+            }
+        }
+
+        // Apply to the face table.
+        for &c in remove {
+            let cell = &self.cells[c as usize * arity..(c as usize + 1) * arity];
+            rs.faces.remove_cell(self.kind, c, cell);
+        }
+        let first_new_id = self.alive.len() as CellId;
+        for (i, cell) in add.iter().enumerate() {
+            rs.faces.insert_cell(self.kind, first_new_id + i as CellId, cell)?;
+        }
+
+        // Diff boundary status → per-vertex counts → surface delta.
+        let mut delta = SurfaceDelta::default();
+        for (key, was_boundary) in &affected {
+            let is_boundary = rs.faces.is_boundary(key);
+            if *was_boundary == is_boundary {
+                continue;
+            }
+            for &v in key.vertices() {
+                let cnt = &mut rs.boundary_face_count[v as usize];
+                if is_boundary {
+                    if *cnt == 0 {
+                        delta.added.push(v);
+                    }
+                    *cnt += 1;
+                } else {
+                    *cnt -= 1;
+                    if *cnt == 0 {
+                        delta.removed.push(v);
+                    }
+                }
+            }
+        }
+        delta.added.sort_unstable();
+        delta.added.dedup();
+        delta.removed.sort_unstable();
+        delta.removed.dedup();
+
+        // Commit the cell array changes.
+        for &c in remove {
+            self.alive[c as usize] = false;
+            self.num_live -= 1;
+        }
+        for cell in add {
+            self.cells.extend_from_slice(cell);
+            self.alive.push(true);
+            self.num_live += 1;
+        }
+
+        self.adjacency =
+            build_adjacency(self.kind, self.positions.len(), &self.cells, Some(&self.alive));
+        Ok(delta)
+    }
+
+    /// Returns a mesh with vertices relabelled by `perm`
+    /// (vertex `old` becomes `perm[old]`): positions, cells, adjacency and
+    /// restructuring state are all remapped. Used by the Hilbert layout
+    /// optimisation (§IV-H1).
+    ///
+    /// # Panics
+    /// Panics when `perm` is not a bijection over `0..num_vertices`.
+    pub fn permute_vertices(&self, perm: &[VertexId]) -> Mesh {
+        let n = self.positions.len();
+        assert_eq!(perm.len(), n, "permutation length mismatch");
+        let mut seen = vec![false; n];
+        for &p in perm {
+            assert!((p as usize) < n && !seen[p as usize], "perm is not a bijection");
+            seen[p as usize] = true;
+        }
+        let mut positions = vec![Point3::ORIGIN; n];
+        for (old, &new) in perm.iter().enumerate() {
+            positions[new as usize] = self.positions[old];
+        }
+        let cells: Vec<VertexId> = self.cells.iter().map(|&v| perm[v as usize]).collect();
+        let adjacency = build_adjacency(self.kind, n, &cells, Some(&self.alive));
+        let restructure = self.restructure.as_ref().map(|_| {
+            let faces = FaceTable::build(
+                self.kind,
+                cells
+                    .chunks_exact(self.kind.arity())
+                    .enumerate()
+                    .filter(|(i, _)| self.alive[*i])
+                    .map(|(i, c)| (i as CellId, c)),
+            )
+            .expect("permuted mesh stays manifold");
+            let mut boundary_face_count = vec![0u32; n];
+            for key in faces.boundary_faces() {
+                for &v in key.vertices() {
+                    boundary_face_count[v as usize] += 1;
+                }
+            }
+            RestructureState { faces, boundary_face_count }
+        });
+        Mesh {
+            kind: self.kind,
+            positions,
+            cells,
+            alive: self.alive.clone(),
+            num_live: self.num_live,
+            adjacency,
+            restructure,
+        }
+    }
+
+    /// Bytes of heap memory held by the mesh structure (positions, cells,
+    /// adjacency, tombstones, restructuring state). This is the "dataset
+    /// size" denominator of the paper's memory-overhead comparisons: index
+    /// footprints are reported *relative to* it.
+    pub fn memory_bytes(&self) -> usize {
+        let mut total = self.positions.capacity() * std::mem::size_of::<Point3>()
+            + self.cells.capacity() * std::mem::size_of::<VertexId>()
+            + self.alive.capacity()
+            + self.adjacency.memory_bytes();
+        if let Some(rs) = &self.restructure {
+            total += rs.faces.memory_bytes()
+                + rs.boundary_face_count.capacity() * std::mem::size_of::<u32>();
+        }
+        total
+    }
+}
+
+/// Builds CSR adjacency from the flat cell array (live cells only).
+fn build_adjacency(kind: CellKind, n: usize, cells: &[VertexId], alive: Option<&[bool]>) -> Csr {
+    let arity = kind.arity();
+    let edges = cells
+        .chunks_exact(arity)
+        .enumerate()
+        .filter(move |(i, _)| alive.is_none_or(|a| a[*i]))
+        .flat_map(move |(_, cell)| kind.edges(cell));
+    Csr::from_undirected_edges(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f32, y: f32, z: f32) -> Point3 {
+        Point3::new(x, y, z)
+    }
+
+    /// Two tets glued on face (1,2,3).
+    fn two_tet_mesh() -> Mesh {
+        let positions = vec![
+            p(0.0, 0.0, 0.0),
+            p(1.0, 0.0, 0.0),
+            p(0.0, 1.0, 0.0),
+            p(0.0, 0.0, 1.0),
+            p(1.0, 1.0, 1.0),
+        ];
+        Mesh::from_tets(positions, vec![[0, 1, 2, 3], [4, 1, 2, 3]]).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_ids() {
+        let err = Mesh::from_tets(vec![p(0.0, 0.0, 0.0)], vec![[0, 1, 2, 3]]).unwrap_err();
+        assert!(matches!(err, MeshError::VertexOutOfRange { vertex: 1, .. }));
+    }
+
+    #[test]
+    fn construction_rejects_degenerate_cells() {
+        let positions = vec![p(0.0, 0.0, 0.0); 4];
+        let err = Mesh::from_tets(positions, vec![[0, 1, 2, 2]]).unwrap_err();
+        assert!(matches!(err, MeshError::DegenerateCell { vertex: 2, .. }));
+    }
+
+    #[test]
+    fn construction_rejects_ragged_arrays() {
+        let err =
+            Mesh::from_flat(CellKind::Tet4, vec![p(0.0, 0.0, 0.0); 4], vec![0, 1, 2]).unwrap_err();
+        assert!(matches!(err, MeshError::RaggedCellArray { len: 3, arity: 4 }));
+    }
+
+    #[test]
+    fn adjacency_reflects_shared_face() {
+        let m = two_tet_mesh();
+        // 0 and 4 are not connected; both connect to 1, 2, 3.
+        assert_eq!(m.neighbors(0), &[1, 2, 3]);
+        assert_eq!(m.neighbors(4), &[1, 2, 3]);
+        assert_eq!(m.neighbors(1), &[0, 2, 3, 4]);
+    }
+
+    #[test]
+    fn deformation_keeps_surface_and_adjacency() {
+        let mut m = two_tet_mesh();
+        let before = m.surface().unwrap().vertices().to_vec();
+        for pos in m.positions_mut() {
+            *pos += octopus_geom::Vec3::new(5.0, -2.0, 0.5);
+        }
+        assert_eq!(m.surface().unwrap().vertices(), &before[..]);
+        assert_eq!(m.neighbors(1), &[0, 2, 3, 4]);
+    }
+
+    #[test]
+    fn remove_cell_exposes_interior_face_no_surface_change_when_all_surface() {
+        let mut m = two_tet_mesh();
+        m.enable_restructuring().unwrap();
+        // All 5 vertices are already on the surface, so deleting a tet
+        // cannot *add* surface vertices; vertex 0 loses all its faces and
+        // leaves the surface (it becomes disconnected from live cells).
+        let delta = m.remove_cell(0).unwrap();
+        assert!(delta.added.is_empty());
+        assert_eq!(delta.removed, vec![0]);
+        assert_eq!(m.num_cells(), 1);
+        assert!(!m.is_cell_alive(0));
+        // Adjacency rebuilt: vertex 0 now isolated.
+        assert_eq!(m.neighbors(0), &[] as &[u32]);
+    }
+
+    #[test]
+    fn remove_cell_requires_restructuring_mode() {
+        let mut m = two_tet_mesh();
+        assert!(matches!(m.remove_cell(0), Err(MeshError::RestructuringDisabled)));
+    }
+
+    #[test]
+    fn remove_dead_cell_errors() {
+        let mut m = two_tet_mesh();
+        m.enable_restructuring().unwrap();
+        m.remove_cell(0).unwrap();
+        assert!(matches!(m.remove_cell(0), Err(MeshError::NoSuchCell { cell: 0 })));
+        assert!(matches!(m.remove_cell(99), Err(MeshError::NoSuchCell { cell: 99 })));
+    }
+
+    #[test]
+    fn refine_tet_adds_interior_vertex_without_surface_change() {
+        let mut m = two_tet_mesh();
+        m.enable_restructuring().unwrap();
+        let (e, delta) = m.refine_tet(0).unwrap();
+        assert_eq!(e, 5);
+        assert!(delta.is_empty(), "centroid refinement never changes the surface: {delta:?}");
+        assert_eq!(m.num_cells(), 5); // 2 - 1 + 4
+        assert_eq!(m.num_vertices(), 6);
+        // Centroid connects to all four corners of the refined tet.
+        assert_eq!(m.neighbors(5), &[0, 1, 2, 3]);
+        // Surface recomputed from scratch agrees: centroid interior.
+        let s = m.surface().unwrap();
+        assert!(!s.contains(5));
+        // Delta-maintained membership matches a from-scratch extraction.
+        let fresh =
+            Surface::extract(CellKind::Tet4, 6, m.live_cells().map(|(_, c)| c)).unwrap();
+        assert_eq!(s.vertices(), fresh.vertices());
+    }
+
+    #[test]
+    fn refine_is_tet_only() {
+        let positions = (0..8)
+            .map(|i| p((i & 1) as f32, ((i >> 1) & 1) as f32, ((i >> 2) & 1) as f32))
+            .collect();
+        let mut m = Mesh::from_hexes(positions, vec![[0, 1, 3, 2, 4, 5, 7, 6]]).unwrap();
+        m.enable_restructuring().unwrap();
+        assert!(matches!(m.refine_tet(0), Err(MeshError::WrongCellKind { .. })));
+    }
+
+    #[test]
+    fn delta_matches_full_recomputation_over_op_sequence() {
+        // Build a 3-tet strip, then remove/refine in sequence and compare
+        // the maintained surface with a from-scratch extraction each time.
+        let positions = vec![
+            p(0.0, 0.0, 0.0),
+            p(1.0, 0.0, 0.0),
+            p(0.0, 1.0, 0.0),
+            p(0.0, 0.0, 1.0),
+            p(1.0, 1.0, 1.0),
+            p(2.0, 1.0, 1.0),
+        ];
+        let mut m = Mesh::from_tets(
+            positions,
+            vec![[0, 1, 2, 3], [4, 1, 2, 3], [5, 4, 2, 3]],
+        )
+        .unwrap();
+        m.enable_restructuring().unwrap();
+        type Op = Box<dyn Fn(&mut Mesh)>;
+        let ops: Vec<Op> = vec![
+            Box::new(|m: &mut Mesh| {
+                m.refine_tet(1).unwrap();
+            }),
+            Box::new(|m: &mut Mesh| {
+                m.remove_cell(0).unwrap();
+            }),
+            Box::new(|m: &mut Mesh| {
+                m.remove_cell(2).unwrap();
+            }),
+        ];
+        for op in ops {
+            op(&mut m);
+            let maintained = m.surface().unwrap();
+            let fresh = Surface::extract(
+                m.kind(),
+                m.num_vertices(),
+                m.live_cells().map(|(_, c)| c),
+            )
+            .unwrap();
+            assert_eq!(maintained.vertices(), fresh.vertices());
+        }
+    }
+
+    #[test]
+    fn permutation_relabels_consistently() {
+        let m = two_tet_mesh();
+        // Reverse the ids.
+        let perm: Vec<u32> = (0..5).rev().collect();
+        let q = m.permute_vertices(&perm);
+        assert_eq!(q.position(4), m.position(0));
+        assert_eq!(q.position(0), m.position(4));
+        // Old edge (0,1) becomes (4,3).
+        assert!(q.adjacency().has_edge(4, 3));
+        // Surfaces match under relabelling.
+        let s_old = m.surface().unwrap();
+        let s_new = q.surface().unwrap();
+        for v in 0..5u32 {
+            assert_eq!(s_old.contains(v), s_new.contains(perm[v as usize]));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bijection")]
+    fn permutation_must_be_bijective() {
+        let m = two_tet_mesh();
+        m.permute_vertices(&[0, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn live_cells_skips_tombstones() {
+        let mut m = two_tet_mesh();
+        m.enable_restructuring().unwrap();
+        m.remove_cell(1).unwrap();
+        let ids: Vec<CellId> = m.live_cells().map(|(i, _)| i).collect();
+        assert_eq!(ids, vec![0]);
+        assert_eq!(m.cell_capacity(), 2);
+    }
+
+    #[test]
+    fn memory_accounting_grows_with_restructuring_mode() {
+        let mut m = two_tet_mesh();
+        let base = m.memory_bytes();
+        m.enable_restructuring().unwrap();
+        assert!(m.memory_bytes() > base);
+    }
+
+    #[test]
+    fn bounding_box_tracks_positions() {
+        let mut m = two_tet_mesh();
+        let b0 = m.bounding_box();
+        assert_eq!(b0.max, p(1.0, 1.0, 1.0));
+        m.positions_mut()[4] = p(10.0, 0.0, 0.0);
+        assert_eq!(m.bounding_box().max.x, 10.0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Dataset characterisation, mirroring the paper's Fig. 4 / 8 / 14 tables.
+
+use crate::{Mesh, MeshError};
+
+/// Summary statistics of a mesh dataset.
+///
+/// The columns match the paper's dataset tables: size, cell count, vertex
+/// count, mesh degree `M` (average number of edges per vertex) and
+/// surface-to-volume ratio `S` (surface vertices ÷ total vertices).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MeshStats {
+    /// Heap bytes held by the mesh (positions + cells + adjacency).
+    pub memory_bytes: usize,
+    /// Number of live cells (tetrahedra / hexahedra).
+    pub num_cells: usize,
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Average vertex degree `M` — the crawl-cost factor of Eq. 2.
+    pub mesh_degree: f64,
+    /// Maximum vertex degree.
+    pub max_degree: usize,
+    /// Surface-to-volume ratio `S` — the probe-cost factor of Eq. 1.
+    pub surface_ratio: f64,
+    /// Number of surface vertices.
+    pub surface_vertices: usize,
+    /// Number of connected components (2 for the two-neuron datasets).
+    pub components: usize,
+}
+
+impl MeshStats {
+    /// Computes all statistics (extracts the surface; O(cells)).
+    pub fn compute(mesh: &Mesh) -> Result<MeshStats, MeshError> {
+        let surface = mesh.surface()?;
+        let (_, components) = mesh.adjacency().connected_components();
+        Ok(MeshStats {
+            memory_bytes: mesh.memory_bytes(),
+            num_cells: mesh.num_cells(),
+            num_vertices: mesh.num_vertices(),
+            mesh_degree: mesh.adjacency().average_degree(),
+            max_degree: mesh.adjacency().max_degree(),
+            surface_ratio: surface.ratio(),
+            surface_vertices: surface.len(),
+            components,
+        })
+    }
+
+    /// Memory in mebibytes, for table printing.
+    pub fn memory_mib(&self) -> f64 {
+        self.memory_bytes as f64 / (1024.0 * 1024.0)
+    }
+}
+
+impl std::fmt::Display for MeshStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.1} MiB | {} cells | {} vertices | degree {:.2} | S:V {:.3} | {} component(s)",
+            self.memory_mib(),
+            self.num_cells,
+            self.num_vertices,
+            self.mesh_degree,
+            self.surface_ratio,
+            self.components
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octopus_geom::Point3;
+
+    #[test]
+    fn stats_of_single_tet() {
+        let positions = vec![
+            Point3::new(0.0, 0.0, 0.0),
+            Point3::new(1.0, 0.0, 0.0),
+            Point3::new(0.0, 1.0, 0.0),
+            Point3::new(0.0, 0.0, 1.0),
+        ];
+        let m = Mesh::from_tets(positions, vec![[0, 1, 2, 3]]).unwrap();
+        let s = MeshStats::compute(&m).unwrap();
+        assert_eq!(s.num_cells, 1);
+        assert_eq!(s.num_vertices, 4);
+        assert_eq!(s.mesh_degree, 3.0);
+        assert_eq!(s.max_degree, 3);
+        assert_eq!(s.surface_ratio, 1.0);
+        assert_eq!(s.surface_vertices, 4);
+        assert_eq!(s.components, 1);
+        assert!(s.memory_bytes > 0);
+    }
+
+    #[test]
+    fn disjoint_meshes_report_components() {
+        let positions = (0..8)
+            .map(|i| Point3::new(i as f32, (i % 2) as f32, (i % 3) as f32))
+            .collect();
+        let m = Mesh::from_tets(positions, vec![[0, 1, 2, 3], [4, 5, 6, 7]]).unwrap();
+        let s = MeshStats::compute(&m).unwrap();
+        assert_eq!(s.components, 2);
+    }
+
+    #[test]
+    fn display_contains_key_fields() {
+        let positions = vec![
+            Point3::new(0.0, 0.0, 0.0),
+            Point3::new(1.0, 0.0, 0.0),
+            Point3::new(0.0, 1.0, 0.0),
+            Point3::new(0.0, 0.0, 1.0),
+        ];
+        let m = Mesh::from_tets(positions, vec![[0, 1, 2, 3]]).unwrap();
+        let s = MeshStats::compute(&m).unwrap().to_string();
+        assert!(s.contains("1 cells") && s.contains("4 vertices"));
+    }
+}

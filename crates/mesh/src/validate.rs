@@ -1,0 +1,119 @@
+//! Whole-mesh consistency checks.
+//!
+//! Generators and property tests use [`validate`] to assert that a mesh
+//! is well-formed: finite positions, manifold faces, symmetric adjacency.
+//! Production query paths never call this (it is O(mesh)).
+
+use crate::{Mesh, MeshError};
+
+/// Report of a full validation pass.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ValidationReport {
+    /// Number of live cells inspected.
+    pub cells_checked: usize,
+    /// Number of boundary faces found.
+    pub boundary_faces: usize,
+    /// Number of connected components.
+    pub components: usize,
+}
+
+/// Validates the mesh, returning statistics on success.
+///
+/// Checks performed:
+/// 1. every position is finite;
+/// 2. the global face list is manifold (each face on ≤ 2 cells);
+/// 3. CSR adjacency is symmetric and sorted;
+/// 4. every adjacency edge is realised by at least one live cell edge.
+pub fn validate(mesh: &Mesh) -> Result<ValidationReport, MeshError> {
+    for (v, p) in mesh.positions().iter().enumerate() {
+        if !p.is_finite() {
+            return Err(MeshError::NonFinitePosition { vertex: v as u32 });
+        }
+    }
+
+    // Manifoldness falls out of surface extraction.
+    let surface = mesh.surface()?;
+
+    // Adjacency symmetry + sortedness.
+    let adj = mesh.adjacency();
+    for v in 0..mesh.num_vertices() as u32 {
+        let ns = adj.neighbors(v);
+        debug_assert!(ns.windows(2).all(|w| w[0] < w[1]), "neighbour lists must be sorted");
+        for &w in ns {
+            if !adj.has_edge(w, v) {
+                // Symmetry violations can only arise from internal bugs,
+                // not user input; surface a consistent error anyway.
+                return Err(MeshError::DegenerateCell { cell: 0, vertex: v });
+            }
+        }
+    }
+
+    // Every CSR edge must come from a live cell.
+    let mut expected =
+        std::collections::HashSet::<(u32, u32)>::with_capacity(adj.num_directed_edges());
+    for (_, cell) in mesh.live_cells() {
+        for (a, b) in mesh.kind().edges(cell) {
+            expected.insert((a.min(b), a.max(b)));
+        }
+    }
+    let mut actual = 0usize;
+    for v in 0..mesh.num_vertices() as u32 {
+        for &w in adj.neighbors(v) {
+            if v < w {
+                actual += 1;
+                if !expected.contains(&(v, w)) {
+                    return Err(MeshError::DegenerateCell { cell: 0, vertex: v });
+                }
+            }
+        }
+    }
+    debug_assert_eq!(actual, expected.len(), "adjacency must cover all cell edges");
+
+    let (_, components) = adj.connected_components();
+    Ok(ValidationReport {
+        cells_checked: mesh.num_cells(),
+        boundary_faces: surface.num_boundary_faces(),
+        components,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octopus_geom::Point3;
+
+    fn tet_mesh() -> Mesh {
+        let positions = vec![
+            Point3::new(0.0, 0.0, 0.0),
+            Point3::new(1.0, 0.0, 0.0),
+            Point3::new(0.0, 1.0, 0.0),
+            Point3::new(0.0, 0.0, 1.0),
+        ];
+        Mesh::from_tets(positions, vec![[0, 1, 2, 3]]).unwrap()
+    }
+
+    #[test]
+    fn valid_mesh_passes() {
+        let r = validate(&tet_mesh()).unwrap();
+        assert_eq!(r.cells_checked, 1);
+        assert_eq!(r.boundary_faces, 4);
+        assert_eq!(r.components, 1);
+    }
+
+    #[test]
+    fn nan_position_is_rejected() {
+        let mut m = tet_mesh();
+        m.positions_mut()[2] = Point3::new(f32::NAN, 0.0, 0.0);
+        assert!(matches!(validate(&m), Err(MeshError::NonFinitePosition { vertex: 2 })));
+    }
+
+    #[test]
+    fn validation_after_restructuring() {
+        let mut m = tet_mesh();
+        m.enable_restructuring().unwrap();
+        m.refine_tet(0).unwrap();
+        let r = validate(&m).unwrap();
+        assert_eq!(r.cells_checked, 4);
+        assert_eq!(r.boundary_faces, 4);
+    }
+}

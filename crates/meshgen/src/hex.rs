@@ -1,0 +1,106 @@
+//! Hexahedral meshing of a masked voxel grid.
+//!
+//! The paper's Fig. 1(b) primitive: every solid voxel becomes one `Hex8`
+//! cell. Used to exercise the face/edge machinery on the second cell kind
+//! and as an alternative substrate for the simulation tests.
+
+use crate::voxel::VoxelRegion;
+use octopus_geom::{Point3, VertexId};
+use octopus_mesh::{Mesh, MeshError};
+
+/// Converts the solid voxels of `region` into a conforming hexahedral
+/// mesh (VTK corner ordering; shared lattice points deduplicated).
+pub fn hexahedralize(region: &VoxelRegion) -> Result<Mesh, MeshError> {
+    let (nx, ny, nz) = region.dims();
+    let (lx, ly) = (nx + 1, ny + 1);
+    let mut lattice_id = vec![VertexId::MAX; (nx + 1) * (ny + 1) * (nz + 1)];
+    let mut positions: Vec<Point3> = Vec::new();
+    let mut hexes: Vec<[VertexId; 8]> = Vec::with_capacity(region.count_set());
+    let lattice_index = |i: usize, j: usize, k: usize| i + lx * (j + ly * k);
+
+    // VTK Hex8 ordering: bottom quad counter-clockwise, then top quad.
+    const VTK_ORDER: [(usize, usize, usize); 8] = [
+        (0, 0, 0),
+        (1, 0, 0),
+        (1, 1, 0),
+        (0, 1, 0),
+        (0, 0, 1),
+        (1, 0, 1),
+        (1, 1, 1),
+        (0, 1, 1),
+    ];
+
+    for (i, j, k) in region.set_voxels() {
+        let mut cell = [0 as VertexId; 8];
+        for (slot, &(di, dj, dk)) in VTK_ORDER.iter().enumerate() {
+            let li = lattice_index(i + di, j + dj, k + dk);
+            let id = &mut lattice_id[li];
+            if *id == VertexId::MAX {
+                if positions.len() + 1 >= VertexId::MAX as usize {
+                    return Err(MeshError::TooManyVertices);
+                }
+                *id = positions.len() as VertexId;
+                positions.push(region.lattice_point(i + di, j + dj, k + dk));
+            }
+            cell[slot] = *id;
+        }
+        hexes.push(cell);
+    }
+    Mesh::from_hexes(positions, hexes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octopus_geom::Aabb;
+    use octopus_mesh::MeshStats;
+
+    fn solid(n: usize) -> Mesh {
+        let bounds = Aabb::new(Point3::ORIGIN, Point3::splat(n as f32));
+        hexahedralize(&VoxelRegion::solid_box(&bounds, n, n, n)).unwrap()
+    }
+
+    #[test]
+    fn counts_for_solid_cube() {
+        for n in [1usize, 2, 3] {
+            let m = solid(n);
+            assert_eq!(m.num_cells(), n * n * n);
+            assert_eq!(m.num_vertices(), (n + 1).pow(3));
+        }
+    }
+
+    #[test]
+    fn surface_is_the_shell() {
+        let n = 4;
+        let m = solid(n);
+        let s = m.surface().unwrap();
+        assert_eq!(s.len(), (n + 1).pow(3) - (n - 1).pow(3));
+    }
+
+    #[test]
+    fn interior_degree_is_6() {
+        let m = solid(4);
+        let s = m.surface().unwrap();
+        let interior: Vec<u32> =
+            (0..m.num_vertices() as u32).filter(|&v| !s.contains(v)).collect();
+        assert!(!interior.is_empty());
+        for &v in &interior {
+            assert_eq!(m.neighbors(v).len(), 6, "grid interior degree");
+        }
+    }
+
+    #[test]
+    fn hex_mesh_validates() {
+        let m = solid(3);
+        let r = octopus_mesh::validate::validate(&m).unwrap();
+        assert_eq!(r.components, 1);
+        // 6 faces per shell side: a 3x3x3 cube has 9 boundary quads/side.
+        assert_eq!(r.boundary_faces, 6 * 9);
+    }
+
+    #[test]
+    fn stats_degree_below_tet_mesh() {
+        let hex = MeshStats::compute(&solid(5)).unwrap();
+        assert!(hex.mesh_degree < 7.0, "hex grids are 6-connected, got {}", hex.mesh_degree);
+    }
+}

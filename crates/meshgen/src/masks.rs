@@ -1,0 +1,353 @@
+//! Solid-shape predicates used to mask voxel grids.
+//!
+//! Each shape answers "does this point belong to the solid?". The neuron
+//! datasets use [`CapsuleTree`]s (branching tubes around a random tree
+//! skeleton, mimicking dendritic arbors); the animation datasets use
+//! [`Blob`]s (unions of spheres along a spine); the earthquake datasets
+//! use plain solid boxes (see [`crate::voxel::VoxelRegion::solid_box`]).
+
+use octopus_geom::rng::SplitMix64;
+use octopus_geom::{Aabb, Point3, Vec3};
+
+/// A sphere.
+#[derive(Clone, Copy, Debug)]
+pub struct Sphere {
+    /// Centre.
+    pub center: Point3,
+    /// Radius.
+    pub radius: f32,
+}
+
+impl Sphere {
+    /// True when `p` is inside the sphere.
+    #[inline]
+    pub fn contains(&self, p: Point3) -> bool {
+        self.center.dist_sq(p) <= self.radius * self.radius
+    }
+}
+
+/// A capsule: all points within `radius` of the segment `a → b`.
+#[derive(Clone, Copy, Debug)]
+pub struct Capsule {
+    /// Segment start.
+    pub a: Point3,
+    /// Segment end.
+    pub b: Point3,
+    /// Tube radius.
+    pub radius: f32,
+}
+
+impl Capsule {
+    /// True when `p` is inside the capsule.
+    #[inline]
+    pub fn contains(&self, p: Point3) -> bool {
+        self.dist_sq(p) <= self.radius * self.radius
+    }
+
+    /// Squared distance from `p` to the capsule axis segment.
+    #[inline]
+    pub fn dist_sq(&self, p: Point3) -> f32 {
+        let ab = self.b - self.a;
+        let ap = p - self.a;
+        let len_sq = ab.length_sq();
+        let t = if len_sq > f32::EPSILON { (ap.dot(ab) / len_sq).clamp(0.0, 1.0) } else { 0.0 };
+        let closest = self.a + ab * t;
+        closest.dist_sq(p)
+    }
+}
+
+/// A solid torus around the z-axis: `(√(x²+y²) − major)² + z² ≤ minor²`.
+///
+/// Genus-1 stress-test shape: a range query can intersect it in two
+/// disjoint sub-meshes even though the mesh is connected, which is the
+/// configuration of the paper's Fig. 3.
+#[derive(Clone, Copy, Debug)]
+pub struct Torus {
+    /// Centre of the tube circle.
+    pub center: Point3,
+    /// Distance from centre to tube axis.
+    pub major: f32,
+    /// Tube radius.
+    pub minor: f32,
+}
+
+impl Torus {
+    /// True when `p` is inside the torus.
+    #[inline]
+    pub fn contains(&self, p: Point3) -> bool {
+        let dx = p.x - self.center.x;
+        let dy = p.y - self.center.y;
+        let dz = p.z - self.center.z;
+        let ring = (dx * dx + dy * dy).sqrt() - self.major;
+        ring * ring + dz * dz <= self.minor * self.minor
+    }
+}
+
+/// Union of spheres along a spine — the animation "body" shapes.
+#[derive(Clone, Debug)]
+pub struct Blob {
+    /// Component spheres.
+    pub spheres: Vec<Sphere>,
+}
+
+impl Blob {
+    /// True when `p` is inside any component sphere.
+    #[inline]
+    pub fn contains(&self, p: Point3) -> bool {
+        self.spheres.iter().any(|s| s.contains(p))
+    }
+
+    /// A quadruped-ish blob: an elongated body with four legs and a neck,
+    /// fitted inside `bounds`. `seed` perturbs proportions.
+    pub fn quadruped(bounds: &Aabb, seed: u64) -> Blob {
+        let mut rng = SplitMix64::new(seed);
+        let c = bounds.center();
+        let e = bounds.extent();
+        // Thick-set proportions: see the surface-to-volume note on the
+        // neuron arbors — compact bodies keep S in the paper's regime.
+        let body_r = 0.22 * e.y.min(e.z);
+        let mut spheres = Vec::new();
+        // Body: spheres along x.
+        let n_body = 7;
+        for i in 0..n_body {
+            let t = i as f32 / (n_body - 1) as f32;
+            let x = bounds.min.x + (0.18 + 0.64 * t) * e.x;
+            let jitter = rng.range_f32(0.9, 1.1);
+            spheres.push(Sphere {
+                center: Point3::new(x, c.y + 0.1 * e.y, c.z),
+                radius: body_r * jitter,
+            });
+        }
+        // Legs: columns of spheres under body ends.
+        for &fx in &[0.25f32, 0.72] {
+            for &fz in &[-0.3f32, 0.3] {
+                for step in 0..4 {
+                    let t = step as f32 / 3.0;
+                    spheres.push(Sphere {
+                        center: Point3::new(
+                            bounds.min.x + fx * e.x,
+                            c.y + 0.1 * e.y - t * 0.4 * e.y,
+                            c.z + fz * e.z * 0.5,
+                        ),
+                        radius: body_r * 0.7,
+                    });
+                }
+            }
+        }
+        // Neck / head.
+        for step in 0..3 {
+            let t = step as f32 / 2.0;
+            spheres.push(Sphere {
+                center: Point3::new(
+                    bounds.min.x + (0.84 + 0.1 * t) * e.x,
+                    c.y + (0.1 + 0.25 * t) * e.y,
+                    c.z,
+                ),
+                radius: body_r * (0.8 - 0.15 * t),
+            });
+        }
+        Blob { spheres }
+    }
+
+    /// A head-like blob: one large sphere with facial protrusions —
+    /// compact (low surface-to-volume), like the paper's facial dataset.
+    pub fn head(bounds: &Aabb, seed: u64) -> Blob {
+        let mut rng = SplitMix64::new(seed);
+        let c = bounds.center();
+        let e = bounds.extent();
+        let r = 0.4 * e.x.min(e.y).min(e.z);
+        let mut spheres = vec![Sphere { center: c, radius: r }];
+        // Brow, nose, chin, cheeks.
+        let features = [
+            (Vec3::new(0.0, 0.25, 0.85), 0.35f32),
+            (Vec3::new(0.0, -0.1, 0.95), 0.28),
+            (Vec3::new(0.0, -0.55, 0.75), 0.3),
+            (Vec3::new(0.5, -0.1, 0.7), 0.33),
+            (Vec3::new(-0.5, -0.1, 0.7), 0.33),
+        ];
+        for (dir, scale) in features {
+            let jitter = rng.range_f32(0.95, 1.05);
+            spheres.push(Sphere { center: c + dir * r, radius: r * scale * jitter });
+        }
+        Blob { spheres }
+    }
+}
+
+/// A branching tube structure around a random tree skeleton — the
+/// synthetic stand-in for a neuron's dendritic arbor.
+#[derive(Clone, Debug)]
+pub struct CapsuleTree {
+    /// Tube segments.
+    pub capsules: Vec<Capsule>,
+    /// Soma (cell body) sphere.
+    pub soma: Sphere,
+}
+
+/// Parameters for [`CapsuleTree::grow`].
+#[derive(Clone, Copy, Debug)]
+pub struct ArborParams {
+    /// Recursion depth (levels of branching).
+    pub depth: u32,
+    /// Children per branch point.
+    pub branching: u32,
+    /// Length of a depth-0 segment.
+    pub segment_len: f32,
+    /// Tube radius at depth 0 (tapers with depth).
+    pub radius: f32,
+    /// Per-level length decay factor.
+    pub length_decay: f32,
+    /// Per-level radius decay factor.
+    pub radius_decay: f32,
+}
+
+impl Default for ArborParams {
+    fn default() -> Self {
+        ArborParams {
+            depth: 4,
+            branching: 2,
+            segment_len: 0.25,
+            radius: 0.04,
+            length_decay: 0.8,
+            radius_decay: 0.85,
+        }
+    }
+}
+
+impl CapsuleTree {
+    /// Grows a random arbor from `root` with initial direction `dir`.
+    ///
+    /// Deterministic for a fixed `seed`. Children deviate from the parent
+    /// direction by a random rotation, producing the irregular, non-convex
+    /// geometry of Fig. 1(c).
+    pub fn grow(root: Point3, dir: Vec3, params: &ArborParams, seed: u64) -> CapsuleTree {
+        let mut rng = SplitMix64::new(seed);
+        let mut capsules = Vec::new();
+        let dir = dir.normalized().unwrap_or(Vec3::new(0.0, 1.0, 0.0));
+        let soma = Sphere { center: root, radius: params.radius * 2.5 };
+        let mut stack = vec![(root, dir, 0u32)];
+        while let Some((pos, dir, depth)) = stack.pop() {
+            if depth >= params.depth {
+                continue;
+            }
+            let len = params.segment_len * params.length_decay.powi(depth as i32);
+            let radius = (params.radius * params.radius_decay.powi(depth as i32)).max(1e-4);
+            let end = pos + dir * len;
+            capsules.push(Capsule { a: pos, b: end, radius });
+            for _ in 0..params.branching {
+                let child_dir = perturb(dir, 0.7, &mut rng);
+                stack.push((end, child_dir, depth + 1));
+            }
+        }
+        CapsuleTree { capsules, soma }
+    }
+
+    /// True when `p` is inside the arbor (any capsule or the soma).
+    pub fn contains(&self, p: Point3) -> bool {
+        if self.soma.contains(p) {
+            return true;
+        }
+        self.capsules.iter().any(|c| c.contains(p))
+    }
+
+    /// Bounding box of the arbor (dilated by tube radii).
+    pub fn bounds(&self) -> Aabb {
+        let mut b = Aabb::cube(self.soma.center, self.soma.radius);
+        for c in &self.capsules {
+            b = b.union(&Aabb::cube(c.a, c.radius));
+            b = b.union(&Aabb::cube(c.b, c.radius));
+        }
+        b
+    }
+}
+
+/// Random unit vector at an angle from `dir` controlled by `spread`.
+fn perturb(dir: Vec3, spread: f32, rng: &mut SplitMix64) -> Vec3 {
+    let jitter = Vec3::new(
+        rng.range_f32(-spread, spread),
+        rng.range_f32(-spread, spread),
+        rng.range_f32(-spread, spread),
+    );
+    (dir + jitter).normalized().unwrap_or(dir)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sphere_containment() {
+        let s = Sphere { center: Point3::splat(1.0), radius: 0.5 };
+        assert!(s.contains(Point3::splat(1.0)));
+        assert!(s.contains(Point3::new(1.4, 1.0, 1.0)));
+        assert!(!s.contains(Point3::new(1.6, 1.0, 1.0)));
+    }
+
+    #[test]
+    fn capsule_containment_includes_endpoints_and_middle() {
+        let c = Capsule { a: Point3::ORIGIN, b: Point3::new(2.0, 0.0, 0.0), radius: 0.25 };
+        assert!(c.contains(Point3::ORIGIN));
+        assert!(c.contains(Point3::new(2.0, 0.0, 0.0)));
+        assert!(c.contains(Point3::new(1.0, 0.2, 0.0)));
+        assert!(!c.contains(Point3::new(1.0, 0.3, 0.0)));
+        assert!(!c.contains(Point3::new(2.3, 0.0, 0.0)));
+        // Degenerate (zero-length) capsule behaves as a sphere.
+        let pt = Capsule { a: Point3::ORIGIN, b: Point3::ORIGIN, radius: 0.5 };
+        assert!(pt.contains(Point3::new(0.4, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn torus_has_a_hole() {
+        let t = Torus { center: Point3::ORIGIN, major: 1.0, minor: 0.25 };
+        assert!(t.contains(Point3::new(1.0, 0.0, 0.0)));
+        assert!(t.contains(Point3::new(0.0, -1.0, 0.1)));
+        assert!(!t.contains(Point3::ORIGIN), "centre hole");
+        assert!(!t.contains(Point3::new(2.0, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn capsule_tree_is_deterministic_and_nonempty() {
+        let p = ArborParams::default();
+        let a = CapsuleTree::grow(Point3::ORIGIN, Vec3::new(0.0, 1.0, 0.0), &p, 42);
+        let b = CapsuleTree::grow(Point3::ORIGIN, Vec3::new(0.0, 1.0, 0.0), &p, 42);
+        assert_eq!(a.capsules.len(), b.capsules.len());
+        assert!(!a.capsules.is_empty());
+        // depth-limited binary tree: 1 + 2 + 4 + 8 segments for depth 4.
+        assert_eq!(a.capsules.len(), 15);
+    }
+
+    #[test]
+    fn capsule_tree_contains_its_root_and_bounds_all_segments() {
+        let p = ArborParams::default();
+        let t = CapsuleTree::grow(Point3::splat(0.5), Vec3::new(0.0, 1.0, 0.0), &p, 7);
+        assert!(t.contains(Point3::splat(0.5)));
+        let b = t.bounds();
+        for c in &t.capsules {
+            assert!(b.contains(c.a));
+            assert!(b.contains(c.b));
+        }
+    }
+
+    #[test]
+    fn blob_shapes_are_inside_their_bounds() {
+        let bounds = Aabb::new(Point3::ORIGIN, Point3::new(4.0, 2.0, 2.0));
+        let q = Blob::quadruped(&bounds, 3);
+        assert!(!q.spheres.is_empty());
+        assert!(q.contains(q.spheres[0].center));
+        let h = Blob::head(&Aabb::cube(Point3::splat(1.0), 1.0), 5);
+        assert!(h.contains(Point3::splat(1.0)));
+    }
+
+    #[test]
+    fn different_seeds_give_different_trees() {
+        let p = ArborParams::default();
+        let a = CapsuleTree::grow(Point3::ORIGIN, Vec3::new(0.0, 1.0, 0.0), &p, 1);
+        let b = CapsuleTree::grow(Point3::ORIGIN, Vec3::new(0.0, 1.0, 0.0), &p, 2);
+        let same_endpoints = a
+            .capsules
+            .iter()
+            .zip(&b.capsules)
+            .filter(|(x, y)| x.b.dist_sq(y.b) < 1e-12)
+            .count();
+        assert!(same_endpoints < a.capsules.len(), "trees should differ");
+    }
+}

@@ -1,0 +1,163 @@
+//! The simulation driver: the loop of Fig. 1(e).
+//!
+//! `SIMULATE → MONITOR → SIMULATE → MONITOR → …` — the simulation rewrites
+//! every vertex position in place; between steps, monitoring tools query
+//! the *latest* state. [`Simulation`] owns the mesh and applies a
+//! [`Deformation`] per step; monitoring code borrows the mesh in between.
+
+use crate::fields::Deformation;
+use crate::restructure::RestructureSchedule;
+use octopus_geom::Point3;
+use octopus_mesh::{Mesh, MeshError, SurfaceDelta};
+
+/// A running mesh simulation.
+pub struct Simulation {
+    mesh: Mesh,
+    rest: Vec<Point3>,
+    field: Box<dyn Deformation>,
+    restructuring: Option<RestructureSchedule>,
+    step: u32,
+}
+
+impl Simulation {
+    /// Starts a simulation of `mesh` under `field` (time step 0 = rest
+    /// state).
+    pub fn new(mesh: Mesh, field: Box<dyn Deformation>) -> Simulation {
+        let rest = mesh.positions().to_vec();
+        Simulation { mesh, rest, field, restructuring: None, step: 0 }
+    }
+
+    /// Adds a restructuring schedule (rare connectivity events, §IV-E2).
+    /// Enables the mesh's restructuring mode.
+    pub fn with_restructuring(mut self, schedule: RestructureSchedule) -> Result<Simulation, MeshError> {
+        self.mesh.enable_restructuring()?;
+        self.restructuring = Some(schedule);
+        Ok(self)
+    }
+
+    /// Advances one time step: overwrites all vertex positions in place
+    /// (and, when scheduled, restructures the mesh). Returns the surface
+    /// delta of any restructuring (empty when none fired) so callers can
+    /// incrementally maintain their surface index.
+    pub fn step(&mut self) -> Result<SurfaceDelta, MeshError> {
+        self.step += 1;
+        self.field.apply_step(self.step, &self.rest, self.mesh.positions_mut());
+        let mut delta = SurfaceDelta::default();
+        if let Some(schedule) = &mut self.restructuring {
+            delta = schedule.maybe_fire(self.step, &mut self.mesh)?;
+            if !(delta.added.is_empty() && delta.removed.is_empty())
+                || self.mesh.num_vertices() != self.rest.len()
+            {
+                // Restructuring may add vertices; extend rest state so the
+                // field keeps a defined reference for them.
+                let positions = self.mesh.positions();
+                while self.rest.len() < positions.len() {
+                    self.rest.push(positions[self.rest.len()]);
+                }
+            }
+        }
+        Ok(delta)
+    }
+
+    /// Runs `n` steps, discarding deltas (convenience for setups without
+    /// restructuring).
+    pub fn run(&mut self, n: u32) -> Result<(), MeshError> {
+        for _ in 0..n {
+            self.step()?;
+        }
+        Ok(())
+    }
+
+    /// Current time step (0 before the first [`Simulation::step`]).
+    pub fn current_step(&self) -> u32 {
+        self.step
+    }
+
+    /// The monitored mesh (latest state).
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// Mutable access (used by harnesses that restructure manually).
+    pub fn mesh_mut(&mut self) -> &mut Mesh {
+        &mut self.mesh
+    }
+
+    /// The rest (initial) configuration.
+    pub fn rest_positions(&self) -> &[Point3] {
+        &self.rest
+    }
+
+    /// Consumes the simulation, returning the mesh in its final state.
+    pub fn into_mesh(self) -> Mesh {
+        self.mesh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fields::SmoothRandomField;
+    use crate::restructure::RestructureSchedule;
+    use octopus_geom::Aabb;
+    use octopus_meshgen::voxel::VoxelRegion;
+
+    fn small_mesh() -> Mesh {
+        let bounds = Aabb::new(Point3::ORIGIN, Point3::splat(1.0));
+        octopus_meshgen::tet::tetrahedralize(&VoxelRegion::solid_box(&bounds, 4, 4, 4)).unwrap()
+    }
+
+    #[test]
+    fn stepping_updates_all_positions_and_keeps_surface() {
+        let mesh = small_mesh();
+        let surface_before = mesh.surface().unwrap().vertices().to_vec();
+        let mut sim = Simulation::new(mesh, Box::new(SmoothRandomField::new(0.02, 4, 5)));
+        let before = sim.mesh().positions().to_vec();
+        sim.step().unwrap();
+        let after = sim.mesh().positions();
+        let moved = before.iter().zip(after).filter(|(a, b)| a != b).count();
+        assert!(moved > before.len() * 9 / 10, "massive update moved {moved}");
+        assert_eq!(sim.mesh().surface().unwrap().vertices(), &surface_before[..]);
+        assert_eq!(sim.current_step(), 1);
+    }
+
+    #[test]
+    fn run_advances_many_steps() {
+        let mut sim =
+            Simulation::new(small_mesh(), Box::new(SmoothRandomField::new(0.01, 3, 6)));
+        sim.run(10).unwrap();
+        assert_eq!(sim.current_step(), 10);
+    }
+
+    #[test]
+    fn restructuring_schedule_fires_and_reports_deltas() {
+        let mesh = small_mesh();
+        let mut sim = Simulation::new(mesh, Box::new(SmoothRandomField::new(0.005, 3, 7)))
+            .with_restructuring(RestructureSchedule::new(2, 3, 0xBEEF))
+            .unwrap();
+        let mut any_delta = false;
+        let mut fired = 0;
+        for _ in 0..6 {
+            let delta = sim.step().unwrap();
+            if sim.current_step().is_multiple_of(2) {
+                fired += 1;
+            }
+            any_delta |= !delta.is_empty();
+        }
+        assert!(fired >= 3);
+        assert!(any_delta, "cell removals must eventually change the surface");
+        // Mesh stays consistent.
+        let fresh = octopus_mesh::validate::validate(sim.mesh()).unwrap();
+        assert!(fresh.cells_checked > 0);
+    }
+
+    #[test]
+    fn rest_positions_are_the_initial_state() {
+        let mesh = small_mesh();
+        let p0 = mesh.positions().to_vec();
+        let mut sim = Simulation::new(mesh, Box::new(SmoothRandomField::new(0.02, 3, 8)));
+        sim.run(3).unwrap();
+        assert_eq!(sim.rest_positions(), &p0[..]);
+        assert_ne!(sim.mesh().positions(), &p0[..]);
+    }
+}

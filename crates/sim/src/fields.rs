@@ -1,0 +1,592 @@
+//! Deformation fields: the black-box simulation's per-step update rules.
+//!
+//! Every field rewrites the *entire* position array each step (the
+//! paper's massive-update regime) as a function of the rest
+//! configuration, so meshes deform without accumulating drift or
+//! degenerating over arbitrarily many steps.
+
+use octopus_geom::rng::SplitMix64;
+use octopus_geom::{Point3, Vec3};
+
+/// A per-time-step position rewrite rule.
+///
+/// `apply_step(step, rest, positions)` must overwrite `positions[i]` for
+/// every `i` — by contract the whole dataset changes at every step, which
+/// is exactly the workload that defeats classical index maintenance.
+pub trait Deformation {
+    /// Display name for experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Overwrites `positions` for time step `step` (`step ≥ 1`), given
+    /// the rest (initial) configuration.
+    fn apply_step(&mut self, step: u32, rest: &[Point3], positions: &mut [Point3]);
+}
+
+// ---------------------------------------------------------------------
+// Smooth random field (neuroscience stand-in)
+// ---------------------------------------------------------------------
+
+/// Sum of a few random sinusoidal modes whose phases are **redrawn every
+/// step** from a seeded stream: smooth in space (neighbouring vertices
+/// move together — the property the surface-approximation optimisation
+/// exploits) but unpredictable in time (no trajectory an index could
+/// extrapolate, §I).
+#[derive(Clone, Debug)]
+pub struct SmoothRandomField {
+    amplitude: f32,
+    modes: usize,
+    seed: u64,
+}
+
+impl SmoothRandomField {
+    /// `amplitude` is the maximum per-axis displacement; `modes` the
+    /// number of sinusoidal components (3–8 is plenty).
+    pub fn new(amplitude: f32, modes: usize, seed: u64) -> SmoothRandomField {
+        assert!(amplitude >= 0.0 && modes >= 1);
+        SmoothRandomField { amplitude, modes, seed }
+    }
+}
+
+impl Deformation for SmoothRandomField {
+    fn name(&self) -> &'static str {
+        "smooth-random"
+    }
+
+    fn apply_step(&mut self, step: u32, rest: &[Point3], positions: &mut [Point3]) {
+        // Fresh, unpredictable phases per step.
+        let mut rng = SplitMix64::new(self.seed ^ (u64::from(step) << 32));
+        let mut waves = Vec::with_capacity(self.modes);
+        for _ in 0..self.modes {
+            let k = Vec3::new(
+                rng.range_f32(2.0, 9.0),
+                rng.range_f32(2.0, 9.0),
+                rng.range_f32(2.0, 9.0),
+            );
+            let phase = rng.range_f32(0.0, std::f32::consts::TAU);
+            let dir = Vec3::new(
+                rng.range_f32(-1.0, 1.0),
+                rng.range_f32(-1.0, 1.0),
+                rng.range_f32(-1.0, 1.0),
+            )
+            .normalized()
+            .unwrap_or(Vec3::new(0.0, 1.0, 0.0));
+            waves.push((k, phase, dir));
+        }
+        let scale = self.amplitude / self.modes as f32;
+        for (p, r) in positions.iter_mut().zip(rest) {
+            let mut d = Vec3::ZERO;
+            for (k, phase, dir) in &waves {
+                let arg = k.x * r.x + k.y * r.y + k.z * r.z + phase;
+                d += *dir * (arg.sin() * scale);
+            }
+            *p = *r + d;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Traveling wave (horse gallop stand-in)
+// ---------------------------------------------------------------------
+
+/// A wave traveling along x, displacing in y with a slight z sway — the
+/// galloping-motion stand-in for the Fig. 14 horse sequence.
+#[derive(Clone, Debug)]
+pub struct TravelingWave {
+    amplitude: f32,
+    wavelength: f32,
+    steps_per_cycle: f32,
+}
+
+impl TravelingWave {
+    /// Standard gallop parameters; `amplitude` in world units.
+    pub fn new(amplitude: f32, wavelength: f32, steps_per_cycle: f32) -> TravelingWave {
+        assert!(amplitude >= 0.0 && wavelength > 0.0 && steps_per_cycle > 0.0);
+        TravelingWave { amplitude, wavelength, steps_per_cycle }
+    }
+}
+
+impl Deformation for TravelingWave {
+    fn name(&self) -> &'static str {
+        "traveling-wave"
+    }
+
+    fn apply_step(&mut self, step: u32, rest: &[Point3], positions: &mut [Point3]) {
+        let t = step as f32 / self.steps_per_cycle;
+        let k = std::f32::consts::TAU / self.wavelength;
+        let w = std::f32::consts::TAU * t;
+        for (p, r) in positions.iter_mut().zip(rest) {
+            let arg = k * r.x - w;
+            *p = *r
+                + Vec3::new(0.0, self.amplitude * arg.sin(), 0.3 * self.amplitude * arg.cos());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Axial compression (camel compress stand-in)
+// ---------------------------------------------------------------------
+
+/// Periodic compression along one axis with a transverse bulge
+/// (volume-ish preserving) about the rest centroid.
+#[derive(Clone, Debug)]
+pub struct AxialCompression {
+    /// Peak compression fraction (0.2 = down to 80 % length).
+    intensity: f32,
+    steps_per_cycle: f32,
+    axis: usize,
+}
+
+impl AxialCompression {
+    /// `axis` is 0/1/2 for x/y/z.
+    pub fn new(intensity: f32, steps_per_cycle: f32, axis: usize) -> AxialCompression {
+        assert!((0.0..1.0).contains(&intensity) && steps_per_cycle > 0.0 && axis < 3);
+        AxialCompression { intensity, steps_per_cycle, axis }
+    }
+}
+
+impl Deformation for AxialCompression {
+    fn name(&self) -> &'static str {
+        "axial-compression"
+    }
+
+    fn apply_step(&mut self, step: u32, rest: &[Point3], positions: &mut [Point3]) {
+        let t = step as f32 / self.steps_per_cycle;
+        let phase = (std::f32::consts::TAU * t).sin().abs();
+        let squeeze = 1.0 - self.intensity * phase;
+        let bulge = 1.0 / squeeze.sqrt();
+        let centroid = centroid_of(rest);
+        for (p, r) in positions.iter_mut().zip(rest) {
+            let mut d = *r - centroid;
+            match self.axis {
+                0 => {
+                    d.x *= squeeze;
+                    d.y *= bulge;
+                    d.z *= bulge;
+                }
+                1 => {
+                    d.y *= squeeze;
+                    d.x *= bulge;
+                    d.z *= bulge;
+                }
+                _ => {
+                    d.z *= squeeze;
+                    d.x *= bulge;
+                    d.y *= bulge;
+                }
+            }
+            *p = centroid + d;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Localized bumps (facial expression stand-in)
+// ---------------------------------------------------------------------
+
+/// Gaussian bumps at fixed feature points, oscillating out of phase —
+/// most of the mesh barely moves while features deform strongly.
+#[derive(Clone, Debug)]
+pub struct LocalizedBumps {
+    centers: Vec<(Point3, Vec3, f32)>, // (centre, direction, frequency)
+    sigma: f32,
+    amplitude: f32,
+}
+
+impl LocalizedBumps {
+    /// Random feature points inside the rest bounding box.
+    pub fn random(rest: &[Point3], count: usize, sigma: f32, amplitude: f32, seed: u64) -> Self {
+        assert!(count >= 1 && sigma > 0.0 && amplitude >= 0.0);
+        let bounds = octopus_geom::Aabb::from_points(rest.iter().copied());
+        let mut rng = SplitMix64::new(seed);
+        let centers = (0..count)
+            .map(|_| {
+                let c = Point3::new(
+                    rng.range_f32(bounds.min.x, bounds.max.x),
+                    rng.range_f32(bounds.min.y, bounds.max.y),
+                    rng.range_f32(bounds.min.z, bounds.max.z),
+                );
+                let dir = Vec3::new(
+                    rng.range_f32(-1.0, 1.0),
+                    rng.range_f32(-1.0, 1.0),
+                    rng.range_f32(-1.0, 1.0),
+                )
+                .normalized()
+                .unwrap_or(Vec3::new(0.0, 1.0, 0.0));
+                let freq = rng.range_f32(0.05, 0.25);
+                (c, dir, freq)
+            })
+            .collect();
+        LocalizedBumps { centers, sigma, amplitude }
+    }
+}
+
+impl Deformation for LocalizedBumps {
+    fn name(&self) -> &'static str {
+        "localized-bumps"
+    }
+
+    fn apply_step(&mut self, step: u32, rest: &[Point3], positions: &mut [Point3]) {
+        let inv_two_sigma_sq = 1.0 / (2.0 * self.sigma * self.sigma);
+        for (p, r) in positions.iter_mut().zip(rest) {
+            let mut d = Vec3::ZERO;
+            for (c, dir, freq) in &self.centers {
+                let w = (-(c.dist_sq(*r)) * inv_two_sigma_sq).exp();
+                if w > 1e-4 {
+                    let osc = (std::f32::consts::TAU * freq * step as f32).sin();
+                    d += *dir * (self.amplitude * w * osc);
+                }
+            }
+            *p = *r + d;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shear wave (earthquake stand-in — convexity preserving)
+// ---------------------------------------------------------------------
+
+/// A time-varying **affine** map (shear + compression waves) about the
+/// rest centroid. Affine maps send convex sets to convex sets, so a
+/// convex basin mesh stays convex throughout the simulation — the
+/// property OCTOPUS-CON requires (§IV-F: "A convex mesh will remain
+/// convex during a simulation").
+#[derive(Clone, Debug)]
+pub struct ShearWave {
+    intensity: f32,
+    steps_per_cycle: f32,
+}
+
+impl ShearWave {
+    /// `intensity` scales the shear/compression coefficients.
+    pub fn new(intensity: f32, steps_per_cycle: f32) -> ShearWave {
+        assert!(intensity >= 0.0 && steps_per_cycle > 0.0);
+        ShearWave { intensity, steps_per_cycle }
+    }
+
+    /// The affine matrix at time step `step` (row-major 3×3).
+    fn matrix(&self, step: u32) -> [[f32; 3]; 3] {
+        let t = std::f32::consts::TAU * step as f32 / self.steps_per_cycle;
+        let s = self.intensity;
+        // Shear in xz and xy plus small axial breathing: all affine.
+        let shear_xz = s * t.sin();
+        let shear_xy = 0.6 * s * (1.7 * t).cos();
+        let breathe = 1.0 + 0.3 * s * (0.9 * t).sin();
+        [[breathe, shear_xy, shear_xz], [0.0, 1.0, 0.0], [0.0, 0.4 * s * t.cos(), 1.0 / breathe]]
+    }
+}
+
+impl Deformation for ShearWave {
+    fn name(&self) -> &'static str {
+        "shear-wave"
+    }
+
+    fn apply_step(&mut self, step: u32, rest: &[Point3], positions: &mut [Point3]) {
+        let m = self.matrix(step);
+        let centroid = centroid_of(rest);
+        for (p, r) in positions.iter_mut().zip(rest) {
+            let d = *r - centroid;
+            *p = centroid
+                + Vec3::new(
+                    m[0][0] * d.x + m[0][1] * d.y + m[0][2] * d.z,
+                    m[1][0] * d.x + m[1][1] * d.y + m[1][2] * d.z,
+                    m[2][0] * d.x + m[2][1] * d.y + m[2][2] * d.z,
+                );
+        }
+    }
+}
+
+/// Arithmetic mean of the rest positions.
+fn centroid_of(rest: &[Point3]) -> Point3 {
+    if rest.is_empty() {
+        return Point3::ORIGIN;
+    }
+    let mut acc = [0.0f64; 3];
+    for p in rest {
+        acc[0] += f64::from(p.x);
+        acc[1] += f64::from(p.y);
+        acc[2] += f64::from(p.z);
+    }
+    let n = rest.len() as f64;
+    Point3::new((acc[0] / n) as f32, (acc[1] / n) as f32, (acc[2] / n) as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octopus_geom::rng::SplitMix64;
+
+    fn grid_points(n: usize) -> Vec<Point3> {
+        let mut pts = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    pts.push(Point3::new(
+                        i as f32 / n as f32,
+                        j as f32 / n as f32,
+                        k as f32 / n as f32,
+                    ));
+                }
+            }
+        }
+        pts
+    }
+
+    fn max_displacement(rest: &[Point3], pos: &[Point3]) -> f32 {
+        rest.iter().zip(pos).map(|(r, p)| r.dist(*p)).fold(0.0, f32::max)
+    }
+
+    #[test]
+    fn smooth_field_moves_everything_within_amplitude() {
+        let rest = grid_points(6);
+        let mut pos = rest.clone();
+        let mut f = SmoothRandomField::new(0.01, 4, 7);
+        f.apply_step(1, &rest, &mut pos);
+        let moved = rest.iter().zip(&pos).filter(|(r, p)| r.dist_sq(**p) > 0.0).count();
+        assert!(moved as f64 > 0.99 * rest.len() as f64, "massive update: {moved}");
+        assert!(max_displacement(&rest, &pos) <= 0.01 + 1e-6);
+    }
+
+    #[test]
+    fn smooth_field_is_unpredictable_across_steps() {
+        let rest = grid_points(4);
+        let mut a = rest.clone();
+        let mut b = rest.clone();
+        let mut f = SmoothRandomField::new(0.01, 4, 7);
+        f.apply_step(1, &rest, &mut a);
+        f.apply_step(2, &rest, &mut b);
+        assert_ne!(a[10], b[10], "fresh phases each step");
+    }
+
+    #[test]
+    fn smooth_field_is_spatially_smooth() {
+        // Adjacent lattice points must move almost identically.
+        let rest = grid_points(8);
+        let mut pos = rest.clone();
+        let mut f = SmoothRandomField::new(0.01, 4, 11);
+        f.apply_step(3, &rest, &mut pos);
+        let d0 = pos[0] - rest[0];
+        let d1 = pos[1] - rest[1]; // neighbour along z
+        assert!((d0 - d1).length() < 0.005, "neighbours move coherently");
+    }
+
+    #[test]
+    fn traveling_wave_is_periodic() {
+        let rest = grid_points(4);
+        let mut a = rest.clone();
+        let mut b = rest.clone();
+        let mut f = TravelingWave::new(0.05, 0.5, 10.0);
+        f.apply_step(3, &rest, &mut a);
+        f.apply_step(13, &rest, &mut b); // one full cycle later
+        for (x, y) in a.iter().zip(&b) {
+            assert!(x.dist(*y) < 1e-5);
+        }
+    }
+
+    #[test]
+    fn compression_preserves_centroid_and_volume_roughly() {
+        let rest = grid_points(5);
+        let mut pos = rest.clone();
+        let mut f = AxialCompression::new(0.3, 8.0, 0);
+        f.apply_step(2, &rest, &mut pos);
+        let c0 = centroid_of(&rest);
+        let c1 = centroid_of(&pos);
+        assert!(c0.dist(c1) < 1e-4, "centroid fixed point");
+        let b0 = octopus_geom::Aabb::from_points(rest.iter().copied());
+        let b1 = octopus_geom::Aabb::from_points(pos.iter().copied());
+        let ratio = b1.volume() / b0.volume();
+        assert!((0.9..1.1).contains(&ratio), "bulge compensates squeeze: {ratio}");
+    }
+
+    #[test]
+    fn shear_wave_is_affine() {
+        // Affinity: f((a+b)/2) == (f(a)+f(b))/2 for all pairs — the
+        // property that guarantees convexity preservation.
+        let rest = vec![
+            Point3::new(0.0, 0.0, 0.0),
+            Point3::new(1.0, 0.0, 0.5),
+            Point3::new(0.5, 0.0, 0.25), // midpoint of the first two
+        ];
+        let mut pos = rest.clone();
+        let mut f = ShearWave::new(0.05, 10.0);
+        f.apply_step(4, &rest, &mut pos);
+        let mid = pos[0].lerp(pos[1], 0.5);
+        assert!(mid.dist(pos[2]) < 1e-5, "midpoints map to midpoints");
+    }
+
+    #[test]
+    fn localized_bumps_concentrate_motion() {
+        let rest = grid_points(8);
+        let mut pos = rest.clone();
+        let mut f = LocalizedBumps::random(&rest, 3, 0.08, 0.05, 3);
+        f.apply_step(2, &rest, &mut pos);
+        let displacements: Vec<f32> = rest.iter().zip(&pos).map(|(r, p)| r.dist(*p)).collect();
+        let max = displacements.iter().cloned().fold(0.0, f32::max);
+        let mean = displacements.iter().sum::<f32>() / displacements.len() as f32;
+        assert!(max > 4.0 * mean, "motion is localized: max {max} mean {mean}");
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let rest = grid_points(4);
+        let mut a = rest.clone();
+        let mut b = rest.clone();
+        SmoothRandomField::new(0.02, 5, 99).apply_step(7, &rest, &mut a);
+        SmoothRandomField::new(0.02, 5, 99).apply_step(7, &rest, &mut b);
+        assert_eq!(a, b);
+        let _ = SplitMix64::new(0); // silence unused-import lint paths
+    }
+}
+
+// ---------------------------------------------------------------------
+// Spine-length adjustment (neural plasticity stand-in)
+// ---------------------------------------------------------------------
+
+/// Neural-plasticity-style deformation (§V-A: the neuron simulation
+/// "dynamically adjusts the distances between the neuron connections —
+/// spine lengths"): a set of synapse anchor points pulls or pushes
+/// nearby vertices along the anchor direction, with per-step random
+/// retargeting. Unlike [`LocalizedBumps`] the per-anchor magnitudes are
+/// redrawn every step (plasticity is unpredictable), and vertices far
+/// from every anchor still receive a small global breathing term so the
+/// whole dataset changes each step.
+#[derive(Clone, Debug)]
+pub struct SpineAdjust {
+    anchors: Vec<Point3>,
+    sigma: f32,
+    amplitude: f32,
+    seed: u64,
+}
+
+impl SpineAdjust {
+    /// Picks `count` anchor points from the rest configuration's own
+    /// vertices (synapses sit on the membrane), with influence radius
+    /// `sigma` and peak displacement `amplitude`.
+    pub fn from_rest(rest: &[Point3], count: usize, sigma: f32, amplitude: f32, seed: u64) -> Self {
+        assert!(count >= 1 && sigma > 0.0 && amplitude >= 0.0);
+        assert!(!rest.is_empty(), "need rest vertices to anchor spines");
+        let mut rng = SplitMix64::new(seed);
+        let anchors = (0..count).map(|_| rest[rng.index(rest.len())]).collect();
+        SpineAdjust { anchors, sigma, amplitude, seed }
+    }
+
+    /// Anchor positions (inspection).
+    pub fn anchors(&self) -> &[Point3] {
+        &self.anchors
+    }
+}
+
+impl Deformation for SpineAdjust {
+    fn name(&self) -> &'static str {
+        "spine-adjust"
+    }
+
+    fn apply_step(&mut self, step: u32, rest: &[Point3], positions: &mut [Point3]) {
+        // Per-step random spine targets: lengthen or shorten each spine.
+        let mut rng = SplitMix64::new(self.seed ^ (u64::from(step).rotate_left(17)));
+        let targets: Vec<f32> =
+            (0..self.anchors.len()).map(|_| rng.range_f32(-1.0, 1.0)).collect();
+        let inv_two_sigma_sq = 1.0 / (2.0 * self.sigma * self.sigma);
+        let breathe = 0.05 * self.amplitude * (0.37 * step as f32).sin();
+        for (p, r) in positions.iter_mut().zip(rest) {
+            let mut d = Vec3::new(breathe, -breathe, 0.5 * breathe);
+            for (a, t) in self.anchors.iter().zip(&targets) {
+                let w = (-(a.dist_sq(*r)) * inv_two_sigma_sq).exp();
+                if w > 1e-4 {
+                    // Pull toward / push away from the anchor.
+                    if let Some(dir) = (*r - *a).normalized() {
+                        d += dir * (self.amplitude * w * *t);
+                    }
+                }
+            }
+            *p = *r + d;
+        }
+    }
+}
+
+#[cfg(test)]
+mod spine_tests {
+    use super::*;
+
+    fn grid_points(n: usize) -> Vec<Point3> {
+        let mut pts = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    pts.push(Point3::new(
+                        i as f32 / n as f32,
+                        j as f32 / n as f32,
+                        k as f32 / n as f32,
+                    ));
+                }
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn spine_adjust_moves_everything_each_step() {
+        let rest = grid_points(6);
+        let mut pos = rest.clone();
+        let mut f = SpineAdjust::from_rest(&rest, 5, 0.15, 0.02, 9);
+        f.apply_step(1, &rest, &mut pos);
+        let moved = rest.iter().zip(&pos).filter(|(r, p)| r.dist_sq(**p) > 0.0).count();
+        assert!(
+            moved as f64 > 0.95 * rest.len() as f64,
+            "breathing term must move (almost) every vertex: {moved}"
+        );
+    }
+
+    #[test]
+    fn spine_adjust_is_unpredictable_across_steps() {
+        let rest = grid_points(5);
+        let (mut a, mut b) = (rest.clone(), rest.clone());
+        let mut f = SpineAdjust::from_rest(&rest, 5, 0.15, 0.02, 9);
+        f.apply_step(1, &rest, &mut a);
+        f.apply_step(2, &rest, &mut b);
+        assert_ne!(a, b, "fresh spine targets each step");
+    }
+
+    #[test]
+    fn spine_adjust_concentrates_near_anchors() {
+        let rest = grid_points(8);
+        let mut pos = rest.clone();
+        // Sigma must exceed the lattice spacing (1/8) or no vertex sits
+        // inside an anchor's influence zone.
+        let mut f = SpineAdjust::from_rest(&rest, 3, 0.15, 0.08, 4);
+        f.apply_step(3, &rest, &mut pos);
+        // Vertices near an anchor must move more than the median vertex.
+        let mut displacements: Vec<(f32, f32)> = rest
+            .iter()
+            .zip(&pos)
+            .map(|(r, p)| {
+                let near = f
+                    .anchors()
+                    .iter()
+                    .map(|a| a.dist(*r))
+                    .fold(f32::INFINITY, f32::min);
+                (near, r.dist(*p))
+            })
+            .collect();
+        displacements.sort_by(|x, y| x.0.total_cmp(&y.0));
+        let near_avg: f32 =
+            displacements[..20].iter().map(|d| d.1).sum::<f32>() / 20.0;
+        let far_avg: f32 = displacements[displacements.len() - 20..]
+            .iter()
+            .map(|d| d.1)
+            .sum::<f32>()
+            / 20.0;
+        assert!(
+            near_avg > 2.0 * far_avg,
+            "anchored motion must dominate: near {near_avg} vs far {far_avg}"
+        );
+    }
+
+    #[test]
+    fn spine_adjust_is_deterministic() {
+        let rest = grid_points(4);
+        let (mut a, mut b) = (rest.clone(), rest.clone());
+        SpineAdjust::from_rest(&rest, 4, 0.1, 0.03, 7).apply_step(5, &rest, &mut a);
+        SpineAdjust::from_rest(&rest, 4, 0.1, 0.03, 7).apply_step(5, &rest, &mut b);
+        assert_eq!(a, b);
+    }
+}

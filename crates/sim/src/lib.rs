@@ -1,0 +1,30 @@
+//! Mesh simulation driver: in-place deformation and rare restructuring.
+//!
+//! The paper treats the simulation software as a black box that, at every
+//! discrete time step, overwrites the position of (almost) every vertex
+//! in memory with an unpredictable, minute change (§III-A, Fig. 1e).
+//! This crate plays that role for the experiments:
+//!
+//! * [`Deformation`] implementations produce the per-step position
+//!   rewrites — a reseeded random trigonometric field (neural
+//!   plasticity stand-in), traveling waves (gallop), axial compression
+//!   (camel), localized bumps (facial expression) and convexity-
+//!   preserving affine shear waves (earthquake);
+//! * [`Simulation`] drives the monitor loop: `step()` = one black-box
+//!   update of the whole position array;
+//! * [`restructure`] injects the *rare* connectivity-changing events of
+//!   §IV-E2 to exercise incremental surface-index maintenance.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod driver;
+pub mod fields;
+pub mod restructure;
+
+pub use driver::Simulation;
+pub use fields::{
+    AxialCompression, Deformation, LocalizedBumps, ShearWave, SmoothRandomField, SpineAdjust,
+    TravelingWave,
+};
+pub use restructure::{RestructureEvent, RestructureSchedule};

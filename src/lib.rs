@@ -1,0 +1,65 @@
+//! # OCTOPUS — efficient query execution on dynamic mesh datasets
+//!
+//! A Rust reproduction of *Tauheed, Heinis, Schürmann, Markram, Ailamaki:
+//! "OCTOPUS: Efficient Query Execution on Dynamic Mesh Datasets", ICDE
+//! 2014*: range queries on simulation meshes whose vertex positions are
+//! massively and unpredictably rewritten at every time step, executed
+//! without maintaining any positional index — only the (deformation-
+//! invariant) mesh surface and connectivity are used.
+//!
+//! This crate is the facade re-exporting the workspace's public API:
+//!
+//! * [`geom`] — points, boxes, Hilbert/Morton curves;
+//! * [`mesh`] — the dynamic polyhedral mesh (adjacency, surface
+//!   extraction, restructuring);
+//! * [`meshgen`] — synthetic dataset generators (neuron arbors, convex
+//!   basins, animation bodies);
+//! * [`sim`] — the black-box simulation driver and deformation fields;
+//! * [`index`] — competitor indexes (linear scan, throwaway octree /
+//!   k-d tree, R-tree, LUR-Tree, QU-Trade, stale uniform grid);
+//! * [`core`] — OCTOPUS itself: [`prelude::Octopus`],
+//!   [`prelude::OctopusCon`], [`prelude::ApproxOctopus`], the Hilbert
+//!   layout, the cost model and planner.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use octopus::prelude::*;
+//!
+//! // A small convex mesh (4×4×4 voxels → 384 tetrahedra).
+//! let bounds = Aabb::new(Point3::ORIGIN, Point3::splat(1.0));
+//! let mesh = octopus::meshgen::tet::tetrahedralize(
+//!     &VoxelRegion::solid_box(&bounds, 4, 4, 4),
+//! )?;
+//!
+//! // Build OCTOPUS once — no maintenance needed while the mesh deforms.
+//! let mut engine = Octopus::new(&mesh)?;
+//!
+//! let query = Aabb::cube(Point3::splat(0.5), 0.3);
+//! let mut result = Vec::new();
+//! let stats = engine.query(&mesh, &query, &mut result);
+//! assert_eq!(result.len(), stats.results);
+//! # Ok::<(), octopus::mesh::MeshError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub use octopus_core as core;
+pub use octopus_geom as geom;
+pub use octopus_index as index;
+pub use octopus_mesh as mesh;
+pub use octopus_meshgen as meshgen;
+pub use octopus_sim as sim;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use octopus_core::{
+        ApproxOctopus, CostModel, Octopus, OctopusCon, Planner, Strategy, SurfaceIndex,
+    };
+    pub use octopus_geom::{Aabb, Point3, Vec3, VertexId};
+    pub use octopus_index::{DynamicIndex, LinearScan};
+    pub use octopus_mesh::{CellKind, Mesh, MeshStats};
+    pub use octopus_meshgen::VoxelRegion;
+    pub use octopus_sim::{Deformation, Simulation};
+}

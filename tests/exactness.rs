@@ -1,0 +1,195 @@
+//! THE core invariant of the reproduction (DESIGN.md §7.1):
+//! `Octopus::query` returns exactly the linear-scan ground truth — on
+//! arbitrary (random, non-convex, multi-component) meshes, under
+//! arbitrary deformation, for arbitrary queries.
+
+use octopus::prelude::*;
+use octopus::sim::SmoothRandomField;
+use proptest::prelude::*;
+
+/// Random voxel-mask mesh over an `n³` grid: each voxel is solid with
+/// probability `fill`. This produces highly irregular, non-convex,
+/// frequently multi-component meshes — the adversarial geometry for the
+/// surface-probe argument of §IV-C.
+fn random_mesh(n: usize, fill: f64, seed: u64) -> Mesh {
+    let bounds = Aabb::new(Point3::ORIGIN, Point3::splat(1.0));
+    let mut rng = octopus::geom::rng::SplitMix64::new(seed);
+    let region =
+        octopus::meshgen::voxel::VoxelRegion::from_fn(&bounds, n, n, n, |_| rng.chance(fill));
+    octopus::meshgen::tet::tetrahedralize(&region).expect("random masks are manifold")
+}
+
+fn scan(mesh: &Mesh, q: &Aabb) -> Vec<VertexId> {
+    mesh.positions()
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| q.contains(**p))
+        .map(|(i, _)| i as VertexId)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// OCTOPUS == scan on random non-convex meshes and random queries.
+    #[test]
+    fn octopus_equals_scan_on_random_meshes(
+        seed in 0u64..5_000,
+        fill in 0.25f64..0.9,
+        cx in 0.0f32..1.0,
+        cy in 0.0f32..1.0,
+        cz in 0.0f32..1.0,
+        half in 0.02f32..0.6,
+    ) {
+        let mesh = random_mesh(5, fill, seed);
+        prop_assume!(mesh.num_vertices() > 0);
+        let mut octopus = Octopus::new(&mesh).unwrap();
+        let q = Aabb::cube(Point3::new(cx, cy, cz), half);
+        let mut out = Vec::new();
+        octopus.query(&mesh, &q, &mut out);
+        out.sort_unstable();
+        prop_assert_eq!(out, scan(&mesh, &q));
+    }
+
+    /// Exactness survives massive unpredictable deformation with zero
+    /// index maintenance.
+    #[test]
+    fn octopus_stays_exact_across_deformation(
+        seed in 0u64..2_000,
+        amplitude in 0.001f32..0.03,
+        steps in 1u32..6,
+        half in 0.05f32..0.5,
+    ) {
+        let mesh = random_mesh(4, 0.7, seed);
+        prop_assume!(mesh.num_vertices() > 0);
+        let mut octopus = Octopus::new(&mesh).unwrap();
+        let mut sim = Simulation::new(
+            mesh,
+            Box::new(SmoothRandomField::new(amplitude, 3, seed ^ 0xF00D)),
+        );
+        sim.run(steps).unwrap();
+        let mesh = sim.mesh();
+        let q = Aabb::cube(Point3::splat(0.5), half);
+        let mut out = Vec::new();
+        octopus.query(mesh, &q, &mut out);
+        out.sort_unstable();
+        prop_assert_eq!(out, scan(mesh, &q));
+    }
+
+    /// The convex variant is exact on convex meshes under
+    /// convexity-preserving motion.
+    #[test]
+    fn octopus_con_equals_scan_on_convex_meshes(
+        n in 3usize..7,
+        shear in 0.0f32..0.2,
+        cx in 0.0f32..1.0,
+        cy in 0.0f32..1.0,
+        cz in 0.0f32..1.0,
+        half in 0.03f32..0.5,
+    ) {
+        let bounds = Aabb::new(Point3::ORIGIN, Point3::splat(1.0));
+        let region = octopus::meshgen::voxel::VoxelRegion::solid_box(&bounds, n, n, n);
+        let mut mesh = octopus::meshgen::tet::tetrahedralize(&region).unwrap();
+        let mut con = octopus::core::OctopusCon::new(&mesh);
+        // Affine shear (convexity preserving); the grid goes stale.
+        for p in mesh.positions_mut() {
+            p.x += shear * p.y;
+        }
+        let q = Aabb::cube(Point3::new(cx, cy, cz), half);
+        let mut out = Vec::new();
+        con.query(&mesh, &q, &mut out);
+        out.sort_unstable();
+        prop_assert_eq!(out, scan(&mesh, &q));
+    }
+
+    /// The approximate executor only ever under-reports: its result is a
+    /// subset of the exact result (never false positives).
+    #[test]
+    fn approx_results_are_subsets(
+        seed in 0u64..2_000,
+        fraction in 0.001f64..1.0,
+        half in 0.05f32..0.5,
+    ) {
+        let mesh = random_mesh(4, 0.75, seed);
+        prop_assume!(mesh.num_vertices() > 0);
+        let mut approx = ApproxOctopus::new(&mesh, fraction, seed).unwrap();
+        let q = Aabb::cube(Point3::splat(0.5), half);
+        let mut out = Vec::new();
+        approx.query(&mesh, &q, &mut out);
+        let exact: std::collections::HashSet<VertexId> =
+            scan(&mesh, &q).into_iter().collect();
+        prop_assert!(out.iter().all(|v| exact.contains(v)));
+    }
+
+    /// Every visited-set strategy and crawl order yields identical results.
+    #[test]
+    fn strategies_and_orders_agree(
+        seed in 0u64..1_000,
+        half in 0.05f32..0.5,
+    ) {
+        let mesh = random_mesh(4, 0.7, seed);
+        prop_assume!(mesh.num_vertices() > 0);
+        let q = Aabb::cube(Point3::splat(0.5), half);
+        let expected = scan(&mesh, &q);
+        for strategy in [
+            octopus::core::VisitedStrategy::EpochArray,
+            octopus::core::VisitedStrategy::HashSet,
+        ] {
+            for order in [octopus::core::CrawlOrder::Bfs, octopus::core::CrawlOrder::Dfs] {
+                let mut o = Octopus::with_strategy(&mesh, strategy).unwrap();
+                o.set_crawl_order(order);
+                let mut out = Vec::new();
+                o.query(&mesh, &q, &mut out);
+                out.sort_unstable();
+                prop_assert_eq!(&out, &expected, "strategy {:?} order {:?}", strategy, order);
+            }
+        }
+    }
+}
+
+/// Deterministic regression: a torus-like mesh where one query splits the
+/// mesh into two disjoint sub-meshes (the paper's Fig. 3 situation).
+#[test]
+fn fig3_disjoint_submesh_case() {
+    let bounds = Aabb::new(Point3::ORIGIN, Point3::splat(1.0));
+    let torus = octopus::meshgen::masks::Torus {
+        center: Point3::splat(0.5),
+        major: 0.3,
+        minor: 0.12,
+    };
+    let region = octopus::meshgen::voxel::VoxelRegion::from_fn(&bounds, 14, 14, 14, |p| {
+        torus.contains(p)
+    });
+    let mesh = octopus::meshgen::tet::tetrahedralize(&region).unwrap();
+    assert!(mesh.num_vertices() > 100, "torus must be meaningfully meshed");
+    let mut octopus = Octopus::new(&mesh).unwrap();
+    // A slab through the hole cuts the ring into two disjoint arcs: a
+    // crawl from a single start vertex would miss one of them.
+    let q = Aabb::new(Point3::new(0.0, 0.45, 0.0), Point3::new(1.0, 0.55, 1.0));
+    let mut out = Vec::new();
+    let stats = octopus.query(&mesh, &q, &mut out);
+    out.sort_unstable();
+    let expected = scan(&mesh, &q);
+    assert_eq!(out, expected);
+    assert!(stats.start_vertices >= 2, "both arcs need their own surface seeds");
+    // Make sure the test is non-trivial: both arcs contain results.
+    let left = expected.iter().any(|&v| mesh.position(v).x < 0.4);
+    let right = expected.iter().any(|&v| mesh.position(v).x > 0.6);
+    assert!(left && right, "the slab must cut the torus into two arcs");
+}
+
+/// Hexahedral meshes work identically (CellKind coverage).
+#[test]
+fn octopus_on_hex_meshes() {
+    let bounds = Aabb::new(Point3::ORIGIN, Point3::splat(1.0));
+    let region = octopus::meshgen::voxel::VoxelRegion::solid_box(&bounds, 6, 6, 6);
+    let mesh = octopus::meshgen::hex::hexahedralize(&region).unwrap();
+    let mut octopus = Octopus::new(&mesh).unwrap();
+    for half in [0.1f32, 0.3, 0.7] {
+        let q = Aabb::cube(Point3::splat(0.4), half);
+        let mut out = Vec::new();
+        octopus.query(&mesh, &q, &mut out);
+        out.sort_unstable();
+        assert_eq!(out, scan(&mesh, &q), "half = {half}");
+    }
+}

@@ -1,0 +1,87 @@
+//! Property tests for the experiment harness's workload generator: the
+//! figures are only meaningful if the generator actually delivers the
+//! selectivities and result counts it promises.
+
+use octopus::prelude::*;
+use octopus_bench::workload::{NeuroBenchmark, QueryGen};
+use proptest::prelude::*;
+
+fn box_mesh(n: usize) -> Mesh {
+    let bounds = Aabb::new(Point3::ORIGIN, Point3::splat(1.0));
+    octopus::meshgen::tet::tetrahedralize(
+        &octopus::meshgen::voxel::VoxelRegion::solid_box(&bounds, n, n, n),
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Generated queries intersect the mesh bounding box and meet the
+    /// minimum-width contract.
+    #[test]
+    fn queries_are_well_formed(seed in 0u64..1_000, sel in 0.002f64..0.05) {
+        let mesh = box_mesh(10);
+        let mut gen = QueryGen::new(&mesh, seed);
+        let bb = mesh.bounding_box().dilated(0.2);
+        for _ in 0..5 {
+            let q = gen.query_with_selectivity(sel);
+            prop_assert!(q.intersects(&bb), "query far outside the mesh: {q:?}");
+            let e = q.extent();
+            prop_assert!(e.x > 0.0 && e.y > 0.0 && e.z > 0.0);
+        }
+    }
+
+    /// Average realised selectivity tracks the target within a factor.
+    #[test]
+    fn selectivity_tracks_target(seed in 0u64..500, sel in 0.01f64..0.08) {
+        let mesh = box_mesh(12);
+        let mut gen = QueryGen::new(&mesh, seed);
+        let mut total = 0.0;
+        let n = 12;
+        for _ in 0..n {
+            let q = gen.query_with_selectivity(sel);
+            total += gen.actual_selectivity(&q);
+        }
+        let avg = total / f64::from(n);
+        prop_assert!(
+            avg > sel * 0.3 && avg < sel * 3.0,
+            "target {sel} realised {avg}"
+        );
+    }
+
+    /// Count-targeted queries deliver results of the right magnitude.
+    #[test]
+    fn count_tracks_target(seed in 0u64..500, count in 30.0f64..300.0) {
+        let mesh = box_mesh(12);
+        let v = mesh.num_vertices() as f64;
+        let mut gen = QueryGen::new(&mesh, seed);
+        let mut total = 0.0;
+        for _ in 0..10 {
+            let q = gen.query_with_count(count);
+            total += gen.actual_selectivity(&q) * v;
+        }
+        let avg = total / 10.0;
+        prop_assert!(avg > count * 0.3 && avg < count * 3.0, "target {count} got {avg}");
+    }
+}
+
+/// The Fig. 5 suite draws within its configured ranges, deterministically
+/// per seed.
+#[test]
+fn benchmark_suite_draws_within_ranges() {
+    let mesh = box_mesh(10);
+    for b in NeuroBenchmark::ALL {
+        let mut gen = QueryGen::new(&mesh, 9);
+        let mut rng = octopus::geom::rng::SplitMix64::new(4);
+        for _ in 0..3 {
+            let queries = b.step_queries(&mut gen, &mut rng);
+            assert!(
+                queries.len() >= b.queries_per_step.0 && queries.len() <= b.queries_per_step.1,
+                "{}: {} queries",
+                b.name,
+                queries.len()
+            );
+        }
+    }
+}
