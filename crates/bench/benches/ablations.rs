@@ -113,7 +113,10 @@ fn benches(c: &mut Criterion) {
             .positions()
             .iter()
             .enumerate()
-            .map(|(i, p)| LeafEntry { id: i as u32, key: point_key(*p) })
+            .map(|(i, p)| LeafEntry {
+                id: i as u32,
+                key: point_key(*p),
+            })
             .collect();
         c.bench_function(&format!("ablation_tuning/rtree_fanout_{fanout}"), |b| {
             let mut tree = RTree::with_fanout(fanout);

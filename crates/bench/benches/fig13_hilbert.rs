@@ -21,9 +21,11 @@ fn benches(c: &mut Criterion) {
     let mut gen = QueryGen::new(&scrambled, 5);
     let queries = gen.batch_with_selectivity(10, 0.01);
 
-    for (name, mesh) in
-        [("scrambled", &scrambled), ("morton", &morton), ("hilbert", &hilbert)]
-    {
+    for (name, mesh) in [
+        ("scrambled", &scrambled),
+        ("morton", &morton),
+        ("hilbert", &hilbert),
+    ] {
         let mut octopus = Octopus::new(mesh).expect("surface");
         c.bench_function(&format!("fig13/crawl_{name}"), |b| {
             let mut out = Vec::new();

@@ -45,9 +45,9 @@ fn main() {
             "--out" => {
                 i += 1;
                 out_dir = Some(
-                    args.get(i).map(std::path::PathBuf::from).unwrap_or_else(|| {
-                        die("--out needs a directory")
-                    }),
+                    args.get(i)
+                        .map(std::path::PathBuf::from)
+                        .unwrap_or_else(|| die("--out needs a directory")),
                 );
             }
             "--quick" => config = Config::quick(),
@@ -89,14 +89,16 @@ fn main() {
                         .expect("create figure file");
                     f.write_all(text.as_bytes()).expect("write figure file");
                     for (i, table) in output.tables.iter().enumerate() {
-                        let mut c =
-                            std::fs::File::create(dir.join(format!("{id}_{i}.csv")))
-                                .expect("create csv file");
+                        let mut c = std::fs::File::create(dir.join(format!("{id}_{i}.csv")))
+                            .expect("create csv file");
                         c.write_all(table.to_csv().as_bytes()).expect("write csv");
                     }
                 }
             }
-            None => die(&format!("unknown figure '{id}' (known: {})", ALL_FIGURES.join(" "))),
+            None => die(&format!(
+                "unknown figure '{id}' (known: {})",
+                ALL_FIGURES.join(" ")
+            )),
         }
     }
 }

@@ -22,7 +22,13 @@ pub fn run(config: &Config) -> FigureOutput {
     // ---- (a): phase breakdown vs dataset size.
     let mut phase_table = Table::new(
         format!("Fig. 10(a): performance breakdown [ms] ({steps} steps, fixed queries)"),
-        &["Level", "Surface probe", "Directed walk", "Crawling", "Build time [ms]"],
+        &[
+            "Level",
+            "Surface probe",
+            "Directed walk",
+            "Crawling",
+            "Build time [ms]",
+        ],
     );
     for level in NeuroLevel::ALL {
         let mesh = neuron(level, config.scale).expect("neuron generation");
@@ -74,7 +80,10 @@ pub fn run(config: &Config) -> FigureOutput {
             mem_table.push_row(vec![
                 results.to_string(),
                 format!("{:.1}", octopus.memory_bytes() as f64 / 1024.0),
-                format!("{:.1}", octopus.surface_index().memory_bytes() as f64 / 1024.0),
+                format!(
+                    "{:.1}",
+                    octopus.surface_index().memory_bytes() as f64 / 1024.0
+                ),
             ]);
         }
     }
@@ -112,11 +121,17 @@ mod tests {
             walk += row[2].parse::<f64>().unwrap();
             rest += row[1].parse::<f64>().unwrap() + row[3].parse::<f64>().unwrap();
         }
-        assert!(walk < 2.0 * rest, "directed walk must not dominate: {walk} vs {rest}");
+        assert!(
+            walk < 2.0 * rest,
+            "directed walk must not dominate: {walk} vs {rest}"
+        );
         // (b): footprint increases with result count.
         let rows = &out.tables[1].rows;
         let first: f64 = rows.first().unwrap()[1].parse().unwrap();
         let last: f64 = rows.last().unwrap()[1].parse().unwrap();
-        assert!(last > first, "footprint must grow with results: {first} -> {last}");
+        assert!(
+            last > first,
+            "footprint must grow with results: {first} -> {last}"
+        );
     }
 }

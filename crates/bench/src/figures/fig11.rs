@@ -58,16 +58,15 @@ pub fn run(config: &Config) -> FigureOutput {
                 Box::new(SmoothRandomField::new(0.004, 4, config.seed ^ 0xB0)),
             );
             let mut supplier = fixed_selectivity_supplier(gen, QUERIES_PER_STEP, sel);
-            let result = run_scenario(&mut sim, steps, &mut supplier, &mut approaches)
-                .expect("scenario");
+            let result =
+                run_scenario(&mut sim, steps, &mut supplier, &mut approaches).expect("scenario");
 
             // Predictions for the executed workload: per-query cost ×
             // number of queries, using the *measured* mean selectivity
             // (the paper uses histogram estimates; ours is equivalent
             // input to Eq. 3).
             let q = result.total_queries as f64;
-            let scan_model =
-                model.scan_seconds(stats.num_vertices) * q * 1e3;
+            let scan_model = model.scan_seconds(stats.num_vertices) * q * 1e3;
             let octo_model = model.octopus_seconds(
                 stats.num_vertices,
                 stats.surface_ratio,
@@ -75,10 +74,18 @@ pub fn run(config: &Config) -> FigureOutput {
                 result.mean_selectivity,
             ) * q
                 * 1e3;
-            let scan_measured =
-                result.get("LinearScan").unwrap().total_response().as_secs_f64() * 1e3;
-            let octo_measured =
-                result.get("OCTOPUS").unwrap().total_response().as_secs_f64() * 1e3;
+            let scan_measured = result
+                .get("LinearScan")
+                .unwrap()
+                .total_response()
+                .as_secs_f64()
+                * 1e3;
+            let octo_measured = result
+                .get("OCTOPUS")
+                .unwrap()
+                .total_response()
+                .as_secs_f64()
+                * 1e3;
             let err = (octo_model - octo_measured).abs() / octo_measured.max(1e-12) * 100.0;
             table.push_row(vec![
                 level.label().into(),
@@ -95,8 +102,7 @@ pub fn run(config: &Config) -> FigureOutput {
     // Eq. 6 corollary, as in §VI-B.
     let l5 = neuron(NeuroLevel::L5, config.scale).expect("neuron");
     let l5_stats = MeshStats::compute(&l5).expect("stats");
-    let crossover =
-        model.crossover_selectivity(l5_stats.surface_ratio, l5_stats.mesh_degree);
+    let crossover = model.crossover_selectivity(l5_stats.surface_ratio, l5_stats.mesh_degree);
 
     FigureOutput {
         id: "fig11",

@@ -20,7 +20,12 @@ const QUERIES_PER_POINT: usize = 30;
 pub fn run(config: &Config) -> FigureOutput {
     let mut table = Table::new(
         "Fig. 12: surface approximation — accuracy (a) and speedup vs exact OCTOPUS (b)",
-        &["Approximation [%]", "Selectivity [%]", "Accuracy [%]", "Speedup [x]"],
+        &[
+            "Approximation [%]",
+            "Selectivity [%]",
+            "Accuracy [%]",
+            "Speedup [x]",
+        ],
     );
 
     let mut mesh = neuron(NeuroLevel::L4, config.scale).expect("neuron generation");
@@ -105,8 +110,14 @@ mod tests {
         for block in t.rows.chunks(5) {
             let lo: f64 = block.first().unwrap()[2].parse().unwrap();
             let hi: f64 = block.last().unwrap()[2].parse().unwrap();
-            assert!(hi >= lo, "accuracy must not degrade with more probes: {lo} -> {hi}");
-            assert!(hi > 60.0, "10% sampling should be fairly accurate, got {hi}");
+            assert!(
+                hi >= lo,
+                "accuracy must not degrade with more probes: {lo} -> {hi}"
+            );
+            assert!(
+                hi > 60.0,
+                "10% sampling should be fairly accurate, got {hi}"
+            );
         }
     }
 }

@@ -60,14 +60,14 @@ pub fn run(config: &Config) -> FigureOutput {
     for sel in [0.0001f64, 0.0005, 0.001, 0.0015, 0.002] {
         // Same geometric queries for both layouts.
         let mut gen = QueryGen::new(&unsorted, config.seed ^ 0xD0);
-        let queries: Vec<Aabb> =
-            (0..QUERIES_PER_POINT).map(|_| gen.query_with_selectivity(sel)).collect();
+        let queries: Vec<Aabb> = (0..QUERIES_PER_POINT)
+            .map(|_| gen.query_with_selectivity(sel))
+            .collect();
         let (p_un, _) = run_queries(&unsorted, &mut o_unsorted, &queries);
         let (p_so, _) = run_queries(&sorted, &mut o_sorted, &queries);
         assert_eq!(p_un.results, p_so.results, "layouts must agree on results");
-        let crawl_speedup = (p_un.crawling.as_secs_f64() / p_so.crawling.as_secs_f64().max(1e-12)
-            - 1.0)
-            * 100.0;
+        let crawl_speedup =
+            (p_un.crawling.as_secs_f64() / p_so.crawling.as_secs_f64().max(1e-12) - 1.0) * 100.0;
         table.push_row(vec![
             format!("{:.2}", sel * 100.0),
             ms(p_un.surface_probe),
@@ -118,7 +118,10 @@ mod tests {
             // allow generous noise but same order of magnitude.
             assert!(probe_un > 0.0 && probe_so > 0.0);
             let ratio = probe_un / probe_so;
-            assert!((0.2..5.0).contains(&ratio), "probe ratio {ratio} (row {row:?})");
+            assert!(
+                (0.2..5.0).contains(&ratio),
+                "probe ratio {ratio} (row {row:?})"
+            );
         }
     }
 }

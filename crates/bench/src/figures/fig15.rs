@@ -14,12 +14,14 @@ use octopus_core::Octopus;
 use octopus_index::LinearScan;
 use octopus_mesh::MeshStats;
 use octopus_meshgen::{animation, AnimationKind};
-use octopus_sim::{
-    AxialCompression, Deformation, LocalizedBumps, Simulation, TravelingWave,
-};
+use octopus_sim::{AxialCompression, Deformation, LocalizedBumps, Simulation, TravelingWave};
 
 /// The per-sequence deformation field (the paper's animation styles).
-pub fn field_for(kind: AnimationKind, rest: &[octopus_geom::Point3], seed: u64) -> Box<dyn Deformation> {
+pub fn field_for(
+    kind: AnimationKind,
+    rest: &[octopus_geom::Point3],
+    seed: u64,
+) -> Box<dyn Deformation> {
     match kind {
         AnimationKind::HorseGallop => Box::new(TravelingWave::new(0.04, 0.8, 12.0)),
         AnimationKind::FacialExpression => {
@@ -71,7 +73,13 @@ pub fn run_fig14(config: &Config) -> FigureOutput {
 pub fn run(config: &Config) -> FigureOutput {
     let mut table = Table::new(
         "Fig. 15: query response time per time step [ms] and speedup",
-        &["Dataset", "Frames", "LinearScan /step", "OCTOPUS /step", "Speedup"],
+        &[
+            "Dataset",
+            "Frames",
+            "LinearScan /step",
+            "OCTOPUS /step",
+            "Speedup",
+        ],
     );
     for kind in AnimationKind::ALL {
         let mesh = animation(kind, config.scale).expect("animation generation");

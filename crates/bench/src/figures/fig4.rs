@@ -62,10 +62,23 @@ mod tests {
         assert_eq!(out.tables.len(), 1);
         let t = &out.tables[0];
         assert_eq!(t.rows.len(), 5);
-        let ratios: Vec<f64> =
-            t.rows.iter().map(|r| r[5].parse::<f64>().unwrap()).collect();
-        assert!(ratios.first().unwrap() > ratios.last().unwrap(), "S:V must fall: {ratios:?}");
-        let cells: Vec<f64> = t.rows.iter().map(|r| r[2].parse::<f64>().unwrap()).collect();
-        assert!(cells.windows(2).all(|w| w[0] < w[1]), "cells must grow: {cells:?}");
+        let ratios: Vec<f64> = t
+            .rows
+            .iter()
+            .map(|r| r[5].parse::<f64>().unwrap())
+            .collect();
+        assert!(
+            ratios.first().unwrap() > ratios.last().unwrap(),
+            "S:V must fall: {ratios:?}"
+        );
+        let cells: Vec<f64> = t
+            .rows
+            .iter()
+            .map(|r| r[2].parse::<f64>().unwrap())
+            .collect();
+        assert!(
+            cells.windows(2).all(|w| w[0] < w[1]),
+            "cells must grow: {cells:?}"
+        );
     }
 }

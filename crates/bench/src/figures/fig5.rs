@@ -26,7 +26,10 @@ pub fn run(config: &Config) -> FigureOutput {
     let mut rng = figure_rng(config, 5);
     for b in NeuroBenchmark::ALL {
         let queries = b.step_queries(&mut gen, &mut rng);
-        let measured: f64 = queries.iter().map(|q| gen.actual_selectivity(q)).sum::<f64>()
+        let measured: f64 = queries
+            .iter()
+            .map(|q| gen.actual_selectivity(q))
+            .sum::<f64>()
             / queries.len() as f64;
         table.push_row(vec![
             b.name.into(),
@@ -39,7 +42,11 @@ pub fn run(config: &Config) -> FigureOutput {
             if (b.selectivity.0 - b.selectivity.1).abs() < 1e-12 {
                 format!("{:.2}", b.selectivity.0 * 100.0)
             } else {
-                format!("{:.2} to {:.2}", b.selectivity.0 * 100.0, b.selectivity.1 * 100.0)
+                format!(
+                    "{:.2} to {:.2}",
+                    b.selectivity.0 * 100.0,
+                    b.selectivity.1 * 100.0
+                )
             },
             format!("{:.3}", measured * 100.0),
         ]);

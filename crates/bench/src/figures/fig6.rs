@@ -38,11 +38,26 @@ pub fn run(config: &Config) -> FigureOutput {
     let steps = config.steps(60);
     let mut time_table = Table::new(
         format!("Fig. 6(a): total query response time [ms] over {steps} steps"),
-        &["Benchmark", "OCTOPUS", "LinearScan", "Octree", "LUR-Tree", "QU-Trade", "speedup vs scan"],
+        &[
+            "Benchmark",
+            "OCTOPUS",
+            "LinearScan",
+            "Octree",
+            "LUR-Tree",
+            "QU-Trade",
+            "speedup vs scan",
+        ],
     );
     let mut mem_table = Table::new(
         "Fig. 6(b): memory footprint [MiB]",
-        &["Benchmark", "OCTOPUS", "LinearScan", "Octree", "LUR-Tree", "QU-Trade"],
+        &[
+            "Benchmark",
+            "OCTOPUS",
+            "LinearScan",
+            "Octree",
+            "LUR-Tree",
+            "QU-Trade",
+        ],
     );
     let mut share_table = Table::new(
         "Fig. 6 text: maintenance share of total response [%] (paper: Octree 99.5, LUR 80, QU 42)",
@@ -56,7 +71,11 @@ pub fn run(config: &Config) -> FigureOutput {
         let mut rng = figure_rng(config, 6);
         let mut sim = Simulation::new(
             mesh,
-            Box::new(SmoothRandomField::new(NEURO_AMPLITUDE, 4, config.seed ^ 0x66)),
+            Box::new(SmoothRandomField::new(
+                NEURO_AMPLITUDE,
+                4,
+                config.seed ^ 0x66,
+            )),
         );
         let mut supplier =
             move |_step: u32, _mesh: &octopus_mesh::Mesh| bench.step_queries(&mut gen, &mut rng);
@@ -128,7 +147,10 @@ mod tests {
             assert!(octopus > 0.0 && scan > 0.0);
             // The paper's headline ordering (robust even at tiny scale):
             // OCTOPUS beats the R-tree-based spatio-temporal indexes.
-            assert!(octopus < lur, "OCTOPUS {octopus} vs LUR {lur} (row {row:?})");
+            assert!(
+                octopus < lur,
+                "OCTOPUS {octopus} vs LUR {lur} (row {row:?})"
+            );
         }
         // Memory: linear scan is zero, OCTOPUS is positive and smaller
         // than LUR-Tree.

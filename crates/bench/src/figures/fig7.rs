@@ -31,11 +31,23 @@ fn duel(
         Approach::Octopus(Octopus::new(&mesh).expect("surface extraction")),
         Approach::Index(Box::new(LinearScan::new())),
     ];
-    let mut sim =
-        Simulation::new(mesh, Box::new(SmoothRandomField::new(AMPLITUDE, 4, config.seed ^ 7)));
+    let mut sim = Simulation::new(
+        mesh,
+        Box::new(SmoothRandomField::new(AMPLITUDE, 4, config.seed ^ 7)),
+    );
     let result = run_scenario(&mut sim, steps, &mut supplier, &mut approaches).expect("scenario");
-    let o = result.get("OCTOPUS").unwrap().total_response().as_secs_f64() * 1e3;
-    let s = result.get("LinearScan").unwrap().total_response().as_secs_f64() * 1e3;
+    let o = result
+        .get("OCTOPUS")
+        .unwrap()
+        .total_response()
+        .as_secs_f64()
+        * 1e3;
+    let s = result
+        .get("LinearScan")
+        .unwrap()
+        .total_response()
+        .as_secs_f64()
+        * 1e3;
     (o, s, s / o.max(1e-12))
 }
 
@@ -64,7 +76,12 @@ pub fn run(config: &Config) -> FigureOutput {
             let (o, s, x) = duel(config, mesh, steps, move |step, _| {
                 queries[(step - 1) as usize].clone()
             });
-            t.push_row(vec![level.label().into(), format!("{s:.2}"), format!("{o:.2}"), speedup(x)]);
+            t.push_row(vec![
+                level.label().into(),
+                format!("{s:.2}"),
+                format!("{o:.2}"),
+                speedup(x),
+            ]);
         }
         tables.push(t);
     }
@@ -82,9 +99,16 @@ pub fn run(config: &Config) -> FigureOutput {
             let mesh = neuron(level, config.scale).expect("neuron");
             let mut gen = QueryGen::new(&mesh, config.seed ^ 0x7C);
             let (o, s, x) = duel(config, mesh, steps, move |_, _| {
-                (0..QUERIES_PER_STEP).map(|_| gen.query_with_count(target_results)).collect()
+                (0..QUERIES_PER_STEP)
+                    .map(|_| gen.query_with_count(target_results))
+                    .collect()
             });
-            t.push_row(vec![level.label().into(), format!("{s:.2}"), format!("{o:.2}"), speedup(x)]);
+            t.push_row(vec![
+                level.label().into(),
+                format!("{s:.2}"),
+                format!("{o:.2}"),
+                speedup(x),
+            ]);
         }
         tables.push(t);
     }
@@ -99,10 +123,14 @@ pub fn run(config: &Config) -> FigureOutput {
             let n = config.steps(nominal);
             let mesh = neuron(NeuroLevel::L3, config.scale).expect("neuron");
             let gen = QueryGen::new(&mesh, config.seed ^ 0x7E);
-            let supplier =
-                fixed_selectivity_supplier(gen, QUERIES_PER_STEP, STANDARD_SELECTIVITY);
+            let supplier = fixed_selectivity_supplier(gen, QUERIES_PER_STEP, STANDARD_SELECTIVITY);
             let (o, s, x) = duel(config, mesh, n, supplier);
-            t.push_row(vec![nominal.to_string(), format!("{s:.2}"), format!("{o:.2}"), speedup(x)]);
+            t.push_row(vec![
+                nominal.to_string(),
+                format!("{s:.2}"),
+                format!("{o:.2}"),
+                speedup(x),
+            ]);
         }
         tables.push(t);
     }
@@ -115,7 +143,12 @@ pub fn run(config: &Config) -> FigureOutput {
     {
         let mut t = Table::new(
             format!("Fig. 7(g/h): query selectivity (level 0.26, {steps} steps)"),
-            &["Selectivity [%]", "LinearScan [ms]", "OCTOPUS [ms]", "Speedup"],
+            &[
+                "Selectivity [%]",
+                "LinearScan [ms]",
+                "OCTOPUS [ms]",
+                "Speedup",
+            ],
         );
         for sel in [0.0001f64, 0.001, 0.002, 0.005, 0.01, 0.02] {
             let mesh = neuron(NeuroLevel::L3, config.scale).expect("neuron");
@@ -158,15 +191,24 @@ mod tests {
         let out = run(&Config::quick());
         assert_eq!(out.tables.len(), 4);
         // (a/b): scan time grows with level.
-        let scans: Vec<f64> =
-            out.tables[0].rows.iter().map(|r| r[1].parse().unwrap()).collect();
+        let scans: Vec<f64> = out.tables[0]
+            .rows
+            .iter()
+            .map(|r| r[1].parse().unwrap())
+            .collect();
         assert!(
             scans.last().unwrap() > scans.first().unwrap(),
             "scan must grow with detail: {scans:?}"
         );
         // (e/f): total time grows with step count for both approaches.
-        let steps_scan: Vec<f64> =
-            out.tables[2].rows.iter().map(|r| r[1].parse().unwrap()).collect();
-        assert!(steps_scan.last().unwrap() > steps_scan.first().unwrap(), "{steps_scan:?}");
+        let steps_scan: Vec<f64> = out.tables[2]
+            .rows
+            .iter()
+            .map(|r| r[1].parse().unwrap())
+            .collect();
+        assert!(
+            steps_scan.last().unwrap() > steps_scan.first().unwrap(),
+            "{steps_scan:?}"
+        );
     }
 }

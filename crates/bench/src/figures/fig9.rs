@@ -23,11 +23,24 @@ pub fn run(config: &Config) -> FigureOutput {
     let steps = config.steps(60);
     let mut time_table = Table::new(
         format!("Fig. 9(a): convex datasets, total query response time [ms] ({steps} steps)"),
-        &["Dataset", "OCTOPUS-CON", "OCTOPUS", "LinearScan", "CON speedup", "OCTOPUS speedup"],
+        &[
+            "Dataset",
+            "OCTOPUS-CON",
+            "OCTOPUS",
+            "LinearScan",
+            "CON speedup",
+            "OCTOPUS speedup",
+        ],
     );
     let mut phase_table = Table::new(
         "Fig. 9(b): phase breakdown [ms]",
-        &["Dataset", "Approach", "Surface probe", "Directed walk", "Crawling"],
+        &[
+            "Dataset",
+            "Approach",
+            "Surface probe",
+            "Directed walk",
+            "Crawling",
+        ],
     );
 
     for res in BasinResolution::ALL {
@@ -78,8 +91,7 @@ pub fn run(config: &Config) -> FigureOutput {
             let cells = con.grid().num_cells();
             let mut approaches = vec![Approach::OctopusCon(con)];
             let gen = QueryGen::new(&mesh, config.seed ^ 0x9C);
-            let mut sim =
-                Simulation::new(mesh.clone(), Box::new(ShearWave::new(0.02, 40.0)));
+            let mut sim = Simulation::new(mesh.clone(), Box::new(ShearWave::new(0.02, 40.0)));
             let mut supplier = fixed_selectivity_supplier(gen, QUERIES_PER_STEP, SELECTIVITY);
             let result = run_scenario(&mut sim, sweep_steps, &mut supplier, &mut approaches)
                 .expect("scenario");
@@ -120,7 +132,10 @@ mod tests {
         for row in &out.tables[0].rows {
             let con: f64 = row[1].parse().unwrap();
             let full: f64 = row[2].parse().unwrap();
-            assert!(con <= full * 1.2, "CON {con} should not exceed OCTOPUS {full} (row {row:?})");
+            assert!(
+                con <= full * 1.2,
+                "CON {con} should not exceed OCTOPUS {full} (row {row:?})"
+            );
         }
         // (b): CON's probe time is exactly zero.
         for row in &out.tables[1].rows {

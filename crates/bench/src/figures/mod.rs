@@ -53,8 +53,8 @@ impl FigureOutput {
 
 /// All figure ids in paper order.
 pub const ALL_FIGURES: &[&str] = &[
-    "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-    "fig14", "fig15",
+    "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+    "fig15",
 ];
 
 /// Runs one figure by id (`fig14` is part of `fig15`'s module but is
@@ -92,8 +92,21 @@ mod tests {
         // live in their own modules / integration tests).
         for id in ALL_FIGURES {
             assert!(
-                matches!(*id, "fig4" | "fig5" | "fig6" | "fig7" | "fig8" | "fig9" | "fig10"
-                    | "fig11" | "fig12" | "fig13" | "fig14" | "fig15"),
+                matches!(
+                    *id,
+                    "fig4"
+                        | "fig5"
+                        | "fig6"
+                        | "fig7"
+                        | "fig8"
+                        | "fig9"
+                        | "fig10"
+                        | "fig11"
+                        | "fig12"
+                        | "fig13"
+                        | "fig14"
+                        | "fig15"
+                ),
                 "unknown id {id}"
             );
         }

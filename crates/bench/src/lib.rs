@@ -41,14 +41,22 @@ pub struct Config {
 
 impl Default for Config {
     fn default() -> Self {
-        Config { scale: 1.0, steps_factor: 1.0, seed: 0x0C70_9005 }
+        Config {
+            scale: 1.0,
+            steps_factor: 1.0,
+            seed: 0x0C70_9005,
+        }
     }
 }
 
 impl Config {
     /// A reduced configuration for smoke tests (tiny meshes, few steps).
     pub fn quick() -> Config {
-        Config { scale: 0.35, steps_factor: 0.1, seed: 0x0C70_9005 }
+        Config {
+            scale: 0.35,
+            steps_factor: 0.1,
+            seed: 0x0C70_9005,
+        }
     }
 
     /// Scales a nominal step count (at least 1).

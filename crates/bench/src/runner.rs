@@ -69,7 +69,10 @@ impl Approach {
             Approach::Approx(o) => o.query(mesh, q, out),
             Approach::Index(i) => {
                 i.query(q, mesh.positions(), out);
-                PhaseTimings { results: out.len(), ..Default::default() }
+                PhaseTimings {
+                    results: out.len(),
+                    ..Default::default()
+                }
             }
         }
     }
@@ -136,8 +139,14 @@ impl ScenarioResult {
     /// response(a) / response(b) — e.g. speedup of OCTOPUS over the scan
     /// is `speedup_of("OCTOPUS", "LinearScan")`.
     pub fn speedup_of(&self, fast: &str, slow: &str) -> f64 {
-        let f = self.get(fast).expect("fast approach present").total_response();
-        let s = self.get(slow).expect("slow approach present").total_response();
+        let f = self
+            .get(fast)
+            .expect("fast approach present")
+            .total_response();
+        let s = self
+            .get(slow)
+            .expect("slow approach present")
+            .total_response();
         s.as_secs_f64() / f.as_secs_f64().max(1e-12)
     }
 }
@@ -283,8 +292,7 @@ mod tests {
         let mesh = box_mesh(6);
         let octopus = Octopus::new(&mesh).unwrap();
         let gen = QueryGen::new(&mesh, 7);
-        let mut sim =
-            Simulation::new(mesh, Box::new(SmoothRandomField::new(0.004, 3, 11)));
+        let mut sim = Simulation::new(mesh, Box::new(SmoothRandomField::new(0.004, 3, 11)));
         let mut approaches = vec![
             Approach::Octopus(octopus),
             Approach::Index(Box::new(LinearScan::new())),
@@ -313,8 +321,7 @@ mod tests {
         let mesh = box_mesh(5);
         let octopus = Octopus::new(&mesh).unwrap();
         let gen = QueryGen::new(&mesh, 9);
-        let mut sim =
-            Simulation::new(mesh, Box::new(SmoothRandomField::new(0.004, 3, 13)));
+        let mut sim = Simulation::new(mesh, Box::new(SmoothRandomField::new(0.004, 3, 13)));
         let mut approaches = vec![
             Approach::Octopus(octopus),
             Approach::Index(Box::new(LinearScan::new())),
@@ -333,8 +340,7 @@ mod tests {
         let approx = ApproxOctopus::new(&mesh, 0.01, 3).unwrap();
         let scan: Box<dyn DynamicIndex> = Box::new(LinearScan::new());
         let gen = QueryGen::new(&mesh, 17);
-        let mut sim =
-            Simulation::new(mesh, Box::new(SmoothRandomField::new(0.002, 3, 17)));
+        let mut sim = Simulation::new(mesh, Box::new(SmoothRandomField::new(0.002, 3, 17)));
         let mut approaches = vec![Approach::Approx(approx), Approach::Index(scan)];
         let mut supplier = fixed_selectivity_supplier(gen, 3, 0.02);
         // Must not panic even if the approximation misses results.

@@ -68,7 +68,9 @@ impl QueryGen {
 
     /// `n` queries at a fixed selectivity.
     pub fn batch_with_selectivity(&mut self, n: usize, selectivity: f64) -> Vec<Aabb> {
-        (0..n).map(|_| self.query_with_selectivity(selectivity)).collect()
+        (0..n)
+            .map(|_| self.query_with_selectivity(selectivity))
+            .collect()
     }
 
     /// Query centre: a uniformly chosen mesh vertex, slightly jittered so

@@ -34,9 +34,17 @@ impl ApproxOctopus {
     /// setting). At least one vertex is kept when the surface is
     /// non-empty.
     pub fn new(mesh: &Mesh, fraction: f64, seed: u64) -> Result<ApproxOctopus, MeshError> {
-        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1]");
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "fraction must be in (0, 1]"
+        );
         let surface = SurfaceIndex::build(mesh)?;
-        Ok(ApproxOctopus::from_surface_index(&surface, mesh.num_vertices(), fraction, seed))
+        Ok(ApproxOctopus::from_surface_index(
+            &surface,
+            mesh.num_vertices(),
+            fraction,
+            seed,
+        ))
     }
 
     /// Samples from an existing surface index (avoids re-extraction when
@@ -47,14 +55,15 @@ impl ApproxOctopus {
         fraction: f64,
         seed: u64,
     ) -> ApproxOctopus {
-        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1]");
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "fraction must be in (0, 1]"
+        );
         let mut ids = surface.ids().to_vec();
         let mut rng = SplitMix64::new(seed);
         rng.shuffle(&mut ids);
-        let keep = ((ids.len() as f64 * fraction).round() as usize).clamp(
-            usize::from(!ids.is_empty()),
-            ids.len(),
-        );
+        let keep = ((ids.len() as f64 * fraction).round() as usize)
+            .clamp(usize::from(!ids.is_empty()), ids.len());
         ids.truncate(keep);
         ApproxOctopus {
             sample: ids,
@@ -187,7 +196,10 @@ mod tests {
             approx.query(&mesh, &q, &mut a);
             exact.query(&mesh, &q, &mut e);
             let eset: std::collections::HashSet<u32> = e.iter().copied().collect();
-            assert!(a.iter().all(|v| eset.contains(v)), "fraction {fraction}: subset property");
+            assert!(
+                a.iter().all(|v| eset.contains(v)),
+                "fraction {fraction}: subset property"
+            );
             let acc = result_accuracy(&a, &e);
             assert!((0.0..=1.0).contains(&acc));
         }
@@ -199,7 +211,11 @@ mod tests {
         let half = ApproxOctopus::new(&mesh, 0.5, 3).unwrap();
         assert!((half.sample_len() as f64 / half.full_surface_len() as f64 - 0.5).abs() < 0.05);
         let tiny = ApproxOctopus::new(&mesh, 1e-9, 3).unwrap();
-        assert_eq!(tiny.sample_len(), 1, "non-empty surface keeps at least one probe vertex");
+        assert_eq!(
+            tiny.sample_len(),
+            1,
+            "non-empty surface keeps at least one probe vertex"
+        );
     }
 
     #[test]

@@ -61,7 +61,10 @@ impl CostModel {
 
     /// Builds the refined three-constant model.
     pub fn with_probe_constant(cs: f64, cr: f64, cp: f64) -> CostModel {
-        assert!(cs > 0.0 && cr > 0.0 && cp > 0.0, "cost constants must be positive");
+        assert!(
+            cs > 0.0 && cr > 0.0 && cp > 0.0,
+            "cost constants must be positive"
+        );
         CostModel { cs, cr, cp }
     }
 
@@ -142,7 +145,10 @@ impl CostModel {
 
         // --- C_P: gather probe over the surface ids with the same
         // prefetch + branchless test as the executor's probe loop.
-        let surface = mesh.surface().map(|s| s.vertices().to_vec()).unwrap_or_default();
+        let surface = mesh
+            .surface()
+            .map(|s| s.vertices().to_vec())
+            .unwrap_or_default();
         let ids: &[u32] = if surface.is_empty() {
             // Degenerate mesh: fall back to every 4th vertex.
             &[]
@@ -169,7 +175,11 @@ impl CostModel {
         };
 
         // Guard against degenerate timings on tiny meshes.
-        CostModel { cs: cs.max(1e-12), cr: cr.max(1e-12), cp: cp.max(1e-12) }
+        CostModel {
+            cs: cs.max(1e-12),
+            cr: cr.max(1e-12),
+            cp: cp.max(1e-12),
+        }
     }
 
     /// Eq. 1 (refined) — surface probe cost (seconds): `C_P × (S × V)`.
@@ -269,9 +279,15 @@ mod tests {
         // actually uses, §V-C). We reproduce the consistent reading.
         let m = CostModel::paper_constants();
         let speedup = m.speedup(0.03, 14.51, 0.001);
-        assert!((speedup - 11.1).abs() < 0.3, "speedup {speedup} should be ≈ 11.1 at sel 0.1%");
+        assert!(
+            (speedup - 11.1).abs() < 0.3,
+            "speedup {speedup} should be ≈ 11.1 at sel 0.1%"
+        );
         let speedup_typo = m.speedup(0.03, 14.51, 0.0001);
-        assert!(speedup_typo > 25.0, "the text's 0.01% reading gives {speedup_typo}, not 11.1");
+        assert!(
+            speedup_typo > 25.0,
+            "the text's 0.01% reading gives {speedup_typo}, not 11.1"
+        );
     }
 
     #[test]

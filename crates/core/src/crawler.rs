@@ -204,12 +204,8 @@ impl Crawler {
     /// Heap bytes of the scratch structures.
     pub(crate) fn memory_bytes(&self) -> usize {
         let visited = match self.strategy {
-            VisitedStrategy::EpochArray => {
-                self.stamps.capacity() * std::mem::size_of::<u32>()
-            }
-            VisitedStrategy::HashSet => {
-                self.set.capacity() * (std::mem::size_of::<VertexId>() + 1)
-            }
+            VisitedStrategy::EpochArray => self.stamps.capacity() * std::mem::size_of::<u32>(),
+            VisitedStrategy::HashSet => self.set.capacity() * (std::mem::size_of::<VertexId>() + 1),
         };
         visited + self.queue.capacity() * std::mem::size_of::<VertexId>()
     }
@@ -240,11 +236,7 @@ mod tests {
             .collect()
     }
 
-    fn crawl_from_all_inside(
-        crawler: &mut Crawler,
-        mesh: &Mesh,
-        q: &Aabb,
-    ) -> Vec<VertexId> {
+    fn crawl_from_all_inside(crawler: &mut Crawler, mesh: &Mesh, q: &Aabb) -> Vec<VertexId> {
         crawler.begin_query(mesh.num_vertices());
         let mut out = Vec::new();
         for (i, p) in mesh.positions().iter().enumerate() {
@@ -290,7 +282,9 @@ mod tests {
         c.begin_query(mesh.num_vertices());
         // Start from the far corner (vertex at (0,0,0) exists in lattice).
         let start = 0;
-        let found = c.directed_walk(&mesh, &q, start).expect("walk must reach the query");
+        let found = c
+            .directed_walk(&mesh, &q, start)
+            .expect("walk must reach the query");
         assert!(q.contains(mesh.position(found)));
         assert!(c.walk_visited > 1);
     }

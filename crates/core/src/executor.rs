@@ -139,7 +139,11 @@ impl ComponentInfo {
                 edges += 1;
             }
         }
-        let edge_scale = if edges == 0 { 0.0 } else { (total / edges as f64) as f32 };
+        let edge_scale = if edges == 0 {
+            0.0
+        } else {
+            (total / edges as f64) as f32
+        };
         ComponentInfo {
             component_of,
             count,
@@ -186,7 +190,11 @@ impl Octopus {
     pub fn with_strategy(mesh: &Mesh, strategy: VisitedStrategy) -> Result<Octopus, MeshError> {
         let surface = SurfaceIndex::build(mesh)?;
         let components = ComponentInfo::build(mesh, &surface);
-        Ok(Octopus { surface, crawler: Crawler::new(mesh.num_vertices(), strategy), components })
+        Ok(Octopus {
+            surface,
+            crawler: Crawler::new(mesh.num_vertices(), strategy),
+            components,
+        })
     }
 
     /// Switches the crawl expansion order (BFS default; DFS for the
@@ -301,9 +309,7 @@ impl Octopus {
                 let near_sq = near * near;
                 for sample_target in [512usize, 4096] {
                     let stride = (comp_ids.len() / sample_target).max(1);
-                    if let Some(sv) =
-                        closest_of(comp_ids.iter().step_by(stride), positions, q)
-                    {
+                    if let Some(sv) = closest_of(comp_ids.iter().step_by(stride), positions, q) {
                         found = self.crawler.directed_walk(mesh, q, sv);
                     }
                     if found.is_some()
@@ -399,7 +405,12 @@ mod tests {
         let mesh = box_mesh(6);
         let mut o = Octopus::new(&mesh).unwrap();
         // Query overlapping a corner — surface vertices inside.
-        assert_exact(&mut o, &mesh, &Aabb::new(Point3::ORIGIN, Point3::splat(0.4)), "corner");
+        assert_exact(
+            &mut o,
+            &mesh,
+            &Aabb::new(Point3::ORIGIN, Point3::splat(0.4)),
+            "corner",
+        );
         // Query covering everything.
         assert_exact(
             &mut o,
@@ -467,7 +478,10 @@ mod tests {
         assert_eq!(got, expected);
         let left = expected.iter().any(|&v| mesh.position(v).x < 0.49);
         let right = expected.iter().any(|&v| mesh.position(v).x > 0.51);
-        assert!(left && right, "slab must hit both disjoint cells for this to be a real test");
+        assert!(
+            left && right,
+            "slab must hit both disjoint cells for this to be a real test"
+        );
     }
 
     #[test]
@@ -516,7 +530,11 @@ mod tests {
         let mut out = Vec::new();
         let small = o.query(&mesh, &Aabb::cube(Point3::splat(0.2), 0.05), &mut out);
         out.clear();
-        let large = o.query(&mesh, &Aabb::new(Point3::splat(0.05), Point3::splat(0.95)), &mut out);
+        let large = o.query(
+            &mesh,
+            &Aabb::new(Point3::splat(0.05), Point3::splat(0.95)),
+            &mut out,
+        );
         assert!(large.crawl_visited > small.crawl_visited * 5);
         assert!(large.results > small.results);
     }

@@ -140,7 +140,10 @@ mod tests {
         let (h, _) = hilbert_layout(&mesh);
         let (m, _) = morton_layout(&mesh);
         let (lh, lm) = (adjacency_locality(&h), adjacency_locality(&m));
-        assert!(lh <= lm * 1.1, "hilbert {lh} should not be much worse than morton {lm}");
+        assert!(
+            lh <= lm * 1.1,
+            "hilbert {lh} should not be much worse than morton {lm}"
+        );
     }
 
     #[test]

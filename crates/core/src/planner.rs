@@ -65,18 +65,31 @@ impl Planner {
         surface_ratio: f64,
         mesh_degree: f64,
     ) -> Planner {
-        Planner { model, histogram, surface_ratio, mesh_degree }
+        Planner {
+            model,
+            histogram,
+            surface_ratio,
+            mesh_degree,
+        }
     }
 
     /// Decides the strategy for query `q` (Eq. 6).
     pub fn decide(&self, q: &Aabb) -> Decision {
         let sel = self.histogram.estimate_selectivity(q);
-        let crossover = self.model.crossover_selectivity(self.surface_ratio, self.mesh_degree);
+        let crossover = self
+            .model
+            .crossover_selectivity(self.surface_ratio, self.mesh_degree);
         Decision {
-            strategy: if sel < crossover { Strategy::Octopus } else { Strategy::LinearScan },
+            strategy: if sel < crossover {
+                Strategy::Octopus
+            } else {
+                Strategy::LinearScan
+            },
             estimated_selectivity: sel,
             crossover_selectivity: crossover,
-            predicted_speedup: self.model.speedup(self.surface_ratio, self.mesh_degree, sel),
+            predicted_speedup: self
+                .model
+                .speedup(self.surface_ratio, self.mesh_degree, sel),
         }
     }
 

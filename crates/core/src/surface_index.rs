@@ -51,7 +51,11 @@ impl SurfaceIndex {
     /// Builds the index from an already extracted [`Surface`].
     pub fn from_surface(surface: &Surface) -> SurfaceIndex {
         let dense: Vec<VertexId> = surface.vertices().to_vec();
-        let slots = dense.iter().enumerate().map(|(i, &v)| (v, i as u32)).collect();
+        let slots = dense
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i as u32))
+            .collect();
         SurfaceIndex { slots, dense }
     }
 

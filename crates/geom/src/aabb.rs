@@ -20,21 +20,35 @@ impl Aabb {
     /// An "empty" box with inverted bounds; the identity for [`Aabb::union`]
     /// and [`Aabb::expand`].
     pub const EMPTY: Aabb = Aabb {
-        min: Point3 { x: f32::INFINITY, y: f32::INFINITY, z: f32::INFINITY },
-        max: Point3 { x: f32::NEG_INFINITY, y: f32::NEG_INFINITY, z: f32::NEG_INFINITY },
+        min: Point3 {
+            x: f32::INFINITY,
+            y: f32::INFINITY,
+            z: f32::INFINITY,
+        },
+        max: Point3 {
+            x: f32::NEG_INFINITY,
+            y: f32::NEG_INFINITY,
+            z: f32::NEG_INFINITY,
+        },
     };
 
     /// Creates a box from its corners. `min` must be component-wise ≤ `max`.
     #[inline]
     pub fn new(min: Point3, max: Point3) -> Self {
-        debug_assert!(min.x <= max.x && min.y <= max.y && min.z <= max.z, "inverted Aabb");
+        debug_assert!(
+            min.x <= max.x && min.y <= max.y && min.z <= max.z,
+            "inverted Aabb"
+        );
         Aabb { min, max }
     }
 
     /// Creates a box from two arbitrary corners (sorted per component).
     #[inline]
     pub fn from_corners(a: Point3, b: Point3) -> Self {
-        Aabb { min: a.min(b), max: a.max(b) }
+        Aabb {
+            min: a.min(b),
+            max: a.max(b),
+        }
     }
 
     /// Creates a cube centred at `center` with the given half-extent.
@@ -42,13 +56,19 @@ impl Aabb {
     pub fn cube(center: Point3, half: f32) -> Self {
         debug_assert!(half >= 0.0);
         let h = Vec3::new(half, half, half);
-        Aabb { min: center - h, max: center + h }
+        Aabb {
+            min: center - h,
+            max: center + h,
+        }
     }
 
     /// Creates a box centred at `center` with per-axis half-extents.
     #[inline]
     pub fn from_center_half(center: Point3, half: Vec3) -> Self {
-        Aabb { min: center - half, max: center + half }
+        Aabb {
+            min: center - half,
+            max: center + half,
+        }
     }
 
     /// Smallest box containing all `points`; [`Aabb::EMPTY`] for an empty
@@ -155,13 +175,19 @@ impl Aabb {
     /// Smallest box containing both operands.
     #[inline]
     pub fn union(&self, other: &Aabb) -> Aabb {
-        Aabb { min: self.min.min(other.min), max: self.max.max(other.max) }
+        Aabb {
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
     }
 
     /// Intersection of both operands; may be an empty box.
     #[inline]
     pub fn intersection(&self, other: &Aabb) -> Aabb {
-        Aabb { min: self.min.max(other.min), max: self.max.min(other.max) }
+        Aabb {
+            min: self.min.max(other.min),
+            max: self.max.min(other.max),
+        }
     }
 
     /// Squared Euclidean distance from `p` to the box (0 when inside).
@@ -195,7 +221,10 @@ impl Aabb {
     pub fn dilated(&self, margin: f32) -> Aabb {
         debug_assert!(margin >= 0.0);
         let m = Vec3::new(margin, margin, margin);
-        Aabb { min: self.min - m, max: self.max + m }
+        Aabb {
+            min: self.min - m,
+            max: self.max + m,
+        }
     }
 
     /// Fraction of `self`'s volume overlapped by `other` ∈ [0, 1].
@@ -303,7 +332,10 @@ mod tests {
         let a = unit();
         let half = Aabb::new(Point3::ORIGIN, Point3::new(0.5, 1.0, 1.0));
         assert!((a.overlap_fraction(&half) - 0.5).abs() < 1e-9);
-        assert_eq!(a.overlap_fraction(&Aabb::new(Point3::splat(5.0), Point3::splat(6.0))), 0.0);
+        assert_eq!(
+            a.overlap_fraction(&Aabb::new(Point3::splat(5.0), Point3::splat(6.0))),
+            0.0
+        );
         assert_eq!(a.overlap_fraction(&a), 1.0);
     }
 

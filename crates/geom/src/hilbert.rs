@@ -23,9 +23,15 @@ pub const MAX_BITS: u32 = 21;
 /// Panics when `bits` is 0 or exceeds [`MAX_BITS`], or a coordinate is out
 /// of range.
 pub fn hilbert_d(coords: [u32; 3], bits: u32) -> u64 {
-    assert!((1..=MAX_BITS).contains(&bits), "bits must be in 1..={MAX_BITS}");
+    assert!(
+        (1..=MAX_BITS).contains(&bits),
+        "bits must be in 1..={MAX_BITS}"
+    );
     for &c in &coords {
-        assert!(u64::from(c) < (1u64 << bits), "coordinate {c} out of range for {bits} bits");
+        assert!(
+            u64::from(c) < (1u64 << bits),
+            "coordinate {c} out of range for {bits} bits"
+        );
     }
     let x = axes_to_transpose(coords, bits);
     transpose_to_index(x, bits)
@@ -34,9 +40,15 @@ pub fn hilbert_d(coords: [u32; 3], bits: u32) -> u64 {
 /// Inverse of [`hilbert_d`]: recovers grid coordinates from a Hilbert
 /// index.
 pub fn hilbert_point(d: u64, bits: u32) -> [u32; 3] {
-    assert!((1..=MAX_BITS).contains(&bits), "bits must be in 1..={MAX_BITS}");
+    assert!(
+        (1..=MAX_BITS).contains(&bits),
+        "bits must be in 1..={MAX_BITS}"
+    );
     if bits < MAX_BITS {
-        assert!(d < (1u64 << (3 * bits)), "index {d} out of range for {bits} bits");
+        assert!(
+            d < (1u64 << (3 * bits)),
+            "index {d} out of range for {bits} bits"
+        );
     }
     let x = index_to_transpose(d, bits);
     transpose_to_axes(x, bits)
@@ -175,8 +187,7 @@ mod tests {
             assert!(!seen[flat], "cell visited twice");
             seen[flat] = true;
             if let Some(p) = prev {
-                let manhattan: u32 =
-                    (0..3).map(|i| p[i].abs_diff(c[i])).sum();
+                let manhattan: u32 = (0..3).map(|i| p[i].abs_diff(c[i])).sum();
                 assert_eq!(manhattan, 1, "curve must move one step at a time");
             }
             prev = Some(c);

@@ -42,7 +42,11 @@ pub fn morton_encode(coords: [u32; 3]) -> u64 {
 /// Inverse of [`morton_encode`].
 #[inline]
 pub fn morton_decode(code: u64) -> [u32; 3] {
-    [compact_by_3(code), compact_by_3(code >> 1), compact_by_3(code >> 2)]
+    [
+        compact_by_3(code),
+        compact_by_3(code >> 1),
+        compact_by_3(code >> 2),
+    ]
 }
 
 /// Quantises `p` into `bounds` on a `2^bits` lattice and returns its
@@ -58,7 +62,12 @@ mod tests {
 
     #[test]
     fn encode_decode_roundtrip() {
-        for c in [[0u32, 0, 0], [1, 2, 3], [0x1f_ffff, 0, 0x1f_ffff], [12345, 67890, 424242]] {
+        for c in [
+            [0u32, 0, 0],
+            [1, 2, 3],
+            [0x1f_ffff, 0, 0x1f_ffff],
+            [12345, 67890, 424242],
+        ] {
             let clamped = [c[0] & 0x1f_ffff, c[1] & 0x1f_ffff, c[2] & 0x1f_ffff];
             assert_eq!(morton_decode(morton_encode(clamped)), clamped);
         }

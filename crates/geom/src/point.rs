@@ -30,7 +30,11 @@ pub struct Vec3 {
 
 impl Point3 {
     /// The origin `(0, 0, 0)`.
-    pub const ORIGIN: Point3 = Point3 { x: 0.0, y: 0.0, z: 0.0 };
+    pub const ORIGIN: Point3 = Point3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
 
     /// Creates a point from its coordinates.
     #[inline]
@@ -65,13 +69,21 @@ impl Point3 {
     /// Component-wise minimum.
     #[inline]
     pub fn min(&self, other: Point3) -> Point3 {
-        Point3::new(self.x.min(other.x), self.y.min(other.y), self.z.min(other.z))
+        Point3::new(
+            self.x.min(other.x),
+            self.y.min(other.y),
+            self.z.min(other.z),
+        )
     }
 
     /// Component-wise maximum.
     #[inline]
     pub fn max(&self, other: Point3) -> Point3 {
-        Point3::new(self.x.max(other.x), self.y.max(other.y), self.z.max(other.z))
+        Point3::new(
+            self.x.max(other.x),
+            self.y.max(other.y),
+            self.z.max(other.z),
+        )
     }
 
     /// Linear interpolation towards `other` (`t = 0` → `self`).
@@ -83,7 +95,11 @@ impl Point3 {
     /// Interprets the point as a vector from the origin.
     #[inline]
     pub fn to_vec(self) -> Vec3 {
-        Vec3 { x: self.x, y: self.y, z: self.z }
+        Vec3 {
+            x: self.x,
+            y: self.y,
+            z: self.z,
+        }
     }
 
     /// True when every coordinate is finite.
@@ -95,7 +111,11 @@ impl Point3 {
 
 impl Vec3 {
     /// The zero vector.
-    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    pub const ZERO: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
 
     /// Creates a vector from its components.
     #[inline]

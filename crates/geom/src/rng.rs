@@ -141,7 +141,10 @@ mod tests {
             assert!(v < 10);
             seen[v] = true;
         }
-        assert!(seen.iter().all(|&s| s), "all residues should occur in 1000 draws");
+        assert!(
+            seen.iter().all(|&s| s),
+            "all residues should occur in 1000 draws"
+        );
     }
 
     #[test]

@@ -47,7 +47,12 @@ impl UniformGrid {
             ids[cursor[c] as usize] = i as VertexId;
             cursor[c] += 1;
         }
-        UniformGrid { res, bounds: *bounds, offsets: counts, ids }
+        UniformGrid {
+            res,
+            bounds: *bounds,
+            offsets: counts,
+            ids,
+        }
     }
 
     /// Grid resolution per axis.
@@ -179,8 +184,11 @@ mod tests {
 
     #[test]
     fn start_vertex_comes_from_the_right_cell() {
-        let pts =
-            vec![Point3::new(0.1, 0.1, 0.1), Point3::new(0.9, 0.9, 0.9), Point3::new(0.5, 0.5, 0.5)];
+        let pts = vec![
+            Point3::new(0.1, 0.1, 0.1),
+            Point3::new(0.9, 0.9, 0.9),
+            Point3::new(0.5, 0.5, 0.5),
+        ];
         let g = UniformGrid::build(&pts, &unit_bounds(), 4);
         assert_eq!(g.stale_start_vertex(Point3::new(0.12, 0.1, 0.08)), Some(0));
         assert_eq!(g.stale_start_vertex(Point3::new(0.88, 0.9, 0.93)), Some(1));
@@ -229,7 +237,10 @@ mod tests {
         let pts = random_points(100, 4);
         let small = UniformGrid::build(&pts, &unit_bounds(), 2);
         let large = UniformGrid::build(&pts, &unit_bounds(), 18);
-        assert!(large.memory_bytes() > small.memory_bytes(), "Fig. 9(d) trend");
+        assert!(
+            large.memory_bytes() > small.memory_bytes(),
+            "Fig. 9(d) trend"
+        );
     }
 
     #[test]

@@ -28,7 +28,12 @@ impl SelectivityHistogram {
         for p in positions {
             counts[Self::bucket_of(p, bounds, res)] += 1;
         }
-        SelectivityHistogram { res, bounds: *bounds, counts, total: positions.len() }
+        SelectivityHistogram {
+            res,
+            bounds: *bounds,
+            counts,
+            total: positions.len(),
+        }
     }
 
     fn bucket_of(p: &Point3, bounds: &Aabb, res: usize) -> usize {
@@ -45,8 +50,11 @@ impl SelectivityHistogram {
     /// Bounds of bucket `(x, y, z)`.
     fn bucket_bounds(&self, x: usize, y: usize, z: usize) -> Aabb {
         let e = self.bounds.extent();
-        let (sx, sy, sz) =
-            (e.x / self.res as f32, e.y / self.res as f32, e.z / self.res as f32);
+        let (sx, sy, sz) = (
+            e.x / self.res as f32,
+            e.y / self.res as f32,
+            e.z / self.res as f32,
+        );
         let min = Point3::new(
             self.bounds.min.x + x as f32 * sx,
             self.bounds.min.y + y as f32 * sy,
@@ -140,9 +148,11 @@ mod tests {
             "estimate {est} vs volume {volume_fraction}"
         );
         // And both should be close to the true selectivity.
-        let actual =
-            pts.iter().filter(|p| q.contains(**p)).count() as f64 / pts.len() as f64;
-        assert!((est - actual).abs() < 0.02, "estimate {est} vs actual {actual}");
+        let actual = pts.iter().filter(|p| q.contains(**p)).count() as f64 / pts.len() as f64;
+        assert!(
+            (est - actual).abs() < 0.02,
+            "estimate {est} vs actual {actual}"
+        );
     }
 
     #[test]

@@ -44,7 +44,12 @@ impl KdTree {
     /// Creates an empty tree with a custom leaf capacity.
     pub fn with_leaf_capacity(leaf_capacity: usize) -> KdTree {
         assert!(leaf_capacity >= 1);
-        KdTree { leaf_capacity, nodes: Vec::new(), entries: Vec::new(), rebuilds: 0 }
+        KdTree {
+            leaf_capacity,
+            nodes: Vec::new(),
+            entries: Vec::new(),
+            rebuilds: 0,
+        }
     }
 
     /// Number of from-scratch rebuilds so far.
@@ -56,7 +61,11 @@ impl KdTree {
     pub fn rebuild(&mut self, positions: &[Point3]) {
         self.rebuilds += 1;
         self.nodes.clear();
-        self.entries = positions.iter().enumerate().map(|(i, p)| (i as VertexId, *p)).collect();
+        self.entries = positions
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i as VertexId, *p))
+            .collect();
         if self.entries.is_empty() {
             return;
         }
@@ -69,11 +78,20 @@ impl KdTree {
     }
 
     /// Builds a subtree for `entries[lo..hi]`, returns its node index.
-    fn build_range(&mut self, entries: &mut [(VertexId, Point3)], lo: usize, hi: usize, depth: u32) -> u32 {
+    fn build_range(
+        &mut self,
+        entries: &mut [(VertexId, Point3)],
+        lo: usize,
+        hi: usize,
+        depth: u32,
+    ) -> u32 {
         let len = hi - lo;
         let my_index = self.nodes.len() as u32;
         if len <= self.leaf_capacity || depth >= 48 {
-            self.nodes.push(Node::Leaf { start: lo as u32, len: len as u32 });
+            self.nodes.push(Node::Leaf {
+                start: lo as u32,
+                len: len as u32,
+            });
             return my_index;
         }
         // Split the widest axis at the median for balanced depth.
@@ -94,7 +112,12 @@ impl KdTree {
         self.nodes.push(Node::Leaf { start: 0, len: 0 }); // placeholder
         let left = self.build_range(entries, lo, mid, depth + 1);
         let right = self.build_range(entries, mid, hi, depth + 1);
-        self.nodes[my_index as usize] = Node::Inner { axis, split, left, right };
+        self.nodes[my_index as usize] = Node::Inner {
+            axis,
+            split,
+            left,
+            right,
+        };
         my_index
     }
 
@@ -107,9 +130,19 @@ impl KdTree {
             match &self.nodes[ni as usize] {
                 Node::Leaf { start, len } => {
                     let slice = &self.entries[*start as usize..(*start + *len) as usize];
-                    out.extend(slice.iter().filter(|(_, p)| q.contains(*p)).map(|&(id, _)| id));
+                    out.extend(
+                        slice
+                            .iter()
+                            .filter(|(_, p)| q.contains(*p))
+                            .map(|&(id, _)| id),
+                    );
                 }
-                Node::Inner { axis, split, left, right } => {
+                Node::Inner {
+                    axis,
+                    split,
+                    left,
+                    right,
+                } => {
                     let a = *axis as usize;
                     // Points with coordinate < split went left; the median
                     // itself went right, so use ≤ / ≥ guards.

@@ -133,8 +133,7 @@ impl DynamicIndex for LuGrid {
             // *revalidate* it instead of inserting a duplicate.
             self.hard_updates += 1;
             if self.cells[new_cell as usize].contains(&(i as VertexId)) {
-                self.stale[new_cell as usize] =
-                    self.stale[new_cell as usize].saturating_sub(1);
+                self.stale[new_cell as usize] = self.stale[new_cell as usize].saturating_sub(1);
             } else {
                 self.cells[new_cell as usize].push(i as VertexId);
             }
@@ -162,8 +161,7 @@ impl DynamicIndex for LuGrid {
                     let c = (x + r * (y + r * z)) as u32;
                     for &id in &self.cells[c as usize] {
                         // Stale-entry invalidation + containment test.
-                        if self.current_cell[id as usize] == c
-                            && q.contains(positions[id as usize])
+                        if self.current_cell[id as usize] == c && q.contains(positions[id as usize])
                         {
                             out.push(id);
                         }
@@ -234,7 +232,10 @@ mod tests {
             jitter_all(&mut pts, 0.25, 900 + step); // violent motion
             g.on_step(&pts);
         }
-        assert!(g.compaction_count() > 0, "violent motion must trigger compactions");
+        assert!(
+            g.compaction_count() > 0,
+            "violent motion must trigger compactions"
+        );
         let q = random_query(&mut rng, 0.3);
         let mut out = Vec::new();
         g.query(&q, &pts, &mut out);

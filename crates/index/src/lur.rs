@@ -34,7 +34,12 @@ impl LurTree {
 
     /// Creates a LUR-Tree with a custom R-tree fanout.
     pub fn with_fanout(fanout: usize) -> LurTree {
-        LurTree { tree: RTree::with_fanout(fanout), lazy_updates: 0, hard_updates: 0, initialized: false }
+        LurTree {
+            tree: RTree::with_fanout(fanout),
+            lazy_updates: 0,
+            hard_updates: 0,
+            initialized: false,
+        }
     }
 
     /// Bulk-builds the initial tree (the preprocessing step the paper
@@ -43,7 +48,10 @@ impl LurTree {
         let entries = positions
             .iter()
             .enumerate()
-            .map(|(i, p)| LeafEntry { id: i as VertexId, key: point_key(*p) })
+            .map(|(i, p)| LeafEntry {
+                id: i as VertexId,
+                key: point_key(*p),
+            })
             .collect();
         self.tree.bulk_load(entries);
         self.initialized = true;
@@ -152,7 +160,10 @@ mod tests {
             t.query(&q, &pts, &mut out);
             assert_same_ids(out, &scan(&q, &pts), &format!("step {step}"));
         }
-        assert!(t.hard_update_count() > 0, "large motion must trigger structural updates");
+        assert!(
+            t.hard_update_count() > 0,
+            "large motion must trigger structural updates"
+        );
     }
 
     #[test]

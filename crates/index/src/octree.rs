@@ -49,7 +49,12 @@ impl Octree {
     /// tuning ablation).
     pub fn with_bucket_capacity(bucket_capacity: usize) -> Octree {
         assert!(bucket_capacity >= 1);
-        Octree { bucket_capacity, nodes: Vec::new(), entries: Vec::new(), rebuilds: 0 }
+        Octree {
+            bucket_capacity,
+            nodes: Vec::new(),
+            entries: Vec::new(),
+            rebuilds: 0,
+        }
     }
 
     /// Number of from-scratch rebuilds so far.
@@ -72,9 +77,17 @@ impl Octree {
             return;
         }
         let bbox = Aabb::from_points(positions.iter().copied());
-        let mut scratch: Vec<(VertexId, Point3)> =
-            positions.iter().enumerate().map(|(i, p)| (i as VertexId, *p)).collect();
-        self.nodes.push(Node { bbox, first_child: u32::MAX, start: 0, len: 0 });
+        let mut scratch: Vec<(VertexId, Point3)> = positions
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i as VertexId, *p))
+            .collect();
+        self.nodes.push(Node {
+            bbox,
+            first_child: u32::MAX,
+            start: 0,
+            len: 0,
+        });
         self.build_node(0, &mut scratch, 0);
     }
 
@@ -104,7 +117,12 @@ impl Octree {
         self.nodes[node].first_child = first_child;
         for octant in 0..8 {
             let child_box = octant_box(&bbox, c, octant);
-            self.nodes.push(Node { bbox: child_box, first_child: u32::MAX, start: 0, len: 0 });
+            self.nodes.push(Node {
+                bbox: child_box,
+                first_child: u32::MAX,
+                start: 0,
+                len: 0,
+            });
         }
         for (octant, part) in parts.iter_mut().enumerate() {
             self.build_node(first_child as usize + octant, part, depth + 1);
@@ -127,7 +145,12 @@ impl Octree {
                     // Node fully covered: no per-point test needed.
                     out.extend(slice.iter().map(|&(id, _)| id));
                 } else {
-                    out.extend(slice.iter().filter(|(_, p)| q.contains(*p)).map(|&(id, _)| id));
+                    out.extend(
+                        slice
+                            .iter()
+                            .filter(|(_, p)| q.contains(*p))
+                            .map(|&(id, _)| id),
+                    );
                 }
             } else {
                 for c in 0..8usize {

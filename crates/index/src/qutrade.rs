@@ -70,7 +70,10 @@ impl QuTrade {
         let entries = positions
             .iter()
             .enumerate()
-            .map(|(i, p)| LeafEntry { id: i as VertexId, key: Aabb::cube(*p, w) })
+            .map(|(i, p)| LeafEntry {
+                id: i as VertexId,
+                key: Aabb::cube(*p, w),
+            })
             .collect();
         self.tree.bulk_load(entries);
         self.initialized = true;
@@ -202,7 +205,12 @@ mod tests {
             jitter_all(&mut pts, 0.02, 700 + step);
             t.on_step(&pts);
         }
-        assert!(t.window() > w0, "controller must grow the window: {} -> {}", w0, t.window());
+        assert!(
+            t.window() > w0,
+            "controller must grow the window: {} -> {}",
+            w0,
+            t.window()
+        );
         // After adaptation most updates must be lazy (the <1% tuning).
         let mut lazy_before = t.lazy_update_count();
         let mut hard_before = t.hard_update_count();
@@ -217,7 +225,10 @@ mod tests {
             lazy_before = t.lazy_update_count();
         }
         let avg = last_rates.iter().sum::<f64>() / last_rates.len() as f64;
-        assert!(avg < 0.15, "escape rate should be low after adaptation, got {avg}");
+        assert!(
+            avg < 0.15,
+            "escape rate should be low after adaptation, got {avg}"
+        );
     }
 
     #[test]
@@ -229,7 +240,11 @@ mod tests {
         let q = Aabb::cube(Point3::splat(0.5), 0.05);
         let mut out = Vec::new();
         t.query(&q, &pts, &mut out);
-        assert_eq!(out, vec![0], "window of point 1 overlaps q but the point is outside");
+        assert_eq!(
+            out,
+            vec![0],
+            "window of point 1 overlaps q but the point is outside"
+        );
     }
 
     #[test]

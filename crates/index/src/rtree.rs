@@ -167,8 +167,11 @@ impl RTree {
                 run.sort_unstable_by(|a, b| a.key.center().z.total_cmp(&b.key.center().z));
                 for page in run.chunks(cap) {
                     let mbr = page.iter().fold(Aabb::EMPTY, |m, e| m.union(&e.key));
-                    let node =
-                        self.alloc(Node { mbr, parent: NO_NODE, kind: NodeKind::Leaf(page.to_vec()) });
+                    let node = self.alloc(Node {
+                        mbr,
+                        parent: NO_NODE,
+                        kind: NodeKind::Leaf(page.to_vec()),
+                    });
                     for e in page {
                         self.object_leaf.insert(e.id, node);
                     }
@@ -201,8 +204,14 @@ impl RTree {
             }
         }
         for page in chunks {
-            let mbr = page.iter().fold(Aabb::EMPTY, |m, &c| m.union(&self.nodes[c as usize].mbr));
-            let parent = self.alloc(Node { mbr, parent: NO_NODE, kind: NodeKind::Inner(page.clone()) });
+            let mbr = page
+                .iter()
+                .fold(Aabb::EMPTY, |m, &c| m.union(&self.nodes[c as usize].mbr));
+            let parent = self.alloc(Node {
+                mbr,
+                parent: NO_NODE,
+                kind: NodeKind::Inner(page.clone()),
+            });
             for &c in &page {
                 self.nodes[c as usize].parent = parent;
             }
@@ -341,7 +350,11 @@ impl RTree {
             }
         };
         self.nodes[node as usize].kind = kind_a;
-        let sibling = self.alloc(Node { mbr: Aabb::EMPTY, parent: NO_NODE, kind: kind_b });
+        let sibling = self.alloc(Node {
+            mbr: Aabb::EMPTY,
+            parent: NO_NODE,
+            kind: kind_b,
+        });
         // Fix back pointers of everything that moved into the sibling.
         self.fix_children_links(sibling);
         self.fix_children_links(node);
@@ -350,7 +363,9 @@ impl RTree {
 
         if parent == NO_NODE {
             let new_root = self.alloc(Node {
-                mbr: self.nodes[node as usize].mbr.union(&self.nodes[sibling as usize].mbr),
+                mbr: self.nodes[node as usize]
+                    .mbr
+                    .union(&self.nodes[sibling as usize].mbr),
                 parent: NO_NODE,
                 kind: NodeKind::Inner(vec![node, sibling]),
             });
@@ -402,7 +417,10 @@ impl RTree {
         let remaining_len;
         match &mut self.nodes[leaf as usize].kind {
             NodeKind::Leaf(entries) => {
-                let pos = entries.iter().position(|e| e.id == id).expect("object_leaf in sync");
+                let pos = entries
+                    .iter()
+                    .position(|e| e.id == id)
+                    .expect("object_leaf in sync");
                 removed_key = entries.swap_remove(pos).key;
                 remaining_len = entries.len();
             }
@@ -451,7 +469,10 @@ impl RTree {
         }
         match &mut self.nodes[parent as usize].kind {
             NodeKind::Inner(children) => {
-                let pos = children.iter().position(|&c| c == node).expect("child link in sync");
+                let pos = children
+                    .iter()
+                    .position(|&c| c == node)
+                    .expect("child link in sync");
                 children.swap_remove(pos);
             }
             NodeKind::Leaf(_) => unreachable!(),
@@ -491,7 +512,10 @@ impl RTree {
     /// Gathers all leaf entries in the subtree of `node`, releasing
     /// interior nodes as it goes (the caller already owns the subtree).
     fn collect_leaf_entries(&mut self, node: u32, out: &mut Vec<LeafEntry>) {
-        match std::mem::replace(&mut self.nodes[node as usize].kind, NodeKind::Inner(Vec::new())) {
+        match std::mem::replace(
+            &mut self.nodes[node as usize].kind,
+            NodeKind::Inner(Vec::new()),
+        ) {
             NodeKind::Leaf(entries) => out.extend(entries),
             NodeKind::Inner(children) => {
                 for c in children {
@@ -517,13 +541,18 @@ impl RTree {
     /// leaf's MBR. Returns `false` (doing nothing) otherwise, in which
     /// case the caller must `remove` + `insert`.
     pub fn update_in_place(&mut self, id: VertexId, new_key: Aabb) -> bool {
-        let Some(&leaf) = self.object_leaf.get(&id) else { return false };
+        let Some(&leaf) = self.object_leaf.get(&id) else {
+            return false;
+        };
         if !self.nodes[leaf as usize].mbr.contains_box(&new_key) {
             return false;
         }
         match &mut self.nodes[leaf as usize].kind {
             NodeKind::Leaf(entries) => {
-                let e = entries.iter_mut().find(|e| e.id == id).expect("object_leaf in sync");
+                let e = entries
+                    .iter_mut()
+                    .find(|e| e.id == id)
+                    .expect("object_leaf in sync");
                 e.key = new_key;
                 true
             }
@@ -548,7 +577,12 @@ impl RTree {
             }
             match &node.kind {
                 NodeKind::Leaf(entries) => {
-                    out.extend(entries.iter().filter(|e| q.intersects(&e.key)).map(|e| e.id));
+                    out.extend(
+                        entries
+                            .iter()
+                            .filter(|e| q.intersects(&e.key))
+                            .map(|e| e.id),
+                    );
                 }
                 NodeKind::Inner(children) => stack.extend_from_slice(children),
             }
@@ -633,7 +667,10 @@ impl RTree {
         assert_eq!(seen_entries, self.len, "entry count");
         assert_eq!(self.object_leaf.len(), self.len, "back-pointer count");
         let first = leaf_depths[0];
-        assert!(leaf_depths.iter().all(|&d| d == first), "leaves at uniform depth");
+        assert!(
+            leaf_depths.iter().all(|&d| d == first),
+            "leaves at uniform depth"
+        );
     }
 }
 
@@ -749,7 +786,10 @@ impl DynamicIndex for RTree {
         let entries = positions
             .iter()
             .enumerate()
-            .map(|(i, p)| LeafEntry { id: i as VertexId, key: point_key(*p) })
+            .map(|(i, p)| LeafEntry {
+                id: i as VertexId,
+                key: point_key(*p),
+            })
             .collect();
         self.bulk_load(entries);
     }
@@ -772,7 +812,10 @@ mod tests {
     fn entries_from(pts: &[Point3]) -> Vec<LeafEntry> {
         pts.iter()
             .enumerate()
-            .map(|(i, p)| LeafEntry { id: i as VertexId, key: point_key(*p) })
+            .map(|(i, p)| LeafEntry {
+                id: i as VertexId,
+                key: point_key(*p),
+            })
             .collect()
     }
 
@@ -926,7 +969,10 @@ mod tests {
         let q = Aabb::cube(Point3::new(5.0, 5.0, 0.0), 0.05);
         let mut out = Vec::new();
         t.query_keys(&q, &mut out);
-        assert!(out.contains(&55), "window overlapping the query must be reported");
+        assert!(
+            out.contains(&55),
+            "window overlapping the query must be reported"
+        );
     }
 
     #[test]

@@ -34,7 +34,10 @@ struct Level {
 
 impl Level {
     fn new(res: usize) -> Level {
-        Level { res, cells: vec![Vec::new(); res * res * res] }
+        Level {
+            res,
+            cells: vec![Vec::new(); res * res * res],
+        }
     }
 
     fn cell_of(&self, p: &Point3, bounds: &Aabb) -> u32 {
@@ -189,7 +192,12 @@ impl DynamicIndex for TwoLevelHash {
                         self.coarse.remove(o.cell, id);
                         let fine_cell = self.fine.cell_of(p, &self.bounds);
                         self.fine.insert(fine_cell, id);
-                        *o = ObjectState { cell: fine_cell, coarse: false, escapes: 0, quiet: 0 };
+                        *o = ObjectState {
+                            cell: fine_cell,
+                            coarse: false,
+                            escapes: 0,
+                            quiet: 0,
+                        };
                         self.demotions += 1;
                     }
                 } else {
@@ -212,13 +220,21 @@ impl DynamicIndex for TwoLevelHash {
                     // its motion with far fewer relocations.
                     let coarse_cell = self.coarse.cell_of(p, &self.bounds);
                     self.coarse.insert(coarse_cell, id);
-                    self.objects[i] =
-                        ObjectState { cell: coarse_cell, coarse: true, escapes: 0, quiet: 0 };
+                    self.objects[i] = ObjectState {
+                        cell: coarse_cell,
+                        coarse: true,
+                        escapes: 0,
+                        quiet: 0,
+                    };
                     self.promotions += 1;
                 } else {
                     self.fine.insert(new_cell, id);
-                    self.objects[i] =
-                        ObjectState { cell: new_cell, coarse: false, escapes, quiet: 0 };
+                    self.objects[i] = ObjectState {
+                        cell: new_cell,
+                        coarse: false,
+                        escapes,
+                        quiet: 0,
+                    };
                 }
             }
         }

@@ -21,12 +21,18 @@ impl Csr {
     /// removed; each surviving edge appears in both endpoint lists.
     ///
     /// `n` is the vertex count; every edge endpoint must be `< n`.
-    pub fn from_undirected_edges(n: usize, edges: impl Iterator<Item = (VertexId, VertexId)>) -> Csr {
+    pub fn from_undirected_edges(
+        n: usize,
+        edges: impl Iterator<Item = (VertexId, VertexId)>,
+    ) -> Csr {
         // Materialise both directions, then sort + dedup. Sorting a flat
         // Vec<u64> (packed pair) is cache-friendlier than sorting tuples.
         let mut packed: Vec<u64> = Vec::new();
         for (a, b) in edges {
-            debug_assert!((a as usize) < n && (b as usize) < n, "edge endpoint out of range");
+            debug_assert!(
+                (a as usize) < n && (b as usize) < n,
+                "edge endpoint out of range"
+            );
             if a == b {
                 continue;
             }
@@ -85,7 +91,10 @@ impl Csr {
 
     /// Maximum degree.
     pub fn max_degree(&self) -> usize {
-        (0..self.num_vertices()).map(|v| self.degree(v as u32)).max().unwrap_or(0)
+        (0..self.num_vertices())
+            .map(|v| self.degree(v as u32))
+            .max()
+            .unwrap_or(0)
     }
 
     /// True when `b` is a neighbour of `a` (binary search).
@@ -168,10 +177,7 @@ mod tests {
 
     #[test]
     fn duplicates_and_self_loops_are_dropped() {
-        let g = Csr::from_undirected_edges(
-            3,
-            [(0u32, 1u32), (1, 0), (0, 1), (2, 2)].into_iter(),
-        );
+        let g = Csr::from_undirected_edges(3, [(0u32, 1u32), (1, 0), (0, 1), (2, 2)].into_iter());
         assert_eq!(g.neighbors(0), &[1]);
         assert_eq!(g.neighbors(1), &[0]);
         assert_eq!(g.degree(2), 0);

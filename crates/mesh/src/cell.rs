@@ -123,7 +123,10 @@ impl CellKind {
 
     /// Iterates the (unordered) vertex-id pairs forming the cell's edges.
     #[inline]
-    pub fn edges<'a>(self, cell: &'a [VertexId]) -> impl Iterator<Item = (VertexId, VertexId)> + 'a {
+    pub fn edges<'a>(
+        self,
+        cell: &'a [VertexId],
+    ) -> impl Iterator<Item = (VertexId, VertexId)> + 'a {
         let table: &'static [[usize; 2]] = match self {
             CellKind::Tet4 => &TET_EDGES,
             CellKind::Hex8 => &HEX_EDGES,
@@ -165,7 +168,10 @@ impl FaceKey {
     pub fn quad(a: VertexId, b: VertexId, c: VertexId, d: VertexId) -> FaceKey {
         let mut v = [a, b, c, d];
         v.sort_unstable();
-        debug_assert!(v[0] != v[1] && v[1] != v[2] && v[2] != v[3], "degenerate quad face");
+        debug_assert!(
+            v[0] != v[1] && v[1] != v[2] && v[2] != v[3],
+            "degenerate quad face"
+        );
         FaceKey(v)
     }
 
@@ -274,7 +280,10 @@ mod tests {
             deg[a as usize] += 1;
             deg[b as usize] += 1;
         }
-        assert!(deg.iter().all(|&d| d == 3), "cube vertices have degree 3: {deg:?}");
+        assert!(
+            deg.iter().all(|&d| d == 3),
+            "cube vertices have degree 3: {deg:?}"
+        );
     }
 
     #[test]

@@ -63,7 +63,11 @@ pub enum MeshError {
 impl std::fmt::Display for MeshError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            MeshError::VertexOutOfRange { cell, vertex, num_vertices } => write!(
+            MeshError::VertexOutOfRange {
+                cell,
+                vertex,
+                num_vertices,
+            } => write!(
                 f,
                 "cell {cell} references vertex {vertex} but the mesh has {num_vertices} vertices"
             ),
@@ -71,20 +75,36 @@ impl std::fmt::Display for MeshError {
                 write!(f, "cell {cell} lists vertex {vertex} more than once")
             }
             MeshError::RaggedCellArray { len, arity } => {
-                write!(f, "flat cell array of length {len} is not a multiple of arity {arity}")
+                write!(
+                    f,
+                    "flat cell array of length {len} is not a multiple of arity {arity}"
+                )
             }
             MeshError::NonManifoldFace { face, count } => {
-                write!(f, "face {face:?} is shared by {count} cells (at most 2 allowed)")
+                write!(
+                    f,
+                    "face {face:?} is shared by {count} cells (at most 2 allowed)"
+                )
             }
             MeshError::NonFinitePosition { vertex } => {
                 write!(f, "vertex {vertex} has a NaN/inf position")
             }
-            MeshError::NoSuchCell { cell } => write!(f, "cell {cell} does not exist or was removed"),
+            MeshError::NoSuchCell { cell } => {
+                write!(f, "cell {cell} does not exist or was removed")
+            }
             MeshError::RestructuringDisabled => {
-                write!(f, "restructuring mode is disabled; call enable_restructuring() first")
+                write!(
+                    f,
+                    "restructuring mode is disabled; call enable_restructuring() first"
+                )
             }
             MeshError::WrongCellKind { expected, actual } => {
-                write!(f, "operation requires {} cells, mesh has {}", expected.name(), actual.name())
+                write!(
+                    f,
+                    "operation requires {} cells, mesh has {}",
+                    expected.name(),
+                    actual.name()
+                )
             }
             MeshError::TooManyVertices => write!(f, "mesh exceeds u32 vertex id space"),
         }
@@ -99,10 +119,17 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = MeshError::VertexOutOfRange { cell: 3, vertex: 9, num_vertices: 5 };
+        let e = MeshError::VertexOutOfRange {
+            cell: 3,
+            vertex: 9,
+            num_vertices: 5,
+        };
         let s = e.to_string();
         assert!(s.contains("cell 3") && s.contains("vertex 9") && s.contains('5'));
-        let e = MeshError::NonManifoldFace { face: FaceKey::tri(1, 2, 3), count: 3 };
+        let e = MeshError::NonManifoldFace {
+            face: FaceKey::tri(1, 2, 3),
+            count: 3,
+        };
         assert!(e.to_string().contains("3 cells"));
     }
 

@@ -25,7 +25,12 @@ const MAGIC: [u8; 4] = *b"OCT1";
 /// positions.
 pub fn write_surface_obj(mesh: &Mesh, w: &mut impl Write) -> Result<(), ObjError> {
     let surface_faces = boundary_faces(mesh)?;
-    writeln!(w, "# OCTOPUS surface export: {} vertices, {} boundary faces", mesh.num_vertices(), surface_faces.len())?;
+    writeln!(
+        w,
+        "# OCTOPUS surface export: {} vertices, {} boundary faces",
+        mesh.num_vertices(),
+        surface_faces.len()
+    )?;
     for p in mesh.positions() {
         writeln!(w, "v {} {} {}", p.x, p.y, p.z)?;
     }
@@ -291,7 +296,10 @@ mod tests {
         let mut buf = Vec::new();
         write_snapshot(&mesh, &mut buf).unwrap();
         buf.truncate(buf.len() - 3);
-        assert!(matches!(read_snapshot(&mut &buf[..]), Err(SnapshotError::Io(_))));
+        assert!(matches!(
+            read_snapshot(&mut &buf[..]),
+            Err(SnapshotError::Io(_))
+        ));
         // Corrupt kind byte.
         let mut bad = buf.clone();
         bad[4] = 9;
@@ -308,8 +316,9 @@ mod tests {
         write_snapshot(&mesh, &mut buf).unwrap();
         let back = read_snapshot(&mut &buf[..]).unwrap();
         let bb = back.bounding_box();
-        assert!(Aabb::new(Point3::new(3.5, 0.0, 0.0), Point3::new(4.5, 1.0, 1.0))
-            .contains_box(&bb));
+        assert!(
+            Aabb::new(Point3::new(3.5, 0.0, 0.0), Point3::new(4.5, 1.0, 1.0)).contains_box(&bb)
+        );
     }
 
     #[test]

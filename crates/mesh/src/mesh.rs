@@ -69,7 +69,10 @@ impl Mesh {
     ) -> Result<Mesh, MeshError> {
         let arity = kind.arity();
         if !cells.len().is_multiple_of(arity) {
-            return Err(MeshError::RaggedCellArray { len: cells.len(), arity });
+            return Err(MeshError::RaggedCellArray {
+                len: cells.len(),
+                arity,
+            });
         }
         if positions.len() >= VertexId::MAX as usize {
             return Err(MeshError::TooManyVertices);
@@ -85,7 +88,10 @@ impl Mesh {
                     });
                 }
                 if cell[..li].contains(&v) {
-                    return Err(MeshError::DegenerateCell { cell: ci as CellId, vertex: v });
+                    return Err(MeshError::DegenerateCell {
+                        cell: ci as CellId,
+                        vertex: v,
+                    });
                 }
             }
         }
@@ -109,7 +115,10 @@ impl Mesh {
     }
 
     /// Convenience constructor for hexahedral meshes.
-    pub fn from_hexes(positions: Vec<Point3>, hexes: Vec<[VertexId; 8]>) -> Result<Mesh, MeshError> {
+    pub fn from_hexes(
+        positions: Vec<Point3>,
+        hexes: Vec<[VertexId; 8]>,
+    ) -> Result<Mesh, MeshError> {
         let flat = hexes.into_iter().flatten().collect();
         Mesh::from_flat(CellKind::Hex8, positions, flat)
     }
@@ -231,7 +240,11 @@ impl Mesh {
                 rs.faces.boundary_faces().count(),
             ))
         } else {
-            Surface::extract(self.kind, self.positions.len(), self.live_cells().map(|(_, c)| c))
+            Surface::extract(
+                self.kind,
+                self.positions.len(),
+                self.live_cells().map(|(_, c)| c),
+            )
         }
     }
 
@@ -248,7 +261,10 @@ impl Mesh {
                 boundary_face_count[v as usize] += 1;
             }
         }
-        self.restructure = Some(RestructureState { faces, boundary_face_count });
+        self.restructure = Some(RestructureState {
+            faces,
+            boundary_face_count,
+        });
         Ok(())
     }
 
@@ -274,7 +290,10 @@ impl Mesh {
     /// outer faces survive).
     pub fn refine_tet(&mut self, c: CellId) -> Result<(VertexId, SurfaceDelta), MeshError> {
         if self.kind != CellKind::Tet4 {
-            return Err(MeshError::WrongCellKind { expected: CellKind::Tet4, actual: self.kind });
+            return Err(MeshError::WrongCellKind {
+                expected: CellKind::Tet4,
+                actual: self.kind,
+            });
         }
         if !self.is_cell_alive(c) {
             return Err(MeshError::NoSuchCell { cell: c });
@@ -314,13 +333,19 @@ impl Mesh {
         remove: &[CellId],
         add: &[Vec<VertexId>],
     ) -> Result<SurfaceDelta, MeshError> {
-        let rs = self.restructure.as_mut().ok_or(MeshError::RestructuringDisabled)?;
+        let rs = self
+            .restructure
+            .as_mut()
+            .ok_or(MeshError::RestructuringDisabled)?;
         let arity = self.kind.arity();
 
         // Validate additions before mutating anything.
         for cell in add {
             if cell.len() != arity {
-                return Err(MeshError::RaggedCellArray { len: cell.len(), arity });
+                return Err(MeshError::RaggedCellArray {
+                    len: cell.len(),
+                    arity,
+                });
             }
             for (li, &v) in cell.iter().enumerate() {
                 if v as usize >= self.positions.len() {
@@ -342,14 +367,20 @@ impl Mesh {
         // Record the boundary status of every affected face up front.
         let mut affected: HashMap<FaceKey, bool> = HashMap::new();
         for &c in remove {
-            for key in self.kind.face_keys(&self.cells[c as usize * arity..(c as usize + 1) * arity])
+            for key in self
+                .kind
+                .face_keys(&self.cells[c as usize * arity..(c as usize + 1) * arity])
             {
-                affected.entry(key).or_insert_with(|| rs.faces.is_boundary(&key));
+                affected
+                    .entry(key)
+                    .or_insert_with(|| rs.faces.is_boundary(&key));
             }
         }
         for cell in add {
             for key in self.kind.face_keys(cell) {
-                affected.entry(key).or_insert_with(|| rs.faces.is_boundary(&key));
+                affected
+                    .entry(key)
+                    .or_insert_with(|| rs.faces.is_boundary(&key));
             }
         }
 
@@ -360,7 +391,8 @@ impl Mesh {
         }
         let first_new_id = self.alive.len() as CellId;
         for (i, cell) in add.iter().enumerate() {
-            rs.faces.insert_cell(self.kind, first_new_id + i as CellId, cell)?;
+            rs.faces
+                .insert_cell(self.kind, first_new_id + i as CellId, cell)?;
         }
 
         // Diff boundary status → per-vertex counts → surface delta.
@@ -401,8 +433,12 @@ impl Mesh {
             self.num_live += 1;
         }
 
-        self.adjacency =
-            build_adjacency(self.kind, self.positions.len(), &self.cells, Some(&self.alive));
+        self.adjacency = build_adjacency(
+            self.kind,
+            self.positions.len(),
+            &self.cells,
+            Some(&self.alive),
+        );
         Ok(delta)
     }
 
@@ -418,7 +454,10 @@ impl Mesh {
         assert_eq!(perm.len(), n, "permutation length mismatch");
         let mut seen = vec![false; n];
         for &p in perm {
-            assert!((p as usize) < n && !seen[p as usize], "perm is not a bijection");
+            assert!(
+                (p as usize) < n && !seen[p as usize],
+                "perm is not a bijection"
+            );
             seen[p as usize] = true;
         }
         let mut positions = vec![Point3::ORIGIN; n];
@@ -443,7 +482,10 @@ impl Mesh {
                     boundary_face_count[v as usize] += 1;
                 }
             }
-            RestructureState { faces, boundary_face_count }
+            RestructureState {
+                faces,
+                boundary_face_count,
+            }
         });
         Mesh {
             kind: self.kind,
@@ -521,7 +563,10 @@ mod tests {
     fn construction_rejects_ragged_arrays() {
         let err =
             Mesh::from_flat(CellKind::Tet4, vec![p(0.0, 0.0, 0.0); 4], vec![0, 1, 2]).unwrap_err();
-        assert!(matches!(err, MeshError::RaggedCellArray { len: 3, arity: 4 }));
+        assert!(matches!(
+            err,
+            MeshError::RaggedCellArray { len: 3, arity: 4 }
+        ));
     }
 
     #[test]
@@ -563,7 +608,10 @@ mod tests {
     #[test]
     fn remove_cell_requires_restructuring_mode() {
         let mut m = two_tet_mesh();
-        assert!(matches!(m.remove_cell(0), Err(MeshError::RestructuringDisabled)));
+        assert!(matches!(
+            m.remove_cell(0),
+            Err(MeshError::RestructuringDisabled)
+        ));
     }
 
     #[test]
@@ -571,8 +619,14 @@ mod tests {
         let mut m = two_tet_mesh();
         m.enable_restructuring().unwrap();
         m.remove_cell(0).unwrap();
-        assert!(matches!(m.remove_cell(0), Err(MeshError::NoSuchCell { cell: 0 })));
-        assert!(matches!(m.remove_cell(99), Err(MeshError::NoSuchCell { cell: 99 })));
+        assert!(matches!(
+            m.remove_cell(0),
+            Err(MeshError::NoSuchCell { cell: 0 })
+        ));
+        assert!(matches!(
+            m.remove_cell(99),
+            Err(MeshError::NoSuchCell { cell: 99 })
+        ));
     }
 
     #[test]
@@ -581,7 +635,10 @@ mod tests {
         m.enable_restructuring().unwrap();
         let (e, delta) = m.refine_tet(0).unwrap();
         assert_eq!(e, 5);
-        assert!(delta.is_empty(), "centroid refinement never changes the surface: {delta:?}");
+        assert!(
+            delta.is_empty(),
+            "centroid refinement never changes the surface: {delta:?}"
+        );
         assert_eq!(m.num_cells(), 5); // 2 - 1 + 4
         assert_eq!(m.num_vertices(), 6);
         // Centroid connects to all four corners of the refined tet.
@@ -590,8 +647,7 @@ mod tests {
         let s = m.surface().unwrap();
         assert!(!s.contains(5));
         // Delta-maintained membership matches a from-scratch extraction.
-        let fresh =
-            Surface::extract(CellKind::Tet4, 6, m.live_cells().map(|(_, c)| c)).unwrap();
+        let fresh = Surface::extract(CellKind::Tet4, 6, m.live_cells().map(|(_, c)| c)).unwrap();
         assert_eq!(s.vertices(), fresh.vertices());
     }
 
@@ -602,7 +658,10 @@ mod tests {
             .collect();
         let mut m = Mesh::from_hexes(positions, vec![[0, 1, 3, 2, 4, 5, 7, 6]]).unwrap();
         m.enable_restructuring().unwrap();
-        assert!(matches!(m.refine_tet(0), Err(MeshError::WrongCellKind { .. })));
+        assert!(matches!(
+            m.refine_tet(0),
+            Err(MeshError::WrongCellKind { .. })
+        ));
     }
 
     #[test]
@@ -617,11 +676,8 @@ mod tests {
             p(1.0, 1.0, 1.0),
             p(2.0, 1.0, 1.0),
         ];
-        let mut m = Mesh::from_tets(
-            positions,
-            vec![[0, 1, 2, 3], [4, 1, 2, 3], [5, 4, 2, 3]],
-        )
-        .unwrap();
+        let mut m =
+            Mesh::from_tets(positions, vec![[0, 1, 2, 3], [4, 1, 2, 3], [5, 4, 2, 3]]).unwrap();
         m.enable_restructuring().unwrap();
         type Op = Box<dyn Fn(&mut Mesh)>;
         let ops: Vec<Op> = vec![
@@ -638,12 +694,9 @@ mod tests {
         for op in ops {
             op(&mut m);
             let maintained = m.surface().unwrap();
-            let fresh = Surface::extract(
-                m.kind(),
-                m.num_vertices(),
-                m.live_cells().map(|(_, c)| c),
-            )
-            .unwrap();
+            let fresh =
+                Surface::extract(m.kind(), m.num_vertices(), m.live_cells().map(|(_, c)| c))
+                    .unwrap();
             assert_eq!(maintained.vertices(), fresh.vertices());
         }
     }

@@ -40,7 +40,10 @@ impl Surface {
                 let c = counts.entry(key).or_insert(0);
                 *c += 1;
                 if *c > 2 {
-                    return Err(MeshError::NonManifoldFace { face: key, count: *c as usize });
+                    return Err(MeshError::NonManifoldFace {
+                        face: key,
+                        count: *c as usize,
+                    });
                 }
             }
         }
@@ -54,9 +57,14 @@ impl Surface {
                 }
             }
         }
-        let vertices: Vec<VertexId> =
-            (0..num_vertices as u32).filter(|&v| is_surface[v as usize]).collect();
-        Ok(Surface { is_surface, vertices, num_boundary_faces })
+        let vertices: Vec<VertexId> = (0..num_vertices as u32)
+            .filter(|&v| is_surface[v as usize])
+            .collect();
+        Ok(Surface {
+            is_surface,
+            vertices,
+            num_boundary_faces,
+        })
     }
 
     /// Builds a surface directly from a membership bitmap (used by
@@ -70,9 +78,14 @@ impl Surface {
     /// [`Surface::from_membership`] with an explicit boundary-face count
     /// (as maintained by [`FaceTable`] in restructuring mode).
     pub fn from_membership_with_faces(is_surface: Vec<bool>, num_boundary_faces: usize) -> Surface {
-        let vertices =
-            (0..is_surface.len() as u32).filter(|&v| is_surface[v as usize]).collect();
-        Surface { is_surface, vertices, num_boundary_faces }
+        let vertices = (0..is_surface.len() as u32)
+            .filter(|&v| is_surface[v as usize])
+            .collect();
+        Surface {
+            is_surface,
+            vertices,
+            num_boundary_faces,
+        }
     }
 
     /// True when `v` lies on the mesh surface.
@@ -135,7 +148,9 @@ impl FaceTable {
         kind: CellKind,
         cells: impl Iterator<Item = (CellId, &'a [VertexId])>,
     ) -> Result<FaceTable, MeshError> {
-        let mut table = FaceTable { map: HashMap::new() };
+        let mut table = FaceTable {
+            map: HashMap::new(),
+        };
         for (id, cell) in cells {
             table.insert_cell(kind, id, cell)?;
         }
@@ -150,12 +165,15 @@ impl FaceTable {
         cell: &[VertexId],
     ) -> Result<(), MeshError> {
         for key in kind.face_keys(cell) {
-            let rec = self
-                .map
-                .entry(key)
-                .or_insert(FaceRec { cells: [CellId::MAX; 2], count: 0 });
+            let rec = self.map.entry(key).or_insert(FaceRec {
+                cells: [CellId::MAX; 2],
+                count: 0,
+            });
             if rec.count >= 2 {
-                return Err(MeshError::NonManifoldFace { face: key, count: 3 });
+                return Err(MeshError::NonManifoldFace {
+                    face: key,
+                    count: 3,
+                });
             }
             rec.cells[rec.count as usize] = id;
             rec.count += 1;
@@ -223,15 +241,17 @@ impl FaceTable {
 
     /// Iterates boundary faces (count == 1).
     pub fn boundary_faces(&self) -> impl Iterator<Item = &FaceKey> {
-        self.map.iter().filter(|(_, r)| r.count == 1).map(|(k, _)| k)
+        self.map
+            .iter()
+            .filter(|(_, r)| r.count == 1)
+            .map(|(k, _)| k)
     }
 
     /// Approximate heap usage in bytes.
     pub fn memory_bytes(&self) -> usize {
         // HashMap stores (key, value) pairs plus ~1/8 control bytes per
         // bucket; capacity may exceed len.
-        self.map.capacity()
-            * (std::mem::size_of::<FaceKey>() + std::mem::size_of::<FaceRec>() + 1)
+        self.map.capacity() * (std::mem::size_of::<FaceKey>() + std::mem::size_of::<FaceRec>() + 1)
     }
 }
 
@@ -312,7 +332,11 @@ mod tests {
         t.remove_cell(CellKind::Tet4, 0, &cells[0]);
         assert_eq!(t.count(&shared), 1, "shared face becomes boundary");
         assert!(t.is_boundary(&shared));
-        assert_eq!(t.count(&FaceKey::tri(0, 1, 2)), 0, "cell-0 outer face disappears");
+        assert_eq!(
+            t.count(&FaceKey::tri(0, 1, 2)),
+            0,
+            "cell-0 outer face disappears"
+        );
         assert_eq!(t.len(), 4);
     }
 

@@ -38,7 +38,10 @@ pub fn validate(mesh: &Mesh) -> Result<ValidationReport, MeshError> {
     let adj = mesh.adjacency();
     for v in 0..mesh.num_vertices() as u32 {
         let ns = adj.neighbors(v);
-        debug_assert!(ns.windows(2).all(|w| w[0] < w[1]), "neighbour lists must be sorted");
+        debug_assert!(
+            ns.windows(2).all(|w| w[0] < w[1]),
+            "neighbour lists must be sorted"
+        );
         for &w in ns {
             if !adj.has_edge(w, v) {
                 // Symmetry violations can only arise from internal bugs,
@@ -67,7 +70,11 @@ pub fn validate(mesh: &Mesh) -> Result<ValidationReport, MeshError> {
             }
         }
     }
-    debug_assert_eq!(actual, expected.len(), "adjacency must cover all cell edges");
+    debug_assert_eq!(
+        actual,
+        expected.len(),
+        "adjacency must cover all cell edges"
+    );
 
     let (_, components) = adj.connected_components();
     Ok(ValidationReport {
@@ -104,7 +111,10 @@ mod tests {
     fn nan_position_is_rejected() {
         let mut m = tet_mesh();
         m.positions_mut()[2] = Point3::new(f32::NAN, 0.0, 0.0);
-        assert!(matches!(validate(&m), Err(MeshError::NonFinitePosition { vertex: 2 })));
+        assert!(matches!(
+            validate(&m),
+            Err(MeshError::NonFinitePosition { vertex: 2 })
+        ));
     }
 
     #[test]

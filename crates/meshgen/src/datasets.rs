@@ -272,15 +272,13 @@ pub fn animation(kind: AnimationKind, scale: f32) -> Result<Mesh, MeshError> {
         AnimationKind::HorseGallop => {
             let bounds = Aabb::new(Point3::ORIGIN, Point3::new(2.0, 1.0, 1.0));
             let blob = Blob::quadruped(&bounds, 0x0905);
-            let region =
-                VoxelRegion::from_fn(&bounds, 2 * res, res, res, |p| blob.contains(p));
+            let region = VoxelRegion::from_fn(&bounds, 2 * res, res, res, |p| blob.contains(p));
             tetrahedralize(&region)
         }
         AnimationKind::CamelCompress => {
             let bounds = Aabb::new(Point3::ORIGIN, Point3::new(2.0, 1.0, 1.0));
             let blob = Blob::quadruped(&bounds, 0x0c43);
-            let region =
-                VoxelRegion::from_fn(&bounds, 2 * res, res, res, |p| blob.contains(p));
+            let region = VoxelRegion::from_fn(&bounds, 2 * res, res, res, |p| blob.contains(p));
             tetrahedralize(&region)
         }
         AnimationKind::FacialExpression => {
@@ -302,7 +300,11 @@ mod tests {
         let m = neuron(NeuroLevel::L1, 0.7).unwrap();
         let stats = MeshStats::compute(&m).unwrap();
         assert!(stats.num_cells > 1_000, "got {} cells", stats.num_cells);
-        assert!(stats.components >= 2, "two neuron cells: {} components", stats.components);
+        assert!(
+            stats.components >= 2,
+            "two neuron cells: {} components",
+            stats.components
+        );
         assert!(stats.surface_ratio < 1.0);
     }
 
@@ -310,7 +312,12 @@ mod tests {
     fn neuron_detail_increases_cells_and_decreases_surface_ratio() {
         let lo = MeshStats::compute(&neuron(NeuroLevel::L1, 0.6).unwrap()).unwrap();
         let hi = MeshStats::compute(&neuron(NeuroLevel::L5, 0.6).unwrap()).unwrap();
-        assert!(hi.num_cells > 3 * lo.num_cells, "{} vs {}", hi.num_cells, lo.num_cells);
+        assert!(
+            hi.num_cells > 3 * lo.num_cells,
+            "{} vs {}",
+            hi.num_cells,
+            lo.num_cells
+        );
         assert!(
             hi.surface_ratio < lo.surface_ratio,
             "S must drop with detail: {} vs {}",
@@ -354,8 +361,8 @@ mod tests {
     fn facial_is_most_compact_of_the_animations() {
         let horse =
             MeshStats::compute(&animation(AnimationKind::HorseGallop, 0.5).unwrap()).unwrap();
-        let face = MeshStats::compute(&animation(AnimationKind::FacialExpression, 0.5).unwrap())
-            .unwrap();
+        let face =
+            MeshStats::compute(&animation(AnimationKind::FacialExpression, 0.5).unwrap()).unwrap();
         assert!(
             face.surface_ratio < horse.surface_ratio,
             "facial {} < horse {} (Fig. 14 ordering)",

@@ -81,8 +81,9 @@ mod tests {
     fn interior_degree_is_6() {
         let m = solid(4);
         let s = m.surface().unwrap();
-        let interior: Vec<u32> =
-            (0..m.num_vertices() as u32).filter(|&v| !s.contains(v)).collect();
+        let interior: Vec<u32> = (0..m.num_vertices() as u32)
+            .filter(|&v| !s.contains(v))
+            .collect();
         assert!(!interior.is_empty());
         for &v in &interior {
             assert_eq!(m.neighbors(v).len(), 6, "grid interior degree");
@@ -101,6 +102,10 @@ mod tests {
     #[test]
     fn stats_degree_below_tet_mesh() {
         let hex = MeshStats::compute(&solid(5)).unwrap();
-        assert!(hex.mesh_degree < 7.0, "hex grids are 6-connected, got {}", hex.mesh_degree);
+        assert!(
+            hex.mesh_degree < 7.0,
+            "hex grids are 6-connected, got {}",
+            hex.mesh_degree
+        );
     }
 }

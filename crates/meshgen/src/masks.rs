@@ -50,7 +50,11 @@ impl Capsule {
         let ab = self.b - self.a;
         let ap = p - self.a;
         let len_sq = ab.length_sq();
-        let t = if len_sq > f32::EPSILON { (ap.dot(ab) / len_sq).clamp(0.0, 1.0) } else { 0.0 };
+        let t = if len_sq > f32::EPSILON {
+            (ap.dot(ab) / len_sq).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
         let closest = self.a + ab * t;
         closest.dist_sq(p)
     }
@@ -156,7 +160,10 @@ impl Blob {
         let c = bounds.center();
         let e = bounds.extent();
         let r = 0.4 * e.x.min(e.y).min(e.z);
-        let mut spheres = vec![Sphere { center: c, radius: r }];
+        let mut spheres = vec![Sphere {
+            center: c,
+            radius: r,
+        }];
         // Brow, nose, chin, cheeks.
         let features = [
             (Vec3::new(0.0, 0.25, 0.85), 0.35f32),
@@ -167,7 +174,10 @@ impl Blob {
         ];
         for (dir, scale) in features {
             let jitter = rng.range_f32(0.95, 1.05);
-            spheres.push(Sphere { center: c + dir * r, radius: r * scale * jitter });
+            spheres.push(Sphere {
+                center: c + dir * r,
+                radius: r * scale * jitter,
+            });
         }
         Blob { spheres }
     }
@@ -223,7 +233,10 @@ impl CapsuleTree {
         let mut rng = SplitMix64::new(seed);
         let mut capsules = Vec::new();
         let dir = dir.normalized().unwrap_or(Vec3::new(0.0, 1.0, 0.0));
-        let soma = Sphere { center: root, radius: params.radius * 2.5 };
+        let soma = Sphere {
+            center: root,
+            radius: params.radius * 2.5,
+        };
         let mut stack = vec![(root, dir, 0u32)];
         while let Some((pos, dir, depth)) = stack.pop() {
             if depth >= params.depth {
@@ -232,7 +245,11 @@ impl CapsuleTree {
             let len = params.segment_len * params.length_decay.powi(depth as i32);
             let radius = (params.radius * params.radius_decay.powi(depth as i32)).max(1e-4);
             let end = pos + dir * len;
-            capsules.push(Capsule { a: pos, b: end, radius });
+            capsules.push(Capsule {
+                a: pos,
+                b: end,
+                radius,
+            });
             for _ in 0..params.branching {
                 let child_dir = perturb(dir, 0.7, &mut rng);
                 stack.push((end, child_dir, depth + 1));
@@ -276,7 +293,10 @@ mod tests {
 
     #[test]
     fn sphere_containment() {
-        let s = Sphere { center: Point3::splat(1.0), radius: 0.5 };
+        let s = Sphere {
+            center: Point3::splat(1.0),
+            radius: 0.5,
+        };
         assert!(s.contains(Point3::splat(1.0)));
         assert!(s.contains(Point3::new(1.4, 1.0, 1.0)));
         assert!(!s.contains(Point3::new(1.6, 1.0, 1.0)));
@@ -284,20 +304,32 @@ mod tests {
 
     #[test]
     fn capsule_containment_includes_endpoints_and_middle() {
-        let c = Capsule { a: Point3::ORIGIN, b: Point3::new(2.0, 0.0, 0.0), radius: 0.25 };
+        let c = Capsule {
+            a: Point3::ORIGIN,
+            b: Point3::new(2.0, 0.0, 0.0),
+            radius: 0.25,
+        };
         assert!(c.contains(Point3::ORIGIN));
         assert!(c.contains(Point3::new(2.0, 0.0, 0.0)));
         assert!(c.contains(Point3::new(1.0, 0.2, 0.0)));
         assert!(!c.contains(Point3::new(1.0, 0.3, 0.0)));
         assert!(!c.contains(Point3::new(2.3, 0.0, 0.0)));
         // Degenerate (zero-length) capsule behaves as a sphere.
-        let pt = Capsule { a: Point3::ORIGIN, b: Point3::ORIGIN, radius: 0.5 };
+        let pt = Capsule {
+            a: Point3::ORIGIN,
+            b: Point3::ORIGIN,
+            radius: 0.5,
+        };
         assert!(pt.contains(Point3::new(0.4, 0.0, 0.0)));
     }
 
     #[test]
     fn torus_has_a_hole() {
-        let t = Torus { center: Point3::ORIGIN, major: 1.0, minor: 0.25 };
+        let t = Torus {
+            center: Point3::ORIGIN,
+            major: 1.0,
+            minor: 0.25,
+        };
         assert!(t.contains(Point3::new(1.0, 0.0, 0.0)));
         assert!(t.contains(Point3::new(0.0, -1.0, 0.1)));
         assert!(!t.contains(Point3::ORIGIN), "centre hole");

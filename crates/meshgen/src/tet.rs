@@ -85,7 +85,11 @@ mod tests {
         for n in [1usize, 2, 3, 4] {
             let m = solid(n);
             assert_eq!(m.num_cells(), 6 * n * n * n, "6 tets per voxel");
-            assert_eq!(m.num_vertices(), (n + 1).pow(3), "lattice points deduplicated");
+            assert_eq!(
+                m.num_vertices(),
+                (n + 1).pow(3),
+                "lattice points deduplicated"
+            );
         }
     }
 
@@ -107,8 +111,9 @@ mod tests {
     fn interior_vertex_degree_is_14() {
         let m = solid(4);
         let s = m.surface().unwrap();
-        let interior: Vec<u32> =
-            (0..m.num_vertices() as u32).filter(|&v| !s.contains(v)).collect();
+        let interior: Vec<u32> = (0..m.num_vertices() as u32)
+            .filter(|&v| !s.contains(v))
+            .collect();
         assert!(!interior.is_empty());
         for &v in &interior {
             assert_eq!(m.neighbors(v).len(), 14, "Kuhn interior degree");

@@ -46,7 +46,14 @@ impl VoxelRegion {
                 }
             }
         }
-        VoxelRegion { nx, ny, nz, origin, cell, mask }
+        VoxelRegion {
+            nx,
+            ny,
+            nz,
+            origin,
+            cell,
+            mask,
+        }
     }
 
     /// A fully solid box (every voxel set) — the convex earthquake-basin
@@ -90,18 +97,26 @@ impl VoxelRegion {
     #[inline]
     pub fn lattice_point(&self, i: usize, j: usize, k: usize) -> Point3 {
         self.origin
-            + Vec3::new(i as f32 * self.cell, j as f32 * self.cell, k as f32 * self.cell)
+            + Vec3::new(
+                i as f32 * self.cell,
+                j as f32 * self.cell,
+                k as f32 * self.cell,
+            )
     }
 
     /// Iterates the `(i, j, k)` coordinates of solid voxels.
     pub fn set_voxels(&self) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
         let (nx, ny) = (self.nx, self.ny);
-        self.mask.iter().enumerate().filter(|(_, &b)| b).map(move |(idx, _)| {
-            let i = idx % nx;
-            let j = (idx / nx) % ny;
-            let k = idx / (nx * ny);
-            (i, j, k)
-        })
+        self.mask
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(move |(idx, _)| {
+                let i = idx % nx;
+                let j = (idx / nx) % ny;
+                let k = idx / (nx * ny);
+                (i, j, k)
+            })
     }
 }
 

@@ -24,12 +24,21 @@ impl Simulation {
     /// state).
     pub fn new(mesh: Mesh, field: Box<dyn Deformation>) -> Simulation {
         let rest = mesh.positions().to_vec();
-        Simulation { mesh, rest, field, restructuring: None, step: 0 }
+        Simulation {
+            mesh,
+            rest,
+            field,
+            restructuring: None,
+            step: 0,
+        }
     }
 
     /// Adds a restructuring schedule (rare connectivity events, §IV-E2).
     /// Enables the mesh's restructuring mode.
-    pub fn with_restructuring(mut self, schedule: RestructureSchedule) -> Result<Simulation, MeshError> {
+    pub fn with_restructuring(
+        mut self,
+        schedule: RestructureSchedule,
+    ) -> Result<Simulation, MeshError> {
         self.mesh.enable_restructuring()?;
         self.restructuring = Some(schedule);
         Ok(self)
@@ -41,7 +50,8 @@ impl Simulation {
     /// incrementally maintain their surface index.
     pub fn step(&mut self) -> Result<SurfaceDelta, MeshError> {
         self.step += 1;
-        self.field.apply_step(self.step, &self.rest, self.mesh.positions_mut());
+        self.field
+            .apply_step(self.step, &self.rest, self.mesh.positions_mut());
         let mut delta = SurfaceDelta::default();
         if let Some(schedule) = &mut self.restructuring {
             delta = schedule.maybe_fire(self.step, &mut self.mesh)?;
@@ -116,15 +126,20 @@ mod tests {
         sim.step().unwrap();
         let after = sim.mesh().positions();
         let moved = before.iter().zip(after).filter(|(a, b)| a != b).count();
-        assert!(moved > before.len() * 9 / 10, "massive update moved {moved}");
-        assert_eq!(sim.mesh().surface().unwrap().vertices(), &surface_before[..]);
+        assert!(
+            moved > before.len() * 9 / 10,
+            "massive update moved {moved}"
+        );
+        assert_eq!(
+            sim.mesh().surface().unwrap().vertices(),
+            &surface_before[..]
+        );
         assert_eq!(sim.current_step(), 1);
     }
 
     #[test]
     fn run_advances_many_steps() {
-        let mut sim =
-            Simulation::new(small_mesh(), Box::new(SmoothRandomField::new(0.01, 3, 6)));
+        let mut sim = Simulation::new(small_mesh(), Box::new(SmoothRandomField::new(0.01, 3, 6)));
         sim.run(10).unwrap();
         assert_eq!(sim.current_step(), 10);
     }
@@ -145,7 +160,10 @@ mod tests {
             any_delta |= !delta.is_empty();
         }
         assert!(fired >= 3);
-        assert!(any_delta, "cell removals must eventually change the surface");
+        assert!(
+            any_delta,
+            "cell removals must eventually change the surface"
+        );
         // Mesh stays consistent.
         let fresh = octopus_mesh::validate::validate(sim.mesh()).unwrap();
         assert!(fresh.cells_checked > 0);

@@ -43,7 +43,11 @@ impl SmoothRandomField {
     /// number of sinusoidal components (3–8 is plenty).
     pub fn new(amplitude: f32, modes: usize, seed: u64) -> SmoothRandomField {
         assert!(amplitude >= 0.0 && modes >= 1);
-        SmoothRandomField { amplitude, modes, seed }
+        SmoothRandomField {
+            amplitude,
+            modes,
+            seed,
+        }
     }
 }
 
@@ -101,7 +105,11 @@ impl TravelingWave {
     /// Standard gallop parameters; `amplitude` in world units.
     pub fn new(amplitude: f32, wavelength: f32, steps_per_cycle: f32) -> TravelingWave {
         assert!(amplitude >= 0.0 && wavelength > 0.0 && steps_per_cycle > 0.0);
-        TravelingWave { amplitude, wavelength, steps_per_cycle }
+        TravelingWave {
+            amplitude,
+            wavelength,
+            steps_per_cycle,
+        }
     }
 }
 
@@ -117,7 +125,11 @@ impl Deformation for TravelingWave {
         for (p, r) in positions.iter_mut().zip(rest) {
             let arg = k * r.x - w;
             *p = *r
-                + Vec3::new(0.0, self.amplitude * arg.sin(), 0.3 * self.amplitude * arg.cos());
+                + Vec3::new(
+                    0.0,
+                    self.amplitude * arg.sin(),
+                    0.3 * self.amplitude * arg.cos(),
+                );
         }
     }
 }
@@ -140,7 +152,11 @@ impl AxialCompression {
     /// `axis` is 0/1/2 for x/y/z.
     pub fn new(intensity: f32, steps_per_cycle: f32, axis: usize) -> AxialCompression {
         assert!((0.0..1.0).contains(&intensity) && steps_per_cycle > 0.0 && axis < 3);
-        AxialCompression { intensity, steps_per_cycle, axis }
+        AxialCompression {
+            intensity,
+            steps_per_cycle,
+            axis,
+        }
     }
 }
 
@@ -216,7 +232,11 @@ impl LocalizedBumps {
                 (c, dir, freq)
             })
             .collect();
-        LocalizedBumps { centers, sigma, amplitude }
+        LocalizedBumps {
+            centers,
+            sigma,
+            amplitude,
+        }
     }
 }
 
@@ -260,7 +280,10 @@ impl ShearWave {
     /// `intensity` scales the shear/compression coefficients.
     pub fn new(intensity: f32, steps_per_cycle: f32) -> ShearWave {
         assert!(intensity >= 0.0 && steps_per_cycle > 0.0);
-        ShearWave { intensity, steps_per_cycle }
+        ShearWave {
+            intensity,
+            steps_per_cycle,
+        }
     }
 
     /// The affine matrix at time step `step` (row-major 3×3).
@@ -271,7 +294,11 @@ impl ShearWave {
         let shear_xz = s * t.sin();
         let shear_xy = 0.6 * s * (1.7 * t).cos();
         let breathe = 1.0 + 0.3 * s * (0.9 * t).sin();
-        [[breathe, shear_xy, shear_xz], [0.0, 1.0, 0.0], [0.0, 0.4 * s * t.cos(), 1.0 / breathe]]
+        [
+            [breathe, shear_xy, shear_xz],
+            [0.0, 1.0, 0.0],
+            [0.0, 0.4 * s * t.cos(), 1.0 / breathe],
+        ]
     }
 }
 
@@ -307,7 +334,11 @@ fn centroid_of(rest: &[Point3]) -> Point3 {
         acc[2] += f64::from(p.z);
     }
     let n = rest.len() as f64;
-    Point3::new((acc[0] / n) as f32, (acc[1] / n) as f32, (acc[2] / n) as f32)
+    Point3::new(
+        (acc[0] / n) as f32,
+        (acc[1] / n) as f32,
+        (acc[2] / n) as f32,
+    )
 }
 
 #[cfg(test)]
@@ -332,7 +363,10 @@ mod tests {
     }
 
     fn max_displacement(rest: &[Point3], pos: &[Point3]) -> f32 {
-        rest.iter().zip(pos).map(|(r, p)| r.dist(*p)).fold(0.0, f32::max)
+        rest.iter()
+            .zip(pos)
+            .map(|(r, p)| r.dist(*p))
+            .fold(0.0, f32::max)
     }
 
     #[test]
@@ -341,8 +375,15 @@ mod tests {
         let mut pos = rest.clone();
         let mut f = SmoothRandomField::new(0.01, 4, 7);
         f.apply_step(1, &rest, &mut pos);
-        let moved = rest.iter().zip(&pos).filter(|(r, p)| r.dist_sq(**p) > 0.0).count();
-        assert!(moved as f64 > 0.99 * rest.len() as f64, "massive update: {moved}");
+        let moved = rest
+            .iter()
+            .zip(&pos)
+            .filter(|(r, p)| r.dist_sq(**p) > 0.0)
+            .count();
+        assert!(
+            moved as f64 > 0.99 * rest.len() as f64,
+            "massive update: {moved}"
+        );
         assert!(max_displacement(&rest, &pos) <= 0.01 + 1e-6);
     }
 
@@ -394,7 +435,10 @@ mod tests {
         let b0 = octopus_geom::Aabb::from_points(rest.iter().copied());
         let b1 = octopus_geom::Aabb::from_points(pos.iter().copied());
         let ratio = b1.volume() / b0.volume();
-        assert!((0.9..1.1).contains(&ratio), "bulge compensates squeeze: {ratio}");
+        assert!(
+            (0.9..1.1).contains(&ratio),
+            "bulge compensates squeeze: {ratio}"
+        );
     }
 
     #[test]
@@ -422,7 +466,10 @@ mod tests {
         let displacements: Vec<f32> = rest.iter().zip(&pos).map(|(r, p)| r.dist(*p)).collect();
         let max = displacements.iter().cloned().fold(0.0, f32::max);
         let mean = displacements.iter().sum::<f32>() / displacements.len() as f32;
-        assert!(max > 4.0 * mean, "motion is localized: max {max} mean {mean}");
+        assert!(
+            max > 4.0 * mean,
+            "motion is localized: max {max} mean {mean}"
+        );
     }
 
     #[test]
@@ -466,7 +513,12 @@ impl SpineAdjust {
         assert!(!rest.is_empty(), "need rest vertices to anchor spines");
         let mut rng = SplitMix64::new(seed);
         let anchors = (0..count).map(|_| rest[rng.index(rest.len())]).collect();
-        SpineAdjust { anchors, sigma, amplitude, seed }
+        SpineAdjust {
+            anchors,
+            sigma,
+            amplitude,
+            seed,
+        }
     }
 
     /// Anchor positions (inspection).
@@ -483,8 +535,9 @@ impl Deformation for SpineAdjust {
     fn apply_step(&mut self, step: u32, rest: &[Point3], positions: &mut [Point3]) {
         // Per-step random spine targets: lengthen or shorten each spine.
         let mut rng = SplitMix64::new(self.seed ^ (u64::from(step).rotate_left(17)));
-        let targets: Vec<f32> =
-            (0..self.anchors.len()).map(|_| rng.range_f32(-1.0, 1.0)).collect();
+        let targets: Vec<f32> = (0..self.anchors.len())
+            .map(|_| rng.range_f32(-1.0, 1.0))
+            .collect();
         let inv_two_sigma_sq = 1.0 / (2.0 * self.sigma * self.sigma);
         let breathe = 0.05 * self.amplitude * (0.37 * step as f32).sin();
         for (p, r) in positions.iter_mut().zip(rest) {
@@ -529,7 +582,11 @@ mod spine_tests {
         let mut pos = rest.clone();
         let mut f = SpineAdjust::from_rest(&rest, 5, 0.15, 0.02, 9);
         f.apply_step(1, &rest, &mut pos);
-        let moved = rest.iter().zip(&pos).filter(|(r, p)| r.dist_sq(**p) > 0.0).count();
+        let moved = rest
+            .iter()
+            .zip(&pos)
+            .filter(|(r, p)| r.dist_sq(**p) > 0.0)
+            .count();
         assert!(
             moved as f64 > 0.95 * rest.len() as f64,
             "breathing term must move (almost) every vertex: {moved}"
@@ -568,8 +625,7 @@ mod spine_tests {
             })
             .collect();
         displacements.sort_by(|x, y| x.0.total_cmp(&y.0));
-        let near_avg: f32 =
-            displacements[..20].iter().map(|d| d.1).sum::<f32>() / 20.0;
+        let near_avg: f32 = displacements[..20].iter().map(|d| d.1).sum::<f32>() / 20.0;
         let far_avg: f32 = displacements[displacements.len() - 20..]
             .iter()
             .map(|d| d.1)

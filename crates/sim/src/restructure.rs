@@ -33,7 +33,12 @@ impl RestructureSchedule {
     /// `step % period == 0`.
     pub fn new(period: u32, ops_per_event: usize, seed: u64) -> RestructureSchedule {
         assert!(period >= 1 && ops_per_event >= 1);
-        RestructureSchedule { period, ops_per_event, rng: SplitMix64::new(seed), fired: 0 }
+        RestructureSchedule {
+            period,
+            ops_per_event,
+            rng: SplitMix64::new(seed),
+            fired: 0,
+        }
     }
 
     /// Number of times the schedule has fired.
@@ -107,9 +112,8 @@ mod tests {
 
     fn small_mesh() -> Mesh {
         let bounds = Aabb::new(Point3::ORIGIN, Point3::splat(1.0));
-        let mut m =
-            octopus_meshgen::tet::tetrahedralize(&VoxelRegion::solid_box(&bounds, 3, 3, 3))
-                .unwrap();
+        let mut m = octopus_meshgen::tet::tetrahedralize(&VoxelRegion::solid_box(&bounds, 3, 3, 3))
+            .unwrap();
         m.enable_restructuring().unwrap();
         m
     }
@@ -135,7 +139,9 @@ mod tests {
         // the mesh's own (face-table-backed) surface each round.
         let mut membership: Vec<bool> = {
             let surf = m.surface().unwrap();
-            (0..m.num_vertices() as u32).map(|v| surf.contains(v)).collect()
+            (0..m.num_vertices() as u32)
+                .map(|v| surf.contains(v))
+                .collect()
         };
         for step in 1..=10 {
             let delta = s.maybe_fire(step, &mut m).unwrap();
@@ -161,8 +167,17 @@ mod tests {
 
     #[test]
     fn merge_delta_cancels_opposites() {
-        let mut acc = SurfaceDelta { added: vec![1, 2], removed: vec![3] };
-        merge_delta(&mut acc, SurfaceDelta { added: vec![3, 4], removed: vec![1] });
+        let mut acc = SurfaceDelta {
+            added: vec![1, 2],
+            removed: vec![3],
+        };
+        merge_delta(
+            &mut acc,
+            SurfaceDelta {
+                added: vec![3, 4],
+                removed: vec![1],
+            },
+        );
         acc.added.sort_unstable();
         acc.removed.sort_unstable();
         assert_eq!(acc.added, vec![2, 4]);
@@ -172,9 +187,8 @@ mod tests {
     #[test]
     fn schedule_survives_mesh_shrinking_to_one_cell() {
         let bounds = Aabb::new(Point3::ORIGIN, Point3::splat(1.0));
-        let mut m =
-            octopus_meshgen::tet::tetrahedralize(&VoxelRegion::solid_box(&bounds, 1, 1, 1))
-                .unwrap();
+        let mut m = octopus_meshgen::tet::tetrahedralize(&VoxelRegion::solid_box(&bounds, 1, 1, 1))
+            .unwrap();
         m.enable_restructuring().unwrap();
         let mut s = RestructureSchedule::new(1, 50, 7);
         for step in 1..=3 {

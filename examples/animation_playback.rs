@@ -16,7 +16,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for kind in AnimationKind::ALL {
         let mesh = octopus::meshgen::animation(kind, 0.6)?;
         let stats = MeshStats::compute(&mesh)?;
-        println!("\n=== {} ({} frames) — {stats}", kind.label(), kind.time_steps());
+        println!(
+            "\n=== {} ({} frames) — {stats}",
+            kind.label(),
+            kind.time_steps()
+        );
 
         let field: Box<dyn Deformation> = match kind {
             AnimationKind::HorseGallop => Box::new(TravelingWave::new(0.04, 0.8, 12.0)),

@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Eq. 5: predicted speedups across selectivities.
-    println!("\nEq. 5 predicted speedup over the linear scan (S = {:.3}, M = {:.1}):", stats.surface_ratio, stats.mesh_degree);
+    println!(
+        "\nEq. 5 predicted speedup over the linear scan (S = {:.3}, M = {:.1}):",
+        stats.surface_ratio, stats.mesh_degree
+    );
     for sel in [0.0001f64, 0.001, 0.005, 0.01, 0.02] {
         println!(
             "  selectivity {:>6.2}% -> {:>6.2}x",
@@ -38,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     let crossover = model.crossover_selectivity(stats.surface_ratio, stats.mesh_degree);
-    println!("Eq. 6 crossover: OCTOPUS wins below {:.3}% selectivity", crossover * 100.0);
+    println!(
+        "Eq. 6 crossover: OCTOPUS wins below {:.3}% selectivity",
+        crossover * 100.0
+    );
 
     // The planner applies Eq. 6 per query using histogram selectivity.
     let planner = Planner::new(&mesh, model, 12)?;

@@ -88,7 +88,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut r2 = Vec::new();
         engine.query(mesh, &q2, &mut r2);
         let artifacts = mesh_quality(mesh, &components, &r2[..r2.len().min(300)], 0.01);
-        println!("step {step}: {} vertices in the gap region, {artifacts} contact artifact(s)", r2.len());
+        println!(
+            "step {step}: {} vertices in the gap region, {artifacts} contact artifact(s)",
+            r2.len()
+        );
 
         // Monitor 3: visualization — retrieve a view volume.
         let q3 = Aabb::new(

@@ -12,7 +12,9 @@ use proptest::prelude::*;
 
 fn random_points(n: usize, seed: u64) -> Vec<Point3> {
     let mut rng = octopus::geom::rng::SplitMix64::new(seed);
-    (0..n).map(|_| Point3::new(rng.next_f32(), rng.next_f32(), rng.next_f32())).collect()
+    (0..n)
+        .map(|_| Point3::new(rng.next_f32(), rng.next_f32(), rng.next_f32()))
+        .collect()
 }
 
 fn scan(q: &Aabb, positions: &[Point3]) -> Vec<VertexId> {

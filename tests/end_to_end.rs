@@ -60,9 +60,13 @@ fn animation_family_runs_each_field() {
         let gen = QueryGen::new(&mesh, 3);
         let field: Box<dyn Deformation> = match kind {
             AnimationKind::HorseGallop => Box::new(TravelingWave::new(0.03, 0.8, 10.0)),
-            AnimationKind::FacialExpression => Box::new(
-                octopus::sim::LocalizedBumps::random(mesh.positions(), 4, 0.1, 0.02, 5),
-            ),
+            AnimationKind::FacialExpression => Box::new(octopus::sim::LocalizedBumps::random(
+                mesh.positions(),
+                4,
+                0.1,
+                0.02,
+                5,
+            )),
             AnimationKind::CamelCompress => {
                 Box::new(octopus::sim::AxialCompression::new(0.1, 12.0, 0))
             }
@@ -95,7 +99,9 @@ fn restructuring_scenario_through_the_runner() {
     // Final-state manual cross-check against the active-vertex scan.
     let mesh = sim.mesh();
     let q = Aabb::cube(mesh.bounding_box().center(), 0.2);
-    let Approach::Octopus(o) = &mut octopus_only[0] else { panic!("octopus") };
+    let Approach::Octopus(o) = &mut octopus_only[0] else {
+        panic!("octopus")
+    };
     let mut out = Vec::new();
     o.query(mesh, &q, &mut out);
     out.sort_unstable();

@@ -157,11 +157,13 @@ fn fig3_disjoint_submesh_case() {
         major: 0.3,
         minor: 0.12,
     };
-    let region = octopus::meshgen::voxel::VoxelRegion::from_fn(&bounds, 14, 14, 14, |p| {
-        torus.contains(p)
-    });
+    let region =
+        octopus::meshgen::voxel::VoxelRegion::from_fn(&bounds, 14, 14, 14, |p| torus.contains(p));
     let mesh = octopus::meshgen::tet::tetrahedralize(&region).unwrap();
-    assert!(mesh.num_vertices() > 100, "torus must be meaningfully meshed");
+    assert!(
+        mesh.num_vertices() > 100,
+        "torus must be meaningfully meshed"
+    );
     let mut octopus = Octopus::new(&mesh).unwrap();
     // A slab through the hole cuts the ring into two disjoint arcs: a
     // crawl from a single start vertex would miss one of them.
@@ -171,7 +173,10 @@ fn fig3_disjoint_submesh_case() {
     out.sort_unstable();
     let expected = scan(&mesh, &q);
     assert_eq!(out, expected);
-    assert!(stats.start_vertices >= 2, "both arcs need their own surface seeds");
+    assert!(
+        stats.start_vertices >= 2,
+        "both arcs need their own surface seeds"
+    );
     // Make sure the test is non-trivial: both arcs contain results.
     let left = expected.iter().any(|&v| mesh.position(v).x < 0.4);
     let right = expected.iter().any(|&v| mesh.position(v).x > 0.6);

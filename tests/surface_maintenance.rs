@@ -240,12 +240,21 @@ fn inherited_algorithm1_gap_is_pinned() {
     // query with every neighbour outside it is unreachable. If mesh
     // generation ever changes and the gap closes, this assertion will
     // flag it so the documentation can be updated.
-    let missing: Vec<VertexId> =
-        expected.iter().copied().filter(|v| !out.contains(v)).collect();
-    assert_eq!(missing.len(), 1, "expected exactly the pinned miss, got {missing:?}");
+    let missing: Vec<VertexId> = expected
+        .iter()
+        .copied()
+        .filter(|v| !out.contains(v))
+        .collect();
+    assert_eq!(
+        missing.len(),
+        1,
+        "expected exactly the pinned miss, got {missing:?}"
+    );
     let v = missing[0];
     assert!(
-        mesh.neighbors(v).iter().all(|&w| !q.contains(mesh.position(w))),
+        mesh.neighbors(v)
+            .iter()
+            .all(|&w| !q.contains(mesh.position(w))),
         "the missed vertex must be crawl-unreachable (all neighbours outside the query)"
     );
 }
@@ -297,7 +306,10 @@ fn component_aware_walk_finds_interior_of_other_component() {
         .map(|(i, _)| i as VertexId)
         .collect();
     // Pre-conditions for the scenario to be the interesting one:
-    let b_in_q = expected.iter().filter(|&&v| comp[v as usize] == b_component).count();
+    let b_in_q = expected
+        .iter()
+        .filter(|&&v| comp[v as usize] == b_component)
+        .count();
     assert!(b_in_q > 0, "B must contribute in-query vertices");
     assert!(
         expected
@@ -305,6 +317,12 @@ fn component_aware_walk_finds_interior_of_other_component() {
             .all(|&v| comp[v as usize] != b_component || !surface.contains(v)),
         "none of B's surface vertices may lie in the query"
     );
-    assert_eq!(out, expected, "component-aware walk must recover B's interior");
-    assert!(stats.walk_visited > 0, "the walk must have run for component B");
+    assert_eq!(
+        out, expected,
+        "component-aware walk must recover B's interior"
+    );
+    assert!(
+        stats.walk_visited > 0,
+        "the walk must have run for component B"
+    );
 }

@@ -8,9 +8,9 @@ use proptest::prelude::*;
 
 fn box_mesh(n: usize) -> Mesh {
     let bounds = Aabb::new(Point3::ORIGIN, Point3::splat(1.0));
-    octopus::meshgen::tet::tetrahedralize(
-        &octopus::meshgen::voxel::VoxelRegion::solid_box(&bounds, n, n, n),
-    )
+    octopus::meshgen::tet::tetrahedralize(&octopus::meshgen::voxel::VoxelRegion::solid_box(
+        &bounds, n, n, n,
+    ))
     .unwrap()
 }
 

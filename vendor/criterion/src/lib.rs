@@ -1,0 +1,194 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The workspace builds without network access to crates.io, so the API
+//! subset the OCTOPUS benches use is provided locally: [`Criterion`]
+//! with the builder knobs the benches set, [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BatchSize`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Measurement is a
+//! straightforward wall-clock sampler (median + mean over
+//! `sample_size` samples after a warm-up); there is no statistical
+//! outlier analysis, HTML report, or baseline comparison. Swapping the
+//! real crate back in is a one-line change in the workspace
+//! `Cargo.toml`.
+
+#![deny(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup cost. This stand-in only uses the
+/// variant to pick a batch size heuristic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: batch many iterations per setup.
+    SmallInput,
+    /// Large inputs: one setup per iteration (avoids holding many
+    /// copies of the input alive at once).
+    LargeInput,
+    /// One setup per iteration, always.
+    PerIteration,
+}
+
+/// Benchmark driver handed to the closures registered with
+/// [`Criterion::bench_function`].
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, running it repeatedly inside each sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget is spent, estimating
+        // the per-iteration cost as we go.
+        let warm_start = Instant::now();
+        let mut iters_done: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time || iters_done == 0 {
+            black_box(routine());
+            iters_done += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / iters_done as f64;
+        let budget = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample = ((budget / per_iter.max(1e-9)) as u64).clamp(1, 1 << 20);
+
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(t0.elapsed() / iters_per_sample as u32);
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is not
+    /// included in the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // One input per measured iteration — correct for every BatchSize
+        // variant, merely less amortised than real criterion for
+        // SmallInput.
+        let warm_start = Instant::now();
+        let mut iters_done: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time || iters_done == 0 {
+            let input = setup();
+            black_box(routine(input));
+            iters_done += 1;
+        }
+
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+/// The top-level harness: collects benchmark registrations and prints a
+/// one-line summary per benchmark.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(1000),
+            warm_up_time: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of samples collected per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// No-op for CLI-argument parity with real criterion.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs `f` under the timing loop and prints `id`, median and mean
+    /// per-iteration time.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut samples = Vec::with_capacity(self.sample_size);
+        let mut bencher = Bencher {
+            samples: &mut samples,
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+        };
+        f(&mut bencher);
+        samples.sort_unstable();
+        let median = samples.get(samples.len() / 2).copied().unwrap_or_default();
+        let mean = if samples.is_empty() {
+            Duration::ZERO
+        } else {
+            samples.iter().sum::<Duration>() / samples.len() as u32
+        };
+        println!(
+            "{id:<48} median {median:>12.3?}   mean {mean:>12.3?}   ({} samples)",
+            samples.len()
+        );
+        self
+    }
+}
+
+/// Declares a benchmark group: either
+/// `criterion_group!(name, target, …)` or the
+/// `name = …; config = …; targets = …` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

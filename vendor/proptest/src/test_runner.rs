@@ -1,0 +1,147 @@
+//! The case-running loop: configuration, RNG, and failure plumbing.
+
+/// Configuration for a `proptest!` block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases required.
+    pub cases: u32,
+    /// Maximum number of `prop_assume!` rejections tolerated across the
+    /// whole run before the test errors out.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config that runs `cases` cases and leaves the rest at defaults.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed — the whole test fails.
+    Fail(String),
+    /// A `prop_assume!` precondition did not hold — redraw inputs.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Builds a failing-case error.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+    /// Builds a rejected-case (assume) error.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// What a `proptest!` body returns (via the injected `Ok(())` /
+/// early-returning assertion macros).
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Deterministic SplitMix64 generator: each test derives its stream from
+/// a hash of the test name, so runs are reproducible and independent of
+/// test execution order.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform draw in `[0, 1]`.
+    pub fn unit_inclusive(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64
+    }
+}
+
+/// Runs the configured number of cases, panicking with the failing
+/// inputs on the first assertion failure.
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: TestRng,
+    name: &'static str,
+}
+
+impl TestRunner {
+    /// Creates a runner whose RNG stream is derived from `name` (FNV-1a),
+    /// so every property test explores a distinct but reproducible
+    /// sequence.
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRunner {
+            config,
+            rng: TestRng::new(seed),
+            name,
+        }
+    }
+
+    /// Drives `case` until `config.cases` successes are recorded.
+    ///
+    /// `case` returns the body result paired with a rendering of the
+    /// generated inputs (for the failure message).
+    pub fn run(&mut self, mut case: impl FnMut(&mut TestRng) -> (TestCaseResult, String)) {
+        let mut rejects = 0u32;
+        let mut passed = 0u32;
+        let mut case_no = 0u64;
+        while passed < self.config.cases {
+            case_no += 1;
+            let (result, inputs) = case(&mut self.rng);
+            match result {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejects += 1;
+                    if rejects > self.config.max_global_rejects {
+                        panic!(
+                            "proptest `{}`: too many prop_assume! rejections ({}) — \
+                             strategy ranges are a poor fit for the precondition",
+                            self.name, rejects
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest `{}` failed at case #{} with inputs: {}\n{}",
+                        self.name, case_no, inputs, msg
+                    );
+                }
+            }
+        }
+    }
+}
