@@ -1,0 +1,146 @@
+//! `fig_throughput`: query throughput (queries/sec) of the service
+//! layer versus worker count and batch size.
+//!
+//! Not a paper figure — this measures the `octopus-service` subsystem:
+//! the same monitoring batch is answered by the sequential executor
+//! (the baseline) and by [`ParallelExecutor`] at 1/2/4/8 workers, for
+//! several batch sizes. Run directly, or with `--json <path>` to
+//! record a machine-readable baseline (the committed
+//! `BENCH_throughput.json`):
+//!
+//! ```bash
+//! cargo bench -p octopus-bench --bench fig_throughput
+//! cargo bench -p octopus-bench --bench fig_throughput -- --json BENCH_throughput.json
+//! ```
+
+use octopus_bench::workload::QueryGen;
+use octopus_core::Octopus;
+use octopus_geom::Aabb;
+use octopus_mesh::Mesh;
+use octopus_meshgen::{neuron, NeuroLevel};
+use octopus_service::ParallelExecutor;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const BATCH_SIZES: [usize; 3] = [16, 64, 256];
+const SELECTIVITY: f64 = 0.001;
+/// Measurement budget per configuration.
+const BUDGET: Duration = Duration::from_millis(300);
+
+struct Entry {
+    workers: usize, // 0 = sequential baseline
+    batch: usize,
+    qps: f64,
+    speedup: f64,
+}
+
+/// Repeats `run` (one whole batch) until the budget is spent; returns
+/// queries/sec.
+fn measure(batch: usize, mut run: impl FnMut() -> usize) -> f64 {
+    // Warm-up round, also sanity-checking that results materialise.
+    assert!(run() > 0, "throughput workload returned no vertices");
+    let t0 = Instant::now();
+    let mut batches = 0u32;
+    while t0.elapsed() < BUDGET || batches == 0 {
+        std::hint::black_box(run());
+        batches += 1;
+    }
+    f64::from(batches) * batch as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut json_path = None;
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            json_path = Some(args.next().expect("--json <path>"));
+        }
+    }
+
+    let mesh: Mesh = neuron(NeuroLevel::L3, 0.6).expect("neuron");
+    let octopus = Octopus::new(&mesh).expect("surface");
+    let mut gen = QueryGen::new(&mesh, 0x7410_4242);
+    let hw = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    println!(
+        "fig_throughput: {} vertices, selectivity {SELECTIVITY}, {hw} hardware thread(s)",
+        mesh.num_vertices()
+    );
+    println!(
+        "{:<34} {:>12} {:>9}",
+        "configuration", "queries/s", "speedup"
+    );
+
+    let mut entries: Vec<Entry> = Vec::new();
+    for &batch in &BATCH_SIZES {
+        let queries: Vec<Aabb> = gen.batch_with_selectivity(batch, SELECTIVITY);
+
+        // Sequential baseline: one scratch, one thread, same queries.
+        let mut seq = Octopus::new(&mesh).expect("surface");
+        let mut out = Vec::new();
+        let seq_qps = measure(batch, || {
+            let mut total = 0;
+            for q in &queries {
+                out.clear();
+                seq.query(&mesh, q, &mut out);
+                total += out.len();
+            }
+            total
+        });
+        println!(
+            "{:<34} {:>12.0} {:>9}",
+            format!("batch{batch}/sequential"),
+            seq_qps,
+            "1.00x"
+        );
+        entries.push(Entry {
+            workers: 0,
+            batch,
+            qps: seq_qps,
+            speedup: 1.0,
+        });
+
+        for &workers in &WORKER_COUNTS {
+            let mut pool = ParallelExecutor::new(workers);
+            let qps = measure(batch, || {
+                pool.execute_batch(&octopus, &mesh, &queries)
+                    .iter()
+                    .map(|r| r.vertices.len())
+                    .sum()
+            });
+            let speedup = qps / seq_qps;
+            println!(
+                "{:<34} {:>12.0} {:>8.2}x",
+                format!("batch{batch}/workers{workers}"),
+                qps,
+                speedup
+            );
+            entries.push(Entry {
+                workers,
+                batch,
+                qps,
+                speedup,
+            });
+        }
+    }
+
+    if let Some(path) = json_path {
+        let mut json = String::from("{\n");
+        let _ = writeln!(json, "  \"bench\": \"fig_throughput\",");
+        let _ = writeln!(json, "  \"hardware_threads\": {hw},");
+        let _ = writeln!(json, "  \"mesh_vertices\": {},", mesh.num_vertices());
+        let _ = writeln!(json, "  \"selectivity\": {SELECTIVITY},");
+        let _ = writeln!(json, "  \"entries\": [");
+        for (i, e) in entries.iter().enumerate() {
+            let comma = if i + 1 == entries.len() { "" } else { "," };
+            let _ = writeln!(
+                json,
+                "    {{\"workers\": {}, \"batch\": {}, \"qps\": {:.0}, \"speedup_vs_sequential\": {:.3}}}{comma}",
+                e.workers, e.batch, e.qps, e.speedup
+            );
+        }
+        json.push_str("  ]\n}\n");
+        std::fs::write(&path, json).expect("write json baseline");
+        println!("baseline written to {path}");
+    }
+}

@@ -9,6 +9,108 @@ use octopus_geom::{Aabb, VertexId};
 use octopus_mesh::Mesh;
 use std::collections::{HashSet, VecDeque};
 
+/// Epoch-stamped dense membership set: a `Vec<u32>` of stamps plus a
+/// current-generation counter. Starting a new generation is O(1) — bump
+/// the counter — except on the (once per `u32::MAX` generations) wrap,
+/// where the whole array is cleared so stamps from the previous counter
+/// cycle can never alias a future generation. All epoch-stamped scratch
+/// in the workspace (the crawler's visited set, the executor's
+/// per-component seeding scratch, the per-worker shard scratch of
+/// `octopus-service`) shares this one audited implementation.
+#[derive(Clone, Debug)]
+pub(crate) struct EpochStamps {
+    epoch: u32,
+    stamps: Vec<u32>,
+}
+
+impl Default for EpochStamps {
+    fn default() -> EpochStamps {
+        EpochStamps::with_len(0)
+    }
+}
+
+impl EpochStamps {
+    pub(crate) fn with_len(n: usize) -> EpochStamps {
+        // The generation counter starts at 1 so a pristine set (all
+        // stamps 0) reads as *unmarked* even before the first `begin` —
+        // probing a never-used scratch answers truthfully instead of
+        // "everything visited".
+        EpochStamps {
+            epoch: 1,
+            stamps: vec![0; n],
+        }
+    }
+
+    /// Starts a new generation over `n` slots. Slots added by a resize
+    /// are filled with the *previous* generation's stamp, i.e. they
+    /// start unmarked; on counter wrap every slot is cleared (the fix
+    /// for stale-stamp aliasing across `u32` cycles).
+    pub(crate) fn begin(&mut self, n: usize) {
+        if self.stamps.len() != n {
+            self.stamps.resize(n, self.epoch);
+        }
+        if self.epoch == u32::MAX {
+            self.stamps.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+
+    /// Marks slot `i`; returns `true` when it was not yet marked in the
+    /// current generation.
+    #[inline]
+    pub(crate) fn mark(&mut self, i: usize) -> bool {
+        let slot = &mut self.stamps[i];
+        if *slot == self.epoch {
+            false
+        } else {
+            *slot = self.epoch;
+            true
+        }
+    }
+
+    /// True when slot `i` is marked in the current generation.
+    #[inline]
+    pub(crate) fn is_marked(&self, i: usize) -> bool {
+        self.stamps[i] == self.epoch
+    }
+
+    pub(crate) fn heap_bytes(&self) -> usize {
+        self.stamps.capacity() * std::mem::size_of::<u32>()
+    }
+
+    /// Test hook: jump the generation counter (e.g. next to the wrap
+    /// point) without touching the stamps, simulating the billions of
+    /// intermediate queries that would get it there naturally.
+    #[cfg(test)]
+    pub(crate) fn force_epoch(&mut self, epoch: u32) {
+        self.epoch = epoch;
+    }
+}
+
+/// Read-only view of a query's visited set, shareable across worker
+/// threads while they expand frontier chunks in parallel (the master
+/// set is only mutated between rounds, on the merging thread).
+#[derive(Clone, Copy, Debug)]
+pub struct VisitedView<'a>(VisitedViewInner<'a>);
+
+#[derive(Clone, Copy, Debug)]
+enum VisitedViewInner<'a> {
+    Stamps { stamps: &'a [u32], epoch: u32 },
+    Set(&'a HashSet<VertexId>),
+}
+
+impl VisitedView<'_> {
+    /// True when `v` is already part of the current query's visited set.
+    #[inline]
+    pub fn contains(&self, v: VertexId) -> bool {
+        match self.0 {
+            VisitedViewInner::Stamps { stamps, epoch } => stamps[v as usize] == epoch,
+            VisitedViewInner::Set(set) => set.contains(&v),
+        }
+    }
+}
+
 /// How the crawl remembers visited vertices.
 ///
 /// The paper's C++ implementation keeps memory proportional to the query
@@ -44,8 +146,7 @@ pub enum CrawlOrder {
 pub(crate) struct Crawler {
     strategy: VisitedStrategy,
     pub(crate) order: CrawlOrder,
-    epoch: u32,
-    stamps: Vec<u32>,
+    visited: EpochStamps,
     set: HashSet<VertexId>,
     queue: VecDeque<VertexId>,
     /// Vertices examined by the last crawl (inside + frontier outside).
@@ -59,15 +160,14 @@ pub(crate) struct Crawler {
 
 impl Crawler {
     pub(crate) fn new(num_vertices: usize, strategy: VisitedStrategy) -> Crawler {
-        let stamps = match strategy {
-            VisitedStrategy::EpochArray => vec![0u32; num_vertices],
-            VisitedStrategy::HashSet => Vec::new(),
+        let visited = match strategy {
+            VisitedStrategy::EpochArray => EpochStamps::with_len(num_vertices),
+            VisitedStrategy::HashSet => EpochStamps::default(),
         };
         Crawler {
             strategy,
             order: CrawlOrder::Bfs,
-            epoch: 0,
-            stamps,
+            visited,
             set: HashSet::new(),
             queue: VecDeque::new(),
             crawl_visited: 0,
@@ -76,21 +176,13 @@ impl Crawler {
         }
     }
 
-    /// Prepares for a new query: O(1) for the epoch array, O(touched) for
-    /// the hash set.
+    /// Prepares for a new query: O(1) for the epoch array (O(V) on the
+    /// rare epoch wrap, see [`EpochStamps::begin`]), O(touched) for the
+    /// hash set.
     pub(crate) fn begin_query(&mut self, num_vertices: usize) {
         match self.strategy {
-            VisitedStrategy::EpochArray => {
-                if self.stamps.len() != num_vertices {
-                    // Restructuring may have added vertices.
-                    self.stamps.resize(num_vertices, self.epoch);
-                }
-                if self.epoch == u32::MAX {
-                    self.stamps.fill(0);
-                    self.epoch = 0;
-                }
-                self.epoch += 1;
-            }
+            // Restructuring may have added vertices; `begin` resizes.
+            VisitedStrategy::EpochArray => self.visited.begin(num_vertices),
             VisitedStrategy::HashSet => self.set.clear(),
         }
         self.queue.clear();
@@ -99,19 +191,29 @@ impl Crawler {
     }
 
     #[inline]
-    fn mark(&mut self, v: VertexId) -> bool {
+    pub(crate) fn mark(&mut self, v: VertexId) -> bool {
         match self.strategy {
-            VisitedStrategy::EpochArray => {
-                let slot = &mut self.stamps[v as usize];
-                if *slot == self.epoch {
-                    false
-                } else {
-                    *slot = self.epoch;
-                    true
-                }
-            }
+            VisitedStrategy::EpochArray => self.visited.mark(v as usize),
             VisitedStrategy::HashSet => self.set.insert(v),
         }
+    }
+
+    /// Read-only view of the visited set, shareable across threads while
+    /// no `mark`/`seed`/`crawl` call is in flight.
+    pub(crate) fn visited_view(&self) -> VisitedView<'_> {
+        match self.strategy {
+            VisitedStrategy::EpochArray => VisitedView(VisitedViewInner::Stamps {
+                stamps: &self.visited.stamps,
+                epoch: self.visited.epoch,
+            }),
+            VisitedStrategy::HashSet => VisitedView(VisitedViewInner::Set(&self.set)),
+        }
+    }
+
+    /// Test hook for the epoch-wrap regression tests.
+    #[cfg(test)]
+    pub(crate) fn force_epoch(&mut self, epoch: u32) {
+        self.visited.force_epoch(epoch);
     }
 
     /// Seeds the BFS with a start vertex known to lie inside the query.
@@ -204,7 +306,7 @@ impl Crawler {
     /// Heap bytes of the scratch structures.
     pub(crate) fn memory_bytes(&self) -> usize {
         let visited = match self.strategy {
-            VisitedStrategy::EpochArray => self.stamps.capacity() * std::mem::size_of::<u32>(),
+            VisitedStrategy::EpochArray => self.visited.heap_bytes(),
             VisitedStrategy::HashSet => self.set.capacity() * (std::mem::size_of::<VertexId>() + 1),
         };
         visited + self.queue.capacity() * std::mem::size_of::<VertexId>()
@@ -330,6 +432,75 @@ mod tests {
         let mut got = crawl_from_all_inside(&mut c, &mesh, &q);
         got.sort_unstable();
         assert_eq!(got, scan(&mesh, &q));
+    }
+
+    #[test]
+    fn epoch_stamps_clear_on_wrap() {
+        let mut s = EpochStamps::with_len(4);
+        s.begin(4);
+        assert!(s.mark(2));
+        assert!(s.is_marked(2));
+        // Jump to the wrap point: the next generation restarts the
+        // counter at 1 — the same value slot 2 already holds. Without
+        // the wrap-clear, the stale stamp would alias as "marked".
+        s.force_epoch(u32::MAX);
+        s.begin(4);
+        assert!(!s.is_marked(2), "stale stamp aliased across the wrap");
+        assert!(s.mark(2), "stale stamp must not block a fresh mark");
+    }
+
+    #[test]
+    fn pristine_stamps_read_as_unmarked() {
+        // Regression: a never-used set must not claim everything is
+        // marked (epoch and stamps both starting at 0 would).
+        let s = EpochStamps::with_len(3);
+        assert!(!s.is_marked(0));
+        let mut s = EpochStamps::default();
+        s.begin(2);
+        assert!(s.mark(1));
+
+        // Same property surfaced through the public scratch API.
+        let mesh = box_mesh(2);
+        let octopus = crate::Octopus::new(&mesh).unwrap();
+        let mut scratch = octopus.make_scratch(&mesh);
+        assert!(!scratch.visited().contains(0), "pristine scratch");
+        assert!(scratch.mark_visited(0));
+    }
+
+    #[test]
+    fn epoch_stamps_resize_starts_unmarked() {
+        let mut s = EpochStamps::with_len(2);
+        s.begin(2);
+        assert!(s.mark(0));
+        // Grow mid-lifetime: the new slots must not read as marked, in
+        // this generation or the next.
+        s.begin(5);
+        assert!(s.mark(4));
+        s.begin(5);
+        assert!(s.mark(4));
+    }
+
+    #[test]
+    fn crawler_epoch_wraparound_does_not_alias_stale_entries() {
+        // Regression test: a query stamps vertices with epoch 1; after
+        // the u32 counter wraps, the epoch is 1 again. If the wrap did
+        // not clear the stamp array, every vertex from that old query
+        // would falsely read as already visited and the crawl would
+        // return an empty result.
+        let mesh = box_mesh(4);
+        let q = Aabb::new(Point3::splat(0.1), Point3::splat(0.9));
+        let mut c = Crawler::new(mesh.num_vertices(), VisitedStrategy::EpochArray);
+        let expected = scan(&mesh, &q);
+        let mut first = crawl_from_all_inside(&mut c, &mesh, &q); // epoch 1
+        first.sort_unstable();
+        assert_eq!(first, expected);
+        // Simulate the u32::MAX - 1 intermediate queries.
+        c.force_epoch(u32::MAX);
+        for round in 0..3 {
+            let mut got = crawl_from_all_inside(&mut c, &mesh, &q);
+            got.sort_unstable();
+            assert_eq!(got, expected, "query {round} after the wrap");
+        }
     }
 
     #[test]

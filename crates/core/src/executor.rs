@@ -1,6 +1,6 @@
 //! The OCTOPUS query executor (Algorithm 1).
 
-use crate::crawler::{Crawler, VisitedStrategy};
+use crate::crawler::{Crawler, EpochStamps, VisitedStrategy, VisitedView};
 use crate::surface_index::SurfaceIndex;
 use octopus_geom::{Aabb, VertexId};
 use octopus_mesh::{Mesh, MeshError, SurfaceDelta};
@@ -79,8 +79,60 @@ impl PhaseTimings {
 #[derive(Debug)]
 pub struct Octopus {
     surface: SurfaceIndex,
+    components: ComponentMap,
+    scratch: QueryScratch,
+}
+
+// The executor state splits into an immutable, position-free part
+// (surface index + component map) and per-query scratch. The scratch is
+// its own type so concurrent callers (the `octopus-service` worker
+// pool) can run [`Octopus::query_with`] through a shared `&Octopus`,
+// each worker owning one `QueryScratch`.
+
+/// Per-thread scratch state for query execution: the crawl's visited
+/// set / BFS queue plus the per-component seeding stamps. Obtained from
+/// [`Octopus::make_scratch`]; every scratch may serve any number of
+/// queries, in any order, against the `Octopus` it came from.
+#[derive(Debug)]
+pub struct QueryScratch {
     crawler: Crawler,
-    components: ComponentInfo,
+    /// Per-component "has a seed" stamps for the current query.
+    seeded: EpochStamps,
+}
+
+impl QueryScratch {
+    fn new(num_vertices: usize, components: usize, strategy: VisitedStrategy) -> QueryScratch {
+        QueryScratch {
+            crawler: Crawler::new(num_vertices, strategy),
+            seeded: EpochStamps::with_len(components),
+        }
+    }
+
+    /// Read-only view of the current query's visited set. Shareable
+    /// across threads (the view borrows the scratch, so no mutation can
+    /// happen while it is alive).
+    pub fn visited(&self) -> VisitedView<'_> {
+        self.crawler.visited_view()
+    }
+
+    /// Marks `v` visited in the current query; returns `true` when it
+    /// was fresh. Used by the frontier-merge step of the sharded crawl.
+    #[inline]
+    pub fn mark_visited(&mut self, v: VertexId) -> bool {
+        self.crawler.mark(v)
+    }
+
+    /// Heap bytes of the scratch structures.
+    pub fn memory_bytes(&self) -> usize {
+        self.crawler.memory_bytes() + self.seeded.heap_bytes()
+    }
+
+    /// The visited-set strategy this scratch was built with. Pools
+    /// caching scratches across executors use it to detect a strategy
+    /// mismatch and rebuild.
+    pub fn visited_strategy(&self) -> VisitedStrategy {
+        self.crawler.strategy()
+    }
 }
 
 /// Connected-component bookkeeping for the component-aware directed walk.
@@ -105,24 +157,21 @@ pub struct Octopus {
 /// vertices whose graph neighbours all lie outside a sub-cell-sized
 /// query) remains a documented limitation inherited from the paper.
 #[derive(Debug, Default)]
-struct ComponentInfo {
+struct ComponentMap {
     /// Component id per vertex.
     component_of: Vec<u32>,
     /// Number of components.
     count: usize,
     /// Surface vertex ids grouped by component.
     surface_by_component: Vec<Vec<VertexId>>,
-    /// Per-component "has a seed" stamp for the current query.
-    seeded_stamp: Vec<u32>,
-    epoch: u32,
     /// Typical edge length (sampled at build time) — the scale against
     /// which a failed walk's stall distance is judged. Deformation
     /// drifts it, which is fine: it only gates a retry heuristic.
     edge_scale: f32,
 }
 
-impl ComponentInfo {
-    fn build(mesh: &Mesh, surface: &SurfaceIndex) -> ComponentInfo {
+impl ComponentMap {
+    fn build(mesh: &Mesh, surface: &SurfaceIndex) -> ComponentMap {
         let (component_of, count) = mesh.adjacency().connected_components();
         let mut surface_by_component = vec![Vec::new(); count];
         for &v in surface.ids() {
@@ -144,38 +193,12 @@ impl ComponentInfo {
         } else {
             (total / edges as f64) as f32
         };
-        ComponentInfo {
+        ComponentMap {
             component_of,
             count,
             surface_by_component,
-            seeded_stamp: vec![0; count],
-            epoch: 0,
             edge_scale,
         }
-    }
-
-    #[inline]
-    fn begin_query(&mut self) {
-        if self.epoch == u32::MAX {
-            self.seeded_stamp.fill(0);
-            self.epoch = 0;
-        }
-        self.epoch += 1;
-    }
-
-    /// Marks `v`'s component as seeded; returns `true` when it was not
-    /// yet seeded in this query.
-    #[inline]
-    fn mark_seeded(&mut self, v: VertexId) -> bool {
-        let c = self.component_of[v as usize] as usize;
-        let fresh = self.seeded_stamp[c] != self.epoch;
-        self.seeded_stamp[c] = self.epoch;
-        fresh
-    }
-
-    #[inline]
-    fn is_seeded(&self, c: usize) -> bool {
-        self.seeded_stamp[c] == self.epoch
     }
 }
 
@@ -189,30 +212,50 @@ impl Octopus {
     /// [`VisitedStrategy`]).
     pub fn with_strategy(mesh: &Mesh, strategy: VisitedStrategy) -> Result<Octopus, MeshError> {
         let surface = SurfaceIndex::build(mesh)?;
-        let components = ComponentInfo::build(mesh, &surface);
+        let components = ComponentMap::build(mesh, &surface);
+        let scratch = QueryScratch::new(mesh.num_vertices(), components.count, strategy);
         Ok(Octopus {
             surface,
-            crawler: Crawler::new(mesh.num_vertices(), strategy),
             components,
+            scratch,
         })
     }
 
     /// Switches the crawl expansion order (BFS default; DFS for the
     /// `ablation_crawl_order` bench). Both visit the same vertex set.
     pub fn set_crawl_order(&mut self, order: crate::crawler::CrawlOrder) {
-        self.crawler.order = order;
+        self.scratch.crawler.order = order;
     }
 
     /// Builds from a pre-extracted surface index (avoids re-extraction
     /// when the caller already has one, e.g. when sweeping approximation
     /// fractions).
     pub fn from_surface_index(surface: SurfaceIndex, mesh: &Mesh) -> Octopus {
-        let components = ComponentInfo::build(mesh, &surface);
+        let components = ComponentMap::build(mesh, &surface);
+        let scratch = QueryScratch::new(
+            mesh.num_vertices(),
+            components.count,
+            VisitedStrategy::default(),
+        );
         Octopus {
             surface,
-            crawler: Crawler::new(mesh.num_vertices(), VisitedStrategy::default()),
             components,
+            scratch,
         }
+    }
+
+    /// Creates an additional scratch for `mesh`, matching this
+    /// executor's visited-set strategy and crawl order. Concurrent
+    /// callers give each worker its own scratch and share the executor
+    /// itself behind `&Octopus` (see [`Octopus::query_with`]).
+    pub fn make_scratch(&self, mesh: &Mesh) -> QueryScratch {
+        let mut scratch = QueryScratch::new(
+            mesh.num_vertices(),
+            self.components.count,
+            self.scratch.crawler.strategy(),
+        );
+        scratch.crawler.order = self.scratch.crawler.order;
+        scratch
     }
 
     /// The surface index (inspection / tests).
@@ -225,7 +268,7 @@ impl Octopus {
     /// irrelevant). Not needed for deformation.
     pub fn on_restructure(&mut self, mesh: &Mesh, delta: &SurfaceDelta) {
         self.surface.apply_delta(delta);
-        self.components = ComponentInfo::build(mesh, &self.surface);
+        self.components = ComponentMap::build(mesh, &self.surface);
     }
 
     /// Executes a range query, appending all vertices of `mesh` whose
@@ -247,108 +290,186 @@ impl Octopus {
     /// cell size) is inherited from the paper and documented in
     /// `DESIGN.md`.
     pub fn query(&mut self, mesh: &Mesh, q: &Aabb, out: &mut Vec<VertexId>) -> PhaseTimings {
-        let mut stats = PhaseTimings::default();
-        let positions = mesh.positions();
-        self.crawler.begin_query(mesh.num_vertices());
-        self.components.begin_query();
+        run_query(
+            &self.surface,
+            &self.components,
+            &mut self.scratch,
+            mesh,
+            q,
+            out,
+            true,
+        )
+    }
 
-        // Phase 1: surface probe. The hot pass is a pure membership test:
-        // the id list is known in advance so the gathered position loads
-        // are prefetched ahead, and the branchless containment keeps the
-        // loop pipeline-friendly. The closest-vertex bookkeeping of
-        // Algorithm 1 is only needed when *no* surface vertex is inside
-        // the query (the rare directed-walk case), so it runs as a
-        // separate second pass instead of burdening every probe.
-        let t0 = Instant::now();
-        let mut seeds = 0usize;
-        let mut seeded_components = 0usize;
-        let ids = self.surface.ids();
-        for (i, &v) in ids.iter().enumerate() {
-            if i + octopus_geom::mem::PREFETCH_DISTANCE < ids.len() {
-                let ahead = ids[i + octopus_geom::mem::PREFETCH_DISTANCE] as usize;
-                octopus_geom::mem::prefetch_read(positions, ahead);
-            }
-            if q.contains(positions[v as usize]) && self.crawler.seed(v, out) {
-                seeds += 1;
-                seeded_components += usize::from(self.components.mark_seeded(v));
-            }
-        }
-        stats.start_vertices = seeds;
-        stats.surface_probe = t0.elapsed();
+    /// [`Octopus::query`] through a shared reference, using
+    /// caller-provided scratch (from [`Octopus::make_scratch`]). This is
+    /// the concurrent entry point: many threads may call it
+    /// simultaneously on one `&Octopus` + one `&Mesh`, each with its own
+    /// scratch and output vector.
+    pub fn query_with(
+        &self,
+        scratch: &mut QueryScratch,
+        mesh: &Mesh,
+        q: &Aabb,
+        out: &mut Vec<VertexId>,
+    ) -> PhaseTimings {
+        run_query(&self.surface, &self.components, scratch, mesh, q, out, true)
+    }
 
-        // Phase 2: component-aware directed walks. Every component whose
-        // surface produced no seed may still intersect the query with
-        // fully interior material (or not at all — the walk decides). A
-        // *strided* scan picks a near-closest surface vertex of that
-        // component as the walk start: any start yields the correct
-        // result (exactness comes from walk + crawl, §IV-D); the closest
-        // is only a walk-shortening heuristic, so sampling every k-th
-        // candidate trades a slightly longer walk for a cheaper start
-        // search. A failed walk retries once from the exact closest
-        // vertex before concluding this component contributes nothing.
-        if seeded_components < self.components.count {
-            let t1 = Instant::now();
-            for c in 0..self.components.count {
-                if self.components.is_seeded(c) {
-                    continue;
-                }
-                let comp_ids = &self.components.surface_by_component[c];
-                if comp_ids.is_empty() {
-                    continue;
-                }
-                // Sparse-sample start + walk; a failed walk retries once
-                // from a denser sample, but only when the stall happened
-                // *near* the query (within a few edge lengths) — a stall
-                // far away means this component simply does not reach the
-                // query, the overwhelmingly common case on
-                // multi-component meshes, and a denser start would walk
-                // to the same frontier. A full O(S·V) scan per unseeded
-                // component would dominate such workloads.
-                let mut found = None;
-                let near = 4.0 * self.components.edge_scale;
-                let near_sq = near * near;
-                for sample_target in [512usize, 4096] {
-                    let stride = (comp_ids.len() / sample_target).max(1);
-                    if let Some(sv) = closest_of(comp_ids.iter().step_by(stride), positions, q) {
-                        found = self.crawler.directed_walk(mesh, q, sv);
-                    }
-                    if found.is_some()
-                        || stride == 1
-                        || self.crawler.last_walk_end_dist_sq > near_sq
-                    {
-                        break;
-                    }
-                }
-                if let Some(inside) = found {
-                    if self.crawler.seed(inside, out) {
-                        stats.start_vertices += 1;
-                    }
-                }
-            }
-            stats.walk_visited = self.crawler.walk_visited;
-            stats.directed_walk = t1.elapsed();
-        }
-
-        // Phase 3: crawling.
-        let t2 = Instant::now();
-        self.crawler.crawl(mesh, q, out);
-        stats.crawling = t2.elapsed();
-        stats.crawl_visited = self.crawler.crawl_visited;
-        stats.results = out.len();
-        stats
+    /// Runs only the seeding phases of Algorithm 1 (surface probe +
+    /// component-aware directed walks), appending the crawl seeds to
+    /// `out` and marking them visited in `scratch` — the
+    /// seed-partitioned crawl entry point. The caller owns the crawl:
+    /// either sequentially via repeated seeding + [`Octopus::query`]'s
+    /// machinery, or by sharding the frontier across workers (see
+    /// `octopus-service`), using [`QueryScratch::visited`] /
+    /// [`QueryScratch::mark_visited`] as the master visited set.
+    pub fn seed_query(
+        &self,
+        scratch: &mut QueryScratch,
+        mesh: &Mesh,
+        q: &Aabb,
+        out: &mut Vec<VertexId>,
+    ) -> PhaseTimings {
+        run_query(
+            &self.surface,
+            &self.components,
+            scratch,
+            mesh,
+            q,
+            out,
+            false,
+        )
     }
 
     /// Heap bytes: surface index + traversal scratch (the two components
     /// of the paper's OCTOPUS footprint, Fig. 10(b)).
     pub fn memory_bytes(&self) -> usize {
-        self.surface.memory_bytes() + self.crawler.memory_bytes()
+        self.surface.memory_bytes() + self.scratch.memory_bytes()
     }
 
     /// The configured visited-set strategy.
     pub fn visited_strategy(&self) -> VisitedStrategy {
-        self.crawler.strategy()
+        self.scratch.crawler.strategy()
     }
 }
+
+/// Algorithm 1 over split borrows: the immutable assets (`surface`,
+/// `components`) may be shared across threads while each worker drives
+/// its own `scratch`. With `crawl == false` only the seeding phases run
+/// (probe + walks) and `out` holds the seed set on return.
+#[allow(clippy::too_many_arguments)]
+fn run_query(
+    surface: &SurfaceIndex,
+    components: &ComponentMap,
+    scratch: &mut QueryScratch,
+    mesh: &Mesh,
+    q: &Aabb,
+    out: &mut Vec<VertexId>,
+    crawl: bool,
+) -> PhaseTimings {
+    let mut stats = PhaseTimings::default();
+    let positions = mesh.positions();
+    scratch.crawler.begin_query(mesh.num_vertices());
+    scratch.seeded.begin(components.count);
+
+    // Phase 1: surface probe. The hot pass is a pure membership test:
+    // the id list is known in advance so the gathered position loads
+    // are prefetched ahead, and the branchless containment keeps the
+    // loop pipeline-friendly. The closest-vertex bookkeeping of
+    // Algorithm 1 is only needed when *no* surface vertex is inside
+    // the query (the rare directed-walk case), so it runs as a
+    // separate second pass instead of burdening every probe.
+    let t0 = Instant::now();
+    let mut seeds = 0usize;
+    let mut seeded_components = 0usize;
+    let ids = surface.ids();
+    for (i, &v) in ids.iter().enumerate() {
+        if i + octopus_geom::mem::PREFETCH_DISTANCE < ids.len() {
+            let ahead = ids[i + octopus_geom::mem::PREFETCH_DISTANCE] as usize;
+            octopus_geom::mem::prefetch_read(positions, ahead);
+        }
+        if q.contains(positions[v as usize]) && scratch.crawler.seed(v, out) {
+            seeds += 1;
+            let c = components.component_of[v as usize] as usize;
+            seeded_components += usize::from(scratch.seeded.mark(c));
+        }
+    }
+    stats.start_vertices = seeds;
+    stats.surface_probe = t0.elapsed();
+
+    // Phase 2: component-aware directed walks. Every component whose
+    // surface produced no seed may still intersect the query with
+    // fully interior material (or not at all — the walk decides). A
+    // *strided* scan picks a near-closest surface vertex of that
+    // component as the walk start: any start yields the correct
+    // result (exactness comes from walk + crawl, §IV-D); the closest
+    // is only a walk-shortening heuristic, so sampling every k-th
+    // candidate trades a slightly longer walk for a cheaper start
+    // search. A failed walk retries once from the exact closest
+    // vertex before concluding this component contributes nothing.
+    if seeded_components < components.count {
+        let t1 = Instant::now();
+        for c in 0..components.count {
+            if scratch.seeded.is_marked(c) {
+                continue;
+            }
+            let comp_ids = &components.surface_by_component[c];
+            if comp_ids.is_empty() {
+                continue;
+            }
+            // Sparse-sample start + walk; a failed walk retries once
+            // from a denser sample, but only when the stall happened
+            // *near* the query (within a few edge lengths) — a stall
+            // far away means this component simply does not reach the
+            // query, the overwhelmingly common case on
+            // multi-component meshes, and a denser start would walk
+            // to the same frontier. A full O(S·V) scan per unseeded
+            // component would dominate such workloads.
+            let mut found = None;
+            let near = 4.0 * components.edge_scale;
+            let near_sq = near * near;
+            for sample_target in [512usize, 4096] {
+                let stride = (comp_ids.len() / sample_target).max(1);
+                if let Some(sv) = closest_of(comp_ids.iter().step_by(stride), positions, q) {
+                    found = scratch.crawler.directed_walk(mesh, q, sv);
+                }
+                if found.is_some() || stride == 1 || scratch.crawler.last_walk_end_dist_sq > near_sq
+                {
+                    break;
+                }
+            }
+            if let Some(inside) = found {
+                if scratch.crawler.seed(inside, out) {
+                    stats.start_vertices += 1;
+                }
+            }
+        }
+        stats.walk_visited = scratch.crawler.walk_visited;
+        stats.directed_walk = t1.elapsed();
+    }
+
+    // Phase 3: crawling (skipped for seed-only callers).
+    if crawl {
+        let t2 = Instant::now();
+        scratch.crawler.crawl(mesh, q, out);
+        stats.crawling = t2.elapsed();
+        stats.crawl_visited = scratch.crawler.crawl_visited;
+    }
+    stats.results = out.len();
+    stats
+}
+
+// The concurrent service layer shares `&Octopus` and `&Mesh` across its
+// workers and moves scratches into them; regressing these bounds (e.g.
+// by adding interior mutability) must fail loudly at compile time.
+const _: () = {
+    const fn assert_sync_send<T: Sync + Send>() {}
+    const fn assert_send<T: Send>() {}
+    assert_sync_send::<Octopus>();
+    assert_sync_send::<SurfaceIndex>();
+    assert_send::<QueryScratch>();
+};
 
 /// Surface vertex among `ids` closest to `q` (squared Euclidean
 /// box distance), or `None` for an empty iterator.

@@ -34,6 +34,7 @@ pub mod con;
 pub mod cost_model;
 mod crawler;
 pub mod executor;
+pub mod frontier;
 pub mod layout;
 pub mod planner;
 pub mod surface_index;
@@ -41,7 +42,8 @@ pub mod surface_index;
 pub use approx::ApproxOctopus;
 pub use con::OctopusCon;
 pub use cost_model::CostModel;
-pub use crawler::{CrawlOrder, VisitedStrategy};
-pub use executor::{Octopus, PhaseTimings};
-pub use planner::{Planner, Strategy};
+pub use crawler::{CrawlOrder, VisitedStrategy, VisitedView};
+pub use executor::{Octopus, PhaseTimings, QueryScratch};
+pub use frontier::ShardWorker;
+pub use planner::{Decision, Planner, Strategy};
 pub use surface_index::SurfaceIndex;

@@ -40,6 +40,10 @@ pub struct Planner {
     histogram: SelectivityHistogram,
     surface_ratio: f64,
     mesh_degree: f64,
+    /// Eq.-6 crossover, a function of (S, M, C_S, C_R) only — computed
+    /// once at build time so per-query (and per-batch) decisions never
+    /// recompute mesh statistics.
+    crossover: f64,
 }
 
 impl Planner {
@@ -50,12 +54,12 @@ impl Planner {
         let stats = MeshStats::compute(mesh)?;
         let histogram =
             SelectivityHistogram::build(mesh.positions(), &mesh.bounding_box(), hist_res);
-        Ok(Planner {
+        Ok(Planner::from_parts(
             model,
             histogram,
-            surface_ratio: stats.surface_ratio,
-            mesh_degree: stats.mesh_degree,
-        })
+            stats.surface_ratio,
+            stats.mesh_degree,
+        ))
     }
 
     /// Builds from explicit workload characteristics (no mesh pass).
@@ -65,32 +69,41 @@ impl Planner {
         surface_ratio: f64,
         mesh_degree: f64,
     ) -> Planner {
+        let crossover = model.crossover_selectivity(surface_ratio, mesh_degree);
         Planner {
             model,
             histogram,
             surface_ratio,
             mesh_degree,
+            crossover,
         }
     }
 
     /// Decides the strategy for query `q` (Eq. 6).
     pub fn decide(&self, q: &Aabb) -> Decision {
         let sel = self.histogram.estimate_selectivity(q);
-        let crossover = self
-            .model
-            .crossover_selectivity(self.surface_ratio, self.mesh_degree);
         Decision {
-            strategy: if sel < crossover {
+            strategy: if sel < self.crossover {
                 Strategy::Octopus
             } else {
                 Strategy::LinearScan
             },
             estimated_selectivity: sel,
-            crossover_selectivity: crossover,
+            crossover_selectivity: self.crossover,
             predicted_speedup: self
                 .model
                 .speedup(self.surface_ratio, self.mesh_degree, sel),
         }
+    }
+
+    /// Decides a whole batch at once, one [`Decision`] per query in
+    /// input order. The dataset-level inputs (S, M, the Eq.-6 crossover)
+    /// are computed once per planner, not per query, so routing a mixed
+    /// batch costs one histogram probe per query and nothing else — the
+    /// entry point the service layer uses to split batches between
+    /// OCTOPUS workers and linear scans.
+    pub fn decide_batch(&self, queries: &[Aabb]) -> Vec<Decision> {
+        queries.iter().map(|q| self.decide(q)).collect()
     }
 
     /// The dataset's surface-to-volume ratio `S`.
@@ -149,6 +162,55 @@ mod tests {
                 Strategy::LinearScan
             }
         );
+    }
+
+    #[test]
+    fn decide_batch_matches_per_query_decisions() {
+        let mesh = box_mesh(8);
+        let planner = Planner::new(&mesh, CostModel::paper_constants(), 8).unwrap();
+        let queries: Vec<Aabb> = (1..=10)
+            .map(|i| Aabb::cube(Point3::splat(0.5), 0.05 * i as f32))
+            .collect();
+        let batch = planner.decide_batch(&queries);
+        assert_eq!(batch.len(), queries.len());
+        for (d, q) in batch.iter().zip(&queries) {
+            let single = planner.decide(q);
+            assert_eq!(d.strategy, single.strategy);
+            assert_eq!(d.estimated_selectivity, single.estimated_selectivity);
+            assert_eq!(d.crossover_selectivity, single.crossover_selectivity);
+        }
+    }
+
+    #[test]
+    fn crossover_is_monotone_in_selectivity() {
+        // Growing a query around a fixed centre is monotone in estimated
+        // selectivity, and because the crossover is a per-dataset
+        // constant the decision flips from OCTOPUS to LinearScan at most
+        // once along the sweep.
+        let mesh = box_mesh(10);
+        let planner = Planner::new(&mesh, CostModel::paper_constants(), 8).unwrap();
+        let queries: Vec<Aabb> = (1..=40)
+            .map(|i| Aabb::cube(Point3::splat(0.5), 0.02 * i as f32))
+            .collect();
+        let decisions = planner.decide_batch(&queries);
+        let mut flipped = false;
+        for pair in decisions.windows(2) {
+            assert!(
+                pair[1].estimated_selectivity >= pair[0].estimated_selectivity,
+                "selectivity estimate must grow with the query"
+            );
+            assert_eq!(pair[1].crossover_selectivity, pair[0].crossover_selectivity);
+            match (pair[0].strategy, pair[1].strategy) {
+                (Strategy::LinearScan, Strategy::Octopus) => {
+                    panic!("decision flipped back below the crossover")
+                }
+                (Strategy::Octopus, Strategy::LinearScan) => flipped = true,
+                _ => {}
+            }
+        }
+        assert!(flipped, "sweep must actually cross the Eq.-6 threshold");
+        assert_eq!(decisions.first().unwrap().strategy, Strategy::Octopus);
+        assert_eq!(decisions.last().unwrap().strategy, Strategy::LinearScan);
     }
 
     #[test]

@@ -1,0 +1,188 @@
+//! The parallel batch executor: a worker pool over a shared `&Octopus`.
+
+use octopus_core::{Octopus, PhaseTimings, QueryScratch, ShardWorker};
+use octopus_geom::{Aabb, VertexId};
+use octopus_mesh::Mesh;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One query's answer: the matching vertex ids plus the per-phase
+/// execution statistics.
+#[derive(Clone, Debug, Default)]
+pub struct QueryResult {
+    /// Vertices of the mesh inside the query box.
+    pub vertices: Vec<VertexId>,
+    /// Per-phase timings and work counters.
+    pub timings: PhaseTimings,
+}
+
+/// Aggregate statistics over one executed batch.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BatchStats {
+    /// Number of queries in the batch.
+    pub queries: usize,
+    /// Total result vertices across the batch.
+    pub total_results: usize,
+    /// Accumulated per-phase work (CPU time across workers, not wall
+    /// time: phases of different queries run concurrently).
+    pub phases: PhaseTimings,
+}
+
+impl BatchStats {
+    /// Sums a batch's per-query results into one record.
+    pub fn aggregate(results: &[QueryResult]) -> BatchStats {
+        let mut stats = BatchStats {
+            queries: results.len(),
+            ..BatchStats::default()
+        };
+        for r in results {
+            stats.total_results += r.vertices.len();
+            stats.phases.accumulate(&r.timings);
+        }
+        stats
+    }
+}
+
+/// A reusable pool of per-worker scratch state executing query batches
+/// (and frontier-sharded single queries) against a shared
+/// [`Octopus`] + [`Mesh`].
+///
+/// The executor owns no threads: scoped worker threads are spawned per
+/// call and the scratch (visited arrays, BFS queues, shard-local
+/// epoch stamps) persists across calls, so steady-state serving does
+/// not allocate per batch. Queries are distributed by work stealing —
+/// an atomic cursor over the batch — so skewed batches (one huge query
+/// among many small ones) still balance.
+///
+/// ```
+/// use octopus_core::Octopus;
+/// use octopus_geom::{Aabb, Point3};
+/// use octopus_meshgen::{tet::tetrahedralize, VoxelRegion};
+/// use octopus_service::ParallelExecutor;
+///
+/// let bounds = Aabb::new(Point3::ORIGIN, Point3::splat(1.0));
+/// let mesh = tetrahedralize(&VoxelRegion::solid_box(&bounds, 5, 5, 5))?;
+/// let octopus = Octopus::new(&mesh)?;
+/// let mut pool = ParallelExecutor::new(4);
+/// let queries = vec![
+///     Aabb::cube(Point3::splat(0.3), 0.2),
+///     Aabb::cube(Point3::splat(0.7), 0.2),
+/// ];
+/// let results = pool.execute_batch(&octopus, &mesh, &queries);
+/// assert_eq!(results.len(), 2);
+/// # Ok::<(), octopus_mesh::MeshError>(())
+/// ```
+#[derive(Debug)]
+pub struct ParallelExecutor {
+    pub(crate) threads: usize,
+    pub(crate) scratches: Vec<QueryScratch>,
+    pub(crate) shard_workers: Vec<ShardWorker>,
+    /// Frontier double-buffer for the sharded crawl.
+    pub(crate) frontier: Vec<VertexId>,
+    pub(crate) next_frontier: Vec<VertexId>,
+}
+
+impl ParallelExecutor {
+    /// A pool answering queries on `threads` workers (min 1).
+    pub fn new(threads: usize) -> ParallelExecutor {
+        ParallelExecutor {
+            threads: threads.max(1),
+            scratches: Vec::new(),
+            shard_workers: Vec::new(),
+            frontier: Vec::new(),
+            next_frontier: Vec::new(),
+        }
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    pub(crate) fn ensure_scratches(&mut self, octopus: &Octopus, mesh: &Mesh, n: usize) {
+        // A pool may serve different executors over its lifetime; keep
+        // the cached scratches only while their visited-set strategy
+        // matches (an EpochArray scratch serving a HashSet executor
+        // would silently pin O(V) stamp arrays — correct results,
+        // wrong memory profile).
+        if self
+            .scratches
+            .first()
+            .is_some_and(|s| s.visited_strategy() != octopus.visited_strategy())
+        {
+            self.scratches.clear();
+        }
+        while self.scratches.len() < n {
+            self.scratches.push(octopus.make_scratch(mesh));
+        }
+    }
+
+    /// Executes every query in `queries` and returns their results in
+    /// input order. Workers share `octopus` and `mesh` immutably; each
+    /// owns one scratch, so results are identical to running
+    /// [`Octopus::query`] sequentially per query (the equivalence
+    /// property suite asserts this, order-insensitively).
+    pub fn execute_batch(
+        &mut self,
+        octopus: &Octopus,
+        mesh: &Mesh,
+        queries: &[Aabb],
+    ) -> Vec<QueryResult> {
+        let workers = self.threads.min(queries.len()).max(1);
+        self.ensure_scratches(octopus, mesh, workers);
+
+        let cursor = AtomicUsize::new(0);
+        let run = |scratch: &mut QueryScratch| {
+            let mut mine: Vec<(usize, QueryResult)> = Vec::new();
+            loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(q) = queries.get(i) else { break };
+                let mut vertices = Vec::new();
+                let timings = octopus.query_with(scratch, mesh, q, &mut vertices);
+                mine.push((i, QueryResult { vertices, timings }));
+            }
+            mine
+        };
+
+        let mut slots: Vec<Option<QueryResult>> = vec![None; queries.len()];
+        if workers == 1 {
+            for (i, r) in run(&mut self.scratches[0]) {
+                slots[i] = Some(r);
+            }
+        } else {
+            let per_worker = std::thread::scope(|s| {
+                let handles: Vec<_> = self
+                    .scratches
+                    .iter_mut()
+                    .take(workers)
+                    .map(|scratch| s.spawn(|| run(scratch)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("batch worker panicked"))
+                    .collect::<Vec<_>>()
+            });
+            for (i, r) in per_worker.into_iter().flatten() {
+                slots[i] = Some(r);
+            }
+        }
+        slots
+            .into_iter()
+            .map(|r| r.expect("work stealing covers every query"))
+            .collect()
+    }
+
+    /// Heap bytes of all pooled scratch state.
+    pub fn memory_bytes(&self) -> usize {
+        self.scratches
+            .iter()
+            .map(QueryScratch::memory_bytes)
+            .sum::<usize>()
+            + self
+                .shard_workers
+                .iter()
+                .map(ShardWorker::memory_bytes)
+                .sum::<usize>()
+            + (self.frontier.capacity() + self.next_frontier.capacity())
+                * std::mem::size_of::<VertexId>()
+    }
+}

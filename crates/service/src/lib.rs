@@ -1,0 +1,47 @@
+//! Concurrent query serving on dynamic meshes.
+//!
+//! The paper's monitor loop (Fig. 1e) is `SIMULATE → MONITOR → …`:
+//! queries only run while the simulation is parked, and one query runs
+//! at a time. This crate turns the `octopus-core` executor into a
+//! query-*serving* engine along both axes the ROADMAP names:
+//!
+//! * [`ParallelExecutor`] — a worker pool fanning a **batch** of range
+//!   queries out across threads. The epoch-stamped scratch design makes
+//!   per-worker state reuse free: workers share one immutable
+//!   [`octopus_core::Octopus`] + `&Mesh` and each owns a
+//!   [`octopus_core::QueryScratch`], so a batch costs zero allocation
+//!   beyond the result vectors.
+//! * [`ParallelExecutor::query_sharded`] — a **frontier-sharded crawl**
+//!   for one large query: the BFS frontier is split into chunks each
+//!   round, workers expand chunks against a shared read-only view of
+//!   the visited set, dedupe locally in epoch-stamped per-worker
+//!   arrays, and a sequential merge folds candidates back in chunk
+//!   order — result order is deterministic regardless of scheduling.
+//! * [`MonitorLoop`] — an **epoch-snapshot monitor**: the simulation
+//!   runs on its own thread and hands double-buffered position
+//!   snapshots (plus surface-delta replay on the rare restructuring
+//!   step) to the monitor, so queries against a stable snapshot of
+//!   step N overlap with the computation of step N+1 — SIMULATE ∥
+//!   MONITOR for the first time.
+//!
+//! All concurrency is `std` scoped threads + channels; results are
+//! bit-identical to the sequential executor (the crate's property
+//! suite verifies batch and sharded execution against
+//! [`octopus_core::Octopus::query`] on random meshes under both
+//! visited-set strategies).
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+mod batch;
+mod monitor;
+mod shard;
+
+pub use batch::{BatchStats, ParallelExecutor, QueryResult};
+pub use monitor::{MonitorLoop, ServiceError};
+
+/// Default number of worker threads: the machine's available
+/// parallelism, or 1 when it cannot be determined.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}

@@ -1,0 +1,304 @@
+//! The epoch-snapshot monitor loop: SIMULATE ∥ MONITOR.
+//!
+//! The paper's loop (Fig. 1e) is stop-the-world: the monitor queries
+//! the live position array, so it can only run while the simulation is
+//! parked between steps. [`MonitorLoop`] breaks that coupling with a
+//! position snapshot:
+//!
+//! ```text
+//!   sim thread    : … step N ──────┐ step N+1 ──────┐ step N+2 …
+//!                                  │ hand-off       │ hand-off
+//!   monitor thread: … queries@N-1 ─┴─ queries@N ────┴─ queries@N+1 …
+//! ```
+//!
+//! The hand-off is double-buffered: the simulation thread fills a
+//! recycled `Vec<Point3>` with the new positions right after `step()`
+//! and sends it over a channel; the monitor swaps it into its snapshot
+//! mesh and returns the previous buffer for reuse. Deformation steps
+//! therefore cost one position memcpy and zero allocation in steady
+//! state. On the rare restructuring step (connectivity changed — the
+//! positions-only copy would leave the snapshot's adjacency stale) the
+//! simulation thread sends a full mesh clone instead, and the monitor
+//! replays the surface delta into its executor exactly as the
+//! sequential loop would ([`octopus_core::Octopus::on_restructure`]).
+//!
+//! Because the snapshot *is* the mesh state at the end of step N, every
+//! query answered against it returns exactly what a stop-the-world
+//! monitor would have returned at that step — the crate's tests (and
+//! `examples/serve.rs`) verify result equality against a sequential
+//! reference run.
+
+use crate::batch::{ParallelExecutor, QueryResult};
+use octopus_core::{Octopus, PhaseTimings};
+use octopus_geom::{Aabb, Point3, VertexId};
+use octopus_mesh::{Mesh, MeshError, SurfaceDelta};
+use octopus_sim::Simulation;
+use std::sync::mpsc::{Receiver, Sender};
+use std::thread::JoinHandle;
+
+/// Errors surfaced by the service layer.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// The underlying mesh/simulation operation failed.
+    Mesh(MeshError),
+    /// The simulation thread is gone (it panicked or was shut down).
+    SimulationStopped,
+    /// `finish_step` was called with no step in flight.
+    NoStepInFlight,
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Mesh(e) => write!(f, "simulation step failed: {e}"),
+            ServiceError::SimulationStopped => write!(f, "simulation thread has stopped"),
+            ServiceError::NoStepInFlight => write!(f, "no simulation step in flight"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<MeshError> for ServiceError {
+    fn from(e: MeshError) -> ServiceError {
+        ServiceError::Mesh(e)
+    }
+}
+
+enum Cmd {
+    /// Advance one step, recycling `reuse` as the outgoing snapshot
+    /// buffer when possible.
+    Step {
+        reuse: Option<Vec<Point3>>,
+    },
+    Stop,
+}
+
+enum Update {
+    /// Deformation only: positions changed, connectivity did not.
+    Deformed {
+        step: u32,
+        positions: Vec<Point3>,
+    },
+    /// Restructuring fired: full mesh hand-off + surface delta replay.
+    Restructured {
+        step: u32,
+        mesh: Box<Mesh>,
+        delta: SurfaceDelta,
+    },
+    Failed(MeshError),
+}
+
+/// The overlapped monitor loop: owns a simulation (running on its own
+/// thread), a stable snapshot of the last completed step, and the
+/// query machinery ([`Octopus`] + [`ParallelExecutor`]) answering
+/// against that snapshot.
+///
+/// Driving pattern:
+///
+/// ```text
+/// loop {
+///     monitor.begin_step()?;            // step N+1 starts computing
+///     … monitor.query / query_batch …   // answered against step N
+///     monitor.finish_step()?;           // snapshot advances to N+1
+/// }
+/// ```
+///
+/// [`MonitorLoop::step_and_query`] packages one iteration of exactly
+/// that pattern.
+pub struct MonitorLoop {
+    cmd_tx: Sender<Cmd>,
+    upd_rx: Receiver<Update>,
+    handle: Option<JoinHandle<Simulation>>,
+    snapshot: Mesh,
+    snapshot_step: u32,
+    octopus: Octopus,
+    pool: ParallelExecutor,
+    spare: Option<Vec<Point3>>,
+    in_flight: bool,
+}
+
+impl MonitorLoop {
+    /// Wraps `sim`, snapshotting its current state (step 0 unless the
+    /// caller pre-ran it) and answering queries on `threads` workers.
+    /// The simulation thread starts immediately but idles until
+    /// [`MonitorLoop::begin_step`].
+    pub fn new(sim: Simulation, threads: usize) -> Result<MonitorLoop, MeshError> {
+        let snapshot = sim.mesh().clone();
+        let snapshot_step = sim.current_step();
+        let octopus = Octopus::new(&snapshot)?;
+        let (cmd_tx, cmd_rx) = std::sync::mpsc::channel();
+        let (upd_tx, upd_rx) = std::sync::mpsc::channel();
+        let handle = std::thread::spawn(move || sim_thread(sim, &cmd_rx, &upd_tx));
+        Ok(MonitorLoop {
+            cmd_tx,
+            upd_rx,
+            handle: Some(handle),
+            snapshot,
+            snapshot_step,
+            octopus,
+            pool: ParallelExecutor::new(threads),
+            spare: None,
+            in_flight: false,
+        })
+    }
+
+    /// Kicks off the next simulation step on the simulation thread and
+    /// returns immediately; queries keep answering against the current
+    /// snapshot while it runs. No-op when a step is already in flight.
+    pub fn begin_step(&mut self) -> Result<(), ServiceError> {
+        if self.in_flight {
+            return Ok(());
+        }
+        let reuse = self.spare.take();
+        self.cmd_tx
+            .send(Cmd::Step { reuse })
+            .map_err(|_| ServiceError::SimulationStopped)?;
+        self.in_flight = true;
+        Ok(())
+    }
+
+    /// Waits for the in-flight step and swaps its state into the
+    /// snapshot (positions memcpy on deformation steps; mesh replace +
+    /// surface-delta replay on restructuring steps). Returns the
+    /// snapshot's new step number.
+    pub fn finish_step(&mut self) -> Result<u32, ServiceError> {
+        if !self.in_flight {
+            return Err(ServiceError::NoStepInFlight);
+        }
+        self.in_flight = false;
+        match self
+            .upd_rx
+            .recv()
+            .map_err(|_| ServiceError::SimulationStopped)?
+        {
+            Update::Deformed { step, positions } => {
+                self.snapshot.positions_mut().copy_from_slice(&positions);
+                self.spare = Some(positions);
+                self.snapshot_step = step;
+            }
+            Update::Restructured { step, mesh, delta } => {
+                self.snapshot = *mesh;
+                self.octopus.on_restructure(&self.snapshot, &delta);
+                self.snapshot_step = step;
+            }
+            Update::Failed(e) => return Err(ServiceError::Mesh(e)),
+        }
+        Ok(self.snapshot_step)
+    }
+
+    /// One overlapped iteration: starts the next step, answers `queries`
+    /// against the current snapshot while it computes, then advances the
+    /// snapshot. Returns the results plus the step they were answered
+    /// at.
+    pub fn step_and_query(
+        &mut self,
+        queries: &[Aabb],
+    ) -> Result<(Vec<QueryResult>, u32), ServiceError> {
+        self.begin_step()?;
+        let answered_at = self.snapshot_step;
+        let results = self.query_batch(queries);
+        self.finish_step()?;
+        Ok((results, answered_at))
+    }
+
+    /// The stable snapshot currently being queried.
+    pub fn snapshot(&self) -> &Mesh {
+        &self.snapshot
+    }
+
+    /// The time step the snapshot corresponds to.
+    pub fn snapshot_step(&self) -> u32 {
+        self.snapshot_step
+    }
+
+    /// True between [`MonitorLoop::begin_step`] and
+    /// [`MonitorLoop::finish_step`] — i.e. while SIMULATE and MONITOR
+    /// actually overlap.
+    pub fn step_in_flight(&self) -> bool {
+        self.in_flight
+    }
+
+    /// Answers one query against the snapshot (sequential executor).
+    pub fn query(&mut self, q: &Aabb, out: &mut Vec<VertexId>) -> PhaseTimings {
+        self.octopus.query(&self.snapshot, q, out)
+    }
+
+    /// Answers a batch against the snapshot on the worker pool.
+    pub fn query_batch(&mut self, queries: &[Aabb]) -> Vec<QueryResult> {
+        self.pool
+            .execute_batch(&self.octopus, &self.snapshot, queries)
+    }
+
+    /// Answers one large query against the snapshot with the
+    /// frontier-sharded crawl.
+    pub fn query_sharded(&mut self, q: &Aabb, out: &mut Vec<VertexId>) -> PhaseTimings {
+        self.pool
+            .query_sharded(&self.octopus, &self.snapshot, q, out)
+    }
+
+    /// Stops the simulation thread and returns the simulation in its
+    /// final state (which may be one step ahead of the snapshot if a
+    /// step was in flight).
+    pub fn shutdown(mut self) -> Result<Simulation, ServiceError> {
+        if self.in_flight {
+            // Drain the in-flight update so the sim thread isn't blocked
+            // on a full channel (unbounded today, but don't rely on it).
+            let _ = self.finish_step();
+        }
+        let _ = self.cmd_tx.send(Cmd::Stop);
+        self.handle
+            .take()
+            .expect("shutdown runs once")
+            .join()
+            .map_err(|_| ServiceError::SimulationStopped)
+    }
+}
+
+impl Drop for MonitorLoop {
+    fn drop(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            let _ = self.cmd_tx.send(Cmd::Stop);
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The simulation thread: steps on demand and hands snapshots back.
+fn sim_thread(mut sim: Simulation, cmd_rx: &Receiver<Cmd>, upd_tx: &Sender<Update>) -> Simulation {
+    let mut last_vertices = sim.mesh().num_vertices();
+    while let Ok(cmd) = cmd_rx.recv() {
+        let reuse = match cmd {
+            Cmd::Step { reuse } => reuse,
+            Cmd::Stop => break,
+        };
+        let update = match sim.step_outcome() {
+            Ok(outcome) => {
+                // A positions-only hand-off is correct only when
+                // connectivity is untouched; `restructured` covers even
+                // the surface-invariant cases (e.g. interior refinement
+                // adds vertices and edges but an empty delta).
+                if outcome.restructured || sim.mesh().num_vertices() != last_vertices {
+                    last_vertices = sim.mesh().num_vertices();
+                    Update::Restructured {
+                        step: outcome.step,
+                        mesh: Box::new(sim.mesh().clone()),
+                        delta: outcome.delta,
+                    }
+                } else {
+                    let mut buf = reuse.unwrap_or_default();
+                    sim.snapshot_positions_into(&mut buf);
+                    Update::Deformed {
+                        step: outcome.step,
+                        positions: buf,
+                    }
+                }
+            }
+            Err(e) => Update::Failed(e),
+        };
+        if upd_tx.send(update).is_err() {
+            break; // Monitor dropped; stop quietly.
+        }
+    }
+    sim
+}

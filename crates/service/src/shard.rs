@@ -1,0 +1,97 @@
+//! The frontier-sharded parallel crawl for single large queries.
+//!
+//! Level-synchronous BFS: per round the frontier splits into contiguous
+//! chunks, one per worker. During the parallel half of a round the
+//! master visited set is only *read* (through
+//! [`octopus_core::QueryScratch::visited`]) — each worker dedupes
+//! against it and against its own epoch-stamped local array, collecting
+//! fresh in-query candidates. The sequential half merges candidates
+//! back into the master **in chunk order**, so the produced vertex
+//! order is a pure function of the mesh, the query and the worker
+//! count — independent of thread scheduling.
+
+use crate::batch::ParallelExecutor;
+use octopus_core::{Octopus, PhaseTimings, ShardWorker};
+use octopus_geom::{Aabb, VertexId};
+use octopus_mesh::Mesh;
+use std::time::Instant;
+
+/// Below this frontier size a round is expanded inline on the calling
+/// thread: spawning workers for a handful of vertices costs more than
+/// the expansion itself. The first/last rounds of almost every query go
+/// through this path; only genuinely large frontiers fan out.
+const PARALLEL_FRONTIER_MIN: usize = 512;
+
+impl ParallelExecutor {
+    /// Executes one range query with the crawl phase sharded across the
+    /// pool's workers, appending results to `out`. Equivalent to
+    /// [`Octopus::query`] (the property suite asserts set equality);
+    /// worth it when a single query's result is large enough that the
+    /// crawl dominates. Seeding (surface probe + directed walks) stays
+    /// sequential — it is a tiny fraction of large-query time.
+    pub fn query_sharded(
+        &mut self,
+        octopus: &Octopus,
+        mesh: &Mesh,
+        q: &Aabb,
+        out: &mut Vec<VertexId>,
+    ) -> PhaseTimings {
+        self.ensure_shard_state(octopus, mesh);
+        let scratch = &mut self.scratches[0];
+        let mut stats = octopus.seed_query(scratch, mesh, q, out);
+
+        let t0 = Instant::now();
+        let num_vertices = mesh.num_vertices();
+        for w in &mut self.shard_workers {
+            w.begin_query(num_vertices);
+        }
+        self.frontier.clear();
+        self.frontier
+            .extend_from_slice(&out[out.len() - stats.start_vertices..]);
+
+        while !self.frontier.is_empty() {
+            let chunks_used = if self.frontier.len() < PARALLEL_FRONTIER_MIN {
+                // Inline round: one worker, no spawn.
+                self.shard_workers[0].expand(mesh, q, &self.frontier, scratch.visited());
+                1
+            } else {
+                let chunk = self.frontier.len().div_ceil(self.shard_workers.len());
+                let frontier = &self.frontier;
+                let view = scratch.visited();
+                std::thread::scope(|s| {
+                    for (w, c) in self.shard_workers.iter_mut().zip(frontier.chunks(chunk)) {
+                        s.spawn(move || w.expand(mesh, q, c, view));
+                    }
+                });
+                self.frontier.len().div_ceil(chunk)
+            };
+
+            // Sequential merge in chunk order: deterministic output.
+            self.next_frontier.clear();
+            for w in self.shard_workers.iter().take(chunks_used) {
+                for &cand in &w.candidates {
+                    if scratch.mark_visited(cand) {
+                        out.push(cand);
+                        self.next_frontier.push(cand);
+                    }
+                }
+            }
+            std::mem::swap(&mut self.frontier, &mut self.next_frontier);
+        }
+
+        stats.crawling = t0.elapsed();
+        // Upper bound on the sequential counter: boundary vertices
+        // shared between chunks are counted once per examining worker
+        // (see `ShardWorker::examined`).
+        stats.crawl_visited = self.shard_workers.iter().map(|w| w.examined).sum();
+        stats.results = out.len();
+        stats
+    }
+
+    fn ensure_shard_state(&mut self, octopus: &Octopus, mesh: &Mesh) {
+        self.ensure_scratches(octopus, mesh, 1);
+        while self.shard_workers.len() < self.threads {
+            self.shard_workers.push(ShardWorker::new());
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! The epoch-snapshot monitor loop answers queries against snapshot N
+//! while the simulation computes step N+1 — and every answer matches a
+//! stop-the-world reference run exactly, including across restructuring
+//! steps (full mesh hand-off + surface-delta replay).
+
+use octopus_core::Octopus;
+use octopus_geom::{Aabb, Point3, VertexId};
+use octopus_mesh::Mesh;
+use octopus_meshgen::voxel::VoxelRegion;
+use octopus_service::MonitorLoop;
+use octopus_sim::{RestructureSchedule, Simulation, SmoothRandomField};
+
+fn box_mesh(n: usize) -> Mesh {
+    let bounds = Aabb::new(Point3::ORIGIN, Point3::splat(1.0));
+    octopus_meshgen::tet::tetrahedralize(&VoxelRegion::solid_box(&bounds, n, n, n)).unwrap()
+}
+
+fn sorted(mut v: Vec<VertexId>) -> Vec<VertexId> {
+    v.sort_unstable();
+    v
+}
+
+fn step_queries(step: u32) -> Vec<Aabb> {
+    let t = f32::from(step as u16 % 8) * 0.05;
+    vec![
+        Aabb::cube(Point3::splat(0.3 + t), 0.2),
+        Aabb::new(Point3::splat(0.1), Point3::splat(0.9)),
+        Aabb::cube(Point3::splat(0.5), 0.15),
+    ]
+}
+
+/// Stop-the-world reference: same mesh, same field, same seeds — step,
+/// then query the live mesh, exactly as the paper's Fig. 1(e) loop.
+fn reference_run(
+    mesh: Mesh,
+    field_seed: u64,
+    restructure: Option<(u32, usize, u64)>,
+    steps: u32,
+) -> Vec<Vec<Vec<VertexId>>> {
+    let mut sim = Simulation::new(mesh, Box::new(SmoothRandomField::new(0.01, 3, field_seed)));
+    if let Some((period, ops, seed)) = restructure {
+        sim = sim
+            .with_restructuring(RestructureSchedule::new(period, ops, seed))
+            .unwrap();
+    }
+    let mut octopus = Octopus::new(sim.mesh()).unwrap();
+    let mut per_step = Vec::new();
+    for _ in 0..steps {
+        let outcome = sim.step_outcome().unwrap();
+        if outcome.restructured {
+            // Stop-the-world maintenance needs a rebuild only because
+            // the executor's component map depends on connectivity; the
+            // surface index itself replays the delta.
+            octopus.on_restructure(sim.mesh(), &outcome.delta);
+        }
+        let results = step_queries(outcome.step)
+            .iter()
+            .map(|q| {
+                let mut out = Vec::new();
+                octopus.query(sim.mesh(), q, &mut out);
+                sorted(out)
+            })
+            .collect();
+        per_step.push(results);
+    }
+    per_step
+}
+
+#[test]
+fn overlapped_monitor_matches_stop_the_world_run() {
+    let steps = 12u32;
+    let mesh = box_mesh(5);
+    let expected = reference_run(mesh.clone(), 77, None, steps);
+
+    let sim = Simulation::new(mesh, Box::new(SmoothRandomField::new(0.01, 3, 77)));
+    let mut monitor = MonitorLoop::new(sim, 2).unwrap();
+    // Pipelined loop: while step N+1 computes on the simulation thread,
+    // step N's queries are answered against the snapshot.
+    monitor.begin_step().unwrap();
+    for step in 1..=steps {
+        assert_eq!(monitor.finish_step().unwrap(), step);
+        if step < steps {
+            monitor.begin_step().unwrap();
+            assert!(monitor.step_in_flight());
+        }
+        let results = monitor.query_batch(&step_queries(step));
+        // These queries ran while the simulation thread was computing
+        // step N+1 — the overlap the subsystem exists for.
+        for (got, want) in results.iter().zip(&expected[step as usize - 1]) {
+            assert_eq!(&sorted(got.vertices.clone()), want, "step {step}");
+        }
+    }
+    let sim = monitor.shutdown().unwrap();
+    assert_eq!(sim.current_step(), steps);
+}
+
+#[test]
+fn monitor_handles_restructuring_steps() {
+    let steps = 10u32;
+    let mesh = {
+        let mut m = box_mesh(4);
+        m.enable_restructuring().unwrap();
+        m
+    };
+    let restructure = Some((3u32, 2usize, 0xD1CEu64));
+    let expected = reference_run(mesh.clone(), 123, restructure, steps);
+
+    let sim = Simulation::new(mesh, Box::new(SmoothRandomField::new(0.01, 3, 123)))
+        .with_restructuring(RestructureSchedule::new(3, 2, 0xD1CE))
+        .unwrap();
+    let mut monitor = MonitorLoop::new(sim, 2).unwrap();
+    for step in 1..=steps {
+        monitor.begin_step().unwrap();
+        assert_eq!(monitor.finish_step().unwrap(), step);
+        let results = monitor.query_batch(&step_queries(step));
+        for (i, (got, want)) in results.iter().zip(&expected[step as usize - 1]).enumerate() {
+            assert_eq!(
+                &sorted(got.vertices.clone()),
+                want,
+                "step {step} (restructures on multiples of 3), query {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn step_and_query_convenience_answers_at_the_pre_step_snapshot() {
+    let mesh = box_mesh(4);
+    let sim = Simulation::new(mesh, Box::new(SmoothRandomField::new(0.02, 3, 5)));
+    let mut monitor = MonitorLoop::new(sim, 2).unwrap();
+    let queries = vec![Aabb::new(Point3::splat(0.1), Point3::splat(0.9))];
+    let (results, answered_at) = monitor.step_and_query(&queries).unwrap();
+    assert_eq!(answered_at, 0, "first call answers at the initial state");
+    assert_eq!(monitor.snapshot_step(), 1);
+    assert!(!results[0].vertices.is_empty());
+}
+
+#[test]
+fn sharded_query_through_the_monitor() {
+    let mesh = box_mesh(6);
+    let sim = Simulation::new(mesh, Box::new(SmoothRandomField::new(0.01, 3, 9)));
+    let mut monitor = MonitorLoop::new(sim, 3).unwrap();
+    monitor.begin_step().unwrap();
+    monitor.finish_step().unwrap();
+    let q = Aabb::new(Point3::splat(0.05), Point3::splat(0.95));
+    let mut sharded = Vec::new();
+    monitor.query_sharded(&q, &mut sharded);
+    let mut sequential = Vec::new();
+    monitor.query(&q, &mut sequential);
+    assert_eq!(sorted(sharded), sorted(sequential));
+}
+
+#[test]
+fn finish_without_begin_is_an_error() {
+    let mesh = box_mesh(3);
+    let sim = Simulation::new(mesh, Box::new(SmoothRandomField::new(0.01, 3, 1)));
+    let mut monitor = MonitorLoop::new(sim, 1).unwrap();
+    assert!(matches!(
+        monitor.finish_step(),
+        Err(octopus_service::ServiceError::NoStepInFlight)
+    ));
+}

@@ -1,0 +1,236 @@
+//! Property suite: parallel execution ≡ sequential execution.
+//!
+//! For random meshes and query boxes, the parallel batch executor and
+//! the frontier-sharded crawl must return vertex sets identical to the
+//! sequential [`Octopus`] executor (order-insensitive), under both
+//! [`VisitedStrategy`] variants. This is the contract that makes the
+//! service layer a drop-in scale-out of the paper's Algorithm 1.
+
+use octopus_core::{Octopus, VisitedStrategy};
+use octopus_geom::{Aabb, Point3, VertexId};
+use octopus_mesh::Mesh;
+use octopus_meshgen::voxel::VoxelRegion;
+use octopus_meshgen::{neuron, NeuroLevel};
+use octopus_service::ParallelExecutor;
+use proptest::prelude::*;
+
+fn box_mesh(n: usize) -> Mesh {
+    let bounds = Aabb::new(Point3::ORIGIN, Point3::splat(1.0));
+    octopus_meshgen::tet::tetrahedralize(&VoxelRegion::solid_box(&bounds, n, n, n)).unwrap()
+}
+
+fn sorted(mut v: Vec<VertexId>) -> Vec<VertexId> {
+    v.sort_unstable();
+    v
+}
+
+fn sequential_reference(
+    mesh: &Mesh,
+    strategy: VisitedStrategy,
+    queries: &[Aabb],
+) -> Vec<Vec<VertexId>> {
+    let mut octopus = Octopus::with_strategy(mesh, strategy).unwrap();
+    queries
+        .iter()
+        .map(|q| {
+            let mut out = Vec::new();
+            octopus.query(mesh, q, &mut out);
+            sorted(out)
+        })
+        .collect()
+}
+
+/// Asserts batch and sharded execution match the sequential executor on
+/// `mesh` for `queries`, for a given strategy and worker count.
+fn assert_equivalent(
+    mesh: &Mesh,
+    strategy: VisitedStrategy,
+    workers: usize,
+    queries: &[Aabb],
+) -> Result<(), TestCaseError> {
+    let expected = sequential_reference(mesh, strategy, queries);
+    let octopus = Octopus::with_strategy(mesh, strategy).unwrap();
+    let mut pool = ParallelExecutor::new(workers);
+
+    let batch = pool.execute_batch(&octopus, mesh, queries);
+    prop_assert_eq!(batch.len(), queries.len());
+    for (i, (got, want)) in batch.iter().zip(&expected).enumerate() {
+        prop_assert_eq!(
+            &sorted(got.vertices.clone()),
+            want,
+            "batch query {} ({:?}, {} workers)",
+            i,
+            strategy,
+            workers
+        );
+    }
+
+    for (i, (q, want)) in queries.iter().zip(&expected).enumerate() {
+        let mut out = Vec::new();
+        pool.query_sharded(&octopus, mesh, q, &mut out);
+        prop_assert_eq!(
+            &sorted(out),
+            want,
+            "sharded query {} ({:?}, {} workers)",
+            i,
+            strategy,
+            workers
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn parallel_matches_sequential_on_random_box_meshes(
+        n in 2usize..7,
+        workers in 1usize..5,
+        cx in 0.0f32..1.0,
+        cy in 0.0f32..1.0,
+        cz in 0.0f32..1.0,
+        half in 0.02f32..0.6,
+        use_hash in proptest::bool::ANY,
+    ) {
+        let mesh = box_mesh(n);
+        let strategy = if use_hash {
+            VisitedStrategy::HashSet
+        } else {
+            VisitedStrategy::EpochArray
+        };
+        let queries = vec![
+            Aabb::cube(Point3::new(cx, cy, cz), half),
+            // Interior query (directed-walk path) and a miss.
+            Aabb::new(Point3::splat(0.4), Point3::splat(0.6)),
+            Aabb::new(Point3::splat(2.0), Point3::splat(3.0)),
+            // Everything.
+            Aabb::new(Point3::splat(-1.0), Point3::splat(2.0)),
+        ];
+        assert_equivalent(&mesh, strategy, workers, &queries)?;
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_nonconvex_neuron(
+        seedish in 0u64..1000,
+        workers in 2usize..5,
+        half in 0.05f32..0.4,
+    ) {
+        // Two disjoint components + concavities: exercises the
+        // component-aware walk inside the seed phase.
+        let mesh = neuron(NeuroLevel::L1, 0.4).unwrap();
+        let bounds = mesh.bounding_box();
+        let mut rng = octopus_geom::rng::SplitMix64::new(seedish);
+        let c = Point3::new(
+            rng.range_f32(bounds.min.x, bounds.max.x),
+            rng.range_f32(bounds.min.y, bounds.max.y),
+            rng.range_f32(bounds.min.z, bounds.max.z),
+        );
+        let queries = vec![
+            Aabb::cube(c, half),
+            Aabb::new(Point3::new(0.0, 0.3, 0.0), Point3::new(1.0, 0.7, 1.0)),
+        ];
+        for strategy in [VisitedStrategy::EpochArray, VisitedStrategy::HashSet] {
+            assert_equivalent(&mesh, strategy, workers, &queries)?;
+        }
+    }
+}
+
+#[test]
+fn batch_results_arrive_in_input_order() {
+    let mesh = box_mesh(5);
+    let octopus = Octopus::new(&mesh).unwrap();
+    let mut pool = ParallelExecutor::new(3);
+    // Queries with strictly growing result sizes, so a mix-up of the
+    // result order cannot go unnoticed.
+    let queries: Vec<Aabb> = (1..=8)
+        .map(|i| Aabb::cube(Point3::splat(0.5), 0.08 * i as f32))
+        .collect();
+    let results = pool.execute_batch(&octopus, &mesh, &queries);
+    for pair in results.windows(2) {
+        assert!(pair[0].vertices.len() <= pair[1].vertices.len());
+    }
+    assert!(results.last().unwrap().vertices.len() > results[0].vertices.len());
+}
+
+#[test]
+fn pool_scratch_reuse_across_batches_and_meshes() {
+    // The same pool must serve different meshes (vertex counts differ →
+    // scratch arrays resize) and repeated batches (epoch reuse) without
+    // cross-talk.
+    let mut pool = ParallelExecutor::new(2);
+    for n in [5usize, 3, 6] {
+        let mesh = box_mesh(n);
+        let octopus = Octopus::new(&mesh).unwrap();
+        let queries = vec![
+            Aabb::new(Point3::splat(0.1), Point3::splat(0.9)),
+            Aabb::cube(Point3::splat(0.5), 0.2),
+        ];
+        for round in 0..3 {
+            let expected = sequential_reference(&mesh, VisitedStrategy::EpochArray, &queries);
+            let got = pool.execute_batch(&octopus, &mesh, &queries);
+            for (g, w) in got.iter().zip(&expected) {
+                assert_eq!(&sorted(g.vertices.clone()), w, "mesh {n}, round {round}");
+            }
+        }
+    }
+}
+
+#[test]
+fn pool_rebuilds_scratches_when_executor_strategy_changes() {
+    let mesh = box_mesh(5);
+    let dense = Octopus::with_strategy(&mesh, VisitedStrategy::EpochArray).unwrap();
+    let sparse = Octopus::with_strategy(&mesh, VisitedStrategy::HashSet).unwrap();
+    let queries = vec![Aabb::cube(Point3::splat(0.5), 0.15)];
+    let mut pool = ParallelExecutor::new(2);
+
+    pool.execute_batch(&dense, &mesh, &queries);
+    let dense_bytes = pool.memory_bytes();
+    pool.execute_batch(&sparse, &mesh, &queries);
+    // HashSet scratches keep memory proportional to the query result,
+    // not O(V): a pool still holding EpochArray scratches would not
+    // shrink here.
+    assert!(
+        pool.memory_bytes() < dense_bytes,
+        "scratches must be rebuilt for the HashSet executor ({} vs {dense_bytes} bytes)",
+        pool.memory_bytes()
+    );
+    let expected = sequential_reference(&mesh, VisitedStrategy::HashSet, &queries);
+    let got = pool.execute_batch(&sparse, &mesh, &queries);
+    assert_eq!(sorted(got[0].vertices.clone()), expected[0]);
+}
+
+#[test]
+fn sharded_crawl_is_deterministic_across_runs() {
+    let mesh = box_mesh(8);
+    let octopus = Octopus::new(&mesh).unwrap();
+    let q = Aabb::new(Point3::splat(0.05), Point3::splat(0.95));
+    let mut pool = ParallelExecutor::new(4);
+    let mut first = Vec::new();
+    pool.query_sharded(&octopus, &mesh, &q, &mut first);
+    for _ in 0..3 {
+        let mut again = Vec::new();
+        pool.query_sharded(&octopus, &mesh, &q, &mut again);
+        // Not just the same set: the same order, every run.
+        assert_eq!(again, first);
+    }
+}
+
+#[test]
+fn batch_stats_aggregate_counts() {
+    let mesh = box_mesh(4);
+    let octopus = Octopus::new(&mesh).unwrap();
+    let mut pool = ParallelExecutor::new(2);
+    let queries = vec![
+        Aabb::new(Point3::ORIGIN, Point3::splat(1.0)),
+        Aabb::cube(Point3::splat(0.5), 0.25),
+    ];
+    let results = pool.execute_batch(&octopus, &mesh, &queries);
+    let stats = octopus_service::BatchStats::aggregate(&results);
+    assert_eq!(stats.queries, 2);
+    assert_eq!(
+        stats.total_results,
+        results.iter().map(|r| r.vertices.len()).sum::<usize>()
+    );
+    assert_eq!(stats.phases.results, stats.total_results);
+}

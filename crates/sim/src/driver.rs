@@ -10,6 +10,26 @@ use crate::restructure::RestructureSchedule;
 use octopus_geom::Point3;
 use octopus_mesh::{Mesh, MeshError, SurfaceDelta};
 
+/// Everything a snapshot-based monitor needs to catch up after one
+/// step: which step completed, the surface delta of any restructuring,
+/// and whether connectivity may have changed at all. The last flag is
+/// *not* implied by a non-empty delta — refining an interior
+/// tetrahedron adds a vertex and new edges while leaving the surface
+/// untouched — so snapshot holders must check it, not the delta, when
+/// deciding whether a positions-only copy suffices.
+#[derive(Clone, Debug, Default)]
+pub struct StepOutcome {
+    /// The time step that just completed.
+    pub step: u32,
+    /// Surface delta of any restructuring (empty when none fired or the
+    /// surface was unaffected).
+    pub delta: SurfaceDelta,
+    /// True when a restructuring event fired this step, i.e. mesh
+    /// connectivity (adjacency, cell list, vertex count) may differ
+    /// from the previous step.
+    pub restructured: bool,
+}
+
 /// A running mesh simulation.
 pub struct Simulation {
     mesh: Mesh,
@@ -67,6 +87,39 @@ impl Simulation {
             }
         }
         Ok(delta)
+    }
+
+    /// Advances one time step like [`Simulation::step`], additionally
+    /// reporting whether mesh connectivity may have changed — the
+    /// snapshot hand-off hook: a monitor double-buffering positions can
+    /// do a cheap positions-only copy when `restructured` is false and
+    /// must resynchronise connectivity when it is true.
+    pub fn step_outcome(&mut self) -> Result<StepOutcome, MeshError> {
+        let fired_before = self
+            .restructuring
+            .as_ref()
+            .map_or(0, RestructureSchedule::events_fired);
+        let delta = self.step()?;
+        let restructured = self
+            .restructuring
+            .as_ref()
+            .map_or(0, RestructureSchedule::events_fired)
+            > fired_before;
+        Ok(StepOutcome {
+            step: self.step,
+            delta,
+            restructured,
+        })
+    }
+
+    /// Copies the current positions into `buf` (cleared first). This is
+    /// the other half of the snapshot hand-off: the simulation thread
+    /// fills a recycled buffer right after [`Simulation::step_outcome`]
+    /// and sends it to the monitor, which swaps it into its snapshot
+    /// mesh while the next step already runs.
+    pub fn snapshot_positions_into(&self, buf: &mut Vec<Point3>) {
+        buf.clear();
+        buf.extend_from_slice(self.mesh.positions());
     }
 
     /// Runs `n` steps, discarding deltas (convenience for setups without
@@ -167,6 +220,44 @@ mod tests {
         // Mesh stays consistent.
         let fresh = octopus_mesh::validate::validate(sim.mesh()).unwrap();
         assert!(fresh.cells_checked > 0);
+    }
+
+    #[test]
+    fn step_outcome_flags_restructuring_even_with_empty_delta() {
+        let mesh = small_mesh();
+        let mut sim = Simulation::new(mesh, Box::new(SmoothRandomField::new(0.005, 3, 11)))
+            .with_restructuring(RestructureSchedule::new(2, 2, 0xACE))
+            .unwrap();
+        let mut restructured_steps = 0;
+        for _ in 0..8 {
+            let outcome = sim.step_outcome().unwrap();
+            assert_eq!(outcome.step, sim.current_step());
+            if outcome.step.is_multiple_of(2) {
+                assert!(outcome.restructured, "schedule fires on even steps");
+                restructured_steps += 1;
+            } else {
+                assert!(!outcome.restructured);
+                assert!(outcome.delta.is_empty());
+            }
+        }
+        assert_eq!(restructured_steps, 4);
+    }
+
+    #[test]
+    fn snapshot_positions_reuse_and_match_live_state() {
+        let mut sim = Simulation::new(small_mesh(), Box::new(SmoothRandomField::new(0.01, 3, 12)));
+        let mut buf = Vec::new();
+        for _ in 0..3 {
+            sim.step().unwrap();
+            sim.snapshot_positions_into(&mut buf);
+            assert_eq!(&buf[..], sim.mesh().positions());
+        }
+    }
+
+    #[test]
+    fn simulation_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Simulation>();
     }
 
     #[test]

@@ -13,7 +13,13 @@ use octopus_geom::{Point3, Vec3};
 /// `apply_step(step, rest, positions)` must overwrite `positions[i]` for
 /// every `i` — by contract the whole dataset changes at every step, which
 /// is exactly the workload that defeats classical index maintenance.
-pub trait Deformation {
+///
+/// `Send` is a supertrait so a [`crate::Simulation`] can run on a
+/// dedicated thread while monitoring queries execute against a position
+/// snapshot (the overlapped SIMULATE ∥ MONITOR loop of
+/// `octopus-service`). Fields are plain data — the bound costs
+/// implementors nothing.
+pub trait Deformation: Send {
     /// Display name for experiment tables.
     fn name(&self) -> &'static str;
 

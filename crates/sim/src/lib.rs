@@ -22,7 +22,7 @@ pub mod driver;
 pub mod fields;
 pub mod restructure;
 
-pub use driver::Simulation;
+pub use driver::{Simulation, StepOutcome};
 pub use fields::{
     AxialCompression, Deformation, LocalizedBumps, ShearWave, SmoothRandomField, SpineAdjust,
     TravelingWave,

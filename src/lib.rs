@@ -19,7 +19,11 @@
 //!   k-d tree, R-tree, LUR-Tree, QU-Trade, stale uniform grid);
 //! * [`core`] — OCTOPUS itself: [`prelude::Octopus`],
 //!   [`prelude::OctopusCon`], [`prelude::ApproxOctopus`], the Hilbert
-//!   layout, the cost model and planner.
+//!   layout, the cost model and planner;
+//! * [`service`] — concurrent query serving: the parallel batch
+//!   executor ([`prelude::ParallelExecutor`]), the frontier-sharded
+//!   crawl, and the overlapped SIMULATE ∥ MONITOR loop
+//!   ([`prelude::MonitorLoop`]).
 //!
 //! ## Quickstart
 //!
@@ -50,16 +54,19 @@ pub use octopus_geom as geom;
 pub use octopus_index as index;
 pub use octopus_mesh as mesh;
 pub use octopus_meshgen as meshgen;
+pub use octopus_service as service;
 pub use octopus_sim as sim;
 
 /// The most common imports in one place.
 pub mod prelude {
     pub use octopus_core::{
-        ApproxOctopus, CostModel, Octopus, OctopusCon, Planner, Strategy, SurfaceIndex,
+        ApproxOctopus, CostModel, Octopus, OctopusCon, Planner, QueryScratch, Strategy,
+        SurfaceIndex,
     };
     pub use octopus_geom::{Aabb, Point3, Vec3, VertexId};
     pub use octopus_index::{DynamicIndex, LinearScan};
     pub use octopus_mesh::{CellKind, Mesh, MeshStats};
     pub use octopus_meshgen::VoxelRegion;
+    pub use octopus_service::{MonitorLoop, ParallelExecutor};
     pub use octopus_sim::{Deformation, Simulation};
 }
