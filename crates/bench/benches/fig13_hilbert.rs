@@ -1,51 +1,140 @@
-//! Criterion micro-bench for Fig. 13: crawl cost under three vertex
-//! layouts — scrambled (worst case), Morton, Hilbert (paper's choice).
+//! `fig13_hilbert`: crawl cost under four vertex layouts — identity
+//! (generator order), scrambled (worst case, an arbitrary application
+//! order), Morton, and Hilbert (the paper's §IV-H1 choice).
+//!
+//! Fig. 13's claim is that sorting vertices along a space-filling curve
+//! makes the crawl's pointer-chasing cache-friendly. Each layout is
+//! benchmarked with the same geometry and the same queries; alongside
+//! the timings the mean adjacent-id distance (`adjacency_locality`, the
+//! cache-locality proxy) is reported. Run directly, or with
+//! `--json <path>` to record the committed `BENCH_fig13.json` artifact:
+//!
+//! ```bash
+//! cargo bench -p octopus-bench --bench fig13_hilbert
+//! cargo bench -p octopus-bench --bench fig13_hilbert -- --json BENCH_fig13.json
+//! ```
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use octopus_bench::workload::QueryGen;
-use octopus_core::layout::{hilbert_layout, morton_layout};
+use octopus_core::layout::{adjacency_locality, hilbert_layout, morton_layout};
 use octopus_core::Octopus;
 use octopus_geom::VertexId;
+use octopus_mesh::Mesh;
 use octopus_meshgen::{neuron, NeuroLevel};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
 
-fn benches(c: &mut Criterion) {
-    let base = neuron(NeuroLevel::L4, 0.8).expect("neuron");
+/// Measurement budget per layout.
+const BUDGET: Duration = Duration::from_millis(1500);
+/// Queries per pass — large enough that the crawl dominates.
+const QUERIES: usize = 10;
+const SELECTIVITY: f64 = 0.01;
+
+struct Entry {
+    layout: &'static str,
+    locality: f64,
+    crawl_us_per_query: f64,
+    total_us_per_query: f64,
+    speedup_vs_scrambled: f64,
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut json_path = None;
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            json_path = Some(args.next().expect("--json <path>"));
+        }
+    }
+
+    let identity = neuron(NeuroLevel::L4, 0.8).expect("neuron");
     // Scramble to simulate an arbitrary application layout.
-    let mut perm: Vec<VertexId> = (0..base.num_vertices() as u32).collect();
+    let mut perm: Vec<VertexId> = (0..identity.num_vertices() as u32).collect();
     octopus_geom::rng::SplitMix64::new(13).shuffle(&mut perm);
-    let scrambled = base.permute_vertices(&perm);
+    let scrambled = identity.permute_vertices(&perm);
     let (hilbert, _) = hilbert_layout(&scrambled);
     let (morton, _) = morton_layout(&scrambled);
 
-    // Larger queries so the crawl dominates (the layout's beneficiary).
+    // Same geometry in every layout → identical query boxes apply.
     let mut gen = QueryGen::new(&scrambled, 5);
-    let queries = gen.batch_with_selectivity(10, 0.01);
+    let queries = gen.batch_with_selectivity(QUERIES, SELECTIVITY);
 
-    for (name, mesh) in [
+    println!(
+        "fig13_hilbert: {} vertices, {} queries at selectivity {SELECTIVITY}",
+        identity.num_vertices(),
+        queries.len()
+    );
+    println!(
+        "{:<12} {:>12} {:>14} {:>14} {:>9}",
+        "layout", "locality", "crawl µs/query", "total µs/query", "speedup"
+    );
+
+    let layouts: [(&'static str, &Mesh); 4] = [
         ("scrambled", &scrambled),
+        ("identity", &identity),
         ("morton", &morton),
         ("hilbert", &hilbert),
-    ] {
+    ];
+    let mut entries: Vec<Entry> = Vec::new();
+    for (name, mesh) in layouts {
         let mut octopus = Octopus::new(mesh).expect("surface");
-        c.bench_function(&format!("fig13/crawl_{name}"), |b| {
-            let mut out = Vec::new();
-            b.iter(|| {
-                for q in &queries {
-                    out.clear();
-                    octopus.query(mesh, q, &mut out);
-                }
-                out.len()
-            })
-        });
+        let mut out = Vec::new();
+        // Warm-up pass.
+        for q in &queries {
+            out.clear();
+            octopus.query(mesh, q, &mut out);
+        }
+        let t0 = Instant::now();
+        let mut crawl = Duration::ZERO;
+        let mut total = Duration::ZERO;
+        let mut passes = 0u32;
+        while t0.elapsed() < BUDGET || passes == 0 {
+            for q in &queries {
+                out.clear();
+                let stats = octopus.query(mesh, q, &mut out);
+                std::hint::black_box(out.len());
+                crawl += stats.crawling;
+                total += stats.total();
+            }
+            passes += 1;
+        }
+        let n = f64::from(passes) * queries.len() as f64;
+        let entry = Entry {
+            layout: name,
+            locality: adjacency_locality(mesh),
+            crawl_us_per_query: crawl.as_secs_f64() * 1e6 / n,
+            total_us_per_query: total.as_secs_f64() * 1e6 / n,
+            speedup_vs_scrambled: entries.first().map_or(1.0, |s| {
+                s.crawl_us_per_query / (crawl.as_secs_f64() * 1e6 / n)
+            }),
+        };
+        println!(
+            "{:<12} {:>12.1} {:>14.1} {:>14.1} {:>8.2}x",
+            entry.layout,
+            entry.locality,
+            entry.crawl_us_per_query,
+            entry.total_us_per_query,
+            entry.speedup_vs_scrambled
+        );
+        entries.push(entry);
+    }
+
+    if let Some(path) = json_path {
+        let mut json = String::from("{\n");
+        let _ = writeln!(json, "  \"bench\": \"fig13_hilbert\",");
+        let _ = writeln!(json, "  \"mesh_vertices\": {},", identity.num_vertices());
+        let _ = writeln!(json, "  \"queries\": {QUERIES},");
+        let _ = writeln!(json, "  \"selectivity\": {SELECTIVITY},");
+        let _ = writeln!(json, "  \"entries\": [");
+        for (i, e) in entries.iter().enumerate() {
+            let comma = if i + 1 == entries.len() { "" } else { "," };
+            let _ = writeln!(
+                json,
+                "    {{\"layout\": \"{}\", \"adjacency_locality\": {:.1}, \"crawl_us_per_query\": {:.2}, \"total_us_per_query\": {:.2}, \"crawl_speedup_vs_scrambled\": {:.3}}}{comma}",
+                e.layout, e.locality, e.crawl_us_per_query, e.total_us_per_query, e.speedup_vs_scrambled
+            );
+        }
+        json.push_str("  ]\n}\n");
+        std::fs::write(&path, json).expect("write json artifact");
+        println!("artifact written to {path}");
     }
 }
-
-criterion_group! {
-    name = fig13;
-    config = Criterion::default()
-        .sample_size(10)
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_millis(2000));
-    targets = benches
-}
-criterion_main!(fig13);

@@ -1,12 +1,20 @@
 //! `fig_throughput`: query throughput (queries/sec) of the service
-//! layer versus worker count and batch size.
+//! layer versus worker count, batch size, and execution mode.
 //!
-//! Not a paper figure — this measures the `octopus-service` subsystem:
-//! the same monitoring batch is answered by the sequential executor
-//! (the baseline) and by [`ParallelExecutor`] at 1/2/4/8 workers, for
-//! several batch sizes. Run directly, or with `--json <path>` to
-//! record a machine-readable baseline (the committed
-//! `BENCH_throughput.json`):
+//! Not a paper figure — this measures the `octopus-service` subsystem.
+//! The same monitoring batch is answered three ways:
+//!
+//! * `sequential` — the baseline: one `Octopus`, one thread;
+//! * `spawn` — PR 2's `thread::scope`-per-batch executor
+//!   ([`ParallelExecutor::execute_batch_spawning`]), kept as the
+//!   ablation of the fixed spawn cost;
+//! * `pool` — the persistent worker pool
+//!   ([`ParallelExecutor::execute_batch`]) with result-buffer
+//!   recycling, the serving hot path.
+//!
+//! Run directly, or with `--json <path>` to record a machine-readable
+//! baseline (the committed `BENCH_throughput.json`, which also carries
+//! the PR 2 numbers under `baseline_pr2` for trajectory):
 //!
 //! ```bash
 //! cargo bench -p octopus-bench --bench fig_throughput
@@ -28,8 +36,34 @@ const SELECTIVITY: f64 = 0.001;
 /// Measurement budget per configuration.
 const BUDGET: Duration = Duration::from_millis(300);
 
+/// The PR 2 numbers (spawn-per-batch executor, 1-hardware-thread
+/// container), embedded verbatim so the committed baseline keeps the
+/// trajectory visible next to fresh runs.
+const BASELINE_PR2: &str = r#"{
+    "hardware_threads": 1,
+    "note": "PR 2 spawn-per-batch executor; workers 0 = sequential",
+    "entries": [
+      {"workers": 0, "batch": 16, "qps": 71943, "speedup_vs_sequential": 1.000},
+      {"workers": 1, "batch": 16, "qps": 67213, "speedup_vs_sequential": 0.934},
+      {"workers": 2, "batch": 16, "qps": 52170, "speedup_vs_sequential": 0.725},
+      {"workers": 4, "batch": 16, "qps": 47510, "speedup_vs_sequential": 0.660},
+      {"workers": 8, "batch": 16, "qps": 38033, "speedup_vs_sequential": 0.529},
+      {"workers": 0, "batch": 64, "qps": 50743, "speedup_vs_sequential": 1.000},
+      {"workers": 1, "batch": 64, "qps": 47251, "speedup_vs_sequential": 0.931},
+      {"workers": 2, "batch": 64, "qps": 44150, "speedup_vs_sequential": 0.870},
+      {"workers": 4, "batch": 64, "qps": 42569, "speedup_vs_sequential": 0.839},
+      {"workers": 8, "batch": 64, "qps": 34074, "speedup_vs_sequential": 0.671},
+      {"workers": 0, "batch": 256, "qps": 49987, "speedup_vs_sequential": 1.000},
+      {"workers": 1, "batch": 256, "qps": 48867, "speedup_vs_sequential": 0.978},
+      {"workers": 2, "batch": 256, "qps": 46048, "speedup_vs_sequential": 0.921},
+      {"workers": 4, "batch": 256, "qps": 47262, "speedup_vs_sequential": 0.945},
+      {"workers": 8, "batch": 256, "qps": 48176, "speedup_vs_sequential": 0.964}
+    ]
+  }"#;
+
 struct Entry {
-    workers: usize, // 0 = sequential baseline
+    mode: &'static str, // "sequential" | "spawn" | "pool"
+    workers: usize,     // 0 = sequential baseline
     batch: usize,
     qps: f64,
     speedup: f64,
@@ -94,6 +128,7 @@ fn main() {
             "1.00x"
         );
         entries.push(Entry {
+            mode: "sequential",
             workers: 0,
             batch,
             qps: seq_qps,
@@ -101,25 +136,49 @@ fn main() {
         });
 
         for &workers in &WORKER_COUNTS {
-            let mut pool = ParallelExecutor::new(workers);
-            let qps = measure(batch, || {
-                pool.execute_batch(&octopus, &mesh, &queries)
+            // Spawn-per-batch ablation (PR 2 behaviour).
+            let mut spawning = ParallelExecutor::new(workers);
+            let spawn_qps = measure(batch, || {
+                spawning
+                    .execute_batch_spawning(&octopus, &mesh, &queries)
                     .iter()
                     .map(|r| r.vertices.len())
                     .sum()
             });
-            let speedup = qps / seq_qps;
             println!(
                 "{:<34} {:>12.0} {:>8.2}x",
-                format!("batch{batch}/workers{workers}"),
-                qps,
-                speedup
+                format!("batch{batch}/spawn/workers{workers}"),
+                spawn_qps,
+                spawn_qps / seq_qps
             );
             entries.push(Entry {
+                mode: "spawn",
                 workers,
                 batch,
-                qps,
-                speedup,
+                qps: spawn_qps,
+                speedup: spawn_qps / seq_qps,
+            });
+
+            // Persistent pool + buffer recycling (the serving hot path).
+            let mut pool = ParallelExecutor::new(workers);
+            let pool_qps = measure(batch, || {
+                let results = pool.execute_batch(&octopus, &mesh, &queries);
+                let total = results.iter().map(|r| r.vertices.len()).sum();
+                pool.recycle(results);
+                total
+            });
+            println!(
+                "{:<34} {:>12.0} {:>8.2}x",
+                format!("batch{batch}/pool/workers{workers}"),
+                pool_qps,
+                pool_qps / seq_qps
+            );
+            entries.push(Entry {
+                mode: "pool",
+                workers,
+                batch,
+                qps: pool_qps,
+                speedup: pool_qps / seq_qps,
             });
         }
     }
@@ -130,13 +189,14 @@ fn main() {
         let _ = writeln!(json, "  \"hardware_threads\": {hw},");
         let _ = writeln!(json, "  \"mesh_vertices\": {},", mesh.num_vertices());
         let _ = writeln!(json, "  \"selectivity\": {SELECTIVITY},");
+        let _ = writeln!(json, "  \"baseline_pr2\": {BASELINE_PR2},");
         let _ = writeln!(json, "  \"entries\": [");
         for (i, e) in entries.iter().enumerate() {
             let comma = if i + 1 == entries.len() { "" } else { "," };
             let _ = writeln!(
                 json,
-                "    {{\"workers\": {}, \"batch\": {}, \"qps\": {:.0}, \"speedup_vs_sequential\": {:.3}}}{comma}",
-                e.workers, e.batch, e.qps, e.speedup
+                "    {{\"mode\": \"{}\", \"workers\": {}, \"batch\": {}, \"qps\": {:.0}, \"speedup_vs_sequential\": {:.3}}}{comma}",
+                e.mode, e.workers, e.batch, e.qps, e.speedup
             );
         }
         json.push_str("  ]\n}\n");

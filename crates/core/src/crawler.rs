@@ -307,7 +307,7 @@ impl Crawler {
     pub(crate) fn memory_bytes(&self) -> usize {
         let visited = match self.strategy {
             VisitedStrategy::EpochArray => self.visited.heap_bytes(),
-            VisitedStrategy::HashSet => self.set.capacity() * (std::mem::size_of::<VertexId>() + 1),
+            VisitedStrategy::HashSet => hash_set_heap_bytes(&self.set),
         };
         visited + self.queue.capacity() * std::mem::size_of::<VertexId>()
     }
@@ -316,6 +316,24 @@ impl Crawler {
     pub(crate) fn strategy(&self) -> VisitedStrategy {
         self.strategy
     }
+}
+
+/// Heap estimate for std's hashbrown-backed `HashSet`. `capacity()` is
+/// the *usable* capacity — the table actually allocates
+/// `buckets = next_power_of_two(ceil(capacity · 8/7))` slots (7/8 max
+/// load factor, power-of-two table sizes), each costing one element
+/// plus one control byte, with a small constant for the header and
+/// control-byte group padding. The previous `capacity · (elem + 1)`
+/// formula silently dropped both the load-factor headroom and the
+/// power-of-two round-up — an undercount of up to ~2× right after a
+/// table growth.
+fn hash_set_heap_bytes(set: &HashSet<VertexId>) -> usize {
+    const HEADER_SLOP: usize = 32;
+    if set.capacity() == 0 {
+        return 0;
+    }
+    let buckets = (set.capacity() * 8).div_ceil(7).next_power_of_two();
+    buckets * (std::mem::size_of::<VertexId>() + 1) + HEADER_SLOP
 }
 
 #[cfg(test)]
@@ -501,6 +519,43 @@ mod tests {
             got.sort_unstable();
             assert_eq!(got, expected, "query {round} after the wrap");
         }
+    }
+
+    #[test]
+    fn hash_set_accounting_covers_bucket_overhead() {
+        // A query touching every vertex puts the whole mesh in the
+        // visited set of both strategies — the apples-to-apples point
+        // for the two accounting arms.
+        let mesh = box_mesh(6);
+        let universe = Aabb::new(Point3::splat(-1.0), Point3::splat(2.0));
+        let mut dense = Crawler::new(mesh.num_vertices(), VisitedStrategy::EpochArray);
+        let mut sparse = Crawler::new(mesh.num_vertices(), VisitedStrategy::HashSet);
+        let a = crawl_from_all_inside(&mut dense, &mesh, &universe);
+        let b = crawl_from_all_inside(&mut sparse, &mesh, &universe);
+        assert_eq!(a.len(), mesh.num_vertices());
+        assert_eq!(a.len(), b.len());
+
+        // The estimate must cover at least the real table: ≥ 8/7 of the
+        // usable capacity in buckets, ≥ 5 bytes per bucket. The old
+        // `capacity·(4+1)` formula fails this by exactly the load-factor
+        // headroom.
+        let cap = sparse.set.capacity();
+        assert!(cap >= mesh.num_vertices());
+        let sparse_bytes = hash_set_heap_bytes(&sparse.set);
+        assert!(
+            sparse_bytes >= (cap * 8).div_ceil(7) * (std::mem::size_of::<VertexId>() + 1),
+            "estimate {sparse_bytes} undercounts the load-factor headroom (capacity {cap})"
+        );
+
+        // Against the EpochArray arm: a full hash table costs strictly
+        // more per vertex (5 bytes per bucket at ≤ 7/8 load) than the
+        // 4-byte epoch stamp, so the dense strategy must report less.
+        assert!(
+            dense.memory_bytes() < sparse.memory_bytes(),
+            "dense {} vs sparse {}: full-coverage hash set must cost more than stamps",
+            dense.memory_bytes(),
+            sparse.memory_bytes()
+        );
     }
 
     #[test]

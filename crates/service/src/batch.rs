@@ -1,18 +1,38 @@
-//! The parallel batch executor: a worker pool over a shared `&Octopus`.
+//! The parallel batch executor: a persistent worker pool over a shared
+//! `&Octopus`, allocation-free in steady state.
 
+use crate::pool::{record_spawn, Task, WorkerPool};
+use crate::recycle::{RecycleStats, ResultRecycler};
 use octopus_core::{Octopus, PhaseTimings, QueryScratch, ShardWorker};
 use octopus_geom::{Aabb, VertexId};
 use octopus_mesh::Mesh;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// One query's answer: the matching vertex ids plus the per-phase
 /// execution statistics.
-#[derive(Clone, Debug, Default)]
+#[derive(Debug, Default)]
 pub struct QueryResult {
     /// Vertices of the mesh inside the query box.
     pub vertices: Vec<VertexId>,
     /// Per-phase timings and work counters.
     pub timings: PhaseTimings,
+    /// Free-list generation `vertices` was leased under; checked when
+    /// the result is handed back via [`ParallelExecutor::recycle`].
+    pub(crate) generation: u32,
+}
+
+impl Clone for QueryResult {
+    /// Clones the payload but **not** the lease: the clone carries
+    /// generation 0, so recycling both the original and its copy can
+    /// never park more buffers than were leased.
+    fn clone(&self) -> QueryResult {
+        QueryResult {
+            vertices: self.vertices.clone(),
+            timings: self.timings,
+            generation: 0,
+        }
+    }
 }
 
 /// Aggregate statistics over one executed batch.
@@ -42,14 +62,19 @@ impl BatchStats {
     }
 }
 
-/// A reusable pool of per-worker scratch state executing query batches
-/// (and frontier-sharded single queries) against a shared
-/// [`Octopus`] + [`Mesh`].
+/// A reusable pool of worker threads + per-worker scratch state
+/// executing query batches (and frontier-sharded single queries)
+/// against a shared [`Octopus`] + [`Mesh`].
 ///
-/// The executor owns no threads: scoped worker threads are spawned per
-/// call and the scratch (visited arrays, BFS queues, shard-local
-/// epoch stamps) persists across calls, so steady-state serving does
-/// not allocate per batch. Queries are distributed by work stealing —
+/// The executor owns a persistent [`WorkerPool`]: workers are spawned
+/// once at construction and park between calls, so steady-state serving
+/// performs **zero thread spawns** — `execute_batch` and the sharded
+/// crawl's BFS rounds are task submissions, not `thread::scope` spawns.
+/// All per-worker scratch (visited arrays, BFS queues, shard-local
+/// epoch stamps) persists across calls, and result buffers cycle
+/// through a generation-checked free list ([`ParallelExecutor::recycle`]),
+/// so a warmed-up executor also performs **zero result-buffer
+/// allocations** per batch. Queries are distributed by work stealing —
 /// an atomic cursor over the batch — so skewed batches (one huge query
 /// among many small ones) still balance.
 ///
@@ -69,33 +94,62 @@ impl BatchStats {
 /// ];
 /// let results = pool.execute_batch(&octopus, &mesh, &queries);
 /// assert_eq!(results.len(), 2);
+/// pool.recycle(results); // optional: feeds the next batch's buffers
 /// # Ok::<(), octopus_mesh::MeshError>(())
 /// ```
 #[derive(Debug)]
 pub struct ParallelExecutor {
     pub(crate) threads: usize,
+    pub(crate) pool: Arc<WorkerPool>,
     pub(crate) scratches: Vec<QueryScratch>,
     pub(crate) shard_workers: Vec<ShardWorker>,
     /// Frontier double-buffer for the sharded crawl.
     pub(crate) frontier: Vec<VertexId>,
     pub(crate) next_frontier: Vec<VertexId>,
+    /// Generation-checked free list feeding result buffers back into
+    /// `execute_batch`.
+    recycler: ResultRecycler,
+    /// Per-worker staging of (query index, result) pairs, kept across
+    /// batches so steady state reuses their capacity.
+    worker_outs: Vec<Vec<(usize, QueryResult)>>,
+    /// Input-order reassembly buffer, kept across batches.
+    slots: Vec<Option<QueryResult>>,
+    /// Recycled outer result vectors (capacity ≥ recent batch sizes).
+    free_batches: Vec<Vec<QueryResult>>,
 }
 
 impl ParallelExecutor {
-    /// A pool answering queries on `threads` workers (min 1).
+    /// An executor answering queries on `threads` workers (min 1),
+    /// backed by its own freshly spawned [`WorkerPool`].
     pub fn new(threads: usize) -> ParallelExecutor {
+        ParallelExecutor::with_pool(Arc::new(WorkerPool::new(threads)))
+    }
+
+    /// An executor sharing an existing [`WorkerPool`] (several executors
+    /// — e.g. serving different meshes — can share one set of threads).
+    pub fn with_pool(pool: Arc<WorkerPool>) -> ParallelExecutor {
         ParallelExecutor {
-            threads: threads.max(1),
+            threads: pool.threads(),
+            pool,
             scratches: Vec::new(),
             shard_workers: Vec::new(),
             frontier: Vec::new(),
             next_frontier: Vec::new(),
+            recycler: ResultRecycler::default(),
+            worker_outs: Vec::new(),
+            slots: Vec::new(),
+            free_batches: Vec::new(),
         }
     }
 
     /// The configured worker count.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The underlying persistent worker pool.
+    pub fn worker_pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
     }
 
     pub(crate) fn ensure_scratches(&mut self, octopus: &Octopus, mesh: &Mesh, n: usize) {
@@ -110,6 +164,9 @@ impl ParallelExecutor {
             .is_some_and(|s| s.visited_strategy() != octopus.visited_strategy())
         {
             self.scratches.clear();
+            // Reconfiguration: outstanding leases are from the old
+            // serving regime — invalidate them.
+            self.recycler.bump();
         }
         while self.scratches.len() < n {
             self.scratches.push(octopus.make_scratch(mesh));
@@ -121,7 +178,75 @@ impl ParallelExecutor {
     /// owns one scratch, so results are identical to running
     /// [`Octopus::query`] sequentially per query (the equivalence
     /// property suite asserts this, order-insensitively).
+    ///
+    /// Steady state performs no thread spawns (tasks go to the parked
+    /// pool) and no result-buffer allocations once the caller feeds
+    /// finished batches back via [`ParallelExecutor::recycle`].
     pub fn execute_batch(
+        &mut self,
+        octopus: &Octopus,
+        mesh: &Mesh,
+        queries: &[Aabb],
+    ) -> Vec<QueryResult> {
+        let workers = self.threads.min(queries.len()).max(1);
+        self.ensure_scratches(octopus, mesh, workers);
+        while self.worker_outs.len() < workers {
+            self.worker_outs.push(Vec::new());
+        }
+
+        let cursor = AtomicUsize::new(0);
+        let recycler = &self.recycler;
+        {
+            let cursor = &cursor;
+            let tasks: Vec<Task<'_>> = self
+                .scratches
+                .iter_mut()
+                .zip(self.worker_outs.iter_mut())
+                .take(workers)
+                .map(|(scratch, mine)| {
+                    mine.clear();
+                    Box::new(move || loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(q) = queries.get(i) else { break };
+                        let (generation, mut vertices) = recycler.lease();
+                        let timings = octopus.query_with(scratch, mesh, q, &mut vertices);
+                        mine.push((
+                            i,
+                            QueryResult {
+                                vertices,
+                                timings,
+                                generation,
+                            },
+                        ));
+                    }) as Task<'_>
+                })
+                .collect();
+            self.pool.run(tasks);
+        }
+
+        // Reassemble in input order through the persistent slot buffer.
+        self.slots.clear();
+        self.slots.resize_with(queries.len(), || None);
+        for mine in self.worker_outs.iter_mut().take(workers) {
+            for (i, r) in mine.drain(..) {
+                self.slots[i] = Some(r);
+            }
+        }
+        let mut results = self.free_batches.pop().unwrap_or_default();
+        results.extend(
+            self.slots
+                .drain(..)
+                .map(|r| r.expect("work stealing covers every query")),
+        );
+        results
+    }
+
+    /// PR 2's spawn-per-batch execution, kept verbatim as the ablation
+    /// baseline for the `fig_throughput` spawn-vs-pool comparison: scoped
+    /// threads are spawned (and joined) for every call and each query
+    /// allocates a fresh result vector. Results are identical to
+    /// [`ParallelExecutor::execute_batch`].
+    pub fn execute_batch_spawning(
         &mut self,
         octopus: &Octopus,
         mesh: &Mesh,
@@ -138,7 +263,16 @@ impl ParallelExecutor {
                 let Some(q) = queries.get(i) else { break };
                 let mut vertices = Vec::new();
                 let timings = octopus.query_with(scratch, mesh, q, &mut vertices);
-                mine.push((i, QueryResult { vertices, timings }));
+                mine.push((
+                    i,
+                    QueryResult {
+                        vertices,
+                        timings,
+                        // Never leased: generation 0 keeps these out of
+                        // the free list if recycled.
+                        generation: 0,
+                    },
+                ));
             }
             mine
         };
@@ -154,7 +288,10 @@ impl ParallelExecutor {
                     .scratches
                     .iter_mut()
                     .take(workers)
-                    .map(|scratch| s.spawn(|| run(scratch)))
+                    .map(|scratch| {
+                        record_spawn();
+                        s.spawn(|| run(scratch))
+                    })
                     .collect();
                 handles
                     .into_iter()
@@ -171,6 +308,25 @@ impl ParallelExecutor {
             .collect()
     }
 
+    /// Returns a finished batch's buffers to the executor's free lists:
+    /// each result's vertex vector (generation-checked) plus the outer
+    /// vector itself. After one warm-up batch, a recycle-per-batch loop
+    /// allocates nothing.
+    pub fn recycle(&mut self, mut results: Vec<QueryResult>) {
+        for r in results.drain(..) {
+            self.recycler.give_back(r.generation, r.vertices);
+        }
+        if self.free_batches.len() < 8 {
+            self.free_batches.push(results);
+        }
+    }
+
+    /// Counters of the result-buffer free list (lease/reuse/allocate),
+    /// the hook behind the zero-allocation steady-state tests.
+    pub fn recycle_stats(&self) -> RecycleStats {
+        self.recycler.stats()
+    }
+
     /// Heap bytes of all pooled scratch state.
     pub fn memory_bytes(&self) -> usize {
         self.scratches
@@ -184,5 +340,6 @@ impl ParallelExecutor {
                 .sum::<usize>()
             + (self.frontier.capacity() + self.next_frontier.capacity())
                 * std::mem::size_of::<VertexId>()
+            + self.recycler.memory_bytes()
     }
 }

@@ -5,16 +5,21 @@
 //! at a time. This crate turns the `octopus-core` executor into a
 //! query-*serving* engine along both axes the ROADMAP names:
 //!
-//! * [`ParallelExecutor`] — a worker pool fanning a **batch** of range
-//!   queries out across threads. The epoch-stamped scratch design makes
-//!   per-worker state reuse free: workers share one immutable
-//!   [`octopus_core::Octopus`] + `&Mesh` and each owns a
-//!   [`octopus_core::QueryScratch`], so a batch costs zero allocation
-//!   beyond the result vectors.
+//! * [`WorkerPool`] — a **persistent pool** of parked worker threads
+//!   (channel/condvar based) with scoped task submission: batches and
+//!   BFS rounds are submissions, not `thread::scope` spawns, so steady
+//!   state performs zero thread spawns.
+//! * [`ParallelExecutor`] — batch execution over the pool. The
+//!   epoch-stamped scratch design makes per-worker state reuse free:
+//!   workers share one immutable [`octopus_core::Octopus`] + `&Mesh`,
+//!   each owns a [`octopus_core::QueryScratch`], and result buffers
+//!   cycle through a generation-checked free list
+//!   ([`ParallelExecutor::recycle`]) — a warmed-up serving loop
+//!   allocates no result buffers per batch.
 //! * [`ParallelExecutor::query_sharded`] — a **frontier-sharded crawl**
 //!   for one large query: the BFS frontier is split into chunks each
-//!   round, workers expand chunks against a shared read-only view of
-//!   the visited set, dedupe locally in epoch-stamped per-worker
+//!   round, pool workers expand chunks against a shared read-only view
+//!   of the visited set, dedupe locally in epoch-stamped per-worker
 //!   arrays, and a sequential merge folds candidates back in chunk
 //!   order — result order is deterministic regardless of scheduling.
 //! * [`MonitorLoop`] — an **epoch-snapshot monitor**: the simulation
@@ -22,23 +27,29 @@
 //!   snapshots (plus surface-delta replay on the rare restructuring
 //!   step) to the monitor, so queries against a stable snapshot of
 //!   step N overlap with the computation of step N+1 — SIMULATE ∥
-//!   MONITOR for the first time.
+//!   MONITOR. A [`LayoutPolicy`] optionally Hilbert-sorts the vertices
+//!   at ingest (§IV-H1's cache-locality argument) and re-lays-out after
+//!   restructuring churn, with id translation tracked for callers.
 //!
-//! All concurrency is `std` scoped threads + channels; results are
+//! All concurrency is `std` threads + channels; results are
 //! bit-identical to the sequential executor (the crate's property
 //! suite verifies batch and sharded execution against
-//! [`octopus_core::Octopus::query`] on random meshes under both
-//! visited-set strategies).
+//! [`octopus_core::Octopus::query`] on random and layout-permuted
+//! meshes under both visited-set strategies).
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
 mod batch;
 mod monitor;
+mod pool;
+mod recycle;
 mod shard;
 
 pub use batch::{BatchStats, ParallelExecutor, QueryResult};
-pub use monitor::{MonitorLoop, ServiceError};
+pub use monitor::{LayoutPolicy, MonitorLoop, ServiceError};
+pub use pool::{threads_spawned_total, Task, WorkerPool};
+pub use recycle::RecycleStats;
 
 /// Default number of worker threads: the machine's available
 /// parallelism, or 1 when it cannot be determined.

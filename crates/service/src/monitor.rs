@@ -29,12 +29,72 @@
 //! reference run.
 
 use crate::batch::{ParallelExecutor, QueryResult};
+use crate::recycle::RecycleStats;
+use octopus_core::layout::{curve_permutation, CurveKind};
 use octopus_core::{Octopus, PhaseTimings};
 use octopus_geom::{Aabb, Point3, VertexId};
 use octopus_mesh::{Mesh, MeshError, SurfaceDelta};
 use octopus_sim::Simulation;
 use std::sync::mpsc::{Receiver, Sender};
 use std::thread::JoinHandle;
+
+/// Vertex-layout policy applied by the service setup (§IV-H1).
+///
+/// "By rearranging the vertices based on spatial proximity we can reduce
+/// the number of random reads required on average and thereby improve
+/// the L1 and L2 data cache hit rate" — the crawl walks mesh edges, so
+/// neighbouring vertices should sit close in memory. A curve policy
+/// permutes the simulation's vertices once at ingest (and, optionally,
+/// again whenever restructuring churn has degraded the order); all
+/// query results are then in the permuted id space, and
+/// [`MonitorLoop::translate_vertex`] maps ingest-time ids forward.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum LayoutPolicy {
+    /// Keep the application's vertex order untouched.
+    #[default]
+    Preserve,
+    /// Hilbert-sort the vertices at ingest (the paper's choice).
+    Hilbert {
+        /// Re-apply the layout after this many restructuring events
+        /// (`None` = only at ingest). Restructuring appends new
+        /// vertices at the end of the id space, so churn slowly erodes
+        /// the curve order; a threshold of a few dozen events keeps the
+        /// crawl cache-friendly on long-running simulations.
+        relayout_after: Option<u32>,
+    },
+    /// Morton/Z-order variant (cheaper keys, worse locality — the
+    /// layout ablation).
+    Morton {
+        /// Same as [`LayoutPolicy::Hilbert::relayout_after`].
+        relayout_after: Option<u32>,
+    },
+}
+
+impl LayoutPolicy {
+    /// Hilbert at ingest, no churn-triggered re-layout.
+    pub fn hilbert() -> LayoutPolicy {
+        LayoutPolicy::Hilbert {
+            relayout_after: None,
+        }
+    }
+
+    fn curve(self) -> Option<CurveKind> {
+        match self {
+            LayoutPolicy::Preserve => None,
+            LayoutPolicy::Hilbert { .. } => Some(CurveKind::Hilbert),
+            LayoutPolicy::Morton { .. } => Some(CurveKind::Morton),
+        }
+    }
+
+    fn relayout_after(self) -> Option<u32> {
+        match self {
+            LayoutPolicy::Preserve => None,
+            LayoutPolicy::Hilbert { relayout_after } | LayoutPolicy::Morton { relayout_after } => {
+                relayout_after
+            }
+        }
+    }
+}
 
 /// Errors surfaced by the service layer.
 #[derive(Debug)]
@@ -71,6 +131,10 @@ enum Cmd {
     Step {
         reuse: Option<Vec<Point3>>,
     },
+    /// Relabel the simulation's vertices (layout policy re-application).
+    /// Sent only between steps — the channel orders it before any
+    /// subsequent `Step`.
+    Relayout(Vec<VertexId>),
     Stop,
 }
 
@@ -116,14 +180,41 @@ pub struct MonitorLoop {
     pool: ParallelExecutor,
     spare: Option<Vec<Point3>>,
     in_flight: bool,
+    policy: LayoutPolicy,
+    /// Cumulative id map, ingest-time id → current id (`None` for
+    /// [`LayoutPolicy::Preserve`]; identity-extended as restructuring
+    /// adds vertices, recomposed on re-layout).
+    translation: Option<Vec<VertexId>>,
+    restructures_since_layout: u32,
+    relayouts: u32,
 }
 
 impl MonitorLoop {
     /// Wraps `sim`, snapshotting its current state (step 0 unless the
     /// caller pre-ran it) and answering queries on `threads` workers.
     /// The simulation thread starts immediately but idles until
-    /// [`MonitorLoop::begin_step`].
+    /// [`MonitorLoop::begin_step`]. Vertex order is preserved; use
+    /// [`MonitorLoop::with_policy`] for the cache-conscious layouts.
     pub fn new(sim: Simulation, threads: usize) -> Result<MonitorLoop, MeshError> {
+        MonitorLoop::with_policy(sim, threads, LayoutPolicy::Preserve)
+    }
+
+    /// Like [`MonitorLoop::new`], additionally applying `policy`: with a
+    /// curve policy the simulation's vertices are permuted into curve
+    /// order *before* the simulation thread starts, so every crawl of
+    /// the serving loop walks a cache-friendly layout. Results are then
+    /// in the permuted id space — [`MonitorLoop::translate_vertex`]
+    /// maps ingest-time ids forward.
+    pub fn with_policy(
+        mut sim: Simulation,
+        threads: usize,
+        policy: LayoutPolicy,
+    ) -> Result<MonitorLoop, MeshError> {
+        let translation = policy.curve().map(|curve| {
+            let perm = curve_permutation(sim.mesh(), curve);
+            sim.permute_vertices(&perm);
+            perm
+        });
         let snapshot = sim.mesh().clone();
         let snapshot_step = sim.current_step();
         let octopus = Octopus::new(&snapshot)?;
@@ -140,6 +231,10 @@ impl MonitorLoop {
             pool: ParallelExecutor::new(threads),
             spare: None,
             in_flight: false,
+            policy,
+            translation,
+            restructures_since_layout: 0,
+            relayouts: 0,
         })
     }
 
@@ -181,10 +276,55 @@ impl MonitorLoop {
                 self.snapshot = *mesh;
                 self.octopus.on_restructure(&self.snapshot, &delta);
                 self.snapshot_step = step;
+                // Restructuring appends new vertices at the end of the
+                // id space in both the original and the permuted run, so
+                // the translation extends with identity entries.
+                if let Some(t) = &mut self.translation {
+                    let n = self.snapshot.num_vertices();
+                    while t.len() < n {
+                        t.push(t.len() as VertexId);
+                    }
+                }
+                self.restructures_since_layout += 1;
+                if self
+                    .policy
+                    .relayout_after()
+                    .is_some_and(|k| self.restructures_since_layout >= k)
+                {
+                    self.relayout()?;
+                }
             }
             Update::Failed(e) => return Err(ServiceError::Mesh(e)),
         }
         Ok(self.snapshot_step)
+    }
+
+    /// Re-applies the layout curve to the current snapshot and tells the
+    /// (idle — no step in flight) simulation thread to relabel its mesh
+    /// identically. The channel orders the relabelling before any later
+    /// `Step`, so both sides stay in the same id space.
+    fn relayout(&mut self) -> Result<(), ServiceError> {
+        let curve = self
+            .policy
+            .curve()
+            .expect("relayout only fires for curve policies");
+        debug_assert!(!self.in_flight, "relayout requires an idle simulation");
+        let perm = curve_permutation(&self.snapshot, curve);
+        self.cmd_tx
+            .send(Cmd::Relayout(perm.clone()))
+            .map_err(|_| ServiceError::SimulationStopped)?;
+        self.snapshot = self.snapshot.permute_vertices(&perm);
+        // Ids changed wholesale: the surface index and component map
+        // must be rebuilt, not delta-patched.
+        self.octopus = Octopus::with_strategy(&self.snapshot, self.octopus.visited_strategy())?;
+        if let Some(t) = &mut self.translation {
+            for slot in t.iter_mut() {
+                *slot = perm[*slot as usize];
+            }
+        }
+        self.restructures_since_layout = 0;
+        self.relayouts += 1;
+        Ok(())
     }
 
     /// One overlapped iteration: starts the next step, answers `queries`
@@ -212,6 +352,34 @@ impl MonitorLoop {
         self.snapshot_step
     }
 
+    /// The configured vertex-layout policy.
+    pub fn layout_policy(&self) -> LayoutPolicy {
+        self.policy
+    }
+
+    /// Cumulative id map, ingest-time id → current id (`None` under
+    /// [`LayoutPolicy::Preserve`]). Vertices added by restructuring
+    /// extend the map with identity entries, so it always covers the
+    /// snapshot's full vertex set.
+    pub fn vertex_translation(&self) -> Option<&[VertexId]> {
+        self.translation.as_deref()
+    }
+
+    /// Maps an ingest-time vertex id to the snapshot's current id space
+    /// (identity under [`LayoutPolicy::Preserve`]).
+    pub fn translate_vertex(&self, v: VertexId) -> VertexId {
+        match &self.translation {
+            Some(t) => t[v as usize],
+            None => v,
+        }
+    }
+
+    /// How many times the layout policy has re-permuted the mesh after
+    /// ingest (churn-triggered re-layouts).
+    pub fn relayouts(&self) -> u32 {
+        self.relayouts
+    }
+
     /// True between [`MonitorLoop::begin_step`] and
     /// [`MonitorLoop::finish_step`] — i.e. while SIMULATE and MONITOR
     /// actually overlap.
@@ -228,6 +396,18 @@ impl MonitorLoop {
     pub fn query_batch(&mut self, queries: &[Aabb]) -> Vec<QueryResult> {
         self.pool
             .execute_batch(&self.octopus, &self.snapshot, queries)
+    }
+
+    /// Returns a finished batch's buffers to the executor's free lists
+    /// (see [`ParallelExecutor::recycle`]); a serving loop that recycles
+    /// every batch allocates nothing in steady state.
+    pub fn recycle(&mut self, results: Vec<QueryResult>) {
+        self.pool.recycle(results);
+    }
+
+    /// The executor's result-buffer free-list counters.
+    pub fn recycle_stats(&self) -> RecycleStats {
+        self.pool.recycle_stats()
     }
 
     /// Answers one large query against the snapshot with the
@@ -270,6 +450,10 @@ fn sim_thread(mut sim: Simulation, cmd_rx: &Receiver<Cmd>, upd_tx: &Sender<Updat
     while let Ok(cmd) = cmd_rx.recv() {
         let reuse = match cmd {
             Cmd::Step { reuse } => reuse,
+            Cmd::Relayout(perm) => {
+                sim.permute_vertices(&perm);
+                continue;
+            }
             Cmd::Stop => break,
         };
         let update = match sim.step_outcome() {

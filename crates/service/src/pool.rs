@@ -1,0 +1,345 @@
+//! The persistent worker pool: long-lived, parked worker threads shared
+//! by the batch executor and the frontier-sharded crawl.
+//!
+//! PR 2's service layer spawned scoped threads per batch (and per BFS
+//! round in the sharded crawl). The spawn itself — stack allocation,
+//! kernel thread creation, TLS setup, join teardown — is a fixed cost
+//! paid on every call, which is exactly why the parallel paths lost to
+//! the sequential executor at small batches (`BENCH_throughput.json`,
+//! `baseline_pr2`). [`WorkerPool`] pays it once: workers are spawned at
+//! construction, park in a channel `recv` (condvar-based under the
+//! hood) between submissions, and live until the pool is dropped.
+//!
+//! [`WorkerPool::run`] is a *scoped* submission: the closures may borrow
+//! from the caller's stack (`&Octopus`, `&Mesh`, `&mut QueryScratch`, …)
+//! because `run` does not return until every submitted task has
+//! finished — the same guarantee `std::thread::scope` gives, without the
+//! spawns. A panicking task is caught on the worker (so the worker
+//! survives to serve later batches), and the payload is re-thrown on the
+//! calling thread once all of the call's tasks have completed.
+
+use std::any::Any;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// One unit of work for [`WorkerPool::run`]: a closure that may borrow
+/// from the submitting stack frame (the pool blocks until it finishes).
+pub type Task<'scope> = Box<dyn FnOnce() + Send + 'scope>;
+
+/// The lifetime-erased job actually shipped to a worker thread: the
+/// task plus the submission's completion latch. Executing (catch the
+/// unwind, run, count down) happens in the worker loop, so submission
+/// costs one box per task — no wrapper closure.
+struct Job {
+    task: Box<dyn FnOnce() + Send + 'static>,
+    latch: Arc<Latch>,
+}
+
+impl Job {
+    fn execute(self) {
+        let outcome = panic::catch_unwind(AssertUnwindSafe(self.task)).err();
+        self.latch.complete(outcome);
+    }
+}
+
+/// Process-wide count of worker threads ever spawned by the service
+/// layer — both by [`WorkerPool`]s and by the legacy spawn-per-batch
+/// path kept for the throughput ablation. The steady-state tests assert
+/// this stays flat across pool-mode batches.
+static THREADS_SPAWNED: AtomicUsize = AtomicUsize::new(0);
+
+/// Total worker threads spawned by the service layer so far in this
+/// process (instrumentation; see [`THREADS_SPAWNED`]'s doc).
+pub fn threads_spawned_total() -> usize {
+    THREADS_SPAWNED.load(Ordering::Relaxed)
+}
+
+pub(crate) fn record_spawn() {
+    THREADS_SPAWNED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Completion latch for one `run` call: counts outstanding submitted
+/// tasks and carries the first panic payload back to the caller.
+#[derive(Default)]
+struct Latch {
+    state: Mutex<LatchState>,
+    done: Condvar,
+}
+
+#[derive(Default)]
+struct LatchState {
+    remaining: usize,
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+impl Latch {
+    fn add(&self) {
+        self.state.lock().unwrap().remaining += 1;
+    }
+
+    fn complete(&self, panic: Option<Box<dyn Any + Send>>) {
+        let mut s = self.state.lock().unwrap();
+        s.remaining -= 1;
+        if let Some(p) = panic {
+            s.panic.get_or_insert(p);
+        }
+        if s.remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) -> Option<Box<dyn Any + Send>> {
+        let mut s = self.state.lock().unwrap();
+        while s.remaining > 0 {
+            s = self.done.wait(s).unwrap();
+        }
+        s.panic.take()
+    }
+}
+
+/// A persistent pool of parked worker threads executing scoped task
+/// submissions (see the module docs).
+///
+/// `threads` is the pool's *total* parallelism: the calling thread
+/// always executes one task of each [`WorkerPool::run`] inline, so a
+/// pool of `threads = n` spawns `n - 1` background workers — and a pool
+/// of 1 spawns none and degenerates to plain sequential calls with no
+/// synchronisation at all.
+///
+/// Tasks of one `run` call must not themselves call `run` on the same
+/// pool: the inner call's jobs would queue behind the outer tasks that
+/// are blocked waiting for them. The service layer never nests
+/// submissions.
+pub struct WorkerPool {
+    /// One channel per worker; jobs are dealt round-robin. Dropping the
+    /// senders disconnects the channels and the workers exit.
+    senders: Vec<Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.threads)
+            .field("workers", &self.handles.len())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns a pool of total parallelism `threads` (min 1; `threads - 1`
+    /// background workers).
+    pub fn new(threads: usize) -> WorkerPool {
+        let threads = threads.max(1);
+        let mut senders = Vec::with_capacity(threads - 1);
+        let mut handles = Vec::with_capacity(threads - 1);
+        for _ in 1..threads {
+            let (tx, rx) = channel::<Job>();
+            record_spawn();
+            handles.push(std::thread::spawn(move || {
+                // Parked here between submissions; exits when the pool
+                // drops its sender. `execute` contains any unwind, so
+                // one loop serves the pool's whole life.
+                while let Ok(job) = rx.recv() {
+                    job.execute();
+                }
+            }));
+            senders.push(tx);
+        }
+        WorkerPool {
+            senders,
+            handles,
+            threads,
+        }
+    }
+
+    /// The pool's total parallelism (background workers + the caller).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Number of background worker threads (0 for a pool of 1).
+    pub fn worker_threads(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Executes every task, the first inline on the calling thread and
+    /// the rest dealt round-robin to the parked workers, and returns
+    /// once **all** of them have finished. If any task panicked, the
+    /// first captured payload is re-thrown here — after the barrier, so
+    /// borrowed data is never still in use when the caller unwinds, and
+    /// the pool remains fully usable for later submissions.
+    pub fn run(&self, tasks: Vec<Task<'_>>) {
+        let mut tasks = tasks.into_iter();
+        let Some(first) = tasks.next() else { return };
+        let latch = Arc::new(Latch::default());
+        for (j, task) in tasks.enumerate() {
+            // SAFETY: the job runs before `run` returns — the latch
+            // below blocks (even when the inline task panics) until
+            // every submitted job has completed, so the erased borrows
+            // never outlive the frames they point into. This is the
+            // `std::thread::scope` guarantee with recycled threads.
+            let task: Box<dyn FnOnce() + Send + 'static> = unsafe {
+                std::mem::transmute::<Task<'_>, Box<dyn FnOnce() + Send + 'static>>(task)
+            };
+            let job = Job {
+                task,
+                latch: Arc::clone(&latch),
+            };
+            latch.add();
+            if self.senders.is_empty() {
+                job.execute();
+            } else if let Err(returned) = self.senders[j % self.senders.len()].send(job) {
+                // Worker unreachable (cannot happen while the pool is
+                // alive, but don't lose the task): run it inline.
+                returned.0.execute();
+            }
+        }
+        let inline_panic = panic::catch_unwind(AssertUnwindSafe(first)).err();
+        let worker_panic = latch.wait();
+        if let Some(p) = worker_panic.or(inline_panic) {
+            panic::resume_unwind(p);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Disconnect first so every worker's `recv` errors out, then
+        // join — no stop message can race past queued jobs because the
+        // channel drains in order before reporting disconnection.
+        self.senders.clear();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_executes_every_task_exactly_once() {
+        let pool = WorkerPool::new(4);
+        let counter = AtomicUsize::new(0);
+        for round in 1..=5usize {
+            let tasks: Vec<Task<'_>> = (0..round)
+                .map(|_| {
+                    Box::new(|| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    }) as Task<'_>
+                })
+                .collect();
+            pool.run(tasks);
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 1 + 2 + 3 + 4 + 5);
+    }
+
+    #[test]
+    fn tasks_may_borrow_mutably_from_the_caller() {
+        let pool = WorkerPool::new(3);
+        let mut slots = [0u64; 7];
+        {
+            let tasks: Vec<Task<'_>> = slots
+                .iter_mut()
+                .enumerate()
+                .map(|(i, s)| Box::new(move || *s = i as u64 + 1) as Task<'_>)
+                .collect();
+            pool.run(tasks);
+        }
+        assert_eq!(slots, [1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn single_thread_pool_spawns_nothing_and_runs_inline() {
+        let before = threads_spawned_total();
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.worker_threads(), 0);
+        assert_eq!(threads_spawned_total(), before);
+        let hits = AtomicUsize::new(0);
+        pool.run(vec![
+            Box::new(|| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            }) as Task<'_>,
+            Box::new(|| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            }) as Task<'_>,
+        ]);
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn empty_submission_is_a_no_op() {
+        let pool = WorkerPool::new(2);
+        pool.run(Vec::new());
+    }
+
+    #[test]
+    fn panics_propagate_but_do_not_poison_the_pool() {
+        let pool = WorkerPool::new(3);
+        for round in 0..3 {
+            // A panicking task on a *worker* thread (the inline task is
+            // the first one, which succeeds here).
+            let caught = panic::catch_unwind(AssertUnwindSafe(|| {
+                pool.run(vec![
+                    Box::new(|| {}) as Task<'_>,
+                    Box::new(|| panic!("task boom")) as Task<'_>,
+                    Box::new(|| {}) as Task<'_>,
+                ]);
+            }));
+            assert!(caught.is_err(), "round {round}: panic must propagate");
+            // The pool still works: the panicked worker survived.
+            let ok = AtomicUsize::new(0);
+            let tasks: Vec<Task<'_>> = (0..4)
+                .map(|_| {
+                    Box::new(|| {
+                        ok.fetch_add(1, Ordering::Relaxed);
+                    }) as Task<'_>
+                })
+                .collect();
+            pool.run(tasks);
+            assert_eq!(ok.load(Ordering::Relaxed), 4, "round {round}");
+        }
+    }
+
+    #[test]
+    fn inline_task_panic_still_waits_for_workers() {
+        let pool = WorkerPool::new(2);
+        let finished = Arc::new(AtomicUsize::new(0));
+        let f = Arc::clone(&finished);
+        let caught = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(vec![
+                Box::new(|| panic!("inline boom")) as Task<'_>,
+                Box::new(move || {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    f.fetch_add(1, Ordering::Relaxed);
+                }) as Task<'_>,
+            ]);
+        }));
+        assert!(caught.is_err());
+        // By the time `run` unwound, the worker task had completed — the
+        // barrier held even though the inline task panicked.
+        assert_eq!(finished.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn drop_joins_all_workers_without_hanging() {
+        let pool = WorkerPool::new(4);
+        let n = AtomicUsize::new(0);
+        let tasks: Vec<Task<'_>> = (0..8)
+            .map(|_| {
+                Box::new(|| {
+                    n.fetch_add(1, Ordering::Relaxed);
+                }) as Task<'_>
+            })
+            .collect();
+        pool.run(tasks);
+        drop(pool); // must terminate promptly — the test would hang otherwise
+        assert_eq!(n.load(Ordering::Relaxed), 8);
+    }
+}

@@ -1,0 +1,170 @@
+//! Generation-checked free lists for the serving hot path.
+//!
+//! The batch executor hands each query's result out as an owned
+//! `Vec<VertexId>` — the one steady-state allocation PR 2 left in the
+//! hot path. [`ResultRecycler`] closes it: callers return finished
+//! batches via `ParallelExecutor::recycle`, the buffers go onto a free
+//! list, and the next batch leases them instead of allocating.
+//!
+//! Every lease is stamped with the recycler's current **generation**,
+//! and a returned buffer is only accepted when its stamp still matches.
+//! The generation bumps whenever the executor reconfigures (today: a
+//! visited-strategy change rebuilds the scratches) — so buffers leased
+//! under an old configuration are quietly dropped rather than hoarded,
+//! and a caller recycling long-stale results cannot grow the free list
+//! past what the current configuration ever leased.
+
+use octopus_geom::VertexId;
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Upper bound on pooled buffers — a backstop against a caller leasing
+/// huge bursts and returning them all at once.
+const MAX_FREE: usize = 4096;
+
+/// Counters of the result-buffer free list, for the zero-allocation
+/// steady-state assertions (`ParallelExecutor::recycle_stats`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecycleStats {
+    /// Buffers handed out in total (`reused + allocated`).
+    pub leased: usize,
+    /// Leases served from the free list (no allocation).
+    pub reused: usize,
+    /// Leases that had to allocate a fresh buffer.
+    pub allocated: usize,
+    /// Buffers currently parked on the free list.
+    pub free: usize,
+    /// Current free-list generation (bumps on executor reconfiguration).
+    pub generation: u32,
+}
+
+/// The generation-checked free list of result buffers (module docs).
+///
+/// Leasing takes `&self` so pool workers can draw buffers concurrently
+/// mid-batch; generation bumps and returns go through the executor's
+/// `&mut self` API.
+#[derive(Debug)]
+pub(crate) struct ResultRecycler {
+    /// Current generation; starts at 1 so a `QueryResult::default()`
+    /// (generation 0) can never enter the free list.
+    generation: AtomicU32,
+    free: Mutex<Vec<Vec<VertexId>>>,
+    reused: AtomicUsize,
+    allocated: AtomicUsize,
+}
+
+impl Default for ResultRecycler {
+    fn default() -> ResultRecycler {
+        ResultRecycler {
+            generation: AtomicU32::new(1),
+            free: Mutex::new(Vec::new()),
+            reused: AtomicUsize::new(0),
+            allocated: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl ResultRecycler {
+    /// Hands out a cleared buffer (recycled when possible) stamped with
+    /// the current generation.
+    pub(crate) fn lease(&self) -> (u32, Vec<VertexId>) {
+        let generation = self.generation.load(Ordering::Relaxed);
+        let recycled = self.free.lock().unwrap().pop();
+        let buf = match recycled {
+            Some(buf) => {
+                self.reused.fetch_add(1, Ordering::Relaxed);
+                buf
+            }
+            None => {
+                self.allocated.fetch_add(1, Ordering::Relaxed);
+                Vec::new()
+            }
+        };
+        (generation, buf)
+    }
+
+    /// Returns a leased buffer. Accepted (cleared, capacity kept) only
+    /// when `generation` matches the current one and the free list has
+    /// room; stale or overflow buffers are dropped.
+    pub(crate) fn give_back(&self, generation: u32, mut buf: Vec<VertexId>) {
+        if generation != self.generation.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut free = self.free.lock().unwrap();
+        if free.len() < MAX_FREE {
+            buf.clear();
+            free.push(buf);
+        }
+    }
+
+    /// Invalidates every outstanding lease and drops the free list.
+    pub(crate) fn bump(&self) {
+        self.generation.fetch_add(1, Ordering::Relaxed);
+        self.free.lock().unwrap().clear();
+    }
+
+    pub(crate) fn stats(&self) -> RecycleStats {
+        let reused = self.reused.load(Ordering::Relaxed);
+        let allocated = self.allocated.load(Ordering::Relaxed);
+        RecycleStats {
+            leased: reused + allocated,
+            reused,
+            allocated,
+            free: self.free.lock().unwrap().len(),
+            generation: self.generation.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Heap bytes parked on the free list.
+    pub(crate) fn memory_bytes(&self) -> usize {
+        self.free
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|b| b.capacity() * std::mem::size_of::<VertexId>())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lease_recycles_returned_buffers() {
+        let r = ResultRecycler::default();
+        let (g, mut buf) = r.lease();
+        buf.extend_from_slice(&[1, 2, 3]);
+        let cap = buf.capacity();
+        r.give_back(g, buf);
+        let (g2, buf2) = r.lease();
+        assert_eq!(g2, g);
+        assert!(buf2.is_empty(), "recycled buffers come back cleared");
+        assert_eq!(buf2.capacity(), cap, "capacity survives the round trip");
+        let s = r.stats();
+        assert_eq!((s.leased, s.reused, s.allocated), (2, 1, 1));
+    }
+
+    #[test]
+    fn stale_generation_buffers_are_dropped() {
+        let r = ResultRecycler::default();
+        let (g, buf) = r.lease();
+        r.bump();
+        r.give_back(g, buf);
+        assert_eq!(r.stats().free, 0, "stale buffer must not be pooled");
+        // Generation 0 (a defaulted QueryResult) is never current.
+        r.give_back(0, Vec::new());
+        assert_eq!(r.stats().free, 0);
+    }
+
+    #[test]
+    fn bump_clears_the_free_list() {
+        let r = ResultRecycler::default();
+        let (g, buf) = r.lease();
+        r.give_back(g, buf);
+        assert_eq!(r.stats().free, 1);
+        r.bump();
+        assert_eq!(r.stats().free, 0);
+        assert_eq!(r.stats().generation, 2);
+    }
+}

@@ -11,14 +11,15 @@
 //! count — independent of thread scheduling.
 
 use crate::batch::ParallelExecutor;
+use crate::pool::Task;
 use octopus_core::{Octopus, PhaseTimings, ShardWorker};
 use octopus_geom::{Aabb, VertexId};
 use octopus_mesh::Mesh;
 use std::time::Instant;
 
 /// Below this frontier size a round is expanded inline on the calling
-/// thread: spawning workers for a handful of vertices costs more than
-/// the expansion itself. The first/last rounds of almost every query go
+/// thread: even a parked-pool submission costs more than expanding a
+/// handful of vertices. The first/last rounds of almost every query go
 /// through this path; only genuinely large frontiers fan out.
 const PARALLEL_FRONTIER_MIN: usize = 512;
 
@@ -55,15 +56,20 @@ impl ParallelExecutor {
                 self.shard_workers[0].expand(mesh, q, &self.frontier, scratch.visited());
                 1
             } else {
+                // Fan the round out over the persistent pool: one task
+                // per chunk, workers parked between rounds — no spawns.
                 let chunk = self.frontier.len().div_ceil(self.shard_workers.len());
                 let frontier = &self.frontier;
                 let view = scratch.visited();
-                std::thread::scope(|s| {
-                    for (w, c) in self.shard_workers.iter_mut().zip(frontier.chunks(chunk)) {
-                        s.spawn(move || w.expand(mesh, q, c, view));
-                    }
-                });
-                self.frontier.len().div_ceil(chunk)
+                let tasks: Vec<Task<'_>> = self
+                    .shard_workers
+                    .iter_mut()
+                    .zip(frontier.chunks(chunk))
+                    .map(|(w, c)| Box::new(move || w.expand(mesh, q, c, view)) as Task<'_>)
+                    .collect();
+                let chunks_used = tasks.len();
+                self.pool.run(tasks);
+                chunks_used
             };
 
             // Sequential merge in chunk order: deterministic output.

@@ -7,7 +7,7 @@ use octopus_core::Octopus;
 use octopus_geom::{Aabb, Point3, VertexId};
 use octopus_mesh::Mesh;
 use octopus_meshgen::voxel::VoxelRegion;
-use octopus_service::MonitorLoop;
+use octopus_service::{LayoutPolicy, MonitorLoop};
 use octopus_sim::{RestructureSchedule, Simulation, SmoothRandomField};
 
 fn box_mesh(n: usize) -> Mesh {
@@ -121,6 +121,77 @@ fn monitor_handles_restructuring_steps() {
             );
         }
     }
+}
+
+#[test]
+fn hilbert_layout_policy_matches_reference_through_translation() {
+    // The Hilbert policy permutes the simulation's vertices at ingest
+    // and — with `relayout_after: Some(2)` and restructures every 3
+    // steps — re-permutes twice mid-run. Every answer must still equal
+    // the stop-the-world reference on the *unpermuted* mesh, mapped
+    // through the monitor's id translation at that step.
+    let steps = 12u32;
+    let mesh = {
+        let mut m = box_mesh(4);
+        m.enable_restructuring().unwrap();
+        m
+    };
+    let expected = reference_run(mesh.clone(), 123, Some((3, 2, 0xD1CE)), steps);
+
+    let sim = Simulation::new(mesh, Box::new(SmoothRandomField::new(0.01, 3, 123)))
+        .with_restructuring(RestructureSchedule::new(3, 2, 0xD1CE))
+        .unwrap();
+    let mut monitor = MonitorLoop::with_policy(
+        sim,
+        2,
+        LayoutPolicy::Hilbert {
+            relayout_after: Some(2),
+        },
+    )
+    .unwrap();
+    assert!(monitor.vertex_translation().is_some());
+
+    for step in 1..=steps {
+        monitor.begin_step().unwrap();
+        assert_eq!(monitor.finish_step().unwrap(), step);
+        let results = monitor.query_batch(&step_queries(step));
+        for (i, (got, want)) in results.iter().zip(&expected[step as usize - 1]).enumerate() {
+            let want_translated = sorted(
+                want.iter()
+                    .map(|&v| monitor.translate_vertex(v))
+                    .collect::<Vec<_>>(),
+            );
+            assert_eq!(
+                sorted(got.vertices.clone()),
+                want_translated,
+                "step {step} query {i} (translation must track re-layouts)"
+            );
+        }
+        monitor.recycle(results);
+    }
+    assert!(
+        monitor.relayouts() >= 1,
+        "4 restructuring events at threshold 2 must trigger a re-layout"
+    );
+    // The translation is a bijection over the final vertex set.
+    let t = monitor.vertex_translation().unwrap();
+    assert_eq!(t.len(), monitor.snapshot().num_vertices());
+    let mut seen = vec![false; t.len()];
+    for &v in t {
+        assert!(!seen[v as usize], "translation must stay bijective");
+        seen[v as usize] = true;
+    }
+}
+
+#[test]
+fn preserve_policy_is_the_identity_translation() {
+    let mesh = box_mesh(3);
+    let sim = Simulation::new(mesh, Box::new(SmoothRandomField::new(0.01, 3, 2)));
+    let monitor = MonitorLoop::new(sim, 1).unwrap();
+    assert_eq!(monitor.layout_policy(), LayoutPolicy::Preserve);
+    assert!(monitor.vertex_translation().is_none());
+    assert_eq!(monitor.translate_vertex(17), 17);
+    assert_eq!(monitor.relayouts(), 0);
 }
 
 #[test]

@@ -1,0 +1,103 @@
+//! The acceptance assertion for the persistent pool: **steady-state
+//! batch execution performs zero thread spawns and zero result-buffer
+//! allocations after warm-up**, measured through the service layer's
+//! spawn and free-list instrumentation.
+//!
+//! This file intentionally holds a single test: the spawn counter
+//! (`threads_spawned_total`) is process-global, so it must be the only
+//! code creating pools in its binary while the deltas are measured.
+
+use octopus_core::{Octopus, VisitedStrategy};
+use octopus_geom::{Aabb, Point3, VertexId};
+use octopus_mesh::Mesh;
+use octopus_meshgen::voxel::VoxelRegion;
+use octopus_service::{threads_spawned_total, ParallelExecutor};
+
+fn box_mesh(n: usize) -> Mesh {
+    let bounds = Aabb::new(Point3::ORIGIN, Point3::splat(1.0));
+    octopus_meshgen::tet::tetrahedralize(&VoxelRegion::solid_box(&bounds, n, n, n)).unwrap()
+}
+
+fn sorted(mut v: Vec<VertexId>) -> Vec<VertexId> {
+    v.sort_unstable();
+    v
+}
+
+#[test]
+fn steady_state_spawns_no_threads_and_allocates_no_result_buffers() {
+    let mesh = box_mesh(7);
+    let octopus = Octopus::new(&mesh).unwrap();
+    let queries: Vec<Aabb> = (1..=8)
+        .map(|i| Aabb::cube(Point3::splat(0.5), 0.06 * i as f32))
+        .collect();
+    let big = Aabb::new(Point3::splat(0.05), Point3::splat(0.95));
+
+    let mut pool = ParallelExecutor::new(4);
+    // Ground truth once, sequentially.
+    let expected: Vec<Vec<VertexId>> = {
+        let mut seq = Octopus::with_strategy(&mesh, VisitedStrategy::EpochArray).unwrap();
+        queries
+            .iter()
+            .map(|q| {
+                let mut out = Vec::new();
+                seq.query(&mesh, q, &mut out);
+                sorted(out)
+            })
+            .collect()
+    };
+
+    // Warm-up: first batch allocates buffers and (at construction time,
+    // already counted) the pool spawned its workers; first sharded
+    // query sizes the shard scratch.
+    let first = pool.execute_batch(&octopus, &mesh, &queries);
+    pool.recycle(first);
+    let mut out = Vec::new();
+    pool.query_sharded(&octopus, &mesh, &big, &mut out);
+
+    let spawned_after_warmup = threads_spawned_total();
+    let allocated_after_warmup = pool.recycle_stats().allocated;
+
+    for round in 0..12 {
+        let results = pool.execute_batch(&octopus, &mesh, &queries);
+        for (i, (got, want)) in results.iter().zip(&expected).enumerate() {
+            assert_eq!(
+                &sorted(got.vertices.clone()),
+                want,
+                "round {round} query {i}"
+            );
+        }
+        pool.recycle(results);
+        out.clear();
+        pool.query_sharded(&octopus, &mesh, &big, &mut out);
+        assert!(!out.is_empty());
+    }
+
+    assert_eq!(
+        threads_spawned_total(),
+        spawned_after_warmup,
+        "steady-state serving must spawn zero threads (pool workers are persistent)"
+    );
+    let stats = pool.recycle_stats();
+    assert_eq!(
+        stats.allocated, allocated_after_warmup,
+        "steady-state batches must allocate zero result buffers (free-list reuse)"
+    );
+    assert_eq!(
+        stats.reused,
+        12 * queries.len(),
+        "every steady-state lease must come from the free list"
+    );
+
+    // Contrast: the PR 2 spawn-per-batch path pays the spawn cost on
+    // every call — that is the fixed overhead the pool amortises.
+    let before_legacy = threads_spawned_total();
+    for _ in 0..3 {
+        let results = pool.execute_batch_spawning(&octopus, &mesh, &queries);
+        pool.recycle(results); // generation 0: dropped, not pooled
+    }
+    assert_eq!(
+        threads_spawned_total(),
+        before_legacy + 3 * pool.threads().min(queries.len()),
+        "the legacy path must spawn per batch — the ablation the pool is measured against"
+    );
+}

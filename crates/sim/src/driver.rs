@@ -7,7 +7,7 @@
 
 use crate::fields::Deformation;
 use crate::restructure::RestructureSchedule;
-use octopus_geom::Point3;
+use octopus_geom::{Point3, VertexId};
 use octopus_mesh::{Mesh, MeshError, SurfaceDelta};
 
 /// Everything a snapshot-based monitor needs to catch up after one
@@ -120,6 +120,29 @@ impl Simulation {
     pub fn snapshot_positions_into(&self, buf: &mut Vec<Point3>) {
         buf.clear();
         buf.extend_from_slice(self.mesh.positions());
+    }
+
+    /// Relabels the simulation's vertices by `perm` (`perm[old] = new`),
+    /// permuting the mesh *and* the rest configuration consistently.
+    ///
+    /// Deformation fields compute per-vertex displacements from the rest
+    /// positions, and restructuring schedules address cells (whose order
+    /// `Mesh::permute_vertices` preserves) — so a permuted simulation
+    /// steps through exactly the same physics as the original, with
+    /// every vertex id translated through `perm`. This is the hook the
+    /// service layer's layout policy uses to apply the §IV-H1 Hilbert
+    /// ordering at ingest (and to re-apply it after restructuring churn)
+    /// without stopping the simulation semantics.
+    ///
+    /// # Panics
+    /// If `perm` is not a bijection over the current vertex set.
+    pub fn permute_vertices(&mut self, perm: &[VertexId]) {
+        self.mesh = self.mesh.permute_vertices(perm);
+        let mut rest = vec![Point3::ORIGIN; self.rest.len()];
+        for (old, &new) in perm.iter().enumerate() {
+            rest[new as usize] = self.rest[old];
+        }
+        self.rest = rest;
     }
 
     /// Runs `n` steps, discarding deltas (convenience for setups without
@@ -251,6 +274,38 @@ mod tests {
             sim.step().unwrap();
             sim.snapshot_positions_into(&mut buf);
             assert_eq!(&buf[..], sim.mesh().positions());
+        }
+    }
+
+    #[test]
+    fn permuted_simulation_steps_identically_under_relabelling() {
+        let mesh = small_mesh();
+        let n = mesh.num_vertices() as u32;
+        let mut perm: Vec<VertexId> = (0..n).collect();
+        octopus_geom::rng::SplitMix64::new(9).shuffle(&mut perm);
+
+        let mut reference =
+            Simulation::new(mesh.clone(), Box::new(SmoothRandomField::new(0.015, 3, 21)));
+        let mut permuted = Simulation::new(mesh, Box::new(SmoothRandomField::new(0.015, 3, 21)));
+        permuted.permute_vertices(&perm);
+
+        for _ in 0..4 {
+            reference.step().unwrap();
+            permuted.step().unwrap();
+            for old in 0..n {
+                assert_eq!(
+                    reference.mesh().position(old),
+                    permuted.mesh().position(perm[old as usize]),
+                    "vertex {old} must move identically under relabelling"
+                );
+            }
+        }
+        // Rest state permuted consistently too.
+        for old in 0..n {
+            assert_eq!(
+                reference.rest_positions()[old as usize],
+                permuted.rest_positions()[perm[old as usize] as usize]
+            );
         }
     }
 

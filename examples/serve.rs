@@ -1,24 +1,30 @@
 //! The query-serving loop: SIMULATE ∥ MONITOR on a deforming neuron
-//! mesh.
+//! mesh, on the persistent worker pool, with a cache-conscious layout.
 //!
 //! Drives the whole `octopus-service` stack end to end:
 //!
 //! 1. a [`Simulation`] (smooth random deformation + rare restructuring)
-//!    runs on its own thread inside a [`MonitorLoop`];
+//!    runs on its own thread inside a [`MonitorLoop`]; with the
+//!    (default) `hilbert` layout policy its vertices are Hilbert-sorted
+//!    at ingest and re-sorted after restructuring churn (§IV-H1);
 //! 2. each iteration, the next step is kicked off and a batch of range
-//!    queries is answered by the parallel executor against the stable
-//!    snapshot of the *completed* step — queries at step N overlap the
-//!    computation of step N+1;
+//!    queries is answered by the pool-backed parallel executor against
+//!    the stable snapshot of the *completed* step — queries at step N
+//!    overlap the computation of step N+1 — and every finished batch
+//!    is recycled, so the steady-state loop spawns no threads and
+//!    allocates no result buffers;
 //! 3. the exact same schedule is then replayed stop-the-world
 //!    (step, then query the live mesh) and every result set is checked
-//!    for equality, so the overlap provably changes the timeline, not
-//!    the answers.
+//!    for equality (translated through the layout permutation), so the
+//!    overlap and the re-layout provably change the timeline and the
+//!    memory order, not the answers.
 //!
 //! ```bash
-//! cargo run --release --example serve [-- <steps> [workers]]
+//! cargo run --release --example serve [-- <steps> [workers] [preserve|hilbert|morton]]
 //! ```
 
 use octopus::prelude::*;
+use octopus::service::LayoutPolicy;
 use octopus::sim::{RestructureSchedule, SmoothRandomField};
 use octopus_bench::workload::QueryGen;
 use std::time::{Duration, Instant};
@@ -33,6 +39,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map_or_else(octopus::service::default_workers, |s| {
             s.parse().expect("workers")
         });
+    let policy = match args.next().as_deref() {
+        None | Some("hilbert") => LayoutPolicy::Hilbert {
+            relayout_after: Some(1),
+        },
+        Some("morton") => LayoutPolicy::Morton {
+            relayout_after: Some(1),
+        },
+        Some("preserve") => LayoutPolicy::Preserve,
+        Some(other) => panic!("unknown layout policy {other:?} (preserve|hilbert|morton)"),
+    };
 
     // A deforming, restructuring neuron arbor and a per-step query
     // schedule drawn once so both runs see identical workloads.
@@ -42,7 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         m
     };
     println!(
-        "serve: {} vertices, {} cells, {steps} steps, {workers} workers",
+        "serve: {} vertices, {} cells, {steps} steps, {workers} workers, {policy:?}",
         m_fmt(mesh.num_vertices()),
         m_fmt(mesh.num_cells())
     );
@@ -57,8 +73,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     // ---- Overlapped run -------------------------------------------
-    let mut monitor = MonitorLoop::new(make_sim(mesh.clone())?, workers)?;
+    let mut monitor = MonitorLoop::with_policy(make_sim(mesh.clone())?, workers, policy)?;
+    let spawned_at_start = octopus::service::threads_spawned_total();
     let mut overlapped: Vec<Vec<Vec<VertexId>>> = Vec::new();
+    // The id translation changes on re-layout; snapshot it per step so
+    // the reference comparison uses the mapping that was in force.
+    let mut translations: Vec<Option<Vec<VertexId>>> = Vec::new();
     let mut query_busy = Duration::ZERO;
     let t0 = Instant::now();
     monitor.begin_step()?;
@@ -67,21 +87,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if step < steps {
             monitor.begin_step()?; // step N+1 computes while we answer N
         }
+        translations.push(monitor.vertex_translation().map(<[VertexId]>::to_vec));
         let tq = Instant::now();
         let results = monitor.query_batch(&schedule[step as usize - 1]);
         query_busy += tq.elapsed();
         overlapped.push(
             results
-                .into_iter()
+                .iter()
                 .map(|r| {
-                    let mut v = r.vertices;
+                    let mut v = r.vertices.clone();
                     v.sort_unstable();
                     v
                 })
                 .collect(),
         );
+        // Feed the buffers back: the next batch leases instead of
+        // allocating.
+        monitor.recycle(results);
     }
     let overlapped_wall = t0.elapsed();
+    let recycle_stats = monitor.recycle_stats();
+    let relayouts = monitor.relayouts();
+    let spawned_during_run = octopus::service::threads_spawned_total() - spawned_at_start;
     monitor.shutdown().ok();
 
     // ---- Stop-the-world reference ---------------------------------
@@ -113,9 +140,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ---- Equivalence + overlap report -----------------------------
     let mut total_results = 0usize;
     for (step, (a, b)) in overlapped.iter().zip(&reference).enumerate() {
+        // Translate the reference ids through the layout permutation
+        // that was in force at this step (identity under `preserve`).
+        let b: Vec<Vec<VertexId>> = b
+            .iter()
+            .map(|q| match &translations[step] {
+                Some(t) => {
+                    let mut v: Vec<VertexId> = q.iter().map(|&x| t[x as usize]).collect();
+                    v.sort_unstable();
+                    v
+                }
+                None => q.clone(),
+            })
+            .collect();
         assert_eq!(
             a,
-            b,
+            &b,
             "step {}: overlapped results diverge from stop-the-world",
             step + 1
         );
@@ -125,6 +165,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  every result set matches the stop-the-world run ✓");
     println!(
         "  {queries} queries, {total_results} result vertices, snapshot lag: one step by design"
+    );
+    println!(
+        "  layout: {relayouts} churn-triggered re-layout(s); pool: {spawned_during_run} thread \
+         spawns during serving, {} of {} result buffers recycled",
+        recycle_stats.reused, recycle_stats.leased
+    );
+    assert_eq!(
+        spawned_during_run, 0,
+        "steady-state serving must not spawn threads"
     );
     println!(
         "  stop-the-world: {reference_wall:>8.1?} wall (sim busy {sim_busy:.1?} of it, serialized)"

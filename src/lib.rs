@@ -20,10 +20,12 @@
 //! * [`core`] — OCTOPUS itself: [`prelude::Octopus`],
 //!   [`prelude::OctopusCon`], [`prelude::ApproxOctopus`], the Hilbert
 //!   layout, the cost model and planner;
-//! * [`service`] — concurrent query serving: the parallel batch
-//!   executor ([`prelude::ParallelExecutor`]), the frontier-sharded
-//!   crawl, and the overlapped SIMULATE ∥ MONITOR loop
-//!   ([`prelude::MonitorLoop`]).
+//! * [`service`] — concurrent query serving: the persistent worker
+//!   pool ([`prelude::WorkerPool`]), the parallel batch executor
+//!   ([`prelude::ParallelExecutor`]), the frontier-sharded crawl, the
+//!   overlapped SIMULATE ∥ MONITOR loop ([`prelude::MonitorLoop`]) and
+//!   its cache-conscious vertex-layout policy
+//!   ([`prelude::LayoutPolicy`]).
 //!
 //! ## Quickstart
 //!
@@ -67,6 +69,6 @@ pub mod prelude {
     pub use octopus_index::{DynamicIndex, LinearScan};
     pub use octopus_mesh::{CellKind, Mesh, MeshStats};
     pub use octopus_meshgen::VoxelRegion;
-    pub use octopus_service::{MonitorLoop, ParallelExecutor};
+    pub use octopus_service::{LayoutPolicy, MonitorLoop, ParallelExecutor, WorkerPool};
     pub use octopus_sim::{Deformation, Simulation};
 }
