@@ -12,6 +12,13 @@
 //!   ([`ParallelExecutor::execute_batch`]) with result-buffer
 //!   recycling, the serving hot path.
 //!
+//! A second section sweeps the **snapshot-ring depth** K ∈ {1, 2, 3}
+//! of the full SIMULATE ∥ MONITOR loop (`ring` mode, one step + one
+//! batch per iteration, deforming mesh) against a stop-the-world
+//! replay of the same schedule (`ring_stw`) — the end-to-end number
+//! the pipelining exists for. On a 1-hardware-thread container the
+//! overlap cannot materialise; re-record on real cores.
+//!
 //! Run directly, or with `--json <path>` to record a machine-readable
 //! baseline (the committed `BENCH_throughput.json`, which also carries
 //! the PR 2 numbers under `baseline_pr2` for trajectory):
@@ -26,7 +33,8 @@ use octopus_core::Octopus;
 use octopus_geom::Aabb;
 use octopus_mesh::Mesh;
 use octopus_meshgen::{neuron, NeuroLevel};
-use octopus_service::ParallelExecutor;
+use octopus_service::{LayoutPolicy, MonitorLoop, ParallelExecutor};
+use octopus_sim::{Simulation, SmoothRandomField};
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
@@ -35,6 +43,12 @@ const BATCH_SIZES: [usize; 3] = [16, 64, 256];
 const SELECTIVITY: f64 = 0.001;
 /// Measurement budget per configuration.
 const BUDGET: Duration = Duration::from_millis(300);
+/// Snapshot-ring depths swept in the SIMULATE ∥ MONITOR section.
+const RING_DEPTHS: [usize; 3] = [1, 2, 3];
+/// Batch size and workers of the ring sweep (the serving sweet spot).
+const RING_BATCH: usize = 16;
+const RING_WORKERS: usize = 2;
+const RING_FIELD_SEED: u64 = 0x51A7_0ECA;
 
 /// The PR 2 numbers (spawn-per-batch executor, 1-hardware-thread
 /// container), embedded verbatim so the committed baseline keeps the
@@ -62,9 +76,12 @@ const BASELINE_PR2: &str = r#"{
   }"#;
 
 struct Entry {
-    mode: &'static str, // "sequential" | "spawn" | "pool"
+    mode: &'static str, // "sequential" | "spawn" | "pool" | "ring_stw" | "ring"
     workers: usize,     // 0 = sequential baseline
     batch: usize,
+    /// Snapshot-ring depth K (`0` for the batch-executor modes and the
+    /// stop-the-world ring baseline).
+    depth: usize,
     qps: f64,
     speedup: f64,
 }
@@ -131,6 +148,7 @@ fn main() {
             mode: "sequential",
             workers: 0,
             batch,
+            depth: 0,
             qps: seq_qps,
             speedup: 1.0,
         });
@@ -155,6 +173,7 @@ fn main() {
                 mode: "spawn",
                 workers,
                 batch,
+                depth: 0,
                 qps: spawn_qps,
                 speedup: spawn_qps / seq_qps,
             });
@@ -177,10 +196,83 @@ fn main() {
                 mode: "pool",
                 workers,
                 batch,
+                depth: 0,
                 qps: pool_qps,
                 speedup: pool_qps / seq_qps,
             });
         }
+    }
+
+    // ---- Snapshot-ring depth sweep: SIMULATE ∥ MONITOR end to end ----
+    // One iteration = one simulation step + one batch of queries. The
+    // stop-the-world baseline steps, then queries the live mesh; the
+    // ring configurations overlap the batch with up to K in-flight
+    // steps. Queries/sec here *includes* the simulation time — the
+    // number a monitoring deployment actually sees.
+    let ring_queries: Vec<Aabb> = gen.batch_with_selectivity(RING_BATCH, SELECTIVITY);
+    let make_sim = |mesh: &Mesh| {
+        Simulation::new(
+            mesh.clone(),
+            Box::new(SmoothRandomField::new(0.006, 3, RING_FIELD_SEED)),
+        )
+    };
+
+    let stw_qps = {
+        let mut sim = make_sim(&mesh);
+        let mut stw = Octopus::new(sim.mesh()).expect("surface");
+        let mut out = Vec::new();
+        measure(RING_BATCH, || {
+            sim.step().expect("deformation step");
+            let mut total = 0;
+            for q in &ring_queries {
+                out.clear();
+                stw.query(sim.mesh(), q, &mut out);
+                total += out.len();
+            }
+            total
+        })
+    };
+    println!(
+        "{:<34} {:>12.0} {:>9}",
+        format!("ring/stop-the-world/batch{RING_BATCH}"),
+        stw_qps,
+        "1.00x"
+    );
+    entries.push(Entry {
+        mode: "ring_stw",
+        workers: 0,
+        batch: RING_BATCH,
+        depth: 0,
+        qps: stw_qps,
+        speedup: 1.0,
+    });
+
+    for &depth in &RING_DEPTHS {
+        let mut monitor =
+            MonitorLoop::with_config(make_sim(&mesh), RING_WORKERS, LayoutPolicy::Preserve, depth)
+                .expect("monitor");
+        let ring_qps = measure(RING_BATCH, || {
+            monitor.fill_pipeline().expect("begin steps");
+            monitor.finish_step().expect("finish step");
+            let results = monitor.query_batch(&ring_queries);
+            let total = results.iter().map(|r| r.vertices.len()).sum();
+            monitor.recycle(results);
+            total
+        });
+        println!(
+            "{:<34} {:>12.0} {:>8.2}x",
+            format!("ring/depth{depth}/workers{RING_WORKERS}/batch{RING_BATCH}"),
+            ring_qps,
+            ring_qps / stw_qps
+        );
+        entries.push(Entry {
+            mode: "ring",
+            workers: RING_WORKERS,
+            batch: RING_BATCH,
+            depth,
+            qps: ring_qps,
+            speedup: ring_qps / stw_qps,
+        });
     }
 
     if let Some(path) = json_path {
@@ -193,10 +285,19 @@ fn main() {
         let _ = writeln!(json, "  \"entries\": [");
         for (i, e) in entries.iter().enumerate() {
             let comma = if i + 1 == entries.len() { "" } else { "," };
+            // Ring entries are normalised against the stop-the-world
+            // replay, not the batch-executor sequential baseline — name
+            // the field accordingly so cross-mode tooling can't read
+            // the wrong ratio.
+            let speedup_key = if e.mode.starts_with("ring") {
+                "speedup_vs_stop_the_world"
+            } else {
+                "speedup_vs_sequential"
+            };
             let _ = writeln!(
                 json,
-                "    {{\"mode\": \"{}\", \"workers\": {}, \"batch\": {}, \"qps\": {:.0}, \"speedup_vs_sequential\": {:.3}}}{comma}",
-                e.mode, e.workers, e.batch, e.qps, e.speedup
+                "    {{\"mode\": \"{}\", \"workers\": {}, \"batch\": {}, \"ring_depth\": {}, \"qps\": {:.0}, \"{speedup_key}\": {:.3}}}{comma}",
+                e.mode, e.workers, e.batch, e.depth, e.qps, e.speedup
             );
         }
         json.push_str("  ]\n}\n");

@@ -177,28 +177,54 @@ impl ComponentMap {
         for &v in surface.ids() {
             surface_by_component[component_of[v as usize] as usize].push(v);
         }
-        // Sample ~1000 vertices' first edges for the edge-length scale.
-        let n = mesh.num_vertices();
-        let stride = (n / 1000).max(1);
-        let mut total = 0.0f64;
-        let mut edges = 0usize;
-        for v in (0..n).step_by(stride) {
-            if let Some(&w) = mesh.neighbors(v as u32).first() {
-                total += f64::from(mesh.position(v as u32).dist(mesh.position(w)));
-                edges += 1;
-            }
-        }
-        let edge_scale = if edges == 0 {
-            0.0
-        } else {
-            (total / edges as f64) as f32
-        };
         ComponentMap {
             component_of,
             count,
             surface_by_component,
-            edge_scale,
+            edge_scale: sample_edge_scale(mesh),
         }
+    }
+}
+
+/// Samples ~1000 vertices' first edges for the typical edge length.
+///
+/// **Isolated-vertex convention** (shared with
+/// [`crate::layout::adjacency_locality`]): vertices with no adjacency
+/// edges carry no length information and are skipped *without consuming
+/// a sample slot*. On meshes where coarsening has orphaned many
+/// vertices a strided pass can land exclusively on orphans — in that
+/// case a dense fallback scan finds the surviving edges, so the scale
+/// is `0.0` only when the mesh truly has no edges (and never because
+/// the sampler got unlucky). A zero scale would silently disable the
+/// directed-walk retry heuristic that is gated on it.
+fn sample_edge_scale(mesh: &Mesh) -> f32 {
+    let n = mesh.num_vertices();
+    let stride = (n / 1000).max(1);
+    let mut total = 0.0f64;
+    let mut edges = 0usize;
+    for v in (0..n).step_by(stride) {
+        if let Some(&w) = mesh.neighbors(v as u32).first() {
+            total += f64::from(mesh.position(v as u32).dist(mesh.position(w)));
+            edges += 1;
+        }
+    }
+    if edges == 0 && stride > 1 {
+        // Strided pass hit only isolated vertices: fall back to a dense
+        // scan, bounded by the same sample budget.
+        for v in 0..n {
+            if let Some(&w) = mesh.neighbors(v as u32).first() {
+                total += f64::from(mesh.position(v as u32).dist(mesh.position(w)));
+                edges += 1;
+                if edges >= 1000 {
+                    break;
+                }
+            }
+        }
+    }
+    if edges == 0 {
+        0.0
+    } else {
+        (total / edges as f64) as f32
     }
 }
 
@@ -269,6 +295,31 @@ impl Octopus {
     pub fn on_restructure(&mut self, mesh: &Mesh, delta: &SurfaceDelta) {
         self.surface.apply_delta(delta);
         self.components = ComponentMap::build(mesh, &self.surface);
+    }
+
+    /// Non-destructive sibling of [`Octopus::on_restructure`]: returns a
+    /// *new* executor for the post-restructuring `mesh` while `self`
+    /// keeps answering for the pre-restructuring snapshot. The surface
+    /// index is cloned and delta-patched (O(surface + delta), no
+    /// re-extraction); strategy and crawl order carry over. This is how
+    /// a snapshot ring gives each retained connectivity generation its
+    /// own executor — older pinned snapshots stay queryable while newer
+    /// steps restructure ahead of them.
+    pub fn restructured(&self, mesh: &Mesh, delta: &SurfaceDelta) -> Octopus {
+        let mut surface = self.surface.clone();
+        surface.apply_delta(delta);
+        let components = ComponentMap::build(mesh, &surface);
+        let mut scratch = QueryScratch::new(
+            mesh.num_vertices(),
+            components.count,
+            self.scratch.crawler.strategy(),
+        );
+        scratch.crawler.order = self.scratch.crawler.order;
+        Octopus {
+            surface,
+            components,
+            scratch,
+        }
     }
 
     /// Executes a range query, appending all vertices of `mesh` whose
@@ -642,6 +693,114 @@ mod tests {
         // Surface index must equal a fresh build.
         let fresh = SurfaceIndex::build(&mesh).unwrap();
         assert_eq!(o.surface_index().len(), fresh.len());
+    }
+
+    #[test]
+    fn restructured_executor_equals_in_place_maintenance() {
+        let mut mesh = box_mesh(4);
+        mesh.enable_restructuring().unwrap();
+        let mut live = Octopus::new(&mesh).unwrap();
+        let frozen_mesh = mesh.clone();
+        let frozen_results: Vec<VertexId> = {
+            let q = Aabb::new(Point3::ORIGIN, Point3::splat(0.7));
+            let mut out = Vec::new();
+            live.query(&frozen_mesh, &q, &mut out);
+            out.sort_unstable();
+            out
+        };
+
+        // Derive executors step by step without mutating the parent.
+        let mut parent = Octopus::new(&mesh).unwrap();
+        let mut derived: Option<Octopus> = None;
+        for c in [0u32, 5, 9, 14] {
+            let delta = mesh.remove_cell(c).unwrap();
+            derived = Some(
+                derived
+                    .as_ref()
+                    .unwrap_or(&parent)
+                    .restructured(&mesh, &delta),
+            );
+            live.on_restructure(&mesh, &delta);
+        }
+        let (_, delta) = mesh.refine_tet(20).unwrap();
+        let mut derived = derived.unwrap().restructured(&mesh, &delta);
+        live.on_restructure(&mesh, &delta);
+
+        assert_eq!(derived.surface_index().len(), live.surface_index().len());
+        let q = Aabb::new(Point3::ORIGIN, Point3::splat(0.7));
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        derived.query(&mesh, &q, &mut a);
+        live.query(&mesh, &q, &mut b);
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "derived executor must answer like the maintained one");
+
+        // The parent generation the derivations branched from is
+        // untouched and still answers for its own (pre-restructuring)
+        // snapshot.
+        let mut c = Vec::new();
+        parent.query(&frozen_mesh, &q, &mut c);
+        c.sort_unstable();
+        assert_eq!(c, frozen_results);
+    }
+
+    #[test]
+    fn edge_scale_survives_orphan_heavy_meshes() {
+        // Coarsening orphans vertices; the surviving edges must keep
+        // the scale positive (here n < 1000, so the strided pass is
+        // already dense — the convention check, not the fallback).
+        let mut mesh = box_mesh(2);
+        mesh.enable_restructuring().unwrap();
+        for c in (0..mesh.cell_capacity() as u32).rev() {
+            if mesh.num_cells() <= 1 {
+                break;
+            }
+            if mesh.is_cell_alive(c) {
+                mesh.remove_cell(c).unwrap();
+            }
+        }
+        let stats = crate::layout::adjacency_locality_stats(&mesh);
+        assert!(stats.isolated > 0, "coarsening must orphan vertices");
+        assert!(
+            sample_edge_scale(&mesh) > 0.0,
+            "one live cell left => edges exist => scale must be positive"
+        );
+
+        // And a truly edgeless mesh reports 0 (documented convention).
+        let lonely = Mesh::from_tets(vec![Point3::ORIGIN; 0], vec![]).unwrap();
+        assert_eq!(sample_edge_scale(&lonely), 0.0);
+    }
+
+    #[test]
+    fn edge_scale_dense_fallback_when_strided_pass_hits_only_orphans() {
+        // 3000 vertices => stride = 3, so the strided pass samples ids
+        // 0, 3, 6, … only. The single live tet sits on ids ≡ 1 (mod 3):
+        // every sampled vertex is isolated and the pre-fix sampler
+        // reported 0.0, silently disabling the walk-retry gate. The
+        // dense fallback must find the four edges instead.
+        let n = 3000usize;
+        let mut positions = vec![Point3::ORIGIN; n];
+        positions[1] = Point3::new(0.0, 0.0, 0.0);
+        positions[4] = Point3::new(1.0, 0.0, 0.0);
+        positions[7] = Point3::new(0.0, 1.0, 0.0);
+        positions[10] = Point3::new(0.0, 0.0, 1.0);
+        let mesh = Mesh::from_tets(positions, vec![[1, 4, 7, 10]]).unwrap();
+        let stride = (n / 1000).max(1);
+        assert_eq!(stride, 3, "test premise: strided slots are 0 mod 3");
+        for v in (0..n).step_by(stride) {
+            assert!(
+                mesh.neighbors(v as u32).is_empty(),
+                "test premise: vertex {v} must be isolated"
+            );
+        }
+        let scale = sample_edge_scale(&mesh);
+        assert!(
+            scale > 0.0,
+            "dense fallback must recover the live tet's edge length"
+        );
+        // Sanity: it found the real geometry (unit-ish edges).
+        assert!((0.5..=2.0).contains(&scale), "scale {scale}");
     }
 
     #[test]

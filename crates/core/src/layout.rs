@@ -69,21 +69,216 @@ pub fn morton_layout(mesh: &Mesh) -> (Mesh, Vec<VertexId>) {
 }
 
 /// Mean absolute id distance between adjacent vertices — a proxy for the
-/// cache locality of the crawl (lower is better). Used by tests and the
-/// layout ablation to verify the curve actually improves locality.
+/// cache locality of the crawl (lower is better). Used by tests, the
+/// layout ablation and the adaptive re-layout trigger to verify the
+/// curve actually improves locality.
+///
+/// **Isolated-vertex convention.** Vertices with no adjacency edges
+/// (orphaned by aggressive coarsening — see
+/// [`octopus_mesh::Mesh::is_vertex_active`]) contribute no terms: the
+/// crawl never reaches them over edges, so their memory placement
+/// cannot affect its cache behaviour. They are *excluded from the
+/// denominator*, not counted as distance-0 pairs — counting them would
+/// deflate the mean and mask real locality decay exactly on the
+/// coarsening-heavy meshes where drift matters most. A mesh whose
+/// vertices are all isolated reports `0.0` (no adjacency traffic at
+/// all). [`adjacency_locality_stats`] exposes the isolated count
+/// alongside the mean for callers that need to reason about it.
 pub fn adjacency_locality(mesh: &Mesh) -> f64 {
+    adjacency_locality_stats(mesh).mean
+}
+
+/// The full accounting behind [`adjacency_locality`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LocalityStats {
+    /// Mean |v − w| over all directed adjacent pairs (0 when none).
+    pub mean: f64,
+    /// Number of directed adjacent pairs (each undirected edge twice).
+    pub pairs: u64,
+    /// Vertices with zero adjacency edges, excluded from the mean (see
+    /// the isolated-vertex convention on [`adjacency_locality`]).
+    pub isolated: usize,
+}
+
+/// Computes [`adjacency_locality`] together with the pair count and the
+/// number of isolated vertices it excluded.
+pub fn adjacency_locality_stats(mesh: &Mesh) -> LocalityStats {
     let mut total = 0.0f64;
-    let mut count = 0usize;
+    let mut pairs = 0u64;
+    let mut isolated = 0usize;
     for v in 0..mesh.num_vertices() as u32 {
-        for &w in mesh.neighbors(v) {
+        let neighbors = mesh.neighbors(v);
+        if neighbors.is_empty() {
+            isolated += 1;
+            continue;
+        }
+        for &w in neighbors {
             total += f64::from(v.abs_diff(w));
-            count += 1;
+            pairs += 1;
         }
     }
-    if count == 0 {
-        0.0
-    } else {
-        total / count as f64
+    LocalityStats {
+        mean: if pairs == 0 {
+            0.0
+        } else {
+            total / pairs as f64
+        },
+        pairs,
+        isolated,
+    }
+}
+
+/// Incrementally tracked [`adjacency_locality`] with an at-ingest (or
+/// at-last-re-layout) baseline — the §IV-H1 adaptive re-layout signal.
+///
+/// Restructuring is the only event that moves the metric (it is a pure
+/// function of ids and adjacency; deformation cannot touch it), so the
+/// tracker is updated once per restructuring step from the surface
+/// delta: the per-vertex contributions of every vertex the delta names
+/// (plus vertices appended by the operation and their new neighbours)
+/// are re-derived from the new adjacency. That set does not always
+/// cover both endpoints of every changed edge — removing an interior
+/// cell can drop edges whose endpoints stay off the surface — so the
+/// delta update is an *estimate*; every `recompute_every` updates the
+/// tracker re-derives the metric exactly from the mesh, bounding the
+/// accumulated error. (A full recompute is O(E), the same order as the
+/// component-map rebuild every restructuring step already pays.)
+///
+/// Isolated vertices follow the convention documented on
+/// [`adjacency_locality`]: a vertex whose edges all disappeared drops
+/// out of both the numerator and the denominator.
+#[derive(Clone, Debug)]
+pub struct LocalityTracker {
+    /// Per-vertex (Σ |v−w| over neighbours w, degree).
+    per_vertex: Vec<(f64, u32)>,
+    total: f64,
+    pairs: u64,
+    baseline: f64,
+    recompute_every: u32,
+    deltas_since_recompute: u32,
+}
+
+impl LocalityTracker {
+    /// Builds the tracker from `mesh`'s current adjacency and sets the
+    /// drift baseline to its current locality. `recompute_every` is the
+    /// exact-recompute cadence (in [`LocalityTracker::apply_delta`]
+    /// calls; `1` makes every update exact, `0` is treated as `1`).
+    pub fn new(mesh: &Mesh, recompute_every: u32) -> LocalityTracker {
+        let mut tracker = LocalityTracker {
+            per_vertex: Vec::new(),
+            total: 0.0,
+            pairs: 0,
+            baseline: 0.0,
+            recompute_every: recompute_every.max(1),
+            deltas_since_recompute: 0,
+        };
+        tracker.recompute(mesh);
+        tracker.baseline = tracker.current();
+        tracker
+    }
+
+    /// The tracked mean adjacent-id distance (exact right after
+    /// construction, [`LocalityTracker::recompute`] or
+    /// [`LocalityTracker::rebaseline`]; an estimate between periodic
+    /// recomputes otherwise).
+    pub fn current(&self) -> f64 {
+        if self.pairs == 0 {
+            0.0
+        } else {
+            self.total / self.pairs as f64
+        }
+    }
+
+    /// The baseline the drift ratio is measured against.
+    pub fn baseline(&self) -> f64 {
+        self.baseline
+    }
+
+    /// Current locality relative to the baseline (> 1 means the order
+    /// has decayed). Defined as `1.0` while the baseline is zero — a
+    /// mesh that started with no adjacency traffic has nothing to
+    /// drift from.
+    pub fn drift_ratio(&self) -> f64 {
+        if self.baseline == 0.0 {
+            1.0
+        } else {
+            self.current() / self.baseline
+        }
+    }
+
+    /// Applies one restructuring step's surface delta: re-derives the
+    /// contributions of all delta-named vertices, appended vertices and
+    /// their (new-adjacency) neighbours. Every `recompute_every` calls
+    /// the estimate is replaced by an exact recompute.
+    pub fn apply_delta(&mut self, mesh: &Mesh, delta: &octopus_mesh::SurfaceDelta) {
+        self.deltas_since_recompute += 1;
+        if self.deltas_since_recompute >= self.recompute_every {
+            self.recompute(mesh);
+            return;
+        }
+        let appended = self.per_vertex.len() as VertexId..mesh.num_vertices() as VertexId;
+        self.per_vertex.resize(mesh.num_vertices(), (0.0, 0));
+        let mut touched: Vec<VertexId> = delta
+            .added
+            .iter()
+            .chain(&delta.removed)
+            .copied()
+            .chain(appended)
+            .collect();
+        // One hop out from the seed set (the range is fixed before the
+        // loop, so the expansion itself is not re-expanded): added
+        // edges change the far endpoint's row too.
+        for i in 0..touched.len() {
+            touched.extend_from_slice(mesh.neighbors(touched[i]));
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        for &v in &touched {
+            let (old_sum, old_deg) = self.per_vertex[v as usize];
+            self.total -= old_sum;
+            self.pairs -= u64::from(old_deg);
+            let mut sum = 0.0f64;
+            let neighbors = mesh.neighbors(v);
+            for &w in neighbors {
+                sum += f64::from(v.abs_diff(w));
+            }
+            self.per_vertex[v as usize] = (sum, neighbors.len() as u32);
+            self.total += sum;
+            self.pairs += neighbors.len() as u64;
+        }
+    }
+
+    /// Replaces the estimate with an exact recompute from `mesh`
+    /// (leaves the baseline untouched).
+    pub fn recompute(&mut self, mesh: &Mesh) {
+        self.per_vertex.clear();
+        self.per_vertex.resize(mesh.num_vertices(), (0.0, 0));
+        self.total = 0.0;
+        self.pairs = 0;
+        for v in 0..mesh.num_vertices() as u32 {
+            let neighbors = mesh.neighbors(v);
+            let mut sum = 0.0f64;
+            for &w in neighbors {
+                sum += f64::from(v.abs_diff(w));
+            }
+            self.per_vertex[v as usize] = (sum, neighbors.len() as u32);
+            self.total += sum;
+            self.pairs += neighbors.len() as u64;
+        }
+        self.deltas_since_recompute = 0;
+    }
+
+    /// Exact recompute *and* baseline reset — called right after a
+    /// re-layout so subsequent drift is measured against the fresh
+    /// curve order.
+    pub fn rebaseline(&mut self, mesh: &Mesh) {
+        self.recompute(mesh);
+        self.baseline = self.current();
+    }
+
+    /// Heap bytes of the per-vertex contribution table.
+    pub fn memory_bytes(&self) -> usize {
+        self.per_vertex.capacity() * std::mem::size_of::<(f64, u32)>()
     }
 }
 
@@ -164,6 +359,146 @@ mod tests {
         o.query(&sorted, &q, &mut out);
         out.sort_unstable();
         assert_eq!(out, expected_new);
+    }
+
+    #[test]
+    fn isolated_vertices_do_not_dilute_the_locality_mean() {
+        // The same connectivity with extra never-referenced vertices
+        // appended must report the same mean: isolated vertices are
+        // excluded from the denominator, not counted as distance-0
+        // pairs.
+        let mesh = box_mesh(4);
+        let stats = adjacency_locality_stats(&mesh);
+        assert_eq!(stats.isolated, 0);
+        assert!(stats.pairs > 0);
+
+        let mut positions = mesh.positions().to_vec();
+        for i in 0..7 {
+            positions.push(Point3::splat(2.0 + i as f32));
+        }
+        let cells: Vec<[VertexId; 4]> = mesh
+            .live_cells()
+            .map(|(_, c)| [c[0], c[1], c[2], c[3]])
+            .collect();
+        let padded = Mesh::from_tets(positions, cells).unwrap();
+        let padded_stats = adjacency_locality_stats(&padded);
+        assert_eq!(padded_stats.isolated, 7);
+        assert_eq!(padded_stats.pairs, stats.pairs);
+        assert_eq!(adjacency_locality(&padded), adjacency_locality(&mesh));
+    }
+
+    #[test]
+    fn coarsening_orphans_count_as_isolated() {
+        // Aggressive coarsening orphans vertices (remove_cell drops the
+        // last cell referencing them); they must show up in `isolated`
+        // and leave the mean defined by the surviving edges only.
+        let mut mesh = box_mesh(2);
+        mesh.enable_restructuring().unwrap();
+        let mut removed = 0;
+        for c in (0..mesh.cell_capacity() as u32).rev() {
+            if mesh.num_cells() <= 2 {
+                break;
+            }
+            if mesh.is_cell_alive(c) {
+                mesh.remove_cell(c).unwrap();
+                removed += 1;
+            }
+        }
+        assert!(removed > 0);
+        let stats = adjacency_locality_stats(&mesh);
+        assert!(
+            stats.isolated > 0,
+            "coarsening down to 2 cells must orphan vertices"
+        );
+        assert!(stats.pairs > 0);
+        assert!(stats.mean > 0.0);
+    }
+
+    #[test]
+    fn tracker_is_exact_for_refinement_deltas() {
+        // Every edge changed by a centroid refinement touches the
+        // appended vertex or its one-hop neighbourhood, so the delta
+        // update is exact for refine-only sequences even far from the
+        // periodic recompute.
+        let mut mesh = box_mesh(3);
+        mesh.enable_restructuring().unwrap();
+        let mut tracker = LocalityTracker::new(&mesh, 1000);
+        for i in 0..6 {
+            let c = (0..mesh.cell_capacity() as u32)
+                .find(|&c| mesh.is_cell_alive(c))
+                .unwrap();
+            let (_, delta) = mesh.refine_tet(c).unwrap();
+            tracker.apply_delta(&mesh, &delta);
+            let exact = adjacency_locality(&mesh);
+            assert!(
+                (tracker.current() - exact).abs() < 1e-9,
+                "refine {i}: tracker {} vs exact {exact}",
+                tracker.current()
+            );
+        }
+    }
+
+    #[test]
+    fn tracker_periodic_recompute_bounds_the_estimate_error() {
+        // Cell removals can change edges whose endpoints the delta
+        // never names — the estimate may drift, but every
+        // `recompute_every` updates it snaps back to exact.
+        let mut mesh = box_mesh(3);
+        mesh.enable_restructuring().unwrap();
+        let cadence = 4u32;
+        let mut tracker = LocalityTracker::new(&mesh, cadence);
+        let mut rng = octopus_geom::rng::SplitMix64::new(0xD81F7);
+        for round in 0..3 {
+            for _ in 0..cadence - 1 {
+                let c = loop {
+                    let c = rng.index(mesh.cell_capacity()) as u32;
+                    if mesh.is_cell_alive(c) {
+                        break c;
+                    }
+                };
+                let delta = mesh.remove_cell(c).unwrap();
+                tracker.apply_delta(&mesh, &delta);
+            }
+            // The cadence-th update recomputes exactly.
+            let c = (0..mesh.cell_capacity() as u32)
+                .find(|&c| mesh.is_cell_alive(c))
+                .unwrap();
+            let delta = mesh.remove_cell(c).unwrap();
+            tracker.apply_delta(&mesh, &delta);
+            let exact = adjacency_locality(&mesh);
+            assert!(
+                (tracker.current() - exact).abs() < 1e-9,
+                "round {round}: periodic recompute must be exact: {} vs {exact}",
+                tracker.current()
+            );
+        }
+    }
+
+    #[test]
+    fn tracker_drift_ratio_detects_scrambling_and_rebaselines() {
+        let mesh = box_mesh(6);
+        let (sorted, _) = hilbert_layout(&mesh);
+        let mut tracker = LocalityTracker::new(&sorted, 8);
+        assert!((tracker.drift_ratio() - 1.0).abs() < 1e-12);
+
+        // Simulate decay: measure a scrambled relabelling against the
+        // sorted baseline.
+        let mut scramble: Vec<VertexId> = (0..sorted.num_vertices() as u32).collect();
+        octopus_geom::rng::SplitMix64::new(5).shuffle(&mut scramble);
+        let scrambled = sorted.permute_vertices(&scramble);
+        tracker.recompute(&scrambled);
+        assert!(
+            tracker.drift_ratio() > 1.5,
+            "scrambling must blow the drift ratio up: {}",
+            tracker.drift_ratio()
+        );
+
+        // Re-layout → rebaseline → drift back to 1.
+        let (resorted, _) = hilbert_layout(&scrambled);
+        tracker.rebaseline(&resorted);
+        assert!((tracker.drift_ratio() - 1.0).abs() < 1e-12);
+        assert!(tracker.baseline() > 0.0);
+        assert!(tracker.memory_bytes() > 0);
     }
 
     #[test]

@@ -41,9 +41,20 @@ pub struct Planner {
     surface_ratio: f64,
     mesh_degree: f64,
     /// Eq.-6 crossover, a function of (S, M, C_S, C_R) only — computed
-    /// once at build time so per-query (and per-batch) decisions never
-    /// recompute mesh statistics.
+    /// once per connectivity generation so per-query (and per-batch)
+    /// decisions never recompute mesh statistics. Restructuring changes
+    /// both S and M, so the cache is keyed on the mesh's restructure
+    /// epoch and invalidated through
+    /// [`Planner::refresh_if_restructured`].
     crossover: f64,
+    /// The [`Mesh::restructure_epoch`] the cached (S, M, crossover,
+    /// histogram) were derived at; `None` when built from explicit
+    /// parts (no mesh provenance — the first refresh recomputes).
+    epoch: Option<u64>,
+    /// Histogram resolution to rebuild with on refresh (`None` when the
+    /// histogram was supplied by the caller via
+    /// [`Planner::from_parts`]).
+    hist_res: Option<usize>,
 }
 
 impl Planner {
@@ -54,12 +65,11 @@ impl Planner {
         let stats = MeshStats::compute(mesh)?;
         let histogram =
             SelectivityHistogram::build(mesh.positions(), &mesh.bounding_box(), hist_res);
-        Ok(Planner::from_parts(
-            model,
-            histogram,
-            stats.surface_ratio,
-            stats.mesh_degree,
-        ))
+        let mut planner =
+            Planner::from_parts(model, histogram, stats.surface_ratio, stats.mesh_degree);
+        planner.epoch = Some(mesh.restructure_epoch());
+        planner.hist_res = Some(hist_res);
+        Ok(planner)
     }
 
     /// Builds from explicit workload characteristics (no mesh pass).
@@ -76,7 +86,40 @@ impl Planner {
             surface_ratio,
             mesh_degree,
             crossover,
+            epoch: None,
+            hist_res: None,
         }
+    }
+
+    /// Revalidates the cached dataset characteristics against `mesh`'s
+    /// restructure epoch. When the epoch has advanced since the planner
+    /// was built (or the planner has no recorded provenance), S, M, the
+    /// Eq.-6 crossover — and, when the planner built its own histogram,
+    /// the histogram — are recomputed from the current mesh; otherwise
+    /// this is a two-word comparison. Returns whether a recompute
+    /// happened.
+    ///
+    /// Long-running monitor sessions call this once per restructuring
+    /// step (the epoch makes it free on every other step); skipping it
+    /// leaves decisions on the ingest-time crossover, which a
+    /// restructure-heavy run can push across the Eq.-6 boundary — see
+    /// `stale_crossover_flips_after_heavy_restructuring`.
+    pub fn refresh_if_restructured(&mut self, mesh: &Mesh) -> Result<bool, MeshError> {
+        if self.epoch == Some(mesh.restructure_epoch()) {
+            return Ok(false);
+        }
+        let stats = MeshStats::compute(mesh)?;
+        self.surface_ratio = stats.surface_ratio;
+        self.mesh_degree = stats.mesh_degree;
+        self.crossover = self
+            .model
+            .crossover_selectivity(self.surface_ratio, self.mesh_degree);
+        if let Some(res) = self.hist_res {
+            self.histogram =
+                SelectivityHistogram::build(mesh.positions(), &mesh.bounding_box(), res);
+        }
+        self.epoch = Some(mesh.restructure_epoch());
+        Ok(true)
     }
 
     /// Decides the strategy for query `q` (Eq. 6).
@@ -211,6 +254,63 @@ mod tests {
         assert!(flipped, "sweep must actually cross the Eq.-6 threshold");
         assert_eq!(decisions.first().unwrap().strategy, Strategy::Octopus);
         assert_eq!(decisions.last().unwrap().strategy, Strategy::LinearScan);
+    }
+
+    #[test]
+    fn stale_crossover_flips_after_heavy_restructuring() {
+        // Ingest-time planner on a solid box; then coarsen aggressively
+        // (raising the surface-to-volume ratio, which shrinks the Eq.-6
+        // crossover) and verify (a) the cache really is stale until
+        // refreshed, (b) the refresh is epoch-gated, and (c) at least
+        // one query's strategy decision flips once refreshed.
+        let mut mesh = box_mesh(6);
+        mesh.enable_restructuring().unwrap();
+        let mut planner = Planner::new(&mesh, CostModel::paper_constants(), 8).unwrap();
+        let stale = planner.clone();
+
+        // No restructuring yet: refresh is a no-op.
+        assert!(!planner.refresh_if_restructured(&mesh).unwrap());
+
+        // Remove a large fraction of the cells.
+        let mut rng = octopus_geom::rng::SplitMix64::new(0xFEED);
+        let target = mesh.num_cells() / 5;
+        while mesh.num_cells() > target {
+            let c = rng.index(mesh.cell_capacity()) as u32;
+            if mesh.is_cell_alive(c) {
+                mesh.remove_cell(c).unwrap();
+            }
+        }
+
+        // The cache is stale until told: same crossover as at ingest.
+        let q = Aabb::cube(Point3::splat(0.5), 0.2);
+        assert_eq!(
+            planner.decide(&q).crossover_selectivity,
+            stale.decide(&q).crossover_selectivity
+        );
+
+        assert!(planner.refresh_if_restructured(&mesh).unwrap());
+        assert!(
+            !planner.refresh_if_restructured(&mesh).unwrap(),
+            "second refresh at the same epoch must be a no-op"
+        );
+        assert!(
+            planner.decide(&q).crossover_selectivity < stale.decide(&q).crossover_selectivity,
+            "coarsening raises S, which must shrink the crossover: {} -> {}",
+            stale.decide(&q).crossover_selectivity,
+            planner.decide(&q).crossover_selectivity
+        );
+
+        // Somewhere along a size sweep, the stale planner still says
+        // OCTOPUS while the refreshed one has crossed to LinearScan.
+        let flipped = (1..=60).any(|i| {
+            let q = Aabb::cube(Point3::splat(0.5), 0.015 * i as f32);
+            stale.decide(&q).strategy == Strategy::Octopus
+                && planner.decide(&q).strategy == Strategy::LinearScan
+        });
+        assert!(
+            flipped,
+            "a restructure-heavy run must flip at least one decision"
+        );
     }
 
     #[test]

@@ -50,6 +50,12 @@ pub struct Mesh {
     /// Restructuring mode state: global face list + per-vertex count of
     /// boundary faces (surface membership ⇔ count > 0).
     restructure: Option<RestructureState>,
+    /// Monotone count of committed restructuring operations — the
+    /// connectivity generation. Deformation never advances it, so any
+    /// consumer caching connectivity-derived state (planner crossover,
+    /// surface statistics, snapshot executors) can compare epochs
+    /// instead of diffing the mesh.
+    restructure_epoch: u64,
 }
 
 #[derive(Clone, Debug)]
@@ -105,6 +111,7 @@ impl Mesh {
             num_live: num_cells,
             adjacency,
             restructure: None,
+            restructure_epoch: 0,
         })
     }
 
@@ -273,6 +280,21 @@ impl Mesh {
         self.restructure.is_some()
     }
 
+    /// The mesh's restructure epoch: the number of committed
+    /// restructuring operations ([`Mesh::remove_cell`] /
+    /// [`Mesh::refine_tet`]) since construction. Deformation
+    /// ([`Mesh::positions_mut`]) never advances it, and vertex
+    /// relabelling ([`Mesh::permute_vertices`]) carries it over
+    /// unchanged — two meshes with equal epochs in the same lineage
+    /// have identical connectivity up to the relabelling. Consumers
+    /// that cache connectivity-derived state (the Eq.-6 planner
+    /// crossover, surface statistics) compare epochs to detect
+    /// staleness instead of re-deriving per call.
+    #[inline]
+    pub fn restructure_epoch(&self) -> u64 {
+        self.restructure_epoch
+    }
+
     /// Removes cell `c` (mesh restructuring: "merged" polyhedra reduce the
     /// cell count). Interior faces of the removed cell become boundary;
     /// its boundary faces disappear. Returns the exact surface delta.
@@ -439,6 +461,7 @@ impl Mesh {
             &self.cells,
             Some(&self.alive),
         );
+        self.restructure_epoch += 1;
         Ok(delta)
     }
 
@@ -495,6 +518,7 @@ impl Mesh {
             num_live: self.num_live,
             adjacency,
             restructure,
+            restructure_epoch: self.restructure_epoch,
         }
     }
 
@@ -734,6 +758,30 @@ mod tests {
         let ids: Vec<CellId> = m.live_cells().map(|(i, _)| i).collect();
         assert_eq!(ids, vec![0]);
         assert_eq!(m.cell_capacity(), 2);
+    }
+
+    #[test]
+    fn restructure_epoch_counts_ops_and_ignores_deformation() {
+        let mut m = two_tet_mesh();
+        assert_eq!(m.restructure_epoch(), 0);
+        // Deformation: no epoch change.
+        for pos in m.positions_mut() {
+            *pos += octopus_geom::Vec3::new(0.1, 0.0, 0.0);
+        }
+        assert_eq!(m.restructure_epoch(), 0);
+        m.enable_restructuring().unwrap();
+        assert_eq!(m.restructure_epoch(), 0, "enabling the mode is not an op");
+        m.refine_tet(0).unwrap();
+        assert_eq!(m.restructure_epoch(), 1);
+        m.remove_cell(1).unwrap();
+        assert_eq!(m.restructure_epoch(), 2);
+        // Failed ops leave the epoch untouched.
+        assert!(m.remove_cell(1).is_err());
+        assert_eq!(m.restructure_epoch(), 2);
+        // Relabelling carries the epoch over (same connectivity lineage).
+        let n = m.num_vertices() as u32;
+        let perm: Vec<u32> = (0..n).rev().collect();
+        assert_eq!(m.permute_vertices(&perm).restructure_epoch(), 2);
     }
 
     #[test]

@@ -22,14 +22,22 @@
 //!   of the visited set, dedupe locally in epoch-stamped per-worker
 //!   arrays, and a sequential merge folds candidates back in chunk
 //!   order — result order is deterministic regardless of scheduling.
-//! * [`MonitorLoop`] — an **epoch-snapshot monitor**: the simulation
-//!   runs on its own thread and hands double-buffered position
-//!   snapshots (plus surface-delta replay on the rare restructuring
-//!   step) to the monitor, so queries against a stable snapshot of
-//!   step N overlap with the computation of step N+1 — SIMULATE ∥
-//!   MONITOR. A [`LayoutPolicy`] optionally Hilbert-sorts the vertices
-//!   at ingest (§IV-H1's cache-locality argument) and re-lays-out after
-//!   restructuring churn, with id translation tracked for callers.
+//! * [`MonitorLoop`] — a **pipelined snapshot-ring monitor**: the
+//!   simulation runs on its own thread and publishes per-step
+//!   snapshots into a ring of configurable depth K (plus
+//!   surface-delta-derived executors on the rare restructuring step),
+//!   so queries may target *any* retained step `[N−K+1, N]` while up
+//!   to K further steps compute ahead — SIMULATE ∥ MONITOR, K deep.
+//!   Slots are recycled deterministically and only when no
+//!   outstanding query pins them ([`MonitorLoop::pin_step`]); a
+//!   pinned oldest slot back-pressures the pipeline. K = 1 is the
+//!   classic double buffer. A [`LayoutPolicy`] optionally
+//!   Hilbert-sorts the vertices at ingest (§IV-H1's cache-locality
+//!   argument) and re-lays-out mid-run — on a fixed churn count or
+//!   adaptively on measured adjacency-locality drift
+//!   ([`RelayoutTrigger::LocalityDrift`]) — with id translation
+//!   tracked per retained step, and the permutation never racing an
+//!   in-flight step (pending re-layouts drain the pipeline first).
 //!
 //! All concurrency is `std` threads + channels; results are
 //! bit-identical to the sequential executor (the crate's property
@@ -47,7 +55,7 @@ mod recycle;
 mod shard;
 
 pub use batch::{BatchStats, ParallelExecutor, QueryResult};
-pub use monitor::{LayoutPolicy, MonitorLoop, ServiceError};
+pub use monitor::{LayoutPolicy, MonitorLoop, RelayoutTrigger, ServiceError};
 pub use pool::{threads_spawned_total, Task, WorkerPool};
 pub use recycle::RecycleStats;
 

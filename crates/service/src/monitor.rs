@@ -1,42 +1,118 @@
-//! The epoch-snapshot monitor loop: SIMULATE ∥ MONITOR.
+//! The pipelined snapshot-ring monitor loop: SIMULATE ∥ MONITOR.
 //!
 //! The paper's loop (Fig. 1e) is stop-the-world: the monitor queries
 //! the live position array, so it can only run while the simulation is
 //! parked between steps. [`MonitorLoop`] breaks that coupling with a
-//! position snapshot:
+//! **snapshot ring of configurable depth K**:
 //!
 //! ```text
-//!   sim thread    : … step N ──────┐ step N+1 ──────┐ step N+2 …
-//!                                  │ hand-off       │ hand-off
-//!   monitor thread: … queries@N-1 ─┴─ queries@N ────┴─ queries@N+1 …
+//!   sim thread    : … step N+1 ── step N+2 ── … ── step N+K   (≤ K ahead)
+//!                       │ hand-off   │ hand-off
+//!   ring (K slots): … [N-K+1] … [N-1] [N]                     (≤ K retained)
+//!   monitor thread: queries may target ANY retained step
 //! ```
 //!
-//! The hand-off is double-buffered: the simulation thread fills a
-//! recycled `Vec<Point3>` with the new positions right after `step()`
-//! and sends it over a channel; the monitor swaps it into its snapshot
-//! mesh and returns the previous buffer for reuse. Deformation steps
-//! therefore cost one position memcpy and zero allocation in steady
-//! state. On the rare restructuring step (connectivity changed — the
-//! positions-only copy would leave the snapshot's adjacency stale) the
-//! simulation thread sends a full mesh clone instead, and the monitor
-//! replays the surface delta into its executor exactly as the
-//! sequential loop would ([`octopus_core::Octopus::on_restructure`]).
+//! The simulation thread publishes one snapshot per completed step into
+//! the ring; monitoring queries may target *any* retained step in
+//! `[N−K+1, N]` ([`MonitorLoop::query_at`] /
+//! [`MonitorLoop::query_batch_at`], plus the latest-step API) while up
+//! to K further steps compute ahead. With K = 1 the ring degenerates to
+//! the classic double buffer: one retained snapshot, one step in
+//! flight.
 //!
-//! Because the snapshot *is* the mesh state at the end of step N, every
+//! **Hand-off.** On a deformation step the simulation thread fills a
+//! recycled `Vec<Point3>` with the new positions and sends it over a
+//! channel; the monitor copies it into a recycled slot mesh (zero
+//! allocation in steady state). On the rare restructuring step
+//! (detected exactly via the mesh's
+//! [`octopus_mesh::Mesh::restructure_epoch`]) it sends a full mesh
+//! clone instead, and the monitor *derives* the slot's executor from
+//! the previous one by surface-delta replay
+//! ([`octopus_core::Octopus::restructured`]) — older retained slots
+//! keep their own connectivity generation's executor, so queries
+//! against pre-restructuring steps stay exact.
+//!
+//! **Reclamation and back-pressure.** Publishing into a full ring
+//! recycles the *oldest* slot — deterministically, and only when no
+//! outstanding query pins it ([`MonitorLoop::pin_step`] /
+//! [`MonitorLoop::unpin_step`]). A pinned oldest slot back-pressures
+//! the pipeline: [`MonitorLoop::finish_step`] returns
+//! [`ServiceError::RingFull`] until the pin is released, and
+//! [`MonitorLoop::begin_step`] refuses to run more than K steps ahead.
+//!
+//! **Re-layout.** A [`LayoutPolicy`] optionally applies the §IV-H1
+//! curve order at ingest and re-applies it mid-run, triggered either by
+//! a fixed restructuring count
+//! ([`RelayoutTrigger::AfterRestructures`]) or **adaptively** by
+//! measured [`octopus_core::layout::adjacency_locality`] drift over
+//! the at-ingest baseline ([`RelayoutTrigger::LocalityDrift`],
+//! delta-tracked incrementally with periodic exact recomputes).
+//! Re-layout changes the id space wholesale, so it is *never* raced
+//! against in-flight steps: the trigger only marks it pending, new
+//! steps stall, and the permutation is applied at the first step
+//! boundary where the pipeline has drained and no snapshot is pinned —
+//! a runtime guarantee, not a `debug_assert`.
+//!
+//! Because each slot *is* the mesh state at the end of its step, every
 //! query answered against it returns exactly what a stop-the-world
 //! monitor would have returned at that step — the crate's tests (and
 //! `examples/serve.rs`) verify result equality against a sequential
-//! reference run.
+//! reference run for every retained step at every ring depth.
 
 use crate::batch::{ParallelExecutor, QueryResult};
 use crate::recycle::RecycleStats;
-use octopus_core::layout::{curve_permutation, CurveKind};
-use octopus_core::{Octopus, PhaseTimings};
+use octopus_core::layout::{curve_permutation, CurveKind, LocalityTracker};
+use octopus_core::{Octopus, PhaseTimings, QueryScratch};
 use octopus_geom::{Aabb, Point3, VertexId};
 use octopus_mesh::{Mesh, MeshError, SurfaceDelta};
 use octopus_sim::Simulation;
+use std::collections::VecDeque;
+use std::ops::RangeInclusive;
 use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
+
+/// When (if ever) a curve [`LayoutPolicy`] re-applies its vertex order
+/// after ingest.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum RelayoutTrigger {
+    /// Only lay out at ingest.
+    #[default]
+    Never,
+    /// Re-apply after this many restructuring events (the fixed churn
+    /// counter — blind to whether those events actually degraded the
+    /// order).
+    AfterRestructures(u32),
+    /// Re-apply when the mean adjacent-id distance
+    /// ([`octopus_core::layout::adjacency_locality`]) has drifted past
+    /// `ratio_pct` percent of its at-ingest (or post-re-layout)
+    /// baseline. The metric is delta-updated from restructuring
+    /// surface deltas and recomputed exactly every `recompute_every`
+    /// restructuring steps to bound the estimate error
+    /// ([`octopus_core::layout::LocalityTracker`]). Deformation cannot
+    /// move the metric (it is a pure function of ids and adjacency),
+    /// so this trigger fires on measured locality decay — never on
+    /// step count.
+    LocalityDrift {
+        /// Fire when `current / baseline ≥ ratio_pct / 100` (e.g. 150
+        /// = fire once locality is 1.5× worse than at ingest).
+        ratio_pct: u32,
+        /// Exact-recompute cadence of the drift tracker, in
+        /// restructuring steps.
+        recompute_every: u32,
+    },
+}
+
+impl RelayoutTrigger {
+    /// The default adaptive trigger: re-layout at 1.5× locality decay,
+    /// exact recompute every 8 restructuring steps.
+    pub fn adaptive() -> RelayoutTrigger {
+        RelayoutTrigger::LocalityDrift {
+            ratio_pct: 150,
+            recompute_every: 8,
+        }
+    }
+}
 
 /// Vertex-layout policy applied by the service setup (§IV-H1).
 ///
@@ -44,9 +120,9 @@ use std::thread::JoinHandle;
 /// the number of random reads required on average and thereby improve
 /// the L1 and L2 data cache hit rate" — the crawl walks mesh edges, so
 /// neighbouring vertices should sit close in memory. A curve policy
-/// permutes the simulation's vertices once at ingest (and, optionally,
-/// again whenever restructuring churn has degraded the order); all
-/// query results are then in the permuted id space, and
+/// permutes the simulation's vertices once at ingest (and, per its
+/// [`RelayoutTrigger`], again whenever restructuring has degraded the
+/// order); all query results are then in the permuted id space, and
 /// [`MonitorLoop::translate_vertex`] maps ingest-time ids forward.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum LayoutPolicy {
@@ -55,26 +131,32 @@ pub enum LayoutPolicy {
     Preserve,
     /// Hilbert-sort the vertices at ingest (the paper's choice).
     Hilbert {
-        /// Re-apply the layout after this many restructuring events
-        /// (`None` = only at ingest). Restructuring appends new
-        /// vertices at the end of the id space, so churn slowly erodes
-        /// the curve order; a threshold of a few dozen events keeps the
-        /// crawl cache-friendly on long-running simulations.
-        relayout_after: Option<u32>,
+        /// When to re-apply the layout mid-run. Restructuring appends
+        /// new vertices at the end of the id space, so churn slowly
+        /// erodes the curve order on long-running simulations.
+        trigger: RelayoutTrigger,
     },
     /// Morton/Z-order variant (cheaper keys, worse locality — the
     /// layout ablation).
     Morton {
-        /// Same as [`LayoutPolicy::Hilbert::relayout_after`].
-        relayout_after: Option<u32>,
+        /// Same as [`LayoutPolicy::Hilbert::trigger`].
+        trigger: RelayoutTrigger,
     },
 }
 
 impl LayoutPolicy {
-    /// Hilbert at ingest, no churn-triggered re-layout.
+    /// Hilbert at ingest, no mid-run re-layout.
     pub fn hilbert() -> LayoutPolicy {
         LayoutPolicy::Hilbert {
-            relayout_after: None,
+            trigger: RelayoutTrigger::Never,
+        }
+    }
+
+    /// Hilbert at ingest with the default adaptive drift trigger
+    /// ([`RelayoutTrigger::adaptive`]).
+    pub fn hilbert_adaptive() -> LayoutPolicy {
+        LayoutPolicy::Hilbert {
+            trigger: RelayoutTrigger::adaptive(),
         }
     }
 
@@ -86,12 +168,12 @@ impl LayoutPolicy {
         }
     }
 
-    fn relayout_after(self) -> Option<u32> {
+    /// The policy's re-layout trigger ([`RelayoutTrigger::Never`] for
+    /// [`LayoutPolicy::Preserve`]).
+    pub fn trigger(self) -> RelayoutTrigger {
         match self {
-            LayoutPolicy::Preserve => None,
-            LayoutPolicy::Hilbert { relayout_after } | LayoutPolicy::Morton { relayout_after } => {
-                relayout_after
-            }
+            LayoutPolicy::Preserve => RelayoutTrigger::Never,
+            LayoutPolicy::Hilbert { trigger } | LayoutPolicy::Morton { trigger } => trigger,
         }
     }
 }
@@ -105,6 +187,27 @@ pub enum ServiceError {
     SimulationStopped,
     /// `finish_step` was called with no step in flight.
     NoStepInFlight,
+    /// The ring needs to recycle its oldest slot to publish the next
+    /// step, but an outstanding query pin holds it. Unpin (or query and
+    /// release) the step, then retry.
+    RingFull {
+        /// The pinned oldest step blocking reclamation.
+        pinned_step: u32,
+    },
+    /// The requested step is outside the ring's retained window.
+    StepNotRetained {
+        /// The step that was asked for.
+        step: u32,
+        /// Oldest step currently retained.
+        oldest: u32,
+        /// Latest (newest) step currently retained.
+        latest: u32,
+    },
+    /// `unpin_step` was called on a step with no outstanding pins.
+    StepNotPinned {
+        /// The step in question.
+        step: u32,
+    },
 }
 
 impl std::fmt::Display for ServiceError {
@@ -113,6 +216,21 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Mesh(e) => write!(f, "simulation step failed: {e}"),
             ServiceError::SimulationStopped => write!(f, "simulation thread has stopped"),
             ServiceError::NoStepInFlight => write!(f, "no simulation step in flight"),
+            ServiceError::RingFull { pinned_step } => write!(
+                f,
+                "snapshot ring is full and its oldest step {pinned_step} is pinned"
+            ),
+            ServiceError::StepNotRetained {
+                step,
+                oldest,
+                latest,
+            } => write!(
+                f,
+                "step {step} is not retained (ring holds [{oldest}, {latest}])"
+            ),
+            ServiceError::StepNotPinned { step } => {
+                write!(f, "step {step} has no outstanding pins")
+            }
         }
     }
 }
@@ -132,8 +250,8 @@ enum Cmd {
         reuse: Option<Vec<Point3>>,
     },
     /// Relabel the simulation's vertices (layout policy re-application).
-    /// Sent only between steps — the channel orders it before any
-    /// subsequent `Step`.
+    /// Sent only while the pipeline is drained — the channel orders it
+    /// before any subsequent `Step`.
     Relayout(Vec<VertexId>),
     Stop,
 }
@@ -153,18 +271,40 @@ enum Update {
     Failed(MeshError),
 }
 
+/// One retained snapshot: the mesh state at the end of `step` plus the
+/// executor for its connectivity generation.
+struct Slot {
+    step: u32,
+    /// Monitor-local connectivity generation (bumped on restructuring
+    /// *and* re-layout): slot meshes are only recycled within a
+    /// generation, and executors are only shared within one.
+    conn_gen: u64,
+    mesh: Mesh,
+    /// Shared within a connectivity generation (deformation steps
+    /// change positions only; the executor is position-free).
+    exec: Arc<Octopus>,
+    /// Ingest-time id → this slot's id space (`None` under
+    /// [`LayoutPolicy::Preserve`]); shared across slots until a
+    /// restructuring extension or re-layout changes it.
+    translation: Option<Arc<Vec<VertexId>>>,
+    /// Outstanding query pins; a pinned slot is never recycled.
+    pins: u32,
+}
+
 /// The overlapped monitor loop: owns a simulation (running on its own
-/// thread), a stable snapshot of the last completed step, and the
+/// thread), a ring of the last ≤ K completed steps' snapshots, and the
 /// query machinery ([`Octopus`] + [`ParallelExecutor`]) answering
-/// against that snapshot.
+/// against any retained snapshot.
 ///
-/// Driving pattern:
+/// Driving pattern (depth 1 shown; deeper rings call
+/// [`MonitorLoop::fill_pipeline`] instead of `begin_step`):
 ///
 /// ```text
 /// loop {
 ///     monitor.begin_step()?;            // step N+1 starts computing
 ///     … monitor.query / query_batch …   // answered against step N
-///     monitor.finish_step()?;           // snapshot advances to N+1
+///     … monitor.query_at(older, …)? …   // any retained step
+///     monitor.finish_step()?;           // ring advances to N+1
 /// }
 /// ```
 ///
@@ -174,182 +314,439 @@ pub struct MonitorLoop {
     cmd_tx: Sender<Cmd>,
     upd_rx: Receiver<Update>,
     handle: Option<JoinHandle<Simulation>>,
-    snapshot: Mesh,
-    snapshot_step: u32,
-    octopus: Octopus,
+    /// Ring depth K: max retained snapshots and max in-flight steps.
+    depth: usize,
+    /// Retained snapshots, oldest at the front; steps are contiguous.
+    slots: VecDeque<Slot>,
+    /// Steps commanded but not yet absorbed (≤ `depth`).
+    in_flight: usize,
+    conn_gen: u64,
     pool: ParallelExecutor,
-    spare: Option<Vec<Point3>>,
-    in_flight: bool,
+    /// Scratch for the sequential query paths (resizes itself across
+    /// slots of different vertex/component counts).
+    scratch: QueryScratch,
+    /// Recycled position buffers for the sim thread's hand-offs.
+    spare_bufs: Vec<Vec<Point3>>,
+    /// Recycled slot meshes of the *current* connectivity generation.
+    spare_meshes: Vec<Mesh>,
     policy: LayoutPolicy,
-    /// Cumulative id map, ingest-time id → current id (`None` for
-    /// [`LayoutPolicy::Preserve`]; identity-extended as restructuring
-    /// adds vertices, recomposed on re-layout).
-    translation: Option<Vec<VertexId>>,
+    /// Incremental locality metric (present only for
+    /// [`RelayoutTrigger::LocalityDrift`] policies).
+    tracker: Option<LocalityTracker>,
     restructures_since_layout: u32,
     relayouts: u32,
+    /// A re-layout has been requested (by trigger or caller) but not
+    /// yet applied: new steps stall until the pipeline drains and all
+    /// pins release, then the permutation is applied at a step
+    /// boundary.
+    relayout_pending: bool,
 }
 
 impl MonitorLoop {
     /// Wraps `sim`, snapshotting its current state (step 0 unless the
     /// caller pre-ran it) and answering queries on `threads` workers.
     /// The simulation thread starts immediately but idles until
-    /// [`MonitorLoop::begin_step`]. Vertex order is preserved; use
-    /// [`MonitorLoop::with_policy`] for the cache-conscious layouts.
+    /// [`MonitorLoop::begin_step`]. Vertex order is preserved; ring
+    /// depth is 1 (the classic double buffer). Use
+    /// [`MonitorLoop::with_config`] for cache-conscious layouts and
+    /// deeper pipelines.
     pub fn new(sim: Simulation, threads: usize) -> Result<MonitorLoop, MeshError> {
-        MonitorLoop::with_policy(sim, threads, LayoutPolicy::Preserve)
+        MonitorLoop::with_config(sim, threads, LayoutPolicy::Preserve, 1)
     }
 
-    /// Like [`MonitorLoop::new`], additionally applying `policy`: with a
-    /// curve policy the simulation's vertices are permuted into curve
-    /// order *before* the simulation thread starts, so every crawl of
-    /// the serving loop walks a cache-friendly layout. Results are then
-    /// in the permuted id space — [`MonitorLoop::translate_vertex`]
-    /// maps ingest-time ids forward.
+    /// Like [`MonitorLoop::new`] with a layout policy, at ring depth 1.
     pub fn with_policy(
-        mut sim: Simulation,
+        sim: Simulation,
         threads: usize,
         policy: LayoutPolicy,
     ) -> Result<MonitorLoop, MeshError> {
+        MonitorLoop::with_config(sim, threads, policy, 1)
+    }
+
+    /// Full configuration: `policy` optionally permutes the
+    /// simulation's vertices into curve order *before* the simulation
+    /// thread starts (results are then in the permuted id space —
+    /// [`MonitorLoop::translate_vertex`] maps ingest-time ids forward),
+    /// and `depth` sets the snapshot ring's K: up to `depth` retained
+    /// steps queryable at once while up to `depth` further steps
+    /// compute ahead. `depth` is clamped to ≥ 1; `depth == 1`
+    /// reproduces the double-buffered behaviour exactly.
+    pub fn with_config(
+        mut sim: Simulation,
+        threads: usize,
+        policy: LayoutPolicy,
+        depth: usize,
+    ) -> Result<MonitorLoop, MeshError> {
+        let depth = depth.max(1);
         let translation = policy.curve().map(|curve| {
             let perm = curve_permutation(sim.mesh(), curve);
             sim.permute_vertices(&perm);
-            perm
+            Arc::new(perm)
         });
-        let snapshot = sim.mesh().clone();
-        let snapshot_step = sim.current_step();
-        let octopus = Octopus::new(&snapshot)?;
+        let mesh = sim.mesh().clone();
+        let step = sim.current_step();
+        let exec = Arc::new(Octopus::new(&mesh)?);
+        let scratch = exec.make_scratch(&mesh);
+        let tracker = match policy.trigger() {
+            RelayoutTrigger::LocalityDrift {
+                recompute_every, ..
+            } => Some(LocalityTracker::new(&mesh, recompute_every)),
+            _ => None,
+        };
         let (cmd_tx, cmd_rx) = std::sync::mpsc::channel();
         let (upd_tx, upd_rx) = std::sync::mpsc::channel();
         let handle = std::thread::spawn(move || sim_thread(sim, &cmd_rx, &upd_tx));
+        let mut slots = VecDeque::with_capacity(depth);
+        slots.push_back(Slot {
+            step,
+            conn_gen: 0,
+            mesh,
+            exec,
+            translation,
+            pins: 0,
+        });
         Ok(MonitorLoop {
             cmd_tx,
             upd_rx,
             handle: Some(handle),
-            snapshot,
-            snapshot_step,
-            octopus,
+            depth,
+            slots,
+            in_flight: 0,
+            conn_gen: 0,
             pool: ParallelExecutor::new(threads),
-            spare: None,
-            in_flight: false,
+            scratch,
+            spare_bufs: Vec::new(),
+            spare_meshes: Vec::new(),
             policy,
-            translation,
+            tracker,
             restructures_since_layout: 0,
             relayouts: 0,
+            relayout_pending: false,
         })
     }
 
     /// Kicks off the next simulation step on the simulation thread and
-    /// returns immediately; queries keep answering against the current
-    /// snapshot while it runs. No-op when a step is already in flight.
+    /// returns immediately; queries keep answering against the retained
+    /// snapshots while it runs. No-op when the pipeline is already
+    /// `depth` steps ahead, or while a re-layout is pending and cannot
+    /// be applied yet (draining back-pressure).
     pub fn begin_step(&mut self) -> Result<(), ServiceError> {
-        if self.in_flight {
+        if self.relayout_pending && !self.try_apply_pending_relayout()? {
             return Ok(());
         }
-        let reuse = self.spare.take();
+        if self.in_flight >= self.depth {
+            return Ok(());
+        }
+        let reuse = self.spare_bufs.pop();
         self.cmd_tx
             .send(Cmd::Step { reuse })
             .map_err(|_| ServiceError::SimulationStopped)?;
-        self.in_flight = true;
+        self.in_flight += 1;
         Ok(())
     }
 
-    /// Waits for the in-flight step and swaps its state into the
-    /// snapshot (positions memcpy on deformation steps; mesh replace +
-    /// surface-delta replay on restructuring steps). Returns the
-    /// snapshot's new step number.
+    /// Starts steps until the pipeline is `depth` ahead (or stalled on
+    /// a pending re-layout); returns how many steps were started.
+    pub fn fill_pipeline(&mut self) -> Result<usize, ServiceError> {
+        let mut started = 0;
+        loop {
+            let before = self.in_flight;
+            self.begin_step()?;
+            if self.in_flight == before {
+                return Ok(started);
+            }
+            started += 1;
+        }
+    }
+
+    /// Waits for the oldest in-flight step and publishes its state into
+    /// the ring (positions memcpy into a recycled slot on deformation
+    /// steps; mesh replace + surface-delta-derived executor on
+    /// restructuring steps). When the ring is at capacity the oldest
+    /// retained slot is recycled — deterministically, and only if no
+    /// query pin holds it ([`ServiceError::RingFull`] otherwise; the
+    /// update stays queued and the call can be retried after
+    /// unpinning). Returns the ring's new latest step number.
     pub fn finish_step(&mut self) -> Result<u32, ServiceError> {
-        if !self.in_flight {
+        if self.in_flight == 0 {
             return Err(ServiceError::NoStepInFlight);
         }
-        self.in_flight = false;
-        match self
+        self.absorb_one()?;
+        self.try_apply_pending_relayout()?;
+        Ok(self.snapshot_step())
+    }
+
+    /// Receives one update and publishes it as the newest slot.
+    fn absorb_one(&mut self) -> Result<(), ServiceError> {
+        debug_assert!(self.in_flight > 0, "absorb requires an in-flight step");
+        if self.slots.len() == self.depth {
+            let oldest = self.slots.front().expect("ring is never empty");
+            if oldest.pins > 0 {
+                return Err(ServiceError::RingFull {
+                    pinned_step: oldest.step,
+                });
+            }
+        }
+        let update = self
             .upd_rx
             .recv()
-            .map_err(|_| ServiceError::SimulationStopped)?
-        {
+            .map_err(|_| ServiceError::SimulationStopped)?;
+        self.in_flight -= 1;
+        match update {
             Update::Deformed { step, positions } => {
-                self.snapshot.positions_mut().copy_from_slice(&positions);
-                self.spare = Some(positions);
-                self.snapshot_step = step;
+                let latest = self.slots.back().expect("ring is never empty");
+                let mut mesh = match self.spare_meshes.pop() {
+                    Some(m) => m,
+                    None => latest.mesh.clone(),
+                };
+                mesh.positions_mut().copy_from_slice(&positions);
+                let slot = Slot {
+                    step,
+                    conn_gen: self.conn_gen,
+                    mesh,
+                    exec: Arc::clone(&latest.exec),
+                    translation: latest.translation.clone(),
+                    pins: 0,
+                };
+                if self.spare_bufs.len() < self.depth {
+                    self.spare_bufs.push(positions);
+                }
+                self.push_slot(slot);
             }
             Update::Restructured { step, mesh, delta } => {
-                self.snapshot = *mesh;
-                self.octopus.on_restructure(&self.snapshot, &delta);
-                self.snapshot_step = step;
+                let latest = self.slots.back().expect("ring is never empty");
+                // Derive (not mutate): older retained slots keep their
+                // generation's executor.
+                let exec = Arc::new(latest.exec.restructured(&mesh, &delta));
                 // Restructuring appends new vertices at the end of the
-                // id space in both the original and the permuted run, so
-                // the translation extends with identity entries.
-                if let Some(t) = &mut self.translation {
-                    let n = self.snapshot.num_vertices();
-                    while t.len() < n {
-                        t.push(t.len() as VertexId);
+                // id space in both the original and the permuted run,
+                // so the translation extends with identity entries.
+                let translation = latest.translation.as_ref().map(|t| {
+                    let n = mesh.num_vertices();
+                    if t.len() < n {
+                        let mut v: Vec<VertexId> = (**t).clone();
+                        while v.len() < n {
+                            v.push(v.len() as VertexId);
+                        }
+                        Arc::new(v)
+                    } else {
+                        Arc::clone(t)
                     }
+                });
+                self.conn_gen += 1;
+                self.spare_meshes.clear();
+                if let Some(tracker) = &mut self.tracker {
+                    tracker.apply_delta(&mesh, &delta);
                 }
                 self.restructures_since_layout += 1;
-                if self
-                    .policy
-                    .relayout_after()
-                    .is_some_and(|k| self.restructures_since_layout >= k)
-                {
-                    self.relayout()?;
-                }
+                self.push_slot(Slot {
+                    step,
+                    conn_gen: self.conn_gen,
+                    mesh: *mesh,
+                    exec,
+                    translation,
+                    pins: 0,
+                });
+                self.update_relayout_pending();
             }
             Update::Failed(e) => return Err(ServiceError::Mesh(e)),
         }
-        Ok(self.snapshot_step)
+        Ok(())
     }
 
-    /// Re-applies the layout curve to the current snapshot and tells the
-    /// (idle — no step in flight) simulation thread to relabel its mesh
-    /// identically. The channel orders the relabelling before any later
-    /// `Step`, so both sides stay in the same id space.
-    fn relayout(&mut self) -> Result<(), ServiceError> {
-        let curve = self
-            .policy
-            .curve()
-            .expect("relayout only fires for curve policies");
-        debug_assert!(!self.in_flight, "relayout requires an idle simulation");
-        let perm = curve_permutation(&self.snapshot, curve);
+    fn push_slot(&mut self, slot: Slot) {
+        if self.slots.len() == self.depth {
+            let old = self.slots.pop_front().expect("ring is never empty");
+            debug_assert_eq!(old.pins, 0, "absorb_one checked the pin");
+            if old.conn_gen == self.conn_gen && self.spare_meshes.len() < self.depth {
+                self.spare_meshes.push(old.mesh);
+            }
+        }
+        self.slots.push_back(slot);
+    }
+
+    /// Evaluates the policy's trigger after a restructuring step.
+    fn update_relayout_pending(&mut self) {
+        if self.policy.curve().is_none() {
+            return;
+        }
+        let fire = match self.policy.trigger() {
+            RelayoutTrigger::Never => false,
+            RelayoutTrigger::AfterRestructures(k) => self.restructures_since_layout >= k,
+            RelayoutTrigger::LocalityDrift { ratio_pct, .. } => self
+                .tracker
+                .as_ref()
+                .is_some_and(|t| t.drift_ratio() * 100.0 >= f64::from(ratio_pct)),
+        };
+        if fire {
+            self.relayout_pending = true;
+        }
+    }
+
+    fn any_pins(&self) -> bool {
+        self.slots.iter().any(|s| s.pins > 0)
+    }
+
+    /// Applies a pending re-layout if (and only if) the pipeline has
+    /// drained and nothing is pinned. Returns whether it was applied.
+    fn try_apply_pending_relayout(&mut self) -> Result<bool, ServiceError> {
+        if !self.relayout_pending || self.in_flight > 0 || self.any_pins() {
+            return Ok(false);
+        }
+        self.apply_relayout()?;
+        Ok(true)
+    }
+
+    /// Re-applies the layout curve. Precondition (enforced by the
+    /// callers — this is the runtime replacement for the old
+    /// `debug_assert!(!in_flight)`): the pipeline is drained and no
+    /// slot is pinned, so the permutation cannot race a running step
+    /// and cannot invalidate a snapshot a query still holds.
+    ///
+    /// The id space changes wholesale, so retained history in the old
+    /// space is released: after a re-layout the ring holds exactly the
+    /// re-laid-out latest snapshot.
+    fn apply_relayout(&mut self) -> Result<(), ServiceError> {
+        debug_assert!(self.in_flight == 0 && !self.any_pins());
+        self.relayout_pending = false;
+        self.restructures_since_layout = 0;
+        let Some(curve) = self.policy.curve() else {
+            return Ok(());
+        };
+        while self.slots.len() > 1 {
+            self.slots.pop_front();
+        }
+        let perm = curve_permutation(&self.slots.back().expect("ring is never empty").mesh, curve);
+        // The channel orders the relabelling before any later `Step`,
+        // so both sides stay in the same id space.
         self.cmd_tx
             .send(Cmd::Relayout(perm.clone()))
             .map_err(|_| ServiceError::SimulationStopped)?;
-        self.snapshot = self.snapshot.permute_vertices(&perm);
+        let latest = self.slots.back_mut().expect("ring is never empty");
+        latest.mesh = latest.mesh.permute_vertices(&perm);
         // Ids changed wholesale: the surface index and component map
         // must be rebuilt, not delta-patched.
-        self.octopus = Octopus::with_strategy(&self.snapshot, self.octopus.visited_strategy())?;
-        if let Some(t) = &mut self.translation {
-            for slot in t.iter_mut() {
-                *slot = perm[*slot as usize];
-            }
+        latest.exec = Arc::new(Octopus::with_strategy(
+            &latest.mesh,
+            latest.exec.visited_strategy(),
+        )?);
+        if let Some(t) = &latest.translation {
+            latest.translation = Some(Arc::new(
+                t.iter().map(|&v| perm[v as usize]).collect::<Vec<_>>(),
+            ));
         }
-        self.restructures_since_layout = 0;
+        if let Some(tracker) = &mut self.tracker {
+            tracker.rebaseline(&latest.mesh);
+        }
+        // The re-laid-out slot opens the new connectivity generation:
+        // subsequent deformation slots share its executor and may
+        // recycle its mesh.
+        self.conn_gen += 1;
+        latest.conn_gen = self.conn_gen;
+        self.spare_meshes.clear();
         self.relayouts += 1;
         Ok(())
     }
 
+    /// Requests an immediate re-layout (curve policies only; returns
+    /// `Ok(false)` under [`LayoutPolicy::Preserve`]). If snapshots are
+    /// pinned the request stays pending (deferred to the first
+    /// unpinned step boundary) and `Ok(false)` is returned; otherwise
+    /// any in-flight steps are drained into the ring first — the
+    /// permutation is never raced against a running step — and the
+    /// re-layout is applied now (`Ok(true)`).
+    pub fn request_relayout(&mut self) -> Result<bool, ServiceError> {
+        if self.policy.curve().is_none() {
+            return Ok(false);
+        }
+        self.relayout_pending = true;
+        if self.any_pins() {
+            return Ok(false);
+        }
+        while self.in_flight > 0 {
+            // Cannot hit `RingFull`: nothing is pinned.
+            self.absorb_one()?;
+        }
+        self.apply_relayout()?;
+        Ok(true)
+    }
+
+    /// True while a triggered or requested re-layout waits for the
+    /// pipeline to drain / pins to release.
+    pub fn relayout_pending(&self) -> bool {
+        self.relayout_pending
+    }
+
     /// One overlapped iteration: starts the next step, answers `queries`
-    /// against the current snapshot while it computes, then advances the
-    /// snapshot. Returns the results plus the step they were answered
-    /// at.
+    /// against the latest snapshot while it computes, then advances the
+    /// ring. Returns the results plus the step they were answered at.
+    ///
+    /// Degenerate cases are handled without losing work: while the
+    /// pipeline is stalled (a pending re-layout waiting on a pin) no
+    /// step starts and the answers simply come from the current
+    /// snapshot; and if advancing hits pin back-pressure
+    /// ([`ServiceError::RingFull`]) the already-computed result buffers
+    /// are recycled before the error propagates.
     pub fn step_and_query(
         &mut self,
         queries: &[Aabb],
     ) -> Result<(Vec<QueryResult>, u32), ServiceError> {
         self.begin_step()?;
-        let answered_at = self.snapshot_step;
+        let answered_at = self.snapshot_step();
         let results = self.query_batch(queries);
-        self.finish_step()?;
+        if self.in_flight > 0 {
+            if let Err(e) = self.finish_step() {
+                self.recycle(results);
+                return Err(e);
+            }
+        }
         Ok((results, answered_at))
     }
 
-    /// The stable snapshot currently being queried.
-    pub fn snapshot(&self) -> &Mesh {
-        &self.snapshot
+    fn latest(&self) -> &Slot {
+        self.slots.back().expect("ring is never empty")
     }
 
-    /// The time step the snapshot corresponds to.
+    /// Ring index of the slot retaining `step`, or `StepNotRetained`.
+    fn slot_index(&self, step: u32) -> Result<usize, ServiceError> {
+        self.slots
+            .iter()
+            .position(|s| s.step == step)
+            .ok_or(ServiceError::StepNotRetained {
+                step,
+                oldest: self.slots.front().expect("ring is never empty").step,
+                latest: self.latest().step,
+            })
+    }
+
+    fn slot_at(&self, step: u32) -> Result<&Slot, ServiceError> {
+        Ok(&self.slots[self.slot_index(step)?])
+    }
+
+    /// The configured ring depth K.
+    pub fn ring_depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Steps currently retained and queryable: `[N−r+1, N]` for the
+    /// latest step N and `r ≤ K` retained slots.
+    pub fn retained_steps(&self) -> RangeInclusive<u32> {
+        self.slots.front().expect("ring is never empty").step..=self.latest().step
+    }
+
+    /// The latest retained snapshot (the one latest-step queries use).
+    pub fn snapshot(&self) -> &Mesh {
+        &self.latest().mesh
+    }
+
+    /// The time step of the latest retained snapshot.
     pub fn snapshot_step(&self) -> u32 {
-        self.snapshot_step
+        self.latest().step
+    }
+
+    /// The snapshot retained for `step`, if still in the ring.
+    pub fn snapshot_at(&self, step: u32) -> Result<&Mesh, ServiceError> {
+        Ok(&self.slot_at(step)?.mesh)
     }
 
     /// The configured vertex-layout policy.
@@ -357,45 +754,130 @@ impl MonitorLoop {
         self.policy
     }
 
-    /// Cumulative id map, ingest-time id → current id (`None` under
-    /// [`LayoutPolicy::Preserve`]). Vertices added by restructuring
-    /// extend the map with identity entries, so it always covers the
-    /// snapshot's full vertex set.
+    /// Cumulative id map for the latest snapshot, ingest-time id →
+    /// current id (`None` under [`LayoutPolicy::Preserve`]). Vertices
+    /// added by restructuring extend the map with identity entries, so
+    /// it always covers the snapshot's full vertex set.
     pub fn vertex_translation(&self) -> Option<&[VertexId]> {
-        self.translation.as_deref()
+        self.latest().translation.as_ref().map(|t| t.as_slice())
     }
 
-    /// Maps an ingest-time vertex id to the snapshot's current id space
+    /// The id map in force at a retained `step` (re-layouts change it
+    /// mid-run, so older slots may carry an earlier mapping).
+    pub fn vertex_translation_at(&self, step: u32) -> Result<Option<&[VertexId]>, ServiceError> {
+        Ok(self
+            .slot_at(step)?
+            .translation
+            .as_ref()
+            .map(|t| t.as_slice()))
+    }
+
+    /// Maps an ingest-time vertex id to the latest snapshot's id space
     /// (identity under [`LayoutPolicy::Preserve`]).
     pub fn translate_vertex(&self, v: VertexId) -> VertexId {
-        match &self.translation {
+        match &self.latest().translation {
             Some(t) => t[v as usize],
             None => v,
         }
     }
 
+    /// [`MonitorLoop::translate_vertex`] against the id space of a
+    /// retained `step`.
+    pub fn translate_vertex_at(&self, step: u32, v: VertexId) -> Result<VertexId, ServiceError> {
+        Ok(match &self.slot_at(step)?.translation {
+            Some(t) => t[v as usize],
+            None => v,
+        })
+    }
+
     /// How many times the layout policy has re-permuted the mesh after
-    /// ingest (churn-triggered re-layouts).
+    /// ingest (churn- or drift-triggered re-layouts).
     pub fn relayouts(&self) -> u32 {
         self.relayouts
     }
 
-    /// True between [`MonitorLoop::begin_step`] and
-    /// [`MonitorLoop::finish_step`] — i.e. while SIMULATE and MONITOR
-    /// actually overlap.
-    pub fn step_in_flight(&self) -> bool {
+    /// The drift tracker's current locality-decay ratio (`None` unless
+    /// the policy uses [`RelayoutTrigger::LocalityDrift`]).
+    pub fn locality_drift(&self) -> Option<f64> {
+        self.tracker.as_ref().map(LocalityTracker::drift_ratio)
+    }
+
+    /// Number of steps currently computing ahead on the simulation
+    /// thread (0 ≤ `in_flight` ≤ K).
+    pub fn in_flight(&self) -> usize {
         self.in_flight
     }
 
-    /// Answers one query against the snapshot (sequential executor).
-    pub fn query(&mut self, q: &Aabb, out: &mut Vec<VertexId>) -> PhaseTimings {
-        self.octopus.query(&self.snapshot, q, out)
+    /// True while at least one step is in flight — i.e. while SIMULATE
+    /// and MONITOR actually overlap.
+    pub fn step_in_flight(&self) -> bool {
+        self.in_flight > 0
     }
 
-    /// Answers a batch against the snapshot on the worker pool.
+    /// Pins the snapshot of `step`: the slot will not be recycled (the
+    /// pipeline back-pressures with [`ServiceError::RingFull`] instead)
+    /// and no re-layout will invalidate its id space until every pin is
+    /// released. Pins nest (a counter per slot).
+    pub fn pin_step(&mut self, step: u32) -> Result<(), ServiceError> {
+        let i = self.slot_index(step)?;
+        self.slots[i].pins += 1;
+        Ok(())
+    }
+
+    /// Releases one pin of `step`.
+    pub fn unpin_step(&mut self, step: u32) -> Result<(), ServiceError> {
+        let i = self.slot_index(step)?;
+        if self.slots[i].pins == 0 {
+            return Err(ServiceError::StepNotPinned { step });
+        }
+        self.slots[i].pins -= 1;
+        Ok(())
+    }
+
+    /// Outstanding pins of `step` (0 when unpinned or not retained).
+    pub fn pin_count(&self, step: u32) -> u32 {
+        self.slots
+            .iter()
+            .find(|s| s.step == step)
+            .map_or(0, |s| s.pins)
+    }
+
+    /// Answers one query against the latest snapshot (sequential
+    /// executor).
+    pub fn query(&mut self, q: &Aabb, out: &mut Vec<VertexId>) -> PhaseTimings {
+        let slot = self.slots.back().expect("ring is never empty");
+        slot.exec.query_with(&mut self.scratch, &slot.mesh, q, out)
+    }
+
+    /// Answers one query against the snapshot retained for `step`
+    /// (sequential executor). Any retained step may be targeted while
+    /// newer steps compute ahead — the pipelined generalisation of the
+    /// latest-step API.
+    pub fn query_at(
+        &mut self,
+        step: u32,
+        q: &Aabb,
+        out: &mut Vec<VertexId>,
+    ) -> Result<PhaseTimings, ServiceError> {
+        let slot = &self.slots[self.slot_index(step)?];
+        Ok(slot.exec.query_with(&mut self.scratch, &slot.mesh, q, out))
+    }
+
+    /// Answers a batch against the latest snapshot on the worker pool.
     pub fn query_batch(&mut self, queries: &[Aabb]) -> Vec<QueryResult> {
-        self.pool
-            .execute_batch(&self.octopus, &self.snapshot, queries)
+        let slot = self.slots.back().expect("ring is never empty");
+        self.pool.execute_batch(&slot.exec, &slot.mesh, queries)
+    }
+
+    /// Answers a batch against the snapshot retained for `step` on the
+    /// worker pool.
+    pub fn query_batch_at(
+        &mut self,
+        step: u32,
+        queries: &[Aabb],
+    ) -> Result<Vec<QueryResult>, ServiceError> {
+        let slot = &self.slots[self.slot_index(step)?];
+        Ok(self.pool.execute_batch(&slot.exec, &slot.mesh, queries))
     }
 
     /// Returns a finished batch's buffers to the executor's free lists
@@ -410,21 +892,25 @@ impl MonitorLoop {
         self.pool.recycle_stats()
     }
 
-    /// Answers one large query against the snapshot with the
+    /// Answers one large query against the latest snapshot with the
     /// frontier-sharded crawl.
     pub fn query_sharded(&mut self, q: &Aabb, out: &mut Vec<VertexId>) -> PhaseTimings {
-        self.pool
-            .query_sharded(&self.octopus, &self.snapshot, q, out)
+        let slot = self.slots.back().expect("ring is never empty");
+        self.pool.query_sharded(&slot.exec, &slot.mesh, q, out)
     }
 
     /// Stops the simulation thread and returns the simulation in its
-    /// final state (which may be one step ahead of the snapshot if a
-    /// step was in flight).
+    /// final state (which may be up to K steps ahead of the latest
+    /// retained snapshot if steps were in flight).
     pub fn shutdown(mut self) -> Result<Simulation, ServiceError> {
-        if self.in_flight {
-            // Drain the in-flight update so the sim thread isn't blocked
-            // on a full channel (unbounded today, but don't rely on it).
-            let _ = self.finish_step();
+        // Drain in-flight updates so the sim thread isn't blocked on a
+        // full channel (unbounded today, but don't rely on it); they
+        // are dropped, not published — the monitor is going away.
+        while self.in_flight > 0 {
+            if self.upd_rx.recv().is_err() {
+                break;
+            }
+            self.in_flight -= 1;
         }
         let _ = self.cmd_tx.send(Cmd::Stop);
         self.handle
@@ -445,8 +931,11 @@ impl Drop for MonitorLoop {
 }
 
 /// The simulation thread: steps on demand and hands snapshots back.
+/// The restructure epoch decides the hand-off flavour exactly: a step
+/// whose epoch did not advance left connectivity untouched (even when a
+/// schedule "fired" zero ops), so a positions-only copy suffices.
 fn sim_thread(mut sim: Simulation, cmd_rx: &Receiver<Cmd>, upd_tx: &Sender<Update>) -> Simulation {
-    let mut last_vertices = sim.mesh().num_vertices();
+    let mut last_epoch = sim.restructure_epoch();
     while let Ok(cmd) = cmd_rx.recv() {
         let reuse = match cmd {
             Cmd::Step { reuse } => reuse,
@@ -458,12 +947,8 @@ fn sim_thread(mut sim: Simulation, cmd_rx: &Receiver<Cmd>, upd_tx: &Sender<Updat
         };
         let update = match sim.step_outcome() {
             Ok(outcome) => {
-                // A positions-only hand-off is correct only when
-                // connectivity is untouched; `restructured` covers even
-                // the surface-invariant cases (e.g. interior refinement
-                // adds vertices and edges but an empty delta).
-                if outcome.restructured || sim.mesh().num_vertices() != last_vertices {
-                    last_vertices = sim.mesh().num_vertices();
+                if outcome.restructure_epoch != last_epoch {
+                    last_epoch = outcome.restructure_epoch;
                     Update::Restructured {
                         step: outcome.step,
                         mesh: Box::new(sim.mesh().clone()),

@@ -1,13 +1,14 @@
-//! The epoch-snapshot monitor loop answers queries against snapshot N
-//! while the simulation computes step N+1 — and every answer matches a
-//! stop-the-world reference run exactly, including across restructuring
-//! steps (full mesh hand-off + surface-delta replay).
+//! The snapshot-ring monitor loop answers queries against any retained
+//! step while up to K further steps compute ahead — and every answer
+//! matches a stop-the-world reference run exactly, including across
+//! restructuring steps (surface-delta-derived per-slot executors) and
+//! mid-run re-layouts (pipeline drained first, ring truncated).
 
 use octopus_core::Octopus;
 use octopus_geom::{Aabb, Point3, VertexId};
 use octopus_mesh::Mesh;
 use octopus_meshgen::voxel::VoxelRegion;
-use octopus_service::{LayoutPolicy, MonitorLoop};
+use octopus_service::{LayoutPolicy, MonitorLoop, RelayoutTrigger, ServiceError};
 use octopus_sim::{RestructureSchedule, Simulation, SmoothRandomField};
 
 fn box_mesh(n: usize) -> Mesh {
@@ -64,6 +65,429 @@ fn reference_run(
         per_step.push(results);
     }
     per_step
+}
+
+/// The ring-depth property: a pipelined run at depth K, with queries
+/// issued against **every retained step** at every iteration (both the
+/// pool batch path and the sequential `query_at` path), equals the
+/// stop-the-world replay — translated through the per-step id map when
+/// a layout policy is active.
+fn ring_equivalence_run(
+    depth: usize,
+    field_seed: u64,
+    restructure: Option<(u32, usize, u64)>,
+    policy: LayoutPolicy,
+    steps: u32,
+) -> MonitorLoop {
+    let mesh = {
+        let mut m = box_mesh(4);
+        if restructure.is_some() {
+            m.enable_restructuring().unwrap();
+        }
+        m
+    };
+    let expected = reference_run(mesh.clone(), field_seed, restructure, steps);
+
+    let mut sim = Simulation::new(mesh, Box::new(SmoothRandomField::new(0.01, 3, field_seed)));
+    if let Some((period, ops, seed)) = restructure {
+        sim = sim
+            .with_restructuring(RestructureSchedule::new(period, ops, seed))
+            .unwrap();
+    }
+    let mut monitor = MonitorLoop::with_config(sim, 2, policy, depth).unwrap();
+    assert_eq!(monitor.ring_depth(), depth);
+
+    monitor.fill_pipeline().unwrap();
+    assert!(monitor.in_flight() <= depth);
+    for step in 1..=steps {
+        assert_eq!(
+            monitor.finish_step().unwrap(),
+            step,
+            "depth {depth}: ring must advance one step per finish"
+        );
+        if step < steps {
+            monitor.fill_pipeline().unwrap();
+        }
+        let retained = monitor.retained_steps();
+        assert!(retained.contains(&step), "latest step is retained");
+        assert!(
+            (retained.end() - retained.start()) < depth as u32 + 1,
+            "window never exceeds K"
+        );
+        for s in retained {
+            if s == 0 {
+                continue; // ingest snapshot: no reference entry
+            }
+            let queries = step_queries(s);
+            let translated: Vec<Vec<VertexId>> = expected[s as usize - 1]
+                .iter()
+                .map(|want| {
+                    sorted(
+                        want.iter()
+                            .map(|&v| monitor.translate_vertex_at(s, v).unwrap())
+                            .collect(),
+                    )
+                })
+                .collect();
+            let results = monitor.query_batch_at(s, &queries).unwrap();
+            for (i, (got, want)) in results.iter().zip(&translated).enumerate() {
+                assert_eq!(
+                    &sorted(got.vertices.clone()),
+                    want,
+                    "depth {depth} step {step}: retained step {s}, query {i} (batch)"
+                );
+            }
+            monitor.recycle(results);
+            // The sequential per-step path answers identically.
+            let mut out = Vec::new();
+            monitor.query_at(s, &queries[0], &mut out).unwrap();
+            assert_eq!(
+                sorted(out),
+                translated[0],
+                "depth {depth} step {step}: retained step {s} (query_at)"
+            );
+        }
+    }
+    monitor
+}
+
+#[test]
+fn ring_depth_equivalence_without_restructuring() {
+    for depth in [1, 2, 3] {
+        let monitor = ring_equivalence_run(depth, 77, None, LayoutPolicy::Preserve, 10);
+        let sim = monitor.shutdown().unwrap();
+        // The pipeline may have computed ahead of the last finished step.
+        assert!(sim.current_step() >= 10);
+    }
+}
+
+#[test]
+fn ring_depth_equivalence_across_restructuring() {
+    for depth in [1, 2, 3] {
+        ring_equivalence_run(depth, 123, Some((3, 2, 0xD1CE)), LayoutPolicy::Preserve, 10);
+    }
+}
+
+#[test]
+fn ring_depth_equivalence_with_mid_run_relayouts() {
+    for depth in [1, 2, 3] {
+        let monitor = ring_equivalence_run(
+            depth,
+            123,
+            Some((3, 2, 0xD1CE)),
+            LayoutPolicy::Hilbert {
+                trigger: RelayoutTrigger::AfterRestructures(2),
+            },
+            12,
+        );
+        assert!(
+            monitor.relayouts() >= 1,
+            "depth {depth}: 4 restructuring events at threshold 2 must re-layout"
+        );
+    }
+}
+
+#[test]
+fn depth_one_reproduces_the_double_buffer() {
+    let mesh = box_mesh(4);
+    let sim = Simulation::new(mesh, Box::new(SmoothRandomField::new(0.01, 3, 5)));
+    let mut monitor = MonitorLoop::new(sim, 2).unwrap();
+    assert_eq!(monitor.ring_depth(), 1);
+
+    // At most one step in flight: the second begin is a no-op.
+    monitor.begin_step().unwrap();
+    assert_eq!(monitor.in_flight(), 1);
+    monitor.begin_step().unwrap();
+    assert_eq!(monitor.in_flight(), 1, "K=1 never runs two steps ahead");
+    assert_eq!(monitor.fill_pipeline().unwrap(), 0);
+
+    // Exactly one retained snapshot at any time.
+    assert_eq!(monitor.finish_step().unwrap(), 1);
+    assert_eq!(monitor.retained_steps(), 1..=1);
+    let q = Aabb::new(Point3::splat(0.1), Point3::splat(0.9));
+    let mut latest = Vec::new();
+    monitor.query(&q, &mut latest);
+    let mut at = Vec::new();
+    monitor.query_at(1, &q, &mut at).unwrap();
+    assert_eq!(sorted(latest), sorted(at.clone()));
+
+    // The pre-advance snapshot is gone — exactly the double buffer.
+    assert!(matches!(
+        monitor.query_at(0, &q, &mut at),
+        Err(ServiceError::StepNotRetained {
+            step: 0,
+            oldest: 1,
+            latest: 1
+        })
+    ));
+}
+
+#[test]
+fn pinning_backpressures_and_releases() {
+    let mesh = box_mesh(4);
+    let sim = Simulation::new(mesh, Box::new(SmoothRandomField::new(0.01, 3, 9)));
+    let mut monitor = MonitorLoop::with_config(sim, 2, LayoutPolicy::Preserve, 2).unwrap();
+
+    // Fill the retained window: steps 1 and 2.
+    for _ in 0..2 {
+        monitor.begin_step().unwrap();
+        monitor.finish_step().unwrap();
+    }
+    assert_eq!(monitor.retained_steps(), 1..=2);
+
+    // Record step 1's answer, pin it, and let the pipeline race ahead.
+    let q = Aabb::cube(Point3::splat(0.5), 0.25);
+    let mut pinned_answer = Vec::new();
+    monitor.query_at(1, &q, &mut pinned_answer).unwrap();
+    monitor.pin_step(1).unwrap();
+    monitor.pin_step(1).unwrap(); // pins nest
+    assert_eq!(monitor.pin_count(1), 2);
+
+    monitor.fill_pipeline().unwrap();
+    assert_eq!(monitor.in_flight(), 2);
+    // Publishing step 3 would recycle the pinned oldest slot: refused,
+    // deterministically, with the update left queued.
+    match monitor.finish_step() {
+        Err(ServiceError::RingFull { pinned_step: 1 }) => {}
+        other => panic!("expected RingFull for pinned step 1, got {other:?}"),
+    }
+    assert_eq!(monitor.snapshot_step(), 2, "nothing was absorbed");
+
+    // The pinned snapshot still answers, bit-identically.
+    let mut again = Vec::new();
+    monitor.query_at(1, &q, &mut again).unwrap();
+    assert_eq!(sorted(again), sorted(pinned_answer.clone()));
+
+    // One unpin is not enough (counted pins) …
+    monitor.unpin_step(1).unwrap();
+    assert!(matches!(
+        monitor.finish_step(),
+        Err(ServiceError::RingFull { pinned_step: 1 })
+    ));
+    // … releasing the last pin unblocks the exact same updates.
+    monitor.unpin_step(1).unwrap();
+    assert_eq!(monitor.finish_step().unwrap(), 3);
+    assert_eq!(monitor.finish_step().unwrap(), 4);
+    assert_eq!(monitor.retained_steps(), 3..=4);
+    assert!(matches!(
+        monitor.unpin_step(3),
+        Err(ServiceError::StepNotPinned { step: 3 })
+    ));
+}
+
+/// Regression test for the release-mode re-layout race: the old code
+/// guarded "no step in flight" with a `debug_assert!` only, so a
+/// release build could send the permutation while a step was running.
+/// The runtime rule is: a requested re-layout *drains* the in-flight
+/// pipeline first (or defers while snapshots are pinned), and answers
+/// afterwards still match the stop-the-world reference. This suite runs
+/// under `--release` in CI.
+#[test]
+fn relayout_drains_in_flight_steps_instead_of_racing() {
+    let steps_before = 4u32;
+    let total = 9u32;
+    let mesh = {
+        let mut m = box_mesh(4);
+        m.enable_restructuring().unwrap();
+        m
+    };
+    let expected = reference_run(mesh.clone(), 123, Some((3, 2, 0xD1CE)), total);
+
+    let sim = Simulation::new(mesh, Box::new(SmoothRandomField::new(0.01, 3, 123)))
+        .with_restructuring(RestructureSchedule::new(3, 2, 0xD1CE))
+        .unwrap();
+    // Trigger::Never — re-layouts happen only on request, so the test
+    // controls exactly when one lands in the middle of a full pipeline.
+    let mut monitor = MonitorLoop::with_config(sim, 2, LayoutPolicy::hilbert(), 3).unwrap();
+
+    for step in 1..=steps_before {
+        monitor.fill_pipeline().unwrap();
+        assert_eq!(monitor.finish_step().unwrap(), step);
+    }
+    monitor.fill_pipeline().unwrap();
+    assert!(monitor.in_flight() > 0, "pipeline must be mid-flight");
+
+    // The request must drain every in-flight step into the ring before
+    // permuting — never racing the running step — and apply now.
+    let applied = monitor.request_relayout().unwrap();
+    assert!(applied);
+    assert_eq!(monitor.relayouts(), 1);
+    assert_eq!(monitor.in_flight(), 0, "drained, not raced");
+    assert!(!monitor.relayout_pending());
+    let drained_to = monitor.snapshot_step();
+    assert!(drained_to > steps_before);
+    // Re-layout redefines the id space: history is truncated to the
+    // re-laid-out snapshot.
+    assert_eq!(monitor.retained_steps(), drained_to..=drained_to);
+
+    // Everything — including the steps that were in flight during the
+    // request — still matches the reference through the translation.
+    for step in drained_to..=total {
+        if step > drained_to {
+            monitor.begin_step().unwrap();
+            assert_eq!(monitor.finish_step().unwrap(), step);
+        }
+        let results = monitor.query_batch(&step_queries(step));
+        for (i, (got, want)) in results.iter().zip(&expected[step as usize - 1]).enumerate() {
+            let want = sorted(want.iter().map(|&v| monitor.translate_vertex(v)).collect());
+            assert_eq!(
+                sorted(got.vertices.clone()),
+                want,
+                "step {step} query {i} after the drained re-layout"
+            );
+        }
+        monitor.recycle(results);
+    }
+}
+
+#[test]
+fn relayout_defers_while_snapshots_are_pinned() {
+    let mesh = box_mesh(4);
+    let sim = Simulation::new(mesh, Box::new(SmoothRandomField::new(0.01, 3, 31)));
+    let mut monitor = MonitorLoop::with_config(sim, 2, LayoutPolicy::hilbert(), 2).unwrap();
+    for _ in 0..2 {
+        monitor.begin_step().unwrap();
+        monitor.finish_step().unwrap();
+    }
+    monitor.pin_step(1).unwrap();
+
+    // Pinned ⇒ the request parks as pending; nothing is permuted and
+    // new steps stall so the pinned id space stays valid.
+    assert!(!monitor.request_relayout().unwrap());
+    assert!(monitor.relayout_pending());
+    assert_eq!(monitor.relayouts(), 0);
+    monitor.begin_step().unwrap();
+    assert_eq!(monitor.in_flight(), 0, "pipeline stalls while pending");
+
+    // Release the pin: the next step boundary applies the re-layout
+    // and the pipeline resumes.
+    monitor.unpin_step(1).unwrap();
+    monitor.begin_step().unwrap();
+    assert_eq!(monitor.relayouts(), 1);
+    assert!(!monitor.relayout_pending());
+    assert_eq!(monitor.in_flight(), 1, "pipeline resumed after applying");
+    monitor.finish_step().unwrap();
+}
+
+#[test]
+fn adaptive_trigger_fires_on_locality_drift_not_step_count() {
+    let drift_policy = LayoutPolicy::Hilbert {
+        trigger: RelayoutTrigger::LocalityDrift {
+            ratio_pct: 105,
+            recompute_every: 4,
+        },
+    };
+
+    // Control: four times as many steps, pure deformation. The metric
+    // is a function of ids and adjacency only, so no amount of
+    // stepping can move it — the trigger must never fire.
+    let mesh = box_mesh(4);
+    let sim = Simulation::new(mesh, Box::new(SmoothRandomField::new(0.01, 3, 64)));
+    let mut monitor = MonitorLoop::with_config(sim, 2, drift_policy, 2).unwrap();
+    for _ in 0..48 {
+        monitor.begin_step().unwrap();
+        monitor.finish_step().unwrap();
+    }
+    assert_eq!(
+        monitor.relayouts(),
+        0,
+        "48 deformation steps must not trigger (drift {:?})",
+        monitor.locality_drift()
+    );
+    let drift = monitor.locality_drift().unwrap();
+    assert!((drift - 1.0).abs() < 1e-12, "no restructuring => no drift");
+
+    // Churn-heavy run: a quarter of the steps, but every step fires
+    // restructuring ops that erode the ingest-time Hilbert order
+    // (refinement appends far-id vertices; removals delete short
+    // edges). The drift crosses 1.05 and the trigger re-lays-out.
+    let mesh = {
+        let mut m = box_mesh(4);
+        m.enable_restructuring().unwrap();
+        m
+    };
+    let sim = Simulation::new(mesh, Box::new(SmoothRandomField::new(0.01, 3, 64)))
+        .with_restructuring(RestructureSchedule::new(1, 3, 0xC0DE))
+        .unwrap();
+    let mut monitor = MonitorLoop::with_config(sim, 2, drift_policy, 2).unwrap();
+    // Observable drift peaks *between* steps understate the trigger
+    // point: the re-layout rebaselines the tracker to 1.0 inside the
+    // very finish_step that crossed the threshold. Track the max of
+    // what is visible anyway for the failure message.
+    let mut peak_drift = 1.0f64;
+    for _ in 0..12 {
+        monitor.begin_step().unwrap();
+        monitor.finish_step().unwrap();
+        peak_drift = peak_drift.max(monitor.locality_drift().unwrap());
+    }
+    assert!(
+        monitor.relayouts() >= 1,
+        "churn must push drift past 1.05 and fire (peak seen {peak_drift:.4})"
+    );
+    assert!(
+        monitor.locality_drift().unwrap() < 1.05,
+        "after a re-layout the baseline is the fresh curve order"
+    );
+}
+
+#[test]
+fn hilbert_layout_policy_matches_reference_through_translation() {
+    // The Hilbert policy permutes the simulation's vertices at ingest
+    // and — with `AfterRestructures(2)` and restructures every 3
+    // steps — re-permutes twice mid-run. Every answer must still equal
+    // the stop-the-world reference on the *unpermuted* mesh, mapped
+    // through the monitor's id translation at that step.
+    let steps = 12u32;
+    let mesh = {
+        let mut m = box_mesh(4);
+        m.enable_restructuring().unwrap();
+        m
+    };
+    let expected = reference_run(mesh.clone(), 123, Some((3, 2, 0xD1CE)), steps);
+
+    let sim = Simulation::new(mesh, Box::new(SmoothRandomField::new(0.01, 3, 123)))
+        .with_restructuring(RestructureSchedule::new(3, 2, 0xD1CE))
+        .unwrap();
+    let mut monitor = MonitorLoop::with_policy(
+        sim,
+        2,
+        LayoutPolicy::Hilbert {
+            trigger: RelayoutTrigger::AfterRestructures(2),
+        },
+    )
+    .unwrap();
+    assert!(monitor.vertex_translation().is_some());
+
+    for step in 1..=steps {
+        monitor.begin_step().unwrap();
+        assert_eq!(monitor.finish_step().unwrap(), step);
+        let results = monitor.query_batch(&step_queries(step));
+        for (i, (got, want)) in results.iter().zip(&expected[step as usize - 1]).enumerate() {
+            let want_translated = sorted(
+                want.iter()
+                    .map(|&v| monitor.translate_vertex(v))
+                    .collect::<Vec<_>>(),
+            );
+            assert_eq!(
+                sorted(got.vertices.clone()),
+                want_translated,
+                "step {step} query {i} (translation must track re-layouts)"
+            );
+        }
+        monitor.recycle(results);
+    }
+    assert!(
+        monitor.relayouts() >= 1,
+        "4 restructuring events at threshold 2 must trigger a re-layout"
+    );
+    // The translation is a bijection over the final vertex set.
+    let t = monitor.vertex_translation().unwrap();
+    assert_eq!(t.len(), monitor.snapshot().num_vertices());
+    let mut seen = vec![false; t.len()];
+    for &v in t {
+        assert!(!seen[v as usize], "translation must stay bijective");
+        seen[v as usize] = true;
+    }
 }
 
 #[test]
@@ -124,74 +548,17 @@ fn monitor_handles_restructuring_steps() {
 }
 
 #[test]
-fn hilbert_layout_policy_matches_reference_through_translation() {
-    // The Hilbert policy permutes the simulation's vertices at ingest
-    // and — with `relayout_after: Some(2)` and restructures every 3
-    // steps — re-permutes twice mid-run. Every answer must still equal
-    // the stop-the-world reference on the *unpermuted* mesh, mapped
-    // through the monitor's id translation at that step.
-    let steps = 12u32;
-    let mesh = {
-        let mut m = box_mesh(4);
-        m.enable_restructuring().unwrap();
-        m
-    };
-    let expected = reference_run(mesh.clone(), 123, Some((3, 2, 0xD1CE)), steps);
-
-    let sim = Simulation::new(mesh, Box::new(SmoothRandomField::new(0.01, 3, 123)))
-        .with_restructuring(RestructureSchedule::new(3, 2, 0xD1CE))
-        .unwrap();
-    let mut monitor = MonitorLoop::with_policy(
-        sim,
-        2,
-        LayoutPolicy::Hilbert {
-            relayout_after: Some(2),
-        },
-    )
-    .unwrap();
-    assert!(monitor.vertex_translation().is_some());
-
-    for step in 1..=steps {
-        monitor.begin_step().unwrap();
-        assert_eq!(monitor.finish_step().unwrap(), step);
-        let results = monitor.query_batch(&step_queries(step));
-        for (i, (got, want)) in results.iter().zip(&expected[step as usize - 1]).enumerate() {
-            let want_translated = sorted(
-                want.iter()
-                    .map(|&v| monitor.translate_vertex(v))
-                    .collect::<Vec<_>>(),
-            );
-            assert_eq!(
-                sorted(got.vertices.clone()),
-                want_translated,
-                "step {step} query {i} (translation must track re-layouts)"
-            );
-        }
-        monitor.recycle(results);
-    }
-    assert!(
-        monitor.relayouts() >= 1,
-        "4 restructuring events at threshold 2 must trigger a re-layout"
-    );
-    // The translation is a bijection over the final vertex set.
-    let t = monitor.vertex_translation().unwrap();
-    assert_eq!(t.len(), monitor.snapshot().num_vertices());
-    let mut seen = vec![false; t.len()];
-    for &v in t {
-        assert!(!seen[v as usize], "translation must stay bijective");
-        seen[v as usize] = true;
-    }
-}
-
-#[test]
 fn preserve_policy_is_the_identity_translation() {
     let mesh = box_mesh(3);
     let sim = Simulation::new(mesh, Box::new(SmoothRandomField::new(0.01, 3, 2)));
-    let monitor = MonitorLoop::new(sim, 1).unwrap();
+    let mut monitor = MonitorLoop::new(sim, 1).unwrap();
     assert_eq!(monitor.layout_policy(), LayoutPolicy::Preserve);
     assert!(monitor.vertex_translation().is_none());
     assert_eq!(monitor.translate_vertex(17), 17);
     assert_eq!(monitor.relayouts(), 0);
+    assert!(monitor.locality_drift().is_none());
+    // Preserve has no curve: a re-layout request is meaningless.
+    assert!(!monitor.request_relayout().unwrap());
 }
 
 #[test]

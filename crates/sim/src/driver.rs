@@ -28,6 +28,13 @@ pub struct StepOutcome {
     /// connectivity (adjacency, cell list, vertex count) may differ
     /// from the previous step.
     pub restructured: bool,
+    /// The mesh's connectivity generation after this step
+    /// ([`octopus_mesh::Mesh::restructure_epoch`]). A multi-slot
+    /// snapshot consumer compares consecutive outcomes' epochs to
+    /// decide between a positions-only hand-off and a full
+    /// connectivity resync — exact even when a schedule fires ops that
+    /// individually report empty surface deltas.
+    pub restructure_epoch: u64,
 }
 
 /// A running mesh simulation.
@@ -109,7 +116,16 @@ impl Simulation {
             step: self.step,
             delta,
             restructured,
+            restructure_epoch: self.mesh.restructure_epoch(),
         })
+    }
+
+    /// The mesh's current connectivity generation (see
+    /// [`octopus_mesh::Mesh::restructure_epoch`]) — the hand-off hook a
+    /// pipelined snapshot ring records per published slot so retained
+    /// snapshots of different connectivity never share executor state.
+    pub fn restructure_epoch(&self) -> u64 {
+        self.mesh.restructure_epoch()
     }
 
     /// Copies the current positions into `buf` (cleared first). This is
@@ -264,6 +280,29 @@ mod tests {
             }
         }
         assert_eq!(restructured_steps, 4);
+    }
+
+    #[test]
+    fn step_outcome_carries_the_restructure_epoch() {
+        let mesh = small_mesh();
+        let mut sim = Simulation::new(mesh, Box::new(SmoothRandomField::new(0.005, 3, 11)))
+            .with_restructuring(RestructureSchedule::new(2, 2, 0xACE))
+            .unwrap();
+        let mut last_epoch = sim.restructure_epoch();
+        assert_eq!(last_epoch, 0);
+        for _ in 0..6 {
+            let outcome = sim.step_outcome().unwrap();
+            assert_eq!(outcome.restructure_epoch, sim.restructure_epoch());
+            if outcome.restructured {
+                assert!(
+                    outcome.restructure_epoch > last_epoch,
+                    "a fired event must advance the epoch"
+                );
+            } else {
+                assert_eq!(outcome.restructure_epoch, last_epoch);
+            }
+            last_epoch = outcome.restructure_epoch;
+        }
     }
 
     #[test]

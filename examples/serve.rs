@@ -6,25 +6,28 @@
 //! 1. a [`Simulation`] (smooth random deformation + rare restructuring)
 //!    runs on its own thread inside a [`MonitorLoop`]; with the
 //!    (default) `hilbert` layout policy its vertices are Hilbert-sorted
-//!    at ingest and re-sorted after restructuring churn (§IV-H1);
-//! 2. each iteration, the next step is kicked off and a batch of range
-//!    queries is answered by the pool-backed parallel executor against
-//!    the stable snapshot of the *completed* step — queries at step N
-//!    overlap the computation of step N+1 — and every finished batch
-//!    is recycled, so the steady-state loop spawns no threads and
-//!    allocates no result buffers;
+//!    at ingest and re-sorted adaptively when the measured
+//!    adjacency-locality drift crosses the trigger threshold (§IV-H1);
+//! 2. each iteration, the pipeline is filled up to the ring depth K
+//!    and a batch of range queries is answered by the pool-backed
+//!    parallel executor against the stable snapshot of the latest
+//!    *completed* step — queries at step N overlap the computation of
+//!    steps N+1…N+K — plus a spot-check query against the *oldest*
+//!    retained step of the ring; every finished batch is recycled, so
+//!    the steady-state loop spawns no threads and allocates no result
+//!    buffers;
 //! 3. the exact same schedule is then replayed stop-the-world
 //!    (step, then query the live mesh) and every result set is checked
 //!    for equality (translated through the layout permutation), so the
-//!    overlap and the re-layout provably change the timeline and the
-//!    memory order, not the answers.
+//!    pipelining and the re-layout provably change the timeline and
+//!    the memory order, not the answers.
 //!
 //! ```bash
-//! cargo run --release --example serve [-- <steps> [workers] [preserve|hilbert|morton]]
+//! cargo run --release --example serve [-- <steps> [workers] [preserve|hilbert|morton] [depth]]
 //! ```
 
 use octopus::prelude::*;
-use octopus::service::LayoutPolicy;
+use octopus::service::{LayoutPolicy, RelayoutTrigger};
 use octopus::sim::{RestructureSchedule, SmoothRandomField};
 use octopus_bench::workload::QueryGen;
 use std::time::{Duration, Instant};
@@ -39,16 +42,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map_or_else(octopus::service::default_workers, |s| {
             s.parse().expect("workers")
         });
+    // Adaptive §IV-H1 re-layout: fire as soon as the tracked adjacency
+    // locality has decayed ≥ 2% past the ingest-time curve order.
+    let trigger = RelayoutTrigger::LocalityDrift {
+        ratio_pct: 102,
+        recompute_every: 2,
+    };
     let policy = match args.next().as_deref() {
-        None | Some("hilbert") => LayoutPolicy::Hilbert {
-            relayout_after: Some(1),
-        },
-        Some("morton") => LayoutPolicy::Morton {
-            relayout_after: Some(1),
-        },
+        None | Some("hilbert") => LayoutPolicy::Hilbert { trigger },
+        Some("morton") => LayoutPolicy::Morton { trigger },
         Some("preserve") => LayoutPolicy::Preserve,
         Some(other) => panic!("unknown layout policy {other:?} (preserve|hilbert|morton)"),
     };
+    let depth: usize = args.next().map_or(1, |s| s.parse().expect("ring depth"));
 
     // A deforming, restructuring neuron arbor and a per-step query
     // schedule drawn once so both runs see identical workloads.
@@ -58,7 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         m
     };
     println!(
-        "serve: {} vertices, {} cells, {steps} steps, {workers} workers, {policy:?}",
+        "serve: {} vertices, {} cells, {steps} steps, {workers} workers, ring depth {depth}, {policy:?}",
         m_fmt(mesh.num_vertices()),
         m_fmt(mesh.num_cells())
     );
@@ -72,20 +78,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .with_restructuring(RestructureSchedule::new(7, 3, 0xBEEF))
     };
 
-    // ---- Overlapped run -------------------------------------------
-    let mut monitor = MonitorLoop::with_policy(make_sim(mesh.clone())?, workers, policy)?;
+    // ---- Overlapped (pipelined) run -------------------------------
+    let mut monitor = MonitorLoop::with_config(make_sim(mesh.clone())?, workers, policy, depth)?;
     let spawned_at_start = octopus::service::threads_spawned_total();
     let mut overlapped: Vec<Vec<Vec<VertexId>>> = Vec::new();
     // The id translation changes on re-layout; snapshot it per step so
     // the reference comparison uses the mapping that was in force.
     let mut translations: Vec<Option<Vec<VertexId>>> = Vec::new();
     let mut query_busy = Duration::ZERO;
+    let mut ring_checks = 0usize;
     let t0 = Instant::now();
-    monitor.begin_step()?;
+    monitor.fill_pipeline()?;
     for step in 1..=steps {
         monitor.finish_step()?;
+        debug_assert_eq!(monitor.snapshot_step(), step);
         if step < steps {
-            monitor.begin_step()?; // step N+1 computes while we answer N
+            monitor.fill_pipeline()?; // steps N+1…N+K compute while we answer N
         }
         translations.push(monitor.vertex_translation().map(<[VertexId]>::to_vec));
         let tq = Instant::now();
@@ -104,8 +112,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Feed the buffers back: the next batch leases instead of
         // allocating.
         monitor.recycle(results);
+
+        // Ring spot-check: the oldest retained step must still answer
+        // exactly what it answered when it was the latest (re-layouts
+        // truncate the ring, so every retained step shares the current
+        // id space).
+        let oldest = *monitor.retained_steps().start();
+        if oldest >= 1 && oldest < step {
+            let mut out = Vec::new();
+            monitor.query_at(oldest, &schedule[oldest as usize - 1][0], &mut out)?;
+            out.sort_unstable();
+            assert_eq!(
+                out,
+                overlapped[oldest as usize - 1][0],
+                "ring slot for step {oldest} diverged from its original answer"
+            );
+            ring_checks += 1;
+        }
     }
     let overlapped_wall = t0.elapsed();
+    let final_drift = monitor.locality_drift();
     let recycle_stats = monitor.recycle_stats();
     let relayouts = monitor.relayouts();
     let spawned_during_run = octopus::service::threads_spawned_total() - spawned_at_start;
@@ -164,12 +190,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let queries = steps as usize * 16;
     println!("  every result set matches the stop-the-world run ✓");
     println!(
-        "  {queries} queries, {total_results} result vertices, snapshot lag: one step by design"
+        "  {queries} queries, {total_results} result vertices, snapshot lag ≤ {depth} step(s) \
+         by design; {ring_checks} retained-step ring spot-checks passed"
     );
     println!(
-        "  layout: {relayouts} churn-triggered re-layout(s); pool: {spawned_during_run} thread \
+        "  layout: {relayouts} drift-triggered re-layout(s){}; pool: {spawned_during_run} thread \
          spawns during serving, {} of {} result buffers recycled",
-        recycle_stats.reused, recycle_stats.leased
+        final_drift.map_or(String::new(), |d| format!(" (final drift ratio {d:.3})")),
+        recycle_stats.reused,
+        recycle_stats.leased
     );
     assert_eq!(
         spawned_during_run, 0,

@@ -23,9 +23,10 @@
 //! * [`service`] — concurrent query serving: the persistent worker
 //!   pool ([`prelude::WorkerPool`]), the parallel batch executor
 //!   ([`prelude::ParallelExecutor`]), the frontier-sharded crawl, the
-//!   overlapped SIMULATE ∥ MONITOR loop ([`prelude::MonitorLoop`]) and
-//!   its cache-conscious vertex-layout policy
-//!   ([`prelude::LayoutPolicy`]).
+//!   pipelined snapshot-ring SIMULATE ∥ MONITOR loop
+//!   ([`prelude::MonitorLoop`]) and its cache-conscious vertex-layout
+//!   policy ([`prelude::LayoutPolicy`]) with adaptive drift-triggered
+//!   re-layout ([`prelude::RelayoutTrigger`]).
 //!
 //! ## Quickstart
 //!
@@ -69,6 +70,8 @@ pub mod prelude {
     pub use octopus_index::{DynamicIndex, LinearScan};
     pub use octopus_mesh::{CellKind, Mesh, MeshStats};
     pub use octopus_meshgen::VoxelRegion;
-    pub use octopus_service::{LayoutPolicy, MonitorLoop, ParallelExecutor, WorkerPool};
+    pub use octopus_service::{
+        LayoutPolicy, MonitorLoop, ParallelExecutor, RelayoutTrigger, WorkerPool,
+    };
     pub use octopus_sim::{Deformation, Simulation};
 }
