@@ -6,6 +6,11 @@
 //!   during the probe;
 //! * `ablation_tuning` — octree bucket capacity and R-tree fanout sweeps
 //!   (the paper's §V-A parameter sweeps).
+//!
+//! The planner-batch hoisting ablation lives in its own
+//! `planner_batch` bench: it uses interleaved A/B windows to stay
+//! above this container's scheduler jitter, which the group's shared
+//! criterion budget cannot.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use octopus_bench::workload::QueryGen;

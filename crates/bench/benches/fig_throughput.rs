@@ -19,6 +19,15 @@
 //! the pipelining exists for. On a 1-hardware-thread container the
 //! overlap cannot materialise; re-record on real cores.
 //!
+//! Two batch-engine sections follow: `shared`/`shared_off` run an
+//! overlapping batch of 64 through the shared-frontier engine vs. the
+//! independent pool executor (also reporting the deterministic
+//! traversal-event counters), and `seedcache`/`seedcache_off` run a
+//! repeated monitoring batch with and without the temporal seed cache
+//! (reporting the surface-probe vs. cache-probe phase attribution and
+//! the hit rate). The 1-hardware-thread caveat applies to every
+//! parallel mode.
+//!
 //! Run directly, or with `--json <path>` to record a machine-readable
 //! baseline (the committed `BENCH_throughput.json`, which also carries
 //! the PR 2 numbers under `baseline_pr2` for trajectory):
@@ -30,10 +39,13 @@
 
 use octopus_bench::workload::QueryGen;
 use octopus_core::Octopus;
-use octopus_geom::Aabb;
+use octopus_geom::rng::SplitMix64;
+use octopus_geom::{Aabb, Point3};
 use octopus_mesh::Mesh;
 use octopus_meshgen::{neuron, NeuroLevel};
-use octopus_service::{LayoutPolicy, MonitorLoop, ParallelExecutor};
+use octopus_service::{
+    BatchEngine, BatchEngineConfig, BatchStats, LayoutPolicy, MonitorLoop, ParallelExecutor,
+};
 use octopus_sim::{Simulation, SmoothRandomField};
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
@@ -76,8 +88,10 @@ const BASELINE_PR2: &str = r#"{
   }"#;
 
 struct Entry {
-    mode: &'static str, // "sequential" | "spawn" | "pool" | "ring_stw" | "ring"
-    workers: usize,     // 0 = sequential baseline
+    /// "sequential" | "spawn" | "pool" | "ring_stw" | "ring" |
+    /// "shared_off" | "shared" | "seedcache_off" | "seedcache"
+    mode: &'static str,
+    workers: usize, // 0 = sequential baseline
     batch: usize,
     /// Snapshot-ring depth K (`0` for the batch-executor modes and the
     /// stop-the-world ring baseline).
@@ -275,6 +289,177 @@ fn main() {
         });
     }
 
+    // ---- Shared-frontier batch engine: overlapping batch of 64 -------
+    // 16 cluster centres, 4 boxes per cluster shifted by ~10 % of their
+    // side: heavy pairwise overlap inside each cluster. The same batch
+    // runs through the plain pool executor (every query crawls its own
+    // frontier) and through the batch engine (Hilbert sweep → overlap
+    // groups → one shared frontier per group). Planner and seed cache
+    // are off so the delta isolates frontier sharing.
+    let shared_queries: Vec<Aabb> = {
+        let base = gen.batch_with_selectivity(16, SELECTIVITY);
+        let mut rng = SplitMix64::new(0x5AA3_ED01);
+        base.iter()
+            .flat_map(|q| {
+                let side = q.extent().x;
+                (0..4)
+                    .map(|k| {
+                        let shift = 0.1 * side * k as f32 + rng.range_f32(0.0, 0.02 * side);
+                        Aabb::new(
+                            Point3::new(q.min.x + shift, q.min.y, q.min.z),
+                            Point3::new(q.max.x + shift, q.max.y, q.max.z),
+                        )
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    };
+    const SHARED_WORKERS: usize = 2;
+    let shared_off_qps = {
+        let mut pool = ParallelExecutor::new(SHARED_WORKERS);
+        measure(shared_queries.len(), || {
+            let results = pool.execute_batch(&octopus, &mesh, &shared_queries);
+            let total = results.iter().map(|r| r.vertices.len()).sum();
+            pool.recycle(results);
+            total
+        })
+    };
+    println!(
+        "{:<34} {:>12.0} {:>9}",
+        format!("shared/independent/batch{}", shared_queries.len()),
+        shared_off_qps,
+        "1.00x"
+    );
+    entries.push(Entry {
+        mode: "shared_off",
+        workers: SHARED_WORKERS,
+        batch: shared_queries.len(),
+        depth: 0,
+        qps: shared_off_qps,
+        speedup: 1.0,
+    });
+    let (shared_qps, shared_report) = {
+        let mut pool = ParallelExecutor::new(SHARED_WORKERS);
+        let mut engine = BatchEngine::new(
+            BatchEngineConfig {
+                use_planner: false,
+                use_seed_cache: false,
+                ..BatchEngineConfig::default()
+            },
+            &mesh,
+        )
+        .expect("engine");
+        let epoch = mesh.restructure_epoch();
+        let qps = measure(shared_queries.len(), || {
+            let results = engine.execute(&mut pool, &octopus, &mesh, &shared_queries, epoch, 0.0);
+            let total = results.iter().map(|r| r.vertices.len()).sum();
+            pool.recycle(results);
+            total
+        });
+        (qps, *engine.report())
+    };
+    println!(
+        "{:<34} {:>12.0} {:>8.2}x",
+        format!("shared/engine/batch{}", shared_queries.len()),
+        shared_qps,
+        shared_qps / shared_off_qps
+    );
+    println!(
+        "  shared-frontier work: {} distinct traversal events vs {} attributed \
+         ({} of {} queries grouped)",
+        shared_report.shared_visited,
+        shared_report.attributed_visited,
+        shared_report.grouped_queries,
+        shared_report.queries
+    );
+    entries.push(Entry {
+        mode: "shared",
+        workers: SHARED_WORKERS,
+        batch: shared_queries.len(),
+        depth: 0,
+        qps: shared_qps,
+        speedup: shared_qps / shared_off_qps,
+    });
+
+    // ---- Temporal seed cache: repeated monitoring batch --------------
+    // The same 16-query batch every step of a deforming simulation —
+    // the monitoring workload the cache exists for. `seedcache_off`
+    // re-probes the surface index each step; `seedcache` warm-starts
+    // from the previous step's boundary-vertex sample.
+    let cache_queries: Vec<Aabb> = gen.batch_with_selectivity(RING_BATCH, SELECTIVITY);
+    let mut cache_qps = [0.0f64; 2];
+    let mut cache_split: Option<(BatchStats, f64)> = None;
+    for (slot, use_cache) in [(0usize, false), (1usize, true)] {
+        let mut monitor =
+            MonitorLoop::with_config(make_sim(&mesh), RING_WORKERS, LayoutPolicy::Preserve, 1)
+                .expect("monitor");
+        monitor
+            .set_batch_engine(BatchEngineConfig {
+                use_seed_cache: use_cache,
+                use_planner: false,
+                ..BatchEngineConfig::default()
+            })
+            .expect("engine");
+        let mut agg = BatchStats::default();
+        cache_qps[slot] = measure(RING_BATCH, || {
+            monitor.fill_pipeline().expect("begin steps");
+            monitor.finish_step().expect("finish step");
+            let results = monitor.query_batch(&cache_queries);
+            let total = results.iter().map(|r| r.vertices.len()).sum();
+            let stats = BatchStats::aggregate(&results);
+            agg.queries += stats.queries;
+            agg.total_results += stats.total_results;
+            agg.phases.accumulate(&stats.phases);
+            monitor.recycle(results);
+            total
+        });
+        if use_cache {
+            let hit_rate = monitor.seed_cache_stats().map_or(0.0, |s| s.hit_rate());
+            cache_split = Some((agg, hit_rate));
+        }
+    }
+    println!(
+        "{:<34} {:>12.0} {:>9}",
+        format!("seedcache/off/batch{RING_BATCH}"),
+        cache_qps[0],
+        "1.00x"
+    );
+    entries.push(Entry {
+        mode: "seedcache_off",
+        workers: RING_WORKERS,
+        batch: RING_BATCH,
+        depth: 1,
+        qps: cache_qps[0],
+        speedup: 1.0,
+    });
+    println!(
+        "{:<34} {:>12.0} {:>8.2}x",
+        format!("seedcache/on/batch{RING_BATCH}"),
+        cache_qps[1],
+        cache_qps[1] / cache_qps[0]
+    );
+    if let Some((agg, hit_rate)) = cache_split {
+        // The PhaseTimings split attributes seed-cache hits and
+        // surface-index probes to distinct phases.
+        println!(
+            "  seed-phase attribution: {:?} surface probes ({} queries) vs {:?} cache probes \
+             ({} cache-seeded), hit rate {:.1}%",
+            agg.phases.surface_probe,
+            agg.queries - agg.phases.cache_seeded,
+            agg.phases.cache_probe,
+            agg.phases.cache_seeded,
+            100.0 * hit_rate
+        );
+    }
+    entries.push(Entry {
+        mode: "seedcache",
+        workers: RING_WORKERS,
+        batch: RING_BATCH,
+        depth: 1,
+        qps: cache_qps[1],
+        speedup: cache_qps[1] / cache_qps[0],
+    });
+
     if let Some(path) = json_path {
         let mut json = String::from("{\n");
         let _ = writeln!(json, "  \"bench\": \"fig_throughput\",");
@@ -285,12 +470,15 @@ fn main() {
         let _ = writeln!(json, "  \"entries\": [");
         for (i, e) in entries.iter().enumerate() {
             let comma = if i + 1 == entries.len() { "" } else { "," };
-            // Ring entries are normalised against the stop-the-world
-            // replay, not the batch-executor sequential baseline — name
-            // the field accordingly so cross-mode tooling can't read
-            // the wrong ratio.
+            // Each mode family is normalised against its own baseline —
+            // name the field accordingly so cross-mode tooling can't
+            // read the wrong ratio.
             let speedup_key = if e.mode.starts_with("ring") {
                 "speedup_vs_stop_the_world"
+            } else if e.mode.starts_with("shared") {
+                "speedup_vs_independent_pool"
+            } else if e.mode.starts_with("seedcache") {
+                "speedup_vs_uncached_engine"
             } else {
                 "speedup_vs_sequential"
             };

@@ -52,6 +52,24 @@ pub struct CostModel {
     pub cp: f64,
 }
 
+/// The selectivity-independent factors of Eq. 5 for one dataset — see
+/// [`CostModel::speedup_terms`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SpeedupTerms {
+    /// `(C_P/C_S) · S` — the probe term.
+    pub probe: f64,
+    /// `M · C_R/C_S` — the crawl term per unit selectivity.
+    pub crawl_per_sel: f64,
+}
+
+impl SpeedupTerms {
+    /// Eq. 5 at `selectivity`: `1 / (probe + crawl_per_sel · sel)`.
+    #[inline]
+    pub fn eval(&self, selectivity: f64) -> f64 {
+        1.0 / (self.probe + self.crawl_per_sel * selectivity)
+    }
+}
+
 impl CostModel {
     /// Builds the paper's two-constant model (`C_P = C_S`), e.g.
     /// `CostModel::new(6.6e-9, 2.7e-8)`.
@@ -208,7 +226,19 @@ impl CostModel {
     /// scan: `1 / ((C_P/C_S)·S + M × sel × C_R/C_S)`. Independent of `V`;
     /// reduces to the paper's Eq. 5 when `C_P = C_S`.
     pub fn speedup(&self, s: f64, m: f64, selectivity: f64) -> f64 {
-        1.0 / ((self.cp / self.cs) * s + m * selectivity * self.cr / self.cs)
+        self.speedup_terms(s, m).eval(selectivity)
+    }
+
+    /// Hoists the selectivity-independent parts of Eq. 5 for a fixed
+    /// dataset `(S, M)`: evaluating a whole batch of selectivities then
+    /// costs one multiply-add and one division each, instead of
+    /// re-deriving the `C` ratios per query. `speedup` routes through
+    /// this, so batched and per-query evaluations are bit-identical.
+    pub fn speedup_terms(&self, s: f64, m: f64) -> SpeedupTerms {
+        SpeedupTerms {
+            probe: (self.cp / self.cs) * s,
+            crawl_per_sel: m * self.cr / self.cs,
+        }
     }
 
     /// Eq. 6 (refined) — the selectivity below which OCTOPUS beats the

@@ -274,33 +274,10 @@ impl Crawler {
         q: &Aabb,
         start: VertexId,
     ) -> Option<VertexId> {
-        let positions = mesh.positions();
-        let mut cur = start;
-        let mut cur_dist = q.dist_sq(positions[cur as usize]);
-        loop {
-            self.walk_visited += 1;
-            if cur_dist == 0.0 {
-                self.last_walk_end_dist_sq = 0.0;
-                return Some(cur);
-            }
-            let mut best = cur;
-            let mut best_dist = cur_dist;
-            for &w in mesh.neighbors(cur) {
-                let d = q.dist_sq(positions[w as usize]);
-                if d < best_dist {
-                    best = w;
-                    best_dist = d;
-                }
-            }
-            if best == cur {
-                // Local minimum: no neighbour is closer (Algorithm 1's
-                // `minDistance = oldMinDistance` break).
-                self.last_walk_end_dist_sq = cur_dist;
-                return None;
-            }
-            cur = best;
-            cur_dist = best_dist;
-        }
+        let (found, steps, end_dist_sq) = greedy_walk(mesh, q, start);
+        self.walk_visited += steps;
+        self.last_walk_end_dist_sq = end_dist_sq;
+        found
     }
 
     /// Heap bytes of the scratch structures.
@@ -315,6 +292,50 @@ impl Crawler {
     /// The configured visited-set strategy.
     pub(crate) fn strategy(&self) -> VisitedStrategy {
         self.strategy
+    }
+}
+
+/// One greedy directed walk (§IV-D): from `start`, repeatedly move to
+/// the neighbour strictly closest to `q` until a vertex inside `q` is
+/// found or no neighbour improves the distance. Returns `(found vertex,
+/// vertices stepped through, squared distance at termination)` — the
+/// distance is `0.0` on success and gates the caller's retry heuristics
+/// on failure.
+///
+/// Termination: the distance to `q` strictly decreases every step, so
+/// the walk can never revisit a vertex. Shared by the single-query
+/// [`Crawler`] and the multi-query group seeder, which runs one walk per
+/// (query, unseeded component) pair without owning a `Crawler`.
+pub(crate) fn greedy_walk(
+    mesh: &Mesh,
+    q: &Aabb,
+    start: VertexId,
+) -> (Option<VertexId>, usize, f32) {
+    let positions = mesh.positions();
+    let mut steps = 0usize;
+    let mut cur = start;
+    let mut cur_dist = q.dist_sq(positions[cur as usize]);
+    loop {
+        steps += 1;
+        if cur_dist == 0.0 {
+            return (Some(cur), steps, 0.0);
+        }
+        let mut best = cur;
+        let mut best_dist = cur_dist;
+        for &w in mesh.neighbors(cur) {
+            let d = q.dist_sq(positions[w as usize]);
+            if d < best_dist {
+                best = w;
+                best_dist = d;
+            }
+        }
+        if best == cur {
+            // Local minimum: no neighbour is closer (Algorithm 1's
+            // `minDistance = oldMinDistance` break).
+            return (None, steps, cur_dist);
+        }
+        cur = best;
+        cur_dist = best_dist;
     }
 }
 

@@ -1,8 +1,9 @@
 //! The OCTOPUS query executor (Algorithm 1).
 
-use crate::crawler::{Crawler, EpochStamps, VisitedStrategy, VisitedView};
+use crate::crawler::{greedy_walk, Crawler, EpochStamps, VisitedStrategy, VisitedView};
+use crate::frontier::{GroupScratch, MAX_GROUP};
 use crate::surface_index::SurfaceIndex;
-use octopus_geom::{Aabb, VertexId};
+use octopus_geom::{Aabb, Point3, VertexId};
 use octopus_mesh::{Mesh, MeshError, SurfaceDelta};
 use std::time::{Duration, Instant};
 
@@ -10,8 +11,17 @@ use std::time::{Duration, Instant};
 /// material of the paper's Fig. 9(b) and Fig. 10(a) breakdowns.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct PhaseTimings {
-    /// Time spent scanning the surface index.
+    /// Time spent scanning the surface index (zero when the query was
+    /// seeded from a cached candidate list instead).
     pub surface_probe: Duration,
+    /// Time spent probing a seed-cache candidate list instead of the
+    /// full surface index (zero on the surface-probe path) — kept
+    /// separate so aggregated bench output attributes seed-cache hits
+    /// and surface-index probes to distinct phases.
+    pub cache_probe: Duration,
+    /// Time spent in a planner-routed shared linear scan (zero on the
+    /// probe/crawl path).
+    pub linear_scan: Duration,
     /// Time spent in the directed walk (zero when start vertices were
     /// found on the surface — the common case the paper reports).
     pub directed_walk: Duration,
@@ -23,6 +33,9 @@ pub struct PhaseTimings {
     pub walk_visited: usize,
     /// Vertices examined during the crawl (result + frontier).
     pub crawl_visited: usize,
+    /// Queries whose seeds came from a cached candidate list (0 or 1
+    /// for a single query; additive under accumulation).
+    pub cache_seeded: usize,
     /// Result size.
     pub results: usize,
 }
@@ -30,17 +43,24 @@ pub struct PhaseTimings {
 impl PhaseTimings {
     /// Total execution time of the query.
     pub fn total(&self) -> Duration {
-        self.surface_probe + self.directed_walk + self.crawling
+        self.surface_probe
+            + self.cache_probe
+            + self.linear_scan
+            + self.directed_walk
+            + self.crawling
     }
 
     /// Accumulates another query's timings (for per-benchmark totals).
     pub fn accumulate(&mut self, other: &PhaseTimings) {
         self.surface_probe += other.surface_probe;
+        self.cache_probe += other.cache_probe;
+        self.linear_scan += other.linear_scan;
         self.directed_walk += other.directed_walk;
         self.crawling += other.crawling;
         self.start_vertices += other.start_vertices;
         self.walk_visited += other.walk_visited;
         self.crawl_visited += other.crawl_visited;
+        self.cache_seeded += other.cache_seeded;
         self.results += other.results;
     }
 }
@@ -349,6 +369,7 @@ impl Octopus {
             q,
             out,
             true,
+            ProbeSource::Surface,
         )
     }
 
@@ -364,7 +385,83 @@ impl Octopus {
         q: &Aabb,
         out: &mut Vec<VertexId>,
     ) -> PhaseTimings {
-        run_query(&self.surface, &self.components, scratch, mesh, q, out, true)
+        run_query(
+            &self.surface,
+            &self.components,
+            scratch,
+            mesh,
+            q,
+            out,
+            true,
+            ProbeSource::Surface,
+        )
+    }
+
+    /// [`Octopus::query_with`] warm-started from a cached candidate
+    /// list: the surface probe scans `candidates` instead of the whole
+    /// surface index (its time lands in [`PhaseTimings::cache_probe`]).
+    /// Every other phase — component-aware directed walks, crawl — runs
+    /// unchanged.
+    ///
+    /// # Exactness contract
+    /// Results equal [`Octopus::query`] **iff** `candidates` is a
+    /// superset of `surface ∩ q` at the mesh's *current* positions: the
+    /// probe seeds are then exactly the surface vertices inside `q`
+    /// (extraneous candidates are filtered by the same containment
+    /// test). The temporal seed cache of `octopus-service` guarantees
+    /// the superset property by collecting candidates inside a dilated
+    /// box and bounding the accumulated deformation drift against the
+    /// dilation margin.
+    pub fn query_seeded(
+        &self,
+        scratch: &mut QueryScratch,
+        mesh: &Mesh,
+        q: &Aabb,
+        candidates: &[VertexId],
+        out: &mut Vec<VertexId>,
+    ) -> PhaseTimings {
+        run_query(
+            &self.surface,
+            &self.components,
+            scratch,
+            mesh,
+            q,
+            out,
+            true,
+            ProbeSource::Cached(candidates),
+        )
+    }
+
+    /// [`Octopus::query_with`] that additionally collects every surface
+    /// vertex inside `q.dilated(margin)` into `candidates` (cleared
+    /// first) while the full probe runs — the refill pass of the
+    /// temporal seed cache. The collected list satisfies
+    /// [`Octopus::query_seeded`]'s superset contract for any later query
+    /// box `q'` with `q'.dilated(drift) ⊆ q.dilated(margin)`, where
+    /// `drift` bounds the per-vertex displacement accumulated since this
+    /// call.
+    pub fn query_collecting(
+        &self,
+        scratch: &mut QueryScratch,
+        mesh: &Mesh,
+        q: &Aabb,
+        margin: f32,
+        candidates: &mut Vec<VertexId>,
+        out: &mut Vec<VertexId>,
+    ) -> PhaseTimings {
+        run_query(
+            &self.surface,
+            &self.components,
+            scratch,
+            mesh,
+            q,
+            out,
+            true,
+            ProbeSource::Collect {
+                margin,
+                into: candidates,
+            },
+        )
     }
 
     /// Runs only the seeding phases of Algorithm 1 (surface probe +
@@ -390,6 +487,48 @@ impl Octopus {
             q,
             out,
             false,
+            ProbeSource::Surface,
+        )
+    }
+
+    /// Executes a whole **overlap group** of ≤ [`MAX_GROUP`] queries as
+    /// one shared-frontier crawl: a single surface probe over the
+    /// group's union box, per-query component-aware directed walks, and
+    /// one BFS over the union region with a per-vertex membership
+    /// bitmask ([`GroupScratch`]), demultiplexing results into
+    /// `results[i]` for query `queries[i]`.
+    ///
+    /// Per-query results are identical (as sets, and deterministically
+    /// ordered) to running [`Octopus::query`] per query; the saving is
+    /// that a vertex inside k overlapping queries is loaded and expanded
+    /// once, not k times — compare [`GroupScratch::shared_visited`]
+    /// against the summed per-member [`GroupScratch::visited`] counters.
+    ///
+    /// `probe` selects the seed source exactly like the single-query
+    /// entry points: the full surface, a cached candidate list (which
+    /// must satisfy [`Octopus::query_seeded`]'s superset contract for
+    /// *every* member), or the full surface plus per-member candidate
+    /// collection for the seed cache's refill pass.
+    ///
+    /// # Panics
+    /// When `queries.len() > MAX_GROUP`, or `results`/`Collect` arities
+    /// don't match `queries`.
+    pub fn query_group(
+        &self,
+        group: &mut GroupScratch,
+        mesh: &Mesh,
+        queries: &[Aabb],
+        probe: GroupProbe<'_>,
+        results: &mut [Vec<VertexId>],
+    ) -> GroupPhase {
+        run_group_query(
+            &self.surface,
+            &self.components,
+            group,
+            mesh,
+            queries,
+            probe,
+            results,
         )
     }
 
@@ -405,6 +544,21 @@ impl Octopus {
     }
 }
 
+/// Seed source of the probe phase (Algorithm 1's phase 1).
+enum ProbeSource<'a> {
+    /// Scan the full surface index (the paper's probe).
+    Surface,
+    /// Scan a cached candidate list instead — exact iff it is a
+    /// superset of `surface ∩ q` (see [`Octopus::query_seeded`]).
+    Cached(&'a [VertexId]),
+    /// Full surface scan that also collects `surface ∩ q.dilated(margin)`
+    /// — the seed cache's refill pass.
+    Collect {
+        margin: f32,
+        into: &'a mut Vec<VertexId>,
+    },
+}
+
 /// Algorithm 1 over split borrows: the immutable assets (`surface`,
 /// `components`) may be shared across threads while each worker drives
 /// its own `scratch`. With `crawl == false` only the seeding phases run
@@ -418,6 +572,7 @@ fn run_query(
     q: &Aabb,
     out: &mut Vec<VertexId>,
     crawl: bool,
+    probe: ProbeSource<'_>,
 ) -> PhaseTimings {
     let mut stats = PhaseTimings::default();
     let positions = mesh.positions();
@@ -434,20 +589,57 @@ fn run_query(
     let t0 = Instant::now();
     let mut seeds = 0usize;
     let mut seeded_components = 0usize;
-    let ids = surface.ids();
-    for (i, &v) in ids.iter().enumerate() {
-        if i + octopus_geom::mem::PREFETCH_DISTANCE < ids.len() {
-            let ahead = ids[i + octopus_geom::mem::PREFETCH_DISTANCE] as usize;
-            octopus_geom::mem::prefetch_read(positions, ahead);
+    let mut cached = false;
+    match probe {
+        ProbeSource::Surface | ProbeSource::Cached(_) => {
+            let ids = match probe {
+                ProbeSource::Cached(candidates) => {
+                    cached = true;
+                    candidates
+                }
+                _ => surface.ids(),
+            };
+            for (i, &v) in ids.iter().enumerate() {
+                if i + octopus_geom::mem::PREFETCH_DISTANCE < ids.len() {
+                    let ahead = ids[i + octopus_geom::mem::PREFETCH_DISTANCE] as usize;
+                    octopus_geom::mem::prefetch_read(positions, ahead);
+                }
+                if q.contains(positions[v as usize]) && scratch.crawler.seed(v, out) {
+                    seeds += 1;
+                    let c = components.component_of[v as usize] as usize;
+                    seeded_components += usize::from(scratch.seeded.mark(c));
+                }
+            }
         }
-        if q.contains(positions[v as usize]) && scratch.crawler.seed(v, out) {
-            seeds += 1;
-            let c = components.component_of[v as usize] as usize;
-            seeded_components += usize::from(scratch.seeded.mark(c));
+        ProbeSource::Collect { margin, into } => {
+            into.clear();
+            let dilated = q.dilated(margin);
+            let ids = surface.ids();
+            for (i, &v) in ids.iter().enumerate() {
+                if i + octopus_geom::mem::PREFETCH_DISTANCE < ids.len() {
+                    let ahead = ids[i + octopus_geom::mem::PREFETCH_DISTANCE] as usize;
+                    octopus_geom::mem::prefetch_read(positions, ahead);
+                }
+                let p = positions[v as usize];
+                if dilated.contains(p) {
+                    into.push(v);
+                    // q ⊆ dilated, so containment in q implies this arm.
+                    if q.contains(p) && scratch.crawler.seed(v, out) {
+                        seeds += 1;
+                        let c = components.component_of[v as usize] as usize;
+                        seeded_components += usize::from(scratch.seeded.mark(c));
+                    }
+                }
+            }
         }
     }
     stats.start_vertices = seeds;
-    stats.surface_probe = t0.elapsed();
+    if cached {
+        stats.cache_probe = t0.elapsed();
+        stats.cache_seeded = 1;
+    } else {
+        stats.surface_probe = t0.elapsed();
+    }
 
     // Phase 2: component-aware directed walks. Every component whose
     // surface produced no seed may still intersect the query with
@@ -509,6 +701,205 @@ fn run_query(
     }
     stats.results = out.len();
     stats
+}
+
+/// Seed source of a group query's shared probe (the multi-query
+/// counterpart of the single-query probe variants).
+pub enum GroupProbe<'a> {
+    /// One scan of the full surface index, tested against the group's
+    /// union box first and the members second.
+    Surface,
+    /// Scan a shared candidate list instead — exact iff it is a superset
+    /// of `surface ∩ q_i` for **every** member `q_i` (concatenating each
+    /// member's cached list satisfies this; duplicates are deduplicated
+    /// by the membership mask).
+    Cached(&'a [VertexId]),
+    /// Full surface scan that also collects, per member `i`, every
+    /// surface vertex inside `queries[i].dilated(margin)` into
+    /// `into[i]` (each cleared first) — the group refill pass of the
+    /// temporal seed cache.
+    Collect {
+        /// Dilation margin of the collected candidate boxes.
+        margin: f32,
+        /// One candidate list per group member.
+        into: &'a mut [Vec<VertexId>],
+    },
+}
+
+/// Shared-phase wall times of one group query. Per-member work counters
+/// (seeds, visited, walk steps) are read from the [`GroupScratch`]
+/// accessors after the call — they follow the sequential per-query
+/// conventions exactly, while these durations are paid once per group.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GroupPhase {
+    /// Shared surface-index probe time (zero on the cached path).
+    pub surface_probe: Duration,
+    /// Shared candidate-list probe time (zero on the surface path).
+    pub cache_probe: Duration,
+    /// Per-member component-aware directed walks, summed.
+    pub directed_walk: Duration,
+    /// The shared-frontier crawl.
+    pub crawling: Duration,
+}
+
+/// Membership bitmask of `p` over the group's queries (bit `i` ⇔
+/// `queries[i]` contains `p`).
+#[inline]
+fn member_mask(queries: &[Aabb], p: Point3) -> u64 {
+    let mut mask = 0u64;
+    for (i, q) in queries.iter().enumerate() {
+        mask |= u64::from(q.contains(p)) << i;
+    }
+    mask
+}
+
+/// The shared-frontier group query (see [`Octopus::query_group`]).
+fn run_group_query(
+    surface: &SurfaceIndex,
+    components: &ComponentMap,
+    group: &mut GroupScratch,
+    mesh: &Mesh,
+    queries: &[Aabb],
+    probe: GroupProbe<'_>,
+    results: &mut [Vec<VertexId>],
+) -> GroupPhase {
+    assert!(
+        queries.len() <= MAX_GROUP,
+        "group of {} exceeds MAX_GROUP = {MAX_GROUP}",
+        queries.len()
+    );
+    assert_eq!(results.len(), queries.len(), "one result list per query");
+    let mut phase = GroupPhase::default();
+    if queries.is_empty() {
+        return phase;
+    }
+    let positions = mesh.positions();
+    group.begin_group(mesh.num_vertices(), components.count, queries.len());
+    let union = queries.iter().fold(
+        Aabb::EMPTY,
+        |acc, q| if acc.is_empty() { *q } else { acc.union(q) },
+    );
+
+    // Phase 1: shared probe. The union box rejects out-of-group
+    // vertices with one test instead of k; survivors are tested against
+    // each member and seeded under their bits.
+    let t0 = Instant::now();
+    let mut cached = false;
+    match probe {
+        GroupProbe::Surface | GroupProbe::Cached(_) => {
+            let ids = match probe {
+                GroupProbe::Cached(candidates) => {
+                    cached = true;
+                    candidates
+                }
+                _ => surface.ids(),
+            };
+            for (i, &v) in ids.iter().enumerate() {
+                if i + octopus_geom::mem::PREFETCH_DISTANCE < ids.len() {
+                    let ahead = ids[i + octopus_geom::mem::PREFETCH_DISTANCE] as usize;
+                    octopus_geom::mem::prefetch_read(positions, ahead);
+                }
+                let p = positions[v as usize];
+                if !union.contains(p) {
+                    continue;
+                }
+                let mask = member_mask(queries, p);
+                if mask == 0 {
+                    continue;
+                }
+                let mut bits = mask;
+                while bits != 0 {
+                    let bit = bits.trailing_zeros();
+                    bits &= bits - 1;
+                    group.seed(v, bit, results);
+                }
+                group.mark_component(components.component_of[v as usize] as usize, mask);
+            }
+        }
+        GroupProbe::Collect { margin, into } => {
+            assert_eq!(into.len(), queries.len(), "one candidate list per query");
+            for c in into.iter_mut() {
+                c.clear();
+            }
+            let dilated_union = union.dilated(margin);
+            let ids = surface.ids();
+            for (i, &v) in ids.iter().enumerate() {
+                if i + octopus_geom::mem::PREFETCH_DISTANCE < ids.len() {
+                    let ahead = ids[i + octopus_geom::mem::PREFETCH_DISTANCE] as usize;
+                    octopus_geom::mem::prefetch_read(positions, ahead);
+                }
+                let p = positions[v as usize];
+                if !dilated_union.contains(p) {
+                    continue;
+                }
+                let mut mask = 0u64;
+                for (j, q) in queries.iter().enumerate() {
+                    if q.dilated(margin).contains(p) {
+                        into[j].push(v);
+                        if q.contains(p) {
+                            mask |= 1u64 << j;
+                        }
+                    }
+                }
+                if mask != 0 {
+                    let mut bits = mask;
+                    while bits != 0 {
+                        let bit = bits.trailing_zeros();
+                        bits &= bits - 1;
+                        group.seed(v, bit, results);
+                    }
+                    group.mark_component(components.component_of[v as usize] as usize, mask);
+                }
+            }
+        }
+    }
+    if cached {
+        phase.cache_probe = t0.elapsed();
+    } else {
+        phase.surface_probe = t0.elapsed();
+    }
+
+    // Phase 2: per-member component-aware directed walks — the same
+    // strided retry policy as the sequential path (see `run_query`), run
+    // for every (member, component) pair the probe left seedless.
+    let t1 = Instant::now();
+    for (j, q) in queries.iter().enumerate() {
+        for c in 0..components.count {
+            if group.component_seeded(c, j as u32) {
+                continue;
+            }
+            let comp_ids = &components.surface_by_component[c];
+            if comp_ids.is_empty() {
+                continue;
+            }
+            let mut found = None;
+            let near = 4.0 * components.edge_scale;
+            let near_sq = near * near;
+            let mut end_dist_sq = f32::INFINITY;
+            for sample_target in [512usize, 4096] {
+                let stride = (comp_ids.len() / sample_target).max(1);
+                if let Some(sv) = closest_of(comp_ids.iter().step_by(stride), positions, q) {
+                    let (walked, steps, end) = greedy_walk(mesh, q, sv);
+                    group.add_walk(j as u32, steps);
+                    found = walked;
+                    end_dist_sq = end;
+                }
+                if found.is_some() || stride == 1 || end_dist_sq > near_sq {
+                    break;
+                }
+            }
+            if let Some(inside) = found {
+                group.seed(inside, j as u32, results);
+            }
+        }
+    }
+    phase.directed_walk = t1.elapsed();
+
+    // Phase 3: the shared-frontier crawl.
+    let t2 = Instant::now();
+    group.crawl(mesh, queries, results);
+    phase.crawling = t2.elapsed();
+    phase
 }
 
 // The concurrent service layer shares `&Octopus` and `&Mesh` across its
@@ -824,17 +1215,218 @@ mod tests {
         let mut total = PhaseTimings::default();
         let a = PhaseTimings {
             surface_probe: Duration::from_micros(5),
+            cache_probe: Duration::from_micros(2),
+            linear_scan: Duration::from_micros(4),
             directed_walk: Duration::from_micros(1),
             crawling: Duration::from_micros(10),
             start_vertices: 2,
             walk_visited: 3,
             crawl_visited: 20,
+            cache_seeded: 1,
             results: 15,
         };
         total.accumulate(&a);
         total.accumulate(&a);
         assert_eq!(total.results, 30);
-        assert_eq!(total.total(), Duration::from_micros(32));
+        assert_eq!(total.cache_seeded, 2);
+        assert_eq!(total.total(), Duration::from_micros(44));
+    }
+
+    #[test]
+    fn query_seeded_matches_full_probe_given_superset_candidates() {
+        let mesh = neuron(NeuroLevel::L1, 0.5).unwrap();
+        let o = Octopus::new(&mesh).unwrap();
+        let mut scratch = o.make_scratch(&mesh);
+        let mut rng = SplitMix64::new(99);
+        let bounds = mesh.bounding_box();
+        for i in 0..20 {
+            let c = Point3::new(
+                rng.range_f32(bounds.min.x, bounds.max.x),
+                rng.range_f32(bounds.min.y, bounds.max.y),
+                rng.range_f32(bounds.min.z, bounds.max.z),
+            );
+            let q = Aabb::cube(c, rng.range_f32(0.02, 0.15));
+            let mut full = Vec::new();
+            let mut cands = Vec::new();
+            let full_stats =
+                o.query_collecting(&mut scratch, &mesh, &q, 0.05, &mut cands, &mut full);
+            assert_eq!(full_stats.cache_seeded, 0);
+            assert!(full_stats.surface_probe >= full_stats.cache_probe);
+            // The collected list really is a superset of surface ∩ q.
+            let surface_in_q = o
+                .surface_index()
+                .ids()
+                .iter()
+                .filter(|&&v| q.contains(mesh.position(v)))
+                .count();
+            assert!(cands.len() >= surface_in_q, "query {i}");
+
+            let mut warm = Vec::new();
+            let warm_stats = o.query_seeded(&mut scratch, &mesh, &q, &cands, &mut warm);
+            assert_eq!(warm_stats.cache_seeded, 1);
+            assert_eq!(warm_stats.surface_probe, Duration::ZERO);
+            full.sort_unstable();
+            warm.sort_unstable();
+            assert_eq!(warm, full, "query {i}: warm start diverged");
+            assert_eq!(warm, scan(&mesh, &q), "query {i}: exactness");
+        }
+    }
+
+    #[test]
+    fn query_seeded_stays_exact_under_bounded_drift() {
+        // Collect candidates, deform by less than the margin, re-query
+        // the *drifted* mesh from the stale candidate list: the dilation
+        // absorbs the motion, so results must still be exact.
+        let mut mesh = box_mesh(6);
+        let o = Octopus::new(&mesh).unwrap();
+        let mut scratch = o.make_scratch(&mesh);
+        let q = Aabb::new(Point3::splat(0.1), Point3::splat(0.55));
+        let margin = 0.06;
+        let mut out = Vec::new();
+        let mut cands = Vec::new();
+        o.query_collecting(&mut scratch, &mesh, &q, margin, &mut cands, &mut out);
+        let mut rng = SplitMix64::new(5);
+        for step in 0..3 {
+            for p in mesh.positions_mut() {
+                p.x += rng.range_f32(-0.015, 0.015);
+                p.y += rng.range_f32(-0.015, 0.015);
+                p.z += rng.range_f32(-0.015, 0.015);
+            }
+            // Total drift ≤ 3 · 0.015 · √3 < margin.
+            let mut warm = Vec::new();
+            o.query_seeded(&mut scratch, &mesh, &q, &cands, &mut warm);
+            warm.sort_unstable();
+            assert_eq!(warm, scan(&mesh, &q), "step {step}");
+        }
+    }
+
+    fn group_reference(
+        mesh: &Mesh,
+        strategy: VisitedStrategy,
+        queries: &[Aabb],
+    ) -> Vec<Vec<VertexId>> {
+        let mut o = Octopus::with_strategy(mesh, strategy).unwrap();
+        queries
+            .iter()
+            .map(|q| {
+                let mut out = Vec::new();
+                o.query(mesh, q, &mut out);
+                out.sort_unstable();
+                out
+            })
+            .collect()
+    }
+
+    #[test]
+    fn group_query_matches_per_query_baseline() {
+        for mesh in [box_mesh(7), neuron(NeuroLevel::L1, 0.5).unwrap()] {
+            let mut rng = SplitMix64::new(0xBA7C);
+            let bounds = mesh.bounding_box();
+            let mut queries = Vec::new();
+            for _ in 0..12 {
+                let c = Point3::new(
+                    rng.range_f32(bounds.min.x, bounds.max.x),
+                    rng.range_f32(bounds.min.y, bounds.max.y),
+                    rng.range_f32(bounds.min.z, bounds.max.z),
+                );
+                queries.push(Aabb::cube(c, rng.range_f32(0.05, 0.3)));
+            }
+            // Include an interior query and a miss.
+            queries.push(Aabb::new(Point3::splat(0.4), Point3::splat(0.6)));
+            queries.push(Aabb::new(Point3::splat(5.0), Point3::splat(6.0)));
+            for strategy in [VisitedStrategy::EpochArray, VisitedStrategy::HashSet] {
+                let expected = group_reference(&mesh, strategy, &queries);
+                let o = Octopus::with_strategy(&mesh, strategy).unwrap();
+                let mut group = crate::GroupScratch::new();
+                let mut results: Vec<Vec<VertexId>> = vec![Vec::new(); queries.len()];
+                o.query_group(
+                    &mut group,
+                    &mesh,
+                    &queries,
+                    crate::GroupProbe::Surface,
+                    &mut results,
+                );
+                for (j, (mut got, want)) in results.into_iter().zip(expected).enumerate() {
+                    got.sort_unstable();
+                    assert_eq!(got, want, "{strategy:?} query {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn group_query_shares_work_on_overlapping_queries() {
+        let mesh = box_mesh(8);
+        // Heavily overlapping boxes sliding along x.
+        let queries: Vec<Aabb> = (0..8)
+            .map(|i| {
+                let lo = 0.1 + 0.02 * i as f32;
+                Aabb::new(Point3::new(lo, 0.1, 0.1), Point3::new(lo + 0.5, 0.8, 0.8))
+            })
+            .collect();
+        let mut seq = Octopus::new(&mesh).unwrap();
+        let mut independent = 0usize;
+        for q in &queries {
+            let mut out = Vec::new();
+            independent += seq.query(&mesh, q, &mut out).crawl_visited;
+        }
+
+        let o = Octopus::new(&mesh).unwrap();
+        let mut group = crate::GroupScratch::new();
+        let mut results: Vec<Vec<VertexId>> = vec![Vec::new(); queries.len()];
+        o.query_group(
+            &mut group,
+            &mesh,
+            &queries,
+            crate::GroupProbe::Surface,
+            &mut results,
+        );
+        // Per-member attribution reproduces the sequential counters...
+        let attributed: usize = (0..queries.len()).map(|i| group.visited(i)).sum();
+        assert_eq!(attributed, independent, "attribution must match sequential");
+        // ...while the distinct-event counter shows the actual sharing.
+        assert!(
+            group.shared_visited() < independent,
+            "shared {} must beat independent {}",
+            group.shared_visited(),
+            independent
+        );
+    }
+
+    #[test]
+    fn group_scratch_reuse_and_epoch_wrap_are_clean() {
+        let mesh = box_mesh(5);
+        let o = Octopus::new(&mesh).unwrap();
+        let mut group = crate::GroupScratch::new();
+        let queries = [
+            Aabb::new(Point3::splat(0.1), Point3::splat(0.6)),
+            Aabb::new(Point3::splat(0.3), Point3::splat(0.9)),
+        ];
+        let run = |group: &mut crate::GroupScratch| {
+            let mut results: Vec<Vec<VertexId>> = vec![Vec::new(); queries.len()];
+            o.query_group(
+                group,
+                &mesh,
+                &queries,
+                crate::GroupProbe::Surface,
+                &mut results,
+            );
+            results
+                .into_iter()
+                .map(|mut r| {
+                    r.sort_unstable();
+                    r
+                })
+                .collect::<Vec<_>>()
+        };
+        let first = run(&mut group);
+        assert_eq!(first[0], scan(&mesh, &queries[0]));
+        assert_eq!(first[1], scan(&mesh, &queries[1]));
+        // Reuse across groups, including across the epoch wrap.
+        group.force_epoch(u32::MAX);
+        for round in 0..3 {
+            assert_eq!(run(&mut group), first, "round {round} after the wrap");
+        }
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub use approx::ApproxOctopus;
 pub use con::OctopusCon;
 pub use cost_model::CostModel;
 pub use crawler::{CrawlOrder, VisitedStrategy, VisitedView};
-pub use executor::{Octopus, PhaseTimings, QueryScratch};
-pub use frontier::ShardWorker;
+pub use executor::{GroupPhase, GroupProbe, Octopus, PhaseTimings, QueryScratch};
+pub use frontier::{GroupScratch, ShardWorker, MAX_GROUP};
 pub use planner::{Decision, Planner, Strategy};
 pub use surface_index::SurfaceIndex;

@@ -124,7 +124,26 @@ impl Planner {
 
     /// Decides the strategy for query `q` (Eq. 6).
     pub fn decide(&self, q: &Aabb) -> Decision {
-        let sel = self.histogram.estimate_selectivity(q);
+        self.decide_hoisted(&self.histogram.grid(), &self.speedup_terms(), q)
+    }
+
+    /// The hoisted Eq. 5 factors for this dataset's (S, M).
+    fn speedup_terms(&self) -> crate::cost_model::SpeedupTerms {
+        self.model
+            .speedup_terms(self.surface_ratio, self.mesh_degree)
+    }
+
+    /// One decision under caller-hoisted per-batch invariants. Both
+    /// [`Planner::decide`] and [`Planner::decide_batch`] route through
+    /// this, so their outputs are bit-identical.
+    #[inline]
+    fn decide_hoisted(
+        &self,
+        grid: &octopus_index::HistogramGrid,
+        terms: &crate::cost_model::SpeedupTerms,
+        q: &Aabb,
+    ) -> Decision {
+        let sel = self.histogram.estimate_selectivity_with(grid, q);
         Decision {
             strategy: if sel < self.crossover {
                 Strategy::Octopus
@@ -133,20 +152,63 @@ impl Planner {
             },
             estimated_selectivity: sel,
             crossover_selectivity: self.crossover,
-            predicted_speedup: self
-                .model
-                .speedup(self.surface_ratio, self.mesh_degree, sel),
+            predicted_speedup: terms.eval(sel),
         }
     }
 
     /// Decides a whole batch at once, one [`Decision`] per query in
-    /// input order. The dataset-level inputs (S, M, the Eq.-6 crossover)
-    /// are computed once per planner, not per query, so routing a mixed
-    /// batch costs one histogram probe per query and nothing else — the
-    /// entry point the service layer uses to split batches between
-    /// OCTOPUS workers and linear scans.
+    /// input order — the entry point the service layer's batch engine
+    /// uses to route overlap groups between the crawl paths and the
+    /// shared linear scan.
+    ///
+    /// All per-batch invariants are hoisted out of the loop: the
+    /// histogram's grid geometry ([`SelectivityHistogram::grid`] —
+    /// previously re-derived per query, including three divisions per
+    /// visited bucket), the Eq.-5 speedup factors
+    /// ([`crate::CostModel::speedup_terms`]), and the cached Eq.-6
+    /// crossover. Routing a mixed batch therefore costs one histogram
+    /// probe per query and nothing else (the `planner_batch`
+    /// micro-benchmark quantifies the win over the naive per-query
+    /// loop).
+    ///
+    /// [`SelectivityHistogram::grid`]: octopus_index::SelectivityHistogram::grid
     pub fn decide_batch(&self, queries: &[Aabb]) -> Vec<Decision> {
-        queries.iter().map(|q| self.decide(q)).collect()
+        let grid = self.histogram.grid();
+        let terms = self.speedup_terms();
+        queries
+            .iter()
+            .map(|q| self.decide_hoisted(&grid, &terms, q))
+            .collect()
+    }
+
+    /// Naive per-query mapping kept as the micro-benchmark baseline for
+    /// the hoisted [`Planner::decide_batch`] (identical output; each
+    /// query re-derives the per-batch invariants, and each visited
+    /// histogram bucket re-divides its geometry — the pre-hoisting
+    /// behaviour, preserved verbatim in
+    /// `SelectivityHistogram::estimate_selectivity_unhoisted`).
+    #[doc(hidden)]
+    pub fn decide_batch_unhoisted(&self, queries: &[Aabb]) -> Vec<Decision> {
+        queries
+            .iter()
+            .map(|q| {
+                let sel = self.histogram.estimate_selectivity_unhoisted(q);
+                Decision {
+                    strategy: if sel < self.crossover {
+                        Strategy::Octopus
+                    } else {
+                        Strategy::LinearScan
+                    },
+                    estimated_selectivity: sel,
+                    crossover_selectivity: self.crossover,
+                    predicted_speedup: self.model.speedup(
+                        self.surface_ratio,
+                        self.mesh_degree,
+                        sel,
+                    ),
+                }
+            })
+            .collect()
     }
 
     /// The dataset's surface-to-volume ratio `S`.
@@ -221,6 +283,45 @@ mod tests {
             assert_eq!(d.strategy, single.strategy);
             assert_eq!(d.estimated_selectivity, single.estimated_selectivity);
             assert_eq!(d.crossover_selectivity, single.crossover_selectivity);
+        }
+    }
+
+    #[test]
+    fn hoisted_batch_decisions_equal_the_naive_loop() {
+        // The hoisted path replaces the per-bucket volume division by a
+        // precomputed reciprocal of the *exact* bucket sizes, where the
+        // pre-hoisting baseline divided by an f32-rounded box extent —
+        // estimates therefore differ at f32 precision (~1e-7 relative;
+        // both are equally valid, the histogram is f32-precise by
+        // construction). Strategies and crossovers must be identical,
+        // estimates equal to 1e-5 relative. (`decide` vs `decide_batch`
+        // share one code path and are asserted bit-identical
+        // elsewhere.)
+        let mesh = box_mesh(9);
+        let planner = Planner::new(&mesh, CostModel::paper_constants(), 8).unwrap();
+        let queries: Vec<Aabb> = (1..=32)
+            .map(|i| Aabb::cube(Point3::new(0.03 * i as f32, 0.5, 0.5), 0.012 * i as f32))
+            .collect();
+        let hoisted = planner.decide_batch(&queries);
+        let naive = planner.decide_batch_unhoisted(&queries);
+        for (h, n) in hoisted.iter().zip(&naive) {
+            assert_eq!(h.strategy, n.strategy);
+            assert_eq!(h.crossover_selectivity, n.crossover_selectivity);
+            let rel = (h.estimated_selectivity - n.estimated_selectivity).abs()
+                / n.estimated_selectivity.max(1e-300);
+            assert!(
+                rel < 1e-5,
+                "{} vs {}",
+                h.estimated_selectivity,
+                n.estimated_selectivity
+            );
+            let rel = (h.predicted_speedup - n.predicted_speedup).abs() / n.predicted_speedup;
+            assert!(
+                rel < 1e-5,
+                "{} vs {}",
+                h.predicted_speedup,
+                n.predicted_speedup
+            );
         }
     }
 

@@ -8,6 +8,23 @@
 
 use octopus_geom::{Aabb, Point3};
 
+/// Per-batch invariants of a histogram probe, hoisted once by
+/// [`SelectivityHistogram::grid`]: clamped per-axis extents and bucket
+/// sizes. Tied to the histogram it came from — feeding it to another
+/// histogram gives garbage estimates (but no UB).
+#[derive(Clone, Copy, Debug)]
+pub struct HistogramGrid {
+    /// Per-axis domain extent, clamped away from zero.
+    len: [f32; 3],
+    /// Per-axis bucket size.
+    bucket: [f32; 3],
+    /// Reciprocal bucket volume (buckets are equi-width, so one value
+    /// serves every partial-overlap interpolation — the division the
+    /// naive path re-pays per visited bucket). `0.0` flags a degenerate
+    /// (flat) domain, which falls back to the exact overlap test.
+    inv_bucket_vol: f64,
+}
+
 /// A 3-D equi-width histogram of vertex counts.
 #[derive(Clone, Debug)]
 pub struct SelectivityHistogram {
@@ -47,14 +64,33 @@ impl SelectivityHistogram {
         idx[0] + res * (idx[1] + res * idx[2])
     }
 
-    /// Bounds of bucket `(x, y, z)`.
-    fn bucket_bounds(&self, x: usize, y: usize, z: usize) -> Aabb {
+    /// Precomputes the per-probe invariants — grid extents and bucket
+    /// sizes, which [`SelectivityHistogram::estimate_selectivity`] would
+    /// otherwise re-derive (including three divisions per visited
+    /// bucket) on every call. Build one per *batch* and feed it to
+    /// [`SelectivityHistogram::estimate_selectivity_with`]; the
+    /// single-query path builds a throwaway one, so both paths compute
+    /// bit-identical estimates.
+    pub fn grid(&self) -> HistogramGrid {
         let e = self.bounds.extent();
-        let (sx, sy, sz) = (
-            e.x / self.res as f32,
-            e.y / self.res as f32,
-            e.z / self.res as f32,
-        );
+        let r = self.res as f32;
+        let bucket = [e.x / r, e.y / r, e.z / r];
+        let vol = f64::from(bucket[0]) * f64::from(bucket[1]) * f64::from(bucket[2]);
+        HistogramGrid {
+            len: [
+                e.x.max(f32::MIN_POSITIVE),
+                e.y.max(f32::MIN_POSITIVE),
+                e.z.max(f32::MIN_POSITIVE),
+            ],
+            bucket,
+            inv_bucket_vol: if vol > 0.0 { 1.0 / vol } else { 0.0 },
+        }
+    }
+
+    /// Bounds of bucket `(x, y, z)` under precomputed bucket sizes.
+    #[inline]
+    fn bucket_bounds(&self, g: &HistogramGrid, x: usize, y: usize, z: usize) -> Aabb {
+        let [sx, sy, sz] = g.bucket;
         let min = Point3::new(
             self.bounds.min.x + x as f32 * sx,
             self.bounds.min.y + y as f32 * sy,
@@ -66,11 +102,71 @@ impl SelectivityHistogram {
     /// Estimated fraction of vertices inside `q` (the `Selectivity%`
     /// input of Eq. 2–6), in `[0, 1]`.
     pub fn estimate_selectivity(&self, q: &Aabb) -> f64 {
+        self.estimate_selectivity_with(&self.grid(), q)
+    }
+
+    /// [`SelectivityHistogram::estimate_selectivity`] with the per-batch
+    /// invariants hoisted into a caller-held [`HistogramGrid`] — the
+    /// batch-probe entry point `Planner::decide_batch` uses (one `grid()`
+    /// per batch instead of one per query).
+    #[inline]
+    pub fn estimate_selectivity_with(&self, g: &HistogramGrid, q: &Aabb) -> f64 {
         if self.total == 0 {
             return 0.0;
         }
         let r = self.res;
         // Bucket index range overlapped by q.
+        let mut lo = [0usize; 3];
+        let mut hi = [0usize; 3];
+        for axis in 0..3 {
+            let len = g.len[axis];
+            let t0 = ((q.min[axis] - self.bounds.min[axis]) / len * r as f32).floor();
+            let t1 = ((q.max[axis] - self.bounds.min[axis]) / len * r as f32).floor();
+            lo[axis] = (t0.max(0.0) as usize).min(r - 1);
+            hi[axis] = (t1.max(0.0) as usize).min(r - 1);
+        }
+        let mut expected = 0.0f64;
+        for z in lo[2]..=hi[2] {
+            for y in lo[1]..=hi[1] {
+                for x in lo[0]..=hi[0] {
+                    let count = self.counts[x + r * (y + r * z)];
+                    if count == 0 {
+                        continue;
+                    }
+                    let b = self.bucket_bounds(g, x, y, z);
+                    // Equi-width buckets: one precomputed reciprocal
+                    // replaces the per-bucket volume division of
+                    // `overlap_fraction` (degenerate domains fall back
+                    // to the exact test).
+                    let frac = if g.inv_bucket_vol > 0.0 {
+                        let inter = b.intersection(q);
+                        if inter.is_empty() {
+                            0.0
+                        } else {
+                            (inter.volume() * g.inv_bucket_vol).clamp(0.0, 1.0)
+                        }
+                    } else {
+                        b.overlap_fraction(q)
+                    };
+                    expected += f64::from(count) * frac;
+                }
+            }
+        }
+        (expected / self.total as f64).clamp(0.0, 1.0)
+    }
+
+    /// The pre-hoisting estimator, kept verbatim as the
+    /// `ablation_decide_batch` baseline: grid geometry re-derived per
+    /// query and bucket sizes re-divided per visited bucket — exactly
+    /// what every probe paid before [`SelectivityHistogram::grid`]
+    /// existed. Same expressions in the same order, so the estimates
+    /// are bit-identical to the hoisted path.
+    #[doc(hidden)]
+    pub fn estimate_selectivity_unhoisted(&self, q: &Aabb) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let r = self.res;
         let e = self.bounds.extent();
         let mut lo = [0usize; 3];
         let mut hi = [0usize; 3];
@@ -89,7 +185,13 @@ impl SelectivityHistogram {
                     if count == 0 {
                         continue;
                     }
-                    let b = self.bucket_bounds(x, y, z);
+                    let (sx, sy, sz) = (e.x / r as f32, e.y / r as f32, e.z / r as f32);
+                    let min = Point3::new(
+                        self.bounds.min.x + x as f32 * sx,
+                        self.bounds.min.y + y as f32 * sy,
+                        self.bounds.min.z + z as f32 * sz,
+                    );
+                    let b = Aabb::new(min, Point3::new(min.x + sx, min.y + sy, min.z + sz));
                     expected += f64::from(count) * b.overlap_fraction(q);
                 }
             }

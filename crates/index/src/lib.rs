@@ -51,7 +51,7 @@ mod traits;
 pub mod twolevel;
 
 pub use grid::UniformGrid;
-pub use histogram::SelectivityHistogram;
+pub use histogram::{HistogramGrid, SelectivityHistogram};
 pub use kdtree::KdTree;
 pub use linear_scan::LinearScan;
 pub use lugrid::LuGrid;

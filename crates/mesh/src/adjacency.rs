@@ -50,7 +50,29 @@ impl Csr {
             offsets[i + 1] += offsets[i];
         }
         let targets: Vec<VertexId> = packed.iter().map(|&p| p as u32).collect();
-        Csr { offsets, targets }
+        let csr = Csr { offsets, targets };
+        csr.debug_assert_sorted();
+        csr
+    }
+
+    /// Debug-build check of the sorted-neighbour-list invariant.
+    ///
+    /// Each list is sorted (strictly ascending — duplicates were
+    /// dedup'ed) as a *by-product* of the packed `(src, dst)` sort in
+    /// [`Csr::from_undirected_edges`]; [`Csr::has_edge`]'s binary search
+    /// depends on it, so any future construction path that skips the
+    /// packed sort must fail loudly here rather than silently degrade
+    /// `has_edge` to garbage answers.
+    fn debug_assert_sorted(&self) {
+        if cfg!(debug_assertions) {
+            for v in 0..self.num_vertices() {
+                let list = self.neighbors(v as u32);
+                debug_assert!(
+                    list.windows(2).all(|w| w[0] < w[1]),
+                    "neighbour list of vertex {v} is not strictly sorted: {list:?}"
+                );
+            }
+        }
     }
 
     /// Number of vertices.
@@ -223,6 +245,27 @@ mod tests {
         assert_eq!(p.neighbors(1), &[2, 3]);
         assert!(p.has_edge(2, 1));
         assert_eq!(p.num_directed_edges(), g.num_directed_edges());
+    }
+
+    #[test]
+    fn neighbor_lists_are_sorted_after_build_and_permutation() {
+        // A deliberately scrambled edge insertion order plus a reversing
+        // permutation: both construction paths must still yield strictly
+        // ascending lists (the invariant `has_edge`'s binary search and
+        // the debug assertion rely on).
+        let edges = [(4u32, 0u32), (2, 4), (0, 2), (3, 0), (4, 1), (1, 0)];
+        let g = Csr::from_undirected_edges(5, edges.into_iter());
+        let p = g.permuted(&[4, 3, 2, 1, 0]);
+        for csr in [&g, &p] {
+            for v in 0..5u32 {
+                let list = csr.neighbors(v);
+                assert!(list.windows(2).all(|w| w[0] < w[1]), "vertex {v}: {list:?}");
+                for &w in list {
+                    assert!(csr.has_edge(v, w), "binary search must find {v}->{w}");
+                }
+            }
+            assert!(!csr.has_edge(0, 0));
+        }
     }
 
     #[test]

@@ -107,15 +107,20 @@ pub struct ParallelExecutor {
     pub(crate) frontier: Vec<VertexId>,
     pub(crate) next_frontier: Vec<VertexId>,
     /// Generation-checked free list feeding result buffers back into
-    /// `execute_batch`.
-    recycler: ResultRecycler,
+    /// `execute_batch` (shared with the batch engine's plan executor).
+    pub(crate) recycler: ResultRecycler,
     /// Per-worker staging of (query index, result) pairs, kept across
     /// batches so steady state reuses their capacity.
     worker_outs: Vec<Vec<(usize, QueryResult)>>,
     /// Input-order reassembly buffer, kept across batches.
-    slots: Vec<Option<QueryResult>>,
+    pub(crate) slots: Vec<Option<QueryResult>>,
     /// Recycled outer result vectors (capacity ≥ recent batch sizes).
-    free_batches: Vec<Vec<QueryResult>>,
+    pub(crate) free_batches: Vec<Vec<QueryResult>>,
+    /// Per-worker shared-frontier scratch for the batch engine's
+    /// overlap groups (sized lazily, reused across batches).
+    pub(crate) group_scratches: Vec<octopus_core::GroupScratch>,
+    /// Per-worker staging of the batch engine's plan executor.
+    pub(crate) plan_outs: Vec<crate::engine::PlanOut>,
 }
 
 impl ParallelExecutor {
@@ -139,6 +144,8 @@ impl ParallelExecutor {
             worker_outs: Vec::new(),
             slots: Vec::new(),
             free_batches: Vec::new(),
+            group_scratches: Vec::new(),
+            plan_outs: Vec::new(),
         }
     }
 
@@ -340,6 +347,11 @@ impl ParallelExecutor {
                 .sum::<usize>()
             + (self.frontier.capacity() + self.next_frontier.capacity())
                 * std::mem::size_of::<VertexId>()
+            + self
+                .group_scratches
+                .iter()
+                .map(octopus_core::GroupScratch::memory_bytes)
+                .sum::<usize>()
             + self.recycler.memory_bytes()
     }
 }

@@ -1,0 +1,733 @@
+//! The batch query engine: locality-scheduled overlap groups, shared
+//! frontiers, temporal seed caching, and per-group planner routing.
+//!
+//! Three cooperating layers turn a query batch from N independent
+//! executions into locality-ordered shared work:
+//!
+//! 1. **Locality scheduler.** The batch is sorted by the Hilbert key of
+//!    each query's centroid ([`octopus_geom::hilbert::hilbert_center_key`])
+//!    and swept once in key order: a query joins the current *overlap
+//!    group* while it intersects the group's union box (and the group is
+//!    under the [`octopus_core::MAX_GROUP`] mask width); otherwise it
+//!    starts a new group. Groups execute in parallel over the worker
+//!    pool, stolen in curve order.
+//! 2. **Shared execution.** A group of k ≥ 2 queries runs as one
+//!    shared-frontier crawl ([`octopus_core::Octopus::query_group`]):
+//!    one surface probe over the union box, one BFS with a per-vertex
+//!    membership bitmask, results demultiplexed per query — a vertex
+//!    inside k overlapping queries is visited once, not k times.
+//!    Singleton groups run the plain sequential path unchanged.
+//! 3. **Routing and warm starts.** When enabled, a
+//!    [`octopus_core::Planner`] (refreshed against the snapshot's
+//!    restructure epoch) decides each query via Eq. 6: `LinearScan`
+//!    members are split off into a **shared scan** group (one pass over
+//!    the positions, testing every member), and large singleton crawls
+//!    are routed to the frontier-sharded crawl
+//!    ([`crate::ParallelExecutor::query_sharded`]) instead of the
+//!    sequential one — per-group routing instead of one global mode.
+//!    The [`SeedCache`] warm-starts repeated/drifted queries from the
+//!    previous step's boundary-vertex sample, skipping the full surface
+//!    probe while provably preserving exactness (see
+//!    [`crate::seed_cache`]).
+//!
+//! Every path returns, per query, exactly what the sequential
+//! [`octopus_core::Octopus::query`] returns — the batch-engine property
+//! suite asserts this against random meshes, restructuring steps,
+//! mid-run re-layouts, both visited strategies and ring depths 1 and 3.
+
+use crate::batch::{ParallelExecutor, QueryResult};
+use crate::pool::Task;
+use crate::seed_cache::{SeedCache, SeedCacheStats};
+use octopus_core::{
+    CostModel, GroupProbe, GroupScratch, Octopus, PhaseTimings, Planner, QueryScratch, Strategy,
+    MAX_GROUP,
+};
+use octopus_geom::hilbert::hilbert_center_key;
+use octopus_geom::{Aabb, VertexId};
+use octopus_mesh::{Mesh, MeshError};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Configuration of the [`BatchEngine`].
+#[derive(Clone, Copy, Debug)]
+pub struct BatchEngineConfig {
+    /// Maximum queries per overlap group (clamped to
+    /// [`octopus_core::MAX_GROUP`], the membership-mask width; the
+    /// sweep starts a new group past the cap, which is the per-query
+    /// fallback for batches that would overflow the mask).
+    pub max_group: usize,
+    /// Route groups through the Eq.-6 planner (shared linear scan for
+    /// `LinearScan` decisions, frontier-sharded crawl for huge singleton
+    /// crawls).
+    pub use_planner: bool,
+    /// Histogram resolution of the planner's selectivity estimator.
+    pub planner_hist_res: usize,
+    /// Estimated result count above which a *singleton* crawl-routed
+    /// query uses the frontier-sharded crawl instead of the sequential
+    /// one.
+    pub shard_min_results: usize,
+    /// Warm-start repeated/drifted queries from the temporal seed cache.
+    pub use_seed_cache: bool,
+    /// Seed-cache dilation margin, in multiples of the mesh's typical
+    /// edge length (larger: entries survive more drift but candidate
+    /// lists grow).
+    pub seed_margin_edges: f32,
+    /// Maximum retained seed-cache entries.
+    pub cache_capacity: usize,
+}
+
+impl Default for BatchEngineConfig {
+    fn default() -> BatchEngineConfig {
+        BatchEngineConfig {
+            max_group: MAX_GROUP,
+            use_planner: true,
+            planner_hist_res: 8,
+            shard_min_results: 262_144,
+            use_seed_cache: true,
+            seed_margin_edges: 8.0,
+            cache_capacity: 4096,
+        }
+    }
+}
+
+/// What the engine did with the last executed batch.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EngineReport {
+    /// Queries in the batch.
+    pub queries: usize,
+    /// Overlap groups formed (including singletons).
+    pub groups: usize,
+    /// Queries that ran inside a shared-frontier group (group size ≥ 2).
+    pub grouped_queries: usize,
+    /// Queries routed to the shared linear scan by the planner.
+    pub scan_queries: usize,
+    /// Singleton queries routed to the frontier-sharded crawl.
+    pub sharded_queries: usize,
+    /// Distinct traversal events of the shared crawls (each costing one
+    /// neighbour-list scan or one boundary position load).
+    pub shared_visited: usize,
+    /// The same work as per-query attribution — what k independent
+    /// crawls would have paid. `shared_visited < attributed_visited`
+    /// is the measured saving.
+    pub attributed_visited: usize,
+    /// Queries seeded from the temporal seed cache this batch.
+    pub cache_seeded: usize,
+}
+
+/// Per-group route decided by the scheduler + planner.
+enum Route {
+    /// Shared-frontier crawl (or the plain sequential path for
+    /// singletons), with the chosen probe source.
+    Crawl(ProbePlan),
+    /// One shared pass over the positions, testing every member.
+    Scan,
+}
+
+/// Probe source of a crawl-routed group.
+enum ProbePlan {
+    /// Full surface probe; optionally collect seed-cache refills.
+    Surface { collect: bool },
+    /// Warm start from cached candidates (every member hit).
+    Cached(Vec<VertexId>),
+}
+
+struct GroupPlan {
+    /// Query indices (into the batch), in Hilbert sweep order.
+    members: Vec<u32>,
+    route: Route,
+}
+
+/// The prepared execution plan of one batch.
+struct EnginePlan {
+    groups: Vec<GroupPlan>,
+    /// Singleton queries routed to the frontier-sharded crawl (whole
+    /// pool each; executed outside the group fan-out).
+    sharded: Vec<u32>,
+    margin: f32,
+}
+
+/// Per-worker staging of the plan executor.
+#[derive(Debug, Default)]
+pub(crate) struct PlanOut {
+    staged: Vec<(u32, QueryResult)>,
+    refills: Vec<(u32, Vec<VertexId>)>,
+    shared_visited: usize,
+    attributed_visited: usize,
+}
+
+/// The batch query engine (see the module docs). One engine serves one
+/// monitored dataset; [`crate::MonitorLoop::set_batch_engine`] wires it
+/// into the monitor's batch path, and it can be driven standalone
+/// against any `(&Octopus, &Mesh)` pair via [`BatchEngine::execute`].
+#[derive(Debug)]
+pub struct BatchEngine {
+    cfg: BatchEngineConfig,
+    planner: Option<Planner>,
+    cache: Option<SeedCache>,
+    /// Hilbert quantisation frame for the scheduler's sort keys (the
+    /// at-ingest bounds; only key consistency matters).
+    key_bounds: Aabb,
+    num_vertices: usize,
+    report: EngineReport,
+}
+
+impl BatchEngine {
+    /// Builds an engine for `mesh` (planner histogram + seed-cache
+    /// margin are derived from its current state).
+    pub fn new(cfg: BatchEngineConfig, mesh: &Mesh) -> Result<BatchEngine, MeshError> {
+        let bounds = mesh.bounding_box();
+        let planner = if cfg.use_planner {
+            Some(Planner::new(
+                mesh,
+                CostModel::paper_constants(),
+                cfg.planner_hist_res.max(1),
+            )?)
+        } else {
+            None
+        };
+        let cache = cfg.use_seed_cache.then(|| {
+            let typical_edge = (bounds.volume() / mesh.num_vertices().max(1) as f64)
+                .cbrt()
+                .max(f64::MIN_POSITIVE) as f32;
+            SeedCache::new(
+                cfg.seed_margin_edges.max(f32::MIN_POSITIVE) * typical_edge,
+                bounds,
+                cfg.cache_capacity,
+                mesh.restructure_epoch(),
+            )
+        });
+        Ok(BatchEngine {
+            cfg,
+            planner,
+            cache,
+            key_bounds: bounds,
+            num_vertices: mesh.num_vertices(),
+            report: EngineReport::default(),
+        })
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &BatchEngineConfig {
+        &self.cfg
+    }
+
+    /// What the engine did with the last executed batch.
+    pub fn report(&self) -> &EngineReport {
+        &self.report
+    }
+
+    /// Seed-cache counters (zeroes when the cache is disabled).
+    pub fn cache_stats(&self) -> SeedCacheStats {
+        self.cache
+            .as_ref()
+            .map(SeedCache::stats)
+            .unwrap_or_default()
+    }
+
+    /// Whether the temporal seed cache is active.
+    pub fn cache_enabled(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// The seed cache's dilation margin (0 when disabled).
+    pub(crate) fn cache_margin(&self) -> f32 {
+        self.cache.as_ref().map_or(0.0, SeedCache::margin)
+    }
+
+    /// Applies a re-layout permutation to the cached candidate ids (the
+    /// monitor calls this when a layout policy re-permutes the mesh).
+    pub(crate) fn translate_cache(&mut self, perm: &[VertexId]) {
+        if let Some(c) = &mut self.cache {
+            c.translate(perm);
+        }
+    }
+
+    /// Executes `queries` against `(octopus, mesh)` on `pool`, with
+    /// grouping, routing and warm starts, returning per-query results in
+    /// input order — identical (as sets) to running
+    /// [`Octopus::query`] per query.
+    ///
+    /// `epoch` is the snapshot's `Mesh::restructure_epoch`; `cum_drift`
+    /// is the monitor's cumulative max-displacement meter for this
+    /// snapshot (pass `0.0` when driving a static mesh — repeated calls
+    /// at the same meter reading mean "no motion since").
+    pub fn execute(
+        &mut self,
+        pool: &mut ParallelExecutor,
+        octopus: &Octopus,
+        mesh: &Mesh,
+        queries: &[Aabb],
+        epoch: u64,
+        cum_drift: f32,
+    ) -> Vec<QueryResult> {
+        self.num_vertices = mesh.num_vertices();
+        // Epoch-refresh the planner (a two-word comparison between
+        // restructuring events). A failed recompute keeps the stale
+        // crossover — routing quality degrades, correctness does not.
+        if let Some(p) = &mut self.planner {
+            let _ = p.refresh_if_restructured(mesh);
+        }
+        if let Some(c) = &mut self.cache {
+            c.begin_epoch(epoch);
+        }
+        let plan = self.plan(queries, cum_drift);
+        let (results, refills) = pool.execute_plan(octopus, mesh, queries, &plan, &mut self.report);
+        if let Some(c) = &mut self.cache {
+            for (qi, cands) in refills {
+                c.insert(&queries[qi as usize], cum_drift, cands);
+            }
+        }
+        self.report.queries = queries.len();
+        self.report.groups = plan.groups.len();
+        self.report.sharded_queries = plan.sharded.len();
+        results
+    }
+
+    /// One warm-started sequential query (the monitor's `query_at`
+    /// path): seed-cache hit → candidate probe, miss → full probe that
+    /// refills the entry. Exact either way.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn query_cached(
+        &mut self,
+        octopus: &Octopus,
+        mesh: &Mesh,
+        q: &Aabb,
+        scratch: &mut QueryScratch,
+        epoch: u64,
+        cum_drift: f32,
+        out: &mut Vec<VertexId>,
+    ) -> PhaseTimings {
+        let Some(cache) = &mut self.cache else {
+            return octopus.query_with(scratch, mesh, q, out);
+        };
+        cache.begin_epoch(epoch);
+        if let Some(candidates) = cache.lookup(q, cum_drift) {
+            return octopus.query_seeded(scratch, mesh, q, candidates, out);
+        }
+        let mut cands = Vec::new();
+        let margin = cache.margin();
+        let stats = octopus.query_collecting(scratch, mesh, q, margin, &mut cands, out);
+        cache.insert(q, cum_drift, cands);
+        stats
+    }
+
+    /// Builds the batch's execution plan: Hilbert sweep → overlap groups
+    /// → per-group routing → per-group probe source.
+    fn plan(&mut self, queries: &[Aabb], cum_drift: f32) -> EnginePlan {
+        let margin = self.cache.as_ref().map_or(0.0, SeedCache::margin);
+        let mut plan = EnginePlan {
+            groups: Vec::new(),
+            sharded: Vec::new(),
+            margin,
+        };
+        if queries.is_empty() {
+            return plan;
+        }
+        let decisions = self.planner.as_ref().map(|p| p.decide_batch(queries));
+        let sweep = sweep_groups(queries, &self.key_bounds, self.cfg.max_group);
+        for members in sweep {
+            // Split the locality group by planner decision: scan-routed
+            // members share one pass over the positions, crawl-routed
+            // members share one frontier.
+            let (crawl, scan): (Vec<u32>, Vec<u32>) = match &decisions {
+                None => (members, Vec::new()),
+                Some(d) => members
+                    .into_iter()
+                    .partition(|&i| d[i as usize].strategy == Strategy::Octopus),
+            };
+            if !scan.is_empty() {
+                plan.groups.push(GroupPlan {
+                    members: scan,
+                    route: Route::Scan,
+                });
+            }
+            if crawl.is_empty() {
+                continue;
+            }
+            // Huge singleton crawls go to the frontier-sharded path.
+            if crawl.len() == 1 {
+                if let Some(d) = &decisions {
+                    let est = d[crawl[0] as usize].estimated_selectivity * self.num_vertices as f64;
+                    if est >= self.cfg.shard_min_results as f64 {
+                        plan.sharded.push(crawl[0]);
+                        continue;
+                    }
+                }
+            }
+            let route = Route::Crawl(self.probe_plan(queries, &crawl, cum_drift));
+            plan.groups.push(GroupPlan {
+                members: crawl,
+                route,
+            });
+        }
+        plan
+    }
+
+    /// Chooses a crawl group's probe source: cached candidates when
+    /// every member has a provably valid entry, otherwise a full probe
+    /// (collecting refills when the cache is enabled).
+    ///
+    /// Accounting matches what actually happens: a validation pass runs
+    /// first (pruning stale entries without counting), and `hits` are
+    /// only recorded when the group really takes the cached route — one
+    /// member's miss makes the whole group a full probe, which counts a
+    /// miss for *every* member (none of them warm-started, and all get
+    /// refilled).
+    fn probe_plan(&mut self, queries: &[Aabb], members: &[u32], cum_drift: f32) -> ProbePlan {
+        let Some(cache) = &mut self.cache else {
+            return ProbePlan::Surface { collect: false };
+        };
+        let all_valid = members
+            .iter()
+            .all(|&i| cache.validate(&queries[i as usize], cum_drift));
+        if !all_valid {
+            cache.count_misses(members.len() as u64);
+            return ProbePlan::Surface { collect: true };
+        }
+        let mut concat: Vec<VertexId> = Vec::new();
+        for &i in members {
+            let candidates = cache
+                .lookup(&queries[i as usize], cum_drift)
+                .expect("validated just above, nothing pruned since");
+            concat.extend_from_slice(candidates);
+        }
+        ProbePlan::Cached(concat)
+    }
+}
+
+/// The locality sweep: sort by Hilbert centroid key, then grow a group
+/// while the next query (in key order) intersects the group's union box
+/// and the mask width allows it.
+fn sweep_groups(queries: &[Aabb], bounds: &Aabb, max_group: usize) -> Vec<Vec<u32>> {
+    let cap = max_group.clamp(1, MAX_GROUP);
+    let mut order: Vec<u32> = (0..queries.len() as u32).collect();
+    let keys: Vec<u64> = queries
+        .iter()
+        .map(|q| hilbert_center_key(q, bounds, 16))
+        .collect();
+    order.sort_unstable_by_key(|&i| (keys[i as usize], i));
+
+    let mut groups: Vec<Vec<u32>> = Vec::new();
+    let mut current: Vec<u32> = Vec::new();
+    let mut union = Aabb::EMPTY;
+    for i in order {
+        let q = &queries[i as usize];
+        if current.is_empty() || (current.len() < cap && union.intersects(q)) {
+            union = if current.is_empty() {
+                *q
+            } else {
+                union.union(q)
+            };
+            current.push(i);
+        } else {
+            groups.push(std::mem::take(&mut current));
+            union = *q;
+            current.push(i);
+        }
+    }
+    if !current.is_empty() {
+        groups.push(current);
+    }
+    groups
+}
+
+impl ParallelExecutor {
+    /// Executes a prepared [`EnginePlan`]: sharded-crawl singletons run
+    /// on the whole pool, then the remaining groups fan out across the
+    /// workers (stolen in curve order), and everything is reassembled in
+    /// input order. Returns the results plus the seed-cache refills the
+    /// workers collected.
+    fn execute_plan(
+        &mut self,
+        octopus: &Octopus,
+        mesh: &Mesh,
+        queries: &[Aabb],
+        plan: &EnginePlan,
+        report: &mut EngineReport,
+    ) -> (Vec<QueryResult>, Vec<(u32, Vec<VertexId>)>) {
+        *report = EngineReport::default();
+
+        // Frontier-sharded singletons first (each uses the whole pool).
+        let mut sharded_results: Vec<(u32, QueryResult)> = Vec::new();
+        for &qi in &plan.sharded {
+            let (generation, mut vertices) = self.recycler.lease();
+            let timings = self.query_sharded(octopus, mesh, &queries[qi as usize], &mut vertices);
+            sharded_results.push((
+                qi,
+                QueryResult {
+                    vertices,
+                    timings,
+                    generation,
+                },
+            ));
+        }
+
+        let workers = self.threads.min(plan.groups.len()).max(1);
+        self.ensure_scratches(octopus, mesh, workers);
+        while self.group_scratches.len() < workers {
+            self.group_scratches.push(GroupScratch::new());
+        }
+        while self.plan_outs.len() < workers {
+            self.plan_outs.push(PlanOut::default());
+        }
+
+        let cursor = AtomicUsize::new(0);
+        let recycler = &self.recycler;
+        {
+            let cursor = &cursor;
+            let tasks: Vec<Task<'_>> = self
+                .scratches
+                .iter_mut()
+                .zip(self.group_scratches.iter_mut())
+                .zip(self.plan_outs.iter_mut())
+                .take(workers)
+                .map(|((scratch, group_scratch), out)| {
+                    out.staged.clear();
+                    out.refills.clear();
+                    out.shared_visited = 0;
+                    out.attributed_visited = 0;
+                    Box::new(move || loop {
+                        let g = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(group) = plan.groups.get(g) else {
+                            break;
+                        };
+                        match &group.route {
+                            Route::Scan => {
+                                run_scan_group(mesh, queries, &group.members, recycler, out);
+                            }
+                            Route::Crawl(probe) => run_crawl_group(
+                                octopus,
+                                mesh,
+                                queries,
+                                group,
+                                probe,
+                                plan.margin,
+                                scratch,
+                                group_scratch,
+                                recycler,
+                                out,
+                            ),
+                        }
+                    }) as Task<'_>
+                })
+                .collect();
+            self.pool.run(tasks);
+        }
+
+        // Reassemble in input order through the persistent slot buffer.
+        self.slots.clear();
+        self.slots.resize_with(queries.len(), || None);
+        let mut refills = Vec::new();
+        for out in self.plan_outs.iter_mut().take(workers) {
+            report.shared_visited += out.shared_visited;
+            report.attributed_visited += out.attributed_visited;
+            for (i, r) in out.staged.drain(..) {
+                report.cache_seeded += r.timings.cache_seeded;
+                self.slots[i as usize] = Some(r);
+            }
+            refills.append(&mut out.refills);
+        }
+        for (i, r) in sharded_results {
+            self.slots[i as usize] = Some(r);
+        }
+        for group in &plan.groups {
+            if group.members.len() >= 2 && matches!(group.route, Route::Crawl(_)) {
+                report.grouped_queries += group.members.len();
+            }
+            if matches!(group.route, Route::Scan) {
+                report.scan_queries += group.members.len();
+            }
+        }
+        let mut results = self.free_batches.pop().unwrap_or_default();
+        results.extend(
+            self.slots
+                .drain(..)
+                .map(|r| r.expect("the plan covers every query")),
+        );
+        (results, refills)
+    }
+}
+
+/// One shared linear scan over the positions, demultiplexed into the
+/// member queries. Matches crawl semantics on orphaned vertices: range
+/// queries are defined over *active* vertices, so zero-degree position
+/// slots left behind by restructuring are skipped.
+fn run_scan_group(
+    mesh: &Mesh,
+    queries: &[Aabb],
+    members: &[u32],
+    recycler: &crate::recycle::ResultRecycler,
+    out: &mut PlanOut,
+) {
+    let t0 = Instant::now();
+    let union = members
+        .iter()
+        .map(|&i| queries[i as usize])
+        .fold(
+            Aabb::EMPTY,
+            |acc, q| if acc.is_empty() { q } else { acc.union(&q) },
+        );
+    let mut bufs: Vec<(u32, Vec<VertexId>)> = members.iter().map(|_| recycler.lease()).collect();
+    for (v, p) in mesh.positions().iter().enumerate() {
+        if union.contains(*p) && !mesh.neighbors(v as VertexId).is_empty() {
+            for (b, &i) in members.iter().enumerate() {
+                if queries[i as usize].contains(*p) {
+                    bufs[b].1.push(v as VertexId);
+                }
+            }
+        }
+    }
+    let elapsed = t0.elapsed();
+    for (b, &i) in members.iter().enumerate() {
+        let (generation, vertices) = std::mem::take(&mut bufs[b]);
+        let timings = PhaseTimings {
+            // The shared pass is attributed once, to the group's first
+            // member, so batch aggregation sums real wall time.
+            linear_scan: if b == 0 { elapsed } else { Default::default() },
+            results: vertices.len(),
+            ..Default::default()
+        };
+        out.staged.push((
+            i,
+            QueryResult {
+                vertices,
+                timings,
+                generation,
+            },
+        ));
+    }
+}
+
+/// One crawl-routed group: plain sequential path for singletons, the
+/// shared-frontier group crawl for k ≥ 2 — either warm-started from
+/// cached candidates or on a full probe with optional refill collection.
+#[allow(clippy::too_many_arguments)]
+fn run_crawl_group(
+    octopus: &Octopus,
+    mesh: &Mesh,
+    queries: &[Aabb],
+    group: &GroupPlan,
+    probe: &ProbePlan,
+    margin: f32,
+    scratch: &mut QueryScratch,
+    group_scratch: &mut GroupScratch,
+    recycler: &crate::recycle::ResultRecycler,
+    out: &mut PlanOut,
+) {
+    let members = &group.members;
+    if members.len() == 1 {
+        let i = members[0];
+        let q = &queries[i as usize];
+        let (generation, mut vertices) = recycler.lease();
+        let timings = match probe {
+            ProbePlan::Surface { collect: false } => {
+                octopus.query_with(scratch, mesh, q, &mut vertices)
+            }
+            ProbePlan::Surface { collect: true } => {
+                let mut cands = Vec::new();
+                let t =
+                    octopus.query_collecting(scratch, mesh, q, margin, &mut cands, &mut vertices);
+                out.refills.push((i, cands));
+                t
+            }
+            ProbePlan::Cached(c) => octopus.query_seeded(scratch, mesh, q, c, &mut vertices),
+        };
+        out.staged.push((
+            i,
+            QueryResult {
+                vertices,
+                timings,
+                generation,
+            },
+        ));
+        return;
+    }
+
+    let sub_queries: Vec<Aabb> = members.iter().map(|&i| queries[i as usize]).collect();
+    let mut gens: Vec<u32> = Vec::with_capacity(members.len());
+    let mut results: Vec<Vec<VertexId>> = members
+        .iter()
+        .map(|_| {
+            let (g, v) = recycler.lease();
+            gens.push(g);
+            v
+        })
+        .collect();
+    let cached = matches!(probe, ProbePlan::Cached(_));
+    let phase = match probe {
+        ProbePlan::Surface { collect: false } => octopus.query_group(
+            group_scratch,
+            mesh,
+            &sub_queries,
+            GroupProbe::Surface,
+            &mut results,
+        ),
+        ProbePlan::Surface { collect: true } => {
+            let mut cands: Vec<Vec<VertexId>> = vec![Vec::new(); members.len()];
+            let phase = octopus.query_group(
+                group_scratch,
+                mesh,
+                &sub_queries,
+                GroupProbe::Collect {
+                    margin,
+                    into: &mut cands,
+                },
+                &mut results,
+            );
+            for (b, &i) in members.iter().enumerate() {
+                out.refills.push((i, std::mem::take(&mut cands[b])));
+            }
+            phase
+        }
+        ProbePlan::Cached(c) => octopus.query_group(
+            group_scratch,
+            mesh,
+            &sub_queries,
+            GroupProbe::Cached(c),
+            &mut results,
+        ),
+    };
+    out.shared_visited += group_scratch.shared_visited();
+    for (b, (&i, vertices)) in members.iter().zip(results).enumerate() {
+        out.attributed_visited += group_scratch.visited(b);
+        let timings = PhaseTimings {
+            // Shared-phase wall times are attributed once, to the first
+            // member; per-query work counters follow the sequential
+            // conventions exactly.
+            surface_probe: if b == 0 {
+                phase.surface_probe
+            } else {
+                Default::default()
+            },
+            cache_probe: if b == 0 {
+                phase.cache_probe
+            } else {
+                Default::default()
+            },
+            directed_walk: if b == 0 {
+                phase.directed_walk
+            } else {
+                Default::default()
+            },
+            crawling: if b == 0 {
+                phase.crawling
+            } else {
+                Default::default()
+            },
+            start_vertices: group_scratch.seeds(b),
+            walk_visited: group_scratch.walk_steps(b),
+            crawl_visited: group_scratch.visited(b),
+            cache_seeded: usize::from(cached),
+            results: vertices.len(),
+            ..Default::default()
+        };
+        out.staged.push((
+            i,
+            QueryResult {
+                vertices,
+                timings,
+                generation: gens[b],
+            },
+        ));
+    }
+}

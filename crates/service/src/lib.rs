@@ -39,9 +39,25 @@
 //!   tracked per retained step, and the permutation never racing an
 //!   in-flight step (pending re-layouts drain the pipeline first).
 //!
+//! * [`BatchEngine`] — the **batch query engine**: incoming batches are
+//!   sorted by the Hilbert key of each query's centroid and swept into
+//!   *overlap groups*; each group of ≥ 2 intersecting queries runs one
+//!   **shared-frontier crawl** (one BFS over the union region with a
+//!   per-vertex membership bitmask — a vertex inside k overlapping
+//!   queries is visited once, not k times), a **temporal seed cache**
+//!   ([`SeedCacheStats`]) warm-starts repeated/drifted monitoring
+//!   queries from the previous step's boundary-vertex sample instead of
+//!   a full surface probe, and `Planner::decide_batch` routes each
+//!   group (shared linear scan vs. sequential vs. frontier-sharded
+//!   crawl) per its Eq.-6 decision instead of one global mode.
+//!   [`MonitorLoop::set_batch_engine`] wires it into the monitor's
+//!   query paths; cache entries are invalidated by
+//!   `Mesh::restructure_epoch` and translated through the layout
+//!   permutation on re-layout.
+//!
 //! All concurrency is `std` threads + channels; results are
 //! bit-identical to the sequential executor (the crate's property
-//! suite verifies batch and sharded execution against
+//! suite verifies batch, sharded and engine-routed execution against
 //! [`octopus_core::Octopus::query`] on random and layout-permuted
 //! meshes under both visited-set strategies).
 
@@ -49,15 +65,19 @@
 #![warn(clippy::all)]
 
 mod batch;
+mod engine;
 mod monitor;
 mod pool;
 mod recycle;
+mod seed_cache;
 mod shard;
 
 pub use batch::{BatchStats, ParallelExecutor, QueryResult};
+pub use engine::{BatchEngine, BatchEngineConfig, EngineReport};
 pub use monitor::{LayoutPolicy, MonitorLoop, RelayoutTrigger, ServiceError};
 pub use pool::{threads_spawned_total, Task, WorkerPool};
 pub use recycle::RecycleStats;
+pub use seed_cache::SeedCacheStats;
 
 /// Default number of worker threads: the machine's available
 /// parallelism, or 1 when it cannot be determined.

@@ -60,7 +60,9 @@
 //! reference run for every retained step at every ring depth.
 
 use crate::batch::{ParallelExecutor, QueryResult};
+use crate::engine::{BatchEngine, BatchEngineConfig, EngineReport};
 use crate::recycle::RecycleStats;
+use crate::seed_cache::SeedCacheStats;
 use octopus_core::layout::{curve_permutation, CurveKind, LocalityTracker};
 use octopus_core::{Octopus, PhaseTimings, QueryScratch};
 use octopus_geom::{Aabb, Point3, VertexId};
@@ -289,6 +291,13 @@ struct Slot {
     translation: Option<Arc<Vec<VertexId>>>,
     /// Outstanding query pins; a pinned slot is never recycled.
     pins: u32,
+    /// Cumulative maximum-displacement meter at this step: per step, the
+    /// largest distance any vertex moved, summed since ingest. Two
+    /// meter readings bound the displacement of *every* vertex between
+    /// those steps — the temporal seed cache's validity gate. Only
+    /// maintained while a batch engine with an active seed cache is
+    /// attached (0 otherwise).
+    cum_drift: f32,
 }
 
 /// The overlapped monitor loop: owns a simulation (running on its own
@@ -340,6 +349,11 @@ pub struct MonitorLoop {
     /// pins release, then the permutation is applied at a step
     /// boundary.
     relayout_pending: bool,
+    /// The batch query engine (overlap grouping + shared frontiers +
+    /// temporal seed cache + planner routing); `None` until
+    /// [`MonitorLoop::set_batch_engine`] attaches one, in which case
+    /// the batch and sequential query paths route through it.
+    engine: Option<BatchEngine>,
 }
 
 impl MonitorLoop {
@@ -404,6 +418,7 @@ impl MonitorLoop {
             exec,
             translation,
             pins: 0,
+            cum_drift: 0.0,
         });
         Ok(MonitorLoop {
             cmd_tx,
@@ -422,7 +437,49 @@ impl MonitorLoop {
             restructures_since_layout: 0,
             relayouts: 0,
             relayout_pending: false,
+            engine: None,
         })
+    }
+
+    /// Attaches a [`BatchEngine`] built for the latest snapshot:
+    /// `query_batch`/`query_batch_at` then route through overlap
+    /// grouping, shared-frontier crawls, Eq.-6 planner routing and the
+    /// temporal seed cache, and `query`/`query_at` warm-start from the
+    /// seed cache — all returning exactly what the plain paths return.
+    pub fn set_batch_engine(&mut self, cfg: BatchEngineConfig) -> Result<(), ServiceError> {
+        let engine = BatchEngine::new(cfg, &self.latest().mesh)?;
+        // Snapshots retained from before the engine attached carry no
+        // displacement history (their meters were never advanced), so a
+        // candidate list collected on one of them must never validate
+        // against another: space their meter readings further apart
+        // than the cache margin. Same-slot reuse (drift 0) stays valid
+        // — positions there really are identical — and post-attach
+        // steps accumulate real displacement on top of the latest
+        // reading, keeping the meter consistent from here on.
+        if engine.cache_enabled() {
+            let gap = 2.0 * engine.cache_margin();
+            for (i, slot) in self.slots.iter_mut().enumerate() {
+                slot.cum_drift = gap * i as f32;
+            }
+        }
+        self.engine = Some(engine);
+        Ok(())
+    }
+
+    /// The attached batch engine, if any.
+    pub fn batch_engine(&self) -> Option<&BatchEngine> {
+        self.engine.as_ref()
+    }
+
+    /// What the engine did with the last batch (`None` without an
+    /// engine).
+    pub fn engine_report(&self) -> Option<EngineReport> {
+        self.engine.as_ref().map(|e| *e.report())
+    }
+
+    /// Seed-cache counters (`None` without an engine).
+    pub fn seed_cache_stats(&self) -> Option<SeedCacheStats> {
+        self.engine.as_ref().map(BatchEngine::cache_stats)
     }
 
     /// Kicks off the next simulation step on the simulation thread and
@@ -494,7 +551,18 @@ impl MonitorLoop {
         self.in_flight -= 1;
         match update {
             Update::Deformed { step, positions } => {
+                // Advance the cumulative max-displacement meter (seed
+                // cache validity gate) before the copy overwrites the
+                // previous step's positions. Only paid when a seed
+                // cache is actually attached.
+                let track = self.engine.as_ref().is_some_and(BatchEngine::cache_enabled);
                 let latest = self.slots.back().expect("ring is never empty");
+                let cum_drift = latest.cum_drift
+                    + if track {
+                        max_displacement(latest.mesh.positions(), &positions)
+                    } else {
+                        0.0
+                    };
                 let mut mesh = match self.spare_meshes.pop() {
                     Some(m) => m,
                     None => latest.mesh.clone(),
@@ -507,6 +575,7 @@ impl MonitorLoop {
                     exec: Arc::clone(&latest.exec),
                     translation: latest.translation.clone(),
                     pins: 0,
+                    cum_drift,
                 };
                 if self.spare_bufs.len() < self.depth {
                     self.spare_bufs.push(positions);
@@ -539,6 +608,11 @@ impl MonitorLoop {
                     tracker.apply_delta(&mesh, &delta);
                 }
                 self.restructures_since_layout += 1;
+                // The restructuring step may also have moved positions,
+                // but its epoch advance drops every seed-cache entry —
+                // entries never span a restructure, so the meter can
+                // carry over unchanged.
+                let cum_drift = self.slots.back().expect("ring is never empty").cum_drift;
                 self.push_slot(Slot {
                     step,
                     conn_gen: self.conn_gen,
@@ -546,6 +620,7 @@ impl MonitorLoop {
                     exec,
                     translation,
                     pins: 0,
+                    cum_drift,
                 });
                 self.update_relayout_pending();
             }
@@ -637,6 +712,12 @@ impl MonitorLoop {
         }
         if let Some(tracker) = &mut self.tracker {
             tracker.rebaseline(&latest.mesh);
+        }
+        // Seed-cache entries survive a re-layout: candidate ids are
+        // translated through the permutation (geometry and drift meters
+        // are untouched by a relabelling).
+        if let Some(engine) = &mut self.engine {
+            engine.translate_cache(&perm);
         }
         // The re-laid-out slot opens the new connectivity generation:
         // subsequent deformation slots share its executor and may
@@ -843,41 +924,76 @@ impl MonitorLoop {
     }
 
     /// Answers one query against the latest snapshot (sequential
-    /// executor).
+    /// executor; warm-started from the seed cache when a batch engine
+    /// is attached).
     pub fn query(&mut self, q: &Aabb, out: &mut Vec<VertexId>) -> PhaseTimings {
-        let slot = self.slots.back().expect("ring is never empty");
-        slot.exec.query_with(&mut self.scratch, &slot.mesh, q, out)
+        self.query_index(self.slots.len() - 1, q, out)
     }
 
     /// Answers one query against the snapshot retained for `step`
     /// (sequential executor). Any retained step may be targeted while
     /// newer steps compute ahead — the pipelined generalisation of the
-    /// latest-step API.
+    /// latest-step API. With a batch engine attached, repeated or
+    /// drifted queries warm-start from the temporal seed cache instead
+    /// of re-probing the surface index (results are identical — the
+    /// cache only serves provably valid candidate supersets).
     pub fn query_at(
         &mut self,
         step: u32,
         q: &Aabb,
         out: &mut Vec<VertexId>,
     ) -> Result<PhaseTimings, ServiceError> {
-        let slot = &self.slots[self.slot_index(step)?];
-        Ok(slot.exec.query_with(&mut self.scratch, &slot.mesh, q, out))
+        let i = self.slot_index(step)?;
+        Ok(self.query_index(i, q, out))
     }
 
-    /// Answers a batch against the latest snapshot on the worker pool.
+    fn query_index(&mut self, i: usize, q: &Aabb, out: &mut Vec<VertexId>) -> PhaseTimings {
+        let slot = &self.slots[i];
+        if let Some(engine) = &mut self.engine {
+            return engine.query_cached(
+                &slot.exec,
+                &slot.mesh,
+                q,
+                &mut self.scratch,
+                slot.mesh.restructure_epoch(),
+                slot.cum_drift,
+                out,
+            );
+        }
+        slot.exec.query_with(&mut self.scratch, &slot.mesh, q, out)
+    }
+
+    /// Answers a batch against the latest snapshot on the worker pool —
+    /// through the batch engine (overlap grouping, shared frontiers,
+    /// seed cache, planner routing) when one is attached.
     pub fn query_batch(&mut self, queries: &[Aabb]) -> Vec<QueryResult> {
-        let slot = self.slots.back().expect("ring is never empty");
-        self.pool.execute_batch(&slot.exec, &slot.mesh, queries)
+        self.query_batch_index(self.slots.len() - 1, queries)
     }
 
     /// Answers a batch against the snapshot retained for `step` on the
-    /// worker pool.
+    /// worker pool (engine-routed when a batch engine is attached).
     pub fn query_batch_at(
         &mut self,
         step: u32,
         queries: &[Aabb],
     ) -> Result<Vec<QueryResult>, ServiceError> {
-        let slot = &self.slots[self.slot_index(step)?];
-        Ok(self.pool.execute_batch(&slot.exec, &slot.mesh, queries))
+        let i = self.slot_index(step)?;
+        Ok(self.query_batch_index(i, queries))
+    }
+
+    fn query_batch_index(&mut self, i: usize, queries: &[Aabb]) -> Vec<QueryResult> {
+        let slot = &self.slots[i];
+        match &mut self.engine {
+            Some(engine) => engine.execute(
+                &mut self.pool,
+                &slot.exec,
+                &slot.mesh,
+                queries,
+                slot.mesh.restructure_epoch(),
+                slot.cum_drift,
+            ),
+            None => self.pool.execute_batch(&slot.exec, &slot.mesh, queries),
+        }
     }
 
     /// Returns a finished batch's buffers to the executor's free lists
@@ -928,6 +1044,21 @@ impl Drop for MonitorLoop {
             let _ = handle.join();
         }
     }
+}
+
+/// Largest per-vertex displacement between two position snapshots of
+/// the same length — one O(V) pass (squared distances; one sqrt at the
+/// end), advancing the seed cache's cumulative drift meter.
+fn max_displacement(before: &[Point3], after: &[Point3]) -> f32 {
+    debug_assert_eq!(before.len(), after.len());
+    let mut max_sq = 0.0f32;
+    for (a, b) in before.iter().zip(after) {
+        let d = a.dist_sq(*b);
+        if d > max_sq {
+            max_sq = d;
+        }
+    }
+    max_sq.sqrt()
 }
 
 /// The simulation thread: steps on demand and hands snapshots back.

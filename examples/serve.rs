@@ -68,10 +68,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         m_fmt(mesh.num_vertices()),
         m_fmt(mesh.num_cells())
     );
+    // A *repeated* monitoring batch: the same 16 boxes are asked at
+    // every step (the monitoring workload the temporal seed cache
+    // exists for), so from step 2 on the batch engine warm-starts each
+    // query from the previous step's boundary-vertex sample instead of
+    // probing the surface index — and the stop-the-world replay below
+    // proves the answers identical anyway.
     let mut gen = QueryGen::new(&mesh, 0xC0FFEE);
-    let schedule: Vec<Vec<Aabb>> = (0..steps)
-        .map(|_| gen.batch_with_selectivity(16, 0.002))
-        .collect();
+    let batch: Vec<Aabb> = gen.batch_with_selectivity(16, 0.002);
+    let schedule: Vec<Vec<Aabb>> = (0..steps).map(|_| batch.clone()).collect();
 
     let make_sim = |mesh: Mesh| -> Result<Simulation, octopus::mesh::MeshError> {
         Simulation::new(mesh, Box::new(SmoothRandomField::new(0.008, 4, FIELD_SEED)))
@@ -80,6 +85,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ---- Overlapped (pipelined) run -------------------------------
     let mut monitor = MonitorLoop::with_config(make_sim(mesh.clone())?, workers, policy, depth)?;
+    // Batch query engine: overlap grouping + shared frontiers + the
+    // temporal seed cache + Eq.-6 planner routing, wired into
+    // `query_batch`/`query_at`.
+    monitor.set_batch_engine(octopus::service::BatchEngineConfig::default())?;
     let spawned_at_start = octopus::service::threads_spawned_total();
     let mut overlapped: Vec<Vec<Vec<VertexId>>> = Vec::new();
     // The id translation changes on re-layout; snapshot it per step so
@@ -134,6 +143,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let final_drift = monitor.locality_drift();
     let recycle_stats = monitor.recycle_stats();
     let relayouts = monitor.relayouts();
+    let cache_stats = monitor.seed_cache_stats().expect("engine attached");
+    let engine_report = monitor.engine_report().expect("engine attached");
     let spawned_during_run = octopus::service::threads_spawned_total() - spawned_at_start;
     monitor.shutdown().ok();
 
@@ -203,6 +214,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(
         spawned_during_run, 0,
         "steady-state serving must not spawn threads"
+    );
+    println!(
+        "  seed cache: {} hits / {} misses / {} stale (hit rate {:.1}%), {} inserted; \
+         last batch: {} group(s), {} grouped, {} scan-routed",
+        cache_stats.hits,
+        cache_stats.misses,
+        cache_stats.stale,
+        100.0 * cache_stats.hit_rate(),
+        cache_stats.insertions,
+        engine_report.groups,
+        engine_report.grouped_queries,
+        engine_report.scan_queries
+    );
+    assert!(
+        cache_stats.hits > 0,
+        "a repeated monitoring batch must produce seed-cache hits (stats: {cache_stats:?})"
     );
     println!(
         "  stop-the-world: {reference_wall:>8.1?} wall (sim busy {sim_busy:.1?} of it, serialized)"
