@@ -28,6 +28,12 @@
 //! the hit rate). The 1-hardware-thread caveat applies to every
 //! parallel mode.
 //!
+//! A final section measures **standing queries**: the same 16 boxes
+//! either re-queried from scratch every step (`standing_requery`) or
+//! registered once as subscriptions and *polled* for incremental
+//! deltas (`standing_poll`), reporting the fraction of polls served by
+//! the drift-bounded delta fast path instead of a crawl.
+//!
 //! Run directly, or with `--json <path>` to record a machine-readable
 //! baseline (the committed `BENCH_throughput.json`, which also carries
 //! the PR 2 numbers under `baseline_pr2` for trajectory):
@@ -89,7 +95,8 @@ const BASELINE_PR2: &str = r#"{
 
 struct Entry {
     /// "sequential" | "spawn" | "pool" | "ring_stw" | "ring" |
-    /// "shared_off" | "shared" | "seedcache_off" | "seedcache"
+    /// "shared_off" | "shared" | "seedcache_off" | "seedcache" |
+    /// "standing_requery" | "standing_poll"
     mode: &'static str,
     workers: usize, // 0 = sequential baseline
     batch: usize,
@@ -460,12 +467,90 @@ fn main() {
         speedup: cache_qps[1] / cache_qps[0],
     });
 
+    // ---- Standing queries: poll deltas vs re-query every step --------
+    // The same 16 boxes, every step of a deforming simulation. The
+    // baseline answers them as a fresh batch each step; the standing
+    // configuration subscribes them once and polls: while accumulated
+    // drift stays inside the band, only vertices near a box boundary
+    // are re-tested — no probe, no walk, no crawl.
+    let standing_queries: Vec<Aabb> = gen.batch_with_selectivity(RING_BATCH, SELECTIVITY);
+    let requery_qps = {
+        let mut monitor =
+            MonitorLoop::with_config(make_sim(&mesh), RING_WORKERS, LayoutPolicy::Preserve, 1)
+                .expect("monitor");
+        measure(RING_BATCH, || {
+            monitor.fill_pipeline().expect("begin steps");
+            monitor.finish_step().expect("finish step");
+            let results = monitor.query_batch(&standing_queries);
+            let total = results.iter().map(|r| r.vertices.len()).sum();
+            monitor.recycle(results);
+            total
+        })
+    };
+    println!(
+        "{:<34} {:>12.0} {:>9}",
+        format!("standing/requery/batch{RING_BATCH}"),
+        requery_qps,
+        "1.00x"
+    );
+    entries.push(Entry {
+        mode: "standing_requery",
+        workers: RING_WORKERS,
+        batch: RING_BATCH,
+        depth: 1,
+        qps: requery_qps,
+        speedup: 1.0,
+    });
+    let (poll_qps, delta_hit_rate) = {
+        let mut monitor =
+            MonitorLoop::with_config(make_sim(&mesh), RING_WORKERS, LayoutPolicy::Preserve, 1)
+                .expect("monitor");
+        let ids: Vec<_> = standing_queries
+            .iter()
+            .map(|q| monitor.subscribe(q))
+            .collect();
+        let qps = measure(RING_BATCH, || {
+            monitor.fill_pipeline().expect("begin steps");
+            monitor.finish_step().expect("finish step");
+            std::hint::black_box(monitor.poll_subscriptions());
+            ids.iter()
+                .map(|&id| monitor.subscription_result(id).map_or(0, <[_]>::len))
+                .sum()
+        });
+        let (mut delta_polls, mut polls) = (0u64, 0u64);
+        for &id in &ids {
+            let s = monitor.subscription_stats(id).expect("live subscription");
+            delta_polls += s.delta_polls;
+            polls += s.polls;
+        }
+        (qps, delta_polls as f64 / polls.max(1) as f64)
+    };
+    println!(
+        "{:<34} {:>12.0} {:>8.2}x",
+        format!("standing/poll/batch{RING_BATCH}"),
+        poll_qps,
+        poll_qps / requery_qps
+    );
+    println!(
+        "  standing delta-path hit rate: {:.1}% of polls",
+        100.0 * delta_hit_rate
+    );
+    entries.push(Entry {
+        mode: "standing_poll",
+        workers: RING_WORKERS,
+        batch: RING_BATCH,
+        depth: 1,
+        qps: poll_qps,
+        speedup: poll_qps / requery_qps,
+    });
+
     if let Some(path) = json_path {
         let mut json = String::from("{\n");
         let _ = writeln!(json, "  \"bench\": \"fig_throughput\",");
         let _ = writeln!(json, "  \"hardware_threads\": {hw},");
         let _ = writeln!(json, "  \"mesh_vertices\": {},", mesh.num_vertices());
         let _ = writeln!(json, "  \"selectivity\": {SELECTIVITY},");
+        let _ = writeln!(json, "  \"standing_delta_hit_rate\": {delta_hit_rate:.3},");
         let _ = writeln!(json, "  \"baseline_pr2\": {BASELINE_PR2},");
         let _ = writeln!(json, "  \"entries\": [");
         for (i, e) in entries.iter().enumerate() {
@@ -479,6 +564,8 @@ fn main() {
                 "speedup_vs_independent_pool"
             } else if e.mode.starts_with("seedcache") {
                 "speedup_vs_uncached_engine"
+            } else if e.mode.starts_with("standing") {
+                "speedup_vs_requery"
             } else {
                 "speedup_vs_sequential"
             };

@@ -5,9 +5,12 @@
 //! BFS queue) so repeated queries reuse allocations — the "data
 //! structures used during crawling" whose footprint Fig. 10(b) reports.
 
-use octopus_geom::{Aabb, VertexId};
+use octopus_geom::{Region, VertexId};
 use octopus_mesh::Mesh;
 use std::collections::{HashSet, VecDeque};
+
+#[cfg(test)]
+use octopus_geom::Aabb;
 
 /// Epoch-stamped dense membership set: a `Vec<u32>` of stamps plus a
 /// current-generation counter. Starting a new generation is O(1) — bump
@@ -234,7 +237,24 @@ impl Crawler {
     /// edges from all seeded vertices. An edge is never followed past a
     /// vertex outside the query region, so the work done is proportional
     /// to the result size times the mesh degree — not the dataset size.
-    pub(crate) fn crawl(&mut self, mesh: &Mesh, q: &Aabb, out: &mut Vec<VertexId>) {
+    ///
+    /// Generic over [`Region`] (monomorphised — the box fast path is
+    /// unchanged), so the same BFS serves boxes, convex regions, and any
+    /// future shape with a containment predicate.
+    pub(crate) fn crawl<R: Region>(&mut self, mesh: &Mesh, q: &R, out: &mut Vec<VertexId>) {
+        self.crawl_with(mesh, q, |w| out.push(w));
+    }
+
+    /// [`Crawler::crawl`] without result materialisation: `visit` fires
+    /// once per newly discovered in-region vertex (seeds, already
+    /// marked, are the caller's to fold). This is the aggregate-query
+    /// path — counting or summing positions needs no result vector.
+    pub(crate) fn crawl_with<R: Region>(
+        &mut self,
+        mesh: &Mesh,
+        q: &R,
+        mut visit: impl FnMut(VertexId),
+    ) {
         let positions = mesh.positions();
         while let Some(v) = match self.order {
             CrawlOrder::Bfs => self.queue.pop_front(),
@@ -250,7 +270,7 @@ impl Crawler {
             for &w in neighbors {
                 if self.mark(w) {
                     if q.contains(positions[w as usize]) {
-                        out.push(w);
+                        visit(w);
                         self.queue.push_back(w);
                     } else {
                         self.crawl_visited += 1;
@@ -268,10 +288,10 @@ impl Crawler {
     ///
     /// Termination: the distance to `q` strictly decreases every step, so
     /// the walk can never revisit a vertex.
-    pub(crate) fn directed_walk(
+    pub(crate) fn directed_walk<R: Region>(
         &mut self,
         mesh: &Mesh,
-        q: &Aabb,
+        q: &R,
         start: VertexId,
     ) -> Option<VertexId> {
         let (found, steps, end_dist_sq) = greedy_walk(mesh, q, start);
@@ -306,9 +326,14 @@ impl Crawler {
 /// the walk can never revisit a vertex. Shared by the single-query
 /// [`Crawler`] and the multi-query group seeder, which runs one walk per
 /// (query, unseeded component) pair without owning a `Crawler`.
-pub(crate) fn greedy_walk(
+///
+/// Generic over [`Region`]: the walk only compares distances, so any
+/// guidance metric that is zero exactly on containment preserves both
+/// termination and the found-vertex contract (see
+/// [`octopus_geom::ConvexRegion`]'s lower-bound distance).
+pub(crate) fn greedy_walk<R: Region>(
     mesh: &Mesh,
-    q: &Aabb,
+    q: &R,
     start: VertexId,
 ) -> (Option<VertexId>, usize, f32) {
     let positions = mesh.positions();

@@ -2,8 +2,9 @@
 
 use crate::crawler::{greedy_walk, Crawler, EpochStamps, VisitedStrategy, VisitedView};
 use crate::frontier::{GroupScratch, MAX_GROUP};
+use crate::shape::{AggregateKind, AggregateValue, QueryShape, ShapeResult};
 use crate::surface_index::SurfaceIndex;
-use octopus_geom::{Aabb, Point3, VertexId};
+use octopus_geom::{Aabb, Point3, Region, VertexId};
 use octopus_mesh::{Mesh, MeshError, SurfaceDelta};
 use std::time::{Duration, Instant};
 
@@ -118,6 +119,10 @@ pub struct QueryScratch {
     crawler: Crawler,
     /// Per-component "has a seed" stamps for the current query.
     seeded: EpochStamps,
+    /// Reusable staging buffer for the shape queries (k-nearest
+    /// candidate sets, aggregate seed lists) so they stay
+    /// allocation-free in steady state like the box path.
+    shape_buf: Vec<VertexId>,
 }
 
 impl QueryScratch {
@@ -125,6 +130,7 @@ impl QueryScratch {
         QueryScratch {
             crawler: Crawler::new(num_vertices, strategy),
             seeded: EpochStamps::with_len(components),
+            shape_buf: Vec::new(),
         }
     }
 
@@ -144,7 +150,9 @@ impl QueryScratch {
 
     /// Heap bytes of the scratch structures.
     pub fn memory_bytes(&self) -> usize {
-        self.crawler.memory_bytes() + self.seeded.heap_bytes()
+        self.crawler.memory_bytes()
+            + self.seeded.heap_bytes()
+            + self.shape_buf.capacity() * std::mem::size_of::<VertexId>()
     }
 
     /// The visited-set strategy this scratch was built with. Pools
@@ -464,6 +472,167 @@ impl Octopus {
         )
     }
 
+    /// Range query over an arbitrary [`Region`] — the generalised
+    /// crawl predicate behind [`QueryShape::Convex`]. Identical
+    /// machinery to [`Octopus::query_with`] (monomorphised per region
+    /// type, so the box path pays nothing): probe and crawl test the
+    /// region's containment, the component-aware directed walks follow
+    /// its guidance distance. Exactness needs `region.dist_sq` to be
+    /// zero exactly on containment, which both [`Aabb`] and
+    /// [`octopus_geom::ConvexRegion`] guarantee.
+    pub fn query_region<R: Region>(
+        &self,
+        scratch: &mut QueryScratch,
+        mesh: &Mesh,
+        region: &R,
+        out: &mut Vec<VertexId>,
+    ) -> PhaseTimings {
+        run_query(
+            &self.surface,
+            &self.components,
+            scratch,
+            mesh,
+            region,
+            out,
+            true,
+            ProbeSource::Surface,
+        )
+    }
+
+    /// [`Octopus::query_region`] through the executor's own scratch.
+    pub fn query_region_mut<R: Region>(
+        &mut self,
+        mesh: &Mesh,
+        region: &R,
+        out: &mut Vec<VertexId>,
+    ) -> PhaseTimings {
+        run_query(
+            &self.surface,
+            &self.components,
+            &mut self.scratch,
+            mesh,
+            region,
+            out,
+            true,
+            ProbeSource::Surface,
+        )
+    }
+
+    /// The `k` active vertices nearest `point` (Euclidean distance,
+    /// ties broken by ascending id), appended to `out` in ascending
+    /// (distance, id) order. Returns fewer than `k` ids only when the
+    /// mesh has fewer than `k` active vertices.
+    ///
+    /// Exact expanding-cube reduction to box queries: query the cube of
+    /// half-extent `r` around `point`; once ≥ `k` results lie within
+    /// Euclidean distance `r` (the cube's inscribed ball) the true `k`
+    /// nearest are all among the candidates — any vertex within
+    /// distance `r` is inside the cube. Otherwise `r` doubles; the cube
+    /// eventually covers the whole mesh, so at most O(log) box queries
+    /// run, each warm on the shared probe/walk/crawl machinery.
+    pub fn query_knn(
+        &self,
+        scratch: &mut QueryScratch,
+        mesh: &Mesh,
+        k: usize,
+        point: Point3,
+        out: &mut Vec<VertexId>,
+    ) -> PhaseTimings {
+        run_knn(
+            &self.surface,
+            &self.components,
+            scratch,
+            mesh,
+            k,
+            point,
+            out,
+        )
+    }
+
+    /// [`Octopus::query_knn`] through the executor's own scratch.
+    pub fn query_knn_mut(
+        &mut self,
+        mesh: &Mesh,
+        k: usize,
+        point: Point3,
+        out: &mut Vec<VertexId>,
+    ) -> PhaseTimings {
+        run_knn(
+            &self.surface,
+            &self.components,
+            &mut self.scratch,
+            mesh,
+            k,
+            point,
+            out,
+        )
+    }
+
+    /// Aggregate query over `q`: the count (and, for
+    /// [`AggregateKind::Centroid`], the mean position) of the vertices
+    /// inside `q`, computed **without materialising the result set** —
+    /// the crawl folds straight into the accumulator, so a huge
+    /// aggregate costs no result memory at all. Equal, by construction,
+    /// to aggregating [`Octopus::query`]'s materialised ids (the
+    /// differential suite asserts it).
+    pub fn query_aggregate(
+        &self,
+        scratch: &mut QueryScratch,
+        mesh: &Mesh,
+        q: &Aabb,
+        kind: AggregateKind,
+    ) -> (AggregateValue, PhaseTimings) {
+        run_aggregate(&self.surface, &self.components, scratch, mesh, q, kind)
+    }
+
+    /// [`Octopus::query_aggregate`] through the executor's own scratch.
+    pub fn query_aggregate_mut(
+        &mut self,
+        mesh: &Mesh,
+        q: &Aabb,
+        kind: AggregateKind,
+    ) -> (AggregateValue, PhaseTimings) {
+        run_aggregate(
+            &self.surface,
+            &self.components,
+            &mut self.scratch,
+            mesh,
+            q,
+            kind,
+        )
+    }
+
+    /// Answers any [`QueryShape`] — the uniform dispatch point the
+    /// batch engine and monitor route non-box shapes through.
+    pub fn query_shape(
+        &self,
+        scratch: &mut QueryScratch,
+        mesh: &Mesh,
+        shape: &QueryShape,
+    ) -> (ShapeResult, PhaseTimings) {
+        match shape {
+            QueryShape::Box(q) => {
+                let mut out = Vec::new();
+                let t = self.query_with(scratch, mesh, q, &mut out);
+                (ShapeResult::Vertices(out), t)
+            }
+            QueryShape::Convex(r) => {
+                let mut out = Vec::new();
+                let t = self.query_region(scratch, mesh, r, &mut out);
+                (ShapeResult::Vertices(out), t)
+            }
+            QueryShape::KNearest { k, point } => {
+                let mut out = Vec::new();
+                let t = self.query_knn(scratch, mesh, *k, *point, &mut out);
+                (ShapeResult::Vertices(out), t)
+            }
+            QueryShape::Aggregate { region, kind } => {
+                let (value, t) = self.query_aggregate(scratch, mesh, region, *kind);
+                (ShapeResult::Aggregate(value), t)
+            }
+        }
+    }
+
     /// Runs only the seeding phases of Algorithm 1 (surface probe +
     /// component-aware directed walks), appending the crawl seeds to
     /// `out` and marking them visited in `scratch` — the
@@ -564,12 +733,12 @@ enum ProbeSource<'a> {
 /// its own `scratch`. With `crawl == false` only the seeding phases run
 /// (probe + walks) and `out` holds the seed set on return.
 #[allow(clippy::too_many_arguments)]
-fn run_query(
+fn run_query<R: Region>(
     surface: &SurfaceIndex,
     components: &ComponentMap,
     scratch: &mut QueryScratch,
     mesh: &Mesh,
-    q: &Aabb,
+    q: &R,
     out: &mut Vec<VertexId>,
     crawl: bool,
     probe: ProbeSource<'_>,
@@ -913,12 +1082,12 @@ const _: () = {
     assert_send::<QueryScratch>();
 };
 
-/// Surface vertex among `ids` closest to `q` (squared Euclidean
-/// box distance), or `None` for an empty iterator.
-fn closest_of<'a>(
+/// Surface vertex among `ids` closest to `q` (squared guidance
+/// distance), or `None` for an empty iterator.
+fn closest_of<'a, R: Region>(
     ids: impl Iterator<Item = &'a VertexId>,
     positions: &[octopus_geom::Point3],
-    q: &Aabb,
+    q: &R,
 ) -> Option<VertexId> {
     let mut best = None;
     let mut best_dist = f32::INFINITY;
@@ -930,6 +1099,135 @@ fn closest_of<'a>(
         }
     }
     best
+}
+
+/// Exact k-nearest-neighbour search by expanding cube queries (see
+/// [`Octopus::query_knn`] for the correctness argument).
+fn run_knn(
+    surface: &SurfaceIndex,
+    components: &ComponentMap,
+    scratch: &mut QueryScratch,
+    mesh: &Mesh,
+    k: usize,
+    point: Point3,
+    out: &mut Vec<VertexId>,
+) -> PhaseTimings {
+    let mut total = PhaseTimings::default();
+    if k == 0 || mesh.num_vertices() == 0 || surface.ids().is_empty() {
+        return total;
+    }
+    let bbox = mesh.bounding_box();
+    let positions = mesh.positions();
+    // Initial half-extent: a few edge lengths, scaled by ∛k (uniform
+    // density would put k vertices in a cube of that order), pushed out
+    // to reach the mesh when the query point lies far outside it.
+    let edge = components.edge_scale;
+    let diag = bbox.extent().length();
+    let mut r = if edge > 0.0 {
+        edge * (k as f32).cbrt().max(1.0)
+    } else {
+        diag
+    };
+    if r.is_nan() || r <= 0.0 {
+        r = 1.0; // degenerate (single-point) mesh: any positive seed works
+    }
+    r += bbox.dist(point);
+
+    let mut buf = std::mem::take(&mut scratch.shape_buf);
+    loop {
+        buf.clear();
+        let cube = Aabb::cube(point, r);
+        let stats = run_query(
+            surface,
+            components,
+            scratch,
+            mesh,
+            &cube,
+            &mut buf,
+            true,
+            ProbeSource::Surface,
+        );
+        total.accumulate(&stats);
+        let r_sq = r * r;
+        let within = buf
+            .iter()
+            .filter(|&&v| point.dist_sq(positions[v as usize]) <= r_sq)
+            .count();
+        if within >= k || cube.contains_box(&bbox) {
+            break;
+        }
+        r *= 2.0;
+    }
+
+    // Deterministic selection: ascending (distance², id). Squared
+    // distances order identically to distances, ties included.
+    let mut ranked: Vec<(f32, VertexId)> = buf
+        .iter()
+        .map(|&v| (point.dist_sq(positions[v as usize]), v))
+        .collect();
+    ranked.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    ranked.truncate(k);
+    out.extend(ranked.iter().map(|&(_, v)| v));
+    scratch.shape_buf = buf;
+    total.results = ranked.len();
+    total
+}
+
+/// Aggregate execution: seeds-only Algorithm 1, then a fold-crawl that
+/// never materialises result ids (see [`Octopus::query_aggregate`]).
+fn run_aggregate(
+    surface: &SurfaceIndex,
+    components: &ComponentMap,
+    scratch: &mut QueryScratch,
+    mesh: &Mesh,
+    q: &Aabb,
+    kind: AggregateKind,
+) -> (AggregateValue, PhaseTimings) {
+    let mut seeds = std::mem::take(&mut scratch.shape_buf);
+    seeds.clear();
+    let mut stats = run_query(
+        surface,
+        components,
+        scratch,
+        mesh,
+        q,
+        &mut seeds,
+        false,
+        ProbeSource::Surface,
+    );
+    let t = Instant::now();
+    let positions = mesh.positions();
+    let want_centroid = kind == AggregateKind::Centroid;
+    let mut count = 0usize;
+    // f64 accumulation: a billion-f32 sum in f32 would lose the
+    // centroid entirely.
+    let mut sum = [0f64; 3];
+    let mut fold = |v: VertexId| {
+        count += 1;
+        if want_centroid {
+            let p = positions[v as usize];
+            sum[0] += f64::from(p.x);
+            sum[1] += f64::from(p.y);
+            sum[2] += f64::from(p.z);
+        }
+    };
+    for &v in &seeds {
+        fold(v);
+    }
+    scratch.crawler.crawl_with(mesh, q, &mut fold);
+    stats.crawling = t.elapsed();
+    stats.crawl_visited = scratch.crawler.crawl_visited;
+    stats.results = count;
+    scratch.shape_buf = seeds;
+    let centroid = (want_centroid && count > 0).then(|| {
+        let n = count as f64;
+        Point3::new(
+            (sum[0] / n) as f32,
+            (sum[1] / n) as f32,
+            (sum[2] / n) as f32,
+        )
+    });
+    (AggregateValue { count, centroid }, stats)
 }
 
 #[cfg(test)]
@@ -1434,5 +1732,176 @@ mod tests {
         let mesh = box_mesh(6);
         let o = Octopus::new(&mesh).unwrap();
         assert!(o.memory_bytes() > o.surface_index().memory_bytes());
+    }
+
+    #[test]
+    fn convex_region_query_equals_halfspace_filtered_scan() {
+        use octopus_geom::{ConvexRegion, Halfspace, Region, Vec3};
+        let mesh = neuron(NeuroLevel::L1, 0.5).unwrap();
+        let mut o = Octopus::new(&mesh).unwrap();
+        let mut rng = SplitMix64::new(0xC0DE);
+        let bounds = mesh.bounding_box();
+        for i in 0..20 {
+            let c = Point3::new(
+                rng.range_f32(bounds.min.x, bounds.max.x),
+                rng.range_f32(bounds.min.y, bounds.max.y),
+                rng.range_f32(bounds.min.z, bounds.max.z),
+            );
+            let bx = Aabb::cube(c, rng.range_f32(0.05, 0.35));
+            let region = ConvexRegion::new(
+                bx,
+                vec![
+                    Halfspace::through(
+                        c,
+                        Vec3::new(rng.range_f32(-1.0, 1.0), rng.range_f32(-1.0, 1.0), 1.0),
+                    ),
+                    Halfspace::through(c, Vec3::new(1.0, rng.range_f32(-1.0, 1.0), 0.0)),
+                ],
+            );
+            let mut out = Vec::new();
+            o.query_region_mut(&mesh, &region, &mut out);
+            out.sort_unstable();
+            let expected: Vec<VertexId> = mesh
+                .positions()
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| region.contains(**p))
+                .map(|(v, _)| v as VertexId)
+                .collect();
+            assert_eq!(out, expected, "convex query {i}");
+        }
+    }
+
+    #[test]
+    fn knn_matches_brute_force_with_deterministic_ties() {
+        let mesh = box_mesh(6);
+        let o = Octopus::new(&mesh).unwrap();
+        let mut scratch = o.make_scratch(&mesh);
+        let positions = mesh.positions();
+        let mut rng = SplitMix64::new(0x5EED);
+        for k in [1usize, 4, 17, 100] {
+            // Centre point: lattice symmetry forces genuine distance ties.
+            for point in [
+                Point3::splat(0.5),
+                Point3::new(rng.next_f32(), rng.next_f32(), rng.next_f32()),
+                Point3::splat(4.0), // far outside the mesh
+            ] {
+                let mut got = Vec::new();
+                let stats = o.query_knn(&mut scratch, &mesh, k, point, &mut got);
+                let mut expected: Vec<(f32, VertexId)> = positions
+                    .iter()
+                    .enumerate()
+                    .filter(|(v, _)| !mesh.neighbors(*v as u32).is_empty())
+                    .map(|(v, p)| (point.dist_sq(*p), v as VertexId))
+                    .collect();
+                expected.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+                expected.truncate(k);
+                let expected: Vec<VertexId> = expected.into_iter().map(|(_, v)| v).collect();
+                assert_eq!(got, expected, "k = {k}, point = {point:?}");
+                assert_eq!(stats.results, got.len());
+            }
+        }
+    }
+
+    #[test]
+    fn knn_with_k_beyond_mesh_returns_all_active_vertices() {
+        let mesh = box_mesh(3);
+        let o = Octopus::new(&mesh).unwrap();
+        let mut scratch = o.make_scratch(&mesh);
+        let mut got = Vec::new();
+        o.query_knn(
+            &mut scratch,
+            &mesh,
+            mesh.num_vertices() * 2,
+            Point3::splat(0.5),
+            &mut got,
+        );
+        assert_eq!(got.len(), mesh.num_vertices());
+        // k = 0 is a no-op.
+        let mut none = Vec::new();
+        o.query_knn(&mut scratch, &mesh, 0, Point3::splat(0.5), &mut none);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn aggregate_equals_materialised_count_and_centroid() {
+        let mesh = neuron(NeuroLevel::L1, 0.5).unwrap();
+        let o = Octopus::new(&mesh).unwrap();
+        let mut scratch = o.make_scratch(&mesh);
+        let mut rng = SplitMix64::new(0xA66);
+        let bounds = mesh.bounding_box();
+        for i in 0..15 {
+            let c = Point3::new(
+                rng.range_f32(bounds.min.x, bounds.max.x),
+                rng.range_f32(bounds.min.y, bounds.max.y),
+                rng.range_f32(bounds.min.z, bounds.max.z),
+            );
+            let q = Aabb::cube(c, rng.range_f32(0.05, 0.4));
+            let mut ids = Vec::new();
+            o.query_with(&mut scratch, &mesh, &q, &mut ids);
+            let (count_only, stats) =
+                o.query_aggregate(&mut scratch, &mesh, &q, AggregateKind::Count);
+            assert_eq!(count_only.count, ids.len(), "query {i}: count");
+            assert_eq!(count_only.centroid, None);
+            assert_eq!(stats.results, ids.len());
+            let (with_centroid, _) =
+                o.query_aggregate(&mut scratch, &mesh, &q, AggregateKind::Centroid);
+            assert_eq!(with_centroid.count, ids.len());
+            if ids.is_empty() {
+                assert_eq!(with_centroid.centroid, None);
+            } else {
+                let mut sum = [0f64; 3];
+                for &v in &ids {
+                    let p = mesh.position(v);
+                    sum[0] += f64::from(p.x);
+                    sum[1] += f64::from(p.y);
+                    sum[2] += f64::from(p.z);
+                }
+                let n = ids.len() as f64;
+                let c = with_centroid.centroid.unwrap();
+                assert!((f64::from(c.x) - sum[0] / n).abs() < 1e-5, "query {i}: cx");
+                assert!((f64::from(c.y) - sum[1] / n).abs() < 1e-5, "query {i}: cy");
+                assert!((f64::from(c.z) - sum[2] / n).abs() < 1e-5, "query {i}: cz");
+            }
+        }
+    }
+
+    #[test]
+    fn query_shape_dispatch_agrees_with_direct_entry_points() {
+        use crate::shape::QueryShape;
+        let mesh = box_mesh(5);
+        let o = Octopus::new(&mesh).unwrap();
+        let mut scratch = o.make_scratch(&mesh);
+        let q = Aabb::cube(Point3::splat(0.4), 0.3);
+        let (via_shape, _) = o.query_shape(&mut scratch, &mesh, &QueryShape::Box(q));
+        let mut direct = Vec::new();
+        o.query_with(&mut scratch, &mesh, &q, &mut direct);
+        let mut got = via_shape.vertices().unwrap().to_vec();
+        got.sort_unstable();
+        direct.sort_unstable();
+        assert_eq!(got, direct);
+
+        let shape = QueryShape::KNearest {
+            k: 7,
+            point: Point3::splat(0.2),
+        };
+        let (knn, _) = o.query_shape(&mut scratch, &mesh, &shape);
+        let mut direct = Vec::new();
+        o.query_knn(&mut scratch, &mesh, 7, Point3::splat(0.2), &mut direct);
+        assert_eq!(knn.vertices().unwrap(), &direct[..]);
+        assert_eq!(knn.len(), 7);
+        assert!(!knn.is_empty());
+
+        let agg = QueryShape::Aggregate {
+            region: q,
+            kind: AggregateKind::Count,
+        };
+        let (agg_res, _) = o.query_shape(&mut scratch, &mesh, &agg);
+        assert_eq!(
+            agg_res.len(),
+            got.len(),
+            "aggregate count == box result size"
+        );
+        assert!(agg_res.vertices().is_none());
     }
 }

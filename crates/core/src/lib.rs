@@ -24,7 +24,12 @@
 //! * [`CostModel`] — the analytical model (Eq. 1–6) with on-machine
 //!   calibration of the `C_S`/`C_R` constants.
 //! * [`Planner`] — the Eq.-6 decision rule (OCTOPUS vs. linear scan)
-//!   driven by histogram selectivity estimates.
+//!   driven by histogram selectivity estimates, with per-shape
+//!   estimation ([`Planner::decide_shape`]).
+//! * [`QueryShape`] — query shapes beyond the box: bounded convex
+//!   regions, exact k-nearest-neighbour, and materialisation-free
+//!   aggregates, all running on the same probe → walk → crawl
+//!   machinery ([`Octopus::query_shape`]).
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -37,6 +42,7 @@ pub mod executor;
 pub mod frontier;
 pub mod layout;
 pub mod planner;
+pub mod shape;
 pub mod surface_index;
 
 pub use approx::ApproxOctopus;
@@ -46,4 +52,5 @@ pub use crawler::{CrawlOrder, VisitedStrategy, VisitedView};
 pub use executor::{GroupPhase, GroupProbe, Octopus, PhaseTimings, QueryScratch};
 pub use frontier::{GroupScratch, ShardWorker, MAX_GROUP};
 pub use planner::{Decision, Planner, Strategy};
+pub use shape::{AggregateKind, AggregateValue, QueryShape, ShapeResult};
 pub use surface_index::SurfaceIndex;

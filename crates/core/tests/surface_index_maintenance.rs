@@ -7,18 +7,10 @@
 use octopus_core::SurfaceIndex;
 use octopus_geom::rng::SplitMix64;
 use octopus_geom::{Aabb, Point3, VertexId};
-use octopus_mesh::Mesh;
-use octopus_meshgen::voxel::VoxelRegion;
 use octopus_sim::{Deformation, SmoothRandomField};
+use octopus_testkit::random_mesh;
 use proptest::prelude::*;
 use std::collections::BTreeSet;
-
-fn random_mesh(n: usize, fill: f64, seed: u64) -> Mesh {
-    let bounds = Aabb::new(Point3::ORIGIN, Point3::splat(1.0));
-    let mut rng = SplitMix64::new(seed);
-    let region = VoxelRegion::from_fn(&bounds, n, n, n, |_| rng.chance(fill));
-    octopus_meshgen::tet::tetrahedralize(&region).expect("random masks are manifold")
-}
 
 fn as_set(idx: &SurfaceIndex) -> BTreeSet<VertexId> {
     idx.ids().iter().copied().collect()
@@ -112,8 +104,10 @@ proptest! {
 #[test]
 fn interior_refinement_then_removal_promotes_centroid() {
     let bounds = Aabb::new(Point3::ORIGIN, Point3::splat(1.0));
-    let mut mesh =
-        octopus_meshgen::tet::tetrahedralize(&VoxelRegion::solid_box(&bounds, 3, 3, 3)).unwrap();
+    let mut mesh = octopus_meshgen::tet::tetrahedralize(
+        &octopus_meshgen::voxel::VoxelRegion::solid_box(&bounds, 3, 3, 3),
+    )
+    .unwrap();
     mesh.enable_restructuring().unwrap();
     let mut idx = SurfaceIndex::build(&mesh).unwrap();
 

@@ -209,6 +209,26 @@ impl Aabb {
         self.dist_sq(p).sqrt()
     }
 
+    /// Euclidean distance from `p` to the box *boundary* (the six
+    /// faces): positive both inside and outside, `0` only on a face.
+    ///
+    /// This is the standing-query band test — a vertex whose position
+    /// was `boundary_dist` away from the box boundary cannot have
+    /// changed membership after moving less than that distance, so
+    /// subscriptions only re-test vertices inside the drift band.
+    #[inline]
+    pub fn boundary_dist(&self, p: Point3) -> f32 {
+        let outside = self.dist(p);
+        if outside > 0.0 {
+            return outside;
+        }
+        // Inside: nearest face along any single axis.
+        let dx = (p.x - self.min.x).min(self.max.x - p.x);
+        let dy = (p.y - self.min.y).min(self.max.y - p.y);
+        let dz = (p.z - self.min.z).min(self.max.z - p.z);
+        dx.min(dy).min(dz)
+    }
+
     /// Enlargement of `surface_area` needed to include `other`
     /// (R-tree choose-subtree heuristic).
     #[inline]
@@ -307,6 +327,18 @@ mod tests {
         // Corner distance.
         let d = b.dist_sq(Point3::new(2.0, 2.0, 2.0));
         assert!((d - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn boundary_dist_inside_and_out() {
+        let b = unit();
+        // Outside: equals the box distance.
+        assert_eq!(b.boundary_dist(Point3::new(2.0, 0.5, 0.5)), 1.0);
+        // On a face: zero.
+        assert_eq!(b.boundary_dist(Point3::new(1.0, 0.5, 0.5)), 0.0);
+        // Inside: distance to the nearest face.
+        assert!((b.boundary_dist(Point3::new(0.9, 0.5, 0.5)) - 0.1).abs() < 1e-6);
+        assert!((b.boundary_dist(Point3::splat(0.5)) - 0.5).abs() < 1e-6);
     }
 
     #[test]

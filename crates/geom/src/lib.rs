@@ -7,6 +7,9 @@
 //!   imply).
 //! * [`Aabb`] — axis-aligned boxes used as range queries, with the
 //!   point-to-box distance needed by the directed walk.
+//! * [`Halfspace`] / [`ConvexRegion`] / [`Region`] — bounded convex
+//!   query regions (the paper's earthquake-polytope example) and the
+//!   predicate trait the crawl generalises over.
 //! * [`hilbert`] — a 3-D Hilbert space-filling curve (Skilling's transpose
 //!   algorithm) used by the Hilbert data-layout optimisation (§IV-H1).
 //! * [`morton`] — Morton (Z-order) codes, used as an ablation alternative
@@ -19,6 +22,7 @@
 #![warn(clippy::all)]
 
 mod aabb;
+mod halfspace;
 pub mod hilbert;
 pub mod mem;
 pub mod morton;
@@ -26,6 +30,7 @@ mod point;
 pub mod rng;
 
 pub use aabb::Aabb;
+pub use halfspace::{ConvexRegion, Halfspace, Region};
 pub use point::{Point3, Vec3};
 
 /// Index type for vertices.

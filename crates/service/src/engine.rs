@@ -39,11 +39,11 @@ use crate::batch::{ParallelExecutor, QueryResult};
 use crate::pool::Task;
 use crate::seed_cache::{SeedCache, SeedCacheStats};
 use octopus_core::{
-    CostModel, GroupProbe, GroupScratch, Octopus, PhaseTimings, Planner, QueryScratch, Strategy,
-    MAX_GROUP,
+    AggregateKind, AggregateValue, CostModel, GroupProbe, GroupScratch, Octopus, PhaseTimings,
+    Planner, QueryScratch, QueryShape, ShapeResult, Strategy, MAX_GROUP,
 };
 use octopus_geom::hilbert::hilbert_center_key;
-use octopus_geom::{Aabb, VertexId};
+use octopus_geom::{Aabb, Point3, Region, VertexId};
 use octopus_mesh::{Mesh, MeshError};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
@@ -112,6 +112,18 @@ pub struct EngineReport {
     pub attributed_visited: usize,
     /// Queries seeded from the temporal seed cache this batch.
     pub cache_seeded: usize,
+}
+
+/// A shape query's answer plus its phase timings — the heterogeneous
+/// counterpart of [`QueryResult`], returned by
+/// [`BatchEngine::execute_shapes`] and
+/// [`crate::MonitorLoop::query_shapes`].
+#[derive(Clone, Debug)]
+pub struct ShapeQueryResult {
+    /// The shape's answer.
+    pub result: ShapeResult,
+    /// Phase timings of the execution that produced it.
+    pub timings: PhaseTimings,
 }
 
 /// Per-group route decided by the scheduler + planner.
@@ -283,6 +295,68 @@ impl BatchEngine {
         results
     }
 
+    /// Executes a heterogeneous [`QueryShape`] batch, returning answers
+    /// in input order.
+    ///
+    /// Box shapes travel the full grouped path ([`BatchEngine::execute`]:
+    /// Hilbert sweep, shared frontiers, seed cache, planner routing).
+    /// The other shapes are routed individually through the per-shape
+    /// Eq.-6 estimate ([`octopus_core::Planner::decide_shape`]): a
+    /// `LinearScan` decision runs one pass over the positions, an
+    /// `Octopus` decision runs [`octopus_core::Octopus::query_shape`]
+    /// on the probe → walk → crawl machinery. Both routes return
+    /// exactly what the sequential executor returns.
+    #[allow(clippy::too_many_arguments)]
+    pub fn execute_shapes(
+        &mut self,
+        pool: &mut ParallelExecutor,
+        octopus: &Octopus,
+        mesh: &Mesh,
+        shapes: &[QueryShape],
+        epoch: u64,
+        cum_drift: f32,
+        scratch: &mut QueryScratch,
+    ) -> Vec<ShapeQueryResult> {
+        let mut out: Vec<Option<ShapeQueryResult>> = shapes.iter().map(|_| None).collect();
+        let box_idx: Vec<usize> = shapes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.is_box().then_some(i))
+            .collect();
+        if !box_idx.is_empty() {
+            let boxes: Vec<Aabb> = box_idx.iter().map(|&i| shapes[i].bounds()).collect();
+            let results = self.execute(pool, octopus, mesh, &boxes, epoch, cum_drift);
+            for (&i, r) in box_idx.iter().zip(&results) {
+                out[i] = Some(ShapeQueryResult {
+                    result: ShapeResult::Vertices(r.vertices.clone()),
+                    timings: r.timings,
+                });
+            }
+            pool.recycle(results);
+        } else if let Some(p) = &mut self.planner {
+            // `execute` epoch-refreshes the planner; an all-non-box
+            // batch has to do it here.
+            let _ = p.refresh_if_restructured(mesh);
+        }
+        for (i, shape) in shapes.iter().enumerate() {
+            if out[i].is_some() {
+                continue;
+            }
+            let scan = self.planner.as_ref().is_some_and(|p| {
+                p.decide_shape(shape, mesh.num_vertices()).strategy == Strategy::LinearScan
+            });
+            let (result, timings) = if scan {
+                run_shape_scan(mesh, shape)
+            } else {
+                octopus.query_shape(scratch, mesh, shape)
+            };
+            out[i] = Some(ShapeQueryResult { result, timings });
+        }
+        out.into_iter()
+            .map(|r| r.expect("every shape answered"))
+            .collect()
+    }
+
     /// One warm-started sequential query (the monitor's `query_at`
     /// path): seed-cache hit → candidate probe, miss → full probe that
     /// refills the entry. Exact either way.
@@ -393,6 +467,71 @@ impl BatchEngine {
         }
         ProbePlan::Cached(concat)
     }
+}
+
+/// Linear-scan evaluation of a [`QueryShape`] (the planner's
+/// `LinearScan` route for non-box shapes): one pass over the positions,
+/// skipping orphaned vertices to match the crawl's active-vertex
+/// semantics exactly. K-nearest ranks by `(distance, id)` — the same
+/// deterministic tie-break as the crawl-based path.
+fn run_shape_scan(mesh: &Mesh, shape: &QueryShape) -> (ShapeResult, PhaseTimings) {
+    let t0 = Instant::now();
+    let positions = mesh.positions();
+    let active = |i: usize| !mesh.neighbors(i as VertexId).is_empty();
+    let result = match shape {
+        QueryShape::Box(q) => ShapeResult::Vertices(
+            positions
+                .iter()
+                .enumerate()
+                .filter(|(i, p)| q.contains(**p) && active(*i))
+                .map(|(i, _)| i as VertexId)
+                .collect(),
+        ),
+        QueryShape::Convex(r) => ShapeResult::Vertices(
+            positions
+                .iter()
+                .enumerate()
+                .filter(|(i, p)| r.contains(**p) && active(*i))
+                .map(|(i, _)| i as VertexId)
+                .collect(),
+        ),
+        QueryShape::KNearest { k, point } => {
+            let mut ranked: Vec<(f32, VertexId)> = positions
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| active(*i))
+                .map(|(i, p)| (p.dist_sq(*point), i as VertexId))
+                .collect();
+            ranked.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            ranked.truncate(*k);
+            ShapeResult::Vertices(ranked.into_iter().map(|(_, v)| v).collect())
+        }
+        QueryShape::Aggregate { region, kind } => {
+            let mut count = 0usize;
+            let (mut sx, mut sy, mut sz) = (0f64, 0f64, 0f64);
+            for (i, p) in positions.iter().enumerate() {
+                if region.contains(*p) && active(i) {
+                    count += 1;
+                    if *kind == AggregateKind::Centroid {
+                        sx += f64::from(p.x);
+                        sy += f64::from(p.y);
+                        sz += f64::from(p.z);
+                    }
+                }
+            }
+            let centroid = (*kind == AggregateKind::Centroid && count > 0).then(|| {
+                let n = count as f64;
+                Point3::new((sx / n) as f32, (sy / n) as f32, (sz / n) as f32)
+            });
+            ShapeResult::Aggregate(AggregateValue { count, centroid })
+        }
+    };
+    let timings = PhaseTimings {
+        linear_scan: t0.elapsed(),
+        results: result.len(),
+        ..Default::default()
+    };
+    (result, timings)
 }
 
 /// The locality sweep: sort by Hilbert centroid key, then grow a group

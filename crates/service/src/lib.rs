@@ -55,6 +55,18 @@
 //!   `Mesh::restructure_epoch` and translated through the layout
 //!   permutation on re-layout.
 //!
+//! * **Standing queries** ([`MonitorLoop::subscribe`]) — a registered
+//!   range query is answered per step with an incremental
+//!   [`ResultDelta`] (entered/left vertices) computed off the ring's
+//!   cumulative max-displacement meter: only candidates within the
+//!   accumulated drift of the query boundary are re-tested, with a full
+//!   re-crawl only when the drift band is exhausted or a restructure
+//!   invalidates the candidate set (see [`subscribe`]). Heterogeneous
+//!   [`octopus_core::QueryShape`] batches (convex regions, exact k-NN,
+//!   materialisation-free aggregates) run through
+//!   [`MonitorLoop::query_shapes`] with per-shape planner routing
+//!   ([`BatchEngine::execute_shapes`]).
+//!
 //! All concurrency is `std` threads + channels; results are
 //! bit-identical to the sequential executor (the crate's property
 //! suite verifies batch, sharded and engine-routed execution against
@@ -71,13 +83,15 @@ mod pool;
 mod recycle;
 mod seed_cache;
 mod shard;
+pub mod subscribe;
 
 pub use batch::{BatchStats, ParallelExecutor, QueryResult};
-pub use engine::{BatchEngine, BatchEngineConfig, EngineReport};
+pub use engine::{BatchEngine, BatchEngineConfig, EngineReport, ShapeQueryResult};
 pub use monitor::{LayoutPolicy, MonitorLoop, RelayoutTrigger, ServiceError};
 pub use pool::{threads_spawned_total, Task, WorkerPool};
 pub use recycle::RecycleStats;
 pub use seed_cache::SeedCacheStats;
+pub use subscribe::{ResultDelta, SubscriptionId, SubscriptionStats};
 
 /// Default number of worker threads: the machine's available
 /// parallelism, or 1 when it cannot be determined.

@@ -60,11 +60,12 @@
 //! reference run for every retained step at every ring depth.
 
 use crate::batch::{ParallelExecutor, QueryResult};
-use crate::engine::{BatchEngine, BatchEngineConfig, EngineReport};
+use crate::engine::{BatchEngine, BatchEngineConfig, EngineReport, ShapeQueryResult};
 use crate::recycle::RecycleStats;
 use crate::seed_cache::SeedCacheStats;
+use crate::subscribe::{ResultDelta, SubscriptionId, SubscriptionRegistry, SubscriptionStats};
 use octopus_core::layout::{curve_permutation, CurveKind, LocalityTracker};
-use octopus_core::{Octopus, PhaseTimings, QueryScratch};
+use octopus_core::{Octopus, PhaseTimings, QueryScratch, QueryShape};
 use octopus_geom::{Aabb, Point3, VertexId};
 use octopus_mesh::{Mesh, MeshError, SurfaceDelta};
 use octopus_sim::Simulation;
@@ -354,6 +355,9 @@ pub struct MonitorLoop {
     /// [`MonitorLoop::set_batch_engine`] attaches one, in which case
     /// the batch and sequential query paths route through it.
     engine: Option<BatchEngine>,
+    /// Standing queries answered with incremental deltas off the drift
+    /// meter (see [`crate::subscribe`]).
+    subs: SubscriptionRegistry,
 }
 
 impl MonitorLoop {
@@ -438,6 +442,7 @@ impl MonitorLoop {
             relayouts: 0,
             relayout_pending: false,
             engine: None,
+            subs: SubscriptionRegistry::default(),
         })
     }
 
@@ -461,6 +466,10 @@ impl MonitorLoop {
             for (i, slot) in self.slots.iter_mut().enumerate() {
                 slot.cum_drift = gap * i as f32;
             }
+            // The rescale makes subscription reference readings
+            // incomparable to future meter values: force every standing
+            // query through a full refresh at its next poll.
+            self.subs.invalidate_all();
         }
         self.engine = Some(engine);
         Ok(())
@@ -551,11 +560,13 @@ impl MonitorLoop {
         self.in_flight -= 1;
         match update {
             Update::Deformed { step, positions } => {
-                // Advance the cumulative max-displacement meter (seed
-                // cache validity gate) before the copy overwrites the
-                // previous step's positions. Only paid when a seed
-                // cache is actually attached.
-                let track = self.engine.as_ref().is_some_and(BatchEngine::cache_enabled);
+                // Advance the cumulative max-displacement meter (the
+                // validity gate of both the seed cache and the standing
+                // queries' delta path) before the copy overwrites the
+                // previous step's positions. Only paid when a consumer
+                // of the meter is actually attached.
+                let track = self.engine.as_ref().is_some_and(BatchEngine::cache_enabled)
+                    || !self.subs.is_empty();
                 let latest = self.slots.back().expect("ring is never empty");
                 let cum_drift = latest.cum_drift
                     + if track {
@@ -713,12 +724,13 @@ impl MonitorLoop {
         if let Some(tracker) = &mut self.tracker {
             tracker.rebaseline(&latest.mesh);
         }
-        // Seed-cache entries survive a re-layout: candidate ids are
-        // translated through the permutation (geometry and drift meters
-        // are untouched by a relabelling).
+        // Seed-cache entries and subscriptions survive a re-layout:
+        // candidate ids are translated through the permutation
+        // (geometry and drift meters are untouched by a relabelling).
         if let Some(engine) = &mut self.engine {
             engine.translate_cache(&perm);
         }
+        self.subs.translate(&perm);
         // The re-laid-out slot opens the new connectivity generation:
         // subsequent deformation slots share its executor and may
         // recycle its mesh.
@@ -1013,6 +1025,112 @@ impl MonitorLoop {
     pub fn query_sharded(&mut self, q: &Aabb, out: &mut Vec<VertexId>) -> PhaseTimings {
         let slot = self.slots.back().expect("ring is never empty");
         self.pool.query_sharded(&slot.exec, &slot.mesh, q, out)
+    }
+
+    /// Registers a standing query against the latest snapshot and
+    /// returns its handle. The subscription's *band* — how much
+    /// cumulative drift its candidate list absorbs before a full
+    /// re-crawl — defaults to 8× the mesh's typical edge length (the
+    /// seed cache's default margin). The initial result set is computed
+    /// now ([`MonitorLoop::subscription_result`]); subsequent
+    /// [`MonitorLoop::poll_subscriptions`] calls return only the
+    /// entered/left deltas.
+    pub fn subscribe(&mut self, q: &Aabb) -> SubscriptionId {
+        let mesh = &self.latest().mesh;
+        let typical_edge = (mesh.bounding_box().volume() / mesh.num_vertices().max(1) as f64)
+            .cbrt()
+            .max(f64::MIN_POSITIVE) as f32;
+        self.subscribe_with_band(q, 8.0 * typical_edge)
+    }
+
+    /// [`MonitorLoop::subscribe`] with an explicit drift band (clamped
+    /// to ≥ 0; a zero band degenerates to a full re-crawl per poll —
+    /// still exact, never fast).
+    pub fn subscribe_with_band(&mut self, q: &Aabb, band: f32) -> SubscriptionId {
+        let slot = self.slots.back().expect("ring is never empty");
+        self.subs.subscribe(
+            *q,
+            band,
+            &slot.exec,
+            &slot.mesh,
+            &mut self.scratch,
+            slot.mesh.restructure_epoch(),
+            slot.cum_drift,
+        )
+    }
+
+    /// Cancels a standing query; returns whether it existed.
+    pub fn unsubscribe(&mut self, id: SubscriptionId) -> bool {
+        self.subs.unsubscribe(id)
+    }
+
+    /// Number of live subscriptions.
+    pub fn subscriptions(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// Polls every subscription against the latest snapshot: each
+    /// standing query's result-set change since its previous poll,
+    /// served from the delta fast path whenever the drift meter proves
+    /// the candidate band still covers every possible boundary
+    /// crossing (see [`crate::subscribe`]).
+    pub fn poll_subscriptions(&mut self) -> Vec<(SubscriptionId, ResultDelta)> {
+        let slot = self.slots.back().expect("ring is never empty");
+        self.subs.poll_all(
+            &slot.exec,
+            &slot.mesh,
+            &mut self.scratch,
+            slot.mesh.restructure_epoch(),
+            slot.cum_drift,
+            slot.step,
+        )
+    }
+
+    /// A subscription's current full result set (sorted ids), as of its
+    /// last poll (or subscribe). `None` for unknown ids.
+    pub fn subscription_result(&self, id: SubscriptionId) -> Option<&[VertexId]> {
+        self.subs.result(id)
+    }
+
+    /// A subscription's delta-path counters. `None` for unknown ids.
+    pub fn subscription_stats(&self, id: SubscriptionId) -> Option<SubscriptionStats> {
+        self.subs.stats(id)
+    }
+
+    /// Answers one [`QueryShape`] against the latest snapshot
+    /// (engine-routed when a batch engine is attached).
+    pub fn query_shape(&mut self, shape: &QueryShape) -> ShapeQueryResult {
+        self.query_shapes(std::slice::from_ref(shape))
+            .pop()
+            .expect("one shape in, one result out")
+    }
+
+    /// Answers a heterogeneous shape batch against the latest snapshot.
+    /// With a batch engine attached, box shapes travel the grouped
+    /// shared-frontier/seed-cache path and the other shapes are routed
+    /// per-shape by the Eq.-6 planner
+    /// ([`BatchEngine::execute_shapes`]); without one, every shape runs
+    /// the sequential [`octopus_core::Octopus::query_shape`].
+    pub fn query_shapes(&mut self, shapes: &[QueryShape]) -> Vec<ShapeQueryResult> {
+        let slot = self.slots.back().expect("ring is never empty");
+        match &mut self.engine {
+            Some(engine) => engine.execute_shapes(
+                &mut self.pool,
+                &slot.exec,
+                &slot.mesh,
+                shapes,
+                slot.mesh.restructure_epoch(),
+                slot.cum_drift,
+                &mut self.scratch,
+            ),
+            None => shapes
+                .iter()
+                .map(|s| {
+                    let (result, timings) = slot.exec.query_shape(&mut self.scratch, &slot.mesh, s);
+                    ShapeQueryResult { result, timings }
+                })
+                .collect(),
+        }
     }
 
     /// Stops the simulation thread and returns the simulation in its

@@ -11,23 +11,13 @@ use octopus_core::{Octopus, VisitedStrategy};
 use octopus_geom::rng::SplitMix64;
 use octopus_geom::{Aabb, Point3, VertexId};
 use octopus_mesh::Mesh;
-use octopus_meshgen::voxel::VoxelRegion;
 use octopus_meshgen::{neuron, NeuroLevel};
 use octopus_service::{
     BatchEngine, BatchEngineConfig, LayoutPolicy, MonitorLoop, ParallelExecutor, RelayoutTrigger,
 };
 use octopus_sim::{RestructureSchedule, Simulation, SmoothRandomField};
+use octopus_testkit::{box_mesh, mixed_workload, sorted};
 use proptest::prelude::*;
-
-fn box_mesh(n: usize) -> Mesh {
-    let bounds = Aabb::new(Point3::ORIGIN, Point3::splat(1.0));
-    octopus_meshgen::tet::tetrahedralize(&VoxelRegion::solid_box(&bounds, n, n, n)).unwrap()
-}
-
-fn sorted(mut v: Vec<VertexId>) -> Vec<VertexId> {
-    v.sort_unstable();
-    v
-}
 
 fn sequential_reference(
     mesh: &Mesh,
@@ -43,33 +33,6 @@ fn sequential_reference(
             sorted(out)
         })
         .collect()
-}
-
-/// A workload mixing clustered (overlapping), interior, miss and broad
-/// queries.
-fn mixed_workload(mesh: &Mesh, seed: u64, clusters: usize, per_cluster: usize) -> Vec<Aabb> {
-    let bounds = mesh.bounding_box();
-    let mut rng = SplitMix64::new(seed);
-    let mut queries = Vec::new();
-    for _ in 0..clusters {
-        let c = Point3::new(
-            rng.range_f32(bounds.min.x, bounds.max.x),
-            rng.range_f32(bounds.min.y, bounds.max.y),
-            rng.range_f32(bounds.min.z, bounds.max.z),
-        );
-        for _ in 0..per_cluster {
-            let jitter = 0.03 * bounds.extent().length();
-            let jc = Point3::new(
-                c.x + rng.range_f32(-jitter, jitter),
-                c.y + rng.range_f32(-jitter, jitter),
-                c.z + rng.range_f32(-jitter, jitter),
-            );
-            queries.push(Aabb::cube(jc, rng.range_f32(0.03, 0.12)));
-        }
-    }
-    queries.push(Aabb::new(Point3::splat(0.4), Point3::splat(0.6))); // interior
-    queries.push(Aabb::new(Point3::splat(5.0), Point3::splat(6.0))); // miss
-    queries
 }
 
 fn assert_engine_equivalent(

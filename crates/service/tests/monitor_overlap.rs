@@ -7,19 +7,9 @@
 use octopus_core::Octopus;
 use octopus_geom::{Aabb, Point3, VertexId};
 use octopus_mesh::Mesh;
-use octopus_meshgen::voxel::VoxelRegion;
 use octopus_service::{LayoutPolicy, MonitorLoop, RelayoutTrigger, ServiceError};
 use octopus_sim::{RestructureSchedule, Simulation, SmoothRandomField};
-
-fn box_mesh(n: usize) -> Mesh {
-    let bounds = Aabb::new(Point3::ORIGIN, Point3::splat(1.0));
-    octopus_meshgen::tet::tetrahedralize(&VoxelRegion::solid_box(&bounds, n, n, n)).unwrap()
-}
-
-fn sorted(mut v: Vec<VertexId>) -> Vec<VertexId> {
-    v.sort_unstable();
-    v
-}
+use octopus_testkit::{box_mesh, sorted};
 
 fn step_queries(step: u32) -> Vec<Aabb> {
     let t = f32::from(step as u16 % 8) * 0.05;

@@ -9,20 +9,10 @@
 use octopus_core::{Octopus, VisitedStrategy};
 use octopus_geom::{Aabb, Point3, VertexId};
 use octopus_mesh::Mesh;
-use octopus_meshgen::voxel::VoxelRegion;
 use octopus_meshgen::{neuron, NeuroLevel};
 use octopus_service::ParallelExecutor;
+use octopus_testkit::{box_mesh, sorted};
 use proptest::prelude::*;
-
-fn box_mesh(n: usize) -> Mesh {
-    let bounds = Aabb::new(Point3::ORIGIN, Point3::splat(1.0));
-    octopus_meshgen::tet::tetrahedralize(&VoxelRegion::solid_box(&bounds, n, n, n)).unwrap()
-}
-
-fn sorted(mut v: Vec<VertexId>) -> Vec<VertexId> {
-    v.sort_unstable();
-    v
-}
 
 fn sequential_reference(
     mesh: &Mesh,

@@ -11,29 +11,10 @@ use octopus_core::{Octopus, VisitedStrategy};
 use octopus_geom::rng::SplitMix64;
 use octopus_geom::{Aabb, Point3, VertexId};
 use octopus_mesh::Mesh;
-use octopus_meshgen::voxel::VoxelRegion;
 use octopus_service::{ParallelExecutor, WorkerPool};
+use octopus_testkit::{box_mesh, scan, sorted};
 use proptest::prelude::*;
 use std::sync::Arc;
-
-fn box_mesh(n: usize) -> Mesh {
-    let bounds = Aabb::new(Point3::ORIGIN, Point3::splat(1.0));
-    octopus_meshgen::tet::tetrahedralize(&VoxelRegion::solid_box(&bounds, n, n, n)).unwrap()
-}
-
-fn sorted(mut v: Vec<VertexId>) -> Vec<VertexId> {
-    v.sort_unstable();
-    v
-}
-
-fn scan(mesh: &Mesh, q: &Aabb) -> Vec<VertexId> {
-    mesh.positions()
-        .iter()
-        .enumerate()
-        .filter(|(_, p)| q.contains(**p))
-        .map(|(i, _)| i as VertexId)
-        .collect()
-}
 
 fn sequential_reference(
     mesh: &Mesh,

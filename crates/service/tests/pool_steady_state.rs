@@ -9,19 +9,8 @@
 
 use octopus_core::{Octopus, VisitedStrategy};
 use octopus_geom::{Aabb, Point3, VertexId};
-use octopus_mesh::Mesh;
-use octopus_meshgen::voxel::VoxelRegion;
 use octopus_service::{threads_spawned_total, ParallelExecutor};
-
-fn box_mesh(n: usize) -> Mesh {
-    let bounds = Aabb::new(Point3::ORIGIN, Point3::splat(1.0));
-    octopus_meshgen::tet::tetrahedralize(&VoxelRegion::solid_box(&bounds, n, n, n)).unwrap()
-}
-
-fn sorted(mut v: Vec<VertexId>) -> Vec<VertexId> {
-    v.sort_unstable();
-    v
-}
+use octopus_testkit::{box_mesh, sorted};
 
 #[test]
 fn steady_state_spawns_no_threads_and_allocates_no_result_buffers() {

@@ -16,7 +16,14 @@
 //!    retained step of the ring; every finished batch is recycled, so
 //!    the steady-state loop spawns no threads and allocates no result
 //!    buffers;
-//! 3. the exact same schedule is then replayed stop-the-world
+//! 3. one of the batch boxes is also registered as a *standing query*
+//!    ([`MonitorLoop::subscribe`]): every step it is polled for an
+//!    incremental [`octopus::service::ResultDelta`], a client-side
+//!    mirror applies the deltas (translating ids across re-layouts),
+//!    and the mirror is checked against a full scan of the snapshot —
+//!    the run asserts that most polls ride the drift-bounded delta
+//!    fast path instead of re-crawling;
+//! 4. the exact same schedule is then replayed stop-the-world
 //!    (step, then query the live mesh) and every result set is checked
 //!    for equality (translated through the layout permutation), so the
 //!    pipelining and the re-layout provably change the timeline and
@@ -30,6 +37,7 @@ use octopus::prelude::*;
 use octopus::service::{LayoutPolicy, RelayoutTrigger};
 use octopus::sim::{RestructureSchedule, SmoothRandomField};
 use octopus_bench::workload::QueryGen;
+use octopus_testkit::scan_active;
 use std::time::{Duration, Instant};
 
 const FIELD_SEED: u64 = 0x0C70_9005;
@@ -89,6 +97,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // temporal seed cache + Eq.-6 planner routing, wired into
     // `query_batch`/`query_at`.
     monitor.set_batch_engine(octopus::service::BatchEngineConfig::default())?;
+    // Standing query: the first monitoring box is also subscribed. A
+    // client-side mirror applies every polled delta (translating ids
+    // across re-layouts) and is checked against a full scan of each
+    // snapshot, so the delta fast path is proven exact end to end.
+    let sub_q = batch[0];
+    let sub_id = monitor.subscribe(&sub_q);
+    let mut sub_members: Vec<VertexId> = monitor
+        .subscription_result(sub_id)
+        .expect("live subscription")
+        .to_vec();
+    let mut sub_translation = monitor.vertex_translation().map(<[VertexId]>::to_vec);
+    let mut sub_relayouts = monitor.relayouts();
     let spawned_at_start = octopus::service::threads_spawned_total();
     let mut overlapped: Vec<Vec<Vec<VertexId>>> = Vec::new();
     // The id translation changes on re-layout; snapshot it per step so
@@ -122,6 +142,46 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // allocating.
         monitor.recycle(results);
 
+        // Standing-query poll. A re-layout since the last poll moved
+        // every id: compose the old and new ingest translations into
+        // the permutation and push the mirror through it first.
+        if monitor.relayouts() > sub_relayouts {
+            let before = sub_translation
+                .as_deref()
+                .expect("re-layout implies a curve policy");
+            let after = monitor
+                .vertex_translation()
+                .expect("re-layout implies a curve policy");
+            let mut map = vec![0 as VertexId; after.len()];
+            for (i, &new) in after.iter().enumerate() {
+                // A restructure in the same window appended vertices;
+                // the monitor extends its translation with identity
+                // entries, so pad `before` the same way.
+                let old = if i < before.len() {
+                    before[i]
+                } else {
+                    i as VertexId
+                };
+                map[old as usize] = new;
+            }
+            for v in &mut sub_members {
+                *v = map[*v as usize];
+            }
+            sub_relayouts = monitor.relayouts();
+        }
+        sub_translation = monitor.vertex_translation().map(<[VertexId]>::to_vec);
+        for (id, delta) in monitor.poll_subscriptions() {
+            assert_eq!(id, sub_id);
+            sub_members.retain(|v| !delta.left.contains(v));
+            sub_members.extend_from_slice(&delta.entered);
+        }
+        sub_members.sort_unstable();
+        assert_eq!(
+            sub_members,
+            scan_active(monitor.snapshot(), &sub_q),
+            "step {step}: standing-query mirror diverged from the snapshot scan"
+        );
+
         // Ring spot-check: the oldest retained step must still answer
         // exactly what it answered when it was the latest (re-layouts
         // truncate the ring, so every retained step shares the current
@@ -145,6 +205,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let relayouts = monitor.relayouts();
     let cache_stats = monitor.seed_cache_stats().expect("engine attached");
     let engine_report = monitor.engine_report().expect("engine attached");
+    let sub_stats = monitor
+        .subscription_stats(sub_id)
+        .expect("live subscription");
     let spawned_during_run = octopus::service::threads_spawned_total() - spawned_at_start;
     monitor.shutdown().ok();
 
@@ -230,6 +293,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(
         cache_stats.hits > 0,
         "a repeated monitoring batch must produce seed-cache hits (stats: {cache_stats:?})"
+    );
+    println!(
+        "  standing query: {} polls, {} on the delta path (hit rate {:.0}%), {} full \
+         refreshes, {} boundary re-tests over {} tracked candidates; mirror matched the \
+         snapshot scan every step ✓",
+        sub_stats.polls,
+        sub_stats.delta_polls,
+        100.0 * sub_stats.delta_hit_rate(),
+        sub_stats.full_refreshes,
+        sub_stats.retested,
+        sub_stats.candidates
+    );
+    assert!(
+        sub_stats.delta_polls > 0,
+        "the standing query never rode the delta fast path (stats: {sub_stats:?})"
     );
     println!(
         "  stop-the-world: {reference_wall:>8.1?} wall (sim busy {sim_busy:.1?} of it, serialized)"

@@ -19,14 +19,18 @@
 //!   k-d tree, R-tree, LUR-Tree, QU-Trade, stale uniform grid);
 //! * [`core`] — OCTOPUS itself: [`prelude::Octopus`],
 //!   [`prelude::OctopusCon`], [`prelude::ApproxOctopus`], the Hilbert
-//!   layout, the cost model and planner;
+//!   layout, the cost model and planner, and the query shapes beyond
+//!   boxes ([`prelude::QueryShape`]: convex regions, k-nearest-
+//!   neighbour, aggregates);
 //! * [`service`] — concurrent query serving: the persistent worker
 //!   pool ([`prelude::WorkerPool`]), the parallel batch executor
 //!   ([`prelude::ParallelExecutor`]), the frontier-sharded crawl, the
 //!   pipelined snapshot-ring SIMULATE ∥ MONITOR loop
-//!   ([`prelude::MonitorLoop`]) and its cache-conscious vertex-layout
-//!   policy ([`prelude::LayoutPolicy`]) with adaptive drift-triggered
-//!   re-layout ([`prelude::RelayoutTrigger`]).
+//!   ([`prelude::MonitorLoop`]) with its cache-conscious vertex-layout
+//!   policy ([`prelude::LayoutPolicy`]), adaptive drift-triggered
+//!   re-layout ([`prelude::RelayoutTrigger`]), and standing queries
+//!   that stream incremental result deltas
+//!   ([`prelude::MonitorLoop::subscribe`] → [`prelude::ResultDelta`]).
 //!
 //! ## Quickstart
 //!
@@ -63,15 +67,16 @@ pub use octopus_sim as sim;
 /// The most common imports in one place.
 pub mod prelude {
     pub use octopus_core::{
-        ApproxOctopus, CostModel, Octopus, OctopusCon, Planner, QueryScratch, Strategy,
-        SurfaceIndex,
+        AggregateKind, AggregateValue, ApproxOctopus, CostModel, Octopus, OctopusCon, Planner,
+        QueryScratch, QueryShape, ShapeResult, Strategy, SurfaceIndex,
     };
-    pub use octopus_geom::{Aabb, Point3, Vec3, VertexId};
+    pub use octopus_geom::{Aabb, ConvexRegion, Halfspace, Point3, Region, Vec3, VertexId};
     pub use octopus_index::{DynamicIndex, LinearScan};
     pub use octopus_mesh::{CellKind, Mesh, MeshStats};
     pub use octopus_meshgen::VoxelRegion;
     pub use octopus_service::{
-        LayoutPolicy, MonitorLoop, ParallelExecutor, RelayoutTrigger, WorkerPool,
+        LayoutPolicy, MonitorLoop, ParallelExecutor, RelayoutTrigger, ResultDelta,
+        ShapeQueryResult, SubscriptionId, SubscriptionStats, WorkerPool,
     };
     pub use octopus_sim::{Deformation, Simulation};
 }

@@ -3,30 +3,12 @@
 //! arbitrary (random, non-convex, multi-component) meshes, under
 //! arbitrary deformation, for arbitrary queries.
 
+use octopus::core::AggregateKind;
+use octopus::geom::{ConvexRegion, Halfspace, Vec3};
 use octopus::prelude::*;
 use octopus::sim::SmoothRandomField;
+use octopus_testkit::{knn_scan, random_mesh, scan, scan_region};
 use proptest::prelude::*;
-
-/// Random voxel-mask mesh over an `n³` grid: each voxel is solid with
-/// probability `fill`. This produces highly irregular, non-convex,
-/// frequently multi-component meshes — the adversarial geometry for the
-/// surface-probe argument of §IV-C.
-fn random_mesh(n: usize, fill: f64, seed: u64) -> Mesh {
-    let bounds = Aabb::new(Point3::ORIGIN, Point3::splat(1.0));
-    let mut rng = octopus::geom::rng::SplitMix64::new(seed);
-    let region =
-        octopus::meshgen::voxel::VoxelRegion::from_fn(&bounds, n, n, n, |_| rng.chance(fill));
-    octopus::meshgen::tet::tetrahedralize(&region).expect("random masks are manifold")
-}
-
-fn scan(mesh: &Mesh, q: &Aabb) -> Vec<VertexId> {
-    mesh.positions()
-        .iter()
-        .enumerate()
-        .filter(|(_, p)| q.contains(**p))
-        .map(|(i, _)| i as VertexId)
-        .collect()
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -121,6 +103,106 @@ proptest! {
         prop_assert!(out.iter().all(|v| exact.contains(v)));
     }
 
+    /// Convex region queries == the box scan filtered by every clipping
+    /// half-space (the differential definition of the shape).
+    #[test]
+    fn convex_region_equals_halfspace_filter(
+        seed in 0u64..3_000,
+        fill in 0.3f64..0.9,
+        nx in -1.0f32..=1.0,
+        ny in -1.0f32..=1.0,
+        nz in -1.0f32..=1.0,
+        px in 0.2f32..0.8,
+        py in 0.2f32..0.8,
+        pz in 0.2f32..0.8,
+        half in 0.1f32..0.6,
+    ) {
+        let normal = Vec3::new(nx, ny, nz);
+        prop_assume!(normal.length() > 0.1);
+        let mesh = random_mesh(5, fill, seed);
+        prop_assume!(mesh.num_vertices() > 0);
+        let bounds = Aabb::cube(Point3::splat(0.5), half);
+        let region = ConvexRegion::new(
+            bounds,
+            vec![Halfspace::through(Point3::new(px, py, pz), normal)],
+        );
+        let mut octopus = Octopus::new(&mesh).unwrap();
+        let mut out = Vec::new();
+        octopus.query_region_mut(&mesh, &region, &mut out);
+        out.sort_unstable();
+        let expected: Vec<VertexId> = scan(&mesh, &bounds)
+            .into_iter()
+            .filter(|&v| region.halfspaces.iter().all(|h| h.contains(mesh.position(v))))
+            .collect();
+        prop_assert_eq!(&expected, &scan_region(&mesh, &region));
+        prop_assert_eq!(out, expected);
+    }
+
+    /// k-NN == brute force over active vertices, in (distance, id) order,
+    /// for query points inside and outside the mesh.
+    #[test]
+    fn knn_equals_brute_force(
+        seed in 0u64..3_000,
+        fill in 0.3f64..0.9,
+        k in 1usize..30,
+        px in -0.3f32..1.3,
+        py in -0.3f32..1.3,
+        pz in -0.3f32..1.3,
+    ) {
+        let mesh = random_mesh(5, fill, seed);
+        prop_assume!(mesh.num_vertices() > 0);
+        let mut octopus = Octopus::new(&mesh).unwrap();
+        let p = Point3::new(px, py, pz);
+        let mut out = Vec::new();
+        octopus.query_knn_mut(&mesh, k, p, &mut out);
+        prop_assert_eq!(out, knn_scan(&mesh, k, p));
+    }
+
+    /// Aggregates == the count / f64-mean of the materialised box result.
+    #[test]
+    fn aggregates_match_materialised_results(
+        seed in 0u64..3_000,
+        fill in 0.3f64..0.9,
+        cx in 0.0f32..1.0,
+        cy in 0.0f32..1.0,
+        cz in 0.0f32..1.0,
+        half in 0.05f32..0.6,
+    ) {
+        let mesh = random_mesh(5, fill, seed);
+        prop_assume!(mesh.num_vertices() > 0);
+        let mut octopus = Octopus::new(&mesh).unwrap();
+        let q = Aabb::cube(Point3::new(cx, cy, cz), half);
+        let mut out = Vec::new();
+        octopus.query(&mesh, &q, &mut out);
+
+        let (count, _) = octopus.query_aggregate_mut(&mesh, &q, AggregateKind::Count);
+        prop_assert_eq!(count.count, out.len());
+        prop_assert!(count.centroid.is_none(), "Count never materialises a centroid");
+
+        let (cen, _) = octopus.query_aggregate_mut(&mesh, &q, AggregateKind::Centroid);
+        prop_assert_eq!(cen.count, out.len());
+        if out.is_empty() {
+            prop_assert!(cen.centroid.is_none());
+        } else {
+            let c = cen.centroid.unwrap();
+            let mut sum = [0f64; 3];
+            for &v in &out {
+                let p = mesh.position(v);
+                sum[0] += f64::from(p.x);
+                sum[1] += f64::from(p.y);
+                sum[2] += f64::from(p.z);
+            }
+            let n = out.len() as f64;
+            for (got, want) in [c.x, c.y, c.z].iter().zip(sum) {
+                // Same vertex set, possibly different f64 summation order.
+                prop_assert!(
+                    (f64::from(*got) - want / n).abs() < 1e-4,
+                    "centroid {:?} vs mean {:?}", c, [sum[0] / n, sum[1] / n, sum[2] / n]
+                );
+            }
+        }
+    }
+
     /// Every visited-set strategy and crawl order yields identical results.
     #[test]
     fn strategies_and_orders_agree(
@@ -181,6 +263,35 @@ fn fig3_disjoint_submesh_case() {
     let left = expected.iter().any(|&v| mesh.position(v).x < 0.4);
     let right = expected.iter().any(|&v| mesh.position(v).x > 0.6);
     assert!(left && right, "the slab must cut the torus into two arcs");
+}
+
+/// Deterministic k-NN ties: a query point at a grid-cell centre is
+/// equidistant from all 8 cell corners, so any k < 8 must cut through
+/// the tie class — by ascending id, reproducibly.
+#[test]
+fn knn_ties_break_by_ascending_id() {
+    let bounds = Aabb::new(Point3::ORIGIN, Point3::splat(1.0));
+    let region = octopus::meshgen::voxel::VoxelRegion::solid_box(&bounds, 4, 4, 4);
+    let mesh = octopus::meshgen::tet::tetrahedralize(&region).unwrap();
+    let mut octopus = Octopus::new(&mesh).unwrap();
+    // Centre of the cell [0.25, 0.5]³ on the 0.25-spaced grid.
+    let p = Point3::splat(0.375);
+    let corners = knn_scan(&mesh, 8, p);
+    let d0 = mesh.position(corners[0]).dist_sq(p);
+    assert!(
+        corners
+            .iter()
+            .all(|&v| (mesh.position(v).dist_sq(p) - d0).abs() < 1e-12),
+        "all 8 cell corners must be equidistant from the cell centre"
+    );
+    for k in 1..=8 {
+        let mut out = Vec::new();
+        octopus.query_knn_mut(&mesh, k, p, &mut out);
+        assert_eq!(out, corners[..k], "k = {k}: tie must cut by ascending id");
+        let mut again = Vec::new();
+        octopus.query_knn_mut(&mesh, k, p, &mut again);
+        assert_eq!(out, again, "k = {k}: k-NN must be deterministic");
+    }
 }
 
 /// Hexahedral meshes work identically (CellKind coverage).

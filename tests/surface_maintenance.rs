@@ -3,15 +3,8 @@
 //! a [`SurfaceIndex`] always equal a from-scratch rebuild.
 
 use octopus::prelude::*;
+use octopus_testkit::random_mesh;
 use proptest::prelude::*;
-
-fn random_mesh(n: usize, fill: f64, seed: u64) -> Mesh {
-    let bounds = Aabb::new(Point3::ORIGIN, Point3::splat(1.0));
-    let mut rng = octopus::geom::rng::SplitMix64::new(seed);
-    let region =
-        octopus::meshgen::voxel::VoxelRegion::from_fn(&bounds, n, n, n, |_| rng.chance(fill));
-    octopus::meshgen::tet::tetrahedralize(&region).expect("random masks are manifold")
-}
 
 fn sorted_ids(idx: &SurfaceIndex) -> Vec<VertexId> {
     let mut v = idx.ids().to_vec();

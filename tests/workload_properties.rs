@@ -2,17 +2,9 @@
 //! figures are only meaningful if the generator actually delivers the
 //! selectivities and result counts it promises.
 
-use octopus::prelude::*;
 use octopus_bench::workload::{NeuroBenchmark, QueryGen};
+use octopus_testkit::box_mesh;
 use proptest::prelude::*;
-
-fn box_mesh(n: usize) -> Mesh {
-    let bounds = Aabb::new(Point3::ORIGIN, Point3::splat(1.0));
-    octopus::meshgen::tet::tetrahedralize(&octopus::meshgen::voxel::VoxelRegion::solid_box(
-        &bounds, n, n, n,
-    ))
-    .unwrap()
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]

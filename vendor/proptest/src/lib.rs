@@ -8,8 +8,11 @@
 //! [`test_runner::ProptestConfig`]. Semantics follow real proptest
 //! closely enough for these suites — deterministic seeding per test
 //! name, a configurable number of cases, assume-rejection with a retry
-//! budget — but shrinking is intentionally omitted: on failure the
-//! failing inputs are printed via the panic message instead.
+//! budget, and **minimal shrinking**: integer, boolean and tuple
+//! strategies simplify a failing case toward zero / `false`, one
+//! component at a time, and the panic message reports the smallest
+//! still-failing inputs (see [`strategy::Strategy::shrink`]). Floats
+//! are reported as drawn.
 //!
 //! Swapping the real crate back in is a one-line change in the workspace
 //! `Cargo.toml` (`vendor/proptest` → a crates.io version).
@@ -32,6 +35,13 @@ pub mod bool {
         type Value = bool;
         fn generate(&self, rng: &mut crate::test_runner::TestRng) -> bool {
             rng.next_u64() & 1 == 1
+        }
+        fn shrink(&self, value: &bool) -> Vec<bool> {
+            if *value {
+                vec![false]
+            } else {
+                Vec::new()
+            }
         }
     }
 }
@@ -73,18 +83,25 @@ macro_rules! proptest {
                 let config: $crate::test_runner::ProptestConfig = $cfg;
                 let mut runner =
                     $crate::test_runner::TestRunner::new(config, stringify!($name));
-                runner.run(|rng| {
-                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), rng);)*
-                    let inputs = format!(
-                        concat!($(stringify!($arg), " = {:?}, ",)*),
-                        $(&$arg),*
-                    );
-                    let body = || -> $crate::test_runner::TestCaseResult {
+                // One tuple strategy over all arguments (drawn left to
+                // right, matching per-argument draws) so the runner can
+                // shrink a failing case component-wise.
+                let strategy = ($(($strat),)*);
+                runner.run_shrink(
+                    &strategy,
+                    |value| {
+                        let ($(ref $arg,)*) = *value;
+                        format!(
+                            concat!($(stringify!($arg), " = {:?}, ",)*),
+                            $($arg),*
+                        )
+                    },
+                    |value| {
+                        let ($($arg,)*) = ::std::clone::Clone::clone(value);
                         $body
                         Ok(())
-                    };
-                    (body(), inputs)
-                });
+                    },
+                );
             }
         )*
     };

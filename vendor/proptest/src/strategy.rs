@@ -1,8 +1,14 @@
 //! Value-generation strategies: the `x in <strategy>` right-hand sides.
 //!
-//! Real proptest strategies carry shrinking machinery; this stand-in
-//! only generates. Ranges over the primitive integer and float types
-//! plus `proptest::bool::ANY` cover everything the workspace tests use.
+//! Ranges over the primitive integer and float types plus
+//! `proptest::bool::ANY` cover everything the workspace tests use.
+//! Integer ranges, booleans and tuples also implement **minimal
+//! shrinking** ([`Strategy::shrink`]): on failure the runner walks
+//! candidate simplifications (toward the in-range value closest to
+//! zero, halving the distance each step; tuples shrink one component
+//! at a time) and reports the smallest still-failing inputs. Float
+//! ranges keep the default no-op shrinker — a float counterexample is
+//! reported as drawn.
 
 use crate::test_runner::TestRng;
 use std::ops::{Range, RangeInclusive};
@@ -13,6 +19,33 @@ pub trait Strategy {
     type Value;
     /// Draws one value from `rng`.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    /// Candidate simplifications of `value`, most aggressive first
+    /// (empty when the strategy cannot shrink — the default). Every
+    /// candidate must itself be a value this strategy could have
+    /// generated, so re-testing it is meaningful.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+}
+
+/// Shared integer shrinker (in `i128` space — every primitive the
+/// macros cover embeds losslessly): move toward the in-range value
+/// closest to zero, proposing the origin itself, the halfway point, and
+/// the immediate predecessor, deduplicated and in-range.
+fn int_shrink_candidates(v: i128, lo: i128, hi: i128) -> Vec<i128> {
+    debug_assert!(lo <= hi);
+    let origin = 0i128.clamp(lo, hi);
+    let d = v - origin;
+    if d == 0 {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for c in [origin, v - d / 2, v - d.signum()] {
+        if c != v && (lo..=hi).contains(&c) && !out.contains(&c) {
+            out.push(c);
+        }
+    }
+    out
 }
 
 macro_rules! int_range_strategy {
@@ -24,6 +57,12 @@ macro_rules! int_range_strategy {
                 let span = (self.end as u128).wrapping_sub(self.start as u128);
                 let draw = (rng.next_u64() as u128) % span;
                 (self.start as u128 + draw) as $t
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_shrink_candidates(*value as i128, self.start as i128, self.end as i128 - 1)
+                    .into_iter()
+                    .map(|c| c as $t)
+                    .collect()
             }
         }
         impl Strategy for RangeInclusive<$t> {
@@ -39,6 +78,12 @@ macro_rules! int_range_strategy {
                 }
                 let draw = (rng.next_u64() as u128) % span;
                 (lo as u128).wrapping_add(draw) as $t
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_shrink_candidates(*value as i128, *self.start() as i128, *self.end() as i128)
+                    .into_iter()
+                    .map(|c| c as $t)
+                    .collect()
             }
         }
     )*};
@@ -56,6 +101,12 @@ macro_rules! signed_range_strategy {
                 let draw = (rng.next_u64() as u128) % span;
                 (self.start as i128 + draw as i128) as $t
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_shrink_candidates(*value as i128, self.start as i128, self.end as i128 - 1)
+                    .into_iter()
+                    .map(|c| c as $t)
+                    .collect()
+            }
         }
         impl Strategy for RangeInclusive<$t> {
             type Value = $t;
@@ -65,6 +116,12 @@ macro_rules! signed_range_strategy {
                 let span = (hi as i128 - lo as i128 + 1) as u128;
                 let draw = (rng.next_u64() as u128) % span;
                 (lo as i128 + draw as i128) as $t
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_shrink_candidates(*value as i128, *self.start() as i128, *self.end() as i128)
+                    .into_iter()
+                    .map(|c| c as $t)
+                    .collect()
             }
         }
     )*};
@@ -94,3 +151,162 @@ macro_rules! float_range_strategy {
 }
 
 float_range_strategy!(f32, f64);
+
+impl Strategy for () {
+    type Value = ();
+    fn generate(&self, _rng: &mut TestRng) -> Self::Value {}
+}
+
+macro_rules! tuple_strategy {
+    ($($S:ident/$idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+)
+        where
+            $($S::Value: Clone),+
+        {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                // Draw left-to-right: identical stream order to drawing
+                // each component strategy separately.
+                ($(self.$idx.generate(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for c in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = c;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
+        }
+    };
+}
+
+tuple_strategy!(S0 / 0);
+tuple_strategy!(S0 / 0, S1 / 1);
+tuple_strategy!(S0 / 0, S1 / 1, S2 / 2);
+tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3);
+tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4);
+tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4, S5 / 5);
+tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4, S5 / 5, S6 / 6);
+tuple_strategy!(
+    S0 / 0,
+    S1 / 1,
+    S2 / 2,
+    S3 / 3,
+    S4 / 4,
+    S5 / 5,
+    S6 / 6,
+    S7 / 7
+);
+tuple_strategy!(
+    S0 / 0,
+    S1 / 1,
+    S2 / 2,
+    S3 / 3,
+    S4 / 4,
+    S5 / 5,
+    S6 / 6,
+    S7 / 7,
+    S8 / 8
+);
+tuple_strategy!(
+    S0 / 0,
+    S1 / 1,
+    S2 / 2,
+    S3 / 3,
+    S4 / 4,
+    S5 / 5,
+    S6 / 6,
+    S7 / 7,
+    S8 / 8,
+    S9 / 9
+);
+tuple_strategy!(
+    S0 / 0,
+    S1 / 1,
+    S2 / 2,
+    S3 / 3,
+    S4 / 4,
+    S5 / 5,
+    S6 / 6,
+    S7 / 7,
+    S8 / 8,
+    S9 / 9,
+    S10 / 10
+);
+tuple_strategy!(
+    S0 / 0,
+    S1 / 1,
+    S2 / 2,
+    S3 / 3,
+    S4 / 4,
+    S5 / 5,
+    S6 / 6,
+    S7 / 7,
+    S8 / 8,
+    S9 / 9,
+    S10 / 10,
+    S11 / 11
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_candidates_move_toward_origin_and_stay_in_range() {
+        // 100 in 0..=10_000: origin 0, halfway 50, predecessor 99.
+        assert_eq!(int_shrink_candidates(100, 0, 10_000), vec![0, 50, 99]);
+        // Already at the origin: nothing to propose.
+        assert!(int_shrink_candidates(0, 0, 10_000).is_empty());
+        // Range excludes zero: origin clamps to the low bound, and the
+        // halfway candidate sits between the origin and the value.
+        assert_eq!(int_shrink_candidates(40, 10, 100), vec![10, 25, 39]);
+        assert!(int_shrink_candidates(10, 10, 100).is_empty());
+        // Negative values shrink upward toward zero.
+        assert_eq!(int_shrink_candidates(-100, -10_000, -1), vec![-1, -51, -99]);
+        assert_eq!(int_shrink_candidates(-8, -10, 10), vec![0, -4, -7]);
+        for v in [-8i128, 40, 100] {
+            for c in int_shrink_candidates(v, -10_000, 10_000) {
+                assert!(c.abs() < v.abs(), "candidate {c} not simpler than {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn range_shrink_respects_bounds() {
+        let s = 5u32..10;
+        for c in Strategy::shrink(&s, &9) {
+            assert!((5..10).contains(&c));
+        }
+        assert_eq!(Strategy::shrink(&s, &5), Vec::<u32>::new());
+        let s = -5i64..=5;
+        assert_eq!(Strategy::shrink(&s, &-5), vec![0, -3, -4]);
+    }
+
+    #[test]
+    fn tuple_shrink_is_component_wise() {
+        let s = (0u32..100, 0i32..100);
+        let got = Strategy::shrink(&s, &(8, 6));
+        // Component 0 candidates first (second held fixed), then component 1.
+        assert_eq!(got, vec![(0, 6), (4, 6), (7, 6), (8, 0), (8, 3), (8, 5)]);
+        assert!(Strategy::shrink(&s, &(0, 0)).is_empty());
+    }
+
+    #[test]
+    fn tuple_generate_matches_sequential_component_draws() {
+        let s = (0u64..1000, 0u64..1000, -50i32..50);
+        let mut a = TestRng::new(42);
+        let mut b = TestRng::new(42);
+        let tup = s.generate(&mut a);
+        let seq = (
+            s.0.generate(&mut b),
+            s.1.generate(&mut b),
+            s.2.generate(&mut b),
+        );
+        assert_eq!(tup, seq);
+    }
+}

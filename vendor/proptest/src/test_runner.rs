@@ -1,4 +1,7 @@
-//! The case-running loop: configuration, RNG, and failure plumbing.
+//! The case-running loop: configuration, RNG, shrinking, and failure
+//! plumbing.
+
+use crate::strategy::Strategy;
 
 /// Configuration for a `proptest!` block.
 #[derive(Clone, Debug)]
@@ -143,5 +146,149 @@ impl TestRunner {
                 }
             }
         }
+    }
+
+    /// Like [`TestRunner::run`], but drawn through a single [`Strategy`]
+    /// so a failing case can be *shrunk*: candidate simplifications from
+    /// [`Strategy::shrink`] are re-tested, restarting from every still-
+    /// failing improvement, and the panic reports the smallest failure
+    /// found. `render` formats a value for the failure message; `test`
+    /// must be deterministic for shrinking to be meaningful.
+    pub fn run_shrink<S: Strategy>(
+        &mut self,
+        strategy: &S,
+        render: impl Fn(&S::Value) -> String,
+        test: impl Fn(&S::Value) -> TestCaseResult,
+    ) where
+        S::Value: Clone,
+    {
+        let mut rejects = 0u32;
+        let mut passed = 0u32;
+        let mut case_no = 0u64;
+        while passed < self.config.cases {
+            case_no += 1;
+            let value = strategy.generate(&mut self.rng);
+            match test(&value) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejects += 1;
+                    if rejects > self.config.max_global_rejects {
+                        panic!(
+                            "proptest `{}`: too many prop_assume! rejections ({}) — \
+                             strategy ranges are a poor fit for the precondition",
+                            self.name, rejects
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    let (min, min_msg, steps) = shrink_failure(strategy, value, msg, &test);
+                    panic!(
+                        "proptest `{}` failed at case #{} (shrunk {} step{}) with inputs: {}\n{}",
+                        self.name,
+                        case_no,
+                        steps,
+                        if steps == 1 { "" } else { "s" },
+                        render(&min),
+                        min_msg
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Greedy shrink loop: repeatedly asks the strategy for simplifications
+/// of the current failing value and restarts from the first candidate
+/// that still fails. Candidates that pass or reject (`prop_assume!`)
+/// are skipped. Bounded by a fixed re-test budget so a pathological
+/// strategy cannot hang the suite. Returns the final failing value, its
+/// failure message, and the number of accepted shrink steps.
+fn shrink_failure<S: Strategy>(
+    strategy: &S,
+    mut value: S::Value,
+    mut msg: String,
+    test: &impl Fn(&S::Value) -> TestCaseResult,
+) -> (S::Value, String, u32)
+where
+    S::Value: Clone,
+{
+    const BUDGET: u32 = 4096;
+    let mut attempts = 0u32;
+    let mut steps = 0u32;
+    'improve: loop {
+        for candidate in strategy.shrink(&value) {
+            if attempts >= BUDGET {
+                break 'improve;
+            }
+            attempts += 1;
+            if let Err(TestCaseError::Fail(m)) = test(&candidate) {
+                value = candidate;
+                msg = m;
+                steps += 1;
+                continue 'improve;
+            }
+        }
+        break; // no candidate still fails: `value` is locally minimal
+    }
+    (value, msg, steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "inputs: v = 100")]
+    fn failing_case_shrinks_to_boundary() {
+        let mut runner = TestRunner::new(
+            ProptestConfig::with_cases(64),
+            "failing_case_shrinks_to_boundary",
+        );
+        runner.run_shrink(
+            &(0u64..10_000,),
+            |value| format!("v = {:?}", value.0),
+            |value| {
+                if value.0 >= 100 {
+                    Err(TestCaseError::fail(format!("too big: {}", value.0)))
+                } else {
+                    Ok(())
+                }
+            },
+        );
+    }
+
+    #[test]
+    fn shrink_skips_rejected_candidates() {
+        // Failure at exactly 777; everything else rejects. The only
+        // shrink candidates of 777 reject, so the minimum stays 777.
+        let strategy = 0u64..=1_000;
+        let test = |v: &u64| {
+            if *v == 777 {
+                Err(TestCaseError::fail("hit"))
+            } else {
+                Err(TestCaseError::reject("miss"))
+            }
+        };
+        let (min, msg, steps) = shrink_failure(&strategy, 777, "hit".into(), &test);
+        assert_eq!(min, 777);
+        assert_eq!(msg, "hit");
+        assert_eq!(steps, 0);
+    }
+
+    #[test]
+    fn passing_property_completes_under_run_shrink() {
+        let mut runner = TestRunner::new(
+            ProptestConfig::with_cases(16),
+            "passing_property_completes_under_run_shrink",
+        );
+        runner.run_shrink(
+            &(1u32..10, -5i32..=5),
+            |v| format!("{v:?}"),
+            |&(a, b)| {
+                assert!((1..10).contains(&a));
+                assert!((-5..=5).contains(&b));
+                Ok(())
+            },
+        );
     }
 }
