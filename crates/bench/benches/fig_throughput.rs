@@ -34,6 +34,14 @@
 //! deltas (`standing_poll`), reporting the fraction of polls served by
 //! the drift-bounded delta fast path instead of a crawl.
 //!
+//! The **telemetry overhead** section re-runs the serving loop three
+//! ways — no registry attached (`telemetry_none`), a *disabled*
+//! registry attached (`telemetry_disabled`, the construction-time
+//! toggle), and an enabled one (`telemetry_on`) — in strictly
+//! alternating rounds so thermal/scheduler drift hits all three
+//! equally. The recorded on-vs-none regression is the cost of full
+//! instrumentation and must stay under a few percent.
+//!
 //! Run directly, or with `--json <path>` to record a machine-readable
 //! baseline (the committed `BENCH_throughput.json`, which also carries
 //! the PR 2 numbers under `baseline_pr2` for trajectory):
@@ -53,6 +61,7 @@ use octopus_service::{
     BatchEngine, BatchEngineConfig, BatchStats, LayoutPolicy, MonitorLoop, ParallelExecutor,
 };
 use octopus_sim::{Simulation, SmoothRandomField};
+use octopus_telemetry::Registry;
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
@@ -96,7 +105,8 @@ const BASELINE_PR2: &str = r#"{
 struct Entry {
     /// "sequential" | "spawn" | "pool" | "ring_stw" | "ring" |
     /// "shared_off" | "shared" | "seedcache_off" | "seedcache" |
-    /// "standing_requery" | "standing_poll"
+    /// "standing_requery" | "standing_poll" | "telemetry_none" |
+    /// "telemetry_disabled" | "telemetry_on"
     mode: &'static str,
     workers: usize, // 0 = sequential baseline
     batch: usize,
@@ -544,6 +554,83 @@ fn main() {
         speedup: poll_qps / requery_qps,
     });
 
+    // ---- Telemetry overhead: instrumented vs bare serving loop -------
+    // The full serving configuration (monitor + batch engine, so the
+    // executor phase histograms, engine counters and seed cache all
+    // record on every query) measured with no registry, a disabled
+    // registry, and an enabled one. Rounds alternate 1:1:1 so ambient
+    // drift cannot masquerade as instrumentation cost.
+    let tele_queries: Vec<Aabb> = gen.batch_with_selectivity(RING_BATCH, SELECTIVITY);
+    let disabled_registry = Registry::new(false);
+    let enabled_registry = Registry::new(true);
+    let mut tele_monitors: Vec<MonitorLoop> =
+        [None, Some(&disabled_registry), Some(&enabled_registry)]
+            .into_iter()
+            .map(|registry| {
+                let mut monitor = MonitorLoop::with_config(
+                    make_sim(&mesh),
+                    RING_WORKERS,
+                    LayoutPolicy::Preserve,
+                    1,
+                )
+                .expect("monitor");
+                monitor
+                    .set_batch_engine(BatchEngineConfig::default())
+                    .expect("engine");
+                if let Some(r) = registry {
+                    monitor.attach_telemetry(r);
+                }
+                monitor
+            })
+            .collect();
+    let run_serving = |monitor: &mut MonitorLoop| -> usize {
+        monitor.fill_pipeline().expect("begin steps");
+        monitor.finish_step().expect("finish step");
+        let results = monitor.query_batch(&tele_queries);
+        let total = results.iter().map(|r| r.vertices.len()).sum();
+        monitor.recycle(results);
+        total
+    };
+    for monitor in &mut tele_monitors {
+        assert!(run_serving(monitor) > 0, "warm-up returned no vertices");
+    }
+    let mut tele_busy = [Duration::ZERO; 3];
+    let mut tele_rounds = [0u32; 3];
+    while tele_busy.iter().sum::<Duration>() < 3 * BUDGET || tele_rounds[0] == 0 {
+        for (i, monitor) in tele_monitors.iter_mut().enumerate() {
+            let t = Instant::now();
+            std::hint::black_box(run_serving(monitor));
+            tele_busy[i] += t.elapsed();
+            tele_rounds[i] += 1;
+        }
+    }
+    let tele_qps: Vec<f64> = (0..3)
+        .map(|i| f64::from(tele_rounds[i]) * RING_BATCH as f64 / tele_busy[i].as_secs_f64())
+        .collect();
+    let tele_modes = ["telemetry_none", "telemetry_disabled", "telemetry_on"];
+    for (i, &mode) in tele_modes.iter().enumerate() {
+        println!(
+            "{:<34} {:>12.0} {:>8.2}x",
+            format!("{mode}/batch{RING_BATCH}"),
+            tele_qps[i],
+            tele_qps[i] / tele_qps[0]
+        );
+        entries.push(Entry {
+            mode,
+            workers: RING_WORKERS,
+            batch: RING_BATCH,
+            depth: 1,
+            qps: tele_qps[i],
+            speedup: tele_qps[i] / tele_qps[0],
+        });
+    }
+    let telemetry_overhead_pct = 100.0 * (1.0 - tele_qps[2] / tele_qps[0]);
+    println!(
+        "  telemetry overhead: {telemetry_overhead_pct:.2}% qps regression with full \
+         instrumentation ({:.2}% with the registry constructed disabled)",
+        100.0 * (1.0 - tele_qps[1] / tele_qps[0])
+    );
+
     if let Some(path) = json_path {
         let mut json = String::from("{\n");
         let _ = writeln!(json, "  \"bench\": \"fig_throughput\",");
@@ -551,6 +638,10 @@ fn main() {
         let _ = writeln!(json, "  \"mesh_vertices\": {},", mesh.num_vertices());
         let _ = writeln!(json, "  \"selectivity\": {SELECTIVITY},");
         let _ = writeln!(json, "  \"standing_delta_hit_rate\": {delta_hit_rate:.3},");
+        let _ = writeln!(
+            json,
+            "  \"telemetry_overhead_pct\": {telemetry_overhead_pct:.2},"
+        );
         let _ = writeln!(json, "  \"baseline_pr2\": {BASELINE_PR2},");
         let _ = writeln!(json, "  \"entries\": [");
         for (i, e) in entries.iter().enumerate() {
@@ -566,6 +657,8 @@ fn main() {
                 "speedup_vs_uncached_engine"
             } else if e.mode.starts_with("standing") {
                 "speedup_vs_requery"
+            } else if e.mode.starts_with("telemetry") {
+                "speedup_vs_uninstrumented"
             } else {
                 "speedup_vs_sequential"
             };

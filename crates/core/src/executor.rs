@@ -2,10 +2,12 @@
 
 use crate::crawler::{greedy_walk, Crawler, EpochStamps, VisitedStrategy, VisitedView};
 use crate::frontier::{GroupScratch, MAX_GROUP};
+use crate::metrics::{ExecMode, ExecutorMetrics};
 use crate::shape::{AggregateKind, AggregateValue, QueryShape, ShapeResult};
 use crate::surface_index::SurfaceIndex;
 use octopus_geom::{Aabb, Point3, Region, VertexId};
 use octopus_mesh::{Mesh, MeshError, SurfaceDelta};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Per-phase timing and work counters for one query execution — the raw
@@ -102,6 +104,11 @@ pub struct Octopus {
     surface: SurfaceIndex,
     components: ComponentMap,
     scratch: QueryScratch,
+    /// Telemetry sink, attachable once per executor through `&self`
+    /// (snapshot-ring generations share an executor behind `Arc`, so
+    /// attachment must not need `&mut`). `None` until attached; every
+    /// query entry point records into it when present.
+    metrics: OnceLock<Arc<ExecutorMetrics>>,
 }
 
 // The executor state splits into an immutable, position-free part
@@ -272,6 +279,7 @@ impl Octopus {
             surface,
             components,
             scratch,
+            metrics: OnceLock::new(),
         })
     }
 
@@ -295,6 +303,7 @@ impl Octopus {
             surface,
             components,
             scratch,
+            metrics: OnceLock::new(),
         }
     }
 
@@ -347,6 +356,9 @@ impl Octopus {
             surface,
             components,
             scratch,
+            // Telemetry carries over: every ring generation keeps
+            // recording into the same metric family.
+            metrics: self.metrics.clone(),
         }
     }
 
@@ -369,7 +381,7 @@ impl Octopus {
     /// cell size) is inherited from the paper and documented in
     /// `DESIGN.md`.
     pub fn query(&mut self, mesh: &Mesh, q: &Aabb, out: &mut Vec<VertexId>) -> PhaseTimings {
-        run_query(
+        let t = run_query(
             &self.surface,
             &self.components,
             &mut self.scratch,
@@ -378,7 +390,9 @@ impl Octopus {
             out,
             true,
             ProbeSource::Surface,
-        )
+        );
+        self.note(ExecMode::Fresh, &t);
+        t
     }
 
     /// [`Octopus::query`] through a shared reference, using
@@ -393,7 +407,7 @@ impl Octopus {
         q: &Aabb,
         out: &mut Vec<VertexId>,
     ) -> PhaseTimings {
-        run_query(
+        let t = run_query(
             &self.surface,
             &self.components,
             scratch,
@@ -402,7 +416,9 @@ impl Octopus {
             out,
             true,
             ProbeSource::Surface,
-        )
+        );
+        self.note(ExecMode::Fresh, &t);
+        t
     }
 
     /// [`Octopus::query_with`] warm-started from a cached candidate
@@ -428,7 +444,7 @@ impl Octopus {
         candidates: &[VertexId],
         out: &mut Vec<VertexId>,
     ) -> PhaseTimings {
-        run_query(
+        let t = run_query(
             &self.surface,
             &self.components,
             scratch,
@@ -437,7 +453,9 @@ impl Octopus {
             out,
             true,
             ProbeSource::Cached(candidates),
-        )
+        );
+        self.note(ExecMode::Seeded, &t);
+        t
     }
 
     /// [`Octopus::query_with`] that additionally collects every surface
@@ -457,7 +475,7 @@ impl Octopus {
         candidates: &mut Vec<VertexId>,
         out: &mut Vec<VertexId>,
     ) -> PhaseTimings {
-        run_query(
+        let t = run_query(
             &self.surface,
             &self.components,
             scratch,
@@ -469,7 +487,9 @@ impl Octopus {
                 margin,
                 into: candidates,
             },
-        )
+        );
+        self.note(ExecMode::Collect, &t);
+        t
     }
 
     /// Range query over an arbitrary [`Region`] — the generalised
@@ -487,7 +507,7 @@ impl Octopus {
         region: &R,
         out: &mut Vec<VertexId>,
     ) -> PhaseTimings {
-        run_query(
+        let t = run_query(
             &self.surface,
             &self.components,
             scratch,
@@ -496,7 +516,9 @@ impl Octopus {
             out,
             true,
             ProbeSource::Surface,
-        )
+        );
+        self.note(ExecMode::Region, &t);
+        t
     }
 
     /// [`Octopus::query_region`] through the executor's own scratch.
@@ -506,7 +528,7 @@ impl Octopus {
         region: &R,
         out: &mut Vec<VertexId>,
     ) -> PhaseTimings {
-        run_query(
+        let t = run_query(
             &self.surface,
             &self.components,
             &mut self.scratch,
@@ -515,7 +537,9 @@ impl Octopus {
             out,
             true,
             ProbeSource::Surface,
-        )
+        );
+        self.note(ExecMode::Region, &t);
+        t
     }
 
     /// The `k` active vertices nearest `point` (Euclidean distance,
@@ -538,7 +562,7 @@ impl Octopus {
         point: Point3,
         out: &mut Vec<VertexId>,
     ) -> PhaseTimings {
-        run_knn(
+        let t = run_knn(
             &self.surface,
             &self.components,
             scratch,
@@ -546,7 +570,9 @@ impl Octopus {
             k,
             point,
             out,
-        )
+        );
+        self.note(ExecMode::Knn, &t);
+        t
     }
 
     /// [`Octopus::query_knn`] through the executor's own scratch.
@@ -557,7 +583,7 @@ impl Octopus {
         point: Point3,
         out: &mut Vec<VertexId>,
     ) -> PhaseTimings {
-        run_knn(
+        let t = run_knn(
             &self.surface,
             &self.components,
             &mut self.scratch,
@@ -565,7 +591,9 @@ impl Octopus {
             k,
             point,
             out,
-        )
+        );
+        self.note(ExecMode::Knn, &t);
+        t
     }
 
     /// Aggregate query over `q`: the count (and, for
@@ -582,7 +610,9 @@ impl Octopus {
         q: &Aabb,
         kind: AggregateKind,
     ) -> (AggregateValue, PhaseTimings) {
-        run_aggregate(&self.surface, &self.components, scratch, mesh, q, kind)
+        let (value, t) = run_aggregate(&self.surface, &self.components, scratch, mesh, q, kind);
+        self.note(ExecMode::Aggregate, &t);
+        (value, t)
     }
 
     /// [`Octopus::query_aggregate`] through the executor's own scratch.
@@ -592,14 +622,16 @@ impl Octopus {
         q: &Aabb,
         kind: AggregateKind,
     ) -> (AggregateValue, PhaseTimings) {
-        run_aggregate(
+        let (value, t) = run_aggregate(
             &self.surface,
             &self.components,
             &mut self.scratch,
             mesh,
             q,
             kind,
-        )
+        );
+        self.note(ExecMode::Aggregate, &t);
+        (value, t)
     }
 
     /// Answers any [`QueryShape`] — the uniform dispatch point the
@@ -648,7 +680,7 @@ impl Octopus {
         q: &Aabb,
         out: &mut Vec<VertexId>,
     ) -> PhaseTimings {
-        run_query(
+        let t = run_query(
             &self.surface,
             &self.components,
             scratch,
@@ -657,7 +689,9 @@ impl Octopus {
             out,
             false,
             ProbeSource::Surface,
-        )
+        );
+        self.note(ExecMode::Seed, &t);
+        t
     }
 
     /// Executes a whole **overlap group** of ≤ [`MAX_GROUP`] queries as
@@ -690,7 +724,7 @@ impl Octopus {
         probe: GroupProbe<'_>,
         results: &mut [Vec<VertexId>],
     ) -> GroupPhase {
-        run_group_query(
+        let g = run_group_query(
             &self.surface,
             &self.components,
             group,
@@ -698,7 +732,11 @@ impl Octopus {
             queries,
             probe,
             results,
-        )
+        );
+        if let Some(m) = self.metrics.get() {
+            m.record_group(&g, queries.len());
+        }
+        g
     }
 
     /// Heap bytes: surface index + traversal scratch (the two components
@@ -710,6 +748,39 @@ impl Octopus {
     /// The configured visited-set strategy.
     pub fn visited_strategy(&self) -> VisitedStrategy {
         self.scratch.crawler.strategy()
+    }
+
+    /// Attaches a telemetry sink; from now on every query entry point
+    /// records its [`PhaseTimings`] into the registry-backed histograms
+    /// of `metrics`. Works through `&self` (executors are shared behind
+    /// `Arc` by the snapshot ring) and is first-attach-wins: later
+    /// calls on an already-instrumented executor are no-ops.
+    pub fn attach_metrics(&self, metrics: &Arc<ExecutorMetrics>) {
+        let _ = self.metrics.set(Arc::clone(metrics));
+    }
+
+    /// The attached telemetry sink, if any.
+    pub fn metrics(&self) -> Option<&Arc<ExecutorMetrics>> {
+        self.metrics.get()
+    }
+
+    /// Publishes the executor memory gauges (surface index + crawler
+    /// scratch heap bytes) to the attached sink, returning the total it
+    /// published — the same value as [`Octopus::memory_bytes`].
+    pub fn publish_memory(&self) -> usize {
+        let (surface, scratch) = (self.surface.memory_bytes(), self.scratch.memory_bytes());
+        if let Some(m) = self.metrics.get() {
+            m.set_memory(surface, scratch);
+        }
+        surface + scratch
+    }
+
+    /// Feed one query's timings to the sink, when attached.
+    #[inline]
+    fn note(&self, mode: ExecMode, t: &PhaseTimings) {
+        if let Some(m) = self.metrics.get() {
+            m.record(mode, t);
+        }
     }
 }
 

@@ -41,6 +41,7 @@ mod crawler;
 pub mod executor;
 pub mod frontier;
 pub mod layout;
+pub mod metrics;
 pub mod planner;
 pub mod shape;
 pub mod surface_index;
@@ -51,6 +52,7 @@ pub use cost_model::CostModel;
 pub use crawler::{CrawlOrder, VisitedStrategy, VisitedView};
 pub use executor::{GroupPhase, GroupProbe, Octopus, PhaseTimings, QueryScratch};
 pub use frontier::{GroupScratch, ShardWorker, MAX_GROUP};
+pub use metrics::{ExecMode, ExecutorMetrics};
 pub use planner::{Decision, Planner, Strategy};
 pub use shape::{AggregateKind, AggregateValue, QueryShape, ShapeResult};
 pub use surface_index::SurfaceIndex;

@@ -1,0 +1,230 @@
+//! Executor-side telemetry: the bundle of registry handles the
+//! executor records phase timings and work counters into.
+//!
+//! [`ExecutorMetrics`] is registered once against an
+//! [`octopus_telemetry::Registry`] and attached to any number of
+//! [`crate::Octopus`] executors (snapshot-ring generations share one
+//! bundle — the handles are `Arc`-shared and lock-free). Every query
+//! entry point then feeds its [`crate::PhaseTimings`] into log2
+//! histograms, which is what the self-tuning planner (ROADMAP item 4)
+//! regresses its cost-model coefficients from.
+
+use std::fmt;
+use std::sync::Arc;
+
+use octopus_telemetry::{Counter, Gauge, Histogram, Registry};
+
+use crate::executor::{GroupPhase, PhaseTimings};
+
+/// Which entry point executed a query — the key of the per-mode
+/// `executor_query_ns_*` latency histograms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Fresh box query probing the full surface index
+    /// ([`crate::Octopus::query`] / `query_with`).
+    Fresh,
+    /// Warm-started from a seed-cache candidate list
+    /// ([`crate::Octopus::query_seeded`]).
+    Seeded,
+    /// Full probe that also refills a candidate list
+    /// ([`crate::Octopus::query_collecting`]).
+    Collect,
+    /// Arbitrary convex region ([`crate::Octopus::query_region`]).
+    Region,
+    /// k-nearest-neighbour ([`crate::Octopus::query_knn`]).
+    Knn,
+    /// Materialisation-free aggregate
+    /// ([`crate::Octopus::query_aggregate`]).
+    Aggregate,
+    /// Seed-only execution for sharded crawls
+    /// ([`crate::Octopus::seed_query`]).
+    Seed,
+    /// Shared-frontier overlap group ([`crate::Octopus::query_group`]).
+    Group,
+}
+
+const MODES: [(ExecMode, &str); 8] = [
+    (ExecMode::Fresh, "fresh"),
+    (ExecMode::Seeded, "seeded"),
+    (ExecMode::Collect, "collect"),
+    (ExecMode::Region, "region"),
+    (ExecMode::Knn, "knn"),
+    (ExecMode::Aggregate, "aggregate"),
+    (ExecMode::Seed, "seed"),
+    (ExecMode::Group, "group"),
+];
+
+impl ExecMode {
+    /// Stable lowercase name used in metric names.
+    pub fn as_str(self) -> &'static str {
+        MODES[self as usize].1
+    }
+}
+
+/// Registry handles for everything the executor records. See the
+/// metric catalogue in the workspace README ("Telemetry").
+pub struct ExecutorMetrics {
+    /// Per-phase wall-time histograms (ns): surface_probe, cache_probe,
+    /// linear_scan, directed_walk, crawling. A phase is recorded only
+    /// when it actually ran (non-zero duration).
+    phase_surface_probe_ns: Histogram,
+    phase_cache_probe_ns: Histogram,
+    phase_linear_scan_ns: Histogram,
+    phase_directed_walk_ns: Histogram,
+    phase_crawling_ns: Histogram,
+    /// Whole-query latency keyed by [`ExecMode`].
+    query_ns: [Histogram; MODES.len()],
+    queries: Counter,
+    cache_seeded: Counter,
+    results: Histogram,
+    start_vertices: Histogram,
+    walk_visited: Histogram,
+    crawl_visited: Histogram,
+    surface_index_bytes: Gauge,
+    scratch_bytes: Gauge,
+}
+
+impl ExecutorMetrics {
+    /// Register (or re-open) the executor metric family on `registry`.
+    pub fn register(registry: &Registry) -> Arc<ExecutorMetrics> {
+        Arc::new(ExecutorMetrics {
+            phase_surface_probe_ns: registry.histogram("executor_phase_ns_surface_probe"),
+            phase_cache_probe_ns: registry.histogram("executor_phase_ns_cache_probe"),
+            phase_linear_scan_ns: registry.histogram("executor_phase_ns_linear_scan"),
+            phase_directed_walk_ns: registry.histogram("executor_phase_ns_directed_walk"),
+            phase_crawling_ns: registry.histogram("executor_phase_ns_crawling"),
+            query_ns: MODES
+                .map(|(_, name)| registry.histogram(&format!("executor_query_ns_{name}"))),
+            queries: registry.counter("executor_queries_total"),
+            cache_seeded: registry.counter("executor_cache_seeded_total"),
+            results: registry.histogram("executor_results"),
+            start_vertices: registry.histogram("executor_start_vertices"),
+            walk_visited: registry.histogram("executor_walk_visited"),
+            crawl_visited: registry.histogram("executor_crawl_visited"),
+            surface_index_bytes: registry.gauge("executor_surface_index_bytes"),
+            scratch_bytes: registry.gauge("executor_scratch_bytes"),
+        })
+    }
+
+    /// Record one executed query's timings under `mode`.
+    pub fn record(&self, mode: ExecMode, t: &PhaseTimings) {
+        self.queries.inc();
+        self.cache_seeded.add(t.cache_seeded as u64);
+        self.record_phases(
+            t.surface_probe.as_nanos() as u64,
+            t.cache_probe.as_nanos() as u64,
+            t.linear_scan.as_nanos() as u64,
+            t.directed_walk.as_nanos() as u64,
+            t.crawling.as_nanos() as u64,
+        );
+        self.query_ns[mode as usize].record_duration(t.total());
+        self.results.record(t.results as u64);
+        self.start_vertices.record(t.start_vertices as u64);
+        if t.walk_visited > 0 {
+            self.walk_visited.record(t.walk_visited as u64);
+        }
+        if t.crawl_visited > 0 {
+            self.crawl_visited.record(t.crawl_visited as u64);
+        }
+    }
+
+    /// Record one shared-frontier group execution covering `members`
+    /// queries (the group's shared phases are paid once, so they land
+    /// in the phase histograms once).
+    pub fn record_group(&self, g: &GroupPhase, members: usize) {
+        self.queries.add(members as u64);
+        self.record_phases(
+            g.surface_probe.as_nanos() as u64,
+            g.cache_probe.as_nanos() as u64,
+            0,
+            g.directed_walk.as_nanos() as u64,
+            g.crawling.as_nanos() as u64,
+        );
+        self.query_ns[ExecMode::Group as usize]
+            .record_duration(g.surface_probe + g.cache_probe + g.directed_walk + g.crawling);
+    }
+
+    fn record_phases(&self, probe: u64, cache: u64, scan: u64, walk: u64, crawl: u64) {
+        if probe > 0 {
+            self.phase_surface_probe_ns.record(probe);
+        }
+        if cache > 0 {
+            self.phase_cache_probe_ns.record(cache);
+        }
+        if scan > 0 {
+            self.phase_linear_scan_ns.record(scan);
+        }
+        if walk > 0 {
+            self.phase_directed_walk_ns.record(walk);
+        }
+        if crawl > 0 {
+            self.phase_crawling_ns.record(crawl);
+        }
+    }
+
+    /// Record a planner-routed linear scan that bypassed the
+    /// probe/walk/crawl machinery entirely.
+    pub fn record_scan(&self, duration_ns: u64, results: usize) {
+        self.queries.inc();
+        if duration_ns > 0 {
+            self.phase_linear_scan_ns.record(duration_ns);
+        }
+        self.results.record(results as u64);
+    }
+
+    /// Publish the executor memory footprint gauges (surface index and
+    /// crawler scratch heap bytes).
+    pub fn set_memory(&self, surface_index_bytes: usize, scratch_bytes: usize) {
+        self.surface_index_bytes.set_u64(surface_index_bytes as u64);
+        self.scratch_bytes.set_u64(scratch_bytes as u64);
+    }
+}
+
+impl fmt::Debug for ExecutorMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ExecutorMetrics").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn mode_names_line_up_with_discriminants() {
+        for (i, (mode, name)) in MODES.iter().enumerate() {
+            assert_eq!(*mode as usize, i);
+            assert_eq!(mode.as_str(), *name);
+        }
+    }
+
+    #[test]
+    fn record_feeds_phase_and_mode_histograms() {
+        let reg = Registry::new(true);
+        let m = ExecutorMetrics::register(&reg);
+        let t = PhaseTimings {
+            surface_probe: Duration::from_nanos(100),
+            crawling: Duration::from_nanos(50),
+            start_vertices: 2,
+            crawl_visited: 9,
+            results: 5,
+            ..Default::default()
+        };
+        m.record(ExecMode::Fresh, &t);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("executor_queries_total"), 1);
+        assert_eq!(
+            snap.histogram("executor_phase_ns_surface_probe")
+                .unwrap()
+                .count,
+            1
+        );
+        assert!(snap
+            .histogram("executor_phase_ns_cache_probe")
+            .unwrap()
+            .is_empty());
+        assert_eq!(snap.histogram("executor_query_ns_fresh").unwrap().count, 1);
+        assert_eq!(snap.histogram("executor_results").unwrap().sum, 5);
+    }
+}

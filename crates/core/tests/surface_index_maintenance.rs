@@ -4,10 +4,11 @@
 //! restructuring reports — and the index behaves like a set under any
 //! insert/remove interleaving.
 
-use octopus_core::SurfaceIndex;
+use octopus_core::{ExecutorMetrics, Octopus, SurfaceIndex};
 use octopus_geom::rng::SplitMix64;
 use octopus_geom::{Aabb, Point3, VertexId};
 use octopus_sim::{Deformation, SmoothRandomField};
+use octopus_telemetry::Registry;
 use octopus_testkit::random_mesh;
 use proptest::prelude::*;
 use std::collections::BTreeSet;
@@ -139,4 +140,62 @@ fn interior_refinement_then_removal_promotes_centroid() {
         "centroid must now be a surface vertex"
     );
     assert_eq!(as_set(&idx), as_set(&SurfaceIndex::build(&mesh).unwrap()));
+}
+
+/// Memory-gauge consistency: [`Octopus::publish_memory`] registers the
+/// surface-index and crawler-scratch heap sizes as gauges whose sum
+/// always equals [`Octopus::memory_bytes`], and the reading is monotone
+/// non-decreasing under a growing query workload — scratch structures
+/// only gain capacity, and the surface index does not change without a
+/// restructure.
+#[test]
+fn memory_gauges_track_memory_bytes_monotonically() {
+    let mut mesh = random_mesh(5, 1.0, 7);
+    let mut octopus = Octopus::new(&mesh).unwrap();
+    let registry = Registry::new(true);
+    let metrics = ExecutorMetrics::register(&registry);
+    octopus.attach_metrics(&metrics);
+
+    let mut out = Vec::new();
+    let mut last = 0usize;
+    for i in 1..=4u32 {
+        // Growing boxes touch ever more vertices, so the crawler's
+        // visited/queue scratch can only gain capacity between queries.
+        let q = Aabb::cube(Point3::splat(0.5), 0.1 + 0.15 * i as f32);
+        octopus.query(&mesh, &q, &mut out);
+        let published = octopus.publish_memory();
+        assert_eq!(
+            published,
+            octopus.memory_bytes(),
+            "publish_memory must return exactly what memory_bytes reports"
+        );
+        let snap = registry.snapshot();
+        let gauge_total =
+            snap.gauge("executor_surface_index_bytes") + snap.gauge("executor_scratch_bytes");
+        assert_eq!(
+            gauge_total, published as f64,
+            "the two gauges must sum to the published total"
+        );
+        assert!(
+            published >= last,
+            "memory reading regressed under a growing workload: {published} < {last}"
+        );
+        last = published;
+    }
+
+    // A restructure-derived executor carries the metrics attachment
+    // forward and keeps the gauges consistent with its own footprint.
+    mesh.enable_restructuring().unwrap();
+    let cell = (0..mesh.cell_capacity() as u32)
+        .find(|&c| mesh.is_cell_alive(c))
+        .expect("mesh has cells");
+    let (_, delta) = mesh.refine_tet(cell).unwrap();
+    let derived = octopus.restructured(&mesh, &delta);
+    let published = derived.publish_memory();
+    assert_eq!(published, derived.memory_bytes());
+    let snap = registry.snapshot();
+    assert_eq!(
+        snap.gauge("executor_surface_index_bytes") + snap.gauge("executor_scratch_bytes"),
+        published as f64
+    );
 }

@@ -3,6 +3,7 @@
 
 use crate::pool::{record_spawn, Task, WorkerPool};
 use crate::recycle::{RecycleStats, ResultRecycler};
+use crate::telemetry::PoolMetrics;
 use octopus_core::{Octopus, PhaseTimings, QueryScratch, ShardWorker};
 use octopus_geom::{Aabb, VertexId};
 use octopus_mesh::Mesh;
@@ -121,6 +122,8 @@ pub struct ParallelExecutor {
     pub(crate) group_scratches: Vec<octopus_core::GroupScratch>,
     /// Per-worker staging of the batch engine's plan executor.
     pub(crate) plan_outs: Vec<crate::engine::PlanOut>,
+    /// Pool metrics (steal accounting), attached by the telemetry layer.
+    pub(crate) metrics: Option<PoolMetrics>,
 }
 
 impl ParallelExecutor {
@@ -146,7 +149,17 @@ impl ParallelExecutor {
             free_batches: Vec::new(),
             group_scratches: Vec::new(),
             plan_outs: Vec::new(),
+            metrics: None,
         }
+    }
+
+    /// Attaches pool metrics: from here on, batch executions record how
+    /// much imbalance the work-stealing cursor absorbed
+    /// (`pool_steals_total`) on top of the pool's own submission
+    /// counters.
+    pub fn attach_metrics(&mut self, metrics: &PoolMetrics) {
+        self.pool.attach_metrics(metrics);
+        self.metrics = Some(metrics.clone());
     }
 
     /// The configured worker count.
@@ -229,6 +242,17 @@ impl ParallelExecutor {
                 })
                 .collect();
             self.pool.run(tasks);
+        }
+
+        if let Some(m) = &self.metrics {
+            // Each worker's staged count is the number of queries its
+            // cursor fetches won; anything above an equal share was
+            // stolen from a slower worker's notional allotment.
+            m.record_steals(
+                self.worker_outs.iter().take(workers).map(Vec::len),
+                queries.len(),
+                workers,
+            );
         }
 
         // Reassemble in input order through the persistent slot buffer.

@@ -38,9 +38,10 @@
 use crate::batch::{ParallelExecutor, QueryResult};
 use crate::pool::Task;
 use crate::seed_cache::{SeedCache, SeedCacheStats};
+use crate::telemetry::EngineMetrics;
 use octopus_core::{
-    AggregateKind, AggregateValue, CostModel, GroupProbe, GroupScratch, Octopus, PhaseTimings,
-    Planner, QueryScratch, QueryShape, ShapeResult, Strategy, MAX_GROUP,
+    AggregateKind, AggregateValue, CostModel, Decision, GroupProbe, GroupScratch, Octopus,
+    PhaseTimings, Planner, QueryScratch, QueryShape, ShapeResult, Strategy, MAX_GROUP,
 };
 use octopus_geom::hilbert::hilbert_center_key;
 use octopus_geom::{Aabb, Point3, Region, VertexId};
@@ -156,6 +157,10 @@ struct EnginePlan {
     /// pool each; executed outside the group fan-out).
     sharded: Vec<u32>,
     margin: f32,
+    /// The per-query planner decisions the plan was routed on, kept so
+    /// telemetry can compare estimates against measured selectivities
+    /// after execution (`planner_misroutes_total`).
+    decisions: Option<Vec<Decision>>,
 }
 
 /// Per-worker staging of the plan executor.
@@ -181,6 +186,8 @@ pub struct BatchEngine {
     key_bounds: Aabb,
     num_vertices: usize,
     report: EngineReport,
+    /// Registry handles, attached via [`BatchEngine::attach_metrics`].
+    telemetry: Option<EngineMetrics>,
 }
 
 impl BatchEngine {
@@ -215,7 +222,24 @@ impl BatchEngine {
             key_bounds: bounds,
             num_vertices: mesh.num_vertices(),
             report: EngineReport::default(),
+            telemetry: None,
         })
+    }
+
+    /// Attaches registry handles: every executed batch records grouping,
+    /// routing, shared-frontier savings, planner mis-routes and the
+    /// seed-cache counters (including the `seed_cache_hit_rate` gauge).
+    pub fn attach_metrics(&mut self, metrics: &EngineMetrics) {
+        self.telemetry = Some(metrics.clone());
+    }
+
+    /// Re-publishes the seed-cache counters and hit-rate gauge (the
+    /// single-query paths advance the cache outside
+    /// [`BatchEngine::execute`], so the monitor calls this per step).
+    pub(crate) fn publish_cache_metrics(&mut self) {
+        if let (Some(t), Some(c)) = (&mut self.telemetry, &self.cache) {
+            t.sync_cache(&c.stats());
+        }
     }
 
     /// The engine's configuration.
@@ -292,6 +316,48 @@ impl BatchEngine {
         self.report.queries = queries.len();
         self.report.groups = plan.groups.len();
         self.report.sharded_queries = plan.sharded.len();
+        let cache_stats = self.cache.as_ref().map(SeedCache::stats);
+        if let Some(t) = &mut self.telemetry {
+            t.batches.inc();
+            for g in &plan.groups {
+                t.group_size.record(g.members.len() as u64);
+            }
+            for _ in &plan.sharded {
+                t.group_size.record(1);
+            }
+            t.grouped_queries.add(self.report.grouped_queries as u64);
+            t.scan_queries.add(self.report.scan_queries as u64);
+            t.sharded_queries.add(self.report.sharded_queries as u64);
+            t.shared_visited.add(self.report.shared_visited as u64);
+            t.attributed_visited
+                .add(self.report.attributed_visited as u64);
+            t.frontier_savings.add(
+                self.report
+                    .attributed_visited
+                    .saturating_sub(self.report.shared_visited) as u64,
+            );
+            if let Some(decisions) = &plan.decisions {
+                let n = self.num_vertices.max(1) as f64;
+                for (d, r) in decisions.iter().zip(&results) {
+                    match d.strategy {
+                        Strategy::Octopus => t.planner_octopus.inc(),
+                        Strategy::LinearScan => t.planner_scan.inc(),
+                    }
+                    // A mis-route: the measured selectivity lands on the
+                    // other side of the Eq.-6 crossover than the
+                    // histogram estimate the routing used.
+                    let actual = r.vertices.len() as f64 / n;
+                    let estimated_scan = d.estimated_selectivity > d.crossover_selectivity;
+                    let actual_scan = actual > d.crossover_selectivity;
+                    if estimated_scan != actual_scan {
+                        t.planner_misroutes.inc();
+                    }
+                }
+            }
+            if let Some(stats) = cache_stats {
+                t.sync_cache(&stats);
+            }
+        }
         results
     }
 
@@ -393,6 +459,7 @@ impl BatchEngine {
             groups: Vec::new(),
             sharded: Vec::new(),
             margin,
+            decisions: None,
         };
         if queries.is_empty() {
             return plan;
@@ -434,6 +501,7 @@ impl BatchEngine {
                 route,
             });
         }
+        plan.decisions = decisions;
         plan
     }
 

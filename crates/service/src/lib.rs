@@ -84,6 +84,7 @@ mod recycle;
 mod seed_cache;
 mod shard;
 pub mod subscribe;
+pub mod telemetry;
 
 pub use batch::{BatchStats, ParallelExecutor, QueryResult};
 pub use engine::{BatchEngine, BatchEngineConfig, EngineReport, ShapeQueryResult};
@@ -92,6 +93,7 @@ pub use pool::{threads_spawned_total, Task, WorkerPool};
 pub use recycle::RecycleStats;
 pub use seed_cache::SeedCacheStats;
 pub use subscribe::{ResultDelta, SubscriptionId, SubscriptionStats};
+pub use telemetry::{EngineMetrics, MonitorMetrics, PoolMetrics, ServiceTelemetry};
 
 /// Default number of worker threads: the machine's available
 /// parallelism, or 1 when it cannot be determined.

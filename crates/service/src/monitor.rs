@@ -64,16 +64,19 @@ use crate::engine::{BatchEngine, BatchEngineConfig, EngineReport, ShapeQueryResu
 use crate::recycle::RecycleStats;
 use crate::seed_cache::SeedCacheStats;
 use crate::subscribe::{ResultDelta, SubscriptionId, SubscriptionRegistry, SubscriptionStats};
+use crate::telemetry::ServiceTelemetry;
 use octopus_core::layout::{curve_permutation, CurveKind, LocalityTracker};
 use octopus_core::{Octopus, PhaseTimings, QueryScratch, QueryShape};
 use octopus_geom::{Aabb, Point3, VertexId};
 use octopus_mesh::{Mesh, MeshError, SurfaceDelta};
 use octopus_sim::Simulation;
+use octopus_telemetry::{Registry, TelemetrySnapshot};
 use std::collections::VecDeque;
 use std::ops::RangeInclusive;
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// When (if ever) a curve [`LayoutPolicy`] re-applies its vertex order
 /// after ingest.
@@ -358,6 +361,9 @@ pub struct MonitorLoop {
     /// Standing queries answered with incremental deltas off the drift
     /// meter (see [`crate::subscribe`]).
     subs: SubscriptionRegistry,
+    /// Registry handles wired through every layer by
+    /// [`MonitorLoop::attach_telemetry`]; `None` records nothing.
+    telemetry: Option<ServiceTelemetry>,
 }
 
 impl MonitorLoop {
@@ -443,7 +449,65 @@ impl MonitorLoop {
             relayout_pending: false,
             engine: None,
             subs: SubscriptionRegistry::default(),
+            telemetry: None,
         })
+    }
+
+    /// Builds the service telemetry bundle on `registry` and wires it
+    /// through every layer: the executors of all retained snapshots
+    /// (future ring generations inherit the handles through
+    /// [`octopus_core::Octopus::restructured`]), the worker pool and
+    /// batch executor, and the batch engine — whether already attached
+    /// or attached later via [`MonitorLoop::set_batch_engine`]. From
+    /// here on, queries, steps, re-layouts and subscription polls
+    /// record into `registry`; read them back with
+    /// [`MonitorLoop::telemetry_snapshot`].
+    pub fn attach_telemetry(&mut self, registry: &Registry) -> &ServiceTelemetry {
+        let t = ServiceTelemetry::register(registry);
+        for slot in &self.slots {
+            slot.exec.attach_metrics(&t.executor);
+        }
+        self.pool.attach_metrics(&t.pool);
+        if let Some(engine) = &mut self.engine {
+            engine.attach_metrics(&t.engine);
+        }
+        self.telemetry = Some(t);
+        self.publish_gauges();
+        self.telemetry.as_ref().expect("just attached")
+    }
+
+    /// The attached telemetry bundle, if any — the hook a self-tuning
+    /// planner (ROADMAP item 4) reads executor/engine feedback from.
+    pub fn telemetry(&self) -> Option<&ServiceTelemetry> {
+        self.telemetry.as_ref()
+    }
+
+    /// Refreshes every point-in-time gauge and returns a consistent
+    /// merged snapshot of the registry (`None` until
+    /// [`MonitorLoop::attach_telemetry`] is called).
+    pub fn telemetry_snapshot(&mut self) -> Option<TelemetrySnapshot> {
+        self.publish_gauges();
+        self.telemetry.as_ref().map(ServiceTelemetry::snapshot)
+    }
+
+    /// Publishes the gauges that mirror monitor state: ring occupancy
+    /// and in-flight depth, drift meters, subscription aggregates,
+    /// seed-cache rates and executor memory.
+    fn publish_gauges(&mut self) {
+        let Some(t) = &mut self.telemetry else { return };
+        t.monitor.ring_occupancy.set_u64(self.slots.len() as u64);
+        t.monitor.ring_in_flight.set_u64(self.in_flight as u64);
+        let latest = self.slots.back().expect("ring is never empty");
+        t.monitor.drift_meter.set(f64::from(latest.cum_drift));
+        if let Some(tracker) = &self.tracker {
+            t.monitor.locality_drift.set(tracker.drift_ratio());
+        }
+        t.monitor.subscriptions.set_u64(self.subs.len() as u64);
+        t.monitor.sync_subscriptions(&self.subs.total_stats());
+        let _ = latest.exec.publish_memory();
+        if let Some(engine) = &mut self.engine {
+            engine.publish_cache_metrics();
+        }
     }
 
     /// Attaches a [`BatchEngine`] built for the latest snapshot:
@@ -452,7 +516,10 @@ impl MonitorLoop {
     /// temporal seed cache, and `query`/`query_at` warm-start from the
     /// seed cache — all returning exactly what the plain paths return.
     pub fn set_batch_engine(&mut self, cfg: BatchEngineConfig) -> Result<(), ServiceError> {
-        let engine = BatchEngine::new(cfg, &self.latest().mesh)?;
+        let mut engine = BatchEngine::new(cfg, &self.latest().mesh)?;
+        if let Some(t) = &self.telemetry {
+            engine.attach_metrics(&t.engine);
+        }
         // Snapshots retained from before the engine attached carry no
         // displacement history (their meters were never advanced), so a
         // candidate list collected on one of them must never validate
@@ -537,8 +604,11 @@ impl MonitorLoop {
         if self.in_flight == 0 {
             return Err(ServiceError::NoStepInFlight);
         }
+        let tracer = self.telemetry.as_ref().map(|t| t.tracer.clone());
+        let _span = tracer.as_ref().map(|tr| tr.span("monitor.finish_step"));
         self.absorb_one()?;
         self.try_apply_pending_relayout()?;
+        self.publish_gauges();
         Ok(self.snapshot_step())
     }
 
@@ -548,6 +618,9 @@ impl MonitorLoop {
         if self.slots.len() == self.depth {
             let oldest = self.slots.front().expect("ring is never empty");
             if oldest.pins > 0 {
+                if let Some(t) = &self.telemetry {
+                    t.monitor.pin_waits.inc();
+                }
                 return Err(ServiceError::RingFull {
                     pinned_step: oldest.step,
                 });
@@ -637,6 +710,9 @@ impl MonitorLoop {
             }
             Update::Failed(e) => return Err(ServiceError::Mesh(e)),
         }
+        if let Some(t) = &self.telemetry {
+            t.monitor.steps.inc();
+        }
         Ok(())
     }
 
@@ -699,6 +775,9 @@ impl MonitorLoop {
         let Some(curve) = self.policy.curve() else {
             return Ok(());
         };
+        let relayout_start = Instant::now();
+        let tracer = self.telemetry.as_ref().map(|t| t.tracer.clone());
+        let _span = tracer.as_ref().map(|tr| tr.span("monitor.relayout"));
         while self.slots.len() > 1 {
             self.slots.pop_front();
         }
@@ -716,6 +795,11 @@ impl MonitorLoop {
             &latest.mesh,
             latest.exec.visited_strategy(),
         )?);
+        // A rebuilt executor starts with an empty metrics cell; re-wire
+        // it so the new connectivity generation keeps recording.
+        if let Some(t) = &self.telemetry {
+            latest.exec.attach_metrics(&t.executor);
+        }
         if let Some(t) = &latest.translation {
             latest.translation = Some(Arc::new(
                 t.iter().map(|&v| perm[v as usize]).collect::<Vec<_>>(),
@@ -738,6 +822,12 @@ impl MonitorLoop {
         latest.conn_gen = self.conn_gen;
         self.spare_meshes.clear();
         self.relayouts += 1;
+        if let Some(t) = &self.telemetry {
+            t.monitor.relayouts.inc();
+            t.monitor
+                .relayout_ns
+                .record_duration(relayout_start.elapsed());
+        }
         Ok(())
     }
 
@@ -960,6 +1050,8 @@ impl MonitorLoop {
     }
 
     fn query_index(&mut self, i: usize, q: &Aabb, out: &mut Vec<VertexId>) -> PhaseTimings {
+        let tracer = self.telemetry.as_ref().map(|t| t.tracer.clone());
+        let _span = tracer.as_ref().map(|tr| tr.span("monitor.query"));
         let slot = &self.slots[i];
         if let Some(engine) = &mut self.engine {
             return engine.query_cached(
@@ -994,6 +1086,8 @@ impl MonitorLoop {
     }
 
     fn query_batch_index(&mut self, i: usize, queries: &[Aabb]) -> Vec<QueryResult> {
+        let tracer = self.telemetry.as_ref().map(|t| t.tracer.clone());
+        let _span = tracer.as_ref().map(|tr| tr.span("monitor.query_batch"));
         let slot = &self.slots[i];
         match &mut self.engine {
             Some(engine) => engine.execute(
@@ -1075,15 +1169,24 @@ impl MonitorLoop {
     /// the candidate band still covers every possible boundary
     /// crossing (see [`crate::subscribe`]).
     pub fn poll_subscriptions(&mut self) -> Vec<(SubscriptionId, ResultDelta)> {
+        let tracer = self.telemetry.as_ref().map(|t| t.tracer.clone());
+        let _span = tracer
+            .as_ref()
+            .map(|tr| tr.span("monitor.poll_subscriptions"));
         let slot = self.slots.back().expect("ring is never empty");
-        self.subs.poll_all(
+        let deltas = self.subs.poll_all(
             &slot.exec,
             &slot.mesh,
             &mut self.scratch,
             slot.mesh.restructure_epoch(),
             slot.cum_drift,
             slot.step,
-        )
+        );
+        if let Some(t) = &mut self.telemetry {
+            t.monitor.subscriptions.set_u64(self.subs.len() as u64);
+            t.monitor.sync_subscriptions(&self.subs.total_stats());
+        }
+        deltas
     }
 
     /// A subscription's current full result set (sorted ids), as of its

@@ -20,10 +20,13 @@
 
 use std::any::Any;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc::{channel, Sender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::mpsc::{channel, Sender, TryRecvError};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+
+use octopus_telemetry::StaticCounter;
+
+use crate::telemetry::PoolMetrics;
 
 /// One unit of work for [`WorkerPool::run`]: a closure that may borrow
 /// from the submitting stack frame (the pool blocks until it finishes).
@@ -48,17 +51,19 @@ impl Job {
 /// Process-wide count of worker threads ever spawned by the service
 /// layer — both by [`WorkerPool`]s and by the legacy spawn-per-batch
 /// path kept for the throughput ablation. The steady-state tests assert
-/// this stays flat across pool-mode batches.
-static THREADS_SPAWNED: AtomicUsize = AtomicUsize::new(0);
+/// this stays flat across pool-mode batches. A telemetry
+/// [`StaticCounter`] rather than a hand-rolled atomic so it can be
+/// mirrored into registry snapshots as `pool_threads_spawned_total`.
+static THREADS_SPAWNED: StaticCounter = StaticCounter::new();
 
 /// Total worker threads spawned by the service layer so far in this
 /// process (instrumentation; see [`THREADS_SPAWNED`]'s doc).
 pub fn threads_spawned_total() -> usize {
-    THREADS_SPAWNED.load(Ordering::Relaxed)
+    THREADS_SPAWNED.value() as usize
 }
 
 pub(crate) fn record_spawn() {
-    THREADS_SPAWNED.fetch_add(1, Ordering::Relaxed);
+    THREADS_SPAWNED.inc();
 }
 
 /// Completion latch for one `run` call: counts outstanding submitted
@@ -119,6 +124,10 @@ pub struct WorkerPool {
     senders: Vec<Sender<Job>>,
     handles: Vec<JoinHandle<()>>,
     threads: usize,
+    /// Telemetry handles, shared with the worker threads (which count
+    /// their own park/unpark transitions). First-attach-wins; `&self`
+    /// attachable because workers already hold clones of the cell.
+    metrics: Arc<OnceLock<PoolMetrics>>,
 }
 
 impl std::fmt::Debug for WorkerPool {
@@ -135,17 +144,40 @@ impl WorkerPool {
     /// background workers).
     pub fn new(threads: usize) -> WorkerPool {
         let threads = threads.max(1);
+        let metrics: Arc<OnceLock<PoolMetrics>> = Arc::new(OnceLock::new());
         let mut senders = Vec::with_capacity(threads - 1);
         let mut handles = Vec::with_capacity(threads - 1);
         for _ in 1..threads {
             let (tx, rx) = channel::<Job>();
+            let metrics = Arc::clone(&metrics);
             record_spawn();
             handles.push(std::thread::spawn(move || {
                 // Parked here between submissions; exits when the pool
                 // drops its sender. `execute` contains any unwind, so
-                // one loop serves the pool's whole life.
-                while let Ok(job) = rx.recv() {
-                    job.execute();
+                // one loop serves the pool's whole life. Draining
+                // already-queued jobs via `try_recv` distinguishes a
+                // genuine park (empty queue → blocking `recv`) from
+                // back-to-back work, so the park/unpark counters see
+                // state transitions, not per-job noise.
+                loop {
+                    match rx.try_recv() {
+                        Ok(job) => job.execute(),
+                        Err(TryRecvError::Disconnected) => break,
+                        Err(TryRecvError::Empty) => {
+                            if let Some(m) = metrics.get() {
+                                m.parks.inc();
+                            }
+                            match rx.recv() {
+                                Ok(job) => {
+                                    if let Some(m) = metrics.get() {
+                                        m.unparks.inc();
+                                    }
+                                    job.execute();
+                                }
+                                Err(_) => break,
+                            }
+                        }
+                    }
                 }
             }));
             senders.push(tx);
@@ -154,7 +186,15 @@ impl WorkerPool {
             senders,
             handles,
             threads,
+            metrics,
         }
+    }
+
+    /// Attaches telemetry: submission sizes, queue depth and the
+    /// workers' park/unpark transitions start recording. First attach
+    /// wins (the handles are shared with running workers).
+    pub fn attach_metrics(&self, metrics: &PoolMetrics) {
+        let _ = self.metrics.set(metrics.clone());
     }
 
     /// The pool's total parallelism (background workers + the caller).
@@ -174,6 +214,20 @@ impl WorkerPool {
     /// borrowed data is never still in use when the caller unwinds, and
     /// the pool remains fully usable for later submissions.
     pub fn run(&self, tasks: Vec<Task<'_>>) {
+        if let Some(m) = self.metrics.get() {
+            if !tasks.is_empty() {
+                m.runs.inc();
+                m.tasks_per_run.record(tasks.len() as u64);
+                // Depth of the worker queues for this submission: all
+                // tasks except the one the caller runs inline.
+                let queued = if self.senders.is_empty() {
+                    0
+                } else {
+                    tasks.len() - 1
+                };
+                m.queue_depth.set_u64(queued as u64);
+            }
+        }
         let mut tasks = tasks.into_iter();
         let Some(first) = tasks.next() else { return };
         let latch = Arc::new(Latch::default());
@@ -222,6 +276,7 @@ impl Drop for WorkerPool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn run_executes_every_task_exactly_once() {

@@ -49,12 +49,7 @@ pub struct SeedCacheStats {
 impl SeedCacheStats {
     /// Hit fraction over all lookups (0 when none happened).
     pub fn hit_rate(&self) -> f64 {
-        let lookups = self.hits + self.misses;
-        if lookups == 0 {
-            0.0
-        } else {
-            self.hits as f64 / lookups as f64
-        }
+        crate::telemetry::hit_rate(self.hits, self.hits + self.misses)
     }
 }
 

@@ -91,11 +91,7 @@ pub struct SubscriptionStats {
 impl SubscriptionStats {
     /// Fraction of polls served by the delta path (0 before any poll).
     pub fn delta_hit_rate(&self) -> f64 {
-        if self.polls == 0 {
-            0.0
-        } else {
-            self.delta_polls as f64 / self.polls as f64
-        }
+        crate::telemetry::hit_rate(self.delta_polls, self.polls)
     }
 }
 
@@ -236,6 +232,21 @@ impl SubscriptionRegistry {
 
     pub(crate) fn stats(&self, id: SubscriptionId) -> Option<SubscriptionStats> {
         self.subs.iter().find(|s| s.id == id.0).map(|s| s.stats)
+    }
+
+    /// Aggregate counters across all live subscriptions (the registry's
+    /// telemetry feed; an unsubscribe drops that subscription's share).
+    pub(crate) fn total_stats(&self) -> SubscriptionStats {
+        let mut total = SubscriptionStats::default();
+        for s in &self.subs {
+            total.polls += s.stats.polls;
+            total.delta_polls += s.stats.delta_polls;
+            total.full_refreshes += s.stats.full_refreshes;
+            total.retested += s.stats.retested;
+            total.candidates += s.stats.candidates;
+            total.members += s.stats.members;
+        }
+        total
     }
 
     /// Polls every subscription against one snapshot, returning each

@@ -1,0 +1,320 @@
+//! Service-layer telemetry: the registry handle bundles every serving
+//! subsystem records into, plus [`ServiceTelemetry`] — the one object
+//! the monitor wires through pool, batch executor, engine and
+//! subscription registry when telemetry is attached.
+//!
+//! The bundles deduplicate the previously hand-rolled stats plumbing:
+//! the seed cache's [`crate::SeedCacheStats`], the standing-query
+//! [`crate::SubscriptionStats`] and the pool spawn counter all publish
+//! through the same `octopus-telemetry` counter/gauge/histogram types,
+//! so consumers read one [`octopus_telemetry::TelemetrySnapshot`]
+//! instead of threading three bespoke structs.
+
+use std::sync::Arc;
+
+use octopus_core::ExecutorMetrics;
+use octopus_telemetry::{ratio, Counter, Gauge, Histogram, Registry, Tracer};
+
+use crate::pool::threads_spawned_total;
+use crate::seed_cache::SeedCacheStats;
+use crate::subscribe::SubscriptionStats;
+
+/// Worker-pool metrics: submission shape and worker lifecycle.
+#[derive(Clone)]
+pub struct PoolMetrics {
+    /// `pool_runs_total` — task submissions ([`crate::WorkerPool::run`]
+    /// calls with at least one task).
+    pub(crate) runs: Counter,
+    /// `pool_tasks_per_run` — tasks per submission.
+    pub(crate) tasks_per_run: Histogram,
+    /// `pool_queue_depth` — tasks dealt to worker queues by the latest
+    /// submission (excludes the caller's inline task).
+    pub(crate) queue_depth: Gauge,
+    /// `pool_parks_total` — workers going idle (empty queue → blocking
+    /// receive).
+    pub(crate) parks: Counter,
+    /// `pool_unparks_total` — workers woken by a new job.
+    pub(crate) unparks: Counter,
+    /// `pool_steals_total` — work items executed beyond a worker's fair
+    /// share of its batch (the work-stealing cursor's imbalance
+    /// absorption).
+    pub(crate) steals: Counter,
+    /// `pool_threads_spawned_total` mirror gauge (see
+    /// [`crate::threads_spawned_total`]).
+    pub(crate) threads_spawned: Gauge,
+}
+
+impl PoolMetrics {
+    /// Register the pool metric family on `registry`.
+    pub fn register(registry: &Registry) -> PoolMetrics {
+        PoolMetrics {
+            runs: registry.counter("pool_runs_total"),
+            tasks_per_run: registry.histogram("pool_tasks_per_run"),
+            queue_depth: registry.gauge("pool_queue_depth"),
+            parks: registry.counter("pool_parks_total"),
+            unparks: registry.counter("pool_unparks_total"),
+            steals: registry.counter("pool_steals_total"),
+            threads_spawned: registry.gauge("pool_threads_spawned_total"),
+        }
+    }
+
+    /// Record the imbalance a work-stealing loop absorbed: `taken[w]`
+    /// work items per worker against an equal-share baseline.
+    pub(crate) fn record_steals(
+        &self,
+        taken: impl Iterator<Item = usize>,
+        items: usize,
+        workers: usize,
+    ) {
+        if items == 0 || workers == 0 {
+            return;
+        }
+        let fair = items.div_ceil(workers);
+        let stolen: usize = taken.map(|t| t.saturating_sub(fair)).sum();
+        self.steals.add(stolen as u64);
+    }
+}
+
+/// Batch-engine metrics: grouping, routing, shared-frontier savings,
+/// seed cache and planner mis-routes.
+#[derive(Clone)]
+pub struct EngineMetrics {
+    /// `engine_batches_total`.
+    pub(crate) batches: Counter,
+    /// `engine_group_size` — members per overlap group.
+    pub(crate) group_size: Histogram,
+    /// `engine_grouped_queries_total` / `engine_scan_queries_total` /
+    /// `engine_sharded_queries_total` — per-route query counts.
+    pub(crate) grouped_queries: Counter,
+    pub(crate) scan_queries: Counter,
+    pub(crate) sharded_queries: Counter,
+    /// `engine_shared_visited_total` / `engine_attributed_visited_total`
+    /// / `engine_frontier_savings_total` — shared-frontier accounting
+    /// (savings = attributed − shared).
+    pub(crate) shared_visited: Counter,
+    pub(crate) attributed_visited: Counter,
+    pub(crate) frontier_savings: Counter,
+    /// `planner_decisions_octopus_total` / `planner_decisions_scan_total`
+    /// — Eq.-6 routing decisions.
+    pub(crate) planner_octopus: Counter,
+    pub(crate) planner_scan: Counter,
+    /// `planner_misroutes_total` — decisions whose *measured*
+    /// selectivity fell on the other side of the crossover than the
+    /// estimate (the decision-vs-actual-winner counter).
+    pub(crate) planner_misroutes: Counter,
+    /// `seed_cache_*_total` counters + `seed_cache_hit_rate` gauge.
+    pub(crate) cache_hits: Counter,
+    pub(crate) cache_misses: Counter,
+    pub(crate) cache_stale: Counter,
+    pub(crate) cache_insertions: Counter,
+    pub(crate) cache_evictions: Counter,
+    pub(crate) cache_hit_rate: Gauge,
+    /// Cumulative [`SeedCacheStats`] already published, so re-syncing
+    /// adds only deltas.
+    synced: SeedCacheStats,
+}
+
+impl EngineMetrics {
+    /// Register the engine metric family on `registry`.
+    pub fn register(registry: &Registry) -> EngineMetrics {
+        EngineMetrics {
+            batches: registry.counter("engine_batches_total"),
+            group_size: registry.histogram("engine_group_size"),
+            grouped_queries: registry.counter("engine_grouped_queries_total"),
+            scan_queries: registry.counter("engine_scan_queries_total"),
+            sharded_queries: registry.counter("engine_sharded_queries_total"),
+            shared_visited: registry.counter("engine_shared_visited_total"),
+            attributed_visited: registry.counter("engine_attributed_visited_total"),
+            frontier_savings: registry.counter("engine_frontier_savings_total"),
+            planner_octopus: registry.counter("planner_decisions_octopus_total"),
+            planner_scan: registry.counter("planner_decisions_scan_total"),
+            planner_misroutes: registry.counter("planner_misroutes_total"),
+            cache_hits: registry.counter("seed_cache_hits_total"),
+            cache_misses: registry.counter("seed_cache_misses_total"),
+            cache_stale: registry.counter("seed_cache_stale_total"),
+            cache_insertions: registry.counter("seed_cache_insertions_total"),
+            cache_evictions: registry.counter("seed_cache_evictions_total"),
+            cache_hit_rate: registry.gauge("seed_cache_hit_rate"),
+            synced: SeedCacheStats::default(),
+        }
+    }
+
+    /// Publish the seed cache's cumulative counters: registry counters
+    /// advance by the delta since the last sync, and the
+    /// `seed_cache_hit_rate` gauge takes the cache's lifetime hit rate
+    /// (the first-class gauge `serve` asserts on).
+    pub(crate) fn sync_cache(&mut self, stats: &SeedCacheStats) {
+        // Saturating: swapping in a fresh engine resets the source
+        // counters below the last synced reading.
+        self.cache_hits
+            .add(stats.hits.saturating_sub(self.synced.hits));
+        self.cache_misses
+            .add(stats.misses.saturating_sub(self.synced.misses));
+        self.cache_stale
+            .add(stats.stale.saturating_sub(self.synced.stale));
+        self.cache_insertions
+            .add(stats.insertions.saturating_sub(self.synced.insertions));
+        self.cache_evictions
+            .add(stats.evictions.saturating_sub(self.synced.evictions));
+        self.synced = *stats;
+        self.cache_hit_rate.set(stats.hit_rate());
+    }
+}
+
+/// Monitor-loop metrics: snapshot ring, re-layouts, drift meters and
+/// the standing-query delta path.
+#[derive(Clone)]
+pub struct MonitorMetrics {
+    /// `monitor_steps_total` — simulation steps absorbed.
+    pub(crate) steps: Counter,
+    /// `ring_occupancy` / `ring_in_flight` gauges — retained snapshot
+    /// slots and monitor-visible (published, un-reclaimed) snapshots.
+    pub(crate) ring_occupancy: Gauge,
+    pub(crate) ring_in_flight: Gauge,
+    /// `ring_pin_wait_total` — steps refused with `RingFull` (pinned
+    /// snapshots exerting back-pressure on the simulator).
+    pub(crate) pin_waits: Counter,
+    /// `ring_relayouts_total` + `ring_relayout_ns` — layout-policy
+    /// re-permutations and their durations.
+    pub(crate) relayouts: Counter,
+    pub(crate) relayout_ns: Histogram,
+    /// `drift_meter` gauge — cumulative max-displacement meter of the
+    /// newest snapshot (the seed-cache/subscription validity currency).
+    pub(crate) drift_meter: Gauge,
+    /// `locality_drift` gauge — the layout tracker's drift ratio (what
+    /// re-layout triggers compare against their threshold).
+    pub(crate) locality_drift: Gauge,
+    /// `standing_subscriptions` gauge + `standing_*_total` counters —
+    /// the standing-query registry's poll accounting.
+    pub(crate) subscriptions: Gauge,
+    pub(crate) polls: Counter,
+    pub(crate) delta_polls: Counter,
+    pub(crate) full_refreshes: Counter,
+    pub(crate) retested: Counter,
+    /// `standing_delta_hit_rate` gauge — fraction of polls served by
+    /// the delta fast path (the first-class gauge `serve` asserts on).
+    pub(crate) delta_hit_rate: Gauge,
+    /// Cumulative [`SubscriptionStats`] already published.
+    synced: SubscriptionStats,
+}
+
+impl MonitorMetrics {
+    /// Register the monitor metric family on `registry`.
+    pub fn register(registry: &Registry) -> MonitorMetrics {
+        MonitorMetrics {
+            steps: registry.counter("monitor_steps_total"),
+            ring_occupancy: registry.gauge("ring_occupancy"),
+            ring_in_flight: registry.gauge("ring_in_flight"),
+            pin_waits: registry.counter("ring_pin_wait_total"),
+            relayouts: registry.counter("ring_relayouts_total"),
+            relayout_ns: registry.histogram("ring_relayout_ns"),
+            drift_meter: registry.gauge("drift_meter"),
+            locality_drift: registry.gauge("locality_drift"),
+            subscriptions: registry.gauge("standing_subscriptions"),
+            polls: registry.counter("standing_polls_total"),
+            delta_polls: registry.counter("standing_delta_polls_total"),
+            full_refreshes: registry.counter("standing_full_refreshes_total"),
+            retested: registry.counter("standing_retested_total"),
+            delta_hit_rate: registry.gauge("standing_delta_hit_rate"),
+            synced: SubscriptionStats::default(),
+        }
+    }
+
+    /// Publish the subscription registry's cumulative counters (delta
+    /// advance, like [`EngineMetrics::sync_cache`]) and refresh the
+    /// `standing_delta_hit_rate` gauge.
+    pub(crate) fn sync_subscriptions(&mut self, stats: &SubscriptionStats) {
+        // Saturating: an unsubscribe removes that subscription's share
+        // from the aggregate, which may dip below the synced reading.
+        self.polls
+            .add(stats.polls.saturating_sub(self.synced.polls));
+        self.delta_polls
+            .add(stats.delta_polls.saturating_sub(self.synced.delta_polls));
+        self.full_refreshes.add(
+            stats
+                .full_refreshes
+                .saturating_sub(self.synced.full_refreshes),
+        );
+        self.retested
+            .add(stats.retested.saturating_sub(self.synced.retested));
+        self.synced = *stats;
+        self.delta_hit_rate.set(stats.delta_hit_rate());
+    }
+}
+
+/// Everything the service layer records, bundled: built once from a
+/// [`Registry`] and fanned out to the pool, the batch executor, the
+/// engine and the monitor (see [`crate::MonitorLoop::attach_telemetry`]).
+#[derive(Clone)]
+pub struct ServiceTelemetry {
+    registry: Registry,
+    /// The executor-side bundle, shared by every ring generation.
+    pub(crate) executor: Arc<ExecutorMetrics>,
+    /// Pool submission/lifecycle metrics.
+    pub(crate) pool: PoolMetrics,
+    /// Engine grouping/routing/cache metrics.
+    pub(crate) engine: EngineMetrics,
+    /// Ring/drift/standing-query metrics.
+    pub(crate) monitor: MonitorMetrics,
+    /// The registry's span tracer.
+    pub(crate) tracer: Tracer,
+}
+
+impl ServiceTelemetry {
+    /// Register every service metric family on `registry`.
+    pub fn register(registry: &Registry) -> ServiceTelemetry {
+        ServiceTelemetry {
+            registry: registry.clone(),
+            executor: ExecutorMetrics::register(registry),
+            pool: PoolMetrics::register(registry),
+            engine: EngineMetrics::register(registry),
+            monitor: MonitorMetrics::register(registry),
+            tracer: registry.tracer(),
+        }
+    }
+
+    /// The registry this bundle records into.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Refresh process-level mirror gauges (currently the spawn
+    /// counter) and take a merged snapshot.
+    pub fn snapshot(&self) -> octopus_telemetry::TelemetrySnapshot {
+        self.pool
+            .threads_spawned
+            .set_u64(threads_spawned_total() as u64);
+        self.registry.snapshot()
+    }
+}
+
+/// Shared hit-rate definition re-exported for the stats structs (one
+/// formula behind `SeedCacheStats::hit_rate` and
+/// `SubscriptionStats::delta_hit_rate`).
+pub(crate) fn hit_rate(hits: u64, total: u64) -> f64 {
+    ratio(hits, total)
+}
+
+impl std::fmt::Debug for PoolMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolMetrics").finish_non_exhaustive()
+    }
+}
+
+impl std::fmt::Debug for EngineMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineMetrics").finish_non_exhaustive()
+    }
+}
+
+impl std::fmt::Debug for MonitorMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MonitorMetrics").finish_non_exhaustive()
+    }
+}
+
+impl std::fmt::Debug for ServiceTelemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceTelemetry").finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,52 @@
+//! # octopus-telemetry
+//!
+//! Unified observability for the OCTOPUS serving stack: a lock-free
+//! metrics [`Registry`] (sharded atomic counters, gauges, log2 latency
+//! histograms — mergeable into a [`TelemetrySnapshot`]) and a span
+//! [`Tracer`] whose per-worker rings export chrome://tracing JSON.
+//!
+//! The crate is dependency-free and layering-neutral: `octopus-core`
+//! records executor phase timings into it, `octopus-service` records
+//! engine/monitor/pool behaviour, and consumers (the `serve` example,
+//! benches, the future self-tuning planner of ROADMAP item 4) read one
+//! merged snapshot.
+//!
+//! ## Hot-path cost
+//!
+//! Every recording call is a handful of `Relaxed` atomic operations on
+//! a cache-line-private shard — no locks, no allocation. A registry
+//! constructed with `Registry::new(false)` turns all of them into a
+//! single predictable branch, which is the disabled/enabled overhead
+//! toggle required by the < 3 % qps budget (measured by the
+//! `telemetry_on`/`telemetry_off` modes of `fig_throughput`).
+//!
+//! ## Consistency
+//!
+//! See [`registry`] for the exact ordering/consistency contract
+//! (per-cell exactness always; whole-snapshot exactness at quiescence;
+//! no cross-metric cut under concurrency).
+
+#![deny(missing_docs)]
+
+pub mod metrics;
+pub mod registry;
+pub mod snapshot;
+pub mod trace;
+
+pub use metrics::{
+    bucket_of, bucket_upper_bound, Counter, Gauge, Histogram, HistogramSnapshot, StaticCounter,
+    BUCKETS, SHARDS,
+};
+pub use registry::Registry;
+pub use snapshot::TelemetrySnapshot;
+pub use trace::{SpanEvent, SpanGuard, Tracer, RING_CAPACITY};
+
+/// Fraction `n / d`, or 0.0 when the denominator is zero — the shared
+/// definition behind every hit-rate gauge in the workspace.
+pub fn ratio(n: u64, d: u64) -> f64 {
+    if d == 0 {
+        0.0
+    } else {
+        n as f64 / d as f64
+    }
+}

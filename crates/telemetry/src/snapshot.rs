@@ -1,0 +1,241 @@
+//! Point-in-time merged view of a [`crate::Registry`], with
+//! Prometheus-text and JSON renderers.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::metrics::{bucket_upper_bound, HistogramSnapshot, BUCKETS};
+
+/// All metrics of a registry, merged across shards at snapshot time.
+///
+/// Lookups default to "nothing recorded" (0 for counters and gauges,
+/// `None` for histograms) so report code can read metrics that were
+/// never registered on this run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TelemetrySnapshot {
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl TelemetrySnapshot {
+    /// Counter total, 0 if absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value, 0.0 if absent.
+    pub fn gauge(&self, name: &str) -> f64 {
+        self.gauges.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// Histogram snapshot, if that name was registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// True if any metric name starts with `prefix` — the "metric
+    /// family" check the serve example and CI gate use.
+    pub fn has_family(&self, prefix: &str) -> bool {
+        self.counters.keys().any(|k| k.starts_with(prefix))
+            || self.gauges.keys().any(|k| k.starts_with(prefix))
+            || self.histograms.keys().any(|k| k.starts_with(prefix))
+    }
+
+    /// Fold another snapshot into this one: counters and histogram
+    /// cells add, gauges take the other's value (last write wins).
+    pub fn merge(&mut self, other: &TelemetrySnapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, h) in &other.histograms {
+            self.histograms
+                .entry(k.clone())
+                .or_insert_with(HistogramSnapshot::empty)
+                .merge(h);
+        }
+    }
+
+    /// Render in the Prometheus text exposition format. Histograms
+    /// emit cumulative `_bucket{le="..."}` lines (buckets above the
+    /// highest occupied one are elided into `+Inf`), plus `_sum` and
+    /// `_count`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "# TYPE {name} counter\n{name} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(out, "# TYPE {name} gauge\n{name} {v}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let top = h
+                .buckets
+                .iter()
+                .rposition(|&c| c > 0)
+                .map(|i| i + 1)
+                .unwrap_or(0);
+            let mut cum = 0u64;
+            for i in 0..top.min(BUCKETS - 1) {
+                cum += h.buckets[i];
+                let _ = writeln!(
+                    out,
+                    "{name}_bucket{{le=\"{}\"}} {cum}",
+                    bucket_upper_bound(i)
+                );
+            }
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(out, "{name}_sum {}", h.sum);
+            let _ = writeln!(out, "{name}_count {}", h.count);
+        }
+        out
+    }
+
+    /// Render as a compact JSON document:
+    ///
+    /// ```json
+    /// {"counters":{..},"gauges":{..},
+    ///  "histograms":{"name":{"count":..,"sum":..,"min":..,"max":..,
+    ///                        "buckets":[[index,count],..]}}}
+    /// ```
+    ///
+    /// Histogram buckets are sparse `[index, count]` pairs. An empty
+    /// histogram serializes `min` as 0 (not `u64::MAX`). The output
+    /// parses with `serde_json` (the tests round-trip it).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{v}", json_string(k));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{}", json_string(k), json_f64(*v));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let min = if h.count == 0 { 0 } else { h.min };
+            let _ = write!(
+                out,
+                "{}:{{\"count\":{},\"sum\":{},\"min\":{min},\"max\":{},\"buckets\":[",
+                json_string(k),
+                h.count,
+                h.sum,
+                h.max
+            );
+            let mut first = true;
+            for (idx, &c) in h.buckets.iter().enumerate() {
+                if c > 0 {
+                    if !first {
+                        out.push(',');
+                    }
+                    first = false;
+                    let _ = write!(out, "[{idx},{c}]");
+                }
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Escape a metric name as a JSON string literal.
+pub(crate) fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Format an f64 so it re-parses as a JSON number (non-finite → 0).
+pub(crate) fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "0.0".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TelemetrySnapshot {
+        let mut s = TelemetrySnapshot::default();
+        s.counters.insert("hits_total".into(), 7);
+        s.gauges.insert("hit_rate".into(), 0.875);
+        let mut h = HistogramSnapshot::empty();
+        for v in [1u64, 2, 2, 900] {
+            h.buckets[crate::metrics::bucket_of(v)] += 1;
+            h.count += 1;
+            h.sum += v;
+            h.min = h.min.min(v);
+            h.max = h.max.max(v);
+        }
+        s.histograms.insert("lat_ns".into(), h);
+        s
+    }
+
+    #[test]
+    fn prometheus_text_shape() {
+        let text = sample().to_prometheus();
+        assert!(text.contains("# TYPE hits_total counter"));
+        assert!(text.contains("hits_total 7"));
+        assert!(text.contains("# TYPE hit_rate gauge"));
+        assert!(text.contains("lat_ns_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("lat_ns_sum 905"));
+        assert!(text.contains("lat_ns_count 4"));
+        // Cumulative buckets are monotone.
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.starts_with("lat_ns_bucket")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn json_is_compact_and_sparse() {
+        let json = sample().to_json();
+        assert!(json.contains("\"hits_total\":7"));
+        assert!(json.contains("\"hit_rate\":0.875"));
+        assert!(json.contains("\"count\":4"));
+        assert!(!json.contains("[0,0]"), "empty buckets must be elided");
+    }
+
+    #[test]
+    fn merge_adds_counters_and_histograms() {
+        let mut a = sample();
+        let b = sample();
+        a.merge(&b);
+        assert_eq!(a.counter("hits_total"), 14);
+        assert_eq!(a.histogram("lat_ns").unwrap().count, 8);
+        assert_eq!(a.gauge("hit_rate"), 0.875);
+    }
+}

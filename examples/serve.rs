@@ -27,7 +27,16 @@
 //!    (step, then query the live mesh) and every result set is checked
 //!    for equality (translated through the layout permutation), so the
 //!    pipelining and the re-layout provably change the timeline and
-//!    the memory order, not the answers.
+//!    the memory order, not the answers;
+//! 5. the whole run is observed through one lock-free telemetry
+//!    [`Registry`](octopus::telemetry::Registry): executor phase
+//!    histograms, pool queue depth, engine/planner counters, seed-cache
+//!    and standing-query hit rates all land in a single
+//!    [`TelemetrySnapshot`](octopus::telemetry::TelemetrySnapshot) —
+//!    a per-step stats line and an end-of-run report are printed from
+//!    it, the report assertions read the snapshot (not bespoke stats
+//!    structs), and the span tracer's chrome://tracing export is
+//!    round-tripped through `serde_json`.
 //!
 //! ```bash
 //! cargo run --release --example serve [-- <steps> [workers] [preserve|hilbert|morton] [depth]]
@@ -36,6 +45,7 @@
 use octopus::prelude::*;
 use octopus::service::{LayoutPolicy, RelayoutTrigger};
 use octopus::sim::{RestructureSchedule, SmoothRandomField};
+use octopus::telemetry::Registry;
 use octopus_bench::workload::QueryGen;
 use octopus_testkit::scan_active;
 use std::time::{Duration, Instant};
@@ -97,6 +107,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // temporal seed cache + Eq.-6 planner routing, wired into
     // `query_batch`/`query_at`.
     monitor.set_batch_engine(octopus::service::BatchEngineConfig::default())?;
+    // One lock-free registry observes every layer — executor phases,
+    // pool scheduling, engine grouping, planner routing, the snapshot
+    // ring and the standing queries — and feeds the span tracer whose
+    // chrome://tracing export is checked at the end of the run.
+    let registry = Registry::new(true);
+    monitor.attach_telemetry(&registry);
     // Standing query: the first monitoring box is also subscribed. A
     // client-side mirror applies every polled delta (translating ids
     // across re-layouts) and is checked against a full scan of each
@@ -198,6 +214,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
             ring_checks += 1;
         }
+
+        // Live stats line, read straight off the merged snapshot: the
+        // same numbers a scrape of the Prometheus rendering would see.
+        let live = monitor.telemetry_snapshot().expect("telemetry attached");
+        println!(
+            "  step {step:>3}: {} queries | seed cache {:>5.1}% | delta path {:>3.0}% | \
+             ring {}/{} | drift {:.3} | pool runs {}",
+            live.counter("executor_queries_total"),
+            100.0 * live.gauge("seed_cache_hit_rate"),
+            100.0 * live.gauge("standing_delta_hit_rate"),
+            live.gauge("ring_occupancy"),
+            depth,
+            live.gauge("drift_meter"),
+            live.counter("pool_runs_total"),
+        );
     }
     let overlapped_wall = t0.elapsed();
     let final_drift = monitor.locality_drift();
@@ -209,6 +240,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .subscription_stats(sub_id)
         .expect("live subscription");
     let spawned_during_run = octopus::service::threads_spawned_total() - spawned_at_start;
+    // Final merged view + span export, taken while the monitor still
+    // owns the registry attachments (shutdown consumes the loop).
+    let telemetry = monitor
+        .telemetry_snapshot()
+        .expect("telemetry attached before the run");
+    let trace_json = registry.tracer().chrome_trace_json();
     monitor.shutdown().ok();
 
     // ---- Stop-the-world reference ---------------------------------
@@ -290,9 +327,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         engine_report.grouped_queries,
         engine_report.scan_queries
     );
+    // The registry is the source of truth: the seed-cache gate reads
+    // the snapshot, not the engine's stats struct.
     assert!(
-        cache_stats.hits > 0,
-        "a repeated monitoring batch must produce seed-cache hits (stats: {cache_stats:?})"
+        telemetry.counter("seed_cache_hits_total") > 0
+            && telemetry.gauge("seed_cache_hit_rate") > 0.0,
+        "a repeated monitoring batch must produce seed-cache hits \
+         (snapshot: {} hits, rate {})",
+        telemetry.counter("seed_cache_hits_total"),
+        telemetry.gauge("seed_cache_hit_rate")
     );
     println!(
         "  standing query: {} polls, {} on the delta path (hit rate {:.0}%), {} full \
@@ -306,8 +349,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sub_stats.candidates
     );
     assert!(
-        sub_stats.delta_polls > 0,
-        "the standing query never rode the delta fast path (stats: {sub_stats:?})"
+        telemetry.counter("standing_delta_polls_total") > 0
+            && telemetry.gauge("standing_delta_hit_rate") > 0.0,
+        "the standing query never rode the delta fast path \
+         (snapshot: {} delta polls of {}, rate {})",
+        telemetry.counter("standing_delta_polls_total"),
+        telemetry.counter("standing_polls_total"),
+        telemetry.gauge("standing_delta_hit_rate")
     );
     println!(
         "  stop-the-world: {reference_wall:>8.1?} wall (sim busy {sim_busy:.1?} of it, serialized)"
@@ -318,6 +366,134 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ideal = reference_wall.saturating_sub(sim_busy.min(query_busy));
     println!(
         "  perfect-overlap bound for this schedule ≈ {ideal:.1?} (needs ≥ 2 hardware threads)"
+    );
+
+    // ---- Telemetry report -----------------------------------------
+    // Every subsystem must have published into the shared registry;
+    // a missing family here is a wiring regression (this doubles as
+    // the CI telemetry gate).
+    for family in [
+        "executor_phase_ns_",
+        "executor_queries_total",
+        "pool_",
+        "engine_",
+        "planner_decisions_",
+        "seed_cache_",
+        "ring_",
+        "standing_",
+        "monitor_steps_total",
+    ] {
+        assert!(
+            telemetry.has_family(family),
+            "end-of-run snapshot is missing the {family:?} metric family"
+        );
+    }
+    let phase_ns: u64 = [
+        "executor_phase_ns_surface_probe",
+        "executor_phase_ns_cache_probe",
+        "executor_phase_ns_linear_scan",
+        "executor_phase_ns_directed_walk",
+        "executor_phase_ns_crawling",
+    ]
+    .iter()
+    .filter_map(|n| telemetry.histogram(n))
+    .map(|h| h.sum)
+    .sum();
+    assert!(
+        phase_ns > 0,
+        "executor phase histograms recorded no time at all"
+    );
+    let tasks = telemetry
+        .histogram("pool_tasks_per_run")
+        .expect("pool queue-depth stats must be in the snapshot");
+    assert!(tasks.count > 0, "the pool never reported a batch run");
+    println!(
+        "  telemetry: {} series ({} counters, {} gauges, {} histograms) in one registry",
+        telemetry.counters.len() + telemetry.gauges.len() + telemetry.histograms.len(),
+        telemetry.counters.len(),
+        telemetry.gauges.len(),
+        telemetry.histograms.len()
+    );
+    println!(
+        "    executor: {} queries, {:.1}ms across phase histograms, {:.1}MB indexed footprint",
+        telemetry.counter("executor_queries_total"),
+        phase_ns as f64 / 1e6,
+        (telemetry.gauge("executor_surface_index_bytes")
+            + telemetry.gauge("executor_scratch_bytes"))
+            / (1024.0 * 1024.0)
+    );
+    println!(
+        "    pool: {} runs of ≤{} tasks, {} parks / {} unparks, {} steals beyond fair share",
+        telemetry.counter("pool_runs_total"),
+        tasks.max,
+        telemetry.counter("pool_parks_total"),
+        telemetry.counter("pool_unparks_total"),
+        telemetry.counter("pool_steals_total")
+    );
+    println!(
+        "    engine: {} batches, {} grouped / {} scan-routed queries, {} frontier probes saved; \
+         planner: {} octopus / {} scan decisions, {} misroutes",
+        telemetry.counter("engine_batches_total"),
+        telemetry.counter("engine_grouped_queries_total"),
+        telemetry.counter("engine_scan_queries_total"),
+        telemetry.counter("engine_frontier_savings_total"),
+        telemetry.counter("planner_decisions_octopus_total"),
+        telemetry.counter("planner_decisions_scan_total"),
+        telemetry.counter("planner_misroutes_total")
+    );
+    println!(
+        "    monitor: {} steps, {} re-layouts, {} pin waits; seed cache {:.1}%, delta path {:.0}%",
+        telemetry.counter("monitor_steps_total"),
+        telemetry.counter("ring_relayouts_total"),
+        telemetry.counter("ring_pin_wait_total"),
+        100.0 * telemetry.gauge("seed_cache_hit_rate"),
+        100.0 * telemetry.gauge("standing_delta_hit_rate")
+    );
+
+    // Both renderers must produce well-formed output: the JSON one is
+    // parsed back with `serde_json` and spot-checked against the
+    // snapshot's own accessors.
+    let prom = telemetry.to_prometheus();
+    assert!(
+        prom.contains("# TYPE executor_queries_total counter")
+            && prom.contains("# TYPE pool_tasks_per_run histogram"),
+        "Prometheus rendering lost a metric family"
+    );
+    let parsed = serde_json::from_str(&telemetry.to_json()).expect("snapshot JSON must parse");
+    assert_eq!(
+        parsed
+            .get("counters")
+            .and_then(|c| c.get("executor_queries_total"))
+            .and_then(serde_json::Value::as_u64),
+        Some(telemetry.counter("executor_queries_total")),
+        "snapshot JSON disagrees with the snapshot accessor"
+    );
+
+    // The span tracer's chrome://tracing document round-trips through
+    // serde_json and retains the monitor's span taxonomy.
+    let trace = serde_json::from_str(&trace_json).expect("chrome trace must be valid JSON");
+    let events = trace
+        .get("traceEvents")
+        .and_then(serde_json::Value::as_array)
+        .expect("chrome trace must carry a traceEvents array");
+    assert!(!events.is_empty(), "the run produced no spans");
+    let reparsed =
+        serde_json::from_str(&serde_json::to_string(&trace)).expect("re-serialized trace parses");
+    assert_eq!(reparsed, trace, "chrome trace JSON must round-trip");
+    let span_names: std::collections::BTreeSet<&str> = events
+        .iter()
+        .filter_map(|e| e.get("name").and_then(serde_json::Value::as_str))
+        .collect();
+    for required in ["monitor.finish_step", "monitor.query_batch"] {
+        assert!(
+            span_names.contains(required),
+            "span taxonomy is missing {required:?} (got {span_names:?})"
+        );
+    }
+    println!(
+        "    trace: {} spans across {:?}; chrome-trace JSON round-trips through serde_json ✓",
+        events.len(),
+        span_names
     );
     Ok(())
 }

@@ -63,6 +63,7 @@ pub use octopus_mesh as mesh;
 pub use octopus_meshgen as meshgen;
 pub use octopus_service as service;
 pub use octopus_sim as sim;
+pub use octopus_telemetry as telemetry;
 
 /// The most common imports in one place.
 pub mod prelude {
