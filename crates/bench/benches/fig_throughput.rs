@@ -42,6 +42,13 @@
 //! equally. The recorded on-vs-none regression is the cost of full
 //! instrumentation and must stay under a few percent.
 //!
+//! An **admission overhead** section follows the same alternating-round
+//! protocol for PR 8's admission control: the identical serving loop
+//! with batches answered directly (`admission_off`) vs. routed through
+//! `enqueue` → `drain_admitted` (`admission_on`, bounded queue +
+//! weighted-fair dequeue + deadline check, no faults injected). The
+//! acceptance gate is < 3% qps regression.
+//!
 //! Run directly, or with `--json <path>` to record a machine-readable
 //! baseline (the committed `BENCH_throughput.json`, which also carries
 //! the PR 2 numbers under `baseline_pr2` for trajectory):
@@ -58,7 +65,8 @@ use octopus_geom::{Aabb, Point3};
 use octopus_mesh::Mesh;
 use octopus_meshgen::{neuron, NeuroLevel};
 use octopus_service::{
-    BatchEngine, BatchEngineConfig, BatchStats, LayoutPolicy, MonitorLoop, ParallelExecutor,
+    AdmissionConfig, BatchEngine, BatchEngineConfig, BatchStats, LayoutPolicy, MonitorLoop,
+    ParallelExecutor,
 };
 use octopus_sim::{Simulation, SmoothRandomField};
 use octopus_telemetry::Registry;
@@ -106,7 +114,8 @@ struct Entry {
     /// "sequential" | "spawn" | "pool" | "ring_stw" | "ring" |
     /// "shared_off" | "shared" | "seedcache_off" | "seedcache" |
     /// "standing_requery" | "standing_poll" | "telemetry_none" |
-    /// "telemetry_disabled" | "telemetry_on"
+    /// "telemetry_disabled" | "telemetry_on" | "admission_off" |
+    /// "admission_on"
     mode: &'static str,
     workers: usize, // 0 = sequential baseline
     batch: usize,
@@ -631,6 +640,98 @@ fn main() {
         100.0 * (1.0 - tele_qps[1] / tele_qps[0])
     );
 
+    // ---- Admission overhead: bounded-queue routing vs direct calls ---
+    // Same serving loop as the telemetry section, but the batch is
+    // either answered directly (`query_batch`) or routed through the
+    // admission front (`enqueue` → weighted-fair `drain_admitted`) with
+    // no faults injected — the steady-state cost of the bounded queue,
+    // stride scheduler and deadline check. Rounds alternate 1:1.
+    let adm_queries: Vec<Aabb> = gen.batch_with_selectivity(RING_BATCH, SELECTIVITY);
+    let mut adm_monitors: Vec<MonitorLoop> = [false, true]
+        .into_iter()
+        .map(|admitted| {
+            let mut monitor =
+                MonitorLoop::with_config(make_sim(&mesh), RING_WORKERS, LayoutPolicy::Preserve, 1)
+                    .expect("monitor");
+            monitor
+                .set_batch_engine(BatchEngineConfig::default())
+                .expect("engine");
+            if admitted {
+                monitor.set_admission(AdmissionConfig::default());
+            }
+            monitor
+        })
+        .collect();
+    let run_direct = |monitor: &mut MonitorLoop| -> usize {
+        monitor.fill_pipeline().expect("begin steps");
+        monitor.finish_step().expect("finish step");
+        let results = monitor.query_batch(&adm_queries);
+        let total = results.iter().map(|r| r.vertices.len()).sum();
+        monitor.recycle(results);
+        total
+    };
+    let run_admitted = |monitor: &mut MonitorLoop| -> usize {
+        monitor.fill_pipeline().expect("begin steps");
+        monitor.finish_step().expect("finish step");
+        let ticket = monitor
+            .enqueue(0, adm_queries.clone(), None)
+            .expect("enqueue");
+        let out = monitor.drain_admitted(1).expect("drain admitted");
+        assert!(out.shed.is_empty(), "no shedding in the no-fault run");
+        let batch = out.batches.into_iter().next().expect("one admitted batch");
+        assert_eq!(batch.ticket, ticket);
+        let total = batch.results.iter().map(|r| r.vertices.len()).sum();
+        monitor.recycle(batch.results);
+        total
+    };
+    for (i, monitor) in adm_monitors.iter_mut().enumerate() {
+        let warm = if i == 0 {
+            run_direct(monitor)
+        } else {
+            run_admitted(monitor)
+        };
+        assert!(warm > 0, "warm-up returned no vertices");
+    }
+    let mut adm_busy = [Duration::ZERO; 2];
+    let mut adm_rounds = [0u32; 2];
+    while adm_busy.iter().sum::<Duration>() < 2 * BUDGET || adm_rounds[0] == 0 {
+        for (i, monitor) in adm_monitors.iter_mut().enumerate() {
+            let t = Instant::now();
+            if i == 0 {
+                std::hint::black_box(run_direct(monitor));
+            } else {
+                std::hint::black_box(run_admitted(monitor));
+            }
+            adm_busy[i] += t.elapsed();
+            adm_rounds[i] += 1;
+        }
+    }
+    let adm_qps: Vec<f64> = (0..2)
+        .map(|i| f64::from(adm_rounds[i]) * RING_BATCH as f64 / adm_busy[i].as_secs_f64())
+        .collect();
+    let adm_modes = ["admission_off", "admission_on"];
+    for (i, &mode) in adm_modes.iter().enumerate() {
+        println!(
+            "{:<34} {:>12.0} {:>8.2}x",
+            format!("{mode}/batch{RING_BATCH}"),
+            adm_qps[i],
+            adm_qps[i] / adm_qps[0]
+        );
+        entries.push(Entry {
+            mode,
+            workers: RING_WORKERS,
+            batch: RING_BATCH,
+            depth: 1,
+            qps: adm_qps[i],
+            speedup: adm_qps[i] / adm_qps[0],
+        });
+    }
+    let admission_overhead_pct = 100.0 * (1.0 - adm_qps[1] / adm_qps[0]);
+    println!(
+        "  admission overhead: {admission_overhead_pct:.2}% qps regression with the \
+         bounded-queue front enabled, no faults (acceptance gate: < 3%)"
+    );
+
     if let Some(path) = json_path {
         let mut json = String::from("{\n");
         let _ = writeln!(json, "  \"bench\": \"fig_throughput\",");
@@ -641,6 +742,10 @@ fn main() {
         let _ = writeln!(
             json,
             "  \"telemetry_overhead_pct\": {telemetry_overhead_pct:.2},"
+        );
+        let _ = writeln!(
+            json,
+            "  \"admission_overhead_pct\": {admission_overhead_pct:.2},"
         );
         let _ = writeln!(json, "  \"baseline_pr2\": {BASELINE_PR2},");
         let _ = writeln!(json, "  \"entries\": [");
@@ -659,6 +764,8 @@ fn main() {
                 "speedup_vs_requery"
             } else if e.mode.starts_with("telemetry") {
                 "speedup_vs_uninstrumented"
+            } else if e.mode.starts_with("admission") {
+                "speedup_vs_unadmitted"
             } else {
                 "speedup_vs_sequential"
             };

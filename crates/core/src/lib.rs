@@ -39,6 +39,7 @@ pub mod con;
 pub mod cost_model;
 mod crawler;
 pub mod executor;
+pub mod fault;
 pub mod frontier;
 pub mod layout;
 pub mod metrics;
@@ -51,6 +52,7 @@ pub use con::OctopusCon;
 pub use cost_model::CostModel;
 pub use crawler::{CrawlOrder, VisitedStrategy, VisitedView};
 pub use executor::{GroupPhase, GroupProbe, Octopus, PhaseTimings, QueryScratch};
+pub use fault::{FaultAction, FaultCell, FaultHook, FaultSite};
 pub use frontier::{GroupScratch, ShardWorker, MAX_GROUP};
 pub use metrics::{ExecMode, ExecutorMetrics};
 pub use planner::{Decision, Planner, Strategy};

@@ -58,6 +58,11 @@ pub enum MeshError {
     },
     /// The mesh would exceed `u32` vertex ids.
     TooManyVertices,
+    /// A failure originating outside the mesh layer, propagated through
+    /// a mesh-returning path (e.g. a fault-injection hook refusing a
+    /// scheduled restructure, or an I/O layer wrapping its own error).
+    /// The mesh itself is left untouched; the operation may be retried.
+    External(String),
 }
 
 impl std::fmt::Display for MeshError {
@@ -107,6 +112,7 @@ impl std::fmt::Display for MeshError {
                 )
             }
             MeshError::TooManyVertices => write!(f, "mesh exceeds u32 vertex id space"),
+            MeshError::External(msg) => write!(f, "external failure: {msg}"),
         }
     }
 }

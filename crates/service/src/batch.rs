@@ -4,6 +4,7 @@
 use crate::pool::{record_spawn, Task, WorkerPool};
 use crate::recycle::{RecycleStats, ResultRecycler};
 use crate::telemetry::PoolMetrics;
+use octopus_core::fault::FaultHook;
 use octopus_core::{Octopus, PhaseTimings, QueryScratch, ShardWorker};
 use octopus_geom::{Aabb, VertexId};
 use octopus_mesh::Mesh;
@@ -172,6 +173,17 @@ impl ParallelExecutor {
         &self.pool
     }
 
+    /// Arms the underlying pool's fault-injection cell (testing only);
+    /// see [`WorkerPool::arm_faults`].
+    pub fn arm_faults(&self, hook: Arc<dyn FaultHook>) {
+        self.pool.arm_faults(hook);
+    }
+
+    /// Disarms the underlying pool's fault-injection cell.
+    pub fn disarm_faults(&self) {
+        self.pool.disarm_faults();
+    }
+
     pub(crate) fn ensure_scratches(&mut self, octopus: &Octopus, mesh: &Mesh, n: usize) {
         // A pool may serve different executors over its lifetime; keep
         // the cached scratches only while their visited-set strategy
@@ -326,7 +338,14 @@ impl ParallelExecutor {
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("batch worker panicked"))
+                    .map(|h| {
+                        // Re-raise a worker's panic with its original
+                        // payload instead of a generic join() message,
+                        // so the caller's catch_unwind (or the test
+                        // harness) sees the real failure.
+                        h.join()
+                            .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+                    })
                     .collect::<Vec<_>>()
             });
             for (i, r) in per_worker.into_iter().flatten() {

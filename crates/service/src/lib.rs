@@ -76,6 +76,7 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+mod admission;
 mod batch;
 mod engine;
 mod monitor;
@@ -86,9 +87,17 @@ mod shard;
 pub mod subscribe;
 pub mod telemetry;
 
+pub use admission::{
+    Admission, AdmissionConfig, AdmissionStats, AdmittedBatch, Backoff, DrainOutcome, ShedTicket,
+    TicketId,
+};
 pub use batch::{BatchStats, ParallelExecutor, QueryResult};
 pub use engine::{BatchEngine, BatchEngineConfig, EngineReport, ShapeQueryResult};
-pub use monitor::{LayoutPolicy, MonitorLoop, RelayoutTrigger, ServiceError};
+pub use monitor::{LayoutPolicy, MonitorLoop, Overload, RelayoutTrigger, ServiceError};
+// Fault-injection primitives live in `octopus-core` (so every layer can
+// fire them); re-exported here because the service layer is where test
+// harnesses arm them ([`MonitorLoop::set_fault_hook`]).
+pub use octopus_core::fault::{FaultAction, FaultCell, FaultHook, FaultSite};
 pub use pool::{threads_spawned_total, Task, WorkerPool};
 pub use recycle::RecycleStats;
 pub use seed_cache::SeedCacheStats;

@@ -58,25 +58,69 @@
 //! monitor would have returned at that step — the crate's tests (and
 //! `examples/serve.rs`) verify result equality against a sequential
 //! reference run for every retained step at every ring depth.
+//!
+//! **Supervision.** The simulation thread is supervised: a panic while
+//! stepping is caught on the sim thread, its payload is carried back to
+//! the monitor, and [`MonitorLoop::finish_step`] surfaces it as
+//! [`ServiceError::SimulationFailed`] *without* tearing the service
+//! down — every retained ring step stays queryable, standing queries
+//! keep polling their last-good step, and
+//! [`MonitorLoop::restart_simulation`] builds a replacement simulation
+//! from the newest published snapshot (continuing the step numbering).
+//! [`MonitorLoop::shutdown`] reports the join outcome instead of
+//! discarding it. [`MonitorLoop::set_admission`] fronts the query paths
+//! with bounded, weighted-fair, deadline-shedding queues
+//! ([`crate::Admission`]) and converts ring back-pressure into
+//! structured [`ServiceError::RetryAfter`] responses.
+//!
+//! # Failure-mode catalogue
+//!
+//! Every [`ServiceError`] variant, its cause, and what a caller should
+//! do about it:
+//!
+//! | Variant | Cause | Recommended caller action |
+//! |---|---|---|
+//! | [`ServiceError::Mesh`] | A mesh/simulation operation failed — a genuine restructure error, or a fault-injected [`octopus_mesh::MeshError::External`]. The sim thread is **alive** and its state untouched. | Retry the step (`begin_step`/`finish_step`); report the error upstream if it persists. |
+//! | [`ServiceError::SimulationStopped`] | The sim thread exited cleanly (shutdown already ran, or the monitor half was torn down). | Terminal for this loop; build a new [`MonitorLoop`] or call [`MonitorLoop::restart_simulation`]. |
+//! | [`ServiceError::SimulationFailed`] | The sim thread **panicked**; the message is the panic payload. Retained snapshots remain queryable; in-flight steps are lost. | Keep serving reads from retained steps; call [`MonitorLoop::restart_simulation`] to resume stepping from the newest snapshot, then re-fill the pipeline. |
+//! | [`ServiceError::SimulationAlive`] | [`MonitorLoop::restart_simulation`] was called while the sim thread is healthy. | Don't restart a healthy simulation; use [`MonitorLoop::shutdown`] first if a swap is really intended. |
+//! | [`ServiceError::NoStepInFlight`] | [`MonitorLoop::finish_step`] without a prior [`MonitorLoop::begin_step`]. | Fix the driving loop (begin before finish). |
+//! | [`ServiceError::RingFull`] | Publishing needs to recycle the oldest slot but a query pin holds it (or a fault hook denied the publish). Only surfaced **without** admission attached. | Unpin (or finish) the pinned step, then retry `finish_step`; the update stays queued, nothing is lost. |
+//! | [`ServiceError::RetryAfter`] | Back-pressure with admission attached: a tenant queue is full ([`Overload::QueueFull`]) or the ring is pinned ([`Overload::RingPinned`]). | Wait `suggested_backoff` (or use [`crate::Backoff::run`]) and retry; shed load upstream if it keeps happening. |
+//! | [`ServiceError::AdmissionDisabled`] | [`MonitorLoop::enqueue`]/[`MonitorLoop::drain_admitted`] without [`MonitorLoop::set_admission`]. | Attach admission first, or use the direct `query_batch` paths. |
+//! | [`ServiceError::StepNotRetained`] | Query targeted a step outside the ring's retained window. | Re-issue against [`MonitorLoop::retained_steps`]; deepen the ring if the window is too short. |
+//! | [`ServiceError::StepNotPinned`] | [`MonitorLoop::unpin_step`] on a step with no pins. | Fix pin/unpin pairing in the caller. |
+//!
+//! `RetryAfter` semantics: the operation was *refused before doing any
+//! work* — nothing was partially executed, so the retry is safe and
+//! idempotent. `suggested_backoff` scales with queue pressure and is
+//! capped by [`crate::AdmissionConfig::max_backoff`]; callers honouring
+//! it (e.g. via [`crate::Backoff`]) converge instead of stampeding.
 
+use crate::admission::{
+    Admission, AdmissionConfig, AdmissionStats, AdmittedBatch, DrainOutcome, TicketId,
+};
 use crate::batch::{ParallelExecutor, QueryResult};
 use crate::engine::{BatchEngine, BatchEngineConfig, EngineReport, ShapeQueryResult};
 use crate::recycle::RecycleStats;
 use crate::seed_cache::SeedCacheStats;
 use crate::subscribe::{ResultDelta, SubscriptionId, SubscriptionRegistry, SubscriptionStats};
 use crate::telemetry::ServiceTelemetry;
+use octopus_core::fault::{FaultAction, FaultCell, FaultHook, FaultSite};
 use octopus_core::layout::{curve_permutation, CurveKind, LocalityTracker};
 use octopus_core::{Octopus, PhaseTimings, QueryScratch, QueryShape};
 use octopus_geom::{Aabb, Point3, VertexId};
 use octopus_mesh::{Mesh, MeshError, SurfaceDelta};
 use octopus_sim::Simulation;
 use octopus_telemetry::{Registry, TelemetrySnapshot};
+use std::any::Any;
 use std::collections::VecDeque;
 use std::ops::RangeInclusive;
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// When (if ever) a curve [`LayoutPolicy`] re-applies its vertex order
 /// after ingest.
@@ -184,13 +228,67 @@ impl LayoutPolicy {
     }
 }
 
+/// What kind of overload produced a [`ServiceError::RetryAfter`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Overload {
+    /// A tenant's admission queue is at capacity.
+    QueueFull {
+        /// The tenant whose queue refused the batch.
+        tenant: u32,
+        /// Its queue depth at refusal time.
+        depth: usize,
+    },
+    /// The snapshot ring cannot recycle its oldest slot (pinned).
+    RingPinned {
+        /// The pinned oldest step blocking reclamation.
+        pinned_step: u32,
+    },
+}
+
+impl std::fmt::Display for Overload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Overload::QueueFull { tenant, depth } => {
+                write!(f, "tenant {tenant} queue full at depth {depth}")
+            }
+            Overload::RingPinned { pinned_step } => {
+                write!(f, "snapshot ring pinned at step {pinned_step}")
+            }
+        }
+    }
+}
+
 /// Errors surfaced by the service layer.
+///
+/// See the [module-level failure-mode catalogue](crate::monitor#failure-mode-catalogue)
+/// for each variant's cause and the recommended caller action.
 #[derive(Debug)]
 pub enum ServiceError {
     /// The underlying mesh/simulation operation failed.
     Mesh(MeshError),
-    /// The simulation thread is gone (it panicked or was shut down).
+    /// The simulation thread is gone (it exited cleanly or the monitor
+    /// was shut down). For panics see
+    /// [`ServiceError::SimulationFailed`].
     SimulationStopped,
+    /// The simulation thread panicked; the string is the panic payload.
+    /// Retained ring steps stay queryable; recover with
+    /// [`MonitorLoop::restart_simulation`].
+    SimulationFailed(String),
+    /// [`MonitorLoop::restart_simulation`] was called while the
+    /// simulation thread is still healthy.
+    SimulationAlive,
+    /// Back-pressure: the operation was refused *before doing any
+    /// work*; retry after the suggested backoff (see
+    /// [`crate::Backoff`]). Only produced while admission is attached.
+    RetryAfter {
+        /// How long the caller should wait before retrying.
+        suggested_backoff: Duration,
+        /// What resource is saturated.
+        cause: Overload,
+    },
+    /// An admission API was used without
+    /// [`MonitorLoop::set_admission`].
+    AdmissionDisabled,
     /// `finish_step` was called with no step in flight.
     NoStepInFlight,
     /// The ring needs to recycle its oldest slot to publish the next
@@ -221,6 +319,19 @@ impl std::fmt::Display for ServiceError {
         match self {
             ServiceError::Mesh(e) => write!(f, "simulation step failed: {e}"),
             ServiceError::SimulationStopped => write!(f, "simulation thread has stopped"),
+            ServiceError::SimulationFailed(msg) => {
+                write!(f, "simulation thread panicked: {msg}")
+            }
+            ServiceError::SimulationAlive => {
+                write!(f, "restart refused: the simulation thread is still running")
+            }
+            ServiceError::RetryAfter {
+                suggested_backoff,
+                cause,
+            } => write!(f, "overloaded ({cause}); retry after {suggested_backoff:?}"),
+            ServiceError::AdmissionDisabled => {
+                write!(f, "admission control is not attached (set_admission)")
+            }
             ServiceError::NoStepInFlight => write!(f, "no simulation step in flight"),
             ServiceError::RingFull { pinned_step } => write!(
                 f,
@@ -243,9 +354,37 @@ impl std::fmt::Display for ServiceError {
 
 impl std::error::Error for ServiceError {}
 
+impl ServiceError {
+    /// For retryable back-pressure errors, the delay the caller should
+    /// wait before retrying (`Duration::ZERO` when the server offered
+    /// no estimate); `None` for non-retryable errors. The contract
+    /// [`crate::Backoff::run`] keys on.
+    pub fn retry_hint(&self) -> Option<Duration> {
+        match self {
+            ServiceError::RetryAfter {
+                suggested_backoff, ..
+            } => Some(*suggested_backoff),
+            ServiceError::RingFull { .. } => Some(Duration::ZERO),
+            _ => None,
+        }
+    }
+}
+
 impl From<MeshError> for ServiceError {
     fn from(e: MeshError) -> ServiceError {
         ServiceError::Mesh(e)
+    }
+}
+
+/// Renders a caught panic payload for
+/// [`ServiceError::SimulationFailed`].
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -264,17 +403,31 @@ enum Cmd {
 
 enum Update {
     /// Deformation only: positions changed, connectivity did not.
-    Deformed {
-        step: u32,
-        positions: Vec<Point3>,
-    },
+    Deformed { step: u32, positions: Vec<Point3> },
     /// Restructuring fired: full mesh hand-off + surface delta replay.
     Restructured {
         step: u32,
         mesh: Box<Mesh>,
         delta: SurfaceDelta,
     },
+    /// The step failed recoverably: the simulation thread is alive and
+    /// its state untouched (e.g. an injected restructure failure).
     Failed(MeshError),
+    /// The simulation thread panicked while stepping; it sent this and
+    /// exited. The string is the rendered panic payload.
+    Panicked(String),
+}
+
+/// Supervisor's view of the simulation thread.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum SimState {
+    /// Stepping normally.
+    Running,
+    /// The thread panicked (payload inside); retained snapshots remain
+    /// queryable, [`MonitorLoop::restart_simulation`] recovers.
+    Failed(String),
+    /// The thread exited cleanly without a shutdown call.
+    Stopped,
 }
 
 /// One retained snapshot: the mesh state at the end of `step` plus the
@@ -326,7 +479,18 @@ struct Slot {
 pub struct MonitorLoop {
     cmd_tx: Sender<Cmd>,
     upd_rx: Receiver<Update>,
-    handle: Option<JoinHandle<Simulation>>,
+    handle: Option<JoinHandle<Result<Simulation, String>>>,
+    /// Supervisor state: healthy, panicked (payload retained), or
+    /// cleanly exited.
+    sim_state: SimState,
+    /// Shared fault-injection slot: the sim thread and the ring publish
+    /// path consult it; disarmed it costs one relaxed load per site.
+    fault: Arc<FaultCell>,
+    /// Admission front (bounded fair queues + deadline shedding);
+    /// `None` until [`MonitorLoop::set_admission`]. With admission
+    /// attached, ring back-pressure surfaces as
+    /// [`ServiceError::RetryAfter`].
+    admission: Option<Admission>,
     /// Ring depth K: max retained snapshots and max in-flight steps.
     depth: usize,
     /// Retained snapshots, oldest at the front; steps are contiguous.
@@ -417,9 +581,11 @@ impl MonitorLoop {
             } => Some(LocalityTracker::new(&mesh, recompute_every)),
             _ => None,
         };
+        let fault = Arc::new(FaultCell::new());
         let (cmd_tx, cmd_rx) = std::sync::mpsc::channel();
         let (upd_tx, upd_rx) = std::sync::mpsc::channel();
-        let handle = std::thread::spawn(move || sim_thread(sim, &cmd_rx, &upd_tx));
+        let sim_fault = Arc::clone(&fault);
+        let handle = std::thread::spawn(move || sim_thread(sim, &cmd_rx, &upd_tx, &sim_fault));
         let mut slots = VecDeque::with_capacity(depth);
         slots.push_back(Slot {
             step,
@@ -434,6 +600,9 @@ impl MonitorLoop {
             cmd_tx,
             upd_rx,
             handle: Some(handle),
+            sim_state: SimState::Running,
+            fault,
+            admission: None,
             depth,
             slots,
             in_flight: 0,
@@ -471,6 +640,9 @@ impl MonitorLoop {
         if let Some(engine) = &mut self.engine {
             engine.attach_metrics(&t.engine);
         }
+        if let Some(adm) = &mut self.admission {
+            adm.attach_metrics(&t.admission);
+        }
         self.telemetry = Some(t);
         self.publish_gauges();
         self.telemetry.as_ref().expect("just attached")
@@ -504,6 +676,9 @@ impl MonitorLoop {
         }
         t.monitor.subscriptions.set_u64(self.subs.len() as u64);
         t.monitor.sync_subscriptions(&self.subs.total_stats());
+        if let Some(adm) = &self.admission {
+            t.admission.queue_depth.set_u64(adm.queue_depth() as u64);
+        }
         let _ = latest.exec.publish_memory();
         if let Some(engine) = &mut self.engine {
             engine.publish_cache_metrics();
@@ -564,6 +739,7 @@ impl MonitorLoop {
     /// `depth` steps ahead, or while a re-layout is pending and cannot
     /// be applied yet (draining back-pressure).
     pub fn begin_step(&mut self) -> Result<(), ServiceError> {
+        self.check_sim_alive()?;
         if self.relayout_pending && !self.try_apply_pending_relayout()? {
             return Ok(());
         }
@@ -576,6 +752,25 @@ impl MonitorLoop {
             .map_err(|_| ServiceError::SimulationStopped)?;
         self.in_flight += 1;
         Ok(())
+    }
+
+    /// The supervisor's gate: stepping APIs refuse up front once the
+    /// sim thread is known dead, with the panic payload preserved.
+    fn check_sim_alive(&self) -> Result<(), ServiceError> {
+        match &self.sim_state {
+            SimState::Running => Ok(()),
+            SimState::Failed(msg) => Err(ServiceError::SimulationFailed(msg.clone())),
+            SimState::Stopped => Err(ServiceError::SimulationStopped),
+        }
+    }
+
+    /// The sim thread's panic payload, if it failed
+    /// (`None` while healthy or cleanly stopped).
+    pub fn sim_failure(&self) -> Option<&str> {
+        match &self.sim_state {
+            SimState::Failed(msg) => Some(msg),
+            _ => None,
+        }
     }
 
     /// Starts steps until the pipeline is `depth` ahead (or stalled on
@@ -606,10 +801,44 @@ impl MonitorLoop {
         }
         let tracer = self.telemetry.as_ref().map(|t| t.tracer.clone());
         let _span = tracer.as_ref().map(|tr| tr.span("monitor.finish_step"));
-        self.absorb_one()?;
+        // Fault site: a `Deny` here forces a `RingFull` back-pressure
+        // window (the update stays queued, exactly like a real pinned
+        // slot; a later retry publishes it).
+        if self.fault.armed() {
+            let site = FaultSite::RingPublish {
+                latest_step: self.latest().step,
+            };
+            if matches!(self.fault.fire(site), FaultAction::Deny) {
+                let pinned_step = self.slots.front().expect("ring is never empty").step;
+                if let Some(t) = &self.telemetry {
+                    t.monitor.pin_waits.inc();
+                }
+                let e = ServiceError::RingFull { pinned_step };
+                return Err(self.map_backpressure(e));
+            }
+        }
+        if let Err(e) = self.absorb_one() {
+            return Err(self.map_backpressure(e));
+        }
         self.try_apply_pending_relayout()?;
         self.publish_gauges();
         Ok(self.snapshot_step())
+    }
+
+    /// With admission attached, converts raw ring back-pressure into
+    /// the structured retry contract; other errors pass through.
+    fn map_backpressure(&mut self, e: ServiceError) -> ServiceError {
+        let ServiceError::RingFull { pinned_step } = e else {
+            return e;
+        };
+        let Some(adm) = &mut self.admission else {
+            return ServiceError::RingFull { pinned_step };
+        };
+        adm.note_retry_after();
+        ServiceError::RetryAfter {
+            suggested_backoff: adm.suggested_backoff(0),
+            cause: Overload::RingPinned { pinned_step },
+        }
     }
 
     /// Receives one update and publishes it as the newest slot.
@@ -626,10 +855,13 @@ impl MonitorLoop {
                 });
             }
         }
-        let update = self
-            .upd_rx
-            .recv()
-            .map_err(|_| ServiceError::SimulationStopped)?;
+        let update = match self.upd_rx.recv() {
+            Ok(u) => u,
+            // The sim thread died without even sending `Panicked` (a
+            // panic outside the step path, e.g. during a re-layout
+            // permutation): harvest the join outcome for the payload.
+            Err(_) => return Err(self.harvest_sim_exit()),
+        };
         self.in_flight -= 1;
         match update {
             Update::Deformed { step, positions } => {
@@ -709,11 +941,44 @@ impl MonitorLoop {
                 self.update_relayout_pending();
             }
             Update::Failed(e) => return Err(ServiceError::Mesh(e)),
+            Update::Panicked(msg) => return Err(self.sim_died(msg)),
         }
         if let Some(t) = &self.telemetry {
             t.monitor.steps.inc();
         }
         Ok(())
+    }
+
+    /// Records a sim-thread death: queued commands are lost with the
+    /// thread, so the in-flight count resets; retained snapshots are
+    /// untouched and stay queryable.
+    fn sim_died(&mut self, msg: String) -> ServiceError {
+        self.sim_state = SimState::Failed(msg.clone());
+        self.in_flight = 0;
+        if let Some(t) = &self.telemetry {
+            t.monitor.sim_failures.inc();
+        }
+        ServiceError::SimulationFailed(msg)
+    }
+
+    /// The update channel disconnected: join the thread to learn why
+    /// and record the outcome.
+    fn harvest_sim_exit(&mut self) -> ServiceError {
+        let outcome = self.handle.take().map(JoinHandle::join);
+        self.in_flight = 0;
+        match outcome {
+            Some(Ok(Err(msg))) => self.sim_died(msg),
+            Some(Err(payload)) => self.sim_died(panic_message(payload.as_ref())),
+            // Clean exit (or already harvested): not a panic.
+            Some(Ok(Ok(_))) | None => {
+                if self.sim_state == SimState::Running {
+                    self.sim_state = SimState::Stopped;
+                }
+                self.check_sim_alive()
+                    .err()
+                    .unwrap_or(ServiceError::SimulationStopped)
+            }
+        }
     }
 
     fn push_slot(&mut self, slot: Slot) {
@@ -1239,22 +1504,171 @@ impl MonitorLoop {
     /// Stops the simulation thread and returns the simulation in its
     /// final state (which may be up to K steps ahead of the latest
     /// retained snapshot if steps were in flight).
+    ///
+    /// If the sim thread panicked — now or earlier — the panic payload
+    /// is surfaced as [`ServiceError::SimulationFailed`], never
+    /// silently discarded.
     pub fn shutdown(mut self) -> Result<Simulation, ServiceError> {
         // Drain in-flight updates so the sim thread isn't blocked on a
         // full channel (unbounded today, but don't rely on it); they
         // are dropped, not published — the monitor is going away.
         while self.in_flight > 0 {
-            if self.upd_rx.recv().is_err() {
-                break;
+            match self.upd_rx.recv() {
+                Ok(Update::Panicked(_)) | Err(_) => break,
+                Ok(_) => self.in_flight -= 1,
             }
-            self.in_flight -= 1;
         }
         let _ = self.cmd_tx.send(Cmd::Stop);
-        self.handle
-            .take()
-            .expect("shutdown runs once")
-            .join()
-            .map_err(|_| ServiceError::SimulationStopped)
+        match self.handle.take() {
+            None => self
+                .check_sim_alive()
+                .map(|()| unreachable!("no handle while running")),
+            Some(handle) => match handle.join() {
+                Ok(Ok(sim)) => Ok(sim),
+                Ok(Err(msg)) => Err(ServiceError::SimulationFailed(msg)),
+                Err(payload) => Err(ServiceError::SimulationFailed(panic_message(
+                    payload.as_ref(),
+                ))),
+            },
+        }
+    }
+
+    /// Replaces a dead simulation thread ([`ServiceError::SimulationFailed`]
+    /// / [`ServiceError::SimulationStopped`] state) with a fresh one
+    /// built by `make` from the **newest published snapshot**, resuming
+    /// the step numbering where the ring left off (so retained steps,
+    /// pins, subscriptions and the restructure-schedule cadence all
+    /// stay coherent). Returns the step the new simulation resumes
+    /// from. Refuses with [`ServiceError::SimulationAlive`] while the
+    /// thread is healthy.
+    ///
+    /// The factory sees the snapshot in the monitor's *current* id
+    /// space (post-layout); its rest configuration restarts at the
+    /// snapshot positions, which is inherent to resuming from a
+    /// snapshot rather than replaying the lost trajectory.
+    pub fn restart_simulation<F>(&mut self, make: F) -> Result<u32, ServiceError>
+    where
+        F: FnOnce(&Mesh) -> Result<Simulation, MeshError>,
+    {
+        match self.sim_state {
+            SimState::Running => return Err(ServiceError::SimulationAlive),
+            SimState::Failed(_) | SimState::Stopped => {}
+        }
+        // Reap the dead thread; its outcome is already recorded in
+        // `sim_state`.
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+        let resume_step = self.latest().step;
+        let mut sim = make(&self.latest().mesh)?;
+        sim.resume_from(resume_step);
+        let (cmd_tx, cmd_rx) = std::sync::mpsc::channel();
+        let (upd_tx, upd_rx) = std::sync::mpsc::channel();
+        let sim_fault = Arc::clone(&self.fault);
+        self.handle = Some(std::thread::spawn(move || {
+            sim_thread(sim, &cmd_rx, &upd_tx, &sim_fault)
+        }));
+        self.cmd_tx = cmd_tx;
+        self.upd_rx = upd_rx;
+        self.in_flight = 0;
+        self.sim_state = SimState::Running;
+        if let Some(t) = &self.telemetry {
+            t.monitor.sim_restarts.inc();
+        }
+        Ok(resume_step)
+    }
+
+    /// Arms `hook` on every fault site this service consults: the sim
+    /// thread's step/restructure sites, the ring publish site, and the
+    /// worker pool's per-task site. Testing facility — disarmed
+    /// ([`MonitorLoop::clear_fault_hook`]) the sites cost one relaxed
+    /// atomic load each.
+    pub fn set_fault_hook(&mut self, hook: Arc<dyn FaultHook>) {
+        self.fault.arm(Arc::clone(&hook));
+        self.pool.arm_faults(hook);
+    }
+
+    /// Disarms the fault hook everywhere.
+    pub fn clear_fault_hook(&mut self) {
+        self.fault.disarm();
+        self.pool.disarm_faults();
+    }
+
+    /// Attaches the admission front ([`crate::Admission`]): queries may
+    /// then be queued per tenant via [`MonitorLoop::enqueue`] and
+    /// executed in weighted-fair order via
+    /// [`MonitorLoop::drain_admitted`]; ring back-pressure surfaces as
+    /// [`ServiceError::RetryAfter`] from here on.
+    pub fn set_admission(&mut self, cfg: AdmissionConfig) {
+        let mut adm = Admission::new(cfg);
+        if let Some(t) = &self.telemetry {
+            adm.attach_metrics(&t.admission);
+        }
+        self.admission = Some(adm);
+    }
+
+    /// Whether an admission front is attached.
+    pub fn admission_enabled(&self) -> bool {
+        self.admission.is_some()
+    }
+
+    /// Admission counters (`None` without admission attached).
+    pub fn admission_stats(&self) -> Option<AdmissionStats> {
+        self.admission.as_ref().map(Admission::stats)
+    }
+
+    /// Sets `tenant`'s fair-share weight (≥ 1; admitted throughput is
+    /// proportional to it).
+    pub fn set_tenant_weight(&mut self, tenant: u32, weight: u32) -> Result<(), ServiceError> {
+        self.admission
+            .as_mut()
+            .ok_or(ServiceError::AdmissionDisabled)?
+            .set_weight(tenant, weight);
+        Ok(())
+    }
+
+    /// Queues a query batch for `tenant` behind admission control.
+    /// `deadline` is relative to now (default:
+    /// [`crate::AdmissionConfig::default_deadline`]); batches whose
+    /// deadline expires while queued are shed before reaching the pool.
+    /// A full tenant queue refuses with [`ServiceError::RetryAfter`].
+    pub fn enqueue(
+        &mut self,
+        tenant: u32,
+        queries: Vec<Aabb>,
+        deadline: Option<Duration>,
+    ) -> Result<TicketId, ServiceError> {
+        self.admission
+            .as_mut()
+            .ok_or(ServiceError::AdmissionDisabled)?
+            .enqueue(tenant, queries, deadline, Instant::now())
+    }
+
+    /// Dequeues up to `max_batches` batches in weighted-fair order,
+    /// executes each against the latest snapshot (through the batch
+    /// engine when attached), and reports both the executed batches and
+    /// everything deadline shedding dropped on the way. Recycle each
+    /// batch's buffers via [`MonitorLoop::recycle`].
+    pub fn drain_admitted(&mut self, max_batches: usize) -> Result<DrainOutcome, ServiceError> {
+        let Some(mut adm) = self.admission.take() else {
+            return Err(ServiceError::AdmissionDisabled);
+        };
+        let mut out = DrainOutcome::default();
+        while out.batches.len() < max_batches {
+            let Some(a) = adm.next_admitted(Instant::now()) else {
+                break;
+            };
+            let results = self.query_batch(&a.queries);
+            out.batches.push(AdmittedBatch {
+                ticket: a.ticket,
+                tenant: a.tenant,
+                step: self.snapshot_step(),
+                results,
+            });
+        }
+        out.shed = adm.take_shed();
+        self.admission = Some(adm);
+        Ok(out)
     }
 }
 
@@ -1262,7 +1676,21 @@ impl Drop for MonitorLoop {
     fn drop(&mut self) {
         if let Some(handle) = self.handle.take() {
             let _ = self.cmd_tx.send(Cmd::Stop);
-            let _ = handle.join();
+            // Drop cannot return an error, but a sim-thread panic must
+            // not vanish either: capture the payload and report it on
+            // stderr unless it was already surfaced (`sim_state` left
+            // `Running` means nobody saw it). Callers who care use
+            // `shutdown()`, which returns the failure properly.
+            let failure = match handle.join() {
+                Ok(Ok(_)) => None,
+                Ok(Err(msg)) => Some(msg),
+                Err(payload) => Some(panic_message(payload.as_ref())),
+            };
+            if let Some(msg) = failure {
+                if matches!(self.sim_state, SimState::Running) {
+                    eprintln!("MonitorLoop dropped with unreported sim failure: {msg}");
+                }
+            }
         }
     }
 }
@@ -1286,7 +1714,22 @@ fn max_displacement(before: &[Point3], after: &[Point3]) -> f32 {
 /// The restructure epoch decides the hand-off flavour exactly: a step
 /// whose epoch did not advance left connectivity untouched (even when a
 /// schedule "fired" zero ops), so a positions-only copy suffices.
-fn sim_thread(mut sim: Simulation, cmd_rx: &Receiver<Cmd>, upd_tx: &Sender<Update>) -> Simulation {
+///
+/// Supervised: the step computation runs under `catch_unwind`, so a
+/// panic (genuine or injected) is reported to the monitor as
+/// [`Update::Panicked`] and returned as `Err(payload)` instead of
+/// silently killing the pipeline. Before each step the fault cell is
+/// consulted — classified as [`FaultSite::Restructure`] when the
+/// schedule fires at the upcoming step, [`FaultSite::SimStep`]
+/// otherwise. An injected `Fail`/`Deny` refuses the step *without
+/// stepping* (the simulation state is untouched, so a retry succeeds);
+/// `DelayMs` stalls, `Panic` crashes through the supervisor path.
+fn sim_thread(
+    mut sim: Simulation,
+    cmd_rx: &Receiver<Cmd>,
+    upd_tx: &Sender<Update>,
+    fault: &FaultCell,
+) -> Result<Simulation, String> {
     let mut last_epoch = sim.restructure_epoch();
     while let Ok(cmd) = cmd_rx.recv() {
         let reuse = match cmd {
@@ -1297,8 +1740,47 @@ fn sim_thread(mut sim: Simulation, cmd_rx: &Receiver<Cmd>, upd_tx: &Sender<Updat
             }
             Cmd::Stop => break,
         };
-        let update = match sim.step_outcome() {
-            Ok(outcome) => {
+        let mut injected_panic = None;
+        if fault.armed() {
+            let next = sim.current_step() + 1;
+            let site = if sim.restructure_scheduled(next) {
+                FaultSite::Restructure { step: next }
+            } else {
+                FaultSite::SimStep { step: next }
+            };
+            match fault.fire(site) {
+                FaultAction::Proceed => {}
+                FaultAction::DelayMs(ms) => std::thread::sleep(Duration::from_millis(ms)),
+                FaultAction::Panic(msg) => injected_panic = Some(msg),
+                FaultAction::Fail(msg) => {
+                    if upd_tx
+                        .send(Update::Failed(MeshError::External(msg)))
+                        .is_err()
+                    {
+                        break;
+                    }
+                    continue;
+                }
+                FaultAction::Deny => {
+                    let msg = format!("step {next} refused by fault hook");
+                    if upd_tx
+                        .send(Update::Failed(MeshError::External(msg)))
+                        .is_err()
+                    {
+                        break;
+                    }
+                    continue;
+                }
+            }
+        }
+        let stepped = panic::catch_unwind(AssertUnwindSafe(|| {
+            if let Some(msg) = injected_panic {
+                panic!("{msg}");
+            }
+            sim.step_outcome()
+        }));
+        let update = match stepped {
+            Ok(Ok(outcome)) => {
                 if outcome.restructure_epoch != last_epoch {
                     last_epoch = outcome.restructure_epoch;
                     Update::Restructured {
@@ -1315,11 +1797,17 @@ fn sim_thread(mut sim: Simulation, cmd_rx: &Receiver<Cmd>, upd_tx: &Sender<Updat
                     }
                 }
             }
-            Err(e) => Update::Failed(e),
+            Ok(Err(e)) => Update::Failed(e),
+            Err(payload) => {
+                let msg = panic_message(payload.as_ref());
+                // Best effort: the monitor may already be gone.
+                let _ = upd_tx.send(Update::Panicked(msg.clone()));
+                return Err(msg);
+            }
         };
         if upd_tx.send(update).is_err() {
             break; // Monitor dropped; stop quietly.
         }
     }
-    sim
+    Ok(sim)
 }

@@ -21,9 +21,10 @@
 use std::any::Any;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Sender, TryRecvError};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError};
 use std::thread::JoinHandle;
 
+use octopus_core::fault::{FaultAction, FaultCell, FaultHook, FaultSite};
 use octopus_telemetry::StaticCounter;
 
 use crate::telemetry::PoolMetrics;
@@ -39,12 +40,38 @@ pub type Task<'scope> = Box<dyn FnOnce() + Send + 'scope>;
 struct Job {
     task: Box<dyn FnOnce() + Send + 'static>,
     latch: Arc<Latch>,
+    fault: Arc<FaultCell>,
 }
 
 impl Job {
     fn execute(self) {
-        let outcome = panic::catch_unwind(AssertUnwindSafe(self.task)).err();
-        self.latch.complete(outcome);
+        let Job { task, latch, fault } = self;
+        let outcome = panic::catch_unwind(AssertUnwindSafe(move || {
+            inject_task_fault(&fault);
+            task();
+        }))
+        .err();
+        latch.complete(outcome);
+    }
+}
+
+/// Consults the pool's fault cell at the per-task site. Runs *inside*
+/// the panic containment (of [`Job::execute`] or the inline-first
+/// path), so an injected panic rides the normal propagation machinery
+/// and the completion latch always counts down — injection can never
+/// deadlock a submission. The site is evaluated **before** the task
+/// body runs, i.e. before any result buffer is leased, so an injected
+/// panic cannot leak recycler buffers either.
+fn inject_task_fault(fault: &FaultCell) {
+    if !fault.armed() {
+        return;
+    }
+    match fault.fire(FaultSite::WorkerTask {
+        seq: fault.next_task_seq(),
+    }) {
+        FaultAction::Panic(msg) => panic!("{msg}"),
+        FaultAction::DelayMs(ms) => std::thread::sleep(std::time::Duration::from_millis(ms)),
+        FaultAction::Proceed | FaultAction::Fail(_) | FaultAction::Deny => {}
     }
 }
 
@@ -81,12 +108,20 @@ struct LatchState {
 }
 
 impl Latch {
+    // Lock poisoning cannot wedge the latch: the critical sections
+    // below never unwind (counter arithmetic and an Option insert), but
+    // a fault-injected panic elsewhere on a worker must not turn into a
+    // poisoned-latch deadlock for every later submission — so every
+    // acquisition recovers the guard instead of unwrapping.
     fn add(&self) {
-        self.state.lock().unwrap().remaining += 1;
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remaining += 1;
     }
 
     fn complete(&self, panic: Option<Box<dyn Any + Send>>) {
-        let mut s = self.state.lock().unwrap();
+        let mut s = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         s.remaining -= 1;
         if let Some(p) = panic {
             s.panic.get_or_insert(p);
@@ -97,9 +132,9 @@ impl Latch {
     }
 
     fn wait(&self) -> Option<Box<dyn Any + Send>> {
-        let mut s = self.state.lock().unwrap();
+        let mut s = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         while s.remaining > 0 {
-            s = self.done.wait(s).unwrap();
+            s = self.done.wait(s).unwrap_or_else(PoisonError::into_inner);
         }
         s.panic.take()
     }
@@ -128,6 +163,9 @@ pub struct WorkerPool {
     /// their own park/unpark transitions). First-attach-wins; `&self`
     /// attachable because workers already hold clones of the cell.
     metrics: Arc<OnceLock<PoolMetrics>>,
+    /// Fault-injection slot consulted once per task (a relaxed load
+    /// when disarmed); shared with every job shipped to the workers.
+    fault: Arc<FaultCell>,
 }
 
 impl std::fmt::Debug for WorkerPool {
@@ -187,7 +225,19 @@ impl WorkerPool {
             handles,
             threads,
             metrics,
+            fault: Arc::new(FaultCell::new()),
         }
+    }
+
+    /// Arms `hook` on the per-task fault site (chaos testing; see
+    /// [`octopus_core::fault`]).
+    pub fn arm_faults(&self, hook: Arc<dyn FaultHook>) {
+        self.fault.arm(hook);
+    }
+
+    /// Disarms the per-task fault site.
+    pub fn disarm_faults(&self) {
+        self.fault.disarm();
     }
 
     /// Attaches telemetry: submission sizes, queue depth and the
@@ -243,6 +293,7 @@ impl WorkerPool {
             let job = Job {
                 task,
                 latch: Arc::clone(&latch),
+                fault: Arc::clone(&self.fault),
             };
             latch.add();
             if self.senders.is_empty() {
@@ -253,7 +304,11 @@ impl WorkerPool {
                 returned.0.execute();
             }
         }
-        let inline_panic = panic::catch_unwind(AssertUnwindSafe(first)).err();
+        let inline_panic = panic::catch_unwind(AssertUnwindSafe(|| {
+            inject_task_fault(&self.fault);
+            first();
+        }))
+        .err();
         let worker_panic = latch.wait();
         if let Some(p) = worker_panic.or(inline_panic) {
             panic::resume_unwind(p);

@@ -16,7 +16,7 @@
 
 use octopus_geom::VertexId;
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// Upper bound on pooled buffers — a backstop against a caller leasing
 /// huge bursts and returning them all at once.
@@ -69,7 +69,14 @@ impl ResultRecycler {
     /// the current generation.
     pub(crate) fn lease(&self) -> (u32, Vec<VertexId>) {
         let generation = self.generation.load(Ordering::Relaxed);
-        let recycled = self.free.lock().unwrap().pop();
+        // The free list holds only plain buffers — a panic while the
+        // lock was held cannot leave it inconsistent, so poisoning
+        // carries no information here: recover the guard and continue.
+        let recycled = self
+            .free
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop();
         let buf = match recycled {
             Some(buf) => {
                 self.reused.fetch_add(1, Ordering::Relaxed);
@@ -90,7 +97,7 @@ impl ResultRecycler {
         if generation != self.generation.load(Ordering::Relaxed) {
             return;
         }
-        let mut free = self.free.lock().unwrap();
+        let mut free = self.free.lock().unwrap_or_else(PoisonError::into_inner);
         if free.len() < MAX_FREE {
             buf.clear();
             free.push(buf);
@@ -100,7 +107,10 @@ impl ResultRecycler {
     /// Invalidates every outstanding lease and drops the free list.
     pub(crate) fn bump(&self) {
         self.generation.fetch_add(1, Ordering::Relaxed);
-        self.free.lock().unwrap().clear();
+        self.free
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
     }
 
     pub(crate) fn stats(&self) -> RecycleStats {
@@ -110,7 +120,11 @@ impl ResultRecycler {
             leased: reused + allocated,
             reused,
             allocated,
-            free: self.free.lock().unwrap().len(),
+            free: self
+                .free
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .len(),
             generation: self.generation.load(Ordering::Relaxed),
         }
     }
@@ -119,7 +133,7 @@ impl ResultRecycler {
     pub(crate) fn memory_bytes(&self) -> usize {
         self.free
             .lock()
-            .unwrap()
+            .unwrap_or_else(PoisonError::into_inner)
             .iter()
             .map(|b| b.capacity() * std::mem::size_of::<VertexId>())
             .sum()

@@ -161,6 +161,42 @@ impl EngineMetrics {
     }
 }
 
+/// Admission-layer metrics: queue pressure, fairness outcomes and
+/// back-pressure conversions (see [`crate::Admission`]).
+#[derive(Clone)]
+pub struct AdmissionMetrics {
+    /// `admission_enqueued_total` — batches accepted into a queue.
+    pub(crate) enqueued: Counter,
+    /// `admission_admitted_total` — batches handed to the pool by the
+    /// weighted fair dequeue.
+    pub(crate) admitted: Counter,
+    /// `admission_shed_total` — batches dropped by deadline shedding
+    /// before reaching the pool.
+    pub(crate) shed: Counter,
+    /// `deadline_miss_total` — individual queries inside shed batches.
+    pub(crate) deadline_misses: Counter,
+    /// `retry_after_total` — `RetryAfter` errors surfaced to callers
+    /// (full queues and ring back-pressure conversions).
+    pub(crate) retry_after: Counter,
+    /// `admission_queue_depth` gauge — batches currently queued across
+    /// all tenants.
+    pub(crate) queue_depth: Gauge,
+}
+
+impl AdmissionMetrics {
+    /// Register the admission metric family on `registry`.
+    pub fn register(registry: &Registry) -> AdmissionMetrics {
+        AdmissionMetrics {
+            enqueued: registry.counter("admission_enqueued_total"),
+            admitted: registry.counter("admission_admitted_total"),
+            shed: registry.counter("admission_shed_total"),
+            deadline_misses: registry.counter("deadline_miss_total"),
+            retry_after: registry.counter("retry_after_total"),
+            queue_depth: registry.gauge("admission_queue_depth"),
+        }
+    }
+}
+
 /// Monitor-loop metrics: snapshot ring, re-layouts, drift meters and
 /// the standing-query delta path.
 #[derive(Clone)]
@@ -194,6 +230,13 @@ pub struct MonitorMetrics {
     /// `standing_delta_hit_rate` gauge — fraction of polls served by
     /// the delta fast path (the first-class gauge `serve` asserts on).
     pub(crate) delta_hit_rate: Gauge,
+    /// `sim_failures_total` — simulation-thread deaths observed by the
+    /// supervisor (panic payloads surfaced as
+    /// [`crate::ServiceError::SimulationFailed`]).
+    pub(crate) sim_failures: Counter,
+    /// `sim_restarts_total` — successful
+    /// [`crate::MonitorLoop::restart_simulation`] calls.
+    pub(crate) sim_restarts: Counter,
     /// Cumulative [`SubscriptionStats`] already published.
     synced: SubscriptionStats,
 }
@@ -216,6 +259,8 @@ impl MonitorMetrics {
             full_refreshes: registry.counter("standing_full_refreshes_total"),
             retested: registry.counter("standing_retested_total"),
             delta_hit_rate: registry.gauge("standing_delta_hit_rate"),
+            sim_failures: registry.counter("sim_failures_total"),
+            sim_restarts: registry.counter("sim_restarts_total"),
             synced: SubscriptionStats::default(),
         }
     }
@@ -256,6 +301,8 @@ pub struct ServiceTelemetry {
     pub(crate) engine: EngineMetrics,
     /// Ring/drift/standing-query metrics.
     pub(crate) monitor: MonitorMetrics,
+    /// Admission queue/shedding/back-pressure metrics.
+    pub(crate) admission: AdmissionMetrics,
     /// The registry's span tracer.
     pub(crate) tracer: Tracer,
 }
@@ -269,6 +316,7 @@ impl ServiceTelemetry {
             pool: PoolMetrics::register(registry),
             engine: EngineMetrics::register(registry),
             monitor: MonitorMetrics::register(registry),
+            admission: AdmissionMetrics::register(registry),
             tracer: registry.tracer(),
         }
     }
@@ -304,6 +352,12 @@ impl std::fmt::Debug for PoolMetrics {
 impl std::fmt::Debug for EngineMetrics {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EngineMetrics").finish_non_exhaustive()
+    }
+}
+
+impl std::fmt::Debug for AdmissionMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdmissionMetrics").finish_non_exhaustive()
     }
 }
 

@@ -175,6 +175,28 @@ impl Simulation {
         self.step
     }
 
+    /// Whether the restructuring schedule (if any) will fire at `step`.
+    /// Supervisors use this to classify the *next* step before asking
+    /// for it, so an injected failure at a restructuring step can be
+    /// reported as a failed restructure rather than a failed
+    /// deformation.
+    pub fn restructure_scheduled(&self, step: u32) -> bool {
+        self.restructuring
+            .as_ref()
+            .is_some_and(|s| s.fires_at(step))
+    }
+
+    /// Fast-forwards the step counter to `step` without simulating —
+    /// the supervisor restart hook. A replacement simulation built from
+    /// the newest published snapshot must continue the original step
+    /// numbering: retained ring slots are keyed by step, and
+    /// restructure schedules fire on absolute step numbers, so the
+    /// restarted trajectory picks up the cadence where the failed one
+    /// left off.
+    pub fn resume_from(&mut self, step: u32) {
+        self.step = step;
+    }
+
     /// The monitored mesh (latest state).
     pub fn mesh(&self) -> &Mesh {
         &self.mesh

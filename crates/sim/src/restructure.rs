@@ -46,6 +46,14 @@ impl RestructureSchedule {
         self.fired
     }
 
+    /// Whether the schedule will fire at `step`. Pure predicate — the
+    /// simulation supervisor uses it to classify the upcoming step as a
+    /// restructuring step *before* computing it (fault-injection sites
+    /// distinguish "failed restructure" from "failed deformation").
+    pub fn fires_at(&self, step: u32) -> bool {
+        step.is_multiple_of(self.period)
+    }
+
     /// Fires if due; returns the merged surface delta of all operations.
     pub fn maybe_fire(&mut self, step: u32, mesh: &mut Mesh) -> Result<SurfaceDelta, MeshError> {
         if !step.is_multiple_of(self.period) {

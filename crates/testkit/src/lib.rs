@@ -18,6 +18,9 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod fault;
+pub use fault::{with_watchdog, FailPoint};
+
 use octopus_geom::rng::SplitMix64;
 use octopus_geom::{Aabb, Point3, Region, VertexId};
 use octopus_mesh::Mesh;

@@ -38,22 +38,123 @@
 //!    structs), and the span tracer's chrome://tracing export is
 //!    round-tripped through `serde_json`.
 //!
+//! 6. every query batch is **admitted, not just executed**: the batches
+//!    go through the bounded per-tenant admission queue
+//!    ([`MonitorLoop::enqueue`] → [`MonitorLoop::drain_admitted`]), so
+//!    the run exercises — and its telemetry gate asserts — the
+//!    `admission_*` metric families alongside the serving ones;
+//! 7. with `--inject-faults`, a deterministic
+//!    [`FailPoint`](octopus_testkit::FailPoint) plan is armed: a
+//!    worker-task panic (batch reissued), a delayed step, a refused
+//!    step, a refused restructure (both retried), and a forced
+//!    `RingFull` window (ridden out with [`octopus::service::Backoff`])
+//!    — plus a supervisor drill where an injected sim-thread panic is
+//!    surfaced and [`MonitorLoop::restart_simulation`] resumes from the
+//!    newest snapshot. The run asserts full recovery: the equivalence
+//!    check in 4. still holds bit-for-bit.
+//!
 //! ```bash
-//! cargo run --release --example serve [-- <steps> [workers] [preserve|hilbert|morton] [depth]]
+//! cargo run --release --example serve [-- <steps> [workers] [preserve|hilbert|morton] [depth] [--inject-faults]]
 //! ```
 
+use octopus::mesh::MeshError;
 use octopus::prelude::*;
-use octopus::service::{LayoutPolicy, RelayoutTrigger};
+use octopus::service::{AdmissionConfig, Backoff, LayoutPolicy, RelayoutTrigger, ServiceError};
 use octopus::sim::{RestructureSchedule, SmoothRandomField};
 use octopus::telemetry::Registry;
 use octopus_bench::workload::QueryGen;
-use octopus_testkit::scan_active;
+use octopus_testkit::{box_mesh, scan_active, FailPoint};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 const FIELD_SEED: u64 = 0x0C70_9005;
 
+/// Finishes the oldest in-flight step, riding out injected turbulence:
+/// `RetryAfter`/`RingFull` back-pressure is retried on the backoff
+/// schedule, and an injected step refusal (`Mesh(External)`) re-begins
+/// the refused step. Anything else propagates. Returns the published
+/// step and counts each recovery.
+fn finish_step_resilient(
+    monitor: &mut MonitorLoop,
+    recoveries: &mut u32,
+) -> Result<u32, Box<dyn std::error::Error>> {
+    let mut backoff = Backoff::new(Duration::from_millis(1), Duration::from_millis(20));
+    loop {
+        match monitor.finish_step() {
+            Ok(step) => return Ok(step),
+            Err(e) => {
+                if let Some(hint) = e.retry_hint() {
+                    *recoveries += 1;
+                    std::thread::sleep(backoff.next_delay().max(hint));
+                } else if matches!(e, ServiceError::Mesh(MeshError::External(_))) {
+                    *recoveries += 1;
+                    monitor.begin_step()?; // the sim did not advance: resend
+                } else {
+                    return Err(e.into());
+                }
+            }
+        }
+    }
+}
+
+/// The supervisor drill (`--inject-faults`): on a small side mesh, an
+/// injected sim-thread panic is surfaced with its payload, retained
+/// steps stay queryable, and `restart_simulation` resumes serving from
+/// the newest snapshot — all reflected in `sim_failures_total` /
+/// `sim_restarts_total`.
+fn supervisor_drill() -> Result<(), Box<dyn std::error::Error>> {
+    let registry = Registry::new(true);
+    let sim = Simulation::new(
+        box_mesh(3),
+        Box::new(SmoothRandomField::new(0.01, 3, FIELD_SEED)),
+    );
+    let mut drill = MonitorLoop::with_config(sim, 2, LayoutPolicy::Preserve, 2)?;
+    drill.attach_telemetry(&registry);
+    let fp = Arc::new(FailPoint::new().panic_sim_at(2));
+    drill.set_fault_hook(Arc::clone(&fp) as Arc<_>);
+    drill.begin_step()?;
+    drill.finish_step()?;
+    drill.begin_step()?;
+    let Err(ServiceError::SimulationFailed(msg)) = drill.finish_step() else {
+        panic!("injected sim panic must surface as SimulationFailed");
+    };
+    assert!(msg.contains("injected"), "payload preserved: {msg}");
+    drill.clear_fault_hook();
+    // Degraded: the retained snapshot still answers.
+    let held = drill.query_batch(&[Aabb::cube(Point3::splat(0.5), 0.3)]);
+    assert_eq!(drill.snapshot_step(), 1);
+    drill.recycle(held);
+    // Restart from the newest snapshot and serve on.
+    let resumed = drill.restart_simulation(|m| {
+        Ok(Simulation::new(
+            m.clone(),
+            Box::new(SmoothRandomField::new(0.01, 3, FIELD_SEED + 1)),
+        ))
+    })?;
+    assert_eq!(resumed, 1);
+    drill.begin_step()?;
+    assert_eq!(drill.finish_step()?, 2);
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("sim_failures_total"), 1);
+    assert_eq!(snap.counter("sim_restarts_total"), 1);
+    let _ = drill.shutdown()?;
+    println!(
+        "  fault drill: sim panic surfaced ({} restart, payload intact), \
+         retained step stayed queryable ✓",
+        snap.counter("sim_restarts_total")
+    );
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut args = std::env::args().skip(1);
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    let inject_faults = raw
+        .iter()
+        .position(|a| a == "--inject-faults")
+        .map(|i| raw.remove(i))
+        .is_some();
+    let mut args = raw.into_iter();
     let steps: u32 = args.next().map_or(20, |s| s.parse().expect("steps"));
     let workers: usize = args
         .next()
@@ -73,6 +174,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Some(other) => panic!("unknown layout policy {other:?} (preserve|hilbert|morton)"),
     };
     let depth: usize = args.next().map_or(1, |s| s.parse().expect("ring depth"));
+    if inject_faults {
+        assert!(
+            steps >= 8,
+            "--inject-faults plans faults up to step 7; run ≥ 8 steps"
+        );
+        supervisor_drill()?;
+    }
 
     // A deforming, restructuring neuron arbor and a per-step query
     // schedule drawn once so both runs see identical workloads.
@@ -113,6 +221,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // chrome://tracing export is checked at the end of the run.
     let registry = Registry::new(true);
     monitor.attach_telemetry(&registry);
+    // Admission front: every batch below is enqueued for tenant 0 and
+    // drained in fair order rather than executed directly, so the
+    // serving loop exercises the bounded-queue path (and its metric
+    // families) even when nothing sheds.
+    monitor.set_admission(AdmissionConfig::default());
     // Standing query: the first monitoring box is also subscribed. A
     // client-side mirror applies every polled delta (translating ids
     // across re-layouts) and is checked against a full scan of each
@@ -132,17 +245,61 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut translations: Vec<Option<Vec<VertexId>>> = Vec::new();
     let mut query_busy = Duration::ZERO;
     let mut ring_checks = 0usize;
+    let mut recoveries = 0u32;
+
+    // --inject-faults: first a worker-task panic on a direct batch (the
+    // pool survives and the reissued batch is exact), then a standing
+    // fault plan over the serving loop itself — a delayed step, a
+    // refused step, a refused restructure (both retried; the sim never
+    // advances on refusal, so the trajectory is unchanged) and a forced
+    // two-deny RingFull window ridden out by the backoff helper.
+    let fail_point = if inject_faults {
+        let wp = Arc::new(FailPoint::new().worker_panic_on_task(1));
+        monitor.set_fault_hook(Arc::clone(&wp) as Arc<_>);
+        let panicked =
+            catch_unwind(AssertUnwindSafe(|| monitor.query_batch(&schedule[0]))).is_err();
+        monitor.clear_fault_hook();
+        assert!(panicked, "injected worker panic must propagate");
+        assert_eq!(wp.worker_panics(), 1);
+        let redo = monitor.query_batch(&schedule[0]);
+        assert_eq!(redo.len(), schedule[0].len(), "pool survived the panic");
+        monitor.recycle(redo);
+        println!("  fault drill: worker-task panic contained, batch reissued on the same pool ✓");
+
+        let fp = Arc::new(
+            FailPoint::new()
+                .delay_sim_step(2, 5)
+                .fail_sim_at(3)
+                .fail_restructure_at(7)
+                .deny_ring_publishes(2),
+        );
+        monitor.set_fault_hook(Arc::clone(&fp) as Arc<_>);
+        Some(fp)
+    } else {
+        None
+    };
+
     let t0 = Instant::now();
     monitor.fill_pipeline()?;
     for step in 1..=steps {
-        monitor.finish_step()?;
+        if inject_faults {
+            finish_step_resilient(&mut monitor, &mut recoveries)?;
+        } else {
+            monitor.finish_step()?;
+        }
         debug_assert_eq!(monitor.snapshot_step(), step);
         if step < steps {
             monitor.fill_pipeline()?; // steps N+1…N+K compute while we answer N
         }
         translations.push(monitor.vertex_translation().map(<[VertexId]>::to_vec));
         let tq = Instant::now();
-        let results = monitor.query_batch(&schedule[step as usize - 1]);
+        let ticket = monitor.enqueue(0, schedule[step as usize - 1].clone(), None)?;
+        let mut drained = monitor.drain_admitted(1)?;
+        assert!(drained.shed.is_empty(), "no deadlines set, nothing sheds");
+        let admitted = drained.batches.pop().expect("one enqueued, one admitted");
+        assert_eq!(admitted.ticket, ticket);
+        assert_eq!(admitted.step, step);
+        let results = admitted.results;
         query_busy += tq.elapsed();
         overlapped.push(
             results
@@ -231,6 +388,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     let overlapped_wall = t0.elapsed();
+    if let Some(fp) = &fail_point {
+        monitor.clear_fault_hook();
+        assert_eq!(fp.sim_delays(), 1, "the delayed step fired");
+        assert_eq!(fp.sim_failures(), 1, "the refused step fired");
+        assert_eq!(
+            fp.restructure_failures(),
+            1,
+            "the refused restructure fired"
+        );
+        assert_eq!(fp.ring_denials(), 2, "the RingFull window fired");
+        assert!(
+            recoveries >= 4,
+            "every injected fault was recovered from ({recoveries} recoveries)"
+        );
+        println!(
+            "  fault plan: 1 delayed step, 1 refused step, 1 refused restructure, \
+             2 ring denials — {recoveries} recoveries, all exact ✓"
+        );
+    }
+    let admission_stats = monitor.admission_stats().expect("admission attached");
     let final_drift = monitor.locality_drift();
     let recycle_stats = monitor.recycle_stats();
     let relayouts = monitor.relayouts();
@@ -315,6 +492,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         spawned_during_run, 0,
         "steady-state serving must not spawn threads"
     );
+    // Every batch went through the admission front; with no deadlines
+    // and one tenant, nothing sheds and nothing is refused.
+    assert_eq!(admission_stats.enqueued, u64::from(steps));
+    assert_eq!(admission_stats.admitted, u64::from(steps));
+    assert_eq!(admission_stats.shed_tickets, 0);
+    assert_eq!(admission_stats.rejected, 0);
+    assert_eq!(admission_stats.queue_depth, 0);
+    println!(
+        "  admission: {} batches enqueued → {} admitted in fair order, 0 shed, 0 refused{}",
+        admission_stats.enqueued,
+        admission_stats.admitted,
+        if inject_faults {
+            format!(
+                "; {} RetryAfter back-pressure events",
+                telemetry.counter("retry_after_total")
+            )
+        } else {
+            String::new()
+        }
+    );
     println!(
         "  seed cache: {} hits / {} misses / {} stale (hit rate {:.1}%), {} inserted; \
          last batch: {} group(s), {} grouped, {} scan-routed",
@@ -382,6 +579,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "ring_",
         "standing_",
         "monitor_steps_total",
+        "admission_",
+        "deadline_miss_total",
+        "retry_after_total",
+        "sim_restarts_total",
     ] {
         assert!(
             telemetry.has_family(family),
