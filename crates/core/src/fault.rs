@@ -111,6 +111,10 @@ impl FaultCell {
     /// Whether a hook is currently armed (one relaxed load).
     #[inline]
     pub fn armed(&self) -> bool {
+        // relaxed: an advisory fast-path gate — a caller that sees a
+        // stale value just takes the wrong branch for one call, and
+        // the slow path reads the hook itself under the RwLock, which
+        // synchronizes with arm/disarm.
         self.armed.load(Ordering::Relaxed)
     }
 
@@ -119,6 +123,8 @@ impl FaultCell {
     /// counter does not advance in production.
     #[inline]
     pub fn next_task_seq(&self) -> u64 {
+        // relaxed: a test-only sequence number; fetch_add is atomic
+        // per se, and no other memory hangs off its value.
         self.task_seq.fetch_add(1, Ordering::Relaxed)
     }
 

@@ -18,6 +18,10 @@
 //!   crate can derive reproducible randomness without external
 //!   dependencies.
 
+// The workspace denies `unsafe_code`; the one opt-in in this crate
+// (`mem::prefetch_read`'s intrinsic call) carries a narrow `#[allow]`,
+// and any unsafe fn bodies must spell out their own unsafe blocks.
+#![deny(unsafe_op_in_unsafe_fn)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 

@@ -30,11 +30,21 @@
 //! [`crate::MonitorLoop::drain_admitted`]; with admission attached,
 //! ring back-pressure is also surfaced as `RetryAfter` instead of the
 //! raw `RingFull`.
+//!
+//! Concurrency: every method takes `&self` — one mutex guards the
+//! whole queue state, so ticket allocation, the capacity check and
+//! the queue push are a single atomic action (no ticket can be issued
+//! without its batch being queued, and no two enqueues can share a
+//! ticket id). The protocol is model-checked in
+//! `crates/service/tests/model_admission.rs`: no ticket is ever lost
+//! or double-drained in any interleaving of concurrent enqueuers and
+//! drainers.
 
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
 use octopus_geom::Aabb;
+use octopus_sync::{Mutex, PoisonError};
 
 use crate::batch::QueryResult;
 use crate::monitor::{Overload, ServiceError};
@@ -91,10 +101,14 @@ struct TenantQueue {
 }
 
 /// A batch handed out by the fair dequeue, ready to execute.
-pub(crate) struct Admitted {
-    pub(crate) ticket: TicketId,
-    pub(crate) tenant: u32,
-    pub(crate) queries: Vec<Aabb>,
+#[derive(Debug)]
+pub struct Admitted {
+    /// The ticket issued when the batch was enqueued.
+    pub ticket: TicketId,
+    /// The tenant that enqueued it.
+    pub tenant: u32,
+    /// The queries to execute.
+    pub queries: Vec<Aabb>,
 }
 
 /// A batch dropped by deadline shedding, reported so the caller can
@@ -154,10 +168,11 @@ pub struct AdmissionStats {
     pub queue_depth: usize,
 }
 
-/// The admission front: bounded per-tenant queues, stride-scheduled
-/// weighted fair dequeue, deadline shedding (see the module docs).
-pub struct Admission {
-    cfg: AdmissionConfig,
+/// Everything the admission mutex guards: queues, the ticket counter,
+/// counters and the shed log. Keeping the ticket counter *inside*
+/// means issuing a ticket and queueing its batch are one atomic
+/// action — the invariant the `model_admission` suite checks.
+struct AdmissionState {
     tenants: Vec<TenantQueue>,
     next_ticket: u64,
     depth: usize,
@@ -170,53 +185,7 @@ pub struct Admission {
     metrics: Option<AdmissionMetrics>,
 }
 
-impl Admission {
-    /// New admission front with no tenants registered (tenants appear
-    /// on first enqueue, at weight 1).
-    pub(crate) fn new(cfg: AdmissionConfig) -> Admission {
-        Admission {
-            cfg,
-            tenants: Vec::new(),
-            next_ticket: 0,
-            depth: 0,
-            enqueued: 0,
-            admitted: 0,
-            shed_tickets: 0,
-            deadline_misses: 0,
-            rejected: 0,
-            shed_log: Vec::new(),
-            metrics: None,
-        }
-    }
-
-    pub(crate) fn attach_metrics(&mut self, metrics: &AdmissionMetrics) {
-        self.metrics = Some(metrics.clone());
-        self.publish_depth();
-    }
-
-    /// Total batches currently queued across all tenants.
-    pub fn queue_depth(&self) -> usize {
-        self.depth
-    }
-
-    /// Sets `tenant`'s fair-share weight (clamped to ≥ 1; default 1).
-    /// Long-run admitted throughput is proportional to weight.
-    pub(crate) fn set_weight(&mut self, tenant: u32, weight: u32) {
-        self.tenant_mut(tenant).weight = weight.max(1);
-    }
-
-    /// The suggested backoff for the current pressure level: the base,
-    /// doubled once the queue is at capacity, capped.
-    pub(crate) fn suggested_backoff(&self, queued: usize) -> Duration {
-        let base = self.cfg.base_backoff;
-        let suggestion = if queued >= self.cfg.queue_capacity {
-            base.checked_mul(2).unwrap_or(self.cfg.max_backoff)
-        } else {
-            base
-        };
-        suggestion.min(self.cfg.max_backoff)
-    }
-
+impl AdmissionState {
     fn tenant_mut(&mut self, tenant: u32) -> &mut TenantQueue {
         if let Some(i) = self.tenants.iter().position(|t| t.tenant == tenant) {
             return &mut self.tenants[i];
@@ -234,11 +203,91 @@ impl Admission {
         self.tenants.last_mut().expect("just pushed")
     }
 
+    fn publish_depth(&self) {
+        if let Some(m) = &self.metrics {
+            m.queue_depth.set_u64(self.depth as u64);
+        }
+    }
+}
+
+/// The admission front: bounded per-tenant queues, stride-scheduled
+/// weighted fair dequeue, deadline shedding (see the module docs).
+/// All methods take `&self` — the state lives behind one mutex, so
+/// the front can be shared between an enqueueing edge and a draining
+/// execution loop.
+pub struct Admission {
+    cfg: AdmissionConfig,
+    state: Mutex<AdmissionState>,
+}
+
+impl Admission {
+    /// New admission front with no tenants registered (tenants appear
+    /// on first enqueue, at weight 1).
+    pub fn new(cfg: AdmissionConfig) -> Admission {
+        Admission {
+            cfg,
+            state: Mutex::new(AdmissionState {
+                tenants: Vec::new(),
+                next_ticket: 0,
+                depth: 0,
+                enqueued: 0,
+                admitted: 0,
+                shed_tickets: 0,
+                deadline_misses: 0,
+                rejected: 0,
+                shed_log: Vec::new(),
+                metrics: None,
+            }),
+        }
+    }
+
+    /// The state is plain counters and owned queues — a panic while
+    /// the lock was held cannot leave it inconsistent, so poisoning
+    /// carries no information: recover the guard and continue.
+    fn lock(&self) -> octopus_sync::MutexGuard<'_, AdmissionState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub(crate) fn attach_metrics(&self, metrics: &AdmissionMetrics) {
+        let mut st = self.lock();
+        st.metrics = Some(metrics.clone());
+        st.publish_depth();
+    }
+
+    /// Total batches currently queued across all tenants.
+    pub fn queue_depth(&self) -> usize {
+        self.lock().depth
+    }
+
+    /// Sets `tenant`'s fair-share weight (clamped to ≥ 1; default 1).
+    /// Long-run admitted throughput is proportional to weight.
+    pub fn set_weight(&self, tenant: u32, weight: u32) {
+        self.lock().tenant_mut(tenant).weight = weight.max(1);
+    }
+
+    /// The suggested backoff for the current pressure level: the base,
+    /// doubled once the queue is at capacity, capped. Reads only the
+    /// immutable config, so it needs no lock.
+    pub(crate) fn suggested_backoff(&self, queued: usize) -> Duration {
+        let base = self.cfg.base_backoff;
+        let suggestion = if queued >= self.cfg.queue_capacity {
+            base.checked_mul(2).unwrap_or(self.cfg.max_backoff)
+        } else {
+            base
+        };
+        suggestion.min(self.cfg.max_backoff)
+    }
+
     /// Queues `queries` for `tenant`. `deadline` is relative to `now`
     /// (falling back to the configured default); expired batches are
     /// shed at dequeue, before they reach the pool.
-    pub(crate) fn enqueue(
-        &mut self,
+    ///
+    /// The capacity check, ticket allocation and queue push happen
+    /// under one lock acquisition: a ticket id is never issued without
+    /// its batch landing in the queue, and concurrent enqueues cannot
+    /// share an id (model-checked in `model_admission.rs`).
+    pub fn enqueue(
+        &self,
         tenant: u32,
         queries: Vec<Aabb>,
         deadline: Option<Duration>,
@@ -246,14 +295,15 @@ impl Admission {
     ) -> Result<TicketId, ServiceError> {
         let capacity = self.cfg.queue_capacity;
         let deadline = deadline.or(self.cfg.default_deadline).map(|d| now + d);
-        let queued = self
+        let mut st = self.lock();
+        let queued = st
             .tenants
             .iter()
             .find(|t| t.tenant == tenant)
             .map_or(0, |t| t.queue.len());
         if queued >= capacity {
-            self.rejected += 1;
-            if let Some(m) = &self.metrics {
+            st.rejected += 1;
+            if let Some(m) = &st.metrics {
                 m.retry_after.inc();
             }
             return Err(ServiceError::RetryAfter {
@@ -264,19 +314,19 @@ impl Admission {
                 },
             });
         }
-        let ticket = TicketId(self.next_ticket);
-        self.next_ticket += 1;
-        self.tenant_mut(tenant).queue.push_back(Pending {
+        let ticket = TicketId(st.next_ticket);
+        st.next_ticket += 1;
+        st.tenant_mut(tenant).queue.push_back(Pending {
             ticket,
             queries,
             deadline,
         });
-        self.depth += 1;
-        self.enqueued += 1;
-        if let Some(m) = &self.metrics {
+        st.depth += 1;
+        st.enqueued += 1;
+        if let Some(m) = &st.metrics {
             m.enqueued.inc();
         }
-        self.publish_depth();
+        st.publish_depth();
         Ok(ticket)
     }
 
@@ -285,40 +335,45 @@ impl Admission {
     /// batch it encounters on the way (counted and logged; shed batches
     /// do not advance the tenant's pass — fairness charges for work
     /// executed, not work dropped). `None` when all queues are empty.
-    pub(crate) fn next_admitted(&mut self, now: Instant) -> Option<Admitted> {
+    ///
+    /// One lock acquisition covers the victim selection, the pop and
+    /// the counter updates, so concurrent drainers each pop a distinct
+    /// batch — nothing is handed out twice.
+    pub fn next_admitted(&self, now: Instant) -> Option<Admitted> {
+        let mut st = self.lock();
         loop {
-            let idx = self
+            let idx = st
                 .tenants
                 .iter()
                 .enumerate()
                 .filter(|(_, t)| !t.queue.is_empty())
                 .min_by_key(|(_, t)| (t.pass, t.tenant))
                 .map(|(i, _)| i)?;
-            let t = &mut self.tenants[idx];
+            let t = &mut st.tenants[idx];
             let tenant = t.tenant;
             let pending = t.queue.pop_front().expect("selected queue is non-empty");
-            self.depth -= 1;
+            st.depth -= 1;
             if pending.deadline.is_some_and(|d| now >= d) {
-                self.shed_tickets += 1;
-                self.deadline_misses += pending.queries.len() as u64;
-                if let Some(m) = &self.metrics {
+                st.shed_tickets += 1;
+                st.deadline_misses += pending.queries.len() as u64;
+                if let Some(m) = &st.metrics {
                     m.shed.inc();
                     m.deadline_misses.add(pending.queries.len() as u64);
                 }
-                self.shed_log.push(ShedTicket {
+                st.shed_log.push(ShedTicket {
                     ticket: pending.ticket,
                     tenant,
                     queries: pending.queries.len(),
                 });
                 continue;
             }
-            let t = &mut self.tenants[idx];
+            let t = &mut st.tenants[idx];
             t.pass += STRIDE_SCALE / u64::from(t.weight.max(1));
-            self.admitted += 1;
-            if let Some(m) = &self.metrics {
+            st.admitted += 1;
+            if let Some(m) = &st.metrics {
                 m.admitted.inc();
             }
-            self.publish_depth();
+            st.publish_depth();
             return Some(Admitted {
                 ticket: pending.ticket,
                 tenant,
@@ -328,33 +383,29 @@ impl Admission {
     }
 
     /// Takes the accumulated shed log (cleared afterwards).
-    pub(crate) fn take_shed(&mut self) -> Vec<ShedTicket> {
-        self.publish_depth();
-        std::mem::take(&mut self.shed_log)
+    pub fn take_shed(&self) -> Vec<ShedTicket> {
+        let mut st = self.lock();
+        st.publish_depth();
+        std::mem::take(&mut st.shed_log)
     }
 
     /// Cumulative counters.
     pub fn stats(&self) -> AdmissionStats {
+        let st = self.lock();
         AdmissionStats {
-            enqueued: self.enqueued,
-            admitted: self.admitted,
-            shed_tickets: self.shed_tickets,
-            deadline_misses: self.deadline_misses,
-            rejected: self.rejected,
-            queue_depth: self.depth,
-        }
-    }
-
-    fn publish_depth(&self) {
-        if let Some(m) = &self.metrics {
-            m.queue_depth.set_u64(self.depth as u64);
+            enqueued: st.enqueued,
+            admitted: st.admitted,
+            shed_tickets: st.shed_tickets,
+            deadline_misses: st.deadline_misses,
+            rejected: st.rejected,
+            queue_depth: st.depth,
         }
     }
 
     /// Counts the ring-back-pressure conversion (`RingFull` →
     /// `RetryAfter`) into the retry-after family.
-    pub(crate) fn note_retry_after(&mut self) {
-        if let Some(m) = &self.metrics {
+    pub(crate) fn note_retry_after(&self) {
+        if let Some(m) = &self.lock().metrics {
             m.retry_after.inc();
         }
     }
@@ -362,9 +413,10 @@ impl Admission {
 
 impl std::fmt::Debug for Admission {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.lock();
         f.debug_struct("Admission")
-            .field("tenants", &self.tenants.len())
-            .field("queue_depth", &self.depth)
+            .field("tenants", &st.tenants.len())
+            .field("queue_depth", &st.depth)
             .finish_non_exhaustive()
     }
 }
@@ -457,7 +509,7 @@ mod tests {
 
     #[test]
     fn fair_dequeue_respects_weights() {
-        let mut adm = Admission::new(AdmissionConfig {
+        let adm = Admission::new(AdmissionConfig {
             queue_capacity: 32,
             ..AdmissionConfig::default()
         });
@@ -480,7 +532,7 @@ mod tests {
 
     #[test]
     fn equal_weights_interleave_deterministically() {
-        let mut adm = Admission::new(AdmissionConfig::default());
+        let adm = Admission::new(AdmissionConfig::default());
         let now = Instant::now();
         for _ in 0..3 {
             adm.enqueue(7, boxes(1), None, now).unwrap();
@@ -493,7 +545,7 @@ mod tests {
 
     #[test]
     fn full_queue_is_refused_with_retry_after() {
-        let mut adm = Admission::new(AdmissionConfig {
+        let adm = Admission::new(AdmissionConfig {
             queue_capacity: 2,
             ..AdmissionConfig::default()
         });
@@ -519,7 +571,7 @@ mod tests {
 
     #[test]
     fn expired_batches_are_shed_at_dequeue() {
-        let mut adm = Admission::new(AdmissionConfig::default());
+        let adm = Admission::new(AdmissionConfig::default());
         let now = Instant::now();
         adm.enqueue(0, boxes(3), Some(Duration::ZERO), now).unwrap();
         adm.enqueue(0, boxes(2), None, now).unwrap();

@@ -238,6 +238,10 @@ impl ParallelExecutor {
                 .map(|(scratch, mine)| {
                     mine.clear();
                     Box::new(move || loop {
+                        // relaxed: a work-stealing cursor — fetch_add
+                        // alone guarantees each index is claimed once;
+                        // results flow back through the pool's channel,
+                        // which provides the ordering.
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(q) = queries.get(i) else { break };
                         let (generation, mut vertices) = recycler.lease();
@@ -302,6 +306,9 @@ impl ParallelExecutor {
         let run = |scratch: &mut QueryScratch| {
             let mut mine: Vec<(usize, QueryResult)> = Vec::new();
             loop {
+                // relaxed: work-stealing cursor (see query_batch) —
+                // claim-once comes from the atomic RMW itself; the
+                // scope join publishes the results.
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(q) = queries.get(i) else { break };
                 let mut vertices = Vec::new();

@@ -694,6 +694,9 @@ impl ParallelExecutor {
                     out.shared_visited = 0;
                     out.attributed_visited = 0;
                     Box::new(move || loop {
+                        // relaxed: work-stealing cursor over plan
+                        // groups — the RMW claims each group exactly
+                        // once; the pool's channel orders the results.
                         let g = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(group) = plan.groups.get(g) else {
                             break;

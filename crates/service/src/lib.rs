@@ -74,6 +74,11 @@
 //! meshes under both visited-set strategies).
 
 #![deny(missing_docs)]
+// The workspace denies `unsafe_code`; the one opt-in in this crate
+// (`WorkerPool::run`'s task-lifetime erasure) carries a narrow
+// `#[allow]`, and any unsafe fn bodies must spell out their own
+// unsafe blocks.
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(clippy::all)]
 
 mod admission;
@@ -82,14 +87,15 @@ mod engine;
 mod monitor;
 mod pool;
 mod recycle;
+mod ring;
 mod seed_cache;
 mod shard;
 pub mod subscribe;
 pub mod telemetry;
 
 pub use admission::{
-    Admission, AdmissionConfig, AdmissionStats, AdmittedBatch, Backoff, DrainOutcome, ShedTicket,
-    TicketId,
+    Admission, AdmissionConfig, AdmissionStats, Admitted, AdmittedBatch, Backoff, DrainOutcome,
+    ShedTicket, TicketId,
 };
 pub use batch::{BatchStats, ParallelExecutor, QueryResult};
 pub use engine::{BatchEngine, BatchEngineConfig, EngineReport, ShapeQueryResult};
@@ -99,7 +105,8 @@ pub use monitor::{LayoutPolicy, MonitorLoop, Overload, RelayoutTrigger, ServiceE
 // harnesses arm them ([`MonitorLoop::set_fault_hook`]).
 pub use octopus_core::fault::{FaultAction, FaultCell, FaultHook, FaultSite};
 pub use pool::{threads_spawned_total, Task, WorkerPool};
-pub use recycle::RecycleStats;
+pub use recycle::{RecycleStats, ResultRecycler};
+pub use ring::{PinError, RingLedger};
 pub use seed_cache::SeedCacheStats;
 pub use subscribe::{ResultDelta, SubscriptionId, SubscriptionStats};
 pub use telemetry::{EngineMetrics, MonitorMetrics, PoolMetrics, ServiceTelemetry};

@@ -103,6 +103,7 @@ use crate::admission::{
 use crate::batch::{ParallelExecutor, QueryResult};
 use crate::engine::{BatchEngine, BatchEngineConfig, EngineReport, ShapeQueryResult};
 use crate::recycle::RecycleStats;
+use crate::ring::RingLedger;
 use crate::seed_cache::SeedCacheStats;
 use crate::subscribe::{ResultDelta, SubscriptionId, SubscriptionRegistry, SubscriptionStats};
 use crate::telemetry::ServiceTelemetry;
@@ -446,8 +447,6 @@ struct Slot {
     /// [`LayoutPolicy::Preserve`]); shared across slots until a
     /// restructuring extension or re-layout changes it.
     translation: Option<Arc<Vec<VertexId>>>,
-    /// Outstanding query pins; a pinned slot is never recycled.
-    pins: u32,
     /// Cumulative maximum-displacement meter at this step: per step, the
     /// largest distance any vertex moved, summed since ingest. Two
     /// meter readings bound the displacement of *every* vertex between
@@ -495,6 +494,9 @@ pub struct MonitorLoop {
     depth: usize,
     /// Retained snapshots, oldest at the front; steps are contiguous.
     slots: VecDeque<Slot>,
+    /// Pin/reclaim bookkeeping, advanced in lockstep with `slots`
+    /// (the model-checked protocol lives in [`crate::ring`]).
+    ledger: RingLedger,
     /// Steps commanded but not yet absorbed (≤ `depth`).
     in_flight: usize,
     conn_gen: u64,
@@ -593,7 +595,6 @@ impl MonitorLoop {
             mesh,
             exec,
             translation,
-            pins: 0,
             cum_drift: 0.0,
         });
         Ok(MonitorLoop {
@@ -605,6 +606,7 @@ impl MonitorLoop {
             admission: None,
             depth,
             slots,
+            ledger: RingLedger::new(depth, step),
             in_flight: 0,
             conn_gen: 0,
             pool: ParallelExecutor::new(threads),
@@ -640,7 +642,7 @@ impl MonitorLoop {
         if let Some(engine) = &mut self.engine {
             engine.attach_metrics(&t.engine);
         }
-        if let Some(adm) = &mut self.admission {
+        if let Some(adm) = &self.admission {
             adm.attach_metrics(&t.admission);
         }
         self.telemetry = Some(t);
@@ -831,7 +833,7 @@ impl MonitorLoop {
         let ServiceError::RingFull { pinned_step } = e else {
             return e;
         };
-        let Some(adm) = &mut self.admission else {
+        let Some(adm) = &self.admission else {
             return ServiceError::RingFull { pinned_step };
         };
         adm.note_retry_after();
@@ -844,16 +846,11 @@ impl MonitorLoop {
     /// Receives one update and publishes it as the newest slot.
     fn absorb_one(&mut self) -> Result<(), ServiceError> {
         debug_assert!(self.in_flight > 0, "absorb requires an in-flight step");
-        if self.slots.len() == self.depth {
-            let oldest = self.slots.front().expect("ring is never empty");
-            if oldest.pins > 0 {
-                if let Some(t) = &self.telemetry {
-                    t.monitor.pin_waits.inc();
-                }
-                return Err(ServiceError::RingFull {
-                    pinned_step: oldest.step,
-                });
+        if let Some(pinned_step) = self.ledger.publish_blocker() {
+            if let Some(t) = &self.telemetry {
+                t.monitor.pin_waits.inc();
             }
+            return Err(ServiceError::RingFull { pinned_step });
         }
         let update = match self.upd_rx.recv() {
             Ok(u) => u,
@@ -890,7 +887,6 @@ impl MonitorLoop {
                     mesh,
                     exec: Arc::clone(&latest.exec),
                     translation: latest.translation.clone(),
-                    pins: 0,
                     cum_drift,
                 };
                 if self.spare_bufs.len() < self.depth {
@@ -935,7 +931,6 @@ impl MonitorLoop {
                     mesh: *mesh,
                     exec,
                     translation,
-                    pins: 0,
                     cum_drift,
                 });
                 self.update_relayout_pending();
@@ -982,9 +977,13 @@ impl MonitorLoop {
     }
 
     fn push_slot(&mut self, slot: Slot) {
+        // The ledger's atomic pin-check-and-evict is authoritative;
+        // `absorb_one` pre-checked `publish_blocker`, and the monitor
+        // is the ring's only writer, so a refusal here cannot happen.
+        let published = self.ledger.try_publish(slot.step);
+        debug_assert!(published.is_ok(), "publish raced a pin: {published:?}");
         if self.slots.len() == self.depth {
             let old = self.slots.pop_front().expect("ring is never empty");
-            debug_assert_eq!(old.pins, 0, "absorb_one checked the pin");
             if old.conn_gen == self.conn_gen && self.spare_meshes.len() < self.depth {
                 self.spare_meshes.push(old.mesh);
             }
@@ -1011,7 +1010,7 @@ impl MonitorLoop {
     }
 
     fn any_pins(&self) -> bool {
-        self.slots.iter().any(|s| s.pins > 0)
+        self.ledger.any_pins()
     }
 
     /// Applies a pending re-layout if (and only if) the pipeline has
@@ -1046,6 +1045,7 @@ impl MonitorLoop {
         while self.slots.len() > 1 {
             self.slots.pop_front();
         }
+        self.ledger.drop_all_but_latest();
         let perm = curve_permutation(&self.slots.back().expect("ring is never empty").mesh, curve);
         // The channel orders the relabelling before any later `Step`,
         // so both sides stay in the same id space.
@@ -1267,27 +1267,26 @@ impl MonitorLoop {
     /// and no re-layout will invalidate its id space until every pin is
     /// released. Pins nest (a counter per slot).
     pub fn pin_step(&mut self, step: u32) -> Result<(), ServiceError> {
-        let i = self.slot_index(step)?;
-        self.slots[i].pins += 1;
+        // `slot_index` produces the retention error (with the window
+        // bounds); the ledger advances in lockstep with the slot
+        // deque, so its own retention check cannot then miss.
+        self.slot_index(step)?;
+        let pinned = self.ledger.pin(step);
+        debug_assert!(pinned.is_ok(), "pin ledger diverged from slot deque");
         Ok(())
     }
 
     /// Releases one pin of `step`.
     pub fn unpin_step(&mut self, step: u32) -> Result<(), ServiceError> {
-        let i = self.slot_index(step)?;
-        if self.slots[i].pins == 0 {
-            return Err(ServiceError::StepNotPinned { step });
-        }
-        self.slots[i].pins -= 1;
-        Ok(())
+        self.slot_index(step)?;
+        self.ledger
+            .unpin(step)
+            .map_err(|_| ServiceError::StepNotPinned { step })
     }
 
     /// Outstanding pins of `step` (0 when unpinned or not retained).
     pub fn pin_count(&self, step: u32) -> u32 {
-        self.slots
-            .iter()
-            .find(|s| s.step == step)
-            .map_or(0, |s| s.pins)
+        self.ledger.pins(step)
     }
 
     /// Answers one query against the latest snapshot (sequential
@@ -1600,7 +1599,7 @@ impl MonitorLoop {
     /// [`MonitorLoop::drain_admitted`]; ring back-pressure surfaces as
     /// [`ServiceError::RetryAfter`] from here on.
     pub fn set_admission(&mut self, cfg: AdmissionConfig) {
-        let mut adm = Admission::new(cfg);
+        let adm = Admission::new(cfg);
         if let Some(t) = &self.telemetry {
             adm.attach_metrics(&t.admission);
         }
@@ -1621,7 +1620,7 @@ impl MonitorLoop {
     /// proportional to it).
     pub fn set_tenant_weight(&mut self, tenant: u32, weight: u32) -> Result<(), ServiceError> {
         self.admission
-            .as_mut()
+            .as_ref()
             .ok_or(ServiceError::AdmissionDisabled)?
             .set_weight(tenant, weight);
         Ok(())
@@ -1639,7 +1638,7 @@ impl MonitorLoop {
         deadline: Option<Duration>,
     ) -> Result<TicketId, ServiceError> {
         self.admission
-            .as_mut()
+            .as_ref()
             .ok_or(ServiceError::AdmissionDisabled)?
             .enqueue(tenant, queries, deadline, Instant::now())
     }
@@ -1650,7 +1649,11 @@ impl MonitorLoop {
     /// everything deadline shedding dropped on the way. Recycle each
     /// batch's buffers via [`MonitorLoop::recycle`].
     pub fn drain_admitted(&mut self, max_batches: usize) -> Result<DrainOutcome, ServiceError> {
-        let Some(mut adm) = self.admission.take() else {
+        // Taken out for the duration of the drain: `query_batch` needs
+        // `&mut self` while the front is borrowed. The front's methods
+        // are all `&self` (internally locked), so this is purely a
+        // borrow-checker accommodation, not a concurrency requirement.
+        let Some(adm) = self.admission.take() else {
             return Err(ServiceError::AdmissionDisabled);
         };
         let mut out = DrainOutcome::default();

@@ -263,6 +263,10 @@ impl WorkerPool {
     /// first captured payload is re-thrown here — after the barrier, so
     /// borrowed data is never still in use when the caller unwinds, and
     /// the pool remains fully usable for later submissions.
+    // One of the workspace's two unsafe opt-ins (the other is geom's
+    // prefetch): the task-lifetime erasure below is the crate's only
+    // unsafe code, scoped to this method.
+    #[allow(unsafe_code)]
     pub fn run(&self, tasks: Vec<Task<'_>>) {
         if let Some(m) = self.metrics.get() {
             if !tasks.is_empty() {

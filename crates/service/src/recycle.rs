@@ -15,8 +15,8 @@
 //! past what the current configuration ever leased.
 
 use octopus_geom::VertexId;
-use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
-use std::sync::{Mutex, PoisonError};
+use octopus_sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use octopus_sync::{Mutex, PoisonError};
 
 /// Upper bound on pooled buffers — a backstop against a caller leasing
 /// huge bursts and returning them all at once.
@@ -42,9 +42,11 @@ pub struct RecycleStats {
 ///
 /// Leasing takes `&self` so pool workers can draw buffers concurrently
 /// mid-batch; generation bumps and returns go through the executor's
-/// `&mut self` API.
+/// `&mut self` API. Public (rather than crate-private) so the
+/// `model_recycler` suite can drive the lease/return/bump protocol
+/// directly under the interleaving explorer.
 #[derive(Debug)]
-pub(crate) struct ResultRecycler {
+pub struct ResultRecycler {
     /// Current generation; starts at 1 so a `QueryResult::default()`
     /// (generation 0) can never enter the free list.
     generation: AtomicU32,
@@ -67,7 +69,14 @@ impl Default for ResultRecycler {
 impl ResultRecycler {
     /// Hands out a cleared buffer (recycled when possible) stamped with
     /// the current generation.
-    pub(crate) fn lease(&self) -> (u32, Vec<VertexId>) {
+    ///
+    /// The stamp is read *before* the pop: if a bump lands in between,
+    /// the buffer carries the old stamp and [`ResultRecycler::give_back`]
+    /// will refuse it — conservative, never unsound.
+    pub fn lease(&self) -> (u32, Vec<VertexId>) {
+        // relaxed: the stamp is only ever compared against this same
+        // cell again; generations are monotone, so a stale read can
+        // only cause a harmless rejection later.
         let generation = self.generation.load(Ordering::Relaxed);
         // The free list holds only plain buffers — a panic while the
         // lock was held cannot leave it inconsistent, so poisoning
@@ -79,10 +88,12 @@ impl ResultRecycler {
             .pop();
         let buf = match recycled {
             Some(buf) => {
+                // relaxed: monotone stats cell, read only by `stats`.
                 self.reused.fetch_add(1, Ordering::Relaxed);
                 buf
             }
             None => {
+                // relaxed: monotone stats cell, read only by `stats`.
                 self.allocated.fetch_add(1, Ordering::Relaxed);
                 Vec::new()
             }
@@ -93,11 +104,28 @@ impl ResultRecycler {
     /// Returns a leased buffer. Accepted (cleared, capacity kept) only
     /// when `generation` matches the current one and the free list has
     /// room; stale or overflow buffers are dropped.
-    pub(crate) fn give_back(&self, generation: u32, mut buf: Vec<VertexId>) {
-        if generation != self.generation.load(Ordering::Relaxed) {
+    pub fn give_back(&self, generation: u32, mut buf: Vec<VertexId>) {
+        // Fast-path reject without the lock. Acquire pairs with the
+        // Release bump so a reject is decided on fully-published
+        // state; the authoritative check is the one under the lock.
+        if generation != self.generation.load(Ordering::Acquire) {
             return;
         }
         let mut free = self.free.lock().unwrap_or_else(PoisonError::into_inner);
+        // Regression note (PR-9 concurrency audit): the generation
+        // must be re-checked *under* the free-list lock. The old code
+        // checked only before locking, so a bump could clear the list
+        // between the check and the push and a stale-configuration
+        // buffer would be pooled — and later leased — under the new
+        // generation. crates/service/tests/model_recycler.rs seeds
+        // that exact shape and the model checker finds it.
+        //
+        // relaxed: `bump` writes the generation while holding this
+        // same lock, so the mutex acquisition already orders this
+        // load after any completed bump.
+        if generation != self.generation.load(Ordering::Relaxed) {
+            return;
+        }
         if free.len() < MAX_FREE {
             buf.clear();
             free.push(buf);
@@ -105,15 +133,20 @@ impl ResultRecycler {
     }
 
     /// Invalidates every outstanding lease and drops the free list.
-    pub(crate) fn bump(&self) {
-        self.generation.fetch_add(1, Ordering::Relaxed);
-        self.free
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .clear();
+    pub fn bump(&self) {
+        // The bump happens while holding the free-list lock, making
+        // it atomic with the clear from `give_back`'s point of view
+        // (no return can slip between the two).
+        let mut free = self.free.lock().unwrap_or_else(PoisonError::into_inner);
+        // Release: pairs with the Acquire fast-path load in
+        // `give_back` (the under-lock check is ordered by the mutex).
+        self.generation.fetch_add(1, Ordering::Release);
+        free.clear();
     }
 
-    pub(crate) fn stats(&self) -> RecycleStats {
+    /// Point-in-time counters of the free list (module docs).
+    pub fn stats(&self) -> RecycleStats {
+        // relaxed: advisory monotone stats, see `lease`.
         let reused = self.reused.load(Ordering::Relaxed);
         let allocated = self.allocated.load(Ordering::Relaxed);
         RecycleStats {
@@ -125,6 +158,7 @@ impl ResultRecycler {
                 .lock()
                 .unwrap_or_else(PoisonError::into_inner)
                 .len(),
+            // relaxed: point-in-time report; monotone cell.
             generation: self.generation.load(Ordering::Relaxed),
         }
     }

@@ -1,0 +1,235 @@
+//! The snapshot ring's pin/reclaim **ledger**: which steps are
+//! retained and how many outstanding query pins each one holds.
+//!
+//! [`crate::MonitorLoop`] owns the heavyweight side of the ring (the
+//! `Slot` snapshots — meshes, executors, translations); this module
+//! owns the bookkeeping protocol that decides when a slot may be
+//! reclaimed. Extracted so the protocol is a self-contained,
+//! `&self`-shareable component the `model_ring` suite can drive from
+//! several modeled threads: the monitor's single-writer use is the
+//! degenerate case.
+//!
+//! Protocol invariants (model-checked in
+//! `crates/service/tests/model_ring.rs`):
+//! * a pinned step is never evicted — [`RingLedger::try_publish`]
+//!   refuses (back-pressure, surfaced as `RingFull`) while the oldest
+//!   retained step has pins;
+//! * the check and the eviction are one atomic action under the
+//!   ledger lock, so a pin landing concurrently with a publish either
+//!   back-pressures the publish or targets the still-retained slot —
+//!   there is no window where both succeed on the same slot;
+//! * back-pressure is never a deadlock: the refusing publish returns
+//!   the blocking step to the caller instead of waiting.
+
+use octopus_sync::{Mutex, PoisonError};
+use std::collections::VecDeque;
+
+/// Why a [`RingLedger`] pin/unpin call was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PinError {
+    /// The step is not in the retained window (already evicted or
+    /// never published).
+    NotRetained,
+    /// `unpin` on a step with no outstanding pins.
+    NotPinned,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct PinSlot {
+    step: u32,
+    pins: u32,
+}
+
+#[derive(Debug)]
+struct LedgerState {
+    /// Max retained steps (the ring's K).
+    depth: usize,
+    /// Oldest retained step at the front — mirrors the monitor's slot
+    /// deque ordering.
+    slots: VecDeque<PinSlot>,
+}
+
+/// Pin/reclaim bookkeeping for a snapshot ring of depth K (module
+/// docs). All methods take `&self`; one mutex guards the whole state
+/// so every check-then-act decision is atomic.
+#[derive(Debug)]
+pub struct RingLedger {
+    state: Mutex<LedgerState>,
+}
+
+impl RingLedger {
+    /// A ledger of capacity `depth` retaining the single step
+    /// `initial_step` (a ring is never empty).
+    pub fn new(depth: usize, initial_step: u32) -> RingLedger {
+        let depth = depth.max(1);
+        let mut slots = VecDeque::with_capacity(depth);
+        slots.push_back(PinSlot {
+            step: initial_step,
+            pins: 0,
+        });
+        RingLedger {
+            state: Mutex::new(LedgerState { depth, slots }),
+        }
+    }
+
+    /// The ledger holds only plain counters — a panic while the lock
+    /// was held cannot leave it inconsistent, so poisoning carries no
+    /// information: recover the guard and continue.
+    fn lock(&self) -> octopus_sync::MutexGuard<'_, LedgerState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Adds one pin to `step`.
+    pub fn pin(&self, step: u32) -> Result<(), PinError> {
+        let mut st = self.lock();
+        match st.slots.iter_mut().find(|s| s.step == step) {
+            Some(slot) => {
+                slot.pins += 1;
+                Ok(())
+            }
+            None => Err(PinError::NotRetained),
+        }
+    }
+
+    /// Releases one pin of `step`.
+    pub fn unpin(&self, step: u32) -> Result<(), PinError> {
+        let mut st = self.lock();
+        match st.slots.iter_mut().find(|s| s.step == step) {
+            Some(slot) if slot.pins > 0 => {
+                slot.pins -= 1;
+                Ok(())
+            }
+            Some(_) => Err(PinError::NotPinned),
+            None => Err(PinError::NotRetained),
+        }
+    }
+
+    /// Outstanding pins of `step` (0 when unpinned or not retained).
+    pub fn pins(&self, step: u32) -> u32 {
+        self.lock()
+            .slots
+            .iter()
+            .find(|s| s.step == step)
+            .map_or(0, |s| s.pins)
+    }
+
+    /// True while any retained step holds a pin.
+    pub fn any_pins(&self) -> bool {
+        self.lock().slots.iter().any(|s| s.pins > 0)
+    }
+
+    /// The step that would block a publish right now: the oldest
+    /// retained step, when the ring is at capacity and that step is
+    /// pinned. Advisory — only [`RingLedger::try_publish`] decides.
+    pub fn publish_blocker(&self) -> Option<u32> {
+        let st = self.lock();
+        if st.slots.len() < st.depth {
+            return None;
+        }
+        st.slots
+            .front()
+            .filter(|oldest| oldest.pins > 0)
+            .map(|oldest| oldest.step)
+    }
+
+    /// Publishes `step` as the newest retained step. At capacity the
+    /// oldest step is evicted and returned (`Ok(Some(evicted))`) —
+    /// unless it is pinned, in which case nothing changes and the
+    /// blocking step comes back as `Err` (the caller surfaces it as
+    /// `RingFull` back-pressure and retries later; it must not wait
+    /// here, which is what keeps back-pressure deadlock-free).
+    ///
+    /// The pin check and the eviction happen under one lock
+    /// acquisition: a concurrent pin cannot land on the oldest slot
+    /// between the check and the pop.
+    pub fn try_publish(&self, step: u32) -> Result<Option<u32>, u32> {
+        let mut st = self.lock();
+        let evicted = if st.slots.len() == st.depth {
+            // Single lock-scope check-then-act: this is the protocol
+            // heart the model suite exercises (its seeded double
+            // splits the check and the pop into two lock scopes).
+            match st.slots.front() {
+                Some(oldest) if oldest.pins > 0 => return Err(oldest.step),
+                _ => st.slots.pop_front().map(|s| s.step),
+            }
+        } else {
+            None
+        };
+        st.slots.push_back(PinSlot { step, pins: 0 });
+        Ok(evicted)
+    }
+
+    /// Drops every retained step except the newest (the re-layout
+    /// path: history in the old id space is released). The caller
+    /// must have checked [`RingLedger::any_pins`] first; pinned older
+    /// steps here would be a protocol violation, so debug builds
+    /// assert it.
+    pub fn drop_all_but_latest(&self) {
+        let mut st = self.lock();
+        while st.slots.len() > 1 {
+            let old = st.slots.pop_front();
+            debug_assert!(
+                old.is_none_or(|s| s.pins == 0),
+                "relayout dropped a pinned step"
+            );
+        }
+    }
+
+    /// Number of retained steps.
+    pub fn retained(&self) -> usize {
+        self.lock().slots.len()
+    }
+
+    /// The oldest retained step.
+    pub fn oldest_step(&self) -> u32 {
+        self.lock().slots.front().map_or(0, |s| s.step)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_evicts_oldest_when_unpinned() {
+        let l = RingLedger::new(2, 0);
+        assert_eq!(l.try_publish(1), Ok(None));
+        assert_eq!(l.try_publish(2), Ok(Some(0)));
+        assert_eq!(l.retained(), 2);
+        assert_eq!(l.oldest_step(), 1);
+    }
+
+    #[test]
+    fn pinned_oldest_blocks_publish_until_unpin() {
+        let l = RingLedger::new(2, 0);
+        assert_eq!(l.try_publish(1), Ok(None));
+        l.pin(0).unwrap();
+        assert_eq!(l.publish_blocker(), Some(0));
+        assert_eq!(l.try_publish(2), Err(0));
+        l.unpin(0).unwrap();
+        assert_eq!(l.publish_blocker(), None);
+        assert_eq!(l.try_publish(2), Ok(Some(0)));
+    }
+
+    #[test]
+    fn pin_errors() {
+        let l = RingLedger::new(2, 0);
+        assert_eq!(l.pin(7), Err(PinError::NotRetained));
+        assert_eq!(l.unpin(0), Err(PinError::NotPinned));
+        l.pin(0).unwrap();
+        l.pin(0).unwrap();
+        assert_eq!(l.pins(0), 2);
+        l.unpin(0).unwrap();
+        assert!(l.any_pins());
+    }
+
+    #[test]
+    fn drop_all_but_latest_keeps_newest() {
+        let l = RingLedger::new(3, 0);
+        l.try_publish(1).unwrap();
+        l.try_publish(2).unwrap();
+        l.drop_all_but_latest();
+        assert_eq!(l.retained(), 1);
+        assert_eq!(l.oldest_step(), 2);
+    }
+}

@@ -1,0 +1,129 @@
+//! Model-check suite for the admission front's enqueue/drain protocol.
+//!
+//! Compiled only under `RUSTFLAGS="--cfg octopus_model"` (the CI
+//! `model-check` job). Checked invariant: **no ticket is ever lost or
+//! double-drained** — every ticket issued by a (possibly concurrent)
+//! enqueue is handed out by the fair dequeue exactly once, and
+//! concurrent enqueues never share a ticket id. The seeded
+//! `BrokenAdmission` double splits ticket allocation from the queue
+//! push (the shape the single-lock-scope `enqueue` exists to prevent)
+//! and must fail the suite.
+#![cfg(octopus_model)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+use octopus_geom::{Aabb, Point3};
+use octopus_service::{Admission, AdmissionConfig};
+use octopus_sync::atomic::{AtomicU64, Ordering};
+use octopus_sync::{model, thread, Arc, Mutex, PoisonError};
+
+fn one_box() -> Vec<Aabb> {
+    vec![Aabb::new(
+        Point3::new(0.0, 0.0, 0.0),
+        Point3::new(1.0, 1.0, 1.0),
+    )]
+}
+
+#[test]
+fn concurrent_enqueues_issue_distinct_tickets_and_lose_none() {
+    model(|| {
+        let adm = Arc::new(Admission::new(AdmissionConfig::default()));
+        let a2 = Arc::clone(&adm);
+        let t = thread::spawn(move || a2.enqueue(0, one_box(), None, Instant::now()).unwrap());
+        let t_main = adm.enqueue(1, one_box(), None, Instant::now()).unwrap();
+        let t_spawned = t.join().unwrap();
+        assert_ne!(t_spawned, t_main, "duplicate ticket issued");
+        let now = Instant::now();
+        let mut drained = vec![
+            adm.next_admitted(now).expect("a ticket was lost").ticket,
+            adm.next_admitted(now).expect("a ticket was lost").ticket,
+        ];
+        assert!(adm.next_admitted(now).is_none(), "phantom batch admitted");
+        drained.sort();
+        let mut issued = vec![t_spawned, t_main];
+        issued.sort();
+        assert_eq!(drained, issued, "drained tickets differ from issued");
+        let s = adm.stats();
+        assert_eq!((s.enqueued, s.admitted, s.queue_depth), (2, 2, 0));
+    });
+}
+
+#[test]
+fn concurrent_drain_and_enqueue_hand_out_each_ticket_once() {
+    model(|| {
+        let adm = Arc::new(Admission::new(AdmissionConfig::default()));
+        let t0 = adm.enqueue(0, one_box(), None, Instant::now()).unwrap();
+        let a2 = Arc::clone(&adm);
+        // A drainer races the second enqueue: depending on the
+        // interleaving it pops the first ticket, the second, or none.
+        let drainer = thread::spawn(move || a2.next_admitted(Instant::now()).map(|a| a.ticket));
+        let t1 = adm.enqueue(0, one_box(), None, Instant::now()).unwrap();
+        let mut drained: Vec<_> = drainer.join().unwrap().into_iter().collect();
+        while let Some(a) = adm.next_admitted(Instant::now()) {
+            drained.push(a.ticket);
+        }
+        drained.sort();
+        let dupes_before = drained.len();
+        drained.dedup();
+        assert_eq!(drained.len(), dupes_before, "a ticket was double-drained");
+        let mut issued = vec![t0, t1];
+        issued.sort();
+        assert_eq!(drained, issued, "a ticket was lost");
+    });
+}
+
+/// Seeded-bug double: ticket allocation lives outside the queue lock —
+/// a load/store pair instead of an atomic RMW, and the push in a
+/// separate critical section.
+struct BrokenAdmission {
+    next_ticket: AtomicU64,
+    queue: Mutex<Vec<u64>>,
+}
+
+impl BrokenAdmission {
+    fn new() -> Self {
+        BrokenAdmission {
+            next_ticket: AtomicU64::new(0),
+            queue: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn enqueue(&self) -> u64 {
+        // BUG (seeded): allocation is not atomic with the push — two
+        // racing enqueues can read the same counter value and issue
+        // the same ticket id.
+        let id = self.next_ticket.load(Ordering::SeqCst);
+        self.next_ticket.store(id + 1, Ordering::SeqCst);
+        self.queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(id);
+        id
+    }
+}
+
+#[test]
+fn broken_admission_double_fails_the_check() {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        model(|| {
+            let adm = Arc::new(BrokenAdmission::new());
+            let a2 = Arc::clone(&adm);
+            let t = thread::spawn(move || a2.enqueue());
+            let id_main = adm.enqueue();
+            let id_spawned = t.join().unwrap();
+            assert_ne!(id_spawned, id_main, "duplicate ticket issued");
+        });
+    }));
+    let msg = match result {
+        Ok(()) => panic!("model checker missed the seeded split ticket allocation"),
+        Err(payload) => payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default(),
+    };
+    assert!(
+        msg.contains("duplicate ticket issued"),
+        "unexpected failure report: {msg}"
+    );
+}

@@ -1,0 +1,119 @@
+//! Model-check suite for the recycler's generation-checked free list.
+//!
+//! Compiled only under `RUSTFLAGS="--cfg octopus_model"` (the CI
+//! `model-check` job). Checked invariant: a buffer stamped with an
+//! old generation is **never** pooled once a bump has advanced the
+//! generation — i.e. no stale-configuration buffer can be leased
+//! again (the ABA shape the under-lock re-check exists for). The
+//! seeded `BrokenRecycler` double reproduces the pre-audit protocol
+//! (check outside the lock, bump outside the lock) and must fail.
+#![cfg(octopus_model)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use octopus_service::ResultRecycler;
+use octopus_sync::atomic::{AtomicU32, Ordering};
+use octopus_sync::{model, thread, Arc, Mutex, PoisonError};
+
+#[test]
+fn stale_buffer_never_pooled_across_bump() {
+    model(|| {
+        let r = Arc::new(ResultRecycler::default());
+        let (g, buf) = r.lease();
+        let r2 = Arc::clone(&r);
+        let t = thread::spawn(move || r2.bump());
+        r.give_back(g, buf);
+        t.join().unwrap();
+        let s = r.stats();
+        assert!(
+            s.free == 0,
+            "buffer stamped generation {g} pooled after bump to {}",
+            s.generation
+        );
+    });
+}
+
+#[test]
+fn concurrent_returns_without_bump_all_pool() {
+    model(|| {
+        let r = Arc::new(ResultRecycler::default());
+        let (g1, b1) = r.lease();
+        let (g2, b2) = r.lease();
+        let r2 = Arc::clone(&r);
+        let t = thread::spawn(move || r2.give_back(g2, b2));
+        r.give_back(g1, b1);
+        t.join().unwrap();
+        let s = r.stats();
+        assert_eq!(s.free, 2, "return lost without any bump");
+        assert_eq!((s.leased, s.allocated), (2, 2));
+    });
+}
+
+/// Seeded-bug double: the pre-audit recycler shape — generation
+/// checked only *before* taking the free-list lock, and bumped
+/// *outside* it.
+struct BrokenRecycler {
+    generation: AtomicU32,
+    free: Mutex<Vec<Vec<u32>>>,
+}
+
+impl BrokenRecycler {
+    fn new() -> Self {
+        BrokenRecycler {
+            generation: AtomicU32::new(1),
+            free: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn give_back(&self, generation: u32, buf: Vec<u32>) {
+        // BUG (seeded): check-then-act — no re-check under the lock.
+        if generation != self.generation.load(Ordering::SeqCst) {
+            return;
+        }
+        self.free
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(buf);
+    }
+
+    fn bump(&self) {
+        // BUG (seeded): the bump is not atomic with the clear.
+        self.generation.fetch_add(1, Ordering::SeqCst);
+        self.free
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
+    }
+
+    fn free_len(&self) -> usize {
+        self.free
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+}
+
+#[test]
+fn broken_recycler_double_fails_the_check() {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        model(|| {
+            let r = Arc::new(BrokenRecycler::new());
+            let r2 = Arc::clone(&r);
+            let t = thread::spawn(move || r2.bump());
+            r.give_back(1, Vec::new());
+            t.join().unwrap();
+            assert_eq!(r.free_len(), 0, "stale buffer pooled across bump");
+        });
+    }));
+    let msg = match result {
+        Ok(()) => panic!("model checker missed the seeded check-then-act race"),
+        Err(payload) => payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default(),
+    };
+    assert!(
+        msg.contains("stale buffer pooled"),
+        "unexpected failure report: {msg}"
+    );
+}

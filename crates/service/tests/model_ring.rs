@@ -1,0 +1,160 @@
+//! Model-check suite for the snapshot ring's pin/reclaim ledger.
+//!
+//! Compiled only under `RUSTFLAGS="--cfg octopus_model"` (the CI
+//! `model-check` job). Checked invariants:
+//! * a pinned step is never evicted: `try_publish` back-pressures
+//!   (returns the blocking step) instead, in **every** interleaving
+//!   of a pinner against a publisher;
+//! * back-pressure never deadlocks: a refused publish returns
+//!   immediately, and once the pin is released the next publish
+//!   succeeds;
+//! * the seeded `BrokenLedger` double (pin check and eviction split
+//!   into two lock scopes — the shape the real ledger's single
+//!   lock-scope `try_publish` exists to prevent) **fails** the suite.
+#![cfg(octopus_model)]
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use octopus_service::{PinError, RingLedger};
+use octopus_sync::{model, thread, Arc, Mutex, PoisonError};
+
+#[test]
+fn pinned_step_never_reclaimed() {
+    model(|| {
+        let l = Arc::new(RingLedger::new(2, 0));
+        l.try_publish(1).unwrap(); // ring at capacity: [0, 1]
+        let l2 = Arc::clone(&l);
+        let pinner = thread::spawn(move || match l2.pin(0) {
+            Ok(()) => {
+                // While this pin is held, step 0 must stay retained.
+                assert_eq!(l2.pins(0), 1, "pinned step was reclaimed");
+                l2.unpin(0).unwrap();
+            }
+            // The publisher got there first and evicted step 0 — a
+            // legal refusal, not a protocol violation.
+            Err(e) => assert_eq!(e, PinError::NotRetained),
+        });
+        match l.try_publish(2) {
+            // Eviction is only legal when the pin has not landed.
+            Ok(evicted) => assert_eq!(evicted, Some(0)),
+            // Back-pressure: the pinner holds step 0; no waiting.
+            Err(blocker) => assert_eq!(blocker, 0),
+        }
+        pinner.join().unwrap();
+        // Deadlock-freedom: with the pin released, a publish cannot
+        // be refused.
+        if l.oldest_step() == 0 {
+            assert_eq!(l.try_publish(2), Ok(Some(0)));
+        }
+        assert!(!l.any_pins());
+    });
+}
+
+#[test]
+fn concurrent_pins_on_distinct_steps_are_independent() {
+    model(|| {
+        let l = Arc::new(RingLedger::new(2, 0));
+        l.try_publish(1).unwrap();
+        let l2 = Arc::clone(&l);
+        let t = thread::spawn(move || {
+            l2.pin(1).unwrap();
+            assert!(l2.pins(1) >= 1);
+            l2.unpin(1).unwrap();
+        });
+        l.pin(0).unwrap();
+        assert!(l.pins(0) >= 1);
+        l.unpin(0).unwrap();
+        t.join().unwrap();
+        assert!(!l.any_pins(), "a pin/unpin pair leaked");
+    });
+}
+
+/// Seeded-bug double: the pin check and the eviction live in two
+/// separate lock scopes, leaving a window for a pin to land on the
+/// slot that is about to be popped.
+struct BrokenLedger {
+    depth: usize,
+    slots: Mutex<VecDeque<(u32, u32)>>, // (step, pins)
+}
+
+impl BrokenLedger {
+    fn new(depth: usize, initial_step: u32) -> Self {
+        let mut slots = VecDeque::new();
+        slots.push_back((initial_step, 0));
+        BrokenLedger {
+            depth,
+            slots: Mutex::new(slots),
+        }
+    }
+
+    fn lock(&self) -> octopus_sync::MutexGuard<'_, VecDeque<(u32, u32)>> {
+        self.slots.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn pin(&self, step: u32) -> Result<(), ()> {
+        match self.lock().iter_mut().find(|s| s.0 == step) {
+            Some(slot) => {
+                slot.1 += 1;
+                Ok(())
+            }
+            None => Err(()),
+        }
+    }
+
+    fn pins(&self, step: u32) -> u32 {
+        self.lock().iter().find(|s| s.0 == step).map_or(0, |s| s.1)
+    }
+
+    fn try_publish(&self, step: u32) -> Result<Option<u32>, u32> {
+        // BUG (seeded): the pin check releases the lock before the
+        // eviction re-takes it.
+        {
+            let st = self.lock();
+            if st.len() == self.depth {
+                if let Some(&(oldest, pins)) = st.front() {
+                    if pins > 0 {
+                        return Err(oldest);
+                    }
+                }
+            }
+        }
+        let mut st = self.lock();
+        let evicted = if st.len() == self.depth {
+            st.pop_front().map(|s| s.0)
+        } else {
+            None
+        };
+        st.push_back((step, 0));
+        Ok(evicted)
+    }
+}
+
+#[test]
+fn broken_ledger_double_fails_the_check() {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        model(|| {
+            let l = Arc::new(BrokenLedger::new(2, 0));
+            l.try_publish(1).unwrap();
+            let l2 = Arc::clone(&l);
+            let pinner = thread::spawn(move || {
+                if l2.pin(0).is_ok() {
+                    assert_eq!(l2.pins(0), 1, "pinned step was reclaimed");
+                }
+            });
+            let _ = l.try_publish(2);
+            pinner.join().unwrap();
+        });
+    }));
+    let msg = match result {
+        Ok(()) => panic!("model checker missed the seeded split-lock publish"),
+        Err(payload) => payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default(),
+    };
+    assert!(
+        msg.contains("pinned step was reclaimed"),
+        "unexpected failure report: {msg}"
+    );
+}

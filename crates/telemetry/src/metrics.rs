@@ -11,18 +11,21 @@
 //! below the shard count. Reading merges all shards; see the module
 //! docs in [`crate::registry`] for the exact consistency contract.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use octopus_sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use octopus_sync::Arc;
 use std::time::Duration;
 
 /// Number of per-metric shards. A power of two at least as large as
-/// the worker pools this workspace spawns in practice.
-pub const SHARDS: usize = 16;
+/// the worker pools this workspace spawns in practice. Shrunk under
+/// `cfg(octopus_model)` so the interleaving explorer's schedule tree
+/// (one switch point per shard access) stays tractable.
+pub const SHARDS: usize = if cfg!(octopus_model) { 2 } else { 16 };
 
 /// Number of log2 histogram buckets. Bucket `i > 0` counts values in
 /// `[2^(i-1), 2^i)`; bucket 0 counts the value `0`; the last bucket
-/// also absorbs everything at or above `2^(BUCKETS-1)`.
-pub const BUCKETS: usize = 64;
+/// also absorbs everything at or above `2^(BUCKETS-1)`. Shrunk under
+/// `cfg(octopus_model)` for the same reason as [`SHARDS`].
+pub const BUCKETS: usize = if cfg!(octopus_model) { 8 } else { 64 };
 
 /// The bucket index a value lands in: `0` for `0`, else
 /// `floor(log2(v)) + 1`, clamped to the last bucket.
@@ -65,6 +68,8 @@ pub(crate) fn shard_index() -> usize {
         if v != usize::MAX {
             v
         } else {
+            // relaxed: round-robin ticket for load spreading only; no
+            // other memory is published through this counter.
             let v = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) & (SHARDS - 1);
             s.set(v);
             v
@@ -88,7 +93,10 @@ pub struct Counter {
 }
 
 impl Counter {
-    pub(crate) fn new(enabled: bool) -> Self {
+    /// A fresh counter. Normally obtained from a
+    /// [`crate::Registry`]; public so the model-check suites can
+    /// construct one directly.
+    pub fn new(enabled: bool) -> Self {
         Counter {
             core: Arc::new(CounterCore {
                 shards: std::array::from_fn(|_| PadCell::new(0)),
@@ -101,6 +109,10 @@ impl Counter {
     #[inline]
     pub fn add(&self, n: u64) {
         if self.enabled {
+            // relaxed: each shard cell is an independent monotone
+            // total; per-location coherence alone makes repeated
+            // reads of any one shard non-decreasing, which is all
+            // `value` needs (see model_metrics.rs).
             self.core.shards[shard_index()]
                 .0
                 .fetch_add(n, Ordering::Relaxed);
@@ -113,11 +125,14 @@ impl Counter {
         self.add(1);
     }
 
-    /// Current total across all shards.
+    /// Current total across all shards. Monotone across calls from
+    /// one thread; may lag concurrent increments.
     pub fn value(&self) -> u64 {
         self.core
             .shards
             .iter()
+            // relaxed: see `add` — per-shard coherence keeps each
+            // term (and hence the sum of monotone terms) monotone.
             .map(|s| s.0.load(Ordering::Relaxed))
             .sum()
     }
@@ -137,6 +152,7 @@ impl StaticCounter {
     /// Add `n`.
     #[inline]
     pub fn add(&self, n: u64) {
+        // relaxed: single monotone cell, read only for reporting.
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
@@ -148,6 +164,7 @@ impl StaticCounter {
 
     /// Current value.
     pub fn value(&self) -> u64 {
+        // relaxed: see `add`.
         self.0.load(Ordering::Relaxed)
     }
 }
@@ -166,7 +183,9 @@ pub struct Gauge {
 }
 
 impl Gauge {
-    pub(crate) fn new(enabled: bool) -> Self {
+    /// A fresh gauge. Normally obtained from a [`crate::Registry`];
+    /// public so the model-check suites can construct one directly.
+    pub fn new(enabled: bool) -> Self {
         Gauge {
             core: Arc::new(AtomicU64::new(0f64.to_bits())),
             enabled,
@@ -177,6 +196,8 @@ impl Gauge {
     #[inline]
     pub fn set(&self, v: f64) {
         if self.enabled {
+            // relaxed: last-write-wins sample; readers want *a*
+            // recent value, not ordering against other memory.
             self.core.store(v.to_bits(), Ordering::Relaxed);
         }
     }
@@ -189,6 +210,7 @@ impl Gauge {
 
     /// Current value.
     pub fn value(&self) -> f64 {
+        // relaxed: see `set`.
         f64::from_bits(self.core.load(Ordering::Relaxed))
     }
 }
@@ -230,7 +252,10 @@ pub struct Histogram {
 }
 
 impl Histogram {
-    pub(crate) fn new(enabled: bool) -> Self {
+    /// A fresh histogram. Normally obtained from a
+    /// [`crate::Registry`]; public so the model-check suites can
+    /// construct one directly.
+    pub fn new(enabled: bool) -> Self {
         Histogram {
             core: Arc::new(HistCore {
                 shards: std::array::from_fn(|_| HistShard::new()),
@@ -239,16 +264,32 @@ impl Histogram {
         }
     }
 
-    /// Record one value. Five `Relaxed` atomic ops on the caller's
-    /// shard; a no-op on a disabled registry.
+    /// Record one value. Five atomic ops on the caller's shard; a
+    /// no-op on a disabled registry.
+    ///
+    /// Protocol: the bucket cell is bumped *before* `count`, and
+    /// `count` is the only `Release` op. Paired with the `Acquire`
+    /// load in [`Histogram::snapshot`], that keeps the snapshot
+    /// invariant "bucket total >= count" in every interleaving.
     #[inline]
     pub fn record(&self, v: u64) {
         if !self.enabled {
             return;
         }
         let s = &self.core.shards[shard_index()];
+        // relaxed: ordered against readers by the Release on `count`
+        // below, not by this op itself.
         s.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
-        s.count.fetch_add(1, Ordering::Relaxed);
+        // Release: publishes the bucket increment above. Regression
+        // note: this was Relaxed until the PR-9 concurrency audit —
+        // a Relaxed pair lets `snapshot` observe the new count but
+        // miss the bucket increment, breaking quantile math;
+        // crates/telemetry/tests/model_metrics.rs seeds exactly that
+        // bug and the model checker catches it.
+        s.count.fetch_add(1, Ordering::Release);
+        // relaxed: sum/min/max are advisory point-in-time stats; each
+        // cell is per-location coherent, and nothing downstream
+        // derives cross-cell invariants from them.
         s.sum.fetch_add(v, Ordering::Relaxed);
         s.min.fetch_min(v, Ordering::Relaxed);
         s.max.fetch_max(v, Ordering::Relaxed);
@@ -261,14 +302,26 @@ impl Histogram {
     }
 
     /// Merge all shards into a point-in-time [`HistogramSnapshot`].
+    ///
+    /// Guarantees `buckets` sum to at least `count` (see
+    /// [`Histogram::record`]); values recorded concurrently with the
+    /// scan may or may not be included.
     pub fn snapshot(&self) -> HistogramSnapshot {
         let mut out = HistogramSnapshot::empty();
         for s in &self.core.shards {
-            out.count += s.count.load(Ordering::Relaxed);
+            // Acquire: pairs with the Release fetch_add in `record`
+            // so every bucket increment published by an observed
+            // count is visible to the bucket loads below. Must stay
+            // the first load of the shard.
+            out.count += s.count.load(Ordering::Acquire);
+            // relaxed: advisory stats, see `record`.
             out.sum = out.sum.wrapping_add(s.sum.load(Ordering::Relaxed));
             out.min = out.min.min(s.min.load(Ordering::Relaxed));
             out.max = out.max.max(s.max.load(Ordering::Relaxed));
             for (b, cell) in out.buckets.iter_mut().zip(s.buckets.iter()) {
+                // relaxed: reads at least the increments published by
+                // the Acquire on `count` above; later ones are a
+                // harmless over-count of the in-flight tail.
                 *b += cell.load(Ordering::Relaxed);
             }
         }

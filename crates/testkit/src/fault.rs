@@ -79,6 +79,9 @@ impl FailPoint {
     /// *not* advance, and the trigger is one-shot, so retrying the same
     /// step succeeds.
     pub fn fail_sim_at(self, step: u32) -> FailPoint {
+        // relaxed: builder runs single-threaded before the plan is
+        // armed; publication to the sim/worker threads happens via the
+        // Arc hand-off in set_fault_hook.
         self.sim_fail_step
             .store(u64::from(step) + 1, Ordering::Relaxed);
         self
@@ -94,6 +97,7 @@ impl FailPoint {
     /// Refuse the restructure scheduled to fire at `step` (one-shot —
     /// the retried restructure succeeds).
     pub fn fail_restructure_at(self, step: u32) -> FailPoint {
+        // relaxed: single-threaded builder (see fail_sim_at).
         self.restructure_fail_step
             .store(u64::from(step) + 1, Ordering::Relaxed);
         self
@@ -102,9 +106,14 @@ impl FailPoint {
     /// Deny the next `times` ring publishes — a forced back-pressure
     /// window surfacing as `RingFull` / `RetryAfter` to callers.
     pub fn deny_ring_publishes(self, times: u64) -> FailPoint {
+        // relaxed: single-threaded builder (see fail_sim_at).
         self.ring_denials_left.store(times, Ordering::Relaxed);
         self
     }
+
+    // relaxed: (all six readers below) injection counters asserted
+    // after the monitor/sim threads are joined — the join is the
+    // happens-before edge; the loads need no ordering of their own.
 
     /// Worker-task panics injected so far.
     pub fn worker_panics(&self) -> u64 {
@@ -113,26 +122,31 @@ impl FailPoint {
 
     /// Sim-thread panics injected so far.
     pub fn sim_panics(&self) -> u64 {
+        // relaxed: counter read post-join (see above).
         self.sim_panics.load(Ordering::Relaxed)
     }
 
     /// Sim-step refusals (injected `Fail`s) so far.
     pub fn sim_failures(&self) -> u64 {
+        // relaxed: counter read post-join (see above).
         self.sim_failures.load(Ordering::Relaxed)
     }
 
     /// Delayed steps so far.
     pub fn sim_delays(&self) -> u64 {
+        // relaxed: counter read post-join (see above).
         self.sim_delays.load(Ordering::Relaxed)
     }
 
     /// Restructure refusals so far.
     pub fn restructure_failures(&self) -> u64 {
+        // relaxed: counter read post-join (see above).
         self.restructure_failures.load(Ordering::Relaxed)
     }
 
     /// Ring publishes denied so far.
     pub fn ring_denials(&self) -> u64 {
+        // relaxed: counter read post-join (see above).
         self.ring_denials.load(Ordering::Relaxed)
     }
 }
@@ -144,6 +158,10 @@ impl FaultHook for FailPoint {
                 // Ordinal of this evaluation under *this* plan — the
                 // FaultCell's own seq keeps counting across hooks, so
                 // a per-plan counter keeps tests independent.
+                // relaxed: (this arm and every counter bump in this
+                // match) the RMWs are atomic per se — each ordinal is
+                // claimed once, each one-shot trigger fires once — and
+                // the counters are only asserted post-join.
                 let seen = self.worker_tasks_seen.fetch_add(1, Ordering::Relaxed) + 1;
                 if self.worker_panic_task == Some(seen) {
                     self.worker_panics.fetch_add(1, Ordering::Relaxed);
@@ -153,20 +171,25 @@ impl FaultHook for FailPoint {
             }
             FaultSite::SimStep { step } => {
                 if self.sim_panic_step == Some(step) {
+                    // relaxed: post-join counter (see WorkerTask arm).
                     self.sim_panics.fetch_add(1, Ordering::Relaxed);
                     return FaultAction::Panic(format!("injected: sim panicked at step {step}"));
                 }
                 let armed = u64::from(step) + 1;
+                // relaxed: the CAS itself makes the one-shot trigger
+                // fire exactly once; no other memory depends on it.
                 if self
                     .sim_fail_step
                     .compare_exchange(armed, 0, Ordering::Relaxed, Ordering::Relaxed)
                     .is_ok()
                 {
+                    // relaxed: post-join counter (see WorkerTask arm).
                     self.sim_failures.fetch_add(1, Ordering::Relaxed);
                     return FaultAction::Fail(format!("injected: step {step} refused"));
                 }
                 if let Some((s, d)) = self.sim_delay {
                     if s == step {
+                        // relaxed: post-join counter (see WorkerTask arm).
                         self.sim_delays.fetch_add(1, Ordering::Relaxed);
                         return FaultAction::DelayMs(d.as_millis() as u64);
                     }
@@ -175,11 +198,13 @@ impl FaultHook for FailPoint {
             }
             FaultSite::Restructure { step } => {
                 let armed = u64::from(step) + 1;
+                // relaxed: one-shot CAS (see the SimStep arm).
                 if self
                     .restructure_fail_step
                     .compare_exchange(armed, 0, Ordering::Relaxed, Ordering::Relaxed)
                     .is_ok()
                 {
+                    // relaxed: post-join counter (see WorkerTask arm).
                     self.restructure_failures.fetch_add(1, Ordering::Relaxed);
                     return FaultAction::Fail(format!(
                         "injected: restructure at step {step} refused"
@@ -190,11 +215,14 @@ impl FaultHook for FailPoint {
                 self.evaluate(FaultSite::SimStep { step })
             }
             FaultSite::RingPublish { .. } => {
+                // relaxed: the atomic decrement alone bounds the deny
+                // window exactly; counter asserted post-join.
                 let denied = self
                     .ring_denials_left
                     .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
                     .is_ok();
                 if denied {
+                    // relaxed: post-join counter (see WorkerTask arm).
                     self.ring_denials.fetch_add(1, Ordering::Relaxed);
                     return FaultAction::Deny;
                 }

@@ -1,0 +1,23 @@
+//! Offline stand-in for the [`loom`](https://crates.io/crates/loom)
+//! model checker, following the repo's vendoring convention (see
+//! `vendor/README.md`): same surface shape as the upstream API for the
+//! subset octopus uses, implemented from scratch with no dependencies.
+//!
+//! The entry point is [`model`]: it runs a closure repeatedly, using a
+//! cooperative scheduler to enumerate the interleavings of any threads
+//! the closure spawns via [`thread::spawn`] when they communicate
+//! through the [`sync`] doubles ([`sync::Mutex`], [`sync::Condvar`],
+//! [`sync::Arc`], [`sync::atomic`]). See the [`rt`](crate::model)
+//! module docs for the exploration strategy (DFS over a
+//! bounded-preemption schedule tree) and its limits (sequential
+//! consistency only — no weak-memory modeling).
+//!
+//! Outside an active `model` execution every type falls back to its
+//! `std` counterpart, so code written against these doubles behaves
+//! normally in ordinary builds and tests.
+
+mod rt;
+pub mod sync;
+pub mod thread;
+
+pub use rt::{model, ENV_BUDGET, ENV_PREEMPTIONS};

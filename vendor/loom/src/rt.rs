@@ -1,0 +1,586 @@
+//! The model-checking runtime: a deterministic, depth-first explorer
+//! over thread interleavings.
+//!
+//! # How it works
+//!
+//! [`model`] runs the test closure many times. In each run
+//! (*execution*) the modeled threads are real OS threads, but exactly
+//! one of them holds the **run token** at any moment — every modeled
+//! synchronisation operation (an atomic access, a lock acquire/release,
+//! a condvar wait/notify, a spawn/join) is a *switch point* where the
+//! running thread consults the scheduler about who runs next. With all
+//! concurrency funnelled through switch points, an execution is fully
+//! determined by the sequence of scheduling choices, so the explorer
+//! can enumerate interleavings as paths of a **schedule tree**:
+//!
+//! * at every switch point the scheduler collects the *ready* threads
+//!   (runnable, or blocked on something that just became available);
+//! * when more than one is ready, that is a *decision*; the explorer
+//!   replays a recorded choice prefix and takes the first branch for
+//!   the suffix;
+//! * after the execution finishes, the deepest decision with an
+//!   untried branch is advanced (classic DFS backtracking) and the
+//!   closure runs again, until the tree is exhausted or the execution
+//!   budget is spent.
+//!
+//! Choosing a thread other than the still-runnable current one is a
+//! **preemption**; paths are limited to
+//! [`preemption bound`](ENV_PREEMPTIONS) preemptions (bounded-preemption
+//! search, which finds the vast majority of interleaving bugs at a
+//! fraction of the cost of the full tree).
+//!
+//! # What it models — and what it does not
+//!
+//! Atomics are explored at **sequential-consistency** strength: every
+//! access is a switch point, but `Ordering` arguments are ignored.
+//! The explorer therefore finds *interleaving* bugs (lost updates,
+//! check-then-act races, deadlocks, lost wakeups, ABA protocols) but
+//! **not weak-memory bugs** that require `Relaxed`/`Acquire`/`Release`
+//! distinctions to surface. Condvar wakeups are not spuriously
+//! injected, and `notify_one` deterministically wakes the lowest
+//! thread id.
+//!
+//! A failure (assertion panic in any modeled thread, deadlock, or
+//! livelock) aborts the run and re-panics from [`model`] with the
+//! schedule path and the tail of the operation log, so the failing
+//! interleaving can be read off the report.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard as StdGuard, PoisonError};
+
+/// Environment variable bounding the number of executions explored per
+/// [`model`] call (default [`DEFAULT_BUDGET`]). When the budget is
+/// exhausted before the tree is, a warning is printed and the explored
+/// prefix is treated as the result — CI uses this to keep the
+/// model-check job inside a predictable time box.
+pub const ENV_BUDGET: &str = "OCTOPUS_MODEL_BUDGET";
+
+/// Environment variable bounding preemptions per execution path
+/// (default [`DEFAULT_PREEMPTIONS`]).
+pub const ENV_PREEMPTIONS: &str = "OCTOPUS_MODEL_PREEMPTIONS";
+
+const DEFAULT_BUDGET: usize = 20_000;
+const DEFAULT_PREEMPTIONS: usize = 2;
+
+/// Livelock valve: an execution exceeding this many switch points is
+/// reported as a failure (a retry loop that never makes progress).
+const MAX_OPS_PER_EXECUTION: usize = 50_000;
+
+/// Operation-log entries retained for failure reports.
+const OP_LOG_CAP: usize = 64;
+
+/// Sentinel panic payload used to unwind modeled threads when the
+/// execution aborts (a failure was recorded elsewhere); swallowed by
+/// the per-thread `catch_unwind`.
+struct AbortToken;
+
+/// Scheduling state of one modeled thread.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Run {
+    /// Can run whenever scheduled.
+    Runnable,
+    /// Waiting to acquire the lock with this id.
+    BlockedLock(usize),
+    /// Parked in `Condvar::wait`; flipped to [`Run::Reacquire`] by a
+    /// notification.
+    BlockedCv {
+        cv: usize,
+        mutex: usize,
+    },
+    /// Notified; waiting to re-acquire the wait mutex.
+    Reacquire(usize),
+    /// Waiting for the target thread to finish.
+    BlockedJoin(usize),
+    /// The main thread after its closure returned: ready once every
+    /// spawned thread has finished.
+    AwaitAll,
+    Finished,
+}
+
+/// One recorded scheduling decision (a switch point with > 1 ready
+/// thread): how many options there were and which index was taken.
+struct Decision {
+    options: usize,
+    chosen: usize,
+}
+
+struct RtState {
+    run: Vec<Run>,
+    /// The thread currently holding the run token.
+    active: usize,
+    /// Lock id (address) → owning thread.
+    locks: HashMap<usize, usize>,
+    /// Choice indices replayed from the previous execution's backtrack.
+    prefix: Vec<usize>,
+    decisions: Vec<Decision>,
+    preemptions: usize,
+    preemption_bound: usize,
+    ops: VecDeque<String>,
+    ops_total: usize,
+    failure: Option<String>,
+    aborting: bool,
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl RtState {
+    fn is_ready(&self, tid: usize) -> bool {
+        match self.run[tid] {
+            Run::Runnable => true,
+            Run::BlockedLock(m) | Run::Reacquire(m) => !self.locks.contains_key(&m),
+            Run::BlockedCv { .. } => false,
+            Run::BlockedJoin(t) => self.run[t] == Run::Finished,
+            Run::AwaitAll => self.all_spawned_finished(),
+            Run::Finished => false,
+        }
+    }
+
+    fn all_spawned_finished(&self) -> bool {
+        self.run
+            .iter()
+            .enumerate()
+            .all(|(t, r)| t == 0 || *r == Run::Finished)
+    }
+
+    /// Picks the next thread to hold the run token, recording a
+    /// decision when there is a genuine choice. `Err` is a deadlock:
+    /// nobody can run but not everybody has finished.
+    fn choose_next(&mut self) -> Result<usize, String> {
+        let mut options: Vec<usize> = (0..self.run.len()).filter(|&t| self.is_ready(t)).collect();
+        if options.is_empty() {
+            return Err(self.report("deadlock: no thread can make progress"));
+        }
+        // Bounded-preemption search: once the budget is spent, a
+        // still-ready current thread keeps running.
+        if self.preemptions >= self.preemption_bound && options.contains(&self.active) {
+            options = vec![self.active];
+        }
+        let chosen = if options.len() > 1 {
+            let di = self.decisions.len();
+            let idx = if di < self.prefix.len() {
+                self.prefix[di].min(options.len() - 1)
+            } else {
+                0
+            };
+            self.decisions.push(Decision {
+                options: options.len(),
+                chosen: idx,
+            });
+            idx
+        } else {
+            0
+        };
+        let next = options[chosen];
+        if next != self.active && options.contains(&self.active) {
+            self.preemptions += 1;
+        }
+        Ok(next)
+    }
+
+    /// State fix-ups for a thread that was just granted the token.
+    fn on_scheduled(&mut self, tid: usize) {
+        match self.run[tid] {
+            Run::BlockedLock(m) | Run::Reacquire(m) => {
+                let prev = self.locks.insert(m, tid);
+                debug_assert!(prev.is_none(), "lock granted while held");
+                self.run[tid] = Run::Runnable;
+            }
+            Run::BlockedJoin(_) | Run::AwaitAll => self.run[tid] = Run::Runnable,
+            _ => {}
+        }
+    }
+
+    fn note_op(&mut self, tid: usize, desc: &str) {
+        self.ops_total += 1;
+        if self.ops.len() == OP_LOG_CAP {
+            self.ops.pop_front();
+        }
+        self.ops.push_back(format!("t{tid} {desc}"));
+    }
+
+    fn fail(&mut self, report: String) {
+        if self.failure.is_none() {
+            self.failure = Some(report);
+        }
+        self.aborting = true;
+    }
+
+    fn report(&self, headline: &str) -> String {
+        let states: Vec<String> = self
+            .run
+            .iter()
+            .enumerate()
+            .map(|(t, r)| format!("t{t}={r:?}"))
+            .collect();
+        let ops: Vec<&str> = self.ops.iter().map(String::as_str).collect();
+        format!(
+            "{headline}\n  threads: [{}]\n  schedule: {} decisions, {} preemptions, {} ops\n  last ops:\n    {}",
+            states.join(", "),
+            self.decisions.len(),
+            self.preemptions,
+            self.ops_total,
+            ops.join("\n    "),
+        )
+    }
+}
+
+pub(crate) struct Rt {
+    state: Mutex<RtState>,
+    cv: Condvar,
+}
+
+/// Per-OS-thread handle into the active execution: which runtime this
+/// thread belongs to and its modeled thread id. `None` outside
+/// [`model`] — the sync types then fall back to plain `std` behaviour.
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub(crate) rt: Arc<Rt>,
+    pub(crate) tid: usize,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+pub(crate) fn ctx() -> Option<Ctx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_ctx(ctx: Option<Ctx>) {
+    CTX.with(|c| *c.borrow_mut() = ctx);
+}
+
+/// Unwinds the calling modeled thread out of an aborted execution.
+fn abort_unwind() -> ! {
+    panic::panic_any(AbortToken)
+}
+
+impl Rt {
+    fn new(prefix: Vec<usize>, preemption_bound: usize) -> Rt {
+        Rt {
+            state: Mutex::new(RtState {
+                run: vec![Run::Runnable],
+                active: 0,
+                locks: HashMap::new(),
+                prefix,
+                decisions: Vec::new(),
+                preemptions: 0,
+                preemption_bound,
+                ops: VecDeque::new(),
+                ops_total: 0,
+                failure: None,
+                aborting: false,
+                os_handles: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock_state(&self) -> StdGuard<'_, RtState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// A plain switch point: lets the scheduler move the token.
+    pub(crate) fn switch_point(self: &Arc<Self>, tid: usize, desc: &str) {
+        self.switch_inner(tid, desc, None);
+    }
+
+    /// A blocking switch point: sets this thread's run state to `to`
+    /// and yields until the scheduler makes it ready and picks it
+    /// again (performing [`RtState::on_scheduled`] transitions).
+    pub(crate) fn block(self: &Arc<Self>, tid: usize, to: Run, desc: &str) {
+        self.switch_inner(tid, desc, Some(to));
+    }
+
+    fn switch_inner(self: &Arc<Self>, tid: usize, desc: &str, to: Option<Run>) {
+        // A drop during an unwind (including the AbortToken unwind)
+        // must not re-enter the scheduler: the execution is already
+        // being torn down.
+        if std::thread::panicking() {
+            return;
+        }
+        let mut st = self.lock_state();
+        if st.aborting {
+            drop(st);
+            abort_unwind();
+        }
+        st.note_op(tid, desc);
+        if st.ops_total > MAX_OPS_PER_EXECUTION {
+            let r = st.report("livelock: execution exceeded the per-run operation budget");
+            st.fail(r);
+            self.cv.notify_all();
+            drop(st);
+            abort_unwind();
+        }
+        if let Some(to) = to {
+            st.run[tid] = to;
+        }
+        match st.choose_next() {
+            Ok(next) => st.active = next,
+            Err(report) => {
+                st.fail(report);
+                self.cv.notify_all();
+                drop(st);
+                abort_unwind();
+            }
+        }
+        self.cv.notify_all();
+        while st.active != tid && !st.aborting {
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        if st.aborting {
+            drop(st);
+            abort_unwind();
+        }
+        st.on_scheduled(tid);
+    }
+
+    /// `Mutex::lock`: blocks until the lock with id `addr` is free and
+    /// this thread is scheduled, then takes ownership.
+    pub(crate) fn acquire_lock(self: &Arc<Self>, tid: usize, addr: usize) {
+        self.block(tid, Run::BlockedLock(addr), "Mutex::lock");
+    }
+
+    /// `Mutex::try_lock`: a switch point, then a non-blocking attempt
+    /// to take ownership of `addr`.
+    pub(crate) fn try_acquire_lock(self: &Arc<Self>, tid: usize, addr: usize) -> bool {
+        self.switch_point(tid, "Mutex::try_lock");
+        let mut st = self.lock_state();
+        if let std::collections::hash_map::Entry::Vacant(e) = st.locks.entry(addr) {
+            e.insert(tid);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Releases `addr` and offers the token to any waiter.
+    pub(crate) fn release_lock(self: &Arc<Self>, tid: usize, addr: usize) {
+        {
+            let mut st = self.lock_state();
+            let owner = st.locks.remove(&addr);
+            debug_assert!(owner.is_none() || owner == Some(tid), "unlock by non-owner");
+            if std::thread::panicking() || st.aborting {
+                // Teardown path: make the lock available (so blocked
+                // threads can abort out of their wait) without
+                // re-entering the scheduler.
+                self.cv.notify_all();
+                return;
+            }
+        }
+        self.switch_point(tid, "Mutex::unlock");
+    }
+
+    /// `Condvar::wait`: atomically releases `mutex`, parks on `cv`,
+    /// and on wake-up re-acquires `mutex` before returning.
+    pub(crate) fn cv_wait(self: &Arc<Self>, tid: usize, cv: usize, mutex: usize) {
+        {
+            let mut st = self.lock_state();
+            st.locks.remove(&mutex);
+        }
+        self.block(tid, Run::BlockedCv { cv, mutex }, "Condvar::wait");
+    }
+
+    /// Flips waiters of `cv` to the re-acquire state. `all` = false
+    /// deterministically wakes the lowest waiting thread id.
+    pub(crate) fn cv_notify(self: &Arc<Self>, tid: usize, cv: usize, all: bool) {
+        {
+            let mut st = self.lock_state();
+            let mut woken = false;
+            for t in 0..st.run.len() {
+                if let Run::BlockedCv { cv: c, mutex } = st.run[t] {
+                    if c == cv && (all || !woken) {
+                        st.run[t] = Run::Reacquire(mutex);
+                        woken = true;
+                    }
+                }
+            }
+        }
+        self.switch_point(
+            tid,
+            if all {
+                "Condvar::notify_all"
+            } else {
+                "Condvar::notify_one"
+            },
+        );
+    }
+
+    /// Registers a new modeled thread; returns its id.
+    pub(crate) fn register_thread(self: &Arc<Self>) -> usize {
+        let mut st = self.lock_state();
+        st.run.push(Run::Runnable);
+        st.run.len() - 1
+    }
+
+    pub(crate) fn push_os_handle(self: &Arc<Self>, h: std::thread::JoinHandle<()>) {
+        self.lock_state().os_handles.push(h);
+    }
+
+    /// First act of a spawned OS thread: park until scheduled.
+    pub(crate) fn wait_first_schedule(self: &Arc<Self>, tid: usize) {
+        let mut st = self.lock_state();
+        while st.active != tid && !st.aborting {
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        if st.aborting {
+            drop(st);
+            abort_unwind();
+        }
+        st.on_scheduled(tid);
+    }
+
+    /// A modeled thread's body has ended (normally or by abort):
+    /// marks it finished and passes the token on.
+    pub(crate) fn finish_thread(self: &Arc<Self>, tid: usize) {
+        let mut st = self.lock_state();
+        // Drop any lock the thread still holds (possible only when the
+        // execution is aborting mid-critical-section).
+        let held: Vec<usize> = st
+            .locks
+            .iter()
+            .filter_map(|(a, o)| (*o == tid).then_some(*a))
+            .collect();
+        for a in held {
+            st.locks.remove(&a);
+        }
+        st.run[tid] = Run::Finished;
+        if !st.aborting {
+            match st.choose_next() {
+                Ok(next) => st.active = next,
+                Err(report) => st.fail(report),
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// `JoinHandle::join`: blocks until `target` finishes.
+    pub(crate) fn join_thread(self: &Arc<Self>, tid: usize, target: usize) {
+        self.block(tid, Run::BlockedJoin(target), "thread::join");
+    }
+
+    /// Records a genuine failure (assertion panic in a modeled thread)
+    /// and aborts the execution.
+    pub(crate) fn record_panic(self: &Arc<Self>, tid: usize, payload: &(dyn std::any::Any + Send)) {
+        let msg = payload_message(payload);
+        let mut st = self.lock_state();
+        let r = st.report(&format!("thread t{tid} panicked: {msg}"));
+        st.fail(r);
+        self.cv.notify_all();
+    }
+
+    /// Main-thread epilogue of one execution: drive/await the spawned
+    /// threads to completion, then join their OS threads.
+    fn main_epilogue(self: &Arc<Self>) {
+        let mut st = self.lock_state();
+        if !st.all_spawned_finished() && !st.aborting {
+            st.run[0] = Run::AwaitAll;
+            match st.choose_next() {
+                Ok(next) => st.active = next,
+                Err(report) => st.fail(report),
+            }
+            self.cv.notify_all();
+        }
+        while !st.all_spawned_finished() {
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        st.run[0] = Run::Runnable;
+        st.active = 0;
+        let handles = std::mem::take(&mut st.os_handles);
+        drop(st);
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    /// The choice prefix of the next unexplored path, or `None` when
+    /// the (preemption-bounded) tree is exhausted.
+    fn next_prefix(self: &Arc<Self>) -> Option<Vec<usize>> {
+        let st = self.lock_state();
+        let mut depth = st.decisions.len();
+        while depth > 0 {
+            depth -= 1;
+            let d = &st.decisions[depth];
+            if d.chosen + 1 < d.options {
+                let mut p: Vec<usize> = st.decisions[..depth].iter().map(|d| d.chosen).collect();
+                p.push(d.chosen + 1);
+                return Some(p);
+            }
+        }
+        None
+    }
+
+    fn take_failure(self: &Arc<Self>) -> Option<String> {
+        self.lock_state().failure.take()
+    }
+}
+
+/// Whether a caught panic payload is the internal abort sentinel (an
+/// execution being torn down) rather than a genuine failure.
+pub(crate) fn payload_is_abort(payload: &(dyn std::any::Any + Send)) -> bool {
+    payload.is::<AbortToken>()
+}
+
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Explores the interleavings of `f` (see the module docs). Panics
+/// with a schedule report on the first failing interleaving found:
+/// an assertion failure in any modeled thread, a deadlock, or a
+/// livelock. Returns normally when the bounded tree is exhausted (or
+/// the [`ENV_BUDGET`] execution budget is spent) without a failure.
+pub fn model<F: Fn()>(f: F) {
+    assert!(
+        ctx().is_none(),
+        "loom::model may not be nested inside a modeled execution"
+    );
+    let budget = env_usize(ENV_BUDGET, DEFAULT_BUDGET);
+    let preemption_bound = env_usize(ENV_PREEMPTIONS, DEFAULT_PREEMPTIONS);
+    let mut prefix = Vec::new();
+    let mut executions = 0usize;
+    loop {
+        executions += 1;
+        let rt = Arc::new(Rt::new(prefix.clone(), preemption_bound));
+        set_ctx(Some(Ctx {
+            rt: Arc::clone(&rt),
+            tid: 0,
+        }));
+        let outcome = panic::catch_unwind(AssertUnwindSafe(&f));
+        if let Err(payload) = outcome {
+            if !payload.is::<AbortToken>() {
+                rt.record_panic(0, payload.as_ref());
+            }
+        }
+        rt.main_epilogue();
+        set_ctx(None);
+        if let Some(failure) = rt.take_failure() {
+            panic!("model check failed after {executions} execution(s):\n{failure}");
+        }
+        match rt.next_prefix() {
+            Some(p) if executions < budget => prefix = p,
+            Some(_) => {
+                eprintln!(
+                    "loom(model): execution budget {budget} exhausted before the \
+                     schedule tree; explored prefix only (raise {ENV_BUDGET})"
+                );
+                return;
+            }
+            None => return,
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Atomic doubles. Every operation is a switch point inside a modeled
+//! execution and the access itself runs at `SeqCst` strength — the
+//! `Ordering` argument is accepted for API compatibility but does not
+//! weaken the exploration (see the crate docs: interleaving bugs are
+//! found, weak-memory bugs are not). Outside [`crate::model`] the
+//! ordering is passed straight through to the underlying std atomic.
+
+use crate::rt;
+
+pub use std::sync::atomic::Ordering;
+
+const SC: Ordering = Ordering::SeqCst;
+
+macro_rules! atomic_int {
+    ($name:ident, $std:ident, $int:ty) => {
+        /// Model-checked double of the std atomic of the same name.
+        #[derive(Debug, Default)]
+        pub struct $name {
+            inner: std::sync::atomic::$std,
+        }
+
+        impl $name {
+            pub const fn new(value: $int) -> $name {
+                $name {
+                    inner: std::sync::atomic::$std::new(value),
+                }
+            }
+
+            fn switch(&self, op: &str) -> bool {
+                match rt::ctx() {
+                    Some(ctx) => {
+                        ctx.rt.switch_point(ctx.tid, op);
+                        true
+                    }
+                    None => false,
+                }
+            }
+
+            pub fn load(&self, order: Ordering) -> $int {
+                if self.switch(concat!(stringify!($name), "::load")) {
+                    self.inner.load(SC)
+                } else {
+                    self.inner.load(order)
+                }
+            }
+
+            pub fn store(&self, value: $int, order: Ordering) {
+                if self.switch(concat!(stringify!($name), "::store")) {
+                    self.inner.store(value, SC)
+                } else {
+                    self.inner.store(value, order)
+                }
+            }
+
+            pub fn swap(&self, value: $int, order: Ordering) -> $int {
+                if self.switch(concat!(stringify!($name), "::swap")) {
+                    self.inner.swap(value, SC)
+                } else {
+                    self.inner.swap(value, order)
+                }
+            }
+
+            pub fn fetch_add(&self, value: $int, order: Ordering) -> $int {
+                if self.switch(concat!(stringify!($name), "::fetch_add")) {
+                    self.inner.fetch_add(value, SC)
+                } else {
+                    self.inner.fetch_add(value, order)
+                }
+            }
+
+            pub fn fetch_sub(&self, value: $int, order: Ordering) -> $int {
+                if self.switch(concat!(stringify!($name), "::fetch_sub")) {
+                    self.inner.fetch_sub(value, SC)
+                } else {
+                    self.inner.fetch_sub(value, order)
+                }
+            }
+
+            pub fn fetch_max(&self, value: $int, order: Ordering) -> $int {
+                if self.switch(concat!(stringify!($name), "::fetch_max")) {
+                    self.inner.fetch_max(value, SC)
+                } else {
+                    self.inner.fetch_max(value, order)
+                }
+            }
+
+            pub fn fetch_min(&self, value: $int, order: Ordering) -> $int {
+                if self.switch(concat!(stringify!($name), "::fetch_min")) {
+                    self.inner.fetch_min(value, SC)
+                } else {
+                    self.inner.fetch_min(value, order)
+                }
+            }
+
+            pub fn fetch_or(&self, value: $int, order: Ordering) -> $int {
+                if self.switch(concat!(stringify!($name), "::fetch_or")) {
+                    self.inner.fetch_or(value, SC)
+                } else {
+                    self.inner.fetch_or(value, order)
+                }
+            }
+
+            pub fn fetch_and(&self, value: $int, order: Ordering) -> $int {
+                if self.switch(concat!(stringify!($name), "::fetch_and")) {
+                    self.inner.fetch_and(value, SC)
+                } else {
+                    self.inner.fetch_and(value, order)
+                }
+            }
+
+            pub fn compare_exchange(
+                &self,
+                current: $int,
+                new: $int,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$int, $int> {
+                if self.switch(concat!(stringify!($name), "::compare_exchange")) {
+                    self.inner.compare_exchange(current, new, SC, SC)
+                } else {
+                    self.inner.compare_exchange(current, new, success, failure)
+                }
+            }
+
+            pub fn compare_exchange_weak(
+                &self,
+                current: $int,
+                new: $int,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$int, $int> {
+                // The model never fails spuriously: weak == strong.
+                self.compare_exchange(current, new, success, failure)
+            }
+
+            pub fn into_inner(self) -> $int {
+                self.inner.into_inner()
+            }
+
+            pub fn get_mut(&mut self) -> &mut $int {
+                self.inner.get_mut()
+            }
+        }
+    };
+}
+
+atomic_int!(AtomicU32, AtomicU32, u32);
+atomic_int!(AtomicU64, AtomicU64, u64);
+atomic_int!(AtomicUsize, AtomicUsize, usize);
+
+/// Model-checked double of `std::sync::atomic::AtomicBool`.
+#[derive(Debug, Default)]
+pub struct AtomicBool {
+    inner: std::sync::atomic::AtomicBool,
+}
+
+impl AtomicBool {
+    pub const fn new(value: bool) -> AtomicBool {
+        AtomicBool {
+            inner: std::sync::atomic::AtomicBool::new(value),
+        }
+    }
+
+    fn switch(&self) -> bool {
+        match rt::ctx() {
+            Some(ctx) => {
+                ctx.rt.switch_point(ctx.tid, "AtomicBool::op");
+                true
+            }
+            None => false,
+        }
+    }
+
+    pub fn load(&self, order: Ordering) -> bool {
+        if self.switch() {
+            self.inner.load(SC)
+        } else {
+            self.inner.load(order)
+        }
+    }
+
+    pub fn store(&self, value: bool, order: Ordering) {
+        if self.switch() {
+            self.inner.store(value, SC)
+        } else {
+            self.inner.store(value, order)
+        }
+    }
+
+    pub fn swap(&self, value: bool, order: Ordering) -> bool {
+        if self.switch() {
+            self.inner.swap(value, SC)
+        } else {
+            self.inner.swap(value, order)
+        }
+    }
+
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        if self.switch() {
+            self.inner.compare_exchange(current, new, SC, SC)
+        } else {
+            self.inner.compare_exchange(current, new, success, failure)
+        }
+    }
+
+    pub fn into_inner(self) -> bool {
+        self.inner.into_inner()
+    }
+}

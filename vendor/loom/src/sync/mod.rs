@@ -1,0 +1,287 @@
+//! Model-checked doubles of the `std::sync` primitives used by the
+//! octopus shimmed modules: [`Mutex`], [`Condvar`], [`Arc`], and the
+//! [`atomic`] types. Outside an active [`crate::model`] execution they
+//! defer to the real `std::sync` types with no scheduling overhead.
+
+pub mod atomic;
+
+use std::ops::{Deref, DerefMut};
+pub use std::sync::{LockResult, PoisonError, TryLockError};
+
+use crate::rt::{self, Ctx};
+
+// ---------------------------------------------------------------------------
+// Mutex
+
+/// Mutual-exclusion double. Lock identity is the address of the
+/// wrapper, so a `Mutex` must not move between lock operations inside
+/// a modeled execution (in practice it always lives behind an
+/// [`Arc`] / `&self`).
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+/// Guard returned by [`Mutex::lock`]; releasing it is a switch point.
+pub struct MutexGuard<'a, T: ?Sized> {
+    std_guard: Option<std::sync::MutexGuard<'a, T>>,
+    owner: &'a Mutex<T>,
+    /// `Some` while this guard holds the model-level lock.
+    model: Option<(Ctx, usize)>,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    fn addr(&self) -> usize {
+        self as *const Mutex<T> as *const () as usize
+    }
+
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        match rt::ctx() {
+            None => match self.inner.lock() {
+                Ok(g) => Ok(self.guard(Some(g), None)),
+                Err(p) => Err(PoisonError::new(self.guard(Some(p.into_inner()), None))),
+            },
+            Some(ctx) => {
+                let addr = self.addr();
+                ctx.rt.acquire_lock(ctx.tid, addr);
+                self.take_std_lock(ctx, addr)
+            }
+        }
+    }
+
+    pub fn try_lock(&self) -> Result<MutexGuard<'_, T>, TryLockError<MutexGuard<'_, T>>> {
+        match rt::ctx() {
+            None => match self.inner.try_lock() {
+                Ok(g) => Ok(self.guard(Some(g), None)),
+                Err(TryLockError::WouldBlock) => Err(TryLockError::WouldBlock),
+                Err(TryLockError::Poisoned(p)) => Err(TryLockError::Poisoned(PoisonError::new(
+                    self.guard(Some(p.into_inner()), None),
+                ))),
+            },
+            Some(ctx) => {
+                let addr = self.addr();
+                if !ctx.rt.try_acquire_lock(ctx.tid, addr) {
+                    return Err(TryLockError::WouldBlock);
+                }
+                match self.take_std_lock(ctx, addr) {
+                    Ok(g) => Ok(g),
+                    Err(p) => Err(TryLockError::Poisoned(p)),
+                }
+            }
+        }
+    }
+
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        self.inner.get_mut()
+    }
+
+    /// The model-level lock for `addr` is held by `ctx.tid`; the inner
+    /// std mutex is therefore uncontended and `try_lock` cannot block.
+    fn take_std_lock(&self, ctx: Ctx, addr: usize) -> LockResult<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Ok(self.guard(Some(g), Some((ctx, addr)))),
+            Err(TryLockError::Poisoned(p)) => Err(PoisonError::new(
+                self.guard(Some(p.into_inner()), Some((ctx, addr))),
+            )),
+            Err(TryLockError::WouldBlock) => {
+                unreachable!("model scheduler granted a lock that is still held")
+            }
+        }
+    }
+
+    fn guard<'a>(
+        &'a self,
+        std_guard: Option<std::sync::MutexGuard<'a, T>>,
+        model: Option<(Ctx, usize)>,
+    ) -> MutexGuard<'a, T> {
+        MutexGuard {
+            std_guard,
+            owner: self,
+            model,
+        }
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Mutex<T> {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.std_guard
+            .as_deref()
+            .expect("guard accessed after wait")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.std_guard
+            .as_deref_mut()
+            .expect("guard accessed after wait")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the std lock before the model lock so no thread the
+        // scheduler wakes can observe the std mutex still held.
+        drop(self.std_guard.take());
+        if let Some((ctx, addr)) = self.model.take() {
+            ctx.rt.release_lock(ctx.tid, addr);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Condvar
+
+/// Condition-variable double. No spurious wakeups are modeled, and
+/// `notify_one` deterministically wakes the lowest waiting thread id.
+#[derive(Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    pub const fn new() -> Condvar {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    fn addr(&self) -> usize {
+        self as *const Condvar as usize
+    }
+
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        match guard.model.take() {
+            None => {
+                let owner = guard.owner;
+                let std_g = guard.std_guard.take().expect("guard accessed after wait");
+                drop(guard);
+                match self.inner.wait(std_g) {
+                    Ok(g) => Ok(owner.guard(Some(g), None)),
+                    Err(p) => Err(PoisonError::new(owner.guard(Some(p.into_inner()), None))),
+                }
+            }
+            Some((ctx, addr)) => {
+                let owner = guard.owner;
+                drop(guard.std_guard.take());
+                drop(guard);
+                ctx.rt.cv_wait(ctx.tid, self.addr(), addr);
+                // cv_wait returns with the model-level lock re-held.
+                owner.take_std_lock(ctx, addr)
+            }
+        }
+    }
+
+    pub fn wait_while<'a, T, F>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        mut condition: F,
+    ) -> LockResult<MutexGuard<'a, T>>
+    where
+        F: FnMut(&mut T) -> bool,
+    {
+        while condition(&mut guard) {
+            guard = self.wait(guard)?;
+        }
+        Ok(guard)
+    }
+
+    pub fn notify_one(&self) {
+        match rt::ctx() {
+            None => self.inner.notify_one(),
+            Some(ctx) => ctx.rt.cv_notify(ctx.tid, self.addr(), false),
+        }
+    }
+
+    pub fn notify_all(&self) {
+        match rt::ctx() {
+            None => self.inner.notify_all(),
+            Some(ctx) => ctx.rt.cv_notify(ctx.tid, self.addr(), true),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Arc
+
+/// Reference-counted pointer double; `clone` and `drop` are switch
+/// points (the count updates are cross-thread operations).
+pub struct Arc<T: ?Sized> {
+    inner: std::sync::Arc<T>,
+}
+
+impl<T> Arc<T> {
+    pub fn new(value: T) -> Arc<T> {
+        Arc {
+            inner: std::sync::Arc::new(value),
+        }
+    }
+}
+
+impl<T: ?Sized> Arc<T> {
+    pub fn strong_count(this: &Arc<T>) -> usize {
+        std::sync::Arc::strong_count(&this.inner)
+    }
+
+    pub fn ptr_eq(this: &Arc<T>, other: &Arc<T>) -> bool {
+        std::sync::Arc::ptr_eq(&this.inner, &other.inner)
+    }
+}
+
+impl<T: ?Sized> Clone for Arc<T> {
+    fn clone(&self) -> Arc<T> {
+        if let Some(ctx) = rt::ctx() {
+            ctx.rt.switch_point(ctx.tid, "Arc::clone");
+        }
+        Arc {
+            inner: std::sync::Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for Arc<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for Arc<T> {
+    fn drop(&mut self) {
+        if let Some(ctx) = rt::ctx() {
+            // switch_point is a no-op while unwinding, so dropping Arc
+            // clones during an execution abort cannot double-panic.
+            ctx.rt.switch_point(ctx.tid, "Arc::drop");
+        }
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Arc<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}

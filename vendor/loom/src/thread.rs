@@ -1,0 +1,100 @@
+//! Modeled threads: [`spawn`]/[`JoinHandle`] that participate in the
+//! schedule exploration inside [`crate::model`], and fall back to
+//! `std::thread` outside it.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::rt::{self, Ctx};
+
+enum Inner<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model {
+        ctx: Ctx,
+        target: usize,
+        result: Arc<Mutex<Option<T>>>,
+    },
+}
+
+/// Handle to a spawned thread; mirrors `std::thread::JoinHandle`.
+pub struct JoinHandle<T>(Inner<T>);
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result. In a
+    /// modeled execution the join is a blocking switch point; a thread
+    /// that panicked (aborting the whole execution) never reaches the
+    /// point of returning `Err`, so unlike `std` the error branch only
+    /// carries a unit payload.
+    pub fn join(self) -> Result<T, Box<dyn std::any::Any + Send + 'static>> {
+        match self.0 {
+            Inner::Std(h) => h.join(),
+            Inner::Model {
+                ctx,
+                target,
+                result,
+            } => {
+                ctx.rt.join_thread(ctx.tid, target);
+                let slot = result.lock().unwrap_or_else(PoisonError::into_inner).take();
+                match slot {
+                    Some(v) => Ok(v),
+                    None => Err(Box::new("modeled thread produced no result")),
+                }
+            }
+        }
+    }
+}
+
+/// Spawns a thread. Inside [`crate::model`] the new thread is
+/// registered with the scheduler and parks until it is granted the run
+/// token; the call itself is a switch point (the scheduler may run the
+/// child before the parent continues).
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match rt::ctx() {
+        None => JoinHandle(Inner::Std(std::thread::spawn(f))),
+        Some(ctx) => {
+            let tid = ctx.rt.register_thread();
+            let result: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
+            let rt2 = Arc::clone(&ctx.rt);
+            let result2 = Arc::clone(&result);
+            let os = std::thread::spawn(move || {
+                rt::set_ctx(Some(Ctx {
+                    rt: Arc::clone(&rt2),
+                    tid,
+                }));
+                rt2.wait_first_schedule(tid);
+                match panic::catch_unwind(AssertUnwindSafe(f)) {
+                    Ok(v) => {
+                        *result2.lock().unwrap_or_else(PoisonError::into_inner) = Some(v);
+                    }
+                    Err(payload) => {
+                        if !rt::payload_is_abort(payload.as_ref()) {
+                            rt2.record_panic(tid, payload.as_ref());
+                        }
+                    }
+                }
+                rt2.finish_thread(tid);
+                rt::set_ctx(None);
+            });
+            ctx.rt.push_os_handle(os);
+            ctx.rt.switch_point(ctx.tid, "thread::spawn");
+            JoinHandle(Inner::Model {
+                ctx,
+                target: tid,
+                result,
+            })
+        }
+    }
+}
+
+/// A voluntary switch point inside [`crate::model`]; plain
+/// `std::thread::yield_now` outside it.
+pub fn yield_now() {
+    match rt::ctx() {
+        None => std::thread::yield_now(),
+        Some(ctx) => ctx.rt.switch_point(ctx.tid, "thread::yield_now"),
+    }
+}

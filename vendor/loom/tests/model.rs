@@ -1,0 +1,179 @@
+//! Self-tests for the model-checking runtime. These run in ordinary
+//! (non-`octopus_model`) builds — the explorer itself has no cfg gate;
+//! only the octopus shim selects it conditionally.
+
+use std::panic;
+use std::sync::atomic::Ordering;
+
+use loom::sync::atomic::AtomicUsize;
+use loom::sync::{Arc, Condvar, Mutex};
+use loom::{model, thread};
+
+/// Runs `f` through the model checker and returns its failure message,
+/// asserting that the check does fail.
+fn model_failure<F: Fn() + Send + Sync + 'static>(f: F) -> String {
+    let result = panic::catch_unwind(panic::AssertUnwindSafe(|| model(f)));
+    let payload = result.expect_err("model check unexpectedly passed");
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        String::from("<non-string payload>")
+    }
+}
+
+/// The classic lost update: two threads doing non-atomic
+/// read-modify-write on a shared counter. The explorer must find the
+/// interleaving where one increment is lost.
+#[test]
+fn finds_lost_update() {
+    let msg = model_failure(|| {
+        let c = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&c);
+        let t = thread::spawn(move || {
+            let v = c2.load(Ordering::SeqCst);
+            c2.store(v + 1, Ordering::SeqCst);
+        });
+        let v = c.load(Ordering::SeqCst);
+        c.store(v + 1, Ordering::SeqCst);
+        t.join().unwrap();
+        assert_eq!(c.load(Ordering::SeqCst), 2, "increment lost");
+    });
+    assert!(msg.contains("increment lost"), "unexpected report: {msg}");
+}
+
+/// The fixed version of the same protocol: fetch_add is atomic, so no
+/// interleaving can lose an increment.
+#[test]
+fn atomic_rmw_has_no_lost_update() {
+    model(|| {
+        let c = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&c);
+        let t = thread::spawn(move || {
+            c2.fetch_add(1, Ordering::SeqCst);
+        });
+        c.fetch_add(1, Ordering::SeqCst);
+        t.join().unwrap();
+        assert_eq!(c.load(Ordering::SeqCst), 2);
+    });
+}
+
+/// A mutex-protected read-modify-write is race-free in every
+/// interleaving.
+#[test]
+fn mutex_protects_rmw() {
+    model(|| {
+        let m = Arc::new(Mutex::new(0usize));
+        let m2 = Arc::clone(&m);
+        let t = thread::spawn(move || {
+            let mut g = m2.lock().unwrap();
+            *g += 1;
+        });
+        {
+            let mut g = m.lock().unwrap();
+            *g += 1;
+        }
+        t.join().unwrap();
+        assert_eq!(*m.lock().unwrap(), 2);
+    });
+}
+
+/// AB–BA lock ordering: the explorer must find the schedule where each
+/// thread holds one lock and blocks on the other, and report deadlock.
+#[test]
+fn finds_abba_deadlock() {
+    let msg = model_failure(|| {
+        let a = Arc::new(Mutex::new(()));
+        let b = Arc::new(Mutex::new(()));
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        let t = thread::spawn(move || {
+            let _ga = a2.lock().unwrap();
+            let _gb = b2.lock().unwrap();
+        });
+        let _gb = b.lock().unwrap();
+        let _ga = a.lock().unwrap();
+        drop((_ga, _gb));
+        t.join().unwrap();
+    });
+    assert!(msg.contains("deadlock"), "unexpected report: {msg}");
+}
+
+/// Condvar handoff: the waiter always observes the flag set by the
+/// notifier because the predicate is re-checked under the lock.
+#[test]
+fn condvar_handoff() {
+    model(|| {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let t = thread::spawn(move || {
+            let (m, cv) = (&pair2.0, &pair2.1);
+            let mut ready = m.lock().unwrap();
+            *ready = true;
+            cv.notify_one();
+            drop(ready);
+        });
+        let (m, cv) = (&pair.0, &pair.1);
+        let mut ready = m.lock().unwrap();
+        while !*ready {
+            ready = cv.wait(ready).unwrap();
+        }
+        drop(ready);
+        t.join().unwrap();
+    });
+}
+
+/// Lost wakeup: notifying before the waiter checks the (never-set)
+/// predicate leaves the waiter parked forever — reported as deadlock.
+#[test]
+fn finds_lost_wakeup() {
+    let msg = model_failure(|| {
+        let pair = Arc::new((Mutex::new(()), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let t = thread::spawn(move || {
+            // Notifies without setting any predicate; if this runs
+            // before the main thread starts waiting, the wakeup is
+            // lost and the wait below never returns.
+            pair2.1.notify_one();
+        });
+        let g = pair.0.lock().unwrap();
+        let _g = pair.1.wait(g).unwrap();
+        t.join().unwrap();
+    });
+    assert!(msg.contains("deadlock"), "unexpected report: {msg}");
+}
+
+/// Outside `model`, the doubles defer to std and behave like the real
+/// types under genuine OS-thread concurrency.
+#[test]
+fn fallback_outside_model() {
+    let c = Arc::new(AtomicUsize::new(0));
+    let m = Arc::new(Mutex::new(0usize));
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let c = Arc::clone(&c);
+            let m = Arc::clone(&m);
+            thread::spawn(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+                *m.lock().unwrap() += 1;
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(c.load(Ordering::Relaxed), 4);
+    assert_eq!(*m.lock().unwrap(), 4);
+    assert_eq!(Arc::strong_count(&c), 1);
+}
+
+/// Exhausting the tree on a deterministic closure terminates quickly
+/// and reports nothing.
+#[test]
+fn single_thread_terminates() {
+    model(|| {
+        let c = AtomicUsize::new(0);
+        c.fetch_add(1, Ordering::SeqCst);
+        assert_eq!(c.load(Ordering::SeqCst), 1);
+    });
+}

@@ -1,0 +1,7 @@
+// Lint fixture (never compiled): trips `sync-shim` — this path is one
+// of the model-checked modules, which must use `octopus_sync`.
+use std::sync::Mutex;
+
+pub struct Fixture {
+    queue: Mutex<Vec<u64>>,
+}

@@ -1,0 +1,17 @@
+// Lint fixture (never compiled): trips `service-no-unwrap` twice —
+// and shows the `#[cfg(test)]` mask keeping test code out of it.
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+pub fn named(v: Option<u32>) -> u32 {
+    v.expect("fixture value missing")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(Some(1).unwrap(), 1);
+    }
+}

@@ -1,0 +1,51 @@
+//! Workspace maintenance tasks, invoked as `cargo run -p xtask -- <task>`.
+//!
+//! Currently one task: `lint`, the concurrency-invariant pass (see
+//! [`lint`] module docs). Exit code 0 = clean, 1 = violations found,
+//! 2 = usage or I/O error.
+
+mod lint;
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => {
+            let mut root: Option<PathBuf> = None;
+            while let Some(a) = args.next() {
+                match a.as_str() {
+                    "--root" => match args.next() {
+                        Some(dir) => root = Some(PathBuf::from(dir)),
+                        None => {
+                            eprintln!("xtask lint: --root needs a directory");
+                            return ExitCode::from(2);
+                        }
+                    },
+                    other => {
+                        eprintln!("xtask lint: unknown argument `{other}`");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            lint::run_cli(&root.unwrap_or_else(workspace_root))
+        }
+        Some(other) => {
+            eprintln!("xtask: unknown task `{other}` (available: lint)");
+            ExitCode::from(2)
+        }
+        None => {
+            eprintln!("usage: cargo run -p xtask -- lint [--root DIR]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// The workspace root: xtask always sits directly under it.
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("xtask sits in the workspace root")
+        .to_path_buf()
+}
