@@ -1,13 +1,25 @@
-//! `fig13_hilbert`: crawl cost under four vertex layouts — identity
+//! `fig13_hilbert`: crawl cost under five vertex layouts — identity
 //! (generator order), scrambled (worst case, an arbitrary application
-//! order), Morton, and Hilbert (the paper's §IV-H1 choice).
+//! order), Morton, Hilbert (the paper's §IV-H1 choice), and the v2
+//! cache-oblivious adjacency bisection.
 //!
 //! Fig. 13's claim is that sorting vertices along a space-filling curve
 //! makes the crawl's pointer-chasing cache-friendly. Each layout is
 //! benchmarked with the same geometry and the same queries; alongside
-//! the timings the mean adjacent-id distance (`adjacency_locality`, the
-//! cache-locality proxy) is reported. Run directly, or with
-//! `--json <path>` to record the committed `BENCH_fig13.json` artifact:
+//! the timings two locality models are reported per layout:
+//!
+//! * `adjacency_locality` — the **legacy v1 proxy** (mean adjacent-id
+//!   distance). Kept deliberately: it is the metric under which Hilbert
+//!   looks ~2× better than identity while crawling slower — the
+//!   paradox that motivated the v2 metric.
+//! * the **v2 cache-line model** (`cache_line_stats` +
+//!   `reuse_distance_histogram`) — line-crossing ratio, mean distinct
+//!   foreign 64-byte lines per neighbourhood, and the fraction of
+//!   simulated-crawl line touches with LRU stack distance < 512 lines
+//!   (a 32 KiB L1's worth).
+//!
+//! Run directly, or with `--json <path>` to record the committed
+//! `BENCH_fig13.json` artifact:
 //!
 //! ```bash
 //! cargo bench -p octopus-bench --bench fig13_hilbert
@@ -15,7 +27,10 @@
 //! ```
 
 use octopus_bench::workload::QueryGen;
-use octopus_core::layout::{adjacency_locality, hilbert_layout, morton_layout};
+use octopus_core::layout::{
+    adjacency_locality, cache_line_stats, cache_oblivious_layout, hilbert_layout, morton_layout,
+    reuse_distance_histogram,
+};
 use octopus_core::Octopus;
 use octopus_geom::VertexId;
 use octopus_mesh::Mesh;
@@ -28,13 +43,20 @@ const BUDGET: Duration = Duration::from_millis(1500);
 /// Queries per pass — large enough that the crawl dominates.
 const QUERIES: usize = 10;
 const SELECTIVITY: f64 = 0.01;
+/// L1-sized LRU window for the reuse-distance summary (512 × 64 B =
+/// 32 KiB).
+const L1_LINES: u64 = 512;
 
 struct Entry {
     layout: &'static str,
     locality: f64,
+    crossing_ratio: f64,
+    extra_lines: f64,
+    reuse_within_l1: f64,
     crawl_us_per_query: f64,
     total_us_per_query: f64,
     speedup_vs_scrambled: f64,
+    speedup_vs_identity: f64,
 }
 
 fn main() {
@@ -46,13 +68,14 @@ fn main() {
         }
     }
 
-    let identity = neuron(NeuroLevel::L4, 0.8).expect("neuron");
+    let identity = neuron(NeuroLevel::L5, 1.2).expect("neuron");
     // Scramble to simulate an arbitrary application layout.
     let mut perm: Vec<VertexId> = (0..identity.num_vertices() as u32).collect();
     octopus_geom::rng::SplitMix64::new(13).shuffle(&mut perm);
     let scrambled = identity.permute_vertices(&perm);
     let (hilbert, _) = hilbert_layout(&scrambled);
     let (morton, _) = morton_layout(&scrambled);
+    let (cache_oblivious, _) = cache_oblivious_layout(&scrambled);
 
     // Same geometry in every layout → identical query boxes apply.
     let mut gen = QueryGen::new(&scrambled, 5);
@@ -64,59 +87,119 @@ fn main() {
         queries.len()
     );
     println!(
-        "{:<12} {:>12} {:>14} {:>14} {:>9}",
-        "layout", "locality", "crawl µs/query", "total µs/query", "speedup"
+        "{:<16} {:>10} {:>9} {:>9} {:>9} {:>11} {:>11} {:>8} {:>8}",
+        "layout",
+        "id-dist",
+        "crossing",
+        "xlines",
+        "reuse<L1",
+        "crawl µs/q",
+        "total µs/q",
+        "vs scr",
+        "vs id"
     );
 
-    let layouts: [(&'static str, &Mesh); 4] = [
+    let layouts: [(&'static str, &Mesh); 5] = [
         ("scrambled", &scrambled),
         ("identity", &identity),
         ("morton", &morton),
         ("hilbert", &hilbert),
+        ("cache_oblivious", &cache_oblivious),
     ];
-    let mut entries: Vec<Entry> = Vec::new();
-    for (name, mesh) in layouts {
-        let mut octopus = Octopus::new(mesh).expect("surface");
-        let mut out = Vec::new();
-        // Warm-up pass.
+    // Passes are interleaved round-robin across layouts, not measured
+    // one layout at a time: machine-level drift (frequency scaling,
+    // noisy neighbours) over the bench's wall time then biases every
+    // layout equally instead of whichever one ran during the slow
+    // minute — the per-layout *ratios* are what fig. 13 is about.
+    let mut octopi: Vec<Octopus> = layouts
+        .iter()
+        .map(|(_, mesh)| Octopus::new(mesh).expect("surface"))
+        .collect();
+    let mut out = Vec::new();
+    // Warm-up pass over every layout.
+    for ((_, mesh), octopus) in layouts.iter().zip(octopi.iter_mut()) {
         for q in &queries {
             out.clear();
             octopus.query(mesh, q, &mut out);
         }
-        let t0 = Instant::now();
-        let mut crawl = Duration::ZERO;
-        let mut total = Duration::ZERO;
-        let mut passes = 0u32;
-        while t0.elapsed() < BUDGET || passes == 0 {
+    }
+    let mut crawl = [Duration::ZERO; 5];
+    let mut total = [Duration::ZERO; 5];
+    let t0 = Instant::now();
+    let mut passes = 0u32;
+    while t0.elapsed() < BUDGET.saturating_mul(layouts.len() as u32) || passes == 0 {
+        for (k, ((_, mesh), octopus)) in layouts.iter().zip(octopi.iter_mut()).enumerate() {
             for q in &queries {
                 out.clear();
                 let stats = octopus.query(mesh, q, &mut out);
                 std::hint::black_box(out.len());
-                crawl += stats.crawling;
-                total += stats.total();
+                crawl[k] += stats.crawling;
+                total[k] += stats.total();
             }
-            passes += 1;
         }
-        let n = f64::from(passes) * queries.len() as f64;
-        let entry = Entry {
+        passes += 1;
+    }
+    let n = f64::from(passes) * queries.len() as f64;
+    let mut entries: Vec<Entry> = Vec::new();
+    for (k, (name, mesh)) in layouts.iter().enumerate() {
+        let line_stats = cache_line_stats(mesh);
+        let hist = reuse_distance_histogram(mesh);
+        entries.push(Entry {
             layout: name,
             locality: adjacency_locality(mesh),
-            crawl_us_per_query: crawl.as_secs_f64() * 1e6 / n,
-            total_us_per_query: total.as_secs_f64() * 1e6 / n,
-            speedup_vs_scrambled: entries.first().map_or(1.0, |s| {
-                s.crawl_us_per_query / (crawl.as_secs_f64() * 1e6 / n)
-            }),
-        };
-        println!(
-            "{:<12} {:>12.1} {:>14.1} {:>14.1} {:>8.2}x",
-            entry.layout,
-            entry.locality,
-            entry.crawl_us_per_query,
-            entry.total_us_per_query,
-            entry.speedup_vs_scrambled
-        );
-        entries.push(entry);
+            crossing_ratio: line_stats.crossing_ratio,
+            extra_lines: line_stats.extra_lines_per_vertex,
+            reuse_within_l1: hist.fraction_within(L1_LINES),
+            crawl_us_per_query: crawl[k].as_secs_f64() * 1e6 / n,
+            total_us_per_query: total[k].as_secs_f64() * 1e6 / n,
+            speedup_vs_scrambled: 1.0,
+            speedup_vs_identity: 1.0,
+        });
     }
+    let scrambled_crawl = entries[0].crawl_us_per_query;
+    let identity_crawl = entries[1].crawl_us_per_query;
+    for e in &mut entries {
+        e.speedup_vs_scrambled = scrambled_crawl / e.crawl_us_per_query;
+        e.speedup_vs_identity = identity_crawl / e.crawl_us_per_query;
+        println!(
+            "{:<16} {:>10.1} {:>9.3} {:>9.2} {:>9.3} {:>11.1} {:>11.1} {:>7.2}x {:>7.2}x",
+            e.layout,
+            e.locality,
+            e.crossing_ratio,
+            e.extra_lines,
+            e.reuse_within_l1,
+            e.crawl_us_per_query,
+            e.total_us_per_query,
+            e.speedup_vs_scrambled,
+            e.speedup_vs_identity
+        );
+    }
+
+    // The finding the v2 metric exists, and the crawl hot path was
+    // rebuilt, to explain: the id-distance proxy said Hilbert should
+    // crush identity, yet under the original branchy crawl identity won
+    // every time. The confounder was never memory at all — it was the
+    // visited-check branch, whose outcome under the generator order
+    // correlates with BFS wave arrival (predictable) and under any
+    // locality-optimised order does not (a coin flip per neighbour).
+    // The branchless SoA hot path removes that cost, and the clock then
+    // follows the cache-line metric: fewer extra lines per vertex means
+    // a faster crawl, and the cache-oblivious layout beats identity.
+    let diagnosis = format!(
+        "id-distance proxy misleads twice: hilbert improves it {:.1}x over identity, \
+         yet under the old branchy crawl identity still won — the visited-check \
+         branch predicts well only when neighbour order correlates with BFS wave \
+         arrival (true for the generator order, false for any locality-optimised \
+         permutation), a cost no locality metric can see. With the branchless SoA \
+         hot path the clock follows the cache-line metric instead: identity touches \
+         {:.2} extra lines/vertex, cache_oblivious {:.2}, and cache_oblivious \
+         crawls {:.2}x faster than identity.",
+        entries[1].locality / entries[3].locality,
+        entries[1].extra_lines,
+        entries[4].extra_lines,
+        entries[4].speedup_vs_identity,
+    );
+    println!("diagnosis: {diagnosis}");
 
     if let Some(path) = json_path {
         let mut json = String::from("{\n");
@@ -124,13 +207,27 @@ fn main() {
         let _ = writeln!(json, "  \"mesh_vertices\": {},", identity.num_vertices());
         let _ = writeln!(json, "  \"queries\": {QUERIES},");
         let _ = writeln!(json, "  \"selectivity\": {SELECTIVITY},");
+        let _ = writeln!(json, "  \"reuse_window_lines\": {L1_LINES},");
+        let _ = writeln!(json, "  \"diagnosis\": \"{diagnosis}\",");
         let _ = writeln!(json, "  \"entries\": [");
         for (i, e) in entries.iter().enumerate() {
             let comma = if i + 1 == entries.len() { "" } else { "," };
             let _ = writeln!(
                 json,
-                "    {{\"layout\": \"{}\", \"adjacency_locality\": {:.1}, \"crawl_us_per_query\": {:.2}, \"total_us_per_query\": {:.2}, \"crawl_speedup_vs_scrambled\": {:.3}}}{comma}",
-                e.layout, e.locality, e.crawl_us_per_query, e.total_us_per_query, e.speedup_vs_scrambled
+                "    {{\"layout\": \"{}\", \"adjacency_locality\": {:.1}, \
+                 \"line_crossing_ratio\": {:.4}, \"extra_lines_per_vertex\": {:.3}, \
+                 \"reuse_within_l1\": {:.4}, \"crawl_us_per_query\": {:.2}, \
+                 \"total_us_per_query\": {:.2}, \"crawl_speedup_vs_scrambled\": {:.3}, \
+                 \"crawl_speedup_vs_identity\": {:.3}}}{comma}",
+                e.layout,
+                e.locality,
+                e.crossing_ratio,
+                e.extra_lines,
+                e.reuse_within_l1,
+                e.crawl_us_per_query,
+                e.total_us_per_query,
+                e.speedup_vs_scrambled,
+                e.speedup_vs_identity
             );
         }
         json.push_str("  ]\n}\n");

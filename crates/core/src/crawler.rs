@@ -6,8 +6,8 @@
 //! structures used during crawling" whose footprint Fig. 10(b) reports.
 
 use octopus_geom::{Region, VertexId};
-use octopus_mesh::Mesh;
-use std::collections::{HashSet, VecDeque};
+use octopus_mesh::{Mesh, BLOCK_LANES};
+use std::collections::HashSet;
 
 #[cfg(test)]
 use octopus_geom::Aabb;
@@ -151,7 +151,7 @@ pub(crate) struct Crawler {
     pub(crate) order: CrawlOrder,
     visited: EpochStamps,
     set: HashSet<VertexId>,
-    queue: VecDeque<VertexId>,
+    queue: Vec<VertexId>,
     /// Vertices examined by the last crawl (inside + frontier outside).
     pub crawl_visited: usize,
     /// Vertices stepped through by the last directed walk.
@@ -172,7 +172,7 @@ impl Crawler {
             order: CrawlOrder::Bfs,
             visited,
             set: HashSet::new(),
-            queue: VecDeque::new(),
+            queue: Vec::new(),
             crawl_visited: 0,
             walk_visited: 0,
             last_walk_end_dist_sq: f32::INFINITY,
@@ -226,7 +226,7 @@ impl Crawler {
     pub(crate) fn seed(&mut self, v: VertexId, out: &mut Vec<VertexId>) -> bool {
         if self.mark(v) {
             out.push(v);
-            self.queue.push_back(v);
+            self.queue.push(v);
             true
         } else {
             false
@@ -255,28 +255,110 @@ impl Crawler {
         q: &R,
         mut visit: impl FnMut(VertexId),
     ) {
-        let positions = mesh.positions();
-        while let Some(v) = match self.order {
-            CrawlOrder::Bfs => self.queue.pop_front(),
-            CrawlOrder::Dfs => self.queue.pop_back(),
-        } {
-            self.crawl_visited += 1;
-            let neighbors = mesh.neighbors(v);
-            // Neighbour positions are random accesses; hint them all
-            // before testing (lists are short — the mesh degree).
-            for &w in neighbors {
-                octopus_geom::mem::prefetch_read(positions, w as usize);
-            }
-            for &w in neighbors {
-                if self.mark(w) {
-                    if q.contains(positions[w as usize]) {
+        // The crawl reads positions through the blocked SoA mirror
+        // (rebuilt lazily here if deformation outdated it): one block =
+        // three cache lines shared by 16 consecutive ids, which the
+        // cache-oblivious layout packs neighbourhoods into.
+        let blocks = mesh.position_blocks();
+        let blk = blocks.blocks();
+        // The queue is a grow-only Vec: BFS pops advance `head`, DFS
+        // pops the tail. Keeping popped ids in place costs nothing (the
+        // buffer is result-sized either way) and buys the branchless
+        // append below.
+        let mut head = 0usize;
+        match self.strategy {
+            // The hot path is *branchless* on freshness and containment.
+            // Whether a neighbour was already visited is decided by the
+            // crawl wavefront, which under a locality-optimised layout
+            // is uncorrelated with the id order of the adjacency list —
+            // a `if !visited` branch there is a coin flip that costs a
+            // pipeline flush per miss and made every well-packed layout
+            // measure *slower* than the generator order. Instead: the
+            // stamp store is unconditional (re-marking is idempotent),
+            // freshness and containment fold to 0/1 integers, and the
+            // conditional queue append becomes an always-write with a
+            // 0/1 tail bump.
+            VisitedStrategy::EpochArray => {
+                let epoch = self.visited.epoch;
+                let stamps = &mut self.visited.stamps[..];
+                let queue = &mut self.queue;
+                let mut popped = 0usize;
+                let mut rejected = 0usize;
+                loop {
+                    let v = match self.order {
+                        CrawlOrder::Bfs => {
+                            if head == queue.len() {
+                                break;
+                            }
+                            head += 1;
+                            queue[head - 1]
+                        }
+                        CrawlOrder::Dfs => match queue.pop() {
+                            Some(v) => v,
+                            None => break,
+                        },
+                    };
+                    popped += 1;
+                    let neighbors = mesh.neighbors(v);
+                    let start = queue.len();
+                    // Room for the worst case up front, so the inner
+                    // loop writes unconditionally and the final length
+                    // is just `truncate`d back.
+                    queue.resize(start + neighbors.len(), 0);
+                    let mut tail = start;
+                    for &w in neighbors {
+                        let wi = w as usize;
+                        let slot = &mut stamps[wi];
+                        let fresh = (*slot != epoch) as usize;
+                        *slot = epoch;
+                        let block = &blk[wi / BLOCK_LANES];
+                        let l = wi % BLOCK_LANES;
+                        let inside =
+                            q.contains_coords(block.xs()[l], block.ys()[l], block.zs()[l]) as usize;
+                        let take = fresh & inside;
+                        queue[tail] = w;
+                        tail += take;
+                        rejected += fresh - take;
+                    }
+                    queue.truncate(tail);
+                    for &w in &queue[start..tail] {
                         visit(w);
-                        self.queue.push_back(w);
-                    } else {
-                        self.crawl_visited += 1;
                     }
                 }
+                self.crawl_visited += popped + rejected;
             }
+            // The hash-set ablation keeps the straightforward loop: its
+            // per-probe cost dwarfs a mispredict, and `insert` cannot be
+            // made unconditional.
+            VisitedStrategy::HashSet => loop {
+                let v = match self.order {
+                    CrawlOrder::Bfs => {
+                        if head == self.queue.len() {
+                            break;
+                        }
+                        head += 1;
+                        self.queue[head - 1]
+                    }
+                    CrawlOrder::Dfs => match self.queue.pop() {
+                        Some(v) => v,
+                        None => break,
+                    },
+                };
+                self.crawl_visited += 1;
+                for &w in mesh.neighbors(v) {
+                    if self.set.insert(w) {
+                        let wi = w as usize;
+                        let block = &blk[wi / BLOCK_LANES];
+                        let l = wi % BLOCK_LANES;
+                        if q.contains_coords(block.xs()[l], block.ys()[l], block.zs()[l]) {
+                            visit(w);
+                            self.queue.push(w);
+                        } else {
+                            self.crawl_visited += 1;
+                        }
+                    }
+                }
+            },
         }
     }
 
@@ -300,7 +382,11 @@ impl Crawler {
         found
     }
 
-    /// Heap bytes of the scratch structures.
+    /// Heap bytes of the scratch structures. The blocked SoA position
+    /// store the crawl reads through is *dataset* memory, owned and
+    /// accounted (padding included) by [`Mesh::memory_bytes`] — the v2
+    /// hot path added no crawl-owned state beyond the queue it always
+    /// had.
     pub(crate) fn memory_bytes(&self) -> usize {
         let visited = match self.strategy {
             VisitedStrategy::EpochArray => self.visited.heap_bytes(),

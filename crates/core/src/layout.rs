@@ -1,4 +1,4 @@
-//! Graph data organisation (§IV-H1): space-filling-curve vertex layout.
+//! Graph data organisation (§IV-H1): vertex layout for crawl locality.
 //!
 //! "By rearranging the vertices based on spatial proximity we can reduce
 //! the number of random reads required on average and thereby improve
@@ -6,11 +6,33 @@
 //! curve to sort the vertices and organize spatially close vertices,
 //! close together in memory."
 //!
-//! [`hilbert_layout`] computes the permutation and returns the re-laid-out
-//! mesh; a Morton variant serves as the layout ablation.
+//! # Why mean adjacent-id distance was a bad proxy (layout engine v2)
+//!
+//! The v1 metric ([`adjacency_locality`], retained as the legacy proxy)
+//! scored a layout by the mean |v − w| over adjacent vertex ids. The
+//! fig. 13 ablation exposed its failure mode: Hilbert ordering halves
+//! the mean id distance over the generator's native order, yet crawls
+//! *slower*. Id distance is the wrong unit — the cache does not fetch
+//! ids, it fetches 64-byte lines. Shrinking a neighbour gap from 400
+//! ids to 40 ids improves the proxy 10× and the cache not at all: both
+//! gaps cross a line boundary. Conversely the generator's native order
+//! is near-BFS — a vertex's neighbours sit in a handful of *runs*, and
+//! runs share lines regardless of their id span. What predicts crawl
+//! time is (a) how many **distinct cache lines** a neighbourhood scan
+//! touches ([`cache_line_stats`]) and (b) how soon lines are re-touched
+//! during a crawl ([`reuse_distance_histogram`]). Both are first-class
+//! here; [`LocalityTracker`] drifts on the line-based metric.
+//!
+//! Three layouts are exposed: [`hilbert_layout`] (the paper's choice),
+//! [`morton_layout`] (cheaper curve, ablation) and
+//! [`cache_oblivious_layout`] — recursive balanced graph bisection over
+//! the adjacency itself, recursing to cache-line-sized leaf blocks, so
+//! the id space mirrors the line hierarchy at every scale (in the
+//! spirit of cache-oblivious mesh layouts, see PAPERS.md).
 
 use octopus_geom::{hilbert, morton, VertexId};
-use octopus_mesh::Mesh;
+use octopus_mesh::{Mesh, BLOCK_LANES};
+use std::collections::VecDeque;
 
 /// Curve used to order vertices.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -19,6 +41,11 @@ pub enum CurveKind {
     Hilbert,
     /// Morton / Z-order (cheaper to compute, worse locality).
     Morton,
+    /// Recursive adjacency bisection down to cache-line-sized leaf
+    /// blocks (not a space-filling curve: orders by connectivity, not
+    /// position, so it needs no bounding box and survives geometry the
+    /// curves quantise badly).
+    CacheOblivious,
 }
 
 /// Bits per axis for curve quantisation: 2^10 = 1024 lattice cells per
@@ -28,6 +55,9 @@ const CURVE_BITS: u32 = 10;
 /// Computes the permutation `perm[old] = new` that sorts vertices along
 /// the chosen curve evaluated at their *current* positions.
 pub fn curve_permutation(mesh: &Mesh, curve: CurveKind) -> Vec<VertexId> {
+    if curve == CurveKind::CacheOblivious {
+        return cache_oblivious_permutation(mesh);
+    }
     let bounds = mesh.bounding_box();
     let mut keyed: Vec<(u64, VertexId)> = mesh
         .positions()
@@ -37,6 +67,8 @@ pub fn curve_permutation(mesh: &Mesh, curve: CurveKind) -> Vec<VertexId> {
             let key = match curve {
                 CurveKind::Hilbert => hilbert::hilbert_index_for_point(*p, &bounds, CURVE_BITS),
                 CurveKind::Morton => morton::morton_index_for_point(*p, &bounds, CURVE_BITS),
+                // Handled by the early return above (no positional key).
+                CurveKind::CacheOblivious => unreachable!(),
             };
             (key, i as VertexId)
         })
@@ -68,10 +100,361 @@ pub fn morton_layout(mesh: &Mesh) -> (Mesh, Vec<VertexId>) {
     (mesh.permute_vertices(&perm), perm)
 }
 
-/// Mean absolute id distance between adjacent vertices — a proxy for the
-/// cache locality of the crawl (lower is better). Used by tests, the
-/// layout ablation and the adaptive re-layout trigger to verify the
-/// curve actually improves locality.
+/// Returns the mesh re-laid-out by recursive adjacency bisection
+/// together with the applied permutation (`perm[old] = new`).
+///
+/// Connected neighbourhoods end up packed into the same
+/// [`BLOCK_LANES`]-sized leaf block — exactly the unit the blocked SoA
+/// position store serves from one set of cache lines — and the
+/// recursion makes the property hold at every granularity above the
+/// leaf too (block pairs, quads, …), which is what "cache-oblivious"
+/// buys: no level of the hierarchy is special-cased.
+pub fn cache_oblivious_layout(mesh: &Mesh) -> (Mesh, Vec<VertexId>) {
+    let perm = cache_oblivious_permutation(mesh);
+    (mesh.permute_vertices(&perm), perm)
+}
+
+/// [`cache_oblivious_permutation_stats`] without the accounting.
+pub fn cache_oblivious_permutation(mesh: &Mesh) -> Vec<VertexId> {
+    cache_oblivious_permutation_stats(mesh).0
+}
+
+/// Split accounting for the recursive bisection — lets tests pin the
+/// balance invariant and the bench report the work done.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BisectionStats {
+    /// Number of internal splits performed.
+    pub splits: u64,
+    /// Number of leaf blocks emitted (each ≤ [`BLOCK_LANES`] vertices).
+    pub leaves: u64,
+    /// Worst `| |left| − |right| |` over all splits. The grow step
+    /// takes exactly `ceil(n/2)` vertices and refinement swaps pairs,
+    /// so this is ≤ 1 by construction; the stat exists so tests can
+    /// prove it rather than trust the comment.
+    pub max_imbalance: usize,
+    /// Directed adjacency pairs crossing a split boundary, summed over
+    /// all splits (after refinement) — the bisection's own cut-quality
+    /// signal.
+    pub cut_edges: u64,
+}
+
+/// Leaf size of the recursion: one blocked-SoA block.
+const BISECT_LEAF: usize = BLOCK_LANES;
+
+/// Boundary-swap refinement passes per split (FM-lite: gains are not
+/// recomputed between the paired swaps of one pass, so passes are kept
+/// short and few — the win is trimming the worst offenders, not an
+/// optimal cut).
+const REFINE_PASSES: usize = 2;
+
+/// Computes the cache-oblivious permutation (`perm[old] = new`) and the
+/// split accounting behind it.
+///
+/// Each split seeds a restricted BFS at a pseudo-peripheral vertex
+/// (double-BFS), grows the left half to exactly `ceil(n/2)` members in
+/// pop order (re-seeding if the subset is disconnected), then runs
+/// [`REFINE_PASSES`] boundary-swap passes that trade equal numbers of
+/// high-exterior-degree vertices across the cut. Recursion stops at
+/// [`BISECT_LEAF`]-sized leaves.
+pub fn cache_oblivious_permutation_stats(mesh: &Mesh) -> (Vec<VertexId>, BisectionStats) {
+    let n = mesh.num_vertices();
+    let mut ids: Vec<VertexId> = (0..n as VertexId).collect();
+    let mut b = Bisector {
+        mesh,
+        member: vec![0; n],
+        member_epoch: 0,
+        left: vec![0; n],
+        left_epoch: 0,
+        seen: vec![0; n],
+        seen_epoch: 0,
+        queue: VecDeque::new(),
+        heap: std::collections::BinaryHeap::new(),
+        conn: vec![0; n],
+        grown: Vec::new(),
+        scratch: Vec::new(),
+        order: Vec::with_capacity(n),
+        stats: BisectionStats::default(),
+    };
+    if n > 0 {
+        // Global entry: a pseudo-peripheral vertex, so numbering starts
+        // at the mesh boundary and sweeps across — the same property
+        // that makes the generator's own BFS order stream well.
+        b.member_epoch += 1;
+        let me = b.member_epoch;
+        for v in 0..n {
+            b.member[v] = me;
+        }
+        let s1 = b.farthest(ids[0]);
+        let entry = b.farthest(s1);
+        b.bisect(&mut ids, entry);
+    }
+    debug_assert_eq!(b.order.len(), n);
+    let mut perm = vec![0 as VertexId; n];
+    for (new, &old) in b.order.iter().enumerate() {
+        perm[old as usize] = new as VertexId;
+    }
+    (perm, b.stats)
+}
+
+/// Working state of one bisection run. The three epoch arrays replace
+/// per-split `HashSet`s: membership, side and BFS-visited checks are
+/// all O(1) stamps that never need clearing between splits.
+struct Bisector<'a> {
+    mesh: &'a Mesh,
+    /// `member[v] == member_epoch` ⇔ v belongs to the set being split.
+    member: Vec<u32>,
+    member_epoch: u32,
+    /// `left[v] == left_epoch` ⇔ v was assigned to the left half.
+    left: Vec<u32>,
+    left_epoch: u32,
+    /// BFS visited stamps (seed search) / taken-this-grow stamps.
+    seen: Vec<u32>,
+    seen_epoch: u32,
+    queue: VecDeque<VertexId>,
+    /// Frontier of the greedy grow step, keyed by gain (entries go
+    /// stale when a later take bumps a neighbour's connectivity; pops
+    /// revalidate lazily).
+    heap: std::collections::BinaryHeap<(i64, VertexId)>,
+    /// `conn[v]` — how many of v's neighbours the current grow step has
+    /// already taken. Reset for the member set at each split.
+    conn: Vec<u32>,
+    /// Take order of the current grow step (a graph path, roughly).
+    grown: Vec<VertexId>,
+    scratch: Vec<VertexId>,
+    /// `order[new] = old` — leaves appended left-to-right.
+    order: Vec<VertexId>,
+    stats: BisectionStats,
+}
+
+impl Bisector<'_> {
+    /// Splits `set` around `entry` and appends its leaves to the order.
+    ///
+    /// `entry` is the continuity anchor: the left half is grown from it,
+    /// recursion descends into that half first, and the right half's
+    /// entry is a cut-edge endpoint — so the first vertex of every leaf
+    /// is graph-adjacent to the leaf emitted just before it. Without
+    /// this threading the leaves are individually tight but globally
+    /// shuffled, and the crawl's CSR adjacency reads lose the streaming
+    /// pattern that makes the generator's BFS order fast.
+    fn bisect(&mut self, set: &mut [VertexId], entry: VertexId) {
+        if set.len() <= BISECT_LEAF {
+            self.stats.leaves += 1;
+            self.order.extend_from_slice(set);
+            return;
+        }
+        self.stats.splits += 1;
+        self.member_epoch += 1;
+        let me = self.member_epoch;
+        for &v in set.iter() {
+            self.member[v as usize] = me;
+            self.conn[v as usize] = 0;
+        }
+        let half = set.len().div_ceil(2);
+
+        // Grow the left half greedily: always take the frontier vertex
+        // whose move shrinks the boundary most (gain = taken neighbours
+        // minus untaken ones). On a tube-like mesh this follows one
+        // branch to its end before opening the next — the property that
+        // keeps a box query's result in a few contiguous id runs — where
+        // plain BFS would interleave every branch at each distance
+        // shell. Re-seeds from the next untaken member when the subset
+        // is disconnected.
+        self.left_epoch += 1;
+        let le = self.left_epoch;
+        self.seen_epoch += 1;
+        let se = self.seen_epoch;
+        self.heap.clear();
+        self.grown.clear();
+        self.heap.push((0, entry));
+        let mut taken = 0usize;
+        let mut cursor = 0usize;
+        while taken < half {
+            let v = match self.heap.pop() {
+                Some((gain, v)) => {
+                    if self.left[v as usize] == le {
+                        continue; // stale: already taken
+                    }
+                    let g = self.gain(v, me, le);
+                    if g != gain {
+                        self.heap.push((g, v)); // stale: revalidate
+                        continue;
+                    }
+                    v
+                }
+                None => {
+                    // The grown region is a whole component; an untaken
+                    // member must exist because taken < half ≤ |set|.
+                    while self.left[set[cursor] as usize] == le {
+                        cursor += 1;
+                    }
+                    set[cursor]
+                }
+            };
+            self.left[v as usize] = le;
+            self.seen[v as usize] = se; // "taken by this grow step"
+            self.grown.push(v);
+            taken += 1;
+            for &w in self.mesh.neighbors(v) {
+                if self.member[w as usize] == me && self.left[w as usize] != le {
+                    self.conn[w as usize] += 1;
+                    self.heap.push((self.gain(w, me, le), w));
+                }
+            }
+        }
+
+        self.refine(set, me, le, entry);
+
+        // Partition left-first. The left half keeps the grow step's
+        // take order (the branch-following path), so the recursion
+        // refines an already path-shaped arrangement instead of
+        // rediscovering it; refinement's few swaps land at the end.
+        self.scratch.clear();
+        for i in 0..self.grown.len() {
+            let v = self.grown[i];
+            if self.left[v as usize] == le {
+                self.scratch.push(v);
+            }
+        }
+        for &v in set.iter() {
+            // Swapped into the left half by refinement (never grown).
+            if self.left[v as usize] == le && self.seen[v as usize] != se {
+                self.scratch.push(v);
+            }
+        }
+        let nl = self.scratch.len();
+        for &v in set.iter() {
+            if self.left[v as usize] != le {
+                self.scratch.push(v);
+            }
+        }
+        set.copy_from_slice(&self.scratch);
+        let nr = set.len() - nl;
+        self.stats.max_imbalance = self.stats.max_imbalance.max(nl.abs_diff(nr));
+        let mut cut = 0u64;
+        for &v in set[..nl].iter() {
+            for &w in self.mesh.neighbors(v) {
+                if self.member[w as usize] == me && self.left[w as usize] != le {
+                    cut += 1;
+                }
+            }
+        }
+        self.stats.cut_edges += 2 * cut; // directed: count both ways
+
+        // The right half's entry: a cut-edge endpoint, so its first leaf
+        // abuts the left half it follows in the output order. Falls back
+        // to the first right vertex when the halves are disconnected
+        // (possible on a disconnected member subset).
+        let mut right_entry = set[nl];
+        'scan: for &v in set[..nl].iter() {
+            for &w in self.mesh.neighbors(v) {
+                if self.member[w as usize] == me && self.left[w as usize] != le {
+                    right_entry = w;
+                    break 'scan;
+                }
+            }
+        }
+
+        let (l, r) = set.split_at_mut(nl);
+        self.bisect(l, entry);
+        self.bisect(r, right_entry);
+    }
+
+    /// Boundary-swap refinement: pair off equal numbers of left/right
+    /// vertices whose exterior degree exceeds their interior degree and
+    /// swap their sides — cut goes down, balance is untouched.
+    fn refine(&mut self, set: &[VertexId], me: u32, le: u32, pin: VertexId) {
+        for _ in 0..REFINE_PASSES {
+            let mut lcand: Vec<(i64, VertexId)> = Vec::new();
+            let mut rcand: Vec<(i64, VertexId)> = Vec::new();
+            for &v in set.iter() {
+                if v == pin {
+                    // The entry vertex anchors the output order to the
+                    // preceding leaf; moving it right would break the
+                    // continuity the recursion threads through it.
+                    continue;
+                }
+                let v_left = self.left[v as usize] == le;
+                let mut gain = 0i64;
+                for &w in self.mesh.neighbors(v) {
+                    if self.member[w as usize] != me {
+                        continue;
+                    }
+                    if (self.left[w as usize] == le) == v_left {
+                        gain -= 1;
+                    } else {
+                        gain += 1;
+                    }
+                }
+                if gain > 0 {
+                    if v_left {
+                        lcand.push((gain, v));
+                    } else {
+                        rcand.push((gain, v));
+                    }
+                }
+            }
+            let swaps = lcand.len().min(rcand.len());
+            if swaps == 0 {
+                return;
+            }
+            lcand.sort_unstable_by(|a, b| b.cmp(a));
+            rcand.sort_unstable_by(|a, b| b.cmp(a));
+            for i in 0..swaps {
+                // 0 is safe as "not left": left_epoch starts at 1.
+                self.left[lcand[i].1 as usize] = 0;
+                self.left[rcand[i].1 as usize] = le;
+            }
+        }
+    }
+
+    /// Grow-step gain of taking `v` into the left half: taken
+    /// neighbours minus untaken member neighbours. Maximal for vertices
+    /// whose move shrinks the boundary (tube interiors), so the greedy
+    /// grow walks branches end-to-end instead of fanning out.
+    #[inline]
+    fn gain(&self, v: VertexId, me: u32, le: u32) -> i64 {
+        let mut g = 0i64;
+        for &w in self.mesh.neighbors(v) {
+            if self.member[w as usize] != me {
+                continue;
+            }
+            if self.left[w as usize] == le {
+                g += 1;
+            } else {
+                g -= 1;
+            }
+        }
+        g
+    }
+
+    /// Last vertex popped by a BFS restricted to the current member
+    /// set — one arm of the double-BFS pseudo-peripheral search.
+    fn farthest(&mut self, start: VertexId) -> VertexId {
+        self.seen_epoch += 1;
+        let se = self.seen_epoch;
+        self.queue.clear();
+        self.queue.push_back(start);
+        self.seen[start as usize] = se;
+        let mut last = start;
+        while let Some(v) = self.queue.pop_front() {
+            last = v;
+            for &w in self.mesh.neighbors(v) {
+                if self.member[w as usize] == self.member_epoch && self.seen[w as usize] != se {
+                    self.seen[w as usize] = se;
+                    self.queue.push_back(w);
+                }
+            }
+        }
+        last
+    }
+}
+
+/// Mean absolute id distance between adjacent vertices — the **legacy
+/// v1 proxy** for crawl cache locality (lower is better). Kept for the
+/// fig. 13 ablation precisely because it is misleading: it rewards
+/// shrinking id gaps that never mattered to the cache (see the module
+/// docs). New code should read [`cache_line_stats`]; the adaptive
+/// re-layout trigger drifts on [`LocalityTracker`]'s v2 metric.
 ///
 /// **Isolated-vertex convention.** Vertices with no adjacency edges
 /// (orphaned by aggressive coarsening — see
@@ -128,8 +511,250 @@ pub fn adjacency_locality_stats(mesh: &Mesh) -> LocalityStats {
     }
 }
 
-/// Incrementally tracked [`adjacency_locality`] with an at-ingest (or
-/// at-last-re-layout) baseline — the §IV-H1 adaptive re-layout signal.
+/// The 64-byte line a vertex's position data lands on in the blocked
+/// SoA store: [`BLOCK_LANES`] consecutive ids share each coordinate
+/// lane (and, to first order, their CSR adjacency rows — both arrays
+/// are id-contiguous, so the id→line map is the shared model).
+#[inline]
+pub fn cache_line_of(v: VertexId) -> u32 {
+    v / BLOCK_LANES as VertexId
+}
+
+/// The cache-line-aware locality model (layout-engine v2 metric).
+///
+/// Two scalars, both pure functions of ids and adjacency (deformation
+/// cannot move them):
+///
+/// * **`crossing_ratio`** — fraction of directed adjacent pairs whose
+///   endpoints live on distinct 64-byte lines. Cheap and intuitive,
+///   but it *saturates*: on any large mesh almost every edge crosses a
+///   line, so two layouts of very different quality can both score
+///   ≈ 1.0.
+/// * **`extra_lines_per_vertex`** — mean number of *distinct* foreign
+///   lines a vertex's neighbour scan touches. This is the quantity the
+///   crawl actually pays for (each distinct line is one potential
+///   miss; repeats within a scan are near-certain hits), it does not
+///   saturate, and it is what [`LocalityTracker`] drifts on.
+///
+/// Isolated vertices follow the convention documented on
+/// [`adjacency_locality`]: excluded from both denominators.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CacheLineStats {
+    /// Crossing directed pairs / total directed pairs (0 when none).
+    pub crossing_ratio: f64,
+    /// Mean distinct non-own cache lines per non-isolated vertex
+    /// neighbourhood (0 when every vertex is isolated).
+    pub extra_lines_per_vertex: f64,
+    /// Directed adjacent pairs on distinct lines.
+    pub crossings: u64,
+    /// Total directed adjacent pairs.
+    pub pairs: u64,
+    /// Vertices with zero adjacency edges, excluded from both means.
+    pub isolated: usize,
+}
+
+/// Computes the [`CacheLineStats`] for `mesh`'s current vertex order.
+pub fn cache_line_stats(mesh: &Mesh) -> CacheLineStats {
+    let mut crossings = 0u64;
+    let mut pairs = 0u64;
+    let mut isolated = 0usize;
+    let mut extra_total = 0u64;
+    let mut counted = 0u64;
+    let mut lines: Vec<u32> = Vec::new();
+    for v in 0..mesh.num_vertices() as VertexId {
+        let neighbors = mesh.neighbors(v);
+        if neighbors.is_empty() {
+            isolated += 1;
+            continue;
+        }
+        counted += 1;
+        let own = cache_line_of(v);
+        lines.clear();
+        for &w in neighbors {
+            pairs += 1;
+            let lw = cache_line_of(w);
+            if lw != own {
+                crossings += 1;
+                lines.push(lw);
+            }
+        }
+        lines.sort_unstable();
+        lines.dedup();
+        extra_total += lines.len() as u64;
+    }
+    CacheLineStats {
+        crossing_ratio: if pairs == 0 {
+            0.0
+        } else {
+            crossings as f64 / pairs as f64
+        },
+        extra_lines_per_vertex: if counted == 0 {
+            0.0
+        } else {
+            extra_total as f64 / counted as f64
+        },
+        crossings,
+        pairs,
+        isolated,
+    }
+}
+
+/// The per-vertex contribution the v2 metric and [`LocalityTracker`]
+/// share: distinct foreign cache lines in `v`'s neighbour list.
+fn extra_lines_of(v: VertexId, neighbors: &[VertexId], scratch: &mut Vec<u32>) -> f64 {
+    let own = cache_line_of(v);
+    scratch.clear();
+    for &w in neighbors {
+        let lw = cache_line_of(w);
+        if lw != own {
+            scratch.push(lw);
+        }
+    }
+    scratch.sort_unstable();
+    scratch.dedup();
+    scratch.len() as f64
+}
+
+/// LRU stack-distance histogram of cache-line touches during a
+/// simulated full-mesh crawl (BFS from vertex 0, restarting per
+/// component — the access pattern [`crate::Crawler`] generates: every
+/// pop touches the vertex's own line, then one touch per neighbour).
+///
+/// `buckets[i]` counts warm accesses whose stack distance `d`
+/// (number of *distinct* lines touched since this line's previous
+/// touch) satisfies `floor(log2(max(d, 1))) == i`; bucket 0 therefore
+/// holds `d ∈ {0, 1}`. `cold` counts first touches. A layout is good
+/// exactly when mass concentrates in low buckets: the line was still
+/// resident when re-touched.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ReuseHistogram {
+    /// Log₂-spaced stack-distance buckets (see type docs).
+    pub buckets: Vec<u64>,
+    /// First-touch (compulsory-miss) accesses.
+    pub cold: u64,
+    /// Total accesses, warm + cold.
+    pub accesses: u64,
+}
+
+impl ReuseHistogram {
+    fn record(&mut self, d: u64) {
+        let bucket = 63 - d.max(1).leading_zeros() as usize;
+        if self.buckets.len() <= bucket {
+            self.buckets.resize(bucket + 1, 0);
+        }
+        self.buckets[bucket] += 1;
+    }
+
+    /// Fraction of warm accesses with stack distance `< lines` — the
+    /// hit rate of an ideal LRU cache holding `lines` lines. Exact
+    /// when `lines` is a power of two (bucket boundaries align);
+    /// rounded up to the next power of two otherwise. `1.0` when there
+    /// are no warm accesses.
+    pub fn fraction_within(&self, lines: u64) -> f64 {
+        let warm: u64 = self.buckets.iter().sum();
+        if warm == 0 {
+            return 1.0;
+        }
+        let k =
+            (lines.max(1).next_power_of_two().trailing_zeros() as usize).min(self.buckets.len());
+        let within: u64 = self.buckets[..k].iter().sum();
+        within as f64 / warm as f64
+    }
+}
+
+/// Computes the [`ReuseHistogram`] for `mesh`'s current vertex order.
+///
+/// Stack distances come from the classic Fenwick-over-timestamps
+/// algorithm: each line's latest touch is a marked position on the
+/// access timeline, and the distance of a re-touch is the count of
+/// marks strictly between the two touches — O(log T) per access,
+/// O((V + E) log(V + E)) total, so it is a diagnostic (bench/tests),
+/// not a hot path.
+pub fn reuse_distance_histogram(mesh: &Mesh) -> ReuseHistogram {
+    let n = mesh.num_vertices();
+    let mut hist = ReuseHistogram::default();
+    if n == 0 {
+        return hist;
+    }
+    let num_lines = n.div_ceil(BLOCK_LANES);
+    let total: usize = n
+        + (0..n as VertexId)
+            .map(|v| mesh.neighbors(v).len())
+            .sum::<usize>();
+    let mut last = vec![0u32; num_lines]; // 0 = never touched; times are 1-based
+    let mut fen = Fenwick::new(total + 1);
+    let mut t = 0u32;
+    let mut visited = vec![false; n];
+    let mut queue = VecDeque::new();
+    let mut access = |line: usize, hist: &mut ReuseHistogram, fen: &mut Fenwick| {
+        t += 1;
+        hist.accesses += 1;
+        let t0 = last[line];
+        if t0 == 0 {
+            hist.cold += 1;
+        } else {
+            // Marks strictly inside (t0, t): other lines' latest
+            // touches since ours — exactly the distinct-line count.
+            let d = fen.prefix(t - 1) - fen.prefix(t0);
+            hist.record(d as u64);
+            fen.add(t0, -1);
+        }
+        fen.add(t, 1);
+        last[line] = t;
+    };
+    for seed in 0..n as VertexId {
+        if visited[seed as usize] {
+            continue;
+        }
+        visited[seed as usize] = true;
+        queue.push_back(seed);
+        while let Some(v) = queue.pop_front() {
+            access(cache_line_of(v) as usize, &mut hist, &mut fen);
+            for &w in mesh.neighbors(v) {
+                access(cache_line_of(w) as usize, &mut hist, &mut fen);
+                if !visited[w as usize] {
+                    visited[w as usize] = true;
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+    hist
+}
+
+/// Minimal Fenwick tree over the access timeline (1-based positions).
+struct Fenwick {
+    tree: Vec<i32>,
+}
+
+impl Fenwick {
+    fn new(len: usize) -> Fenwick {
+        Fenwick {
+            tree: vec![0; len + 1],
+        }
+    }
+
+    fn add(&mut self, mut i: u32, delta: i32) {
+        while (i as usize) < self.tree.len() {
+            self.tree[i as usize] += delta;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum of positions `1..=i`.
+    fn prefix(&self, mut i: u32) -> i64 {
+        let mut sum = 0i64;
+        while i > 0 {
+            sum += i64::from(self.tree[i as usize]);
+            i -= i & i.wrapping_neg();
+        }
+        sum
+    }
+}
+
+/// Incrementally tracked v2 locality ([`CacheLineStats`]'s
+/// `extra_lines_per_vertex`) with an at-ingest (or at-last-re-layout)
+/// baseline — the §IV-H1 adaptive re-layout signal.
 ///
 /// Restructuring is the only event that moves the metric (it is a pure
 /// function of ids and adjacency; deformation cannot touch it), so the
@@ -149,13 +774,17 @@ pub fn adjacency_locality_stats(mesh: &Mesh) -> LocalityStats {
 /// out of both the numerator and the denominator.
 #[derive(Clone, Debug)]
 pub struct LocalityTracker {
-    /// Per-vertex (Σ |v−w| over neighbours w, degree).
+    /// Per-vertex (distinct foreign cache lines in the neighbour list,
+    /// degree). Degree 0 ⇔ isolated ⇔ excluded from the denominator.
     per_vertex: Vec<(f64, u32)>,
     total: f64,
-    pairs: u64,
+    /// Non-isolated vertex count (the metric's denominator).
+    counted: u64,
     baseline: f64,
     recompute_every: u32,
     deltas_since_recompute: u32,
+    /// Line-dedup scratch for [`extra_lines_of`].
+    scratch: Vec<u32>,
 }
 
 impl LocalityTracker {
@@ -167,25 +796,27 @@ impl LocalityTracker {
         let mut tracker = LocalityTracker {
             per_vertex: Vec::new(),
             total: 0.0,
-            pairs: 0,
+            counted: 0,
             baseline: 0.0,
             recompute_every: recompute_every.max(1),
             deltas_since_recompute: 0,
+            scratch: Vec::new(),
         };
         tracker.recompute(mesh);
         tracker.baseline = tracker.current();
         tracker
     }
 
-    /// The tracked mean adjacent-id distance (exact right after
+    /// The tracked mean distinct-foreign-lines-per-vertex (see
+    /// [`CacheLineStats::extra_lines_per_vertex`]; exact right after
     /// construction, [`LocalityTracker::recompute`] or
     /// [`LocalityTracker::rebaseline`]; an estimate between periodic
     /// recomputes otherwise).
     pub fn current(&self) -> f64 {
-        if self.pairs == 0 {
+        if self.counted == 0 {
             0.0
         } else {
-            self.total / self.pairs as f64
+            self.total / self.counted as f64
         }
     }
 
@@ -235,16 +866,17 @@ impl LocalityTracker {
         touched.dedup();
         for &v in &touched {
             let (old_sum, old_deg) = self.per_vertex[v as usize];
-            self.total -= old_sum;
-            self.pairs -= u64::from(old_deg);
-            let mut sum = 0.0f64;
-            let neighbors = mesh.neighbors(v);
-            for &w in neighbors {
-                sum += f64::from(v.abs_diff(w));
+            if old_deg > 0 {
+                self.total -= old_sum;
+                self.counted -= 1;
             }
+            let neighbors = mesh.neighbors(v);
+            let sum = extra_lines_of(v, neighbors, &mut self.scratch);
             self.per_vertex[v as usize] = (sum, neighbors.len() as u32);
-            self.total += sum;
-            self.pairs += neighbors.len() as u64;
+            if !neighbors.is_empty() {
+                self.total += sum;
+                self.counted += 1;
+            }
         }
     }
 
@@ -254,16 +886,15 @@ impl LocalityTracker {
         self.per_vertex.clear();
         self.per_vertex.resize(mesh.num_vertices(), (0.0, 0));
         self.total = 0.0;
-        self.pairs = 0;
+        self.counted = 0;
         for v in 0..mesh.num_vertices() as u32 {
             let neighbors = mesh.neighbors(v);
-            let mut sum = 0.0f64;
-            for &w in neighbors {
-                sum += f64::from(v.abs_diff(w));
-            }
+            let sum = extra_lines_of(v, neighbors, &mut self.scratch);
             self.per_vertex[v as usize] = (sum, neighbors.len() as u32);
-            self.total += sum;
-            self.pairs += neighbors.len() as u64;
+            if !neighbors.is_empty() {
+                self.total += sum;
+                self.counted += 1;
+            }
         }
         self.deltas_since_recompute = 0;
     }
@@ -276,9 +907,11 @@ impl LocalityTracker {
         self.baseline = self.current();
     }
 
-    /// Heap bytes of the per-vertex contribution table.
+    /// Heap bytes of the per-vertex contribution table (plus the line
+    /// scratch).
     pub fn memory_bytes(&self) -> usize {
         self.per_vertex.capacity() * std::mem::size_of::<(f64, u32)>()
+            + self.scratch.capacity() * std::mem::size_of::<u32>()
     }
 }
 
@@ -429,7 +1062,7 @@ mod tests {
                 .unwrap();
             let (_, delta) = mesh.refine_tet(c).unwrap();
             tracker.apply_delta(&mesh, &delta);
-            let exact = adjacency_locality(&mesh);
+            let exact = cache_line_stats(&mesh).extra_lines_per_vertex;
             assert!(
                 (tracker.current() - exact).abs() < 1e-9,
                 "refine {i}: tracker {} vs exact {exact}",
@@ -465,7 +1098,7 @@ mod tests {
                 .unwrap();
             let delta = mesh.remove_cell(c).unwrap();
             tracker.apply_delta(&mesh, &delta);
-            let exact = adjacency_locality(&mesh);
+            let exact = cache_line_stats(&mesh).extra_lines_per_vertex;
             assert!(
                 (tracker.current() - exact).abs() < 1e-9,
                 "round {round}: periodic recompute must be exact: {} vs {exact}",
@@ -511,5 +1144,104 @@ mod tests {
             .unwrap();
         assert_eq!(adjacency_locality(&empty), 0.0);
         assert!(curve_permutation(&empty, CurveKind::Hilbert).is_empty());
+        assert_eq!(cache_line_stats(&empty), CacheLineStats::default());
+        assert!(curve_permutation(&empty, CurveKind::CacheOblivious).is_empty());
+        let hist = reuse_distance_histogram(&empty);
+        assert_eq!(hist.accesses, 0);
+        assert_eq!(hist.fraction_within(8), 1.0);
+    }
+
+    fn scrambled_box(n: usize, seed: u64) -> Mesh {
+        let mesh = box_mesh(n);
+        let mut perm: Vec<VertexId> = (0..mesh.num_vertices() as u32).collect();
+        octopus_geom::rng::SplitMix64::new(seed).shuffle(&mut perm);
+        mesh.permute_vertices(&perm)
+    }
+
+    #[test]
+    fn cache_oblivious_permutation_is_a_bijection() {
+        let mesh = scrambled_box(5, 11);
+        let perm = curve_permutation(&mesh, CurveKind::CacheOblivious);
+        let mut sorted = perm.clone();
+        sorted.sort_unstable();
+        let expect: Vec<VertexId> = (0..mesh.num_vertices() as u32).collect();
+        assert_eq!(sorted, expect);
+    }
+
+    #[test]
+    fn bisection_keeps_every_split_balanced() {
+        let mesh = scrambled_box(6, 7);
+        let (_, stats) = cache_oblivious_permutation_stats(&mesh);
+        assert!(stats.splits > 0);
+        assert!(stats.leaves > stats.splits);
+        assert!(
+            stats.max_imbalance <= 1,
+            "split imbalance {} exceeds 1",
+            stats.max_imbalance
+        );
+    }
+
+    #[test]
+    fn cache_oblivious_improves_the_line_metric_over_scrambled() {
+        let scrambled = scrambled_box(7, 3);
+        let before = cache_line_stats(&scrambled);
+        let (laid_out, _) = cache_oblivious_layout(&scrambled);
+        let after = cache_line_stats(&laid_out);
+        assert!(
+            after.extra_lines_per_vertex < before.extra_lines_per_vertex * 0.6,
+            "bisection must sharply cut foreign lines per vertex: {} -> {}",
+            before.extra_lines_per_vertex,
+            after.extra_lines_per_vertex
+        );
+        assert!(after.crossing_ratio <= before.crossing_ratio);
+    }
+
+    #[test]
+    fn reuse_histogram_concentrates_low_for_good_layouts() {
+        let scrambled = scrambled_box(6, 9);
+        let (laid_out, _) = cache_oblivious_layout(&scrambled);
+        let bad = reuse_distance_histogram(&scrambled);
+        let good = reuse_distance_histogram(&laid_out);
+        // Same access count (same mesh, same BFS structure up to
+        // relabelling is not guaranteed, but V + E is).
+        assert_eq!(bad.accesses, good.accesses);
+        assert!(
+            good.fraction_within(16) > bad.fraction_within(16),
+            "good {} vs bad {}",
+            good.fraction_within(16),
+            bad.fraction_within(16)
+        );
+    }
+
+    #[test]
+    fn queries_translate_via_perm_for_cache_oblivious() {
+        let mesh = scrambled_box(5, 21);
+        let (sorted, perm) = cache_oblivious_layout(&mesh);
+        let q = Aabb::new(Point3::splat(0.15), Point3::splat(0.65));
+        let mut expected: Vec<VertexId> =
+            scan(&mesh, &q).iter().map(|&v| perm[v as usize]).collect();
+        expected.sort_unstable();
+        let mut o = crate::Octopus::new(&sorted).unwrap();
+        let mut out = Vec::new();
+        o.query(&sorted, &q, &mut out);
+        out.sort_unstable();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn crossing_ratio_saturates_but_extra_lines_does_not() {
+        // The documented reason the tracker drifts on extra-lines: on a
+        // scrambled mesh both metrics are bad, but after layout the
+        // crossing ratio stays near 1 while extra-lines collapses.
+        let scrambled = scrambled_box(7, 5);
+        let (laid_out, _) = cache_oblivious_layout(&scrambled);
+        let s = cache_line_stats(&scrambled);
+        let l = cache_line_stats(&laid_out);
+        let crossing_gain = s.crossing_ratio / l.crossing_ratio;
+        let lines_gain = s.extra_lines_per_vertex / l.extra_lines_per_vertex;
+        assert!(
+            lines_gain > crossing_gain,
+            "extra-lines must have more dynamic range: {lines_gain} vs {crossing_gain}"
+        );
     }
 }

@@ -26,6 +26,7 @@ pub mod cell;
 mod error;
 pub mod io;
 mod mesh;
+pub mod soa;
 pub mod stats;
 pub mod surface;
 pub mod validate;
@@ -33,7 +34,8 @@ pub mod validate;
 pub use adjacency::Csr;
 pub use cell::{CellKind, FaceKey};
 pub use error::MeshError;
-pub use mesh::{Mesh, SurfaceDelta};
+pub use mesh::{Mesh, PositionBlocksRef, SurfaceDelta};
 pub use octopus_geom::{CellId, VertexId};
+pub use soa::{block_lane, PositionBlock, PositionBlocks, BLOCK_LANES};
 pub use stats::MeshStats;
 pub use surface::Surface;

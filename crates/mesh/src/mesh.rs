@@ -1,9 +1,12 @@
 //! The in-memory dynamic mesh.
 
+use crate::soa::PositionBlocks;
 use crate::surface::FaceTable;
 use crate::{CellKind, Csr, FaceKey, MeshError, Surface};
 use octopus_geom::{Aabb, CellId, Point3, VertexId};
 use std::collections::HashMap;
+use std::ops::Deref;
+use std::sync::{PoisonError, RwLock, RwLockReadGuard};
 
 /// Change to the surface vertex set caused by a restructuring operation.
 ///
@@ -37,7 +40,7 @@ impl SurfaceDelta {
 ///   change connectivity. These require [`Mesh::enable_restructuring`]
 ///   (which builds the persistent global face list) and return a
 ///   [`SurfaceDelta`] for incremental surface-index maintenance.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct Mesh {
     kind: CellKind,
     positions: Vec<Point3>,
@@ -56,12 +59,63 @@ pub struct Mesh {
     /// surface statistics, snapshot executors) can compare epochs
     /// instead of diffing the mesh.
     restructure_epoch: u64,
+    /// Bumped by every mutable-position access ([`Mesh::positions_mut`],
+    /// [`Mesh::refine_tet`]'s centroid append) — the staleness stamp of
+    /// the blocked-SoA mirror below.
+    deform_stamp: u64,
+    /// Lazily synced blocked-SoA mirror of `positions` (the crawl hot
+    /// path, see [`crate::soa`]). Interior mutability is required
+    /// because the mirror is (re)built on first read after a
+    /// deformation, from `&self` query paths; a `RwLock` keeps the
+    /// concurrent-query fast path to one uncontended read lock.
+    blocks: RwLock<BlockMirror>,
+}
+
+#[derive(Debug, Default)]
+struct BlockMirror {
+    /// The `deform_stamp` the store was built at; `None` = never built.
+    built_at: Option<u64>,
+    store: PositionBlocks,
 }
 
 #[derive(Clone, Debug)]
 struct RestructureState {
     faces: FaceTable,
     boundary_face_count: Vec<u32>,
+}
+
+impl Clone for Mesh {
+    fn clone(&self) -> Mesh {
+        Mesh {
+            kind: self.kind,
+            positions: self.positions.clone(),
+            cells: self.cells.clone(),
+            alive: self.alive.clone(),
+            num_live: self.num_live,
+            adjacency: self.adjacency.clone(),
+            restructure: self.restructure.clone(),
+            restructure_epoch: self.restructure_epoch,
+            // The SoA mirror is derived state: a clone starts unsynced
+            // and rebuilds on its first crawl.
+            deform_stamp: 0,
+            blocks: RwLock::new(BlockMirror::default()),
+        }
+    }
+}
+
+/// Read guard over a [`Mesh`]'s blocked-SoA position store (see
+/// [`Mesh::position_blocks`]). Dereferences to [`PositionBlocks`]; the
+/// store is immutable and in sync with [`Mesh::positions`] for the
+/// guard's whole lifetime (position mutation needs `&mut Mesh`, which
+/// the guard's mesh borrow excludes).
+pub struct PositionBlocksRef<'a>(RwLockReadGuard<'a, BlockMirror>);
+
+impl Deref for PositionBlocksRef<'_> {
+    type Target = PositionBlocks;
+    #[inline]
+    fn deref(&self) -> &PositionBlocks {
+        &self.0.store
+    }
 }
 
 impl Mesh {
@@ -112,6 +166,8 @@ impl Mesh {
             adjacency,
             restructure: None,
             restructure_epoch: 0,
+            deform_stamp: 0,
+            blocks: RwLock::new(BlockMirror::default()),
         })
     }
 
@@ -190,10 +246,43 @@ impl Mesh {
 
     /// Mutable vertex positions — the simulation's in-place update target.
     /// Writing here is the "mesh deformation" transformation: surface and
-    /// adjacency remain valid by construction.
+    /// adjacency remain valid by construction. Marks the blocked-SoA
+    /// mirror stale; the next [`Mesh::position_blocks`] resyncs it.
     #[inline]
     pub fn positions_mut(&mut self) -> &mut [Point3] {
+        self.deform_stamp += 1;
         &mut self.positions
+    }
+
+    /// The blocked-SoA view of the current positions (the crawl hot
+    /// path, see [`crate::soa`]). Lazily rebuilt: the first call after a
+    /// [`Mesh::positions_mut`] borrow (or a vertex-appending
+    /// restructure) pays one O(V) resync under a write lock; every
+    /// other call is one uncontended read lock. Always consistent with
+    /// [`Mesh::positions`] — mutation requires `&mut Mesh`, which the
+    /// returned guard's borrow excludes.
+    pub fn position_blocks(&self) -> PositionBlocksRef<'_> {
+        // Lock poisoning carries no broken invariant here: the mirror
+        // is rebuilt from `positions` below whenever it is stale, so a
+        // panicked builder at worst leaves `built_at` unset.
+        {
+            let guard = self.blocks.read().unwrap_or_else(PoisonError::into_inner);
+            if guard.built_at == Some(self.deform_stamp) {
+                return PositionBlocksRef(guard);
+            }
+        }
+        {
+            let mut guard = self.blocks.write().unwrap_or_else(PoisonError::into_inner);
+            // Double-check: a concurrent reader may have rebuilt while
+            // we waited for the write lock.
+            if guard.built_at != Some(self.deform_stamp) {
+                guard.store.rebuild(&self.positions);
+                guard.built_at = Some(self.deform_stamp);
+            }
+        }
+        // The stamp cannot advance between the rebuild and this
+        // re-acquire: advancing it requires `&mut self`.
+        PositionBlocksRef(self.blocks.read().unwrap_or_else(PoisonError::into_inner))
     }
 
     /// Position of vertex `v`.
@@ -337,6 +426,7 @@ impl Mesh {
         }
         let e = self.positions.len() as VertexId;
         self.positions.push(centroid);
+        self.deform_stamp += 1; // the SoA mirror must grow a lane
         if let Some(rs) = &mut self.restructure {
             rs.boundary_face_count.push(0);
         }
@@ -519,18 +609,27 @@ impl Mesh {
             adjacency,
             restructure,
             restructure_epoch: self.restructure_epoch,
+            deform_stamp: 0,
+            blocks: RwLock::new(BlockMirror::default()),
         }
     }
 
     /// Bytes of heap memory held by the mesh structure (positions, cells,
-    /// adjacency, tombstones, restructuring state). This is the "dataset
-    /// size" denominator of the paper's memory-overhead comparisons: index
-    /// footprints are reported *relative to* it.
+    /// adjacency, tombstones, restructuring state, and the blocked-SoA
+    /// position mirror — alignment padding included). This is the
+    /// "dataset size" denominator of the paper's memory-overhead
+    /// comparisons: index footprints are reported *relative to* it.
     pub fn memory_bytes(&self) -> usize {
         let mut total = self.positions.capacity() * std::mem::size_of::<Point3>()
             + self.cells.capacity() * std::mem::size_of::<VertexId>()
             + self.alive.capacity()
-            + self.adjacency.memory_bytes();
+            + self.adjacency.memory_bytes()
+            + self
+                .blocks
+                .read()
+                .unwrap_or_else(PoisonError::into_inner)
+                .store
+                .memory_bytes();
         if let Some(rs) = &self.restructure {
             total += rs.faces.memory_bytes()
                 + rs.boundary_face_count.capacity() * std::mem::size_of::<u32>();
@@ -799,5 +898,53 @@ mod tests {
         assert_eq!(b0.max, p(1.0, 1.0, 1.0));
         m.positions_mut()[4] = p(10.0, 0.0, 0.0);
         assert_eq!(m.bounding_box().max.x, 10.0);
+    }
+
+    #[test]
+    fn position_blocks_mirror_the_aos_store() {
+        let m = two_tet_mesh();
+        let blocks = m.position_blocks();
+        assert_eq!(blocks.len(), m.num_vertices());
+        for (v, pos) in m.positions().iter().enumerate() {
+            assert_eq!(blocks.get(v), *pos);
+        }
+    }
+
+    #[test]
+    fn position_blocks_resync_after_deformation() {
+        let mut m = two_tet_mesh();
+        assert_eq!(m.position_blocks().get(4), p(1.0, 1.0, 1.0));
+        m.positions_mut()[4] = p(7.0, 8.0, 9.0);
+        assert_eq!(m.position_blocks().get(4), p(7.0, 8.0, 9.0));
+    }
+
+    #[test]
+    fn position_blocks_resync_after_refine() {
+        let mut m = two_tet_mesh();
+        m.enable_restructuring().unwrap();
+        let before = m.num_vertices();
+        let _ = m.position_blocks(); // build the mirror at the old length
+        m.refine_tet(0).unwrap();
+        let blocks = m.position_blocks();
+        assert_eq!(blocks.len(), before + 1);
+        assert_eq!(blocks.get(before), m.positions()[before]);
+    }
+
+    #[test]
+    fn clone_rebuilds_its_own_mirror() {
+        let mut m = two_tet_mesh();
+        let _ = m.position_blocks();
+        let c = m.clone();
+        m.positions_mut()[0] = p(-5.0, 0.0, 0.0);
+        assert_eq!(c.position_blocks().get(0), p(0.0, 0.0, 0.0));
+        assert_eq!(m.position_blocks().get(0), p(-5.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn memory_bytes_includes_block_mirror_after_build() {
+        let m = two_tet_mesh();
+        let before = m.memory_bytes();
+        let _ = m.position_blocks();
+        assert!(m.memory_bytes() > before, "mirror padding must be counted");
     }
 }

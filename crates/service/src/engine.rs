@@ -778,11 +778,27 @@ fn run_scan_group(
             |acc, q| if acc.is_empty() { q } else { acc.union(&q) },
         );
     let mut bufs: Vec<(u32, Vec<VertexId>)> = members.iter().map(|_| recycler.lease()).collect();
-    for (v, p) in mesh.positions().iter().enumerate() {
-        if union.contains(*p) && !mesh.neighbors(v as VertexId).is_empty() {
-            for (b, &i) in members.iter().enumerate() {
-                if queries[i as usize].contains(*p) {
-                    bufs[b].1.push(v as VertexId);
+    // Batched containment over the blocked SoA store: one
+    // [`PositionBlock::region_mask`] answers 16 consecutive ids against
+    // the union box in a handful of vectorisable compares, and a zero
+    // mask skips the whole block — the common case for selective
+    // queries. Per-member routing then runs only on the surviving
+    // lanes. Tail padding lanes are NaN, so their mask bits are never
+    // set and the id range needs no separate length check.
+    let blocks = mesh.position_blocks();
+    for (b, block) in blocks.blocks().iter().enumerate() {
+        let mut mask = block.region_mask(&union);
+        while mask != 0 {
+            let l = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            let v = (b * octopus_mesh::BLOCK_LANES + l) as VertexId;
+            if mesh.neighbors(v).is_empty() {
+                continue;
+            }
+            let p = block.lane(l);
+            for (m, &i) in members.iter().enumerate() {
+                if queries[i as usize].contains(p) {
+                    bufs[m].1.push(v);
                 }
             }
         }

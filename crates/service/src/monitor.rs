@@ -44,8 +44,9 @@
 //! curve order at ingest and re-applies it mid-run, triggered either by
 //! a fixed restructuring count
 //! ([`RelayoutTrigger::AfterRestructures`]) or **adaptively** by
-//! measured [`octopus_core::layout::adjacency_locality`] drift over
-//! the at-ingest baseline ([`RelayoutTrigger::LocalityDrift`],
+//! measured cache-line locality drift
+//! ([`octopus_core::layout::cache_line_stats`]) over the at-ingest
+//! baseline ([`RelayoutTrigger::LocalityDrift`],
 //! delta-tracked incrementally with periodic exact recomputes).
 //! Re-layout changes the id space wholesale, so it is *never* raced
 //! against in-flight steps: the trigger only marks it pending, new
@@ -134,8 +135,9 @@ pub enum RelayoutTrigger {
     /// counter — blind to whether those events actually degraded the
     /// order).
     AfterRestructures(u32),
-    /// Re-apply when the mean adjacent-id distance
-    /// ([`octopus_core::layout::adjacency_locality`]) has drifted past
+    /// Re-apply when the cache-line locality metric (mean distinct
+    /// foreign 64-byte lines per vertex neighbourhood,
+    /// [`octopus_core::layout::cache_line_stats`]) has drifted past
     /// `ratio_pct` percent of its at-ingest (or post-re-layout)
     /// baseline. The metric is delta-updated from restructuring
     /// surface deltas and recomputed exactly every `recompute_every`
@@ -193,6 +195,14 @@ pub enum LayoutPolicy {
         /// Same as [`LayoutPolicy::Hilbert::trigger`].
         trigger: RelayoutTrigger,
     },
+    /// Recursive adjacency bisection down to cache-line-sized leaf
+    /// blocks ([`octopus_core::layout::cache_oblivious_layout`]) —
+    /// orders by connectivity instead of a positional curve, packing
+    /// each neighbourhood into the blocked-SoA lines the crawl reads.
+    CacheOblivious {
+        /// Same as [`LayoutPolicy::Hilbert::trigger`].
+        trigger: RelayoutTrigger,
+    },
 }
 
 impl LayoutPolicy {
@@ -211,11 +221,27 @@ impl LayoutPolicy {
         }
     }
 
+    /// Cache-oblivious bisection at ingest, no mid-run re-layout.
+    pub fn cache_oblivious() -> LayoutPolicy {
+        LayoutPolicy::CacheOblivious {
+            trigger: RelayoutTrigger::Never,
+        }
+    }
+
+    /// Cache-oblivious bisection at ingest with the default adaptive
+    /// drift trigger ([`RelayoutTrigger::adaptive`]).
+    pub fn cache_oblivious_adaptive() -> LayoutPolicy {
+        LayoutPolicy::CacheOblivious {
+            trigger: RelayoutTrigger::adaptive(),
+        }
+    }
+
     fn curve(self) -> Option<CurveKind> {
         match self {
             LayoutPolicy::Preserve => None,
             LayoutPolicy::Hilbert { .. } => Some(CurveKind::Hilbert),
             LayoutPolicy::Morton { .. } => Some(CurveKind::Morton),
+            LayoutPolicy::CacheOblivious { .. } => Some(CurveKind::CacheOblivious),
         }
     }
 
@@ -224,7 +250,9 @@ impl LayoutPolicy {
     pub fn trigger(self) -> RelayoutTrigger {
         match self {
             LayoutPolicy::Preserve => RelayoutTrigger::Never,
-            LayoutPolicy::Hilbert { trigger } | LayoutPolicy::Morton { trigger } => trigger,
+            LayoutPolicy::Hilbert { trigger }
+            | LayoutPolicy::Morton { trigger }
+            | LayoutPolicy::CacheOblivious { trigger } => trigger,
         }
     }
 }

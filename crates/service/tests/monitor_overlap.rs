@@ -178,6 +178,28 @@ fn ring_depth_equivalence_with_mid_run_relayouts() {
 }
 
 #[test]
+fn ring_depth_equivalence_with_cache_oblivious_relayouts() {
+    // The v2 layout engine through the full pipeline: bisection order
+    // at ingest plus mid-run re-layouts across restructuring, and every
+    // retained-step answer still equals the stop-the-world reference.
+    for depth in [1, 2] {
+        let monitor = ring_equivalence_run(
+            depth,
+            123,
+            Some((3, 2, 0xD1CE)),
+            LayoutPolicy::CacheOblivious {
+                trigger: RelayoutTrigger::AfterRestructures(2),
+            },
+            12,
+        );
+        assert!(
+            monitor.relayouts() >= 1,
+            "depth {depth}: 4 restructuring events at threshold 2 must re-layout"
+        );
+    }
+}
+
+#[test]
 fn depth_one_reproduces_the_double_buffer() {
     let mesh = box_mesh(4);
     let sim = Simulation::new(mesh, Box::new(SmoothRandomField::new(0.01, 3, 5)));

@@ -161,8 +161,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map_or_else(octopus::service::default_workers, |s| {
             s.parse().expect("workers")
         });
-    // Adaptive §IV-H1 re-layout: fire as soon as the tracked adjacency
-    // locality has decayed ≥ 2% past the ingest-time curve order.
+    // Adaptive §IV-H1 re-layout: fire as soon as the tracked cache-line
+    // locality has decayed ≥ 2% past the ingest-time order.
     let trigger = RelayoutTrigger::LocalityDrift {
         ratio_pct: 102,
         recompute_every: 2,
@@ -170,8 +170,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let policy = match args.next().as_deref() {
         None | Some("hilbert") => LayoutPolicy::Hilbert { trigger },
         Some("morton") => LayoutPolicy::Morton { trigger },
+        Some("cache-oblivious") => LayoutPolicy::CacheOblivious { trigger },
         Some("preserve") => LayoutPolicy::Preserve,
-        Some(other) => panic!("unknown layout policy {other:?} (preserve|hilbert|morton)"),
+        Some(other) => {
+            panic!("unknown layout policy {other:?} (preserve|hilbert|morton|cache-oblivious)")
+        }
     };
     let depth: usize = args.next().map_or(1, |s| s.parse().expect("ring depth"));
     if inject_faults {

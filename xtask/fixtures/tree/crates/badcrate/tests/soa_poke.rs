@@ -1,0 +1,5 @@
+// Fixture: names a blocked-SoA lane field outside crates/mesh — the
+// soa-accessor rule must fire even in an integration test.
+fn poke(block: &mut PositionBlock) {
+    block.soa_xs[0] = 0.0;
+}

@@ -1,9 +1,11 @@
 //! Workspace maintenance tasks, invoked as `cargo run -p xtask -- <task>`.
 //!
-//! Currently one task: `lint`, the concurrency-invariant pass (see
-//! [`lint`] module docs). Exit code 0 = clean, 1 = violations found,
-//! 2 = usage or I/O error.
+//! Two tasks: `lint`, the concurrency-invariant pass (see [`lint`]
+//! module docs), and `bench-gate`, the committed-bench-artifact sanity
+//! gate (see [`gate`] module docs). Exit code 0 = clean, 1 =
+//! violations found, 2 = usage or I/O error.
 
+mod gate;
 mod lint;
 
 use std::path::PathBuf;
@@ -31,12 +33,31 @@ fn main() -> ExitCode {
             }
             lint::run_cli(&root.unwrap_or_else(workspace_root))
         }
+        Some("bench-gate") => {
+            let mut root: Option<PathBuf> = None;
+            while let Some(a) = args.next() {
+                match a.as_str() {
+                    "--root" => match args.next() {
+                        Some(dir) => root = Some(PathBuf::from(dir)),
+                        None => {
+                            eprintln!("xtask bench-gate: --root needs a directory");
+                            return ExitCode::from(2);
+                        }
+                    },
+                    other => {
+                        eprintln!("xtask bench-gate: unknown argument `{other}`");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            gate::run_cli(&root.unwrap_or_else(workspace_root))
+        }
         Some(other) => {
-            eprintln!("xtask: unknown task `{other}` (available: lint)");
+            eprintln!("xtask: unknown task `{other}` (available: lint, bench-gate)");
             ExitCode::from(2)
         }
         None => {
-            eprintln!("usage: cargo run -p xtask -- lint [--root DIR]");
+            eprintln!("usage: cargo run -p xtask -- <lint|bench-gate> [--root DIR]");
             ExitCode::from(2)
         }
     }
